@@ -1,0 +1,358 @@
+//! The iterative AMR driver: solve → assess → refine until the mesh stops
+//! changing.
+//!
+//! This is the reproduction of the baseline the paper compares against
+//! (OpenFOAM `pimpleFoam` + `dynamicMeshRefine`, §4.3): a feature-based
+//! solver that repeatedly solves the flow, inspects an indicator (gradient
+//! of the eddy viscosity), refines the highest-indicator patches, transfers
+//! the solution to the new mesh, and re-solves. Its cost is the *sum* over
+//! rounds — exactly the iterative overhead ADARNet's one-shot prediction
+//! eliminates (Table 1).
+
+use std::time::Instant;
+
+use crate::{mark_threshold, PatchLayout, RefinementMap};
+
+/// Statistics from one solve-to-convergence on a fixed mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Solver iterations performed.
+    pub iterations: u64,
+    /// Final residual norm reached.
+    pub final_residual: f64,
+    /// Wall-clock seconds spent.
+    pub seconds: f64,
+    /// Whether the convergence tolerance was met (vs iteration cap).
+    pub converged: bool,
+}
+
+/// One AMR round: the mesh it solved on and what that solve cost.
+#[derive(Debug, Clone)]
+pub struct RoundStats {
+    /// Round number (0-based).
+    pub round: usize,
+    /// Mesh used for this round's solve.
+    pub map: RefinementMap,
+    /// Solve cost on that mesh.
+    pub solve: SolveStats,
+    /// Patches refined after this round (0 on the final round).
+    pub refined: usize,
+}
+
+/// Outcome of a full AMR run.
+#[derive(Debug, Clone)]
+pub struct AmrOutcome {
+    /// Final mesh.
+    pub final_map: RefinementMap,
+    /// Per-round statistics.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl AmrOutcome {
+    /// Total solver iterations across all rounds (the paper's ITC).
+    pub fn total_iterations(&self) -> u64 {
+        self.rounds.iter().map(|r| r.solve.iterations).sum()
+    }
+
+    /// Total wall-clock seconds across all rounds (the paper's TTC).
+    pub fn total_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.solve.seconds).sum()
+    }
+
+    /// Whether the last round's solve converged.
+    pub fn converged(&self) -> bool {
+        self.rounds.last().map(|r| r.solve.converged).unwrap_or(false)
+    }
+}
+
+/// What the driver needs from a simulation.
+///
+/// `adarnet-cfd` implements this for the RANS solver; tests implement toy
+/// versions.
+pub trait AmrSim {
+    /// Solve to convergence on the given mesh, starting from the current
+    /// internal state (which [`AmrSim::project_to`] keeps in sync).
+    fn solve(&mut self, map: &RefinementMap) -> SolveStats;
+
+    /// Per-patch refinement indicator evaluated on the current solution
+    /// (e.g. max |∇ν̃| per patch, the feature-based heuristic of §4.3).
+    fn indicator(&self) -> Vec<f64>;
+
+    /// Transfer the current solution onto a new mesh.
+    fn project_to(&mut self, new_map: &RefinementMap);
+}
+
+/// Configuration for the iterative feature-based AMR loop.
+#[derive(Debug, Clone, Copy)]
+pub struct AmrDriver {
+    /// Maximum refinement level (3 in the paper: four resolutions).
+    pub max_level: u8,
+    /// Threshold fraction of the max indicator above which a patch is
+    /// marked (feature-based criterion).
+    pub theta: f64,
+    /// Upper bound on solve/refine rounds (safety against oscillation).
+    pub max_rounds: usize,
+    /// If set, limit neighbor level jumps to this value after marking.
+    pub balance_jump: Option<u8>,
+    /// If set, *coarsen* (lower by one level) patches whose indicator
+    /// falls below this fraction of the max — the "refining or coarsening
+    /// the mesh" half of the classical AMR loop (paper §1/§2). `None`
+    /// disables coarsening (refine-only, as OpenFOAM's default behaviour
+    /// on steady cases).
+    pub coarsen_theta: Option<f64>,
+}
+
+impl Default for AmrDriver {
+    fn default() -> Self {
+        AmrDriver {
+            max_level: 3,
+            theta: 0.3,
+            max_rounds: 8,
+            balance_jump: Some(1),
+            coarsen_theta: None,
+        }
+    }
+}
+
+impl AmrDriver {
+    /// Run the full iterative loop starting from a uniform level-0 mesh.
+    pub fn run<S: AmrSim>(&self, sim: &mut S, layout: PatchLayout) -> AmrOutcome {
+        let mut map = RefinementMap::uniform(layout, 0, self.max_level);
+        let mut rounds = Vec::new();
+
+        for round in 0..self.max_rounds {
+            let t0 = Instant::now();
+            let mut solve = sim.solve(&map);
+            // Trust the sim's own timing if it reports one; otherwise stamp.
+            if solve.seconds == 0.0 {
+                solve.seconds = t0.elapsed().as_secs_f64();
+            }
+
+            let indicator = sim.indicator();
+            let marks = mark_threshold(&indicator, self.theta);
+            let mut new_map = map.clone();
+            let mut refined = new_map.refine_marked(&marks);
+            if let Some(ct) = self.coarsen_theta {
+                let max_ind = indicator.iter().copied().fold(0.0f64, f64::max);
+                if max_ind > 0.0 {
+                    let cut = ct * max_ind;
+                    for (idx, &v) in indicator.iter().enumerate() {
+                        // Never coarsen a patch marked for refinement this
+                        // round; only lower genuinely quiet regions.
+                        if v < cut && !marks.contains(&idx) {
+                            let (py, px) = new_map.layout().coords(idx);
+                            let l = new_map.level_at(idx);
+                            if l > 0 {
+                                new_map.set_level(py, px, l - 1);
+                                refined += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(jump) = self.balance_jump {
+                refined += new_map.balance(jump);
+            }
+
+            let done = refined == 0 || new_map == map || round + 1 == self.max_rounds;
+            rounds.push(RoundStats {
+                round,
+                map: map.clone(),
+                solve,
+                refined: if done { 0 } else { refined },
+            });
+            if done {
+                break;
+            }
+            sim.project_to(&new_map);
+            map = new_map;
+        }
+
+        AmrOutcome {
+            final_map: map,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy sim: indicator is fixed per patch; "solving" costs iterations
+    /// proportional to active cells.
+    struct ToySim {
+        layout: PatchLayout,
+        hot_patches: Vec<usize>,
+        current: RefinementMap,
+        projections: usize,
+    }
+
+    impl ToySim {
+        fn new(layout: PatchLayout, hot: Vec<usize>) -> Self {
+            ToySim {
+                layout,
+                hot_patches: hot,
+                current: RefinementMap::uniform(layout, 0, 3),
+                projections: 0,
+            }
+        }
+    }
+
+    impl AmrSim for ToySim {
+        fn solve(&mut self, map: &RefinementMap) -> SolveStats {
+            self.current = map.clone();
+            SolveStats {
+                iterations: map.active_cells() as u64,
+                final_residual: 1e-7,
+                seconds: map.active_cells() as f64 * 1e-6,
+                converged: true,
+            }
+        }
+        fn indicator(&self) -> Vec<f64> {
+            (0..self.layout.num_patches())
+                .map(|i| if self.hot_patches.contains(&i) { 1.0 } else { 0.01 })
+                .collect()
+        }
+        fn project_to(&mut self, new_map: &RefinementMap) {
+            self.current = new_map.clone();
+            self.projections += 1;
+        }
+    }
+
+    #[test]
+    fn driver_refines_hot_patches_to_max() {
+        let layout = PatchLayout::new(2, 2, 4, 4);
+        let mut sim = ToySim::new(layout, vec![3]);
+        let driver = AmrDriver {
+            balance_jump: None,
+            ..AmrDriver::default()
+        };
+        let outcome = driver.run(&mut sim, layout);
+        assert_eq!(outcome.final_map.level_at(3), 3);
+        assert_eq!(outcome.final_map.level_at(0), 0);
+        // 1 initial solve + 3 refinement rounds + 1 final no-change round.
+        assert_eq!(outcome.rounds.len(), 4);
+        assert!(outcome.converged());
+    }
+
+    #[test]
+    fn iterative_cost_accumulates_over_rounds() {
+        let layout = PatchLayout::new(2, 2, 4, 4);
+        let mut sim = ToySim::new(layout, vec![0]);
+        let driver = AmrDriver {
+            balance_jump: None,
+            ..AmrDriver::default()
+        };
+        let outcome = driver.run(&mut sim, layout);
+        // ITC must exceed the final mesh's single-solve cost: that gap is
+        // ADARNet's one-shot advantage.
+        let final_cells = outcome.final_map.active_cells() as u64;
+        assert!(outcome.total_iterations() > final_cells);
+    }
+
+    #[test]
+    fn flat_indicator_stops_after_one_round() {
+        let layout = PatchLayout::new(2, 2, 4, 4);
+        let mut sim = ToySim::new(layout, vec![]);
+        // theta = 0.3: with all indicators equal, all exceed 0.3*max, so
+        // everything refines; use hot=[] and theta high enough that the
+        // uniform 0.01 field still marks everything. Instead verify with
+        // theta = 1.0 nothing is ever marked (v > max is false).
+        let driver = AmrDriver {
+            theta: 1.0,
+            balance_jump: None,
+            ..AmrDriver::default()
+        };
+        let outcome = driver.run(&mut sim, layout);
+        assert_eq!(outcome.rounds.len(), 1);
+        assert_eq!(outcome.final_map, RefinementMap::uniform(layout, 0, 3));
+        assert_eq!(sim.projections, 0);
+    }
+
+    #[test]
+    fn balance_propagates_refinement_outward() {
+        let layout = PatchLayout::new(1, 4, 4, 4);
+        let mut sim = ToySim::new(layout, vec![0]);
+        let driver = AmrDriver::default(); // balance_jump = 1
+        let outcome = driver.run(&mut sim, layout);
+        assert_eq!(outcome.final_map.level_at(0), 3);
+        assert!(outcome.final_map.level_at(1) >= 2);
+        assert!(outcome.final_map.level_at(2) >= 1);
+    }
+
+    #[test]
+    fn coarsening_lowers_quiet_patches() {
+        // A sim whose hot spot is patch 0: with coarsening enabled, a
+        // previously refined quiet patch drops back down.
+        struct ShiftSim {
+            layout: PatchLayout,
+            round: usize,
+        }
+        impl AmrSim for ShiftSim {
+            fn solve(&mut self, map: &RefinementMap) -> SolveStats {
+                let _ = map;
+                self.round += 1;
+                SolveStats {
+                    iterations: 10,
+                    final_residual: 1e-9,
+                    seconds: 1e-6,
+                    converged: true,
+                }
+            }
+            fn indicator(&self) -> Vec<f64> {
+                // Hot patch moves from 1 to 0 after the first round.
+                let hot = if self.round <= 1 { 1 } else { 0 };
+                (0..self.layout.num_patches())
+                    .map(|i| if i == hot { 1.0 } else { 0.01 })
+                    .collect()
+            }
+            fn project_to(&mut self, _new_map: &RefinementMap) {}
+        }
+        let layout = PatchLayout::new(1, 4, 4, 4);
+        let mut sim = ShiftSim { layout, round: 0 };
+        let driver = AmrDriver {
+            max_level: 2,
+            theta: 0.5,
+            max_rounds: 6,
+            balance_jump: None,
+            coarsen_theta: Some(0.1),
+        };
+        let outcome = driver.run(&mut sim, layout);
+        // Patch 1 was refined in round 1 and coarsened once the hot spot
+        // moved to patch 0.
+        assert!(outcome.final_map.level_at(0) >= 1, "{:?}", outcome.final_map.levels());
+        assert!(
+            outcome.final_map.level_at(1) < 2,
+            "quiet patch kept max refinement: {:?}",
+            outcome.final_map.levels()
+        );
+    }
+
+    #[test]
+    fn refine_only_default_never_coarsens() {
+        let layout = PatchLayout::new(2, 2, 4, 4);
+        let mut sim = ToySim::new(layout, vec![0]);
+        let outcome = AmrDriver {
+            balance_jump: None,
+            ..AmrDriver::default()
+        }
+        .run(&mut sim, layout);
+        // Levels only ever increase from the uniform-0 start.
+        assert!(outcome.final_map.levels().iter().all(|&l| l <= 3));
+        assert_eq!(outcome.final_map.level_at(0), 3);
+    }
+
+    #[test]
+    fn respects_max_rounds() {
+        let layout = PatchLayout::new(2, 2, 4, 4);
+        let mut sim = ToySim::new(layout, vec![0, 1, 2, 3]);
+        let driver = AmrDriver {
+            max_rounds: 2,
+            balance_jump: None,
+            ..AmrDriver::default()
+        };
+        let outcome = driver.run(&mut sim, layout);
+        assert_eq!(outcome.rounds.len(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 1: maximum inference batch size vs target spatial resolution for
+//! a SOTA uniform-SR model (SURFNet) under a 16 GB V100 memory budget.
+//!
+//! Reproduces the figure's content — batch capacity collapsing as the
+//! target resolution grows, down to ~2 samples at 1024x1024 — from the
+//! activation-memory model in `adarnet_core::memory` (calibration
+//! documented there and in EXPERIMENTS.md).
+//!
+//! Run with: `cargo run --release -p adarnet-bench --bin fig1`
+
+use adarnet_core::memory::{uniform_bytes_per_sample, uniform_max_batch, V100_BYTES};
+
+fn main() {
+    println!("Figure 1: max batch size during uniform-SR inference (16 GB budget)");
+    println!();
+    println!("target resolution   bytes/sample   max batch");
+    for side in [128usize, 256, 512, 1024] {
+        let cells = side * side;
+        println!(
+            "{:>10}x{:<6} {:>12.2} MB {:>11}",
+            side,
+            side,
+            uniform_bytes_per_sample(cells) / (1024.0 * 1024.0),
+            uniform_max_batch(cells, V100_BYTES)
+        );
+    }
+    println!();
+    println!(
+        "paper's observation: no more than two samples per batch at 1024x1024 -> {}",
+        uniform_max_batch(1024 * 1024, V100_BYTES)
+    );
+}

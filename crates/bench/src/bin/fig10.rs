@@ -1,0 +1,113 @@
+//! Figure 10: converged flow fields (velocity, kinematic pressure,
+//! modified eddy viscosity) from ADARNet's mesh vs the AMR solver's mesh,
+//! for the cylinder and the non-symmetric NACA1412 airfoil.
+//!
+//! The paper shows the two solutions are visually indistinguishable; we
+//! quantify that with per-variable relative L2 differences on a common
+//! uniform sampling, and dump coarse ASCII renderings of the velocity
+//! magnitude for eyeballing.
+//!
+//! Run with: `cargo run --release -p adarnet-bench --bin fig10`
+
+use adarnet_amr::AmrDriver;
+use adarnet_bench::{bench_case, case_lr_sample, trained_model, Scale};
+use adarnet_cfd::{CaseMesh, RansSolver};
+use adarnet_core::framework::LrInput;
+use adarnet_core::{run_adarnet_case, run_amr_baseline};
+use adarnet_dataset::TestCase;
+use adarnet_tensor::Grid2;
+
+fn rel_l2(a: &Grid2<f64>, b: &Grid2<f64>) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        num += (x - y) * (x - y);
+        den += y * y;
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+fn ascii_render(g: &Grid2<f64>, rows: usize, cols: usize) -> String {
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let (lo, hi) = (g.min_value(), g.max_value());
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * g.ny() / rows;
+            let j = c * g.nx() / cols;
+            let t = ((g.get(i, j) - lo) / span * (ramp.len() - 1) as f64) as usize;
+            out.push(ramp[t.min(ramp.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut trainer = trained_model(scale);
+    let driver = AmrDriver {
+        max_level: 3,
+        theta: 0.5,
+        max_rounds: 3,
+        balance_jump: Some(1),
+        ..AmrDriver::default()
+    };
+
+    println!("Figure 10: ADARNet vs AMR solver converged fields\n");
+    for tc in [TestCase::Cylinder, TestCase::Naca1412] {
+        let case = bench_case(tc, scale);
+        let sample = case_lr_sample(tc, scale);
+
+        // LR solve cost (charged to ADARNet's TTC; reused as its input).
+        let mesh = CaseMesh::new(
+            case.clone(),
+            adarnet_amr::RefinementMap::uniform(scale.layout(), 0, 3),
+        );
+        let mut lr_solver = RansSolver::new(mesh, scale.solver_cfg());
+        let lr_stats = lr_solver.solve_to_convergence();
+        let lr_field = lr_solver.state.to_tensor(0);
+        drop(sample);
+
+        let adarnet = run_adarnet_case(
+            &mut trainer.model,
+            &trainer.norm,
+            &case,
+            &lr_field,
+            LrInput {
+                seconds: lr_stats.seconds,
+                iterations: lr_stats.iterations,
+            },
+            scale.solver_cfg(),
+        );
+        let baseline = run_amr_baseline(&case, scale.layout(), scale.solver_cfg(), driver);
+
+        println!("=== {} ===", case.name);
+        // Compare on a common uniform sampling at level 1.
+        let vars = ["U (velocity-x)", "V (velocity-y)", "p (pressure)", "nuTilda"];
+        for (name, (fa, fb)) in vars.iter().zip([
+            (&adarnet.final_state.u, &baseline.final_state.u),
+            (&adarnet.final_state.v, &baseline.final_state.v),
+            (&adarnet.final_state.p, &baseline.final_state.p),
+            (&adarnet.final_state.nt, &baseline.final_state.nt),
+        ]) {
+            let ga = fa.to_uniform(1);
+            let gb = fb.to_uniform(1);
+            println!("  {name:<16} relative L2 difference: {:.3}", rel_l2(&ga, &gb));
+        }
+
+        // Velocity-magnitude renderings.
+        let ua = adarnet.final_state.u.to_uniform(1);
+        let ub = baseline.final_state.u.to_uniform(1);
+        println!("\n  ADARNet |U| field:");
+        print!("{}", indent(&ascii_render(&ua, 8, 48)));
+        println!("  AMR solver |U| field:");
+        print!("{}", indent(&ascii_render(&ub, 8, 48)));
+        println!();
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

@@ -1,0 +1,91 @@
+//! Table 1: time-to-convergence (TTC) and iterations-to-convergence (ITC)
+//! of ADARNet vs the iterative AMR solver for all seven test cases, with
+//! ADARNet's TTC split into lr + inference + physics-solver time.
+//!
+//! The paper reports 2.6-4.5x speedups; the reproduction target is the
+//! *shape*: ADARNet wins on every case because the one-shot mesh skips
+//! the solve/assess/refine rounds, and its physics solve starts from a
+//! near-converged inference.
+//!
+//! Run with: `cargo run --release -p adarnet-bench --bin table1`
+
+use adarnet_amr::{AmrDriver, RefinementMap};
+use adarnet_bench::{bench_case, trained_model, Scale};
+use adarnet_cfd::{CaseMesh, RansSolver};
+use adarnet_core::framework::LrInput;
+use adarnet_core::{run_adarnet_case, run_amr_baseline};
+use adarnet_dataset::TestCase;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut trainer = trained_model(scale);
+    let mut solver_cfg = scale.solver_cfg();
+    // Shared cap for every solve on both sides; ratios stay meaningful.
+    solver_cfg.max_iters = solver_cfg.max_iters.min(2000);
+    let driver = AmrDriver {
+        max_level: 3,
+        theta: 0.5,
+        max_rounds: 4,
+        balance_jump: Some(1),
+        ..AmrDriver::default()
+    };
+
+    println!("Table 1: TTC (s) and ITC, AMR solver vs ADARNet\n");
+    println!(
+        "{:<16} {:>8} {:>8} | {:>8} {:>8}  {:>22}  {:>8}",
+        "case", "AMR ITC", "AMR TTC", "ADR ITC", "ADR TTC", "lr + inf + ps (s)", "speedup"
+    );
+
+    let mut speedups = Vec::new();
+    for tc in TestCase::ALL {
+        let case = bench_case(tc, scale);
+
+        // --- LR solve: the input to ADARNet (charged to its TTC). ---
+        let lr_mesh = CaseMesh::new(
+            case.clone(),
+            RefinementMap::uniform(scale.layout(), 0, 3),
+        );
+        let mut lr_solver = RansSolver::new(lr_mesh, solver_cfg);
+        let lr_stats = lr_solver.solve_to_convergence();
+        let lr_field = lr_solver.state.to_tensor(0);
+
+        // --- ADARNet one-shot pipeline. ---
+        let adarnet = run_adarnet_case(
+            &mut trainer.model,
+            &trainer.norm,
+            &case,
+            &lr_field,
+            LrInput {
+                seconds: lr_stats.seconds,
+                iterations: lr_stats.iterations,
+            },
+            solver_cfg,
+        );
+
+        // --- Iterative AMR baseline. ---
+        let baseline = run_amr_baseline(&case, scale.layout(), solver_cfg, driver);
+
+        let speedup = baseline.ttc_seconds() / adarnet.ttc_seconds();
+        speedups.push(speedup);
+        println!(
+            "{:<16} {:>8} {:>8.2} | {:>8} {:>8.2}  {:>6.2} + {:>5.3} + {:>6.2}  {:>7.2}x",
+            tc.label(),
+            baseline.itc(),
+            baseline.ttc_seconds(),
+            adarnet.itc(),
+            adarnet.ttc_seconds(),
+            adarnet.lr.seconds,
+            adarnet.inference_seconds,
+            adarnet.physics.seconds,
+            speedup
+        );
+    }
+    let (lo, hi) = speedups
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+    println!(
+        "\nspeedup range: {lo:.1}-{hi:.1}x (paper: 2.6-4.5x on a 40-core Xeon)"
+    );
+}

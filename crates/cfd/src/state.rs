@@ -1,0 +1,213 @@
+//! The four-variable flow state `(U, V, p, nu_tilde)` on a composite mesh,
+//! and conversions to/from the NN tensor format.
+
+use adarnet_amr::{CompositeField, RefinementMap};
+use adarnet_tensor::{Shape, Tensor};
+
+use crate::mesh::CaseMesh;
+
+/// The RANS + SA state: mean x-velocity, mean y-velocity, kinematic mean
+/// pressure, and the SA working variable `nu_tilde` — the paper's four
+/// flow variables / image channels (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState {
+    /// Mean x-velocity (m/s).
+    pub u: CompositeField,
+    /// Mean y-velocity (m/s).
+    pub v: CompositeField,
+    /// Kinematic mean pressure (m^2/s^2).
+    pub p: CompositeField,
+    /// SA working variable (m^2/s); eddy viscosity is `nt * fv1`.
+    pub nt: CompositeField,
+}
+
+impl FlowState {
+    /// All-zero state on a mesh.
+    pub fn zeros(map: &RefinementMap) -> FlowState {
+        FlowState {
+            u: CompositeField::zeros(map),
+            v: CompositeField::zeros(map),
+            p: CompositeField::zeros(map),
+            nt: CompositeField::zeros(map),
+        }
+    }
+
+    /// Freestream initial condition: `u = u_in` in fluid cells (zero in
+    /// solid), `v = p = 0`, `nu_tilde` at its inflow value.
+    pub fn freestream(mesh: &CaseMesh) -> FlowState {
+        let map = &mesh.map;
+        let mut s = FlowState {
+            u: CompositeField::constant(map, mesh.case.u_in),
+            v: CompositeField::zeros(map),
+            p: CompositeField::zeros(map),
+            nt: CompositeField::constant(map, mesh.case.nu_tilde_inflow()),
+        };
+        s.enforce_solid(mesh);
+        s
+    }
+
+    /// Zero out velocity and `nu_tilde` inside solid cells.
+    pub fn enforce_solid(&mut self, mesh: &CaseMesh) {
+        for idx in 0..mesh.layout().num_patches() {
+            let mask = &mesh.solid[idx];
+            for (k, &is_solid) in mask.iter().enumerate() {
+                if is_solid {
+                    self.u.patch_at_mut(idx).as_mut_slice()[k] = 0.0;
+                    self.v.patch_at_mut(idx).as_mut_slice()[k] = 0.0;
+                    self.nt.patch_at_mut(idx).as_mut_slice()[k] = 0.0;
+                }
+            }
+        }
+    }
+
+    /// The mesh this state lives on.
+    pub fn map(&self) -> &RefinementMap {
+        self.u.map()
+    }
+
+    /// Transfer onto a new refinement map (AMR re-meshing / DNN output
+    /// adoption).
+    pub fn project_to(&self, new_map: &RefinementMap) -> FlowState {
+        FlowState {
+            u: self.u.project_to(new_map),
+            v: self.v.project_to(new_map),
+            p: self.p.project_to(new_map),
+            nt: self.nt.project_to(new_map),
+        }
+    }
+
+    /// Sample to a uniform 4-channel `f32` tensor `(4, H, W)` at `level` —
+    /// the NN input/label format (channel order U, V, p, nu_tilde).
+    pub fn to_tensor(&self, level: u8) -> Tensor<f32> {
+        let fields = [&self.u, &self.v, &self.p, &self.nt];
+        let grids: Vec<_> = fields.iter().map(|f| f.to_uniform(level)).collect();
+        let (h, w) = (grids[0].ny(), grids[0].nx());
+        let mut t = Tensor::<f32>::zeros(Shape::d3(4, h, w));
+        for (c, g) in grids.iter().enumerate() {
+            for i in 0..h {
+                for j in 0..w {
+                    t.set3(c, i, j, g.get(i, j) as f32);
+                }
+            }
+        }
+        t
+    }
+
+    /// Build a state from a uniform 4-channel tensor at `uniform_level`,
+    /// resampled onto `map`.
+    pub fn from_tensor(map: &RefinementMap, t: &Tensor<f32>, uniform_level: u8) -> FlowState {
+        assert_eq!(t.dim(0), 4, "expected 4 channels (U, V, p, nu_tilde)");
+        let (h, w) = (t.dim(1), t.dim(2));
+        let mut fields = Vec::with_capacity(4);
+        for c in 0..4 {
+            let g = adarnet_tensor::Grid2::from_fn(h, w, |i, j| t.get3(c, i, j) as f64);
+            fields.push(CompositeField::from_uniform(map, &g, uniform_level));
+        }
+        let mut it = fields.into_iter();
+        FlowState {
+            u: it.next().unwrap(),
+            v: it.next().unwrap(),
+            p: it.next().unwrap(),
+            nt: it.next().unwrap(),
+        }
+    }
+
+    /// True if every cell of every field is finite.
+    pub fn all_finite(&self) -> bool {
+        self.u.all_finite() && self.v.all_finite() && self.p.all_finite() && self.nt.all_finite()
+    }
+
+    /// L2 distance to another state on the same mesh (all four fields).
+    pub fn distance(&self, other: &FlowState) -> f64 {
+        let d = |a: &CompositeField, b: &CompositeField| -> f64 {
+            let mut acc = 0.0;
+            for idx in 0..a.map().layout().num_patches() {
+                for (x, y) in a
+                    .patch_at(idx)
+                    .as_slice()
+                    .iter()
+                    .zip(b.patch_at(idx).as_slice())
+                {
+                    acc += (x - y) * (x - y);
+                }
+            }
+            acc
+        };
+        (d(&self.u, &other.u) + d(&self.v, &other.v) + d(&self.p, &other.p)
+            + d(&self.nt, &other.nt))
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CaseConfig;
+    use adarnet_amr::PatchLayout;
+
+    fn mesh() -> CaseMesh {
+        let layout = PatchLayout::new(2, 8, 8, 8);
+        CaseMesh::new(
+            CaseConfig::channel(2.5e3),
+            RefinementMap::uniform(layout, 0, 3),
+        )
+    }
+
+    #[test]
+    fn freestream_values() {
+        let m = mesh();
+        let s = FlowState::freestream(&m);
+        assert!((s.u.mean() - 0.25).abs() < 1e-12);
+        assert_eq!(s.v.mean(), 0.0);
+        assert!((s.nt.mean() - 3e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solid_cells_zeroed() {
+        let layout = PatchLayout::new(2, 8, 8, 8);
+        let m = CaseMesh::new(
+            CaseConfig::cylinder(1e5),
+            RefinementMap::uniform(layout, 1, 3),
+        );
+        let s = FlowState::freestream(&m);
+        for idx in 0..m.layout().num_patches() {
+            for (k, &solid) in m.solid[idx].iter().enumerate() {
+                if solid {
+                    assert_eq!(s.u.patch_at(idx).as_slice()[k], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_roundtrip_same_level() {
+        let m = mesh();
+        let mut s = FlowState::freestream(&m);
+        // Perturb a cell so the roundtrip is non-trivial.
+        s.p.patch_mut(1, 3).set(2, 2, 0.37);
+        let t = s.to_tensor(0);
+        assert_eq!(t.shape(), &Shape::d3(4, 16, 64));
+        let back = FlowState::from_tensor(s.map(), &t, 0);
+        assert!(s.distance(&back) < 1e-5, "{}", s.distance(&back));
+    }
+
+    #[test]
+    fn project_preserves_freestream() {
+        let m = mesh();
+        let s = FlowState::freestream(&m);
+        let fine = RefinementMap::uniform(*m.layout(), 2, 3);
+        let sf = s.project_to(&fine);
+        assert!((sf.u.mean() - 0.25).abs() < 1e-12);
+        assert!(sf.all_finite());
+    }
+
+    #[test]
+    fn distance_zero_iff_identical() {
+        let m = mesh();
+        let s = FlowState::freestream(&m);
+        assert_eq!(s.distance(&s), 0.0);
+        let mut t = s.clone();
+        t.u.patch_mut(0, 0).set(0, 0, 99.0);
+        assert!(s.distance(&t) > 1.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Inference activation-memory model (Figure 1 and Table 2).
+//!
+//! Figure 1 is a capacity claim: on a 16 GB V100, SOTA uniform-SR models
+//! admit at most ~2 samples per batch at 1024x1024. We model per-sample
+//! inference memory as
+//!
+//! ```text
+//! bytes_per_sample = (sum of layer channel counts) * cells * 4 * OVERHEAD
+//! ```
+//!
+//! i.e. every intermediate activation is resident, times a framework
+//! overhead factor (TensorFlow workspace, im2col buffers, fragmentation).
+//! `OVERHEAD` is calibrated once so the uniform model reproduces the
+//! paper's observed "max batch 2 at 1024^2 on 16 GB" (Figure 1); the
+//! *shape* of the curve — batch capacity falling as `1/cells` — is the
+//! model's content, not the calibration constant.
+//!
+//! ADARNet's memory uses the same formula over its **active cells** (sum
+//! of per-patch resolutions), which is why its Table 2 reduction factors
+//! track the active-cell fraction.
+
+use adarnet_amr::RefinementMap;
+
+/// Total channel counts of the uniform-SR conv stack (input + per-layer
+/// outputs of the shared decoder architecture: 6, 8, 16, 64, 64, 16, 4).
+pub const UNIFORM_STACK_CHANNELS: usize = 6 + 8 + 16 + 64 + 64 + 16 + 4;
+
+/// Channels of ADARNet's decoder stack (7-channel input).
+pub const ADARNET_STACK_CHANNELS: usize = 7 + 8 + 16 + 64 + 64 + 16 + 4;
+
+/// Framework overhead multiplier, calibrated to Figure 1 (max batch 2 at
+/// 1024x1024 under 16 GB).
+pub const OVERHEAD: f64 = 11.2;
+
+/// The 16 GB V100 budget of the paper's Figure 1.
+pub const V100_BYTES: f64 = 16.0 * 1024.0 * 1024.0 * 1024.0;
+
+/// Per-sample inference bytes for a uniform-SR network at `cells` output
+/// cells.
+pub fn uniform_bytes_per_sample(cells: usize) -> f64 {
+    UNIFORM_STACK_CHANNELS as f64 * cells as f64 * 4.0 * OVERHEAD
+}
+
+/// Maximum batch size for a uniform-SR network under `budget` bytes at
+/// `cells` output cells (at least 0).
+pub fn uniform_max_batch(cells: usize, budget: f64) -> usize {
+    (budget / uniform_bytes_per_sample(cells)).floor() as usize
+}
+
+/// Per-sample inference bytes for ADARNet given the predicted refinement
+/// map: the decoder touches only the active cells.
+pub fn adarnet_bytes_per_sample(map: &RefinementMap) -> f64 {
+    ADARNET_STACK_CHANNELS as f64 * map.active_cells() as f64 * 4.0 * OVERHEAD
+}
+
+/// Memory reduction factor of ADARNet over uniform SR at the same target
+/// (max) resolution — the paper's Table 2 "rf" column.
+pub fn reduction_factor(map: &RefinementMap) -> f64 {
+    let layout = map.layout();
+    let uniform_cells =
+        layout.num_patches() * layout.patch_cells(map.max_level());
+    uniform_bytes_per_sample(uniform_cells) / adarnet_bytes_per_sample(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_amr::PatchLayout;
+
+    #[test]
+    fn figure1_calibration_point() {
+        // 1024x1024 on 16 GB admits a batch of ~2.
+        let b = uniform_max_batch(1024 * 1024, V100_BYTES);
+        assert!((1..=3).contains(&b), "batch at 1024^2 = {b}");
+    }
+
+    #[test]
+    fn figure1_shape_quarters_per_resolution_doubling() {
+        let b128 = uniform_max_batch(128 * 128, V100_BYTES);
+        let b256 = uniform_max_batch(256 * 256, V100_BYTES);
+        let b512 = uniform_max_batch(512 * 512, V100_BYTES);
+        assert!(b128 > 100, "batch at 128^2 = {b128}");
+        assert!((b128 as f64 / b256 as f64 - 4.0).abs() < 0.5);
+        assert!((b256 as f64 / b512 as f64 - 4.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn reduction_factor_matches_active_fraction() {
+        let layout = PatchLayout::paper();
+        // All patches at max level: rf ~ channel ratio (slightly < 1.. the
+        // ADARNet stack has one more input channel).
+        let all_max = RefinementMap::uniform(layout, 3, 3);
+        let rf = reduction_factor(&all_max);
+        assert!((rf - UNIFORM_STACK_CHANNELS as f64 / ADARNET_STACK_CHANNELS as f64).abs() < 1e-9);
+        // A map refining only 1/4 of patches to max and leaving the rest LR
+        // yields a large reduction factor (paper range 4.4-7.65x).
+        let mut levels = vec![0u8; layout.num_patches()];
+        for l in levels.iter_mut().take(layout.num_patches() / 4) {
+            *l = 3;
+        }
+        let sparse = RefinementMap::from_levels(layout, levels, 3);
+        let rf = reduction_factor(&sparse);
+        assert!(rf > 3.0 && rf < 8.0, "rf = {rf}");
+    }
+
+    #[test]
+    fn lr_only_map_gives_maximal_reduction() {
+        let layout = PatchLayout::paper();
+        let lr = RefinementMap::uniform(layout, 0, 3);
+        assert!(reduction_factor(&lr) > 50.0);
+    }
+}

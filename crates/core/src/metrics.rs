@@ -1,0 +1,162 @@
+//! Field-comparison metrics for the qualitative/quantitative evaluations
+//! (Figures 9-10): relative norms between converged states, per-patch
+//! error maps, and the map-agreement statistics.
+
+use adarnet_amr::RefinementMap;
+use adarnet_cfd::FlowState;
+use adarnet_tensor::Grid2;
+
+/// Relative L2 difference `||a - b|| / ||b||` between two same-size grids
+/// (0 when identical; `b` is the reference).
+pub fn relative_l2(a: &Grid2<f64>, b: &Grid2<f64>) -> f64 {
+    assert_eq!((a.ny(), a.nx()), (b.ny(), b.nx()), "grid size mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        num += (x - y) * (x - y);
+        den += y * y;
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+/// Peak signal-to-noise ratio in dB between two grids, using the
+/// reference's dynamic range (higher = closer; infinite when identical).
+pub fn psnr_db(a: &Grid2<f64>, b: &Grid2<f64>) -> f64 {
+    assert_eq!((a.ny(), a.nx()), (b.ny(), b.nx()), "grid size mismatch");
+    let range = (b.max_value() - b.min_value()).max(1e-300);
+    let mse: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (range * range / mse).log10()
+    }
+}
+
+/// Per-variable comparison of two flow states sampled on a common uniform
+/// grid at `level`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateComparison {
+    /// Relative L2 of the x-velocity.
+    pub u: f64,
+    /// Relative L2 of the y-velocity.
+    pub v: f64,
+    /// Relative L2 of the pressure.
+    pub p: f64,
+    /// Relative L2 of nu_tilde.
+    pub nt: f64,
+}
+
+impl StateComparison {
+    /// Compare `a` against reference `b`.
+    pub fn between(a: &FlowState, b: &FlowState, level: u8) -> StateComparison {
+        StateComparison {
+            u: relative_l2(&a.u.to_uniform(level), &b.u.to_uniform(level)),
+            v: relative_l2(&a.v.to_uniform(level), &b.v.to_uniform(level)),
+            p: relative_l2(&a.p.to_uniform(level), &b.p.to_uniform(level)),
+            nt: relative_l2(&a.nt.to_uniform(level), &b.nt.to_uniform(level)),
+        }
+    }
+
+    /// Worst relative difference across the four variables.
+    pub fn max(&self) -> f64 {
+        self.u.max(self.v).max(self.p).max(self.nt)
+    }
+}
+
+/// Summary statistics of the agreement between two refinement maps —
+/// the Figure 9 quantification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapAgreement {
+    /// Fraction of patches with exactly matching levels.
+    pub exact: f64,
+    /// Fraction within one level.
+    pub within_one: f64,
+    /// Mean |level_a - level_b|.
+    pub mean_distance: f64,
+    /// Active-cell ratio `a / b`.
+    pub cell_ratio: f64,
+}
+
+impl MapAgreement {
+    /// Compare map `a` against reference `b`.
+    pub fn between(a: &RefinementMap, b: &RefinementMap) -> MapAgreement {
+        assert_eq!(a.layout(), b.layout(), "layout mismatch");
+        let n = a.levels().len() as f64;
+        let within_one = a
+            .levels()
+            .iter()
+            .zip(b.levels())
+            .filter(|(&x, &y)| (x as i16 - y as i16).abs() <= 1)
+            .count() as f64
+            / n;
+        MapAgreement {
+            exact: a.agreement(b),
+            within_one,
+            mean_distance: a.mean_level_distance(b),
+            cell_ratio: a.active_cells() as f64 / b.active_cells() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_amr::PatchLayout;
+
+    fn ramp(ny: usize, nx: usize, scale: f64) -> Grid2<f64> {
+        Grid2::from_fn(ny, nx, |i, j| scale * (i * nx + j) as f64)
+    }
+
+    #[test]
+    fn relative_l2_zero_for_identical() {
+        let g = ramp(4, 4, 1.0);
+        assert_eq!(relative_l2(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn relative_l2_scales_with_error() {
+        let b = ramp(4, 4, 1.0);
+        let a1 = ramp(4, 4, 1.01);
+        let a2 = ramp(4, 4, 1.02);
+        assert!(relative_l2(&a2, &b) > relative_l2(&a1, &b));
+        assert!((relative_l2(&a1, &b) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_infinite_for_identical_and_finite_otherwise() {
+        let b = ramp(4, 4, 1.0);
+        assert!(psnr_db(&b, &b).is_infinite());
+        let a = ramp(4, 4, 1.1);
+        let p = psnr_db(&a, &b);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn map_agreement_statistics() {
+        let layout = PatchLayout::new(1, 4, 4, 4);
+        let a = RefinementMap::from_levels(layout, vec![0, 1, 2, 3], 3);
+        let b = RefinementMap::from_levels(layout, vec![0, 2, 2, 0], 3);
+        let m = MapAgreement::between(&a, &b);
+        assert_eq!(m.exact, 0.5);
+        assert_eq!(m.within_one, 0.75); // |3-0| = 3 is the only miss
+        assert!((m.mean_distance - 1.0).abs() < 1e-12);
+        // a: 16 + 64 + 256 + 1024 cells; b: 16 + 256 + 256 + 16.
+        assert!((m.cell_ratio - 1360.0 / 544.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_comparison_on_identical_states() {
+        let layout = PatchLayout::new(2, 2, 4, 4);
+        let map = RefinementMap::uniform(layout, 1, 3);
+        let mesh = adarnet_cfd::CaseMesh::new(adarnet_cfd::CaseConfig::channel(2.5e3), map);
+        let s = FlowState::freestream(&mesh);
+        let c = StateComparison::between(&s, &s, 1);
+        assert_eq!(c.max(), 0.0);
+    }
+}

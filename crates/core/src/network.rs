@@ -1,0 +1,395 @@
+//! The assembled ADARNet DNN (Figure 3): scorer → ranker → per-bin bicubic
+//! refinement + coordinate concatenation → shared decoder.
+//!
+//! The network takes a 4-channel LR field and produces a **non-uniform**
+//! output: one 4-channel patch per input patch, each at its own target
+//! resolution `2^n x` per side (`4^n x` cells) chosen by the ranker.
+
+use adarnet_amr::{PatchLayout, RefinementMap};
+use adarnet_nn::bicubic_resize3;
+use adarnet_tensor::{Shape, Tensor};
+
+use crate::decoder::Decoder;
+use crate::ranker::{Binning, Ranker};
+use crate::scorer::Scorer;
+
+/// Static configuration of the DNN.
+#[derive(Debug, Clone, Copy)]
+pub struct AdarNetConfig {
+    /// Input/output flow channels (4: U, V, p, nu_tilde).
+    pub in_channels: usize,
+    /// Patch extent (16 x 16 in the paper, §4.2).
+    pub ph: usize,
+    /// Patch width.
+    pub pw: usize,
+    /// Number of bins / target resolutions (4 in the paper).
+    pub bins: u8,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for AdarNetConfig {
+    fn default() -> Self {
+        AdarNetConfig {
+            in_channels: 4,
+            ph: 16,
+            pw: 16,
+            bins: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// The ADARNet model: trainable scorer and decoder around the
+/// non-trainable ranker.
+pub struct AdarNet {
+    /// Configuration.
+    pub cfg: AdarNetConfig,
+    /// Scorer network (Figure 4).
+    pub scorer: Scorer,
+    /// Ranker (binning, §3.1).
+    pub ranker: Ranker,
+    /// Shared decoder (Figure 5).
+    pub decoder: Decoder,
+}
+
+/// Cached products of the scorer stage, consumed by per-bin decoding.
+pub struct ForwardPlan {
+    /// Patch-grid geometry of the input.
+    pub layout: PatchLayout,
+    /// `(1, 1, NPy, NPx)` softmax scores.
+    pub scores: Tensor<f32>,
+    /// `(C+1, H, W)` input field with the latent channel appended.
+    pub aug: Tensor<f32>,
+    /// Ranker output.
+    pub binning: Binning,
+}
+
+/// The network's non-uniform prediction for one sample.
+pub struct Prediction {
+    /// Patch layout.
+    pub layout: PatchLayout,
+    /// Per-patch refinement decisions.
+    pub binning: Binning,
+    /// Row-major per-patch outputs, each `(4, ph * 2^n, pw * 2^n)`.
+    pub patches: Vec<Tensor<f32>>,
+    /// The scorer's scores (diagnostics).
+    pub scores: Tensor<f32>,
+}
+
+impl AdarNet {
+    /// Build the model.
+    pub fn new(cfg: AdarNetConfig) -> AdarNet {
+        AdarNet {
+            cfg,
+            scorer: Scorer::new(cfg.in_channels, cfg.ph, cfg.pw, cfg.seed),
+            ranker: Ranker::new(cfg.bins),
+            // Decoder input: flow channels + latent + 2 coordinates.
+            decoder: Decoder::new(cfg.in_channels + 3, cfg.seed + 100),
+        }
+    }
+
+    /// Decoder input channel count (`C + latent + 2 coords`).
+    pub fn decoder_channels(&self) -> usize {
+        self.cfg.in_channels + 3
+    }
+
+    /// Run the scorer and ranker on one `(C, H, W)` sample.
+    pub fn plan(&mut self, x: &Tensor<f32>) -> ForwardPlan {
+        assert_eq!(x.shape().rank(), 3, "plan expects a (C, H, W) sample");
+        assert_eq!(x.dim(0), self.cfg.in_channels, "channel count mismatch");
+        let (c, h, w) = (x.dim(0), x.dim(1), x.dim(2));
+        let layout = PatchLayout::for_field(h, w, self.cfg.ph, self.cfg.pw);
+        let x4 = x.clone().reshape(Shape::d4(1, c, h, w));
+        let out = self.scorer.forward(&x4);
+        let binning = self.ranker.bin_tensor(&out.scores);
+
+        // Augment: append the latent channel to the input field.
+        let mut aug = Tensor::<f32>::zeros(Shape::d3(c + 1, h, w));
+        aug.as_mut_slice()[..c * h * w].copy_from_slice(x.as_slice());
+        aug.as_mut_slice()[c * h * w..].copy_from_slice(out.latent.as_slice());
+
+        ForwardPlan {
+            layout,
+            scores: out.scores,
+            aug,
+            binning,
+        }
+    }
+
+    /// Build the decoder input for one patch: extract the augmented patch,
+    /// bicubically refine it to the bin's target resolution, and append
+    /// the two global-coordinate channels.
+    pub fn decoder_input(&self, plan: &ForwardPlan, patch_idx: usize) -> Tensor<f32> {
+        let layout = plan.layout;
+        let (py, px) = layout.coords(patch_idx);
+        let level = plan.binning.level_of(patch_idx);
+        let raw = plan
+            .aug
+            .extract_patch(py * layout.ph, px * layout.pw, layout.ph, layout.pw);
+        let (th, tw) = layout.patch_extent(level);
+        let refined = if level == 0 {
+            raw
+        } else {
+            bicubic_resize3(&raw, th, tw)
+        };
+        let c_aug = refined.dim(0);
+        let mut with_coords = Tensor::<f32>::zeros(Shape::d3(c_aug + 2, th, tw));
+        with_coords.as_mut_slice()[..c_aug * th * tw].copy_from_slice(refined.as_slice());
+        // Global normalized coordinates of each pixel center.
+        let fh = (layout.coarse_h()) as f32;
+        let fw = (layout.coarse_w()) as f32;
+        let scale = (1usize << level) as f32;
+        for i in 0..th {
+            let ycoord = (py as f32 * layout.ph as f32 + (i as f32 + 0.5) / scale) / fh;
+            for j in 0..tw {
+                let xcoord = (px as f32 * layout.pw as f32 + (j as f32 + 0.5) / scale) / fw;
+                with_coords.set3(c_aug, i, j, xcoord);
+                with_coords.set3(c_aug + 1, i, j, ycoord);
+            }
+        }
+        with_coords
+    }
+
+    /// Full inference: scorer → ranker → per-bin decoder batches →
+    /// non-uniform prediction. Bins are processed largest-resolution-last;
+    /// each bin is one decoder batch (the paper's dynamic batch size).
+    pub fn predict(&mut self, x: &Tensor<f32>) -> Prediction {
+        let plan = self.plan(x);
+        let n_patches = plan.layout.num_patches();
+        let mut patches: Vec<Option<Tensor<f32>>> = (0..n_patches).map(|_| None).collect();
+        for bin in 0..self.cfg.bins {
+            let group = plan.binning.groups[bin as usize].clone();
+            if group.is_empty() {
+                continue;
+            }
+            let inputs: Vec<Tensor<f32>> = group
+                .iter()
+                .map(|&i| self.decoder_input(&plan, i))
+                .collect();
+            let batch = Tensor::stack(&inputs);
+            let out = self.decoder.forward(&batch);
+            for (k, &i) in group.iter().enumerate() {
+                patches[i] = Some(out.image(k));
+            }
+        }
+        Prediction {
+            layout: plan.layout,
+            binning: plan.binning,
+            patches: patches.into_iter().map(|p| p.unwrap()).collect(),
+            scores: plan.scores,
+        }
+    }
+}
+
+impl AdarNet {
+    /// Batched inference over multiple samples of identical extent.
+    ///
+    /// This is where non-uniform SR pays off at serving time (Figure 1's
+    /// motivation): patches from *all* samples that share a bin form one
+    /// decoder batch, so the expensive high-resolution bins amortize
+    /// across the batch while LR patches stay cheap — uniform SR would
+    /// run every sample entirely at max resolution.
+    pub fn predict_batch(&mut self, samples: &[Tensor<f32>]) -> Vec<Prediction> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let plans: Vec<ForwardPlan> = samples.iter().map(|x| self.plan(x)).collect();
+        let n_patches = plans[0].layout.num_patches();
+        let mut outputs: Vec<Vec<Option<Tensor<f32>>>> = plans
+            .iter()
+            .map(|_| (0..n_patches).map(|_| None).collect())
+            .collect();
+
+        for bin in 0..self.cfg.bins {
+            // Gather (sample, patch) pairs in this bin across the batch.
+            let mut owners: Vec<(usize, usize)> = Vec::new();
+            let mut inputs: Vec<Tensor<f32>> = Vec::new();
+            for (si, plan) in plans.iter().enumerate() {
+                for &pi in &plan.binning.groups[bin as usize] {
+                    owners.push((si, pi));
+                    inputs.push(self.decoder_input(plan, pi));
+                }
+            }
+            if inputs.is_empty() {
+                continue;
+            }
+            let batch = Tensor::stack(&inputs);
+            let out = self.decoder.forward(&batch);
+            for (k, &(si, pi)) in owners.iter().enumerate() {
+                outputs[si][pi] = Some(out.image(k));
+            }
+        }
+
+        plans
+            .into_iter()
+            .zip(outputs)
+            .map(|(plan, patches)| Prediction {
+                layout: plan.layout,
+                binning: plan.binning,
+                patches: patches.into_iter().map(|p| p.unwrap()).collect(),
+                scores: plan.scores,
+            })
+            .collect()
+    }
+}
+
+impl Prediction {
+    /// The refinement map this prediction implies (the one-shot mesh).
+    pub fn refinement_map(&self, max_level: u8) -> RefinementMap {
+        RefinementMap::from_levels(self.layout, self.binning.bin_of_patch.clone(), max_level)
+    }
+
+    /// Total predicted cells (the non-uniform advantage: far fewer than
+    /// uniform HR).
+    pub fn active_cells(&self) -> usize {
+        self.patches.iter().map(|p| p.dim(1) * p.dim(2)).sum()
+    }
+
+    /// Sample the non-uniform prediction onto a uniform grid at `level`
+    /// for visualization/comparison, channel `ch`.
+    pub fn to_uniform_channel(&self, ch: usize, level: u8) -> adarnet_tensor::Grid2<f64> {
+        let map = self.refinement_map(self.patches_max_level());
+        let mut field = adarnet_amr::CompositeField::zeros(&map);
+        for (idx, p) in self.patches.iter().enumerate() {
+            let g = field.patch_at_mut(idx);
+            let (h, w) = (p.dim(1), p.dim(2));
+            for i in 0..h {
+                for j in 0..w {
+                    g.set(i, j, p.get3(ch, i, j) as f64);
+                }
+            }
+        }
+        field.to_uniform(level)
+    }
+
+    fn patches_max_level(&self) -> u8 {
+        self.binning
+            .bin_of_patch
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(h: usize, w: usize) -> Tensor<f32> {
+        Tensor::from_vec(
+            Shape::d3(4, h, w),
+            (0..4 * h * w).map(|i| ((i as f32) * 0.017).sin()).collect(),
+        )
+    }
+
+    fn tiny_model() -> AdarNet {
+        AdarNet::new(AdarNetConfig {
+            ph: 8,
+            pw: 8,
+            ..AdarNetConfig::default()
+        })
+    }
+
+    #[test]
+    fn predict_covers_every_patch_at_its_bin_resolution() {
+        let mut m = tiny_model();
+        let pred = m.predict(&sample(16, 32));
+        assert_eq!(pred.patches.len(), 2 * 4);
+        for (idx, p) in pred.patches.iter().enumerate() {
+            let level = pred.binning.level_of(idx);
+            assert_eq!(p.dim(0), 4);
+            assert_eq!(p.dim(1), 8 << level);
+            assert_eq!(p.dim(2), 8 << level);
+        }
+    }
+
+    #[test]
+    fn decoder_input_has_coordinate_channels() {
+        let mut m = tiny_model();
+        let plan = m.plan(&sample(16, 32));
+        let d0 = m.decoder_input(&plan, 0);
+        assert_eq!(d0.dim(0), 7); // 4 flow + 1 latent + 2 coords
+        let level = plan.binning.level_of(0);
+        assert_eq!(d0.dim(1), 8 << level);
+        // Coordinate channels are normalized to [0, 1] and monotone.
+        let c = 5;
+        let first = d0.get3(c, 0, 0);
+        let last = d0.get3(c, 0, d0.dim(2) - 1);
+        assert!(first >= 0.0 && last <= 1.0 && first < last);
+        // Patch 0 occupies the left quarter of a 32-wide field.
+        assert!(last < 0.3, "x coord of patch 0 should stay below 0.25ish");
+    }
+
+    #[test]
+    fn active_cells_below_uniform_hr_unless_all_max() {
+        let mut m = tiny_model();
+        let pred = m.predict(&sample(16, 32));
+        let uniform_hr = 16 * 32 * 64; // 8x per side everywhere
+        if pred
+            .binning
+            .bin_of_patch
+            .iter()
+            .any(|&b| b < m.cfg.bins - 1)
+        {
+            assert!(pred.active_cells() < uniform_hr);
+        }
+        assert!(pred.active_cells() >= 16 * 32);
+    }
+
+    #[test]
+    fn refinement_map_matches_binning() {
+        let mut m = tiny_model();
+        let pred = m.predict(&sample(16, 32));
+        let map = pred.refinement_map(3);
+        for idx in 0..8 {
+            assert_eq!(map.level_at(idx), pred.binning.level_of(idx));
+        }
+    }
+
+    #[test]
+    fn to_uniform_channel_shapes() {
+        let mut m = tiny_model();
+        let pred = m.predict(&sample(16, 32));
+        let g = pred.to_uniform_channel(0, 1);
+        assert_eq!((g.ny(), g.nx()), (32, 64));
+    }
+
+    #[test]
+    fn predict_batch_matches_per_sample_predict() {
+        let mut m = tiny_model();
+        let a = sample(16, 32);
+        let b = {
+            let mut t = sample(16, 32);
+            t.map_inplace(|v| v * 0.7 + 0.1);
+            t
+        };
+        let batch = m.predict_batch(&[a.clone(), b.clone()]);
+        let pa = m.predict(&a);
+        let pb = m.predict(&b);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].binning.bin_of_patch, pa.binning.bin_of_patch);
+        assert_eq!(batch[1].binning.bin_of_patch, pb.binning.bin_of_patch);
+        for (x, y) in batch[0].patches.iter().zip(&pa.patches) {
+            assert_eq!(x, y);
+        }
+        for (x, y) in batch[1].patches.iter().zip(&pb.patches) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn predict_batch_empty_is_empty() {
+        let mut m = tiny_model();
+        assert!(m.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn plan_rejects_wrong_channels() {
+        let mut m = tiny_model();
+        let bad = Tensor::<f32>::zeros(Shape::d3(3, 16, 32));
+        let _ = m.plan(&bad);
+    }
+}

@@ -1,0 +1,477 @@
+//! Discrete RANS residuals and their exact adjoints for the PDE part of
+//! the hybrid loss (Eq. 1 of the paper).
+//!
+//! The paper computes PDE gradients with automatic differentiation through
+//! the network's coordinate inputs; we substitute finite-difference
+//! stencils on the predicted patch fields (the standard discrete-PINN
+//! formulation — see DESIGN.md §2). The three enforced equations (`ne = 3`)
+//! are continuity and the two momentum components:
+//!
+//! ```text
+//! r1 = du/dx + dv/dy
+//! r2 = u du/dx + v du/dy + dp/dx - nu_eff lap(u)
+//! r3 = u dv/dx + v dv/dy + dp/dy - nu_eff lap(v)
+//! ```
+//!
+//! `nu_eff = nu + max(nu_tilde, 0)` is frozen with respect to
+//! differentiation (the usual frozen-coefficient linearization), so the
+//! SA channel receives gradient only through the data loss.
+//!
+//! Every operator here is a small linear stencil; the backward pass
+//! scatters through the *same* taps, making the adjoint exact — verified
+//! against central finite differences in the tests.
+
+/// A 2-D scalar patch field stored row-major in `f64`.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Rows.
+    pub h: usize,
+    /// Columns.
+    pub w: usize,
+    /// Row-major values.
+    pub a: Vec<f64>,
+}
+
+impl Field {
+    /// Zero field.
+    pub fn zeros(h: usize, w: usize) -> Field {
+        Field {
+            h,
+            w,
+            a: vec![0.0; h * w],
+        }
+    }
+
+    /// From a row-major `f32` slice.
+    pub fn from_f32(h: usize, w: usize, s: &[f32]) -> Field {
+        assert_eq!(s.len(), h * w);
+        Field {
+            h,
+            w,
+            a: s.iter().map(|&v| v as f64).collect(),
+        }
+    }
+
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.w + j]
+    }
+}
+
+/// d/dx with central differences inside, one-sided first-order at the
+/// patch's left/right columns.
+pub fn ddx(f: &Field, dx: f64) -> Field {
+    let (h, w) = (f.h, f.w);
+    let mut out = Field::zeros(h, w);
+    for i in 0..h {
+        for j in 0..w {
+            let v = if w == 1 {
+                0.0
+            } else if j == 0 {
+                (f.at(i, 1) - f.at(i, 0)) / dx
+            } else if j == w - 1 {
+                (f.at(i, w - 1) - f.at(i, w - 2)) / dx
+            } else {
+                (f.at(i, j + 1) - f.at(i, j - 1)) / (2.0 * dx)
+            };
+            out.a[i * w + j] = v;
+        }
+    }
+    out
+}
+
+/// Adjoint of [`ddx`]: scatter `g` back through the same taps.
+pub fn ddx_adjoint(g: &Field, dx: f64) -> Field {
+    let (h, w) = (g.h, g.w);
+    let mut out = Field::zeros(h, w);
+    for i in 0..h {
+        for j in 0..w {
+            let gv = g.at(i, j);
+            if w == 1 {
+                continue;
+            }
+            if j == 0 {
+                out.a[i * w + 1] += gv / dx;
+                out.a[i * w] -= gv / dx;
+            } else if j == w - 1 {
+                out.a[i * w + w - 1] += gv / dx;
+                out.a[i * w + w - 2] -= gv / dx;
+            } else {
+                out.a[i * w + j + 1] += gv / (2.0 * dx);
+                out.a[i * w + j - 1] -= gv / (2.0 * dx);
+            }
+        }
+    }
+    out
+}
+
+/// d/dy (rows are y) with central differences inside, one-sided at the
+/// bottom/top rows.
+pub fn ddy(f: &Field, dy: f64) -> Field {
+    let (h, w) = (f.h, f.w);
+    let mut out = Field::zeros(h, w);
+    for i in 0..h {
+        for j in 0..w {
+            let v = if h == 1 {
+                0.0
+            } else if i == 0 {
+                (f.at(1, j) - f.at(0, j)) / dy
+            } else if i == h - 1 {
+                (f.at(h - 1, j) - f.at(h - 2, j)) / dy
+            } else {
+                (f.at(i + 1, j) - f.at(i - 1, j)) / (2.0 * dy)
+            };
+            out.a[i * w + j] = v;
+        }
+    }
+    out
+}
+
+/// Adjoint of [`ddy`].
+pub fn ddy_adjoint(g: &Field, dy: f64) -> Field {
+    let (h, w) = (g.h, g.w);
+    let mut out = Field::zeros(h, w);
+    for i in 0..h {
+        for j in 0..w {
+            let gv = g.at(i, j);
+            if h == 1 {
+                continue;
+            }
+            if i == 0 {
+                out.a[w + j] += gv / dy;
+                out.a[j] -= gv / dy;
+            } else if i == h - 1 {
+                out.a[(h - 1) * w + j] += gv / dy;
+                out.a[(h - 2) * w + j] -= gv / dy;
+            } else {
+                out.a[(i + 1) * w + j] += gv / (2.0 * dy);
+                out.a[(i - 1) * w + j] -= gv / (2.0 * dy);
+            }
+        }
+    }
+    out
+}
+
+/// 5-point Laplacian with mirror (zero-normal-gradient) closure at patch
+/// borders.
+pub fn laplacian(f: &Field, dy: f64, dx: f64) -> Field {
+    let (h, w) = (f.h, f.w);
+    let mut out = Field::zeros(h, w);
+    for i in 0..h {
+        for j in 0..w {
+            let c = f.at(i, j);
+            let xe = if j + 1 < w { f.at(i, j + 1) } else { c };
+            let xw = if j > 0 { f.at(i, j - 1) } else { c };
+            let yn = if i + 1 < h { f.at(i + 1, j) } else { c };
+            let ys = if i > 0 { f.at(i - 1, j) } else { c };
+            out.a[i * w + j] = (xe - 2.0 * c + xw) / (dx * dx) + (yn - 2.0 * c + ys) / (dy * dy);
+        }
+    }
+    out
+}
+
+/// Adjoint of [`laplacian`] (the operator is symmetric up to the mirror
+/// closure, which the scatter reproduces exactly).
+pub fn laplacian_adjoint(g: &Field, dy: f64, dx: f64) -> Field {
+    let (h, w) = (g.h, g.w);
+    let mut out = Field::zeros(h, w);
+    let (rx, ry) = (1.0 / (dx * dx), 1.0 / (dy * dy));
+    for i in 0..h {
+        for j in 0..w {
+            let gv = g.at(i, j);
+            let c = i * w + j;
+            // Mirror closure: out-of-range taps fold back onto the center.
+            if j + 1 < w {
+                out.a[i * w + j + 1] += gv * rx;
+            } else {
+                out.a[c] += gv * rx;
+            }
+            if j > 0 {
+                out.a[i * w + j - 1] += gv * rx;
+            } else {
+                out.a[c] += gv * rx;
+            }
+            if i + 1 < h {
+                out.a[(i + 1) * w + j] += gv * ry;
+            } else {
+                out.a[c] += gv * ry;
+            }
+            if i > 0 {
+                out.a[(i - 1) * w + j] += gv * ry;
+            } else {
+                out.a[c] += gv * ry;
+            }
+            out.a[c] -= 2.0 * gv * (rx + ry);
+        }
+    }
+    out
+}
+
+/// The PDE residual loss on one patch and its gradient with respect to
+/// `(u, v, p)` (the `nu_tilde` channel is frozen).
+///
+/// Returns `(loss, du, dv, dp)` with
+/// `loss = mean over (3 equations x cells) of r^2`.
+pub fn residual_loss_and_grad(
+    u: &Field,
+    v: &Field,
+    p: &Field,
+    nu_eff: &Field,
+    dy: f64,
+    dx: f64,
+) -> (f64, Field, Field, Field) {
+    let (h, w) = (u.h, u.w);
+    let n = (3 * h * w) as f64;
+
+    let ux = ddx(u, dx);
+    let uy = ddy(u, dy);
+    let vx = ddx(v, dx);
+    let vy = ddy(v, dy);
+    let px = ddx(p, dx);
+    let py = ddy(p, dy);
+    let lu = laplacian(u, dy, dx);
+    let lv = laplacian(v, dy, dx);
+
+    let mut r1 = Field::zeros(h, w);
+    let mut r2 = Field::zeros(h, w);
+    let mut r3 = Field::zeros(h, w);
+    let mut loss = 0.0;
+    for k in 0..h * w {
+        r1.a[k] = ux.a[k] + vy.a[k];
+        r2.a[k] = u.a[k] * ux.a[k] + v.a[k] * uy.a[k] + px.a[k] - nu_eff.a[k] * lu.a[k];
+        r3.a[k] = u.a[k] * vx.a[k] + v.a[k] * vy.a[k] + py.a[k] - nu_eff.a[k] * lv.a[k];
+        loss += r1.a[k] * r1.a[k] + r2.a[k] * r2.a[k] + r3.a[k] * r3.a[k];
+    }
+    loss /= n;
+
+    // g_k = dL/dr_k = 2 r_k / n.
+    let mut g1 = r1.clone();
+    let mut g2 = r2.clone();
+    let mut g3 = r3.clone();
+    for k in 0..h * w {
+        g1.a[k] *= 2.0 / n;
+        g2.a[k] *= 2.0 / n;
+        g3.a[k] *= 2.0 / n;
+    }
+
+    // Pointwise products needed for the chain rule.
+    let mul = |a: &Field, b: &Field| -> Field {
+        let mut out = Field::zeros(h, w);
+        for k in 0..h * w {
+            out.a[k] = a.a[k] * b.a[k];
+        }
+        out
+    };
+    let add3 = |a: Field, b: Field, c: Field| -> Field {
+        let mut out = a;
+        for k in 0..h * w {
+            out.a[k] += b.a[k] + c.a[k];
+        }
+        out
+    };
+
+    // du = Dx^T g1 + g2 * ux + Dx^T(g2*u) + Dy^T(g2*v) + g3 * vx - L^T(nu_eff*g2)
+    let mut du = add3(
+        ddx_adjoint(&g1, dx),
+        mul(&g2, &ux),
+        ddx_adjoint(&mul(&g2, u), dx),
+    );
+    {
+        let t1 = ddy_adjoint(&mul(&g2, v), dy);
+        let t2 = mul(&g3, &vx);
+        let t3 = laplacian_adjoint(&mul(&g2, nu_eff), dy, dx);
+        for k in 0..h * w {
+            du.a[k] += t1.a[k] + t2.a[k] - t3.a[k];
+        }
+    }
+
+    // dv = Dy^T g1 + g2 * uy + g3 * vy + Dx^T(g3*u) + Dy^T(g3*v) - L^T(nu_eff*g3)
+    let mut dv = add3(
+        ddy_adjoint(&g1, dy),
+        mul(&g2, &uy),
+        mul(&g3, &vy),
+    );
+    {
+        let t1 = ddx_adjoint(&mul(&g3, u), dx);
+        let t2 = ddy_adjoint(&mul(&g3, v), dy);
+        let t3 = laplacian_adjoint(&mul(&g3, nu_eff), dy, dx);
+        for k in 0..h * w {
+            dv.a[k] += t1.a[k] + t2.a[k] - t3.a[k];
+        }
+    }
+
+    // dp = Dx^T g2 + Dy^T g3
+    let mut dp = ddx_adjoint(&g2, dx);
+    {
+        let t = ddy_adjoint(&g3, dy);
+        for k in 0..h * w {
+            dp.a[k] += t.a[k];
+        }
+    }
+
+    (loss, du, dv, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(h: usize, w: usize, seed: u64) -> Field {
+        let mut f = Field::zeros(h, w);
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for v in &mut f.a {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+        }
+        f
+    }
+
+    fn dot(a: &Field, b: &Field) -> f64 {
+        a.a.iter().zip(&b.a).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn ddx_exact_on_linear() {
+        let f = Field {
+            h: 3,
+            w: 5,
+            a: (0..15).map(|k| 2.0 * (k % 5) as f64).collect(),
+        };
+        let d = ddx(&f, 0.5);
+        for &v in &d.a {
+            assert!((v - 4.0).abs() < 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn ddy_exact_on_linear() {
+        let f = Field {
+            h: 4,
+            w: 3,
+            a: (0..12).map(|k| 3.0 * (k / 3) as f64).collect(),
+        };
+        let d = ddy(&f, 0.25);
+        for &v in &d.a {
+            assert!((v - 12.0).abs() < 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn laplacian_zero_on_linear_interior() {
+        let f = Field {
+            h: 5,
+            w: 5,
+            a: (0..25).map(|k| (k % 5) as f64 + 2.0 * (k / 5) as f64).collect(),
+        };
+        let l = laplacian(&f, 1.0, 1.0);
+        // Interior cells exactly zero (linear field).
+        for i in 1..4 {
+            for j in 1..4 {
+                assert!(l.at(i, j).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_adjoints_satisfy_inner_product_identity() {
+        let x = pseudo(6, 7, 1);
+        let y = pseudo(6, 7, 2);
+        for (op, adj) in [
+            (ddx(&x, 0.3), ddx_adjoint(&y, 0.3)),
+            (ddy(&x, 0.4), ddy_adjoint(&y, 0.4)),
+            (laplacian(&x, 0.3, 0.7), laplacian_adjoint(&y, 0.3, 0.7)),
+        ] {
+            let lhs = dot(&op, &y);
+            let rhs = dot(&x, &adj);
+            assert!(
+                (lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()),
+                "adjoint mismatch: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_zero_for_uniform_flow() {
+        let h = 5;
+        let w = 6;
+        let u = Field {
+            h,
+            w,
+            a: vec![1.0; h * w],
+        };
+        let v = Field::zeros(h, w);
+        let p = Field::zeros(h, w);
+        let nu = Field {
+            h,
+            w,
+            a: vec![1e-5; h * w],
+        };
+        let (loss, du, dv, dp) = residual_loss_and_grad(&u, &v, &p, &nu, 0.1, 0.1);
+        assert!(loss < 1e-24, "{loss}");
+        assert!(du.a.iter().all(|&g| g.abs() < 1e-12));
+        assert!(dv.a.iter().all(|&g| g.abs() < 1e-12));
+        assert!(dp.a.iter().all(|&g| g.abs() < 1e-12));
+    }
+
+    #[test]
+    fn residual_gradient_matches_finite_difference() {
+        let h = 4;
+        let w = 5;
+        let mut u = pseudo(h, w, 3);
+        let mut v = pseudo(h, w, 4);
+        let mut p = pseudo(h, w, 5);
+        let nu = Field {
+            h,
+            w,
+            a: vec![0.05; h * w],
+        };
+        let (dy, dx) = (0.3, 0.4);
+        let (_, du, dv, dp) = residual_loss_and_grad(&u, &v, &p, &nu, dy, dx);
+
+        let eps = 1e-6;
+        let loss_of = |u: &Field, v: &Field, p: &Field| -> f64 {
+            residual_loss_and_grad(u, v, p, &nu, dy, dx).0
+        };
+        for k in [0usize, 7, 13, 19] {
+            // u
+            let orig = u.a[k];
+            u.a[k] = orig + eps;
+            let lp = loss_of(&u, &v, &p);
+            u.a[k] = orig - eps;
+            let lm = loss_of(&u, &v, &p);
+            u.a[k] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - du.a[k]).abs() < 1e-6 * (1.0 + num.abs()),
+                "du[{k}]: {num} vs {}",
+                du.a[k]
+            );
+            // v
+            let orig = v.a[k];
+            v.a[k] = orig + eps;
+            let lp = loss_of(&u, &v, &p);
+            v.a[k] = orig - eps;
+            let lm = loss_of(&u, &v, &p);
+            v.a[k] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dv.a[k]).abs() < 1e-6 * (1.0 + num.abs()),
+                "dv[{k}]: {num} vs {}",
+                dv.a[k]
+            );
+            // p
+            let orig = p.a[k];
+            p.a[k] = orig + eps;
+            let lp = loss_of(&u, &v, &p);
+            p.a[k] = orig - eps;
+            let lm = loss_of(&u, &v, &p);
+            p.a[k] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dp.a[k]).abs() < 1e-6 * (1.0 + num.abs()),
+                "dp[{k}]: {num} vs {}",
+                dp.a[k]
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The ranker: a non-trainable module that bins patches by score (§3.1).
+//!
+//! Scores arrive from the scorer's softmax as a probability distribution
+//! over patches. The paper describes binning as "splitting the 0-1 range of
+//! values of the scores into `b` bins uniformly"; since a softmax over `N`
+//! patches concentrates mass near `1/N`, we first min-max rescale the
+//! scores across the sample so the full `[0, 1]` range is used (otherwise
+//! every patch would land in bin 0 — a detail the paper leaves implicit).
+//! The highest bin maps to the highest target resolution.
+
+use adarnet_amr::{PatchLayout, RefinementMap};
+use adarnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Binning configuration: `b` bins over the rescaled score range.
+///
+/// ```
+/// use adarnet_core::Ranker;
+///
+/// let ranker = Ranker::paper(); // b = 4 bins, levels 0..=3
+/// let binning = ranker.bin_scores(&[0.01, 0.2, 0.6, 0.99]);
+/// assert_eq!(binning.bin_of_patch, vec![0, 0, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ranker {
+    /// Number of bins (4 in the paper, so refinement factors 4^0..4^3).
+    pub bins: u8,
+}
+
+/// The ranker's output: a per-patch bin index (= refinement level) plus the
+/// patch IDs gathered per bin, ready for per-bin decoder batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binning {
+    /// Per-patch bin index, row-major over the patch grid.
+    pub bin_of_patch: Vec<u8>,
+    /// Patch indices per bin (`groups[b]` lists the patches in bin `b`).
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl Ranker {
+    /// Create a ranker with `bins >= 1` bins.
+    pub fn new(bins: u8) -> Ranker {
+        assert!(bins >= 1, "need at least one bin");
+        Ranker { bins }
+    }
+
+    /// The paper's configuration: b = 4 (§4.2).
+    pub fn paper() -> Ranker {
+        Ranker::new(4)
+    }
+
+    /// Bin a flat slice of patch scores.
+    pub fn bin_scores(&self, scores: &[f64]) -> Binning {
+        assert!(!scores.is_empty(), "no scores to bin");
+        let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-300);
+        let b = self.bins as usize;
+        let mut bin_of_patch = Vec::with_capacity(scores.len());
+        let mut groups = vec![Vec::new(); b];
+        for (i, &s) in scores.iter().enumerate() {
+            let t = if hi > lo { (s - lo) / span } else { 0.0 };
+            // t = 1.0 must land in the last bin, not overflow it.
+            let bin = ((t * b as f64) as usize).min(b - 1) as u8;
+            bin_of_patch.push(bin);
+            groups[bin as usize].push(i);
+        }
+        Binning {
+            bin_of_patch,
+            groups,
+        }
+    }
+
+    /// Bin a `(1, NPy, NPx)` or `(NPy, NPx)` score tensor from the scorer.
+    pub fn bin_tensor(&self, scores: &Tensor<f32>) -> Binning {
+        let flat: Vec<f64> = scores.as_slice().iter().map(|&v| v as f64).collect();
+        self.bin_scores(&flat)
+    }
+
+    /// Convert a binning into a [`RefinementMap`] on the given layout
+    /// (bin index = refinement level; this is the one-shot mesh ADARNet
+    /// outputs).
+    pub fn to_refinement_map(&self, binning: &Binning, layout: PatchLayout) -> RefinementMap {
+        assert_eq!(
+            binning.bin_of_patch.len(),
+            layout.num_patches(),
+            "binning does not match layout"
+        );
+        RefinementMap::from_levels(layout, binning.bin_of_patch.clone(), self.bins - 1)
+    }
+}
+
+impl Binning {
+    /// Refinement level (== bin index) of patch `idx`.
+    pub fn level_of(&self, idx: usize) -> u8 {
+        self.bin_of_patch[idx]
+    }
+
+    /// Number of non-empty bins.
+    pub fn occupied_bins(&self) -> usize {
+        self.groups.iter().filter(|g| !g.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_invariant_every_patch_in_exactly_one_bin() {
+        let r = Ranker::paper();
+        let scores: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin().abs() / 64.0).collect();
+        let b = r.bin_scores(&scores);
+        let total: usize = b.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 64);
+        for (bin, group) in b.groups.iter().enumerate() {
+            for &i in group {
+                assert_eq!(b.bin_of_patch[i] as usize, bin);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_score_to_level() {
+        let r = Ranker::paper();
+        let scores = vec![0.0, 0.1, 0.5, 0.9, 1.0];
+        let b = r.bin_scores(&scores);
+        for w in b.bin_of_patch.windows(2) {
+            assert!(w[0] <= w[1], "{:?}", b.bin_of_patch);
+        }
+        assert_eq!(b.bin_of_patch[0], 0);
+        assert_eq!(*b.bin_of_patch.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn min_max_rescaling_spreads_softmax_scores() {
+        // Softmax-like scores all near 1/N still spread across bins.
+        let r = Ranker::paper();
+        let scores = vec![0.0155, 0.0156, 0.0158, 0.0160];
+        let b = r.bin_scores(&scores);
+        assert_eq!(b.bin_of_patch[0], 0);
+        assert_eq!(b.bin_of_patch[3], 3);
+    }
+
+    #[test]
+    fn constant_scores_all_lowest_bin() {
+        let r = Ranker::paper();
+        let b = r.bin_scores(&[0.25; 16]);
+        assert!(b.bin_of_patch.iter().all(|&v| v == 0));
+        assert_eq!(b.occupied_bins(), 1);
+    }
+
+    #[test]
+    fn to_refinement_map_roundtrip() {
+        let r = Ranker::paper();
+        let layout = PatchLayout::new(2, 2, 4, 4);
+        let b = r.bin_scores(&[0.0, 0.3, 0.6, 1.0]);
+        let map = r.to_refinement_map(&b, layout);
+        assert_eq!(map.levels(), &[0, 1, 2, 3]);
+        assert_eq!(map.max_level(), 3);
+    }
+
+    #[test]
+    fn two_bins_split_at_half() {
+        let r = Ranker::new(2);
+        let b = r.bin_scores(&[0.0, 0.49, 0.51, 1.0]);
+        assert_eq!(b.bin_of_patch, vec![0, 0, 1, 1]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Learning-rate schedules and early stopping for longer training runs.
+//!
+//! The paper trains at a fixed 1e-4 for 350 epochs; these utilities cover
+//! the standard variations users reach for when scaling the reproduction
+//! up or down.
+
+/// A learning-rate schedule: maps epoch index to a multiplier on the base
+/// learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate (the paper's setting).
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Decay interval in epochs.
+        every: usize,
+        /// Multiplier applied per interval.
+        gamma: f64,
+    },
+    /// Cosine annealing from 1.0 to `floor` over `total` epochs.
+    Cosine {
+        /// Total epochs of the run.
+        total: usize,
+        /// Final multiplier.
+        floor: f64,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier for `epoch` (0-based).
+    pub fn factor(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => {
+                assert!(every > 0, "decay interval must be positive");
+                gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { total, floor } => {
+                if total <= 1 {
+                    return floor;
+                }
+                let t = (epoch.min(total - 1)) as f64 / (total - 1) as f64;
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f64::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// Early stopping on validation loss: stop when no improvement larger
+/// than `min_delta` occurs within `patience` epochs.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    /// Epochs to wait for improvement.
+    pub patience: usize,
+    /// Minimum improvement to reset the counter.
+    pub min_delta: f64,
+    best: f64,
+    since_best: usize,
+}
+
+impl EarlyStopping {
+    /// Create a stopper.
+    pub fn new(patience: usize, min_delta: f64) -> EarlyStopping {
+        EarlyStopping {
+            patience,
+            min_delta,
+            best: f64::INFINITY,
+            since_best: 0,
+        }
+    }
+
+    /// Record a validation loss; returns true if training should stop.
+    pub fn update(&mut self, val_loss: f64) -> bool {
+        if val_loss < self.best - self.min_delta {
+            self.best = val_loss;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        self.since_best > self.patience
+    }
+
+    /// Best validation loss seen so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for e in [0, 10, 349] {
+            assert_eq!(LrSchedule::Constant.factor(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_monotone_and_bounded() {
+        let s = LrSchedule::Cosine {
+            total: 100,
+            floor: 0.01,
+        };
+        assert!((s.factor(0) - 1.0).abs() < 1e-12);
+        assert!((s.factor(99) - 0.01).abs() < 1e-12);
+        let mut prev = 2.0;
+        for e in 0..100 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-12, "not monotone at {e}");
+            assert!((0.01..=1.0).contains(&f));
+            prev = f;
+        }
+        // Past the end stays at the floor.
+        assert!((s.factor(500) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_stopping_triggers_after_patience() {
+        let mut es = EarlyStopping::new(2, 1e-6);
+        assert!(!es.update(1.0));
+        assert!(!es.update(0.9)); // improvement
+        assert!(!es.update(0.95)); // 1 epoch without improvement
+        assert!(!es.update(0.91)); // 2
+        assert!(es.update(0.92)); // 3 > patience
+        assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn early_stopping_resets_on_improvement() {
+        let mut es = EarlyStopping::new(1, 0.0);
+        assert!(!es.update(1.0));
+        assert!(!es.update(1.1));
+        assert!(!es.update(0.5)); // reset
+        assert!(!es.update(0.6));
+        assert!(es.update(0.6));
+    }
+}

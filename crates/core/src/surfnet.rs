@@ -1,0 +1,103 @@
+//! SURFNet-class baseline: **uniform** super-resolution (Obiols-Sales et
+//! al., PACT 2021), rebuilt as the comparison target for Table 2 and
+//! Figure 1.
+//!
+//! The baseline upsamples the entire LR field to the target resolution
+//! (bicubic), appends global coordinates, and runs a full-resolution
+//! convolutional decode — every pixel of the domain pays HR inference
+//! cost, which is exactly the inefficiency ADARNet removes. The conv stack
+//! reuses the verified [`Decoder`] architecture so the comparison isolates
+//! *uniform vs non-uniform* rather than architecture differences.
+
+use adarnet_nn::bicubic_resize3;
+use adarnet_tensor::{Shape, Tensor};
+
+use crate::decoder::Decoder;
+
+/// The uniform-SR baseline network.
+pub struct SurfNet {
+    decoder: Decoder,
+    /// Per-side upscale factor (8 for the paper's 64x SR).
+    pub scale: usize,
+}
+
+impl SurfNet {
+    /// Build a SURFNet for `scale`x per-side SR (64x cells at `scale = 8`).
+    pub fn new(scale: usize, seed: u64) -> SurfNet {
+        assert!(scale >= 1, "scale must be positive");
+        // 4 flow channels + 2 coordinate channels.
+        SurfNet {
+            decoder: Decoder::new(6, seed),
+            scale,
+        }
+    }
+
+    /// Uniform SR of a `(4, H, W)` LR field to `(4, H*scale, W*scale)`.
+    pub fn predict(&mut self, lr: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(lr.shape().rank(), 3, "expected (C, H, W)");
+        assert_eq!(lr.dim(0), 4, "expected 4 channels");
+        let (h, w) = (lr.dim(1), lr.dim(2));
+        let (th, tw) = (h * self.scale, w * self.scale);
+        let up = bicubic_resize3(lr, th, tw);
+        let mut with_coords = Tensor::<f32>::zeros(Shape::d3(6, th, tw));
+        with_coords.as_mut_slice()[..4 * th * tw].copy_from_slice(up.as_slice());
+        for i in 0..th {
+            let yc = (i as f32 + 0.5) / th as f32;
+            for j in 0..tw {
+                let xc = (j as f32 + 0.5) / tw as f32;
+                with_coords.set3(4, i, j, xc);
+                with_coords.set3(5, i, j, yc);
+            }
+        }
+        let batch = with_coords.reshape(Shape::d4(1, 6, th, tw));
+        let out = self.decoder.forward(&batch);
+        out.image(0)
+    }
+
+    /// Number of output cells for an `(h, w)` LR input — always the full
+    /// uniform HR extent (contrast with ADARNet's active cells).
+    pub fn output_cells(&self, h: usize, w: usize) -> usize {
+        h * self.scale * w * self.scale
+    }
+
+    /// Mutable parameter views (for loading trained weights).
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor<f32>> {
+        self.decoder.params_mut()
+    }
+
+    /// Trainable scalar count.
+    pub fn num_params(&self) -> usize {
+        self.decoder.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_output_shape() {
+        let mut s = SurfNet::new(4, 0);
+        let lr = Tensor::<f32>::full(Shape::d3(4, 8, 16), 0.3);
+        let hr = s.predict(&lr);
+        assert_eq!(hr.shape(), &Shape::d3(4, 32, 64));
+        assert_eq!(s.output_cells(8, 16), 32 * 64);
+    }
+
+    #[test]
+    fn every_pixel_is_hr_no_savings() {
+        // The defining property vs ADARNet: output cells = scale^2 * input.
+        let s = SurfNet::new(8, 1);
+        assert_eq!(s.output_cells(64, 256), 64 * 256 * 64);
+    }
+
+    #[test]
+    fn output_finite() {
+        let mut s = SurfNet::new(2, 2);
+        let lr = Tensor::from_vec(
+            Shape::d3(4, 8, 8),
+            (0..256).map(|i| (i as f32 * 0.05).sin()).collect(),
+        );
+        assert!(s.predict(&lr).all_finite());
+    }
+}

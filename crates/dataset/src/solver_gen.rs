@@ -1,0 +1,51 @@
+//! Full-fidelity sample generation through the RANS solver.
+//!
+//! This is the paper's actual data-collection path (§4.1): run the physics
+//! solver on the LR mesh to steady state and record the four flow
+//! variables. It is orders of magnitude slower than [`crate::synthetic`],
+//! so the default training pipeline uses the synthetic models and this
+//! module serves spot checks, examples, and anyone with compute to spare.
+
+use adarnet_amr::{PatchLayout, RefinementMap};
+use adarnet_cfd::{CaseConfig, CaseMesh, RansSolver, SolverConfig};
+use adarnet_tensor::Tensor;
+
+/// Solve `case` on a uniform level-0 mesh with the given layout and return
+/// the steady LR field as a `(4, H, W)` tensor, along with the solver's
+/// iteration count.
+pub fn solve_lr_sample(
+    case: &CaseConfig,
+    layout: PatchLayout,
+    cfg: SolverConfig,
+) -> (Tensor<f32>, u64) {
+    let map = RefinementMap::uniform(layout, 0, 3);
+    let mesh = CaseMesh::new(case.clone(), map);
+    let mut solver = RansSolver::new(mesh, cfg);
+    let stats = solver.solve_to_convergence();
+    (solver.state.to_tensor(0), stats.iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_sample_has_boundary_layer_structure() {
+        let mut case = CaseConfig::channel(2.5e3);
+        case.lx = 1.0; // short channel for test speed
+        let layout = PatchLayout::new(2, 8, 8, 8);
+        let cfg = SolverConfig {
+            max_iters: 2500,
+            ..SolverConfig::default()
+        };
+        let (t, iters) = solve_lr_sample(&case, layout, cfg);
+        assert!(iters > 0);
+        assert_eq!(t.dim(0), 4);
+        assert!(t.all_finite());
+        // Wall-adjacent row slower than centerline (the structure the
+        // synthetic model imitates).
+        let wall = t.get3(0, 0, 48);
+        let center = t.get3(0, 8, 48);
+        assert!(wall < center, "wall {wall} center {center}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Fast parameterized synthetic flow fields.
+//!
+//! The paper trains on 30 000 solver-generated LR samples (10 000 per
+//! canonical flow, §4.1) on a GPU cluster. On a single CPU core we
+//! substitute closed-form approximations of the same steady RANS solutions
+//! (DESIGN.md §2): 1/7th-power-law profiles for the wall-bounded flows and
+//! potential flow plus a wake-deficit model for the body flows. These have
+//! the gradient structure that drives the scorer/ranker (thin near-wall
+//! layers, wakes, smooth freestream), at a per-sample cost of microseconds
+//! instead of solver minutes. Full-fidelity solver samples remain available
+//! through [`crate::solver_gen`].
+
+use adarnet_cfd::{CaseConfig, NU};
+use adarnet_tensor::{Shape, Tensor};
+
+/// Evaluate the 4-channel (U, V, p, nu_tilde) field of a case on an
+/// `h x w` cell-centered grid from its closed-form model.
+pub fn synthesize(case: &CaseConfig, h: usize, w: usize) -> Tensor<f32> {
+    let mut t = Tensor::<f32>::zeros(Shape::d3(4, h, w));
+    let dx = case.lx / w as f64;
+    let dy = case.ly / h as f64;
+    for i in 0..h {
+        let y = (i as f64 + 0.5) * dy;
+        for j in 0..w {
+            let x = (j as f64 + 0.5) * dx;
+            let (u, v, p, nt) = point_value(case, x, y);
+            t.set3(0, i, j, u as f32);
+            t.set3(1, i, j, v as f32);
+            t.set3(2, i, j, p as f32);
+            t.set3(3, i, j, nt as f32);
+        }
+    }
+    t
+}
+
+/// The pointwise synthetic model behind [`synthesize`].
+pub fn point_value(case: &CaseConfig, x: f64, y: f64) -> (f64, f64, f64, f64) {
+    if let Some(body) = &case.body {
+        return body_flow(case, body, x, y);
+    }
+    if case.top == adarnet_cfd::SideBc::Wall {
+        channel_flow(case, x, y)
+    } else {
+        flat_plate_flow(case, x, y)
+    }
+}
+
+/// Turbulent channel: 1/7th power-law profile symmetric about the
+/// centerline, linear streamwise pressure drop, parabolic eddy-viscosity
+/// shape vanishing at both walls.
+fn channel_flow(case: &CaseConfig, x: f64, y: f64) -> (f64, f64, f64, f64) {
+    let d = case.ly;
+    let eta = (2.0 * y / d - 1.0).abs().min(1.0); // 0 centerline, 1 walls
+    // Bulk-preserving power law: u_max such that mean(u) = u_in.
+    // mean of (1 - eta)^(1/7) over eta in [0,1] is 7/8.
+    let u_max = case.u_in * 8.0 / 7.0;
+    let u = u_max * (1.0 - eta).powf(1.0 / 7.0);
+    let v = 0.0;
+    // Darcy-like linear pressure drop along the channel.
+    let re = case.reynolds.max(1.0);
+    let f = 0.316 / re.powf(0.25); // Blasius friction factor
+    let dpdx = -f / d * 0.5 * case.u_in * case.u_in;
+    let p = dpdx * (x - case.lx); // p = 0 at the outlet
+    // Eddy viscosity: mixing-length parabola, nu_t ~ kappa u_tau y (1 - y/D).
+    let u_tau = case.u_in * (f / 8.0).sqrt();
+    let yw = (y.min(d - y)).max(0.0);
+    let nt = (0.41 * u_tau * yw * (1.0 - yw / (0.5 * d)).max(0.0) + 3.0 * NU).max(0.0);
+    (u, v, p, nt)
+}
+
+/// Turbulent flat-plate boundary layer: delta(x) by the 1/5th-power
+/// correlation, 1/7th power-law profile inside the layer, freestream above.
+fn flat_plate_flow(case: &CaseConfig, x: f64, y: f64) -> (f64, f64, f64, f64) {
+    let u_in = case.u_in;
+    let re_x = (u_in * x.max(1e-6) / case.nu).max(1e3);
+    let delta = (0.37 * x.max(1e-6) / re_x.powf(0.2)).max(1e-6);
+    let eta = (y / delta).min(1.0);
+    let u = u_in * eta.powf(1.0 / 7.0);
+    // Wall-normal velocity from boundary-layer growth (small, positive).
+    let v = if y < delta {
+        0.125 * u_in * delta / x.max(delta) * eta
+    } else {
+        0.0
+    };
+    let p = 0.0; // zero-pressure-gradient plate
+    let cf = 0.0592 / re_x.powf(0.2);
+    let u_tau = u_in * (cf / 2.0).sqrt();
+    let nt = if y < delta {
+        (0.41 * u_tau * y * (1.0 - 0.5 * eta) + 3.0 * NU).max(0.0)
+    } else {
+        3.0 * NU
+    };
+    (u, v, p, nt)
+}
+
+/// Flow around an immersed body: potential flow around an equivalent
+/// cylinder (exact for the cylinder case) plus a Gaussian wake deficit
+/// downstream, with eddy viscosity concentrated in the wake and near the
+/// surface.
+fn body_flow(
+    case: &CaseConfig,
+    body: &adarnet_cfd::Body,
+    x: f64,
+    y: f64,
+) -> (f64, f64, f64, f64) {
+    let (xmin, ymin, xmax, ymax) = body.bbox();
+    let (cx, cy) = (0.5 * (xmin + xmax), 0.5 * (ymin + ymax));
+    let height = (ymax - ymin).max(1e-6);
+    let chord = (xmax - xmin).max(1e-6);
+    // Equivalent radius for the potential-flow dipole: geometric mean of
+    // the half extents captures both bluff and slender bodies.
+    let r_eq = 0.5 * (height * chord).sqrt();
+    let u_in = case.u_in;
+
+    if body.contains(x, y) {
+        return (0.0, 0.0, 0.0, 0.0);
+    }
+
+    let (rx, ry) = (x - cx, y - cy);
+    let r2 = (rx * rx + ry * ry).max(0.25 * r_eq * r_eq);
+    let a2 = r_eq * r_eq;
+    // Potential flow around a cylinder of radius r_eq.
+    let mut u = u_in * (1.0 - a2 * (rx * rx - ry * ry) / (r2 * r2));
+    let v = u_in * (-a2 * 2.0 * rx * ry / (r2 * r2));
+    // Bernoulli pressure.
+    let mut p = 0.5 * (u_in * u_in - (u * u + v * v));
+
+    // Wake deficit behind the body: bluffness scales the deficit strength
+    // (cylinders separate; slender airfoils keep attached flow).
+    let bluffness = (height / chord).min(1.0);
+    let mut nt = 3.0 * NU;
+    if rx > 0.0 {
+        let wake_w = 0.5 * height + 0.1 * bluffness * rx; // spreading
+        let g = (-0.5 * (ry / wake_w) * (ry / wake_w)).exp();
+        let decay = 1.0 / (1.0 + rx / (2.0 * chord));
+        let deficit = 0.6 * bluffness * u_in * g * decay;
+        u -= deficit;
+        p -= 0.25 * deficit * u_in * g;
+        // Wake turbulence.
+        nt += 0.05 * bluffness * u_in * height * g * decay;
+    }
+    // Near-surface turbulence collar.
+    let d = body.distance(x, y);
+    let collar = (-d / (0.15 * height)).exp();
+    nt += 0.02 * u_in * height * collar;
+
+    (u, v, p, nt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_cfd::CaseConfig;
+
+    #[test]
+    fn channel_profile_shape() {
+        let case = CaseConfig::channel(2.5e3);
+        let t = synthesize(&case, 16, 64);
+        assert_eq!(t.shape(), &Shape::d3(4, 16, 64));
+        // Centerline faster than near-wall.
+        let wall = t.get3(0, 0, 32);
+        let center = t.get3(0, 8, 32);
+        assert!(center > wall, "center {center} wall {wall}");
+        // Symmetric about the centerline.
+        let top = t.get3(0, 15, 32);
+        assert!((wall - top).abs() < 1e-5);
+        // Pressure decreases downstream.
+        assert!(t.get3(2, 8, 0) > t.get3(2, 8, 63));
+        // nu_tilde vanishes-ish at walls, peaks off-center.
+        assert!(t.get3(3, 4, 32) > t.get3(3, 0, 32));
+    }
+
+    #[test]
+    fn channel_bulk_velocity_matches_u_in() {
+        let case = CaseConfig::channel(1e4);
+        let t = synthesize(&case, 64, 8);
+        let mut mean = 0.0f64;
+        for i in 0..64 {
+            mean += t.get3(0, i, 4) as f64;
+        }
+        mean /= 64.0;
+        assert!(
+            (mean - case.u_in).abs() / case.u_in < 0.05,
+            "bulk {mean} vs {}",
+            case.u_in
+        );
+    }
+
+    #[test]
+    fn plate_boundary_layer_grows_downstream() {
+        let case = CaseConfig::flat_plate(2.5e5);
+        let t = synthesize(&case, 32, 128);
+        // At a fixed small height, u is lower (inside the BL) farther
+        // downstream where the layer is thicker.
+        let up = t.get3(0, 1, 16);
+        let down = t.get3(0, 1, 120);
+        assert!(down < up, "BL not growing: up {up} down {down}");
+        // Freestream is undisturbed at the top.
+        assert!((t.get3(0, 31, 64) - case.u_in as f32).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cylinder_has_stagnation_and_wake() {
+        let case = CaseConfig::cylinder(1e5);
+        let t = synthesize(&case, 32, 128);
+        let u_in = case.u_in as f32;
+        // Upstream of the body (x ~ 1.3, y = 1): slowed by the dipole.
+        let j_up = (1.3 / 8.0 * 128.0) as usize;
+        let i_mid = 16;
+        assert!(t.get3(0, i_mid, j_up) < u_in);
+        // Wake deficit behind the body (x ~ 3.5).
+        let j_wake = (3.5 / 8.0 * 128.0) as usize;
+        assert!(t.get3(0, i_mid, j_wake) < 0.8 * u_in, "{}", t.get3(0, i_mid, j_wake));
+        // Far field (top edge) close to freestream.
+        assert!((t.get3(0, 31, 64) - u_in).abs() / u_in < 0.2);
+        // Wake nu_tilde well above freestream level.
+        assert!(t.get3(3, i_mid, j_wake) > 10.0 * 3e-5);
+        // Solid cells zeroed.
+        let j_body = (2.0 / 8.0 * 128.0) as usize;
+        assert_eq!(t.get3(0, i_mid, j_body), 0.0);
+    }
+
+    #[test]
+    fn airfoil_wake_weaker_than_cylinder() {
+        let cyl = synthesize(&CaseConfig::cylinder(1e5), 32, 128);
+        let foil = synthesize(&CaseConfig::naca0012(1e5), 32, 128);
+        let j_wake = (3.5 / 8.0 * 128.0) as usize;
+        let u_cyl = cyl.get3(0, 16, j_wake);
+        let u_foil = foil.get3(0, 16, j_wake);
+        // Slender airfoil leaves a much weaker wake (paper §5.1: attached
+        // flow vs separation).
+        assert!(u_foil > u_cyl, "foil {u_foil} cyl {u_cyl}");
+    }
+
+    #[test]
+    fn all_fields_finite() {
+        for case in [
+            CaseConfig::channel(2.5e3),
+            CaseConfig::flat_plate(1.35e6),
+            CaseConfig::cylinder(1e5),
+            CaseConfig::naca1412(2.5e4),
+            CaseConfig::ellipse(0.25, 3.0, 7e4),
+        ] {
+            let t = synthesize(&case, 16, 64);
+            assert!(t.all_finite(), "{} produced non-finite values", case.name);
+        }
+    }
+}

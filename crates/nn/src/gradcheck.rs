@@ -1,0 +1,153 @@
+//! Finite-difference gradient verification.
+//!
+//! Every layer's analytic backward pass is validated against central
+//! differences of a scalar probe loss. The probe is `L = sum(y * r)` for a
+//! fixed pseudo-random tensor `r`, which exercises all output positions
+//! with distinct weights (a plain `sum(y)` probe can hide sign errors that
+//! cancel).
+
+use adarnet_tensor::{Shape, Tensor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Layer, F};
+
+/// Result of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest relative error between analytic and numeric input gradients.
+    pub max_rel_err: f64,
+    /// Largest relative error across parameter gradients (0 if no params).
+    pub max_param_rel_err: f64,
+    /// Number of input entries probed.
+    pub probed_inputs: usize,
+    /// Number of parameter entries probed.
+    pub probed_params: usize,
+}
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / (1.0 + a.abs().max(b.abs()))
+}
+
+/// Check a layer's input and parameter gradients at a pseudo-random input of
+/// the given shape. `eps` is the central-difference step (1e-2..1e-3 works
+/// well in f32).
+pub fn check_layer_gradients(
+    layer: &mut dyn Layer,
+    in_shape: Shape,
+    seed: u64,
+    eps: f64,
+) -> GradCheckReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = in_shape.numel();
+    let mut x = Tensor::from_vec(
+        in_shape.clone(),
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<F>>(),
+    );
+
+    let y0 = layer.forward(&x);
+    let r = Tensor::from_vec(
+        y0.shape().clone(),
+        (0..y0.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<F>>(),
+    );
+
+    // Analytic gradients.
+    layer.zero_grads();
+    let _ = layer.forward(&x);
+    let dx = layer.backward(&r);
+    let param_grads: Vec<Tensor<F>> = layer.grads().into_iter().cloned().collect();
+
+    let loss = |layer: &mut dyn Layer, x: &Tensor<F>| -> f64 {
+        let y = layer.forward(x);
+        y.dot(&r)
+    };
+
+    // Probe a bounded number of input entries (all if small).
+    let max_probes = 24usize.min(n);
+    let stride = (n / max_probes).max(1);
+    let mut max_rel = 0.0f64;
+    let mut probed_inputs = 0usize;
+    for idx in (0..n).step_by(stride).take(max_probes) {
+        let orig = x.as_slice()[idx];
+        x.as_mut_slice()[idx] = orig + eps as F;
+        let lp = loss(layer, &x);
+        x.as_mut_slice()[idx] = orig - eps as F;
+        let lm = loss(layer, &x);
+        x.as_mut_slice()[idx] = orig;
+        let num = (lp - lm) / (2.0 * eps);
+        max_rel = max_rel.max(rel_err(num, dx.as_slice()[idx] as f64));
+        probed_inputs += 1;
+    }
+
+    // Probe parameter gradients.
+    let mut max_param_rel = 0.0f64;
+    let mut probed_params = 0usize;
+    let n_params = layer.params().len();
+    for pi in 0..n_params {
+        let plen = layer.params()[pi].len();
+        if plen == 0 {
+            continue;
+        }
+        let probes = 6usize.min(plen);
+        let pstride = (plen / probes).max(1);
+        for idx in (0..plen).step_by(pstride).take(probes) {
+            let orig = layer.params_mut()[pi].as_slice()[idx];
+            layer.params_mut()[pi].as_mut_slice()[idx] = orig + eps as F;
+            let lp = loss(layer, &x);
+            layer.params_mut()[pi].as_mut_slice()[idx] = orig - eps as F;
+            let lm = loss(layer, &x);
+            layer.params_mut()[pi].as_mut_slice()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            max_param_rel = max_param_rel.max(rel_err(num, param_grads[pi].as_slice()[idx] as f64));
+            probed_params += 1;
+        }
+    }
+
+    GradCheckReport {
+        max_rel_err: max_rel,
+        max_param_rel_err: max_param_rel,
+        probed_inputs,
+        probed_params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Conv2d, Initializer, Layer};
+
+    #[test]
+    fn passes_for_correct_layer() {
+        let mut l = Conv2d::new(1, 2, 3, Initializer::XavierUniform, 5);
+        let r = check_layer_gradients(&mut l, Shape::d4(1, 1, 4, 4), 1, 1e-2);
+        assert!(r.max_rel_err < 2e-2, "{r:?}");
+        assert!(r.max_param_rel_err < 2e-2, "{r:?}");
+        assert!(r.probed_inputs > 0 && r.probed_params > 0);
+    }
+
+    /// A deliberately broken layer: backward returns 2x the right gradient.
+    struct BrokenDouble {
+        inner: Activation,
+    }
+
+    impl Layer for BrokenDouble {
+        fn name(&self) -> String {
+            "BrokenDouble".into()
+        }
+        fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+            self.inner.forward(x)
+        }
+        fn backward(&mut self, g: &Tensor<F>) -> Tensor<F> {
+            self.inner.backward(g).scale(2.0)
+        }
+    }
+
+    #[test]
+    fn catches_broken_gradients() {
+        let mut l = BrokenDouble {
+            inner: Activation::tanh(),
+        };
+        let r = check_layer_gradients(&mut l, Shape::d2(2, 4), 3, 1e-3);
+        assert!(r.max_rel_err > 0.05, "broken layer passed: {r:?}");
+    }
+}

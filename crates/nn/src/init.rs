@@ -1,0 +1,108 @@
+//! Weight initialization schemes.
+//!
+//! Deterministic given a seed (via ChaCha8), so training runs and tests are
+//! reproducible across platforms.
+
+use adarnet_tensor::{Shape, Tensor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::F;
+
+/// Initialization scheme for trainable weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initializer {
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    /// Good default for tanh/linear layers.
+    XavierUniform,
+    /// He normal: `N(0, sqrt(2 / fan_in))`. Good default for ReLU layers.
+    HeNormal,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+/// Sample a tensor with Xavier-uniform entries.
+pub fn xavier_uniform(shape: Shape, fan_in: usize, fan_out: usize, seed: u64) -> Tensor<F> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as F;
+    let n = shape.numel();
+    let data: Vec<F> = (0..n).map(|_| rng.gen_range(-a..=a)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Sample a tensor with He-normal entries (Box-Muller; no `rand_distr`
+/// dependency needed).
+pub fn he_normal(shape: Shape, fan_in: usize, seed: u64) -> Tensor<F> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let std = (2.0 / fan_in as f64).sqrt() as F;
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push((r * theta.cos()) as F * std);
+        if data.len() < n {
+            data.push((r * theta.sin()) as F * std);
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+impl Initializer {
+    /// Materialize a weight tensor for the given shape and fan sizes.
+    pub fn init(self, shape: Shape, fan_in: usize, fan_out: usize, seed: u64) -> Tensor<F> {
+        match self {
+            Initializer::XavierUniform => xavier_uniform(shape, fan_in, fan_out, seed),
+            Initializer::HeNormal => he_normal(shape, fan_in, seed),
+            Initializer::Zeros => Tensor::zeros(shape),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let t = xavier_uniform(Shape::d2(100, 100), 100, 100, 1);
+        let a = (6.0f64 / 200.0).sqrt() as F;
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn he_normal_has_roughly_right_std() {
+        let fan_in = 64;
+        let t = he_normal(Shape::d1(20000), fan_in, 7);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+            / t.len() as f64;
+        let target = 2.0 / fan_in as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - target).abs() / target < 0.1, "var {var} target {target}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(Shape::d1(32), 8, 8, 42);
+        let b = xavier_uniform(Shape::d1(32), 8, 8, 42);
+        assert_eq!(a, b);
+        let c = xavier_uniform(Shape::d1(32), 8, 8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zeros_init() {
+        let t = Initializer::Zeros.init(Shape::d1(8), 1, 1, 0);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn he_normal_odd_length() {
+        // Box-Muller generates pairs; odd lengths must still fill exactly.
+        let t = he_normal(Shape::d1(7), 4, 3);
+        assert_eq!(t.len(), 7);
+    }
+}

@@ -1,0 +1,569 @@
+//! Raw convolution kernels (forward and adjoints), shared by [`crate::Conv2d`]
+//! and [`crate::ConvTranspose2d`].
+//!
+//! Layouts: activations `(N, C, H, W)`, weights `(OC, IC, KH, KW)`, bias
+//! `(OC)`. Stride is 1 with symmetric zero padding `pad` (the paper's DNN
+//! uses stride 1 and "same" 3x3 convolutions everywhere). Output spatial
+//! size is `H + 2*pad - KH + 1`.
+//!
+//! Parallelism: the forward pass parallelizes over `(batch, out-channel)`
+//! planes and the input-gradient pass over `(batch, in-channel)` planes —
+//! each plane is an independent chunk of the output buffer, so rayon's
+//! `par_chunks_mut` gives race-free parallelism without locks.
+
+use adarnet_tensor::{Shape, Tensor};
+use rayon::prelude::*;
+
+use crate::F;
+
+/// Output spatial extent for stride-1 convolution.
+#[inline]
+pub fn conv_out_extent(in_extent: usize, k: usize, pad: usize) -> usize {
+    in_extent + 2 * pad + 1 - k
+}
+
+/// Stride-1 2-D convolution (cross-correlation, as in every DL framework).
+///
+/// `x`: `(N, IC, H, W)`, `w`: `(OC, IC, KH, KW)`, `bias`: `(OC)` or empty.
+pub fn conv2d_forward(x: &Tensor<F>, w: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Tensor<F> {
+    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(ic, wic, "conv2d: input channels {ic} != weight channels {wic}");
+    assert!(
+        bias.is_empty() || bias.len() == oc,
+        "conv2d: bias length {} != out channels {oc}",
+        bias.len()
+    );
+    let oh = conv_out_extent(h, kh, pad);
+    let ow = conv_out_extent(wd, kw, pad);
+    assert!(oh > 0 && ow > 0, "conv2d: kernel {kh}x{kw} larger than padded input");
+
+    let mut y = Tensor::<F>::zeros(Shape::d4(n, oc, oh, ow));
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let bs = bias.as_slice();
+    let plane = oh * ow;
+
+    y.as_mut_slice()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(p, yplane)| {
+            let ni = p / oc;
+            let oci = p % oc;
+            let b = if bs.is_empty() { 0.0 } else { bs[oci] };
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ici in 0..ic {
+                        let wbase = ((oci * ic + ici) * kh) * kw;
+                        let xbase = (ni * ic + ici) * h * wd;
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy >= h + pad {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            let wrow = wbase + ky * kw;
+                            let xrow = xbase + iy * wd;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix >= wd + pad {
+                                    continue;
+                                }
+                                acc += xs[xrow + (ix - pad)] * ws[wrow + kx];
+                            }
+                        }
+                    }
+                    yplane[oy * ow + ox] = acc;
+                }
+            }
+        });
+    y
+}
+
+/// Adjoint of [`conv2d_forward`] with respect to the input.
+///
+/// `dy`: `(N, OC, OH, OW)` -> returns `dx`: `(N, IC, H, W)`.
+pub fn conv2d_backward_input(
+    dy: &Tensor<F>,
+    w: &Tensor<F>,
+    in_h: usize,
+    in_w: usize,
+    pad: usize,
+) -> Tensor<F> {
+    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
+    let (woc, ic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(oc, woc, "conv2d backward: dy channels {oc} != weight out channels {woc}");
+    assert_eq!(oh, conv_out_extent(in_h, kh, pad), "conv2d backward: oh mismatch");
+    assert_eq!(ow, conv_out_extent(in_w, kw, pad), "conv2d backward: ow mismatch");
+
+    let mut dx = Tensor::<F>::zeros(Shape::d4(n, ic, in_h, in_w));
+    let dys = dy.as_slice();
+    let ws = w.as_slice();
+    let plane = in_h * in_w;
+
+    dx.as_mut_slice()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(p, dxplane)| {
+            let ni = p / ic;
+            let ici = p % ic;
+            // dx[iy, ix] = sum_{oc, ky, kx : oy = iy + pad - ky in range}
+            //              dy[oc, oy, ox] * w[oc, ic, ky, kx]
+            for iy in 0..in_h {
+                for ix in 0..in_w {
+                    let mut acc = 0.0f32;
+                    for oci in 0..oc {
+                        let dybase = (ni * oc + oci) * oh * ow;
+                        let wbase = ((oci * ic + ici) * kh) * kw;
+                        for ky in 0..kh {
+                            let oy = iy + pad;
+                            if oy < ky {
+                                continue;
+                            }
+                            let oy = oy - ky;
+                            if oy >= oh {
+                                continue;
+                            }
+                            let dyrow = dybase + oy * ow;
+                            let wrow = wbase + ky * kw;
+                            for kx in 0..kw {
+                                let ox = ix + pad;
+                                if ox < kx {
+                                    continue;
+                                }
+                                let ox = ox - kx;
+                                if ox >= ow {
+                                    continue;
+                                }
+                                acc += dys[dyrow + ox] * ws[wrow + kx];
+                            }
+                        }
+                    }
+                    dxplane[iy * in_w + ix] = acc;
+                }
+            }
+        });
+    dx
+}
+
+/// Accumulate weight and bias gradients for [`conv2d_forward`].
+///
+/// Adds into `dw` (`(OC, IC, KH, KW)`) and `db` (`(OC)`, may be empty to
+/// skip bias).
+pub fn conv2d_backward_params(
+    dy: &Tensor<F>,
+    x: &Tensor<F>,
+    pad: usize,
+    dw: &mut Tensor<F>,
+    db: &mut Tensor<F>,
+) {
+    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
+    let (xn, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(n, xn, "conv2d params: batch mismatch");
+    let (dwoc, dwic, kh, kw) = (dw.dim(0), dw.dim(1), dw.dim(2), dw.dim(3));
+    assert_eq!((dwoc, dwic), (oc, ic), "conv2d params: dw shape mismatch");
+
+    let dys = dy.as_slice();
+    let xs = x.as_slice();
+    let slab = ic * kh * kw;
+
+    dw.as_mut_slice()
+        .par_chunks_mut(slab)
+        .enumerate()
+        .for_each(|(oci, dwslab)| {
+            for ni in 0..n {
+                let dybase = (ni * oc + oci) * oh * ow;
+                for ici in 0..ic {
+                    let xbase = (ni * ic + ici) * h * wd;
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let mut acc = 0.0f32;
+                            for oy in 0..oh {
+                                let iy = oy + ky;
+                                if iy < pad || iy >= h + pad {
+                                    continue;
+                                }
+                                let xrow = xbase + (iy - pad) * wd;
+                                let dyrow = dybase + oy * ow;
+                                for ox in 0..ow {
+                                    let ix = ox + kx;
+                                    if ix < pad || ix >= wd + pad {
+                                        continue;
+                                    }
+                                    acc += dys[dyrow + ox] * xs[xrow + (ix - pad)];
+                                }
+                            }
+                            dwslab[(ici * kh + ky) * kw + kx] += acc;
+                        }
+                    }
+                }
+            }
+        });
+
+    if !db.is_empty() {
+        assert_eq!(db.len(), oc, "conv2d params: db length mismatch");
+        let dbs = db.as_mut_slice();
+        for ni in 0..n {
+            for oci in 0..oc {
+                let base = (ni * oc + oci) * oh * ow;
+                let mut acc = 0.0f32;
+                for k in 0..oh * ow {
+                    acc += dys[base + k];
+                }
+                dbs[oci] += acc;
+            }
+        }
+    }
+}
+
+/// im2col + GEMM convolution: identical semantics to [`conv2d_forward`],
+/// usually faster for larger spatial extents because the inner loop
+/// becomes a dense row-times-matrix product with unit-stride access.
+///
+/// The crossover is machine-dependent; [`crate::Conv2d`] switches to this
+/// path above [`GEMM_THRESHOLD`] output pixels.
+pub fn conv2d_forward_gemm(
+    x: &Tensor<F>,
+    w: &Tensor<F>,
+    bias: &Tensor<F>,
+    pad: usize,
+) -> Tensor<F> {
+    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(ic, wic, "conv2d: input channels {ic} != weight channels {wic}");
+    assert!(
+        bias.is_empty() || bias.len() == oc,
+        "conv2d: bias length {} != out channels {oc}",
+        bias.len()
+    );
+    let oh = conv_out_extent(h, kh, pad);
+    let ow = conv_out_extent(wd, kw, pad);
+    assert!(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
+
+    let k_len = ic * kh * kw;
+    let o_len = oh * ow;
+    let ws = w.as_slice();
+    let bs = bias.as_slice();
+    let mut y = Tensor::<F>::zeros(Shape::d4(n, oc, oh, ow));
+
+    // Per-batch-item: materialize the im2col matrix (k_len x o_len), then
+    // each output channel is one row-times-matrix product.
+    let mut col = vec![0.0f32; k_len * o_len];
+    for ni in 0..n {
+        let xs = x.as_slice();
+        // im2col fill: row r = (ici, ky, kx), column c = (oy, ox).
+        for ici in 0..ic {
+            let xbase = (ni * ic + ici) * h * wd;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let row = ((ici * kh + ky) * kw + kx) * o_len;
+                    for oy in 0..oh {
+                        let iy = oy + ky;
+                        let dst = row + oy * ow;
+                        if iy < pad || iy >= h + pad {
+                            col[dst..dst + ow].fill(0.0);
+                            continue;
+                        }
+                        let xrow = xbase + (iy - pad) * wd;
+                        for ox in 0..ow {
+                            let ix = ox + kx;
+                            col[dst + ox] = if ix < pad || ix >= wd + pad {
+                                0.0
+                            } else {
+                                xs[xrow + ix - pad]
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        // GEMM: y[oc_i, :] = w_row(oc_i) . col + bias.
+        let ybatch = &mut y.as_mut_slice()[ni * oc * o_len..(ni + 1) * oc * o_len];
+        ybatch
+            .par_chunks_mut(o_len)
+            .enumerate()
+            .for_each(|(oci, yrow)| {
+                let b = if bs.is_empty() { 0.0 } else { bs[oci] };
+                yrow.fill(b);
+                let wrow = &ws[oci * k_len..(oci + 1) * k_len];
+                for (wk, crow) in wrow.iter().zip(col.chunks_exact(o_len)) {
+                    if *wk == 0.0 {
+                        continue;
+                    }
+                    for (yv, cv) in yrow.iter_mut().zip(crow) {
+                        *yv += wk * cv;
+                    }
+                }
+            });
+    }
+    y
+}
+
+/// Output-pixel count above which [`crate::Conv2d`] prefers the GEMM path.
+pub const GEMM_THRESHOLD: usize = 1024;
+
+/// GEMM-based weight-gradient accumulation for **same-padded stride-1**
+/// convolutions: `dw = dy_mat · col(x)^T` per batch item, reusing the
+/// im2col transform. Identical semantics to [`conv2d_backward_params`]
+/// (verified in tests); much faster at large spatial extents.
+pub fn conv2d_backward_params_gemm(
+    dy: &Tensor<F>,
+    x: &Tensor<F>,
+    pad: usize,
+    dw: &mut Tensor<F>,
+    db: &mut Tensor<F>,
+) {
+    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
+    let (xn, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(n, xn, "conv2d params: batch mismatch");
+    let (dwoc, dwic, kh, kw) = (dw.dim(0), dw.dim(1), dw.dim(2), dw.dim(3));
+    assert_eq!((dwoc, dwic), (oc, ic), "conv2d params: dw shape mismatch");
+    assert_eq!(oh, conv_out_extent(h, kh, pad), "oh mismatch");
+    assert_eq!(ow, conv_out_extent(wd, kw, pad), "ow mismatch");
+
+    let k_len = ic * kh * kw;
+    let o_len = oh * ow;
+    let dys = dy.as_slice();
+    let xs = x.as_slice();
+    let mut col = vec![0.0f32; k_len * o_len];
+    for ni in 0..n {
+        // Same im2col fill as the forward GEMM path.
+        for ici in 0..ic {
+            let xbase = (ni * ic + ici) * h * wd;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let row = ((ici * kh + ky) * kw + kx) * o_len;
+                    for oy in 0..oh {
+                        let iy = oy + ky;
+                        let dst = row + oy * ow;
+                        if iy < pad || iy >= h + pad {
+                            col[dst..dst + ow].fill(0.0);
+                            continue;
+                        }
+                        let xrow = xbase + (iy - pad) * wd;
+                        for ox in 0..ow {
+                            let ix = ox + kx;
+                            col[dst + ox] = if ix < pad || ix >= wd + pad {
+                                0.0
+                            } else {
+                                xs[xrow + ix - pad]
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        // dw[oc_i, :] += dy_row(oc_i) . col^T.
+        let dws = dw.as_mut_slice();
+        dws.par_chunks_mut(k_len).enumerate().for_each(|(oci, dwrow)| {
+            let dyrow = &dys[(ni * oc + oci) * o_len..(ni * oc + oci + 1) * o_len];
+            for (k, dwv) in dwrow.iter_mut().enumerate() {
+                let crow = &col[k * o_len..(k + 1) * o_len];
+                let mut acc = 0.0f32;
+                for (dv, cv) in dyrow.iter().zip(crow) {
+                    acc += dv * cv;
+                }
+                *dwv += acc;
+            }
+        });
+    }
+
+    if !db.is_empty() {
+        assert_eq!(db.len(), oc, "db length mismatch");
+        let dbs = db.as_mut_slice();
+        for ni in 0..n {
+            for oci in 0..oc {
+                let base = (ni * oc + oci) * o_len;
+                dbs[oci] += dys[base..base + o_len].iter().sum::<f32>();
+            }
+        }
+    }
+}
+
+/// Flip a weight tensor spatially and transpose its channel axes:
+/// `(A, B, KH, KW)` -> `(B, A, KH, KW)` with both kernel axes reversed.
+///
+/// This is the exact transform under which stride-1 transposed convolution
+/// equals ordinary convolution, which is how [`crate::ConvTranspose2d`] is
+/// implemented.
+pub fn flip_transpose_weights(w: &Tensor<F>) -> Tensor<F> {
+    let (a, b, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    let mut out = Tensor::<F>::zeros(Shape::d4(b, a, kh, kw));
+    for ai in 0..a {
+        for bi in 0..b {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let v = w.get4(ai, bi, ky, kx);
+                    out.set4(bi, ai, kh - 1 - ky, kw - 1 - kx, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: Shape) -> Tensor<F> {
+        let n = shape.numel();
+        Tensor::from_vec(shape, (0..n).map(|i| (i as F * 0.1).sin()).collect())
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1 and zero pad is the identity.
+        let x = seq_tensor(Shape::d4(2, 3, 5, 7));
+        let mut w = Tensor::<F>::zeros(Shape::d4(3, 3, 1, 1));
+        for c in 0..3 {
+            w.set4(c, c, 0, 0, 1.0);
+        }
+        let y = conv2d_forward(&x, &w, &Tensor::zeros(Shape::d1(0)), 0);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn same_padding_preserves_extent() {
+        let x = seq_tensor(Shape::d4(1, 4, 16, 16));
+        let w = seq_tensor(Shape::d4(8, 4, 3, 3));
+        let y = conv2d_forward(&x, &w, &Tensor::zeros(Shape::d1(8)), 1);
+        assert_eq!(y.shape(), &Shape::d4(1, 8, 16, 16));
+    }
+
+    #[test]
+    fn known_3x3_convolution_value() {
+        // Single channel, all-ones 3x3 kernel: interior output = 3x3 window sum.
+        let x = Tensor::from_fn_2d(4, 4, |y, x| (y * 4 + x) as F).reshape(Shape::d4(1, 1, 4, 4));
+        let w = Tensor::full(Shape::d4(1, 1, 3, 3), 1.0f32);
+        let y = conv2d_forward(&x, &w, &Tensor::zeros(Shape::d1(0)), 1);
+        // Interior point (1,1): sum of x[0..3, 0..3] = 0+1+2+4+5+6+8+9+10 = 45.
+        assert_eq!(y.get4(0, 0, 1, 1), 45.0);
+        // Corner (0,0): sum of x[0..2, 0..2] = 0+1+4+5 = 10 (zero padding).
+        assert_eq!(y.get4(0, 0, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let x = Tensor::<F>::zeros(Shape::d4(1, 1, 2, 2));
+        let w = Tensor::<F>::zeros(Shape::d4(2, 1, 3, 3));
+        let b = Tensor::from_vec(Shape::d1(2), vec![1.5, -2.0]);
+        let y = conv2d_forward(&x, &w, &b, 1);
+        assert_eq!(y.get4(0, 0, 1, 1), 1.5);
+        assert_eq!(y.get4(0, 1, 0, 0), -2.0);
+    }
+
+    /// The adjoint test: for linear op A, <A x, y> == <x, A^T y> for all x, y.
+    #[test]
+    fn backward_input_is_adjoint_of_forward() {
+        let x = seq_tensor(Shape::d4(2, 3, 6, 5));
+        let w = seq_tensor(Shape::d4(4, 3, 3, 3));
+        let pad = 1;
+        let y = conv2d_forward(&x, &w, &Tensor::zeros(Shape::d1(0)), pad);
+        let dy = seq_tensor(y.shape().clone());
+        let dx = conv2d_backward_input(&dy, &w, 6, 5, pad);
+        let lhs = y.dot(&dy);
+        let rhs = x.dot(&dx);
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "adjoint mismatch: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let x = seq_tensor(Shape::d4(1, 2, 4, 4));
+        let mut w = seq_tensor(Shape::d4(2, 2, 3, 3));
+        let b = Tensor::<F>::zeros(Shape::d1(2));
+        let pad = 1;
+        // Loss = sum(y); so dy = ones.
+        let y = conv2d_forward(&x, &w, &b, pad);
+        let dy = Tensor::full(y.shape().clone(), 1.0f32);
+        let mut dw = Tensor::zeros(w.shape().clone());
+        let mut db = Tensor::zeros(Shape::d1(2));
+        conv2d_backward_params(&dy, &x, pad, &mut dw, &mut db);
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 17, 35] {
+            let orig = w.as_slice()[idx];
+            w.as_mut_slice()[idx] = orig + eps;
+            let lp = conv2d_forward(&x, &w, &b, pad).sum();
+            w.as_mut_slice()[idx] = orig - eps;
+            let lm = conv2d_forward(&x, &w, &b, pad).sum();
+            w.as_mut_slice()[idx] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let ana = dw.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dw[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Bias gradient = number of output pixels per channel.
+        assert_eq!(db.as_slice()[0], (4 * 4) as f32);
+    }
+
+    #[test]
+    fn gemm_path_matches_direct_path() {
+        for (n, ic, oc, h, wd, k, pad) in [
+            (1usize, 3usize, 4usize, 7usize, 9usize, 3usize, 1usize),
+            (2, 1, 2, 5, 5, 3, 1),
+            (1, 2, 3, 8, 6, 1, 0),
+            (1, 4, 8, 16, 16, 3, 1),
+        ] {
+            let x = seq_tensor(Shape::d4(n, ic, h, wd));
+            let w = seq_tensor(Shape::d4(oc, ic, k, k));
+            let b = seq_tensor(Shape::d1(oc));
+            let direct = conv2d_forward(&x, &w, &b, pad);
+            let gemm = conv2d_forward_gemm(&x, &w, &b, pad);
+            assert_eq!(direct.shape(), gemm.shape());
+            for (a, g) in direct.as_slice().iter().zip(gemm.as_slice()) {
+                assert!(
+                    (a - g).abs() < 1e-4 * (1.0 + a.abs()),
+                    "gemm mismatch: {a} vs {g} (cfg {n},{ic},{oc},{h},{wd},{k},{pad})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn params_gemm_matches_direct() {
+        let x = seq_tensor(Shape::d4(2, 3, 6, 5));
+        let w_shape = Shape::d4(4, 3, 3, 3);
+        let dy = seq_tensor(Shape::d4(2, 4, 6, 5));
+        let mut dw_a = Tensor::<F>::zeros(w_shape.clone());
+        let mut db_a = Tensor::<F>::zeros(Shape::d1(4));
+        conv2d_backward_params(&dy, &x, 1, &mut dw_a, &mut db_a);
+        let mut dw_b = Tensor::<F>::zeros(w_shape);
+        let mut db_b = Tensor::<F>::zeros(Shape::d1(4));
+        conv2d_backward_params_gemm(&dy, &x, 1, &mut dw_b, &mut db_b);
+        for (a, b) in dw_a.as_slice().iter().zip(dw_b.as_slice()) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+        assert_eq!(db_a, db_b);
+    }
+
+    #[test]
+    fn dx_equals_conv_with_flipped_weights_same_pad() {
+        // The deconvolution identity used by the layers' fast backward.
+        let w = seq_tensor(Shape::d4(4, 3, 3, 3));
+        let dy = seq_tensor(Shape::d4(1, 4, 7, 6));
+        let direct = conv2d_backward_input(&dy, &w, 7, 6, 1);
+        let via_conv = conv2d_forward(
+            &dy,
+            &flip_transpose_weights(&w),
+            &Tensor::zeros(Shape::d1(0)),
+            1,
+        );
+        for (a, b) in direct.as_slice().iter().zip(via_conv.as_slice()) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn flip_transpose_is_involution() {
+        let w = seq_tensor(Shape::d4(3, 5, 3, 3));
+        let back = flip_transpose_weights(&flip_transpose_weights(&w));
+        assert_eq!(back, w);
+    }
+}

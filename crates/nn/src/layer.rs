@@ -1,0 +1,52 @@
+//! The [`Layer`] trait: explicit forward/backward with cached activations.
+
+use adarnet_tensor::Tensor;
+
+use crate::F;
+
+/// A differentiable network layer.
+///
+/// Contract:
+/// * [`Layer::forward`] caches whatever it needs (typically its input) for
+///   the next [`Layer::backward`] call.
+/// * [`Layer::backward`] consumes the loss gradient with respect to the
+///   layer output and returns the gradient with respect to the layer input,
+///   **accumulating** parameter gradients internally (so multiple
+///   micro-batches sum their gradients until [`Layer::zero_grads`]).
+/// * Calling `backward` before `forward` panics.
+pub trait Layer: Send {
+    /// Human-readable layer name for diagnostics.
+    fn name(&self) -> String;
+
+    /// Run the layer on `x`, caching state for backprop.
+    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F>;
+
+    /// Propagate `grad_out` (dL/dy) back to dL/dx, accumulating parameter
+    /// gradients.
+    fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F>;
+
+    /// Immutable views of trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Tensor<F>> {
+        Vec::new()
+    }
+
+    /// Mutable views of trainable parameters, in the same order as
+    /// [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Tensor<F>> {
+        Vec::new()
+    }
+
+    /// Immutable views of accumulated gradients, aligned with
+    /// [`Layer::params`].
+    fn grads(&self) -> Vec<&Tensor<F>> {
+        Vec::new()
+    }
+
+    /// Reset accumulated parameter gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Total number of trainable scalars.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}

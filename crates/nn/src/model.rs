@@ -1,0 +1,180 @@
+//! Sequential container over boxed layers, with weight (de)serialization.
+
+use adarnet_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{Layer, F};
+
+/// A stack of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward through every layer.
+    pub fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Backward through every layer in reverse; returns dL/dinput.
+    pub fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    /// All trainable parameters across layers.
+    pub fn params(&self) -> Vec<&Tensor<F>> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// All trainable parameters, mutably.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor<F>> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// All accumulated gradients, aligned with [`Sequential::params`].
+    pub fn grads(&self) -> Vec<&Tensor<F>> {
+        self.layers.iter().flat_map(|l| l.grads()).collect()
+    }
+
+    /// Zero every accumulated gradient.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Total trainable scalar count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Layer names, for diagnostics.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Snapshot all weights into a serializable checkpoint.
+    pub fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            tensors: self.params().into_iter().cloned().collect(),
+        }
+    }
+
+    /// Restore weights from a checkpoint (shapes must match exactly).
+    pub fn restore(&mut self, ckpt: &Checkpoint) {
+        let mut params = self.params_mut();
+        assert_eq!(
+            params.len(),
+            ckpt.tensors.len(),
+            "checkpoint has {} tensors, model has {}",
+            ckpt.tensors.len(),
+            params.len()
+        );
+        for (p, t) in params.iter_mut().zip(&ckpt.tensors) {
+            assert!(
+                p.shape().same(t.shape()),
+                "checkpoint tensor shape {:?} != model {:?}",
+                t.shape(),
+                p.shape()
+            );
+            p.as_mut_slice().copy_from_slice(t.as_slice());
+        }
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serializable weight snapshot of a model.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Parameter tensors in [`Sequential::params`] order.
+    pub tensors: Vec<Tensor<F>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Conv2d, Initializer};
+    use adarnet_tensor::Shape;
+
+    fn tiny_net(seed: u64) -> Sequential {
+        Sequential::new()
+            .push(Conv2d::new(1, 2, 3, Initializer::XavierUniform, seed))
+            .push(Activation::relu())
+            .push(Conv2d::new(2, 1, 3, Initializer::XavierUniform, seed + 1))
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = tiny_net(0);
+        let x = Tensor::<F>::full(Shape::d4(2, 1, 6, 6), 0.3);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &Shape::d4(2, 1, 6, 6));
+        let dx = net.backward(&Tensor::full(y.shape().clone(), 1.0f32));
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn param_and_grad_alignment() {
+        let net = tiny_net(1);
+        assert_eq!(net.params().len(), 4); // 2 convs x (weight, bias)
+        assert_eq!(net.grads().len(), 4);
+        assert_eq!(net.num_params(), 2 * 9 + 2 + 2 * 9 + 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut a = tiny_net(7);
+        let mut b = tiny_net(99);
+        let x = Tensor::<F>::full(Shape::d4(1, 1, 5, 5), 0.7);
+        let ya = a.forward(&x);
+        let yb = b.forward(&x);
+        assert_ne!(ya, yb, "different seeds should differ");
+        let ckpt = a.snapshot();
+        b.restore(&ckpt);
+        assert_eq!(b.forward(&x), ya);
+    }
+
+    #[test]
+    fn checkpoint_serializes_via_json() {
+        let a = tiny_net(3);
+        let ckpt = a.snapshot();
+        let s = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.tensors.len(), ckpt.tensors.len());
+        assert_eq!(back.tensors[0], ckpt.tensors[0]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Max pooling with pool size == stride (non-overlapping windows).
+//!
+//! ADARNet's scorer ends in a maxpool whose pool size and stride are both
+//! the patch extent `(ph, pw)` (§3.1), collapsing the single-channel latent
+//! image into one non-normalized score per patch. The paper motivates max
+//! over average pooling as the conservative choice: an entire patch shares
+//! one resolution, so the highest required score in the patch should win.
+
+use adarnet_tensor::{Shape, Tensor};
+
+use crate::{Layer, F};
+
+/// Non-overlapping 2-D max pooling.
+pub struct MaxPool2d {
+    pool_h: usize,
+    pool_w: usize,
+    /// Flat argmax index into the input buffer per output element.
+    cached_argmax: Option<Vec<usize>>,
+    cached_in_shape: Option<Shape>,
+}
+
+impl MaxPool2d {
+    /// Create a pool layer with window (and stride) `(pool_h, pool_w)`.
+    pub fn new(pool_h: usize, pool_w: usize) -> Self {
+        assert!(pool_h > 0 && pool_w > 0, "pool extents must be positive");
+        MaxPool2d {
+            pool_h,
+            pool_w,
+            cached_argmax: None,
+            cached_in_shape: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("MaxPool2d({}x{})", self.pool_h, self.pool_w)
+    }
+
+    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        assert_eq!(x.shape().rank(), 4, "MaxPool2d expects NCHW input");
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        assert!(
+            h % self.pool_h == 0 && w % self.pool_w == 0,
+            "pool {}x{} does not tile {h}x{w}",
+            self.pool_h,
+            self.pool_w
+        );
+        let (oh, ow) = (h / self.pool_h, w / self.pool_w);
+        let mut y = Tensor::<F>::zeros(Shape::d4(n, c, oh, ow));
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let xs = x.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = F::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for py in 0..self.pool_h {
+                            let row = base + (oy * self.pool_h + py) * w + ox * self.pool_w;
+                            for px in 0..self.pool_w {
+                                let v = xs[row + px];
+                                if v > best {
+                                    best = v;
+                                    best_idx = row + px;
+                                }
+                            }
+                        }
+                        let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                        y.as_mut_slice()[oidx] = best;
+                        argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_argmax = Some(argmax);
+        self.cached_in_shape = Some(x.shape().clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("MaxPool2d::backward called before forward");
+        let in_shape = self.cached_in_shape.as_ref().unwrap().clone();
+        assert_eq!(grad_out.len(), argmax.len(), "grad_out size mismatch");
+        let mut dx = Tensor::<F>::zeros(in_shape);
+        let dxs = dx.as_mut_slice();
+        for (g, &idx) in grad_out.as_slice().iter().zip(argmax) {
+            dxs[idx] += g;
+        }
+        dx
+    }
+}
+
+/// Non-overlapping 2-D average pooling.
+///
+/// The paper deliberately prefers max pooling in the scorer (§5.1) — the
+/// whole patch shares one resolution, so the *most* demanding cell should
+/// decide. Average pooling is kept for the corresponding ablation
+/// (`ablation_scorer_pooling`).
+pub struct AvgPool2d {
+    pool_h: usize,
+    pool_w: usize,
+    cached_in_shape: Option<Shape>,
+}
+
+impl AvgPool2d {
+    /// Create an average-pool layer with window (and stride)
+    /// `(pool_h, pool_w)`.
+    pub fn new(pool_h: usize, pool_w: usize) -> Self {
+        assert!(pool_h > 0 && pool_w > 0, "pool extents must be positive");
+        AvgPool2d {
+            pool_h,
+            pool_w,
+            cached_in_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> String {
+        format!("AvgPool2d({}x{})", self.pool_h, self.pool_w)
+    }
+
+    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        assert_eq!(x.shape().rank(), 4, "AvgPool2d expects NCHW input");
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        assert!(
+            h % self.pool_h == 0 && w % self.pool_w == 0,
+            "pool {}x{} does not tile {h}x{w}",
+            self.pool_h,
+            self.pool_w
+        );
+        let (oh, ow) = (h / self.pool_h, w / self.pool_w);
+        let inv = 1.0 / (self.pool_h * self.pool_w) as F;
+        let mut y = Tensor::<F>::zeros(Shape::d4(n, c, oh, ow));
+        let xs = x.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for py in 0..self.pool_h {
+                            let row = base + (oy * self.pool_h + py) * w + ox * self.pool_w;
+                            for px in 0..self.pool_w {
+                                acc += xs[row + px];
+                            }
+                        }
+                        y.as_mut_slice()[((ni * c + ci) * oh + oy) * ow + ox] = acc * inv;
+                    }
+                }
+            }
+        }
+        self.cached_in_shape = Some(x.shape().clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
+        let in_shape = self
+            .cached_in_shape
+            .as_ref()
+            .expect("AvgPool2d::backward called before forward")
+            .clone();
+        let (n, c, h, w) = (
+            in_shape.dim(0),
+            in_shape.dim(1),
+            in_shape.dim(2),
+            in_shape.dim(3),
+        );
+        let (oh, ow) = (h / self.pool_h, w / self.pool_w);
+        let inv = 1.0 / (self.pool_h * self.pool_w) as F;
+        let mut dx = Tensor::<F>::zeros(in_shape);
+        let dxs = dx.as_mut_slice();
+        let gs = grad_out.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gs[((ni * c + ci) * oh + oy) * ow + ox] * inv;
+                        for py in 0..self.pool_h {
+                            let row = base + (oy * self.pool_h + py) * w + ox * self.pool_w;
+                            for px in 0..self.pool_w {
+                                dxs[row + px] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pools_mean_per_window() {
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 2, 4),
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 7.0, 6.0],
+        );
+        let mut l = AvgPool2d::new(2, 2);
+        let y = l.forward(&x);
+        assert_eq!(y.as_slice(), &[3.25, 3.75]);
+    }
+
+    #[test]
+    fn avg_backward_spreads_uniformly() {
+        let x = Tensor::<F>::full(Shape::d4(1, 1, 2, 2), 1.0);
+        let mut l = AvgPool2d::new(2, 2);
+        let _ = l.forward(&x);
+        let dx = l.backward(&Tensor::full(Shape::d4(1, 1, 1, 1), 4.0f32));
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradcheck_avgpool() {
+        let mut l = AvgPool2d::new(2, 2);
+        let r = crate::gradcheck::check_layer_gradients(&mut l, Shape::d4(1, 2, 4, 4), 47, 1e-3);
+        assert!(r.max_rel_err < 1e-2, "{r:?}");
+    }
+
+    #[test]
+    fn avg_is_upper_bounded_by_max() {
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 4, 4),
+            (0..16).map(|i| ((i * 7) % 13) as F).collect(),
+        );
+        let mut avg = AvgPool2d::new(2, 2);
+        let mut max = MaxPool2d::new(2, 2);
+        let ya = avg.forward(&x);
+        let ym = max.forward(&x);
+        for (a, m) in ya.as_slice().iter().zip(ym.as_slice()) {
+            assert!(a <= m, "avg {a} > max {m}");
+        }
+    }
+
+    #[test]
+    fn pools_max_per_window() {
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 2, 4),
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 7.0, 6.0],
+        );
+        let mut l = MaxPool2d::new(2, 2);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &Shape::d4(1, 1, 1, 2));
+        assert_eq!(y.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax_only() {
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 2, 2),
+            vec![1.0, 9.0, 3.0, 2.0],
+        );
+        let mut l = MaxPool2d::new(2, 2);
+        let _ = l.forward(&x);
+        let dx = l.backward(&Tensor::full(Shape::d4(1, 1, 1, 1), 2.5f32));
+        assert_eq!(dx.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scorer_shape_64x256_to_4x16() {
+        // The paper's LR field 64x256 pooled by 16x16 gives the 4x16 = 64
+        // per-patch score layout.
+        let x = Tensor::<F>::full(Shape::d4(1, 1, 64, 256), 1.0);
+        let mut l = MaxPool2d::new(16, 16);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &Shape::d4(1, 1, 4, 16));
+    }
+
+    #[test]
+    fn gradcheck_maxpool() {
+        // Use distinct values so the argmax is stable under the FD probe.
+        let mut l = MaxPool2d::new(2, 2);
+        let r = crate::gradcheck::check_layer_gradients(&mut l, Shape::d4(1, 2, 4, 4), 41, 1e-3);
+        assert!(r.max_rel_err < 1e-2, "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not tile")]
+    fn rejects_nondividing_pool() {
+        let mut l = MaxPool2d::new(3, 3);
+        let _ = l.forward(&Tensor::<F>::zeros(Shape::d4(1, 1, 4, 4)));
+    }
+}

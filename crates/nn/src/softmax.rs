@@ -1,0 +1,120 @@
+//! Spatial softmax over all positions of each batch item.
+//!
+//! The scorer's final layer (§3.1): normalizes the per-patch scores of one
+//! sample into a 0-1 probability distribution across all patches. Channels
+//! and spatial positions are flattened together per batch item.
+
+use adarnet_tensor::Tensor;
+
+use crate::{Layer, F};
+
+/// Softmax across everything but the batch axis.
+pub struct SpatialSoftmax {
+    cached_output: Option<Tensor<F>>,
+}
+
+impl SpatialSoftmax {
+    /// Create a softmax layer.
+    pub fn new() -> Self {
+        SpatialSoftmax { cached_output: None }
+    }
+}
+
+impl Default for SpatialSoftmax {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for SpatialSoftmax {
+    fn name(&self) -> String {
+        "SpatialSoftmax".to_string()
+    }
+
+    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        assert!(x.shape().rank() >= 1, "softmax needs at least rank 1");
+        let n = x.dim(0);
+        let per = x.len() / n.max(1);
+        let mut y = x.clone();
+        for b in 0..n {
+            let sl = &mut y.as_mut_slice()[b * per..(b + 1) * per];
+            // Standard max-shift for numerical stability.
+            let m = sl.iter().copied().fold(F::NEG_INFINITY, F::max);
+            let mut z = 0.0f64;
+            for v in sl.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v as f64;
+            }
+            let inv = (1.0 / z) as F;
+            for v in sl.iter_mut() {
+                *v *= inv;
+            }
+        }
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("SpatialSoftmax::backward called before forward");
+        assert!(y.shape().same(grad_out.shape()), "softmax grad shape mismatch");
+        let n = y.dim(0);
+        let per = y.len() / n.max(1);
+        let mut dx = grad_out.clone();
+        for b in 0..n {
+            let ys = &y.as_slice()[b * per..(b + 1) * per];
+            let gs = &mut dx.as_mut_slice()[b * per..(b + 1) * per];
+            // dx_i = y_i * (g_i - sum_j g_j y_j)
+            let dot: f64 = ys.iter().zip(gs.iter()).map(|(&yi, &gi)| (yi * gi) as f64).sum();
+            let dot = dot as F;
+            for (g, &yi) in gs.iter_mut().zip(ys) {
+                *g = yi * (*g - dot);
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_tensor::Shape;
+
+    #[test]
+    fn sums_to_one_per_batch_item() {
+        let x = Tensor::from_vec(Shape::d4(2, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0]);
+        let mut l = SpatialSoftmax::new();
+        let y = l.forward(&x);
+        let s0: f64 = y.as_slice()[..4].iter().map(|&v| v as f64).sum();
+        let s1: f64 = y.as_slice()[4..].iter().map(|&v| v as f64).sum();
+        assert!((s0 - 1.0).abs() < 1e-6);
+        assert!((s1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_in_input() {
+        let x = Tensor::from_vec(Shape::d2(1, 3), vec![1.0, 2.0, 3.0]);
+        let mut l = SpatialSoftmax::new();
+        let y = l.forward(&x);
+        assert!(y.as_slice()[0] < y.as_slice()[1]);
+        assert!(y.as_slice()[1] < y.as_slice()[2]);
+    }
+
+    #[test]
+    fn stable_for_large_inputs() {
+        let x = Tensor::from_vec(Shape::d2(1, 2), vec![1000.0, 1001.0]);
+        let mut l = SpatialSoftmax::new();
+        let y = l.forward(&x);
+        assert!(y.all_finite());
+        assert!((y.as_slice()[0] as f64 + y.as_slice()[1] as f64 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_softmax() {
+        let mut l = SpatialSoftmax::new();
+        let r = crate::gradcheck::check_layer_gradients(&mut l, Shape::d2(2, 6), 59, 1e-3);
+        assert!(r.max_rel_err < 1e-2, "{r:?}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Scalar element trait implemented by `f32` and `f64`.
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point scalar usable as a tensor element.
+///
+/// Implemented for `f32` (neural-network side) and `f64` (CFD side). The
+/// trait pins down exactly the arithmetic surface the kernels need so that
+/// every op in this workspace is generic over precision.
+pub trait Element:
+    Copy
+    + Clone
+    + Debug
+    + Default
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64` (used for constants and test tolerances).
+    fn from_f64(x: f64) -> Self;
+    /// Lossless widening to `f64` (used for reductions and reporting).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// `self^p` for real `p`.
+    fn powf(self, p: Self) -> Self;
+    /// Larger of two values (NaN-propagating like `f64::max` is not; we use
+    /// the IEEE `max` which ignores NaN on one side).
+    fn max(self, other: Self) -> Self;
+    /// Smaller of two values.
+    fn min(self, other: Self) -> Self;
+    /// True if the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_element {
+    ($t:ty) => {
+        impl Element for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn powf(self, p: Self) -> Self {
+                <$t>::powf(self, p)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_element!(f32);
+impl_element!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Element>(x: f64) -> f64 {
+        T::from_f64(x).to_f64()
+    }
+
+    #[test]
+    fn constants_are_identities() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0f32);
+        assert_eq!(f64::ZERO + f64::ONE, 1.0f64);
+    }
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        for &x in &[0.0, 1.0, -3.25, 1e-9, 6.02e23] {
+            assert_eq!(roundtrip::<f64>(x), x);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_within_eps() {
+        for &x in &[0.0, 1.0, -3.25, 0.1] {
+            assert!((roundtrip::<f32>(x) - x).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(1.0f32.is_finite());
+        assert!(!(f32::NAN).is_finite());
+        assert!(!Element::is_finite(f64::INFINITY));
+    }
+
+    #[test]
+    fn max_min_behave() {
+        assert_eq!(Element::max(2.0f64, 3.0), 3.0);
+        assert_eq!(Element::min(2.0f64, 3.0), 2.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # adarnet-tensor
+//!
+//! Tensor substrate for the ADARNet reproduction.
+//!
+//! This crate provides the dense array types that the rest of the workspace
+//! builds on:
+//!
+//! * [`Tensor`] — a dynamically-shaped, row-major dense tensor used by the
+//!   neural-network stack ([NCHW] layout for 4-D activations).
+//! * [`Grid2`] — a 2-D scalar field with `(i, j)` = `(row, col)` indexing,
+//!   used by the CFD and AMR substrates.
+//!
+//! Kernels that touch every element (`map`, `zip`, reductions) switch to
+//! [rayon]-parallel execution above a size threshold, so small patches stay
+//! on the fast sequential path while full-field operations use all cores.
+//!
+//! [NCHW]: https://docs.nvidia.com/deeplearning/performance/dl-performance-convolutional/index.html#tensor-layout
+
+pub mod element;
+pub mod grid;
+pub mod ops;
+pub mod patch;
+pub mod shape;
+pub mod tensor;
+
+pub use element::Element;
+pub use grid::Grid2;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Element count above which elementwise kernels switch to rayon-parallel
+/// execution. Chosen so a 16x16 patch (256 elements) stays sequential while
+/// a full 64x256 field (16k+ elements) parallelizes.
+pub const PAR_THRESHOLD: usize = 8192;

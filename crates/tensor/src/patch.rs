@@ -1,0 +1,211 @@
+//! Patch extraction and insertion.
+//!
+//! ADARNet divides the LR flow field into fixed-size patches (16x16 in the
+//! paper). These helpers cut rectangular windows out of rank-3 `(C, H, W)`
+//! tensors and write them back, which is the mechanical core of the
+//! scorer->ranker->decoder pipeline.
+
+use crate::{Element, Shape, Tensor};
+
+impl<T: Element> Tensor<T> {
+    /// Copy the window `rows [y0, y0+ph) x cols [x0, x0+pw)` out of every
+    /// channel of a rank-3 `(C, H, W)` tensor.
+    ///
+    /// Panics if the window exceeds the tensor bounds.
+    pub fn extract_patch(&self, y0: usize, x0: usize, ph: usize, pw: usize) -> Tensor<T> {
+        assert_eq!(self.shape().rank(), 3, "extract_patch expects rank-3 (C,H,W)");
+        let (c, h, w) = (self.dim(0), self.dim(1), self.dim(2));
+        assert!(
+            y0 + ph <= h && x0 + pw <= w,
+            "patch window ({y0}..{}, {x0}..{}) exceeds field {h}x{w}",
+            y0 + ph,
+            x0 + pw
+        );
+        let mut out = Tensor::zeros(Shape::d3(c, ph, pw));
+        for ci in 0..c {
+            for y in 0..ph {
+                let src_base = (ci * h + (y0 + y)) * w + x0;
+                let dst_base = (ci * ph + y) * pw;
+                out.as_mut_slice()[dst_base..dst_base + pw]
+                    .copy_from_slice(&self.as_slice()[src_base..src_base + pw]);
+            }
+        }
+        out
+    }
+
+    /// Write `patch` (rank-3 `(C, ph, pw)`) into this rank-3 tensor at
+    /// window origin `(y0, x0)`. Channel counts must match.
+    pub fn insert_patch(&mut self, y0: usize, x0: usize, patch: &Tensor<T>) {
+        assert_eq!(self.shape().rank(), 3, "insert_patch expects rank-3 (C,H,W)");
+        assert_eq!(patch.shape().rank(), 3, "patch must be rank-3");
+        let (c, h, w) = (self.dim(0), self.dim(1), self.dim(2));
+        let (pc, ph, pw) = (patch.dim(0), patch.dim(1), patch.dim(2));
+        assert_eq!(c, pc, "channel count mismatch: field {c}, patch {pc}");
+        assert!(
+            y0 + ph <= h && x0 + pw <= w,
+            "patch window ({y0}..{}, {x0}..{}) exceeds field {h}x{w}",
+            y0 + ph,
+            x0 + pw
+        );
+        for ci in 0..c {
+            for y in 0..ph {
+                let dst_base = (ci * h + (y0 + y)) * w + x0;
+                let src_base = (ci * ph + y) * pw;
+                self.as_mut_slice()[dst_base..dst_base + pw]
+                    .copy_from_slice(&patch.as_slice()[src_base..src_base + pw]);
+            }
+        }
+    }
+
+    /// Split a rank-3 `(C, H, W)` tensor into a row-major grid of
+    /// `(H/ph) x (W/pw)` patches. Panics unless `ph | H` and `pw | W`.
+    pub fn split_patches(&self, ph: usize, pw: usize) -> Vec<Tensor<T>> {
+        assert_eq!(self.shape().rank(), 3, "split_patches expects rank-3 (C,H,W)");
+        let (h, w) = (self.dim(1), self.dim(2));
+        assert!(
+            h % ph == 0 && w % pw == 0,
+            "patch size {ph}x{pw} does not tile field {h}x{w}"
+        );
+        let (npy, npx) = (h / ph, w / pw);
+        let mut out = Vec::with_capacity(npy * npx);
+        for py in 0..npy {
+            for px in 0..npx {
+                out.push(self.extract_patch(py * ph, px * pw, ph, pw));
+            }
+        }
+        out
+    }
+
+    /// Concatenate rank-3 `(C_i, H, W)` tensors along the channel axis.
+    /// Spatial extents must match.
+    pub fn concat_channels(parts: &[&Tensor<T>]) -> Tensor<T> {
+        assert!(!parts.is_empty(), "cannot concat zero tensors");
+        let (h, w) = (parts[0].dim(1), parts[0].dim(2));
+        let mut total_c = 0;
+        for p in parts {
+            assert_eq!(p.shape().rank(), 3, "concat_channels expects rank-3 parts");
+            assert_eq!((p.dim(1), p.dim(2)), (h, w), "spatial extent mismatch");
+            total_c += p.dim(0);
+        }
+        let mut data = Vec::with_capacity(total_c * h * w);
+        for p in parts {
+            data.extend_from_slice(p.as_slice());
+        }
+        Tensor::from_vec(Shape::d3(total_c, h, w), data)
+    }
+
+    /// Split a rank-3 tensor along the channel axis at `at`:
+    /// `(C, H, W) -> ((at, H, W), (C - at, H, W))`.
+    pub fn split_channels(&self, at: usize) -> (Tensor<T>, Tensor<T>) {
+        assert_eq!(self.shape().rank(), 3, "split_channels expects rank-3");
+        let (c, h, w) = (self.dim(0), self.dim(1), self.dim(2));
+        assert!(at <= c, "split point {at} exceeds channel count {c}");
+        let plane = h * w;
+        let first = Tensor::from_vec(Shape::d3(at, h, w), self.as_slice()[..at * plane].to_vec());
+        let second = Tensor::from_vec(
+            Shape::d3(c - at, h, w),
+            self.as_slice()[at * plane..].to_vec(),
+        );
+        (first, second)
+    }
+
+    /// Inverse of [`Tensor::split_patches`]: assemble a row-major grid of
+    /// equal-size patches back into a single field.
+    pub fn assemble_patches(patches: &[Tensor<T>], npy: usize, npx: usize) -> Tensor<T> {
+        assert_eq!(patches.len(), npy * npx, "patch count mismatch");
+        assert!(!patches.is_empty(), "cannot assemble zero patches");
+        let (c, ph, pw) = (patches[0].dim(0), patches[0].dim(1), patches[0].dim(2));
+        let mut out = Tensor::zeros(Shape::d3(c, npy * ph, npx * pw));
+        for py in 0..npy {
+            for px in 0..npx {
+                out.insert_patch(py * ph, px * pw, &patches[py * npx + px]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field(c: usize, h: usize, w: usize) -> Tensor<f32> {
+        let mut t = Tensor::zeros(Shape::d3(c, h, w));
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    t.set3(ci, y, x, (ci * 10000 + y * 100 + x) as f32);
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn extract_reads_correct_window() {
+        let f = field(2, 8, 8);
+        let p = f.extract_patch(2, 4, 3, 2);
+        assert_eq!(p.shape(), &Shape::d3(2, 3, 2));
+        assert_eq!(p.get3(0, 0, 0), f.get3(0, 2, 4));
+        assert_eq!(p.get3(1, 2, 1), f.get3(1, 4, 5));
+    }
+
+    #[test]
+    fn insert_is_inverse_of_extract() {
+        let f = field(3, 8, 12);
+        let mut g = Tensor::zeros(f.shape().clone());
+        let p = f.extract_patch(4, 8, 4, 4);
+        g.insert_patch(4, 8, &p);
+        assert_eq!(g.extract_patch(4, 8, 4, 4), p);
+    }
+
+    #[test]
+    fn split_assemble_roundtrip() {
+        let f = field(4, 16, 32);
+        let patches = f.split_patches(8, 8);
+        assert_eq!(patches.len(), 2 * 4);
+        let back = Tensor::assemble_patches(&patches, 2, 4);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not tile")]
+    fn split_rejects_nondividing_patch() {
+        let _ = field(1, 10, 10).split_patches(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field")]
+    fn extract_rejects_out_of_bounds() {
+        let _ = field(1, 8, 8).extract_patch(6, 6, 4, 4);
+    }
+
+    #[test]
+    fn concat_split_channels_roundtrip() {
+        let a = field(2, 4, 4);
+        let b = field(3, 4, 4);
+        let cat = Tensor::concat_channels(&[&a, &b]);
+        assert_eq!(cat.shape(), &Shape::d3(5, 4, 4));
+        assert_eq!(cat.get3(1, 2, 3), a.get3(1, 2, 3));
+        assert_eq!(cat.get3(2, 1, 0), b.get3(0, 1, 0));
+        let (x, y) = cat.split_channels(2);
+        assert_eq!(x, a);
+        assert_eq!(y, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "spatial extent mismatch")]
+    fn concat_rejects_mismatched_extents() {
+        let a = field(1, 4, 4);
+        let b = field(1, 4, 5);
+        let _ = Tensor::concat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    fn paper_layout_64x256_gives_64_patches() {
+        // LR resolution 64x256 with 16x16 patches => 4x16 = 64 patches (§4.2).
+        let f = Tensor::<f32>::zeros(Shape::d3(4, 64, 256));
+        let patches = f.split_patches(16, 16);
+        assert_eq!(patches.len(), 64);
+    }
+}

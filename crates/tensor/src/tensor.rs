@@ -1,0 +1,286 @@
+//! The dense row-major tensor type.
+
+use crate::{Element, Shape};
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major, dynamically-shaped tensor.
+///
+/// Layout is contiguous; 4-D tensors follow NCHW (batch, channel, row,
+/// column). Cloning is a deep copy. All construction validates that the
+/// data length matches the shape.
+///
+/// ```
+/// use adarnet_tensor::{Shape, Tensor};
+///
+/// let lr = Tensor::<f32>::zeros(Shape::d3(4, 64, 256)); // U, V, p, nuTilda
+/// let patches = lr.split_patches(16, 16);
+/// assert_eq!(patches.len(), 64); // the paper's patch count
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T: Element> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Element> Tensor<T> {
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![T::ZERO; n],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: T) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Wrap an existing buffer. Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<T>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data }
+    }
+
+    /// Build a rank-2 tensor from a closure over `(row, col)`.
+    pub fn from_fn_2d(h: usize, w: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(h * w);
+        for y in 0..h {
+            for x in 0..w {
+                data.push(f(y, x));
+            }
+        }
+        Tensor::from_vec(Shape::d2(h, w), data)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Extent along axis `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.shape.dim(i)
+    }
+
+    /// Immutable view of the backing buffer (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline]
+    pub fn at(&self, idx: &[usize]) -> T {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Set the element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: T) {
+        let off = self.shape.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Rank-2 accessor `(row, col)`.
+    #[inline]
+    pub fn get2(&self, y: usize, x: usize) -> T {
+        debug_assert_eq!(self.shape.rank(), 2);
+        self.data[y * self.shape.dim(1) + x]
+    }
+
+    /// Rank-2 setter `(row, col)`.
+    #[inline]
+    pub fn set2(&mut self, y: usize, x: usize, v: T) {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let w = self.shape.dim(1);
+        self.data[y * w + x] = v;
+    }
+
+    /// Rank-3 accessor `(channel, row, col)`.
+    #[inline]
+    pub fn get3(&self, c: usize, y: usize, x: usize) -> T {
+        debug_assert_eq!(self.shape.rank(), 3);
+        let (h, w) = (self.shape.dim(1), self.shape.dim(2));
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// Rank-3 setter `(channel, row, col)`.
+    #[inline]
+    pub fn set3(&mut self, c: usize, y: usize, x: usize, v: T) {
+        debug_assert_eq!(self.shape.rank(), 3);
+        let (h, w) = (self.shape.dim(1), self.shape.dim(2));
+        self.data[(c * h + y) * w + x] = v;
+    }
+
+    /// Rank-4 accessor `(batch, channel, row, col)`.
+    #[inline]
+    pub fn get4(&self, n: usize, c: usize, y: usize, x: usize) -> T {
+        debug_assert_eq!(self.shape.rank(), 4);
+        let (ch, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        self.data[((n * ch + c) * h + y) * w + x]
+    }
+
+    /// Rank-4 setter `(batch, channel, row, col)`.
+    #[inline]
+    pub fn set4(&mut self, n: usize, c: usize, y: usize, x: usize, v: T) {
+        debug_assert_eq!(self.shape.rank(), 4);
+        let (ch, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        self.data[((n * ch + c) * h + y) * w + x] = v;
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "reshape to {:?} changes element count",
+            shape
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Borrow one image (channel plane set) of a rank-4 tensor as a rank-3
+    /// tensor copy.
+    pub fn image(&self, n: usize) -> Tensor<T> {
+        assert_eq!(self.shape.rank(), 4);
+        let (ch, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        let plane = ch * h * w;
+        Tensor::from_vec(Shape::d3(ch, h, w), self.data[n * plane..(n + 1) * plane].to_vec())
+    }
+
+    /// Borrow one channel plane of a rank-3 tensor as a rank-2 tensor copy.
+    pub fn channel(&self, c: usize) -> Tensor<T> {
+        assert_eq!(self.shape.rank(), 3);
+        let (h, w) = (self.shape.dim(1), self.shape.dim(2));
+        let plane = h * w;
+        Tensor::from_vec(Shape::d2(h, w), self.data[c * plane..(c + 1) * plane].to_vec())
+    }
+
+    /// Stack rank-3 tensors of identical shape into a rank-4 batch.
+    pub fn stack(images: &[Tensor<T>]) -> Tensor<T> {
+        assert!(!images.is_empty(), "cannot stack an empty list");
+        let s0 = images[0].shape().clone();
+        assert_eq!(s0.rank(), 3, "stack expects rank-3 inputs");
+        let mut data = Vec::with_capacity(images.len() * s0.numel());
+        for im in images {
+            assert!(im.shape().same(&s0), "stack shape mismatch");
+            data.extend_from_slice(im.as_slice());
+        }
+        Tensor::from_vec(Shape::d4(images.len(), s0.dim(0), s0.dim(1), s0.dim(2)), data)
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl<T: Element> std::fmt::Debug for Tensor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}(n={})", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let t = Tensor::<f32>::zeros(Shape::d2(3, 4));
+        assert_eq!(t.len(), 12);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        let u = Tensor::<f64>::full(Shape::d1(5), 2.5);
+        assert!(u.as_slice().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_checked() {
+        let _ = Tensor::<f32>::from_vec(Shape::d2(2, 2), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn indexing_roundtrip_rank4() {
+        let mut t = Tensor::<f32>::zeros(Shape::d4(2, 3, 4, 5));
+        t.set4(1, 2, 3, 4, 7.0);
+        assert_eq!(t.get4(1, 2, 3, 4), 7.0);
+        assert_eq!(t.at(&[1, 2, 3, 4]), 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::d2(2, 3), vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.clone().reshape(Shape::d1(6));
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_rejects_bad_count() {
+        let _ = Tensor::<f32>::zeros(Shape::d2(2, 3)).reshape(Shape::d1(5));
+    }
+
+    #[test]
+    fn stack_and_image_roundtrip() {
+        let a = Tensor::from_fn_2d(2, 2, |y, x| (y * 2 + x) as f32).reshape(Shape::d3(1, 2, 2));
+        let b = Tensor::from_fn_2d(2, 2, |y, x| (10 + y * 2 + x) as f32).reshape(Shape::d3(1, 2, 2));
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        assert_eq!(s.shape(), &Shape::d4(2, 1, 2, 2));
+        assert_eq!(s.image(0), a);
+        assert_eq!(s.image(1), b);
+    }
+
+    #[test]
+    fn channel_extraction() {
+        let mut t = Tensor::<f64>::zeros(Shape::d3(2, 2, 2));
+        t.set3(1, 0, 1, 9.0);
+        let c1 = t.channel(1);
+        assert_eq!(c1.get2(0, 1), 9.0);
+        assert_eq!(c1.shape(), &Shape::d2(2, 2));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::<f32>::zeros(Shape::d1(4));
+        assert!(t.all_finite());
+        t.as_mut_slice()[2] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

@@ -1,0 +1,126 @@
+//! Channel flow end-to-end: ADARNet's one-shot pipeline vs the iterative
+//! feature-based AMR baseline on the paper's channel test case (scaled
+//! down for a laptop-class run).
+//!
+//! Reproduces the Table 1 comparison semantics: TTC = lr + inference +
+//! physics solve for ADARNet, vs the sum over refine/solve rounds for the
+//! AMR solver.
+//!
+//! Run with: `cargo run --release --example channel_flow`
+
+use adarnet_amr::{AmrDriver, PatchLayout, RefinementMap};
+use adarnet_cfd::{CaseConfig, CaseMesh, RansSolver, SolverConfig};
+use adarnet_core::{
+    run_adarnet_case, run_amr_baseline, AdarNet, AdarNetConfig, NormStats, Trainer,
+    TrainerConfig,
+};
+use adarnet_core::framework::LrInput;
+use adarnet_dataset::{Family, Sample, SampleMeta};
+
+fn main() {
+    // Scaled-down channel (1 m instead of 6 m) on a 16 x 64 grid so the
+    // whole example runs in under a minute on one core.
+    let mut case = CaseConfig::channel(2.5e3);
+    case.lx = 1.0;
+    let layout = PatchLayout::new(2, 8, 8, 8);
+    let solver_cfg = SolverConfig {
+        max_iters: 4000,
+        tol: 2e-3,
+        ..SolverConfig::default()
+    };
+
+    // --- Step 1: obtain the LR solution with the physics solver. ---
+    println!("solving LR channel flow ({}x{} cells)...", 16, 64);
+    let mesh = CaseMesh::new(case.clone(), RefinementMap::uniform(layout, 0, 3));
+    let mut lr_solver = RansSolver::new(mesh, solver_cfg);
+    let lr_stats = lr_solver.solve_to_convergence();
+    let lr_field = lr_solver.state.to_tensor(0);
+    println!(
+        "  LR solve: {} iters, residual {:.2e}, {:.2}s",
+        lr_stats.iterations, lr_stats.final_residual, lr_stats.seconds
+    );
+
+    // --- Step 2: train a small model on nearby Reynolds numbers. ---
+    let mut train: Vec<Sample> = Vec::new();
+    for re in [2.0e3, 2.2e3, 2.8e3, 3.5e3, 5e3, 8e3] {
+        let mut c = CaseConfig::channel(re);
+        c.lx = 1.0;
+        train.push(Sample {
+            field: adarnet_dataset::synthesize(&c, 16, 64),
+            meta: SampleMeta {
+                family: Family::Channel,
+                reynolds: re,
+                name: c.name.clone(),
+                lx: c.lx,
+                ly: c.ly,
+            },
+        });
+    }
+    let norm = NormStats::from_samples(train.iter().map(|s| &s.field));
+    let model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed: 7,
+        ..AdarNetConfig::default()
+    });
+    let mut trainer = Trainer::new(model, norm, TrainerConfig::default());
+    println!("training on {} nearby-Re samples...", train.len());
+    for epoch in 0..5 {
+        let st = trainer.train_epoch(&train);
+        println!("  epoch {epoch}: total {:.3e}", st.total);
+    }
+
+    // --- Step 3: ADARNet one-shot pipeline. ---
+    let report = run_adarnet_case(
+        &mut trainer.model,
+        &trainer.norm,
+        &case,
+        &lr_field,
+        LrInput {
+            seconds: lr_stats.seconds,
+            iterations: lr_stats.iterations,
+        },
+        solver_cfg,
+    );
+    println!("\nADARNet predicted mesh:");
+    print!("{}", report.map.ascii());
+    println!(
+        "ADARNet: lr {:.2}s + inf {:.4}s + ps {:.2}s ({} iters) = TTC {:.2}s",
+        report.lr.seconds,
+        report.inference_seconds,
+        report.physics.seconds,
+        report.physics.iterations,
+        report.ttc_seconds()
+    );
+
+    // --- Step 4: iterative AMR baseline. ---
+    let driver = AmrDriver {
+        max_level: 3,
+        theta: 0.5,
+        max_rounds: 4,
+        balance_jump: Some(1),
+        ..AmrDriver::default()
+    };
+    let baseline = run_amr_baseline(&case, layout, solver_cfg, driver);
+    println!("\nAMR solver final mesh ({} rounds):", baseline.outcome.rounds.len());
+    print!("{}", baseline.outcome.final_map.ascii());
+    println!(
+        "AMR solver: TTC {:.2}s, ITC {}",
+        baseline.ttc_seconds(),
+        baseline.itc()
+    );
+
+    println!(
+        "\nspeedup (TTC): {:.2}x | mesh agreement: {:.0}%",
+        baseline.ttc_seconds() / report.ttc_seconds(),
+        100.0 * report.map.agreement(&baseline.outcome.final_map)
+    );
+    // Sanity: both produce a skin-friction coefficient at x = 0.95 L.
+    let mesh_a = CaseMesh::new(case.clone(), report.map.clone());
+    let cf_adarnet =
+        adarnet_cfd::skin_friction_coefficient(&report.final_state, &mesh_a, 0.95);
+    let mesh_b = CaseMesh::new(case.clone(), baseline.outcome.final_map.clone());
+    let cf_amr =
+        adarnet_cfd::skin_friction_coefficient(&baseline.final_state, &mesh_b, 0.95);
+    println!("Cf @ x=0.95L: ADARNet {cf_adarnet:.5} vs AMR {cf_amr:.5}");
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the immersed-body path (the paper's unseen test
+//! geometries): mask generation, solver behavior around the body, drag
+//! accounting, and the full ADARNet pipeline on the cylinder case.
+
+use adarnet_amr::{PatchLayout, RefinementMap};
+use adarnet_cfd::{
+    drag_coefficient, lift_coefficient, CaseConfig, CaseMesh, RansSolver, SolverConfig,
+};
+use adarnet_core::framework::LrInput;
+use adarnet_core::{run_adarnet_case, AdarNet, AdarNetConfig, NormStats};
+use adarnet_dataset::synthesize;
+
+fn small_layout() -> PatchLayout {
+    PatchLayout::new(2, 8, 8, 8) // 16 x 64 cells over the 8 x 2 m box
+}
+
+fn quick_cfg(iters: u64) -> SolverConfig {
+    SolverConfig {
+        max_iters: iters,
+        tol: 1e-9,
+        ..SolverConfig::default()
+    }
+}
+
+#[test]
+fn cylinder_solve_produces_positive_drag() {
+    let mesh = CaseMesh::new(
+        CaseConfig::cylinder(1e5),
+        RefinementMap::uniform(small_layout(), 1, 3),
+    );
+    let mut solver = RansSolver::new(mesh, quick_cfg(1200));
+    let _ = solver.solve_to_convergence();
+    assert!(solver.state.all_finite());
+    let cd = drag_coefficient(&solver.state, &solver.mesh);
+    assert!(cd > 0.0, "cylinder drag should be positive, got {cd}");
+}
+
+#[test]
+fn symmetric_body_lift_is_small() {
+    let mesh = CaseMesh::new(
+        CaseConfig::cylinder(1e5),
+        RefinementMap::uniform(small_layout(), 1, 3),
+    );
+    let mut solver = RansSolver::new(mesh, quick_cfg(1200));
+    let _ = solver.solve_to_convergence();
+    let cl = lift_coefficient(&solver.state, &solver.mesh);
+    let cd = drag_coefficient(&solver.state, &solver.mesh);
+    assert!(
+        cl.abs() < 0.5 * cd.abs().max(0.1),
+        "symmetric cylinder lift |{cl}| should be small vs drag {cd}"
+    );
+}
+
+#[test]
+fn wake_deficit_develops_downstream() {
+    let mesh = CaseMesh::new(
+        CaseConfig::cylinder(1e5),
+        RefinementMap::uniform(small_layout(), 1, 3),
+    );
+    let mut solver = RansSolver::new(mesh, quick_cfg(1200));
+    let _ = solver.solve_to_convergence();
+    let u = solver.state.u.to_uniform(1);
+    let (ny, nx) = (u.ny(), u.nx());
+    // Body center x = 2 m of 8 m; wake sampled at x ~ 3 m, centerline.
+    let j_wake = (3.0 / 8.0 * nx as f64) as usize;
+    let j_free = (6.5 / 8.0 * nx as f64) as usize;
+    let wake = u.get(ny / 2, j_wake);
+    let top = u.get(ny - 2, j_wake);
+    assert!(
+        wake < top,
+        "no wake deficit: centerline {wake} vs near-edge {top}"
+    );
+    // At this iteration budget the near wake may hold a recirculation
+    // bubble (negative u); require only that the downstream centerline
+    // stays bounded by the freestream scale rather than blowing up.
+    let recovered = u.get(ny / 2, j_free);
+    let u_in = 1.0; // cylinder case at Re 1e5 has u_in = 1 m/s
+    assert!(
+        recovered.abs() < 2.0 * u_in,
+        "downstream wake value unbounded: {recovered}"
+    );
+}
+
+#[test]
+fn adarnet_pipeline_handles_unseen_cylinder() {
+    // Untrained weights are fine here: the pipeline contract (solid cells
+    // respected, finite state, one-shot mesh) must hold regardless.
+    let case = CaseConfig::cylinder(1e5);
+    let lr = synthesize(&case, 16, 64);
+    let norm = NormStats::from_samples([&lr]);
+    let mut model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed: 31,
+        ..AdarNetConfig::default()
+    });
+    let report = run_adarnet_case(
+        &mut model,
+        &norm,
+        &case,
+        &lr,
+        LrInput {
+            seconds: 0.0,
+            iterations: 0,
+        },
+        quick_cfg(400),
+    );
+    assert!(report.final_state.all_finite());
+    // Solid cells stay at zero velocity after the physics solve.
+    let mesh = CaseMesh::new(case, report.map.clone());
+    for idx in 0..mesh.layout().num_patches() {
+        for (k, &solid) in mesh.solid[idx].iter().enumerate() {
+            if solid {
+                let uval = report.final_state.u.patch_at(idx).as_slice()[k];
+                assert_eq!(uval, 0.0, "solid cell moved in patch {idx}");
+            }
+        }
+    }
+}
