@@ -61,7 +61,10 @@ impl AmrOutcome {
 
     /// Whether the last round's solve converged.
     pub fn converged(&self) -> bool {
-        self.rounds.last().map(|r| r.solve.converged).unwrap_or(false)
+        self.rounds
+            .last()
+            .map(|r| r.solve.converged)
+            .unwrap_or(false)
     }
 }
 
@@ -211,7 +214,13 @@ mod tests {
         }
         fn indicator(&self) -> Vec<f64> {
             (0..self.layout.num_patches())
-                .map(|i| if self.hot_patches.contains(&i) { 1.0 } else { 0.01 })
+                .map(|i| {
+                    if self.hot_patches.contains(&i) {
+                        1.0
+                    } else {
+                        0.01
+                    }
+                })
                 .collect()
         }
         fn project_to(&mut self, new_map: &RefinementMap) {
@@ -321,7 +330,11 @@ mod tests {
         let outcome = driver.run(&mut sim, layout);
         // Patch 1 was refined in round 1 and coarsened once the hot spot
         // moved to patch 0.
-        assert!(outcome.final_map.level_at(0) >= 1, "{:?}", outcome.final_map.levels());
+        assert!(
+            outcome.final_map.level_at(0) >= 1,
+            "{:?}",
+            outcome.final_map.levels()
+        );
         assert!(
             outcome.final_map.level_at(1) < 2,
             "quiet patch kept max refinement: {:?}",

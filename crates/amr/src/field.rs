@@ -335,7 +335,10 @@ mod tests {
         let p = f.patch(1, 0);
         let v_interior = p.get(8, 8); // center-ish
         let expect = (4.0 + (8.0 + 0.5) / 4.0 - 0.5) + 2.0 * ((8.0 + 0.5) / 4.0 - 0.5);
-        assert!((v_interior - expect).abs() < 1e-9, "{v_interior} vs {expect}");
+        assert!(
+            (v_interior - expect).abs() < 1e-9,
+            "{v_interior} vs {expect}"
+        );
     }
 
     #[test]

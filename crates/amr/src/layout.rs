@@ -38,7 +38,7 @@ impl PatchLayout {
     /// the patch size does not tile the field.
     pub fn for_field(h: usize, w: usize, ph: usize, pw: usize) -> Self {
         assert!(
-            h % ph == 0 && w % pw == 0,
+            h.is_multiple_of(ph) && w.is_multiple_of(pw),
             "patch size {ph}x{pw} does not tile field {h}x{w}"
         );
         PatchLayout::new(h / ph, w / pw, ph, pw)

@@ -74,7 +74,11 @@ impl RefinementMap {
 
     /// Set the level of patch `(py, px)`.
     pub fn set_level(&mut self, py: usize, px: usize, level: u8) {
-        assert!(level <= self.max_level, "level {level} exceeds max {}", self.max_level);
+        assert!(
+            level <= self.max_level,
+            "level {level} exceeds max {}",
+            self.max_level
+        );
         let idx = self.layout.idx(py, px);
         self.levels[idx] = level;
     }
@@ -100,7 +104,8 @@ impl RefinementMap {
     /// Fraction of active cells relative to uniform refinement at
     /// `max_level` (in `(0, 1]`).
     pub fn active_fraction(&self) -> f64 {
-        let uniform = self.layout.num_patches() as f64 * self.layout.patch_cells(self.max_level) as f64;
+        let uniform =
+            self.layout.num_patches() as f64 * self.layout.patch_cells(self.max_level) as f64;
         self.active_cells() as f64 / uniform
     }
 

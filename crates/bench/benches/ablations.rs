@@ -12,9 +12,7 @@
 //! * **Lambda balance** — the data/PDE loss split at lambda around the
 //!   paper's 0.03.
 
-use adarnet_core::{
-    hybrid_loss_and_grad, AdarNet, AdarNetConfig, LossConfig, NormStats, Ranker,
-};
+use adarnet_core::{hybrid_loss_and_grad, AdarNet, AdarNetConfig, LossConfig, NormStats, Ranker};
 use adarnet_nn::{Layer, MaxPool2d};
 use adarnet_tensor::{Shape, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -170,11 +168,15 @@ fn bench_lambda(c: &mut Criterion) {
     group.sample_size(20);
     let pred = Tensor::from_vec(
         Shape::d3(4, 8, 8),
-        (0..256).map(|i| ((i as f32) * 0.07).cos() * 0.3 + 0.4).collect(),
+        (0..256)
+            .map(|i| ((i as f32) * 0.07).cos() * 0.3 + 0.4)
+            .collect(),
     );
     let label = Tensor::from_vec(
         Shape::d3(4, 8, 8),
-        (0..256).map(|i| ((i as f32) * 0.07).cos() * 0.3 + 0.45).collect(),
+        (0..256)
+            .map(|i| ((i as f32) * 0.07).cos() * 0.3 + 0.45)
+            .collect(),
     );
     let norm = NormStats::identity();
     for lambda in [0.003f64, 0.03, 0.3] {

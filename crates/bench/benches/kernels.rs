@@ -56,11 +56,7 @@ fn bench_solver_step(c: &mut Criterion) {
 
 fn bench_ghost_exchange(c: &mut Criterion) {
     let layout = PatchLayout::new(4, 4, 16, 16);
-    let map = RefinementMap::from_levels(
-        layout,
-        (0..16).map(|i| (i % 4) as u8).collect(),
-        3,
-    );
+    let map = RefinementMap::from_levels(layout, (0..16).map(|i| (i % 4) as u8).collect(), 3);
     let field = CompositeField::constant(&map, 1.0);
     c.bench_function("ghost_lines_16_patches_mixed", |bench| {
         bench.iter(|| {

@@ -85,7 +85,12 @@ fn main() {
 
         println!("=== {} ===", case.name);
         // Compare on a common uniform sampling at level 1.
-        let vars = ["U (velocity-x)", "V (velocity-y)", "p (pressure)", "nuTilda"];
+        let vars = [
+            "U (velocity-x)",
+            "V (velocity-y)",
+            "p (pressure)",
+            "nuTilda",
+        ];
         for (name, (fa, fb)) in vars.iter().zip([
             (&adarnet.final_state.u, &baseline.final_state.u),
             (&adarnet.final_state.v, &baseline.final_state.v),
@@ -94,7 +99,10 @@ fn main() {
         ]) {
             let ga = fa.to_uniform(1);
             let gb = fb.to_uniform(1);
-            println!("  {name:<16} relative L2 difference: {:.3}", rel_l2(&ga, &gb));
+            println!(
+                "  {name:<16} relative L2 difference: {:.3}",
+                rel_l2(&ga, &gb)
+            );
         }
 
         // Velocity-magnitude renderings.

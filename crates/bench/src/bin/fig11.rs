@@ -60,7 +60,13 @@ fn main() {
             let b_solver = RansSolver::with_state(b_mesh, baseline.final_state.clone(), solver_cfg);
             let b_qoi = qoi(tc, &b_solver);
 
-            println!("{:<16} {:>2} {:>14.6} {:>14.6}", tc.label(), n, a_qoi, b_qoi);
+            println!(
+                "{:<16} {:>2} {:>14.6} {:>14.6}",
+                tc.label(),
+                n,
+                a_qoi,
+                b_qoi
+            );
         }
         if tc == TestCase::Cylinder {
             println!(

@@ -16,10 +16,7 @@ use adarnet_dataset::{ellipse_training_configs, ELLIPSE_ASPECTS};
 fn body_stats(case: &CaseConfig, scale: Scale) -> (f64, f64, f64) {
     let body = case.body.as_ref().expect("body case");
     let (xmin, ymin, xmax, ymax) = body.bbox();
-    let mesh = CaseMesh::new(
-        case.clone(),
-        RefinementMap::uniform(scale.layout(), 0, 3),
-    );
+    let mesh = CaseMesh::new(case.clone(), RefinementMap::uniform(scale.layout(), 0, 3));
     let solid_frac = 1.0 - mesh.fluid_cells() as f64 / mesh.active_cells() as f64;
     (xmax - xmin, ymax - ymin, solid_frac)
 }
@@ -34,7 +31,10 @@ fn main() {
     for &aspect in &ELLIPSE_ASPECTS {
         let case = CaseConfig::ellipse(aspect, 0.0, 7e4);
         let (chord, height, frac) = body_stats(&case, scale);
-        println!("{aspect:>6}  {chord:>8.3}  {height:>9.3}  {:>18.2}%", 100.0 * frac);
+        println!(
+            "{aspect:>6}  {chord:>8.3}  {height:>9.3}  {:>18.2}%",
+            100.0 * frac
+        );
     }
 
     println!("\nsample of the swept training configurations:");
@@ -51,7 +51,10 @@ fn main() {
     ] {
         let (chord, height, frac) = body_stats(&case, scale);
         let name = case.name.split(' ').next().unwrap_or("?").to_string();
-        println!("{name:<14} {chord:>8.3}  {height:>9.3}  {:>10.2}%", 100.0 * frac);
+        println!(
+            "{name:<14} {chord:>8.3}  {height:>9.3}  {:>10.2}%",
+            100.0 * frac
+        );
     }
     println!(
         "\nnote: the NACA1412's camber (nonzero height asymmetry) is the unseen\n\

@@ -46,14 +46,13 @@ fn main() {
         let amr_map = &baseline.outcome.final_map;
 
         println!("=== {} ===", case.name);
+        let right_header = format!("AMR solver ({} rounds)", baseline.outcome.rounds.len());
         println!(
             "{:<w$}  {}",
             "ADARNet (one-shot)",
-            format!("AMR solver ({} rounds)", baseline.outcome.rounds.len()),
+            right_header,
             w = scale.layout().npx.max(18)
         );
-        let a: Vec<&str> = Vec::new();
-        drop(a);
         let left: Vec<String> = adarnet_map.ascii().lines().map(String::from).collect();
         let right: Vec<String> = amr_map.ascii().lines().map(String::from).collect();
         for (l, r) in left.iter().zip(&right) {

@@ -41,10 +41,7 @@ fn main() {
         let case = bench_case(tc, scale);
 
         // --- LR solve: the input to ADARNet (charged to its TTC). ---
-        let lr_mesh = CaseMesh::new(
-            case.clone(),
-            RefinementMap::uniform(scale.layout(), 0, 3),
-        );
+        let lr_mesh = CaseMesh::new(case.clone(), RefinementMap::uniform(scale.layout(), 0, 3));
         let mut lr_solver = RansSolver::new(lr_mesh, solver_cfg);
         let lr_stats = lr_solver.solve_to_convergence();
         let lr_field = lr_solver.state.to_tensor(0);
@@ -85,7 +82,5 @@ fn main() {
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
             (a.min(v), b.max(v))
         });
-    println!(
-        "\nspeedup range: {lo:.1}-{hi:.1}x (paper: 2.6-4.5x on a 40-core Xeon)"
-    );
+    println!("\nspeedup range: {lo:.1}-{hi:.1}x (paper: 2.6-4.5x on a 40-core Xeon)");
 }

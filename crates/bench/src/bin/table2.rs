@@ -124,9 +124,10 @@ fn main() {
         );
     }
     let range = |v: &[f64]| {
-        v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
-            (a.min(x), b.max(x))
-        })
+        v.iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
+                (a.min(x), b.max(x))
+            })
     };
     let (rf_lo, rf_hi) = range(&rfs);
     let (sp_lo, sp_hi) = range(&speeds);

@@ -130,7 +130,11 @@ pub fn training_set(scale: Scale) -> Vec<Sample> {
 pub fn trained_model(scale: Scale) -> Trainer {
     let cache = std::env::temp_dir().join(format!(
         "adarnet_bench_model_{}.json",
-        if scale == Scale::Quick { "quick" } else { "full" }
+        if scale == Scale::Quick {
+            "quick"
+        } else {
+            "full"
+        }
     ));
     let retrain = std::env::var("ADARNET_BENCH_RETRAIN").is_ok();
     if !retrain {

@@ -87,7 +87,10 @@ impl Body {
             if m == 0.0 || p == 0.0 {
                 (0.0, 0.0)
             } else if x < p {
-                (m / (p * p) * (2.0 * p * x - x * x), 2.0 * m / (p * p) * (p - x))
+                (
+                    m / (p * p) * (2.0 * p * x - x * x),
+                    2.0 * m / (p * p) * (p - x),
+                )
             } else {
                 (
                     m / ((1.0 - p) * (1.0 - p)) * ((1.0 - 2.0 * p) + 2.0 * p * x - x * x),
@@ -171,7 +174,12 @@ impl Body {
 
     /// Axis-aligned bounding box `(xmin, ymin, xmax, ymax)`.
     pub fn bbox(&self) -> (f64, f64, f64, f64) {
-        let mut bb = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for &(x, y) in &self.pts {
             bb.0 = bb.0.min(x);
             bb.1 = bb.1.min(y);
@@ -328,7 +336,10 @@ impl CaseConfig {
 
     /// True if `(x, y)` lies inside the solid body.
     pub fn is_solid(&self, x: f64, y: f64) -> bool {
-        self.body.as_ref().map(|b| b.contains(x, y)).unwrap_or(false)
+        self.body
+            .as_ref()
+            .map(|b| b.contains(x, y))
+            .unwrap_or(false)
     }
 
     /// Distance to the nearest no-slip wall (domain walls and/or body),

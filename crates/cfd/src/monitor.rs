@@ -87,7 +87,11 @@ mod tests {
     use super::*;
 
     fn decaying(n: usize) -> ConvergenceHistory {
-        ConvergenceHistory::new((0..n).map(|i| (i as u64 * 10, 1.0 / (i + 1) as f64)).collect())
+        ConvergenceHistory::new(
+            (0..n)
+                .map(|i| (i as u64 * 10, 1.0 / (i + 1) as f64))
+                .collect(),
+        )
     }
 
     #[test]
@@ -109,7 +113,9 @@ mod tests {
     fn stall_detection() {
         assert!(!decaying(100).is_stalled());
         let stalled = ConvergenceHistory::new(
-            (0..40).map(|i| (i as u64, if i < 20 { 1.0 / (i + 1) as f64 } else { 0.05 })).collect(),
+            (0..40)
+                .map(|i| (i as u64, if i < 20 { 1.0 / (i + 1) as f64 } else { 0.05 }))
+                .collect(),
         );
         assert!(stalled.is_stalled());
     }

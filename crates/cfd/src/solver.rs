@@ -214,7 +214,8 @@ impl RansSolver {
                     }
                     Side::IHi => {
                         for j in 0..nx {
-                            pad_field[(ny + 1) * stride + j + 1] = bc(pad_field[ny * stride + j + 1]);
+                            pad_field[(ny + 1) * stride + j + 1] =
+                                bc(pad_field[ny * stride + j + 1]);
                         }
                     }
                     Side::JLo => {
@@ -243,7 +244,8 @@ impl RansSolver {
                 Side::JHi => case.right,
             };
             let tangential_x = matches!(side, Side::ILo | Side::IHi);
-            let (bc_u, bc_v): (Box<dyn Fn(f64) -> f64>, Box<dyn Fn(f64) -> f64>) = match bc_kind {
+            type BcFn = Box<dyn Fn(f64) -> f64>;
+            let (bc_u, bc_v): (BcFn, BcFn) = match bc_kind {
                 SideBc::Inlet => (Box::new(move |c| 2.0 * u_in - c), Box::new(|c| -c)),
                 SideBc::Outlet => (Box::new(|c| c), Box::new(|c| c)),
                 SideBc::Wall => (Box::new(|c| -c), Box::new(|c| -c)),
@@ -440,8 +442,7 @@ impl RansSolver {
                         let rhs_p = -beta * div + diss_p;
 
                         // SA transport.
-                        let omega =
-                            ((v_e - v_w) / (2.0 * dx) - (u_n - u_s) / (2.0 * dy)).abs();
+                        let omega = ((v_e - v_w) / (2.0 * dx) - (u_n - u_s) / (2.0 * dy)).abs();
                         let d_wall = dist[k];
                         let src = sa::source(ntc, nu, omega, d_wall, &sa_c);
                         let face_dnt = |nt_nb: f64| -> f64 { nu + 0.5 * (ntc + nt_nb.max(0.0)) };
@@ -484,10 +485,26 @@ impl RansSolver {
         let mut res_sq = 0.0;
         let mut cells = 0usize;
         for (idx, o) in outs.into_iter().enumerate() {
-            self.state.u.patch_at_mut(idx).as_mut_slice().copy_from_slice(&o.u);
-            self.state.v.patch_at_mut(idx).as_mut_slice().copy_from_slice(&o.v);
-            self.state.p.patch_at_mut(idx).as_mut_slice().copy_from_slice(&o.p);
-            self.state.nt.patch_at_mut(idx).as_mut_slice().copy_from_slice(&o.nt);
+            self.state
+                .u
+                .patch_at_mut(idx)
+                .as_mut_slice()
+                .copy_from_slice(&o.u);
+            self.state
+                .v
+                .patch_at_mut(idx)
+                .as_mut_slice()
+                .copy_from_slice(&o.v);
+            self.state
+                .p
+                .patch_at_mut(idx)
+                .as_mut_slice()
+                .copy_from_slice(&o.p);
+            self.state
+                .nt
+                .patch_at_mut(idx)
+                .as_mut_slice()
+                .copy_from_slice(&o.nt);
             res_sq += o.res_sq;
             cells += o.cells;
         }
@@ -504,7 +521,7 @@ impl RansSolver {
         let mut res = f64::INFINITY;
         while self.iters_done - start_iters < self.cfg.max_iters {
             res = self.step();
-            if (self.iters_done - start_iters) % self.cfg.check_every == 0 {
+            if (self.iters_done - start_iters).is_multiple_of(self.cfg.check_every) {
                 self.history.push((self.iters_done, res));
                 if !res.is_finite() {
                     break;
@@ -635,9 +652,7 @@ mod tests {
         let layout = PatchLayout::new(2, 8, 8, 8);
         // Refine the bottom row of patches only.
         let mut levels = vec![0u8; 16];
-        for px in 0..8 {
-            levels[px] = 1;
-        }
+        levels[..8].fill(1);
         let map = RefinementMap::from_levels(layout, levels, 3);
         let mesh = CaseMesh::new(case, map);
         let mut s = RansSolver::new(
@@ -766,7 +781,10 @@ mod tests {
         let wall_lo = u.get(0, col);
         let wall_hi = u.get(u.ny() - 1, col);
         let center = u.get(u.ny() / 2, col);
-        assert!(center > 1.3 * wall_lo, "profile not developed: {wall_lo} vs {center}");
+        assert!(
+            center > 1.3 * wall_lo,
+            "profile not developed: {wall_lo} vs {center}"
+        );
         assert!(
             (wall_lo - wall_hi).abs() < 0.15 * center.abs().max(1e-12),
             "asymmetric profile: {wall_lo} vs {wall_hi}"

@@ -133,9 +133,11 @@ impl FlowState {
             }
             acc
         };
-        (d(&self.u, &other.u) + d(&self.v, &other.v) + d(&self.p, &other.p)
+        (d(&self.u, &other.u)
+            + d(&self.v, &other.v)
+            + d(&self.p, &other.p)
             + d(&self.nt, &other.nt))
-            .sqrt()
+        .sqrt()
     }
 }
 

@@ -122,7 +122,9 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
     let w = get_num(opts, "width", 128usize)?;
     let patch = get_num(opts, "patch", 8usize)?;
     if h % patch != 0 || w % patch != 0 {
-        return Err(format!("patch {patch} must divide height {h} and width {w}"));
+        return Err(format!(
+            "patch {patch} must divide height {h} and width {w}"
+        ));
     }
 
     let ds_cfg = DatasetConfig {
@@ -177,7 +179,11 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
     let lr = adarnet_dataset::synthesize(&case, h, w);
     let pred = model.predict(&norm.normalize(&lr));
     let map = pred.refinement_map(model.cfg.bins - 1);
-    println!("{} — one-shot refinement map (levels 0-{}):", case.name, model.cfg.bins - 1);
+    println!(
+        "{} — one-shot refinement map (levels 0-{}):",
+        case.name,
+        model.cfg.bins - 1
+    );
     print!("{}", map.ascii());
     let uniform = map.layout().num_patches() * map.layout().patch_cells(map.max_level());
     println!(

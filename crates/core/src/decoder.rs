@@ -28,11 +28,29 @@ impl Decoder {
             .push(Activation::relu())
             .push(Conv2d::new(16, 64, 3, Initializer::HeNormal, seed + 2))
             .push(Activation::relu())
-            .push(ConvTranspose2d::new(64, 64, 3, Initializer::HeNormal, seed + 3))
+            .push(ConvTranspose2d::new(
+                64,
+                64,
+                3,
+                Initializer::HeNormal,
+                seed + 3,
+            ))
             .push(Activation::relu())
-            .push(ConvTranspose2d::new(64, 16, 3, Initializer::HeNormal, seed + 4))
+            .push(ConvTranspose2d::new(
+                64,
+                16,
+                3,
+                Initializer::HeNormal,
+                seed + 4,
+            ))
             .push(Activation::relu())
-            .push(ConvTranspose2d::new(16, 4, 3, Initializer::XavierUniform, seed + 5));
+            .push(ConvTranspose2d::new(
+                16,
+                4,
+                3,
+                Initializer::XavierUniform,
+                seed + 5,
+            ));
         Decoder { net, in_channels }
     }
 

@@ -1,0 +1,234 @@
+//! Thread-safe inference entry point, split out of [`crate::framework`].
+//!
+//! [`run_adarnet_case`](crate::framework::run_adarnet_case) couples one
+//! mutable model to one physics solve — the right shape for
+//! reproducing the paper's tables, but not for serving, where many
+//! threads hold one trained model and submit batches concurrently.
+//! [`InferenceEngine`] owns the model plus its normalization behind a
+//! mutex, exposes `&self` batch inference (normalize → score → bin →
+//! per-bin decode), and converts ranker failures into typed errors so a
+//! bad request cannot take down a worker.
+//!
+//! The engine is deliberately *per-replica*: one engine = one model
+//! copy = one decoder at a time. Serving-level concurrency comes from
+//! running several engines (see the `adarnet-serve` crate), not from
+//! sharing one decoder across threads — the decoder caches activations
+//! between forward passes, so its state is inherently per-call.
+
+use std::sync::Mutex;
+
+use adarnet_tensor::Tensor;
+
+use crate::checkpoint::{self, ModelCheckpoint};
+use crate::loss::NormStats;
+use crate::network::{AdarNet, AdarNetConfig, Prediction};
+use crate::ranker::RankerError;
+
+/// Why an inference request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The scorer's output could not be binned (empty grid / NaN scores).
+    Ranker(RankerError),
+    /// A checkpoint could not be restored into a model.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Ranker(e) => write!(f, "ranker: {e}"),
+            EngineError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RankerError> for EngineError {
+    fn from(e: RankerError) -> EngineError {
+        EngineError::Ranker(e)
+    }
+}
+
+/// A trained model plus its normalization, packaged for concurrent use.
+pub struct InferenceEngine {
+    cfg: AdarNetConfig,
+    norm: NormStats,
+    model: Mutex<AdarNet>,
+}
+
+impl InferenceEngine {
+    /// Wrap a trained model and its dataset normalization.
+    pub fn new(model: AdarNet, norm: NormStats) -> InferenceEngine {
+        InferenceEngine {
+            cfg: model.cfg,
+            norm,
+            model: Mutex::new(model),
+        }
+    }
+
+    /// Restore an engine from a checkpoint.
+    pub fn from_checkpoint(ckpt: &ModelCheckpoint) -> Result<InferenceEngine, EngineError> {
+        let (model, norm) = checkpoint::restore(ckpt).map_err(EngineError::Checkpoint)?;
+        Ok(InferenceEngine::new(model, norm))
+    }
+
+    /// Snapshot the wrapped model back into a checkpoint.
+    pub fn checkpoint(&self) -> ModelCheckpoint {
+        let model = self.model.lock().unwrap();
+        checkpoint::snapshot(&model, &self.norm)
+    }
+
+    /// Clone this engine's weights into an independent replica (one per
+    /// worker thread; replicas never contend on the model lock).
+    pub fn replicate(&self) -> InferenceEngine {
+        InferenceEngine::from_checkpoint(&self.checkpoint())
+            .expect("a checkpoint snapshotted from a live engine always restores")
+    }
+
+    /// Static model configuration.
+    pub fn config(&self) -> AdarNetConfig {
+        self.cfg
+    }
+
+    /// The normalization applied to raw LR fields before inference.
+    pub fn norm(&self) -> &NormStats {
+        &self.norm
+    }
+
+    /// Infer one raw (physical-units) `(C, H, W)` LR field.
+    pub fn infer(&self, lr_field: &Tensor<f32>) -> Result<Prediction, EngineError> {
+        let normalized = self.norm.normalize(lr_field);
+        let mut model = self.model.lock().unwrap();
+        Ok(model.try_predict(&normalized)?)
+    }
+
+    /// Infer a batch of raw LR fields of identical extent: same-bin
+    /// patches from *all* samples share decoder batches
+    /// ([`AdarNet::predict_batch`]), which is the serving-time payoff of
+    /// non-uniform SR.
+    pub fn infer_batch(&self, lr_fields: &[Tensor<f32>]) -> Result<Vec<Prediction>, EngineError> {
+        let normalized: Vec<Tensor<f32>> =
+            lr_fields.iter().map(|x| self.norm.normalize(x)).collect();
+        let mut model = self.model.lock().unwrap();
+        Ok(model.try_predict_batch(&normalized)?)
+    }
+
+    /// Run `f` with exclusive access to the wrapped model (training-time
+    /// escape hatch; serving paths should stick to `infer*`).
+    pub fn with_model<R>(&self, f: impl FnOnce(&mut AdarNet) -> R) -> R {
+        let mut model = self.model.lock().unwrap();
+        f(&mut model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_tensor::Shape;
+
+    fn sample(h: usize, w: usize, phase: f32) -> Tensor<f32> {
+        Tensor::from_vec(
+            Shape::d3(4, h, w),
+            (0..4 * h * w)
+                .map(|i| ((i as f32) * 0.017 + phase).sin())
+                .collect(),
+        )
+    }
+
+    fn tiny_engine(seed: u64) -> InferenceEngine {
+        let model = AdarNet::new(AdarNetConfig {
+            ph: 8,
+            pw: 8,
+            seed,
+            ..AdarNetConfig::default()
+        });
+        InferenceEngine::new(model, NormStats::identity())
+    }
+
+    #[test]
+    fn engine_matches_direct_predict() {
+        let engine = tiny_engine(11);
+        let x = sample(16, 32, 0.0);
+        let via_engine = engine.infer(&x).unwrap();
+        let direct = engine.with_model(|m| m.predict(&x));
+        assert_eq!(via_engine.binning.bin_of_patch, direct.binning.bin_of_patch);
+        for (a, b) in via_engine.patches.iter().zip(&direct.patches) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn infer_batch_matches_singles() {
+        let engine = tiny_engine(12);
+        let a = sample(16, 32, 0.0);
+        let b = sample(16, 32, 1.3);
+        let batch = engine.infer_batch(&[a.clone(), b.clone()]).unwrap();
+        let pa = engine.infer(&a).unwrap();
+        let pb = engine.infer(&b).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (x, y) in batch[0].patches.iter().zip(&pa.patches) {
+            assert_eq!(x, y);
+        }
+        for (x, y) in batch[1].patches.iter().zip(&pb.patches) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_replica_are_bitwise_identical() {
+        let engine = tiny_engine(13);
+        let x = sample(16, 16, 0.4);
+        let original = engine.infer(&x).unwrap();
+        let restored = InferenceEngine::from_checkpoint(&engine.checkpoint()).unwrap();
+        let replica = engine.replicate();
+        for other in [&restored, &replica] {
+            let pred = other.infer(&x).unwrap();
+            assert_eq!(pred.binning.bin_of_patch, original.binning.bin_of_patch);
+            for (a, b) in pred.patches.iter().zip(&original.patches) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = std::sync::Arc::new(tiny_engine(14));
+        let mut handles = Vec::new();
+        for t in 0..3 {
+            let e = engine.clone();
+            handles.push(std::thread::spawn(move || {
+                let x = sample(16, 16, t as f32);
+                e.infer(&x).unwrap().active_cells()
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap() >= 16 * 16);
+        }
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        // NaN never survives the scorer: ReLU is `x.max(0.0)` and max-pool
+        // uses `>` comparisons, both of which drop NaN, so a poisoned field
+        // still yields finite patch scores and a well-formed prediction.
+        // The non-finite guard itself sits in the ranker (see
+        // `ranker::tests::try_bin_scores_rejects_non_finite`); here we pin
+        // the engine-level contract: garbage in, typed result out, no panic.
+        let engine = tiny_engine(15);
+        let mut x = sample(16, 16, 0.0);
+        x.as_mut_slice().fill(f32::NAN);
+        match engine.infer(&x) {
+            Ok(pred) => assert_eq!(pred.binning.bin_of_patch.len(), 2 * 2),
+            Err(EngineError::Ranker(_)) => {} // also acceptable: typed, not a panic
+            Err(other) => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ranker_errors_convert_to_engine_errors() {
+        let e = EngineError::from(RankerError::EmptyScores);
+        assert_eq!(e, EngineError::Ranker(RankerError::EmptyScores));
+        assert!(e.to_string().contains("ranker"));
+    }
+}

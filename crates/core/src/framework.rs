@@ -15,6 +15,7 @@ use adarnet_amr::{AmrDriver, AmrOutcome, AmrSim, PatchLayout, RefinementMap, Sol
 use adarnet_cfd::{CaseConfig, CaseMesh, FlowState, RansSolver, SolverConfig};
 use adarnet_tensor::Tensor;
 
+use crate::engine::EngineError;
 use crate::loss::NormStats;
 use crate::network::{AdarNet, Prediction};
 
@@ -68,12 +69,8 @@ pub fn prediction_to_state(pred: &Prediction, norm: &NormStats, max_level: u8) -
     let mut state = FlowState::zeros(&map);
     for (idx, patch) in pred.patches.iter().enumerate() {
         let (h, w) = (patch.dim(1), patch.dim(2));
-        let fields: [&mut adarnet_amr::CompositeField; 4] = [
-            &mut state.u,
-            &mut state.v,
-            &mut state.p,
-            &mut state.nt,
-        ];
+        let fields: [&mut adarnet_amr::CompositeField; 4] =
+            [&mut state.u, &mut state.v, &mut state.p, &mut state.nt];
         for (c, f) in fields.into_iter().enumerate() {
             let g = f.patch_at_mut(idx);
             let (lo, span) = (norm.lo[c], norm.hi[c] - norm.lo[c]);
@@ -103,9 +100,27 @@ pub fn run_adarnet_case(
     lr: LrInput,
     solver_cfg: SolverConfig,
 ) -> AdarnetRunReport {
+    match try_run_adarnet_case(model, norm, case, lr_field, lr, solver_cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_adarnet_case`]: a scorer that produces
+/// non-finite scores (or an empty patch grid) surfaces as a typed
+/// [`EngineError`] before any physics solve starts, instead of a panic
+/// mid-pipeline.
+pub fn try_run_adarnet_case(
+    model: &mut AdarNet,
+    norm: &NormStats,
+    case: &CaseConfig,
+    lr_field: &Tensor<f32>,
+    lr: LrInput,
+    solver_cfg: SolverConfig,
+) -> Result<AdarnetRunReport, EngineError> {
     let t0 = Instant::now();
     let normalized = norm.normalize(lr_field);
-    let prediction = model.predict(&normalized);
+    let prediction = model.try_predict(&normalized)?;
     let inference_seconds = t0.elapsed().as_secs_f64();
 
     let max_level = model.cfg.bins - 1;
@@ -117,7 +132,7 @@ pub fn run_adarnet_case(
     let mut solver = RansSolver::with_state(mesh, state, solver_cfg);
     let physics = solver.solve_to_convergence();
 
-    AdarnetRunReport {
+    Ok(AdarnetRunReport {
         case_name: case.name.clone(),
         lr,
         inference_seconds,
@@ -126,7 +141,7 @@ pub fn run_adarnet_case(
         active_cells: solver.mesh.active_cells(),
         final_state: solver.state.clone(),
         prediction,
-    }
+    })
 }
 
 /// Report of the iterative AMR baseline run.
@@ -272,7 +287,12 @@ mod tests {
         assert!(!report.outcome.rounds.is_empty());
         assert!(report.final_state.all_finite());
         // ITC across rounds is the sum of per-round solves.
-        let per_round: u64 = report.outcome.rounds.iter().map(|r| r.solve.iterations).sum();
+        let per_round: u64 = report
+            .outcome
+            .rounds
+            .iter()
+            .map(|r| r.solve.iterations)
+            .sum();
         assert_eq!(report.itc(), per_round);
     }
 }

@@ -20,6 +20,7 @@
 
 pub mod checkpoint;
 pub mod decoder;
+pub mod engine;
 pub mod framework;
 pub mod loss;
 pub mod memory;
@@ -34,11 +35,14 @@ pub mod trainer;
 
 pub use checkpoint::{load_file, save_file, ModelCheckpoint};
 pub use decoder::Decoder;
-pub use framework::{run_adarnet_case, run_amr_baseline, AdarnetRunReport, AmrBaselineReport};
+pub use engine::{EngineError, InferenceEngine};
+pub use framework::{
+    run_adarnet_case, run_amr_baseline, try_run_adarnet_case, AdarnetRunReport, AmrBaselineReport,
+};
 pub use loss::{hybrid_loss_and_grad, LossConfig, NormStats, PatchLoss};
 pub use metrics::{psnr_db, relative_l2, MapAgreement, StateComparison};
 pub use network::{AdarNet, AdarNetConfig, ForwardPlan, Prediction};
-pub use ranker::{Binning, Ranker};
+pub use ranker::{Binning, Ranker, RankerError};
 pub use schedule::{EarlyStopping, LrSchedule};
 pub use scorer::{PoolKind, Scorer, ScorerOutput};
 pub use surfnet::SurfNet;

@@ -264,7 +264,9 @@ mod tests {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let data = (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f32 / (1u64 << 31) as f32) * 0.5
             })
             .collect();

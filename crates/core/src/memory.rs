@@ -57,8 +57,7 @@ pub fn adarnet_bytes_per_sample(map: &RefinementMap) -> f64 {
 /// (max) resolution — the paper's Table 2 "rf" column.
 pub fn reduction_factor(map: &RefinementMap) -> f64 {
     let layout = map.layout();
-    let uniform_cells =
-        layout.num_patches() * layout.patch_cells(map.max_level());
+    let uniform_cells = layout.num_patches() * layout.patch_cells(map.max_level());
     uniform_bytes_per_sample(uniform_cells) / adarnet_bytes_per_sample(map)
 }
 

@@ -10,7 +10,7 @@ use adarnet_nn::bicubic_resize3;
 use adarnet_tensor::{Shape, Tensor};
 
 use crate::decoder::Decoder;
-use crate::ranker::{Binning, Ranker};
+use crate::ranker::{Binning, Ranker, RankerError};
 use crate::scorer::Scorer;
 
 /// Static configuration of the DNN.
@@ -66,6 +66,7 @@ pub struct ForwardPlan {
 }
 
 /// The network's non-uniform prediction for one sample.
+#[derive(Clone)]
 pub struct Prediction {
     /// Patch layout.
     pub layout: PatchLayout,
@@ -96,25 +97,36 @@ impl AdarNet {
 
     /// Run the scorer and ranker on one `(C, H, W)` sample.
     pub fn plan(&mut self, x: &Tensor<f32>) -> ForwardPlan {
+        match self.try_plan(x) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`AdarNet::plan`]: surfaces ranker failures
+    /// (empty patch grid, non-finite scorer output) as a typed error
+    /// instead of panicking, so serving threads can degrade gracefully.
+    /// Shape mismatches remain assertions — those are caller bugs.
+    pub fn try_plan(&mut self, x: &Tensor<f32>) -> Result<ForwardPlan, RankerError> {
         assert_eq!(x.shape().rank(), 3, "plan expects a (C, H, W) sample");
         assert_eq!(x.dim(0), self.cfg.in_channels, "channel count mismatch");
         let (c, h, w) = (x.dim(0), x.dim(1), x.dim(2));
         let layout = PatchLayout::for_field(h, w, self.cfg.ph, self.cfg.pw);
         let x4 = x.clone().reshape(Shape::d4(1, c, h, w));
         let out = self.scorer.forward(&x4);
-        let binning = self.ranker.bin_tensor(&out.scores);
+        let binning = self.ranker.try_bin_tensor(&out.scores)?;
 
         // Augment: append the latent channel to the input field.
         let mut aug = Tensor::<f32>::zeros(Shape::d3(c + 1, h, w));
         aug.as_mut_slice()[..c * h * w].copy_from_slice(x.as_slice());
         aug.as_mut_slice()[c * h * w..].copy_from_slice(out.latent.as_slice());
 
-        ForwardPlan {
+        Ok(ForwardPlan {
             layout,
             scores: out.scores,
             aug,
             binning,
-        }
+        })
     }
 
     /// Build the decoder input for one patch: extract the augmented patch,
@@ -155,7 +167,15 @@ impl AdarNet {
     /// non-uniform prediction. Bins are processed largest-resolution-last;
     /// each bin is one decoder batch (the paper's dynamic batch size).
     pub fn predict(&mut self, x: &Tensor<f32>) -> Prediction {
-        let plan = self.plan(x);
+        match self.try_predict(x) {
+            Ok(pred) => pred,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`AdarNet::predict`] (see [`AdarNet::try_plan`]).
+    pub fn try_predict(&mut self, x: &Tensor<f32>) -> Result<Prediction, RankerError> {
+        let plan = self.try_plan(x)?;
         let n_patches = plan.layout.num_patches();
         let mut patches: Vec<Option<Tensor<f32>>> = (0..n_patches).map(|_| None).collect();
         for bin in 0..self.cfg.bins {
@@ -173,12 +193,12 @@ impl AdarNet {
                 patches[i] = Some(out.image(k));
             }
         }
-        Prediction {
+        Ok(Prediction {
             layout: plan.layout,
             binning: plan.binning,
             patches: patches.into_iter().map(|p| p.unwrap()).collect(),
             scores: plan.scores,
-        }
+        })
     }
 }
 
@@ -191,10 +211,27 @@ impl AdarNet {
     /// across the batch while LR patches stay cheap — uniform SR would
     /// run every sample entirely at max resolution.
     pub fn predict_batch(&mut self, samples: &[Tensor<f32>]) -> Vec<Prediction> {
-        if samples.is_empty() {
-            return Vec::new();
+        match self.try_predict_batch(samples) {
+            Ok(preds) => preds,
+            Err(e) => panic!("{e}"),
         }
-        let plans: Vec<ForwardPlan> = samples.iter().map(|x| self.plan(x)).collect();
+    }
+
+    /// Fallible variant of [`AdarNet::predict_batch`]: the first sample
+    /// whose scores cannot be binned fails the whole batch (callers that
+    /// want per-sample degradation should pre-validate with
+    /// [`AdarNet::try_plan`]).
+    pub fn try_predict_batch(
+        &mut self,
+        samples: &[Tensor<f32>],
+    ) -> Result<Vec<Prediction>, RankerError> {
+        if samples.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plans: Vec<ForwardPlan> = samples
+            .iter()
+            .map(|x| self.try_plan(x))
+            .collect::<Result<_, _>>()?;
         let n_patches = plans[0].layout.num_patches();
         let mut outputs: Vec<Vec<Option<Tensor<f32>>>> = plans
             .iter()
@@ -221,7 +258,7 @@ impl AdarNet {
             }
         }
 
-        plans
+        Ok(plans
             .into_iter()
             .zip(outputs)
             .map(|(plan, patches)| Prediction {
@@ -230,7 +267,7 @@ impl AdarNet {
                 patches: patches.into_iter().map(|p| p.unwrap()).collect(),
                 scores: plan.scores,
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -264,12 +301,7 @@ impl Prediction {
     }
 
     fn patches_max_level(&self) -> u8 {
-        self.binning
-            .bin_of_patch
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0)
+        self.binning.bin_of_patch.iter().copied().max().unwrap_or(0)
     }
 }
 

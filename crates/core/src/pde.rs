@@ -286,11 +286,7 @@ pub fn residual_loss_and_grad(
     }
 
     // dv = Dy^T g1 + g2 * uy + g3 * vy + Dx^T(g3*u) + Dy^T(g3*v) - L^T(nu_eff*g3)
-    let mut dv = add3(
-        ddy_adjoint(&g1, dy),
-        mul(&g2, &uy),
-        mul(&g3, &vy),
-    );
+    let mut dv = add3(ddy_adjoint(&g1, dy), mul(&g2, &uy), mul(&g3, &vy));
     {
         let t1 = ddx_adjoint(&mul(&g3, u), dx);
         let t2 = ddy_adjoint(&mul(&g3, v), dy);
@@ -320,7 +316,9 @@ mod tests {
         let mut f = Field::zeros(h, w);
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         for v in &mut f.a {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *v = ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
         }
         f
@@ -361,7 +359,9 @@ mod tests {
         let f = Field {
             h: 5,
             w: 5,
-            a: (0..25).map(|k| (k % 5) as f64 + 2.0 * (k / 5) as f64).collect(),
+            a: (0..25)
+                .map(|k| (k % 5) as f64 + 2.0 * (k / 5) as f64)
+                .collect(),
         };
         let l = laplacian(&f, 1.0, 1.0);
         // Interior cells exactly zero (linear field).

@@ -12,6 +12,38 @@ use adarnet_amr::{PatchLayout, RefinementMap};
 use adarnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Why a score slice cannot be binned.
+///
+/// Scores come straight out of the scorer's softmax, so both cases are
+/// upstream defects (an empty patch grid, or weights that produced
+/// NaN/inf activations) — but a serving system must surface them as
+/// recoverable errors rather than tearing down a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankerError {
+    /// The score slice was empty: there are no patches to bin.
+    EmptyScores,
+    /// A score was NaN or infinite; `index` is the offending patch.
+    NonFiniteScore {
+        /// Patch index (row-major over the patch grid).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for RankerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankerError::EmptyScores => write!(f, "no scores to bin"),
+            RankerError::NonFiniteScore { index, value } => {
+                write!(f, "non-finite score {value} at patch {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RankerError {}
+
 /// Binning configuration: `b` bins over the rescaled score range.
 ///
 /// ```
@@ -49,9 +81,31 @@ impl Ranker {
         Ranker::new(4)
     }
 
-    /// Bin a flat slice of patch scores.
+    /// Bin a flat slice of patch scores, panicking on invalid input.
+    ///
+    /// Convenience wrapper over [`Ranker::try_bin_scores`] for contexts
+    /// (training, tests) where empty or non-finite scores are a
+    /// programming error.
     pub fn bin_scores(&self, scores: &[f64]) -> Binning {
-        assert!(!scores.is_empty(), "no scores to bin");
+        match self.try_bin_scores(scores) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Bin a flat slice of patch scores.
+    ///
+    /// Returns [`RankerError::EmptyScores`] for an empty slice and
+    /// [`RankerError::NonFiniteScore`] if any score is NaN or infinite
+    /// (a NaN would otherwise poison the min-max rescale and silently
+    /// land every patch in bin 0).
+    pub fn try_bin_scores(&self, scores: &[f64]) -> Result<Binning, RankerError> {
+        if scores.is_empty() {
+            return Err(RankerError::EmptyScores);
+        }
+        if let Some((index, &value)) = scores.iter().enumerate().find(|(_, s)| !s.is_finite()) {
+            return Err(RankerError::NonFiniteScore { index, value });
+        }
         let lo = scores.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let span = (hi - lo).max(1e-300);
@@ -65,16 +119,24 @@ impl Ranker {
             bin_of_patch.push(bin);
             groups[bin as usize].push(i);
         }
-        Binning {
+        Ok(Binning {
             bin_of_patch,
             groups,
-        }
+        })
     }
 
     /// Bin a `(1, NPy, NPx)` or `(NPy, NPx)` score tensor from the scorer.
     pub fn bin_tensor(&self, scores: &Tensor<f32>) -> Binning {
+        match self.try_bin_tensor(scores) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Ranker::bin_tensor`].
+    pub fn try_bin_tensor(&self, scores: &Tensor<f32>) -> Result<Binning, RankerError> {
         let flat: Vec<f64> = scores.as_slice().iter().map(|&v| v as f64).collect();
-        self.bin_scores(&flat)
+        self.try_bin_scores(&flat)
     }
 
     /// Convert a binning into a [`RefinementMap`] on the given layout
@@ -109,7 +171,9 @@ mod tests {
     #[test]
     fn partition_invariant_every_patch_in_exactly_one_bin() {
         let r = Ranker::paper();
-        let scores: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin().abs() / 64.0).collect();
+        let scores: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.37).sin().abs() / 64.0)
+            .collect();
         let b = r.bin_scores(&scores);
         let total: usize = b.groups.iter().map(|g| g.len()).sum();
         assert_eq!(total, 64);
@@ -165,5 +229,30 @@ mod tests {
         let r = Ranker::new(2);
         let b = r.bin_scores(&[0.0, 0.49, 0.51, 1.0]);
         assert_eq!(b.bin_of_patch, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn try_bin_scores_empty_is_typed_error() {
+        let r = Ranker::paper();
+        assert_eq!(r.try_bin_scores(&[]), Err(RankerError::EmptyScores));
+    }
+
+    #[test]
+    fn try_bin_scores_rejects_non_finite() {
+        let r = Ranker::paper();
+        match r.try_bin_scores(&[0.1, f64::NAN, 0.3]) {
+            Err(RankerError::NonFiniteScore { index: 1, value }) => assert!(value.is_nan()),
+            other => panic!("expected NonFiniteScore at 1, got {other:?}"),
+        }
+        assert!(matches!(
+            r.try_bin_scores(&[f64::INFINITY]),
+            Err(RankerError::NonFiniteScore { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "no scores to bin")]
+    fn bin_scores_empty_panics_with_legacy_message() {
+        Ranker::paper().bin_scores(&[]);
     }
 }

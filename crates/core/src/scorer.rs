@@ -178,7 +178,9 @@ impl Scorer {
 
     /// Trainable scalar count.
     pub fn num_params(&self) -> usize {
-        self.conv1.num_params() + self.conv2.num_params() + self.conv3.num_params()
+        self.conv1.num_params()
+            + self.conv2.num_params()
+            + self.conv3.num_params()
             + self.conv4.num_params()
     }
 
@@ -210,7 +212,9 @@ mod tests {
     fn input(n: usize, h: usize, w: usize) -> Tensor<f32> {
         Tensor::from_vec(
             Shape::d4(n, 4, h, w),
-            (0..n * 4 * h * w).map(|i| ((i as f32) * 0.01).sin()).collect(),
+            (0..n * 4 * h * w)
+                .map(|i| ((i as f32) * 0.01).sin())
+                .collect(),
         )
     }
 

@@ -147,8 +147,7 @@ impl Trainer {
         let (stats, _) = self.forward_backward(sample, true);
         // Gather aligned param/grad lists across scorer and decoder.
         let grads: Vec<Tensor<f32>> = {
-            let mut g: Vec<Tensor<f32>> =
-                self.model.scorer.grads().into_iter().cloned().collect();
+            let mut g: Vec<Tensor<f32>> = self.model.scorer.grads().into_iter().cloned().collect();
             g.extend(self.model.decoder.grads().into_iter().cloned());
             g
         };
@@ -285,8 +284,8 @@ impl Trainer {
             if backward {
                 let batch_grad = Tensor::stack(&grads);
                 let din = self.model.decoder.backward(&batch_grad); // (Nb, c_aug+2, th, tw)
-                // Route input gradients back: drop the coordinate channels,
-                // adjoint the bicubic refinement, scatter into aug_grad.
+                                                                    // Route input gradients back: drop the coordinate channels,
+                                                                    // adjoint the bicubic refinement, scatter into aug_grad.
                 for (k, &i) in group.iter().enumerate() {
                     let (py, px) = layout.coords(i);
                     let d_full = din.image(k); // (c_aug + 2, th, tw)
@@ -569,7 +568,12 @@ mod target_probe {
         let targets = t.score_targets(&s, &cfg);
         // 4 patch rows x 8 columns; sum per row.
         let row_sum: Vec<f64> = (0..4)
-            .map(|py| targets[py * 8..(py + 1) * 8].iter().map(|&v| v as f64).sum())
+            .map(|py| {
+                targets[py * 8..(py + 1) * 8]
+                    .iter()
+                    .map(|&v| v as f64)
+                    .sum()
+            })
             .collect();
         eprintln!("plate target row sums (bottom->top): {row_sum:?}");
         assert!(

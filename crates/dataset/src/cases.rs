@@ -176,7 +176,10 @@ mod tests {
         for &re in &res {
             assert!((2e3..=1.35e4).contains(&re), "{re}");
             // Test Re 2.5e3 sits in the gap [2.3e3, 2.7e3].
-            assert!(!(2.3e3 + 1.0..2.7e3 - 1.0).contains(&re), "{re} in test gap");
+            assert!(
+                !(2.3e3 + 1.0..2.7e3 - 1.0).contains(&re),
+                "{re} in test gap"
+            );
         }
     }
 

@@ -96,7 +96,10 @@ pub fn generate(cfg: &DatasetConfig) -> Vec<Sample> {
 
 /// Shuffle and split samples into `(train, validation)` per
 /// `cfg.val_fraction`.
-pub fn train_val_split(mut samples: Vec<Sample>, cfg: &DatasetConfig) -> (Vec<Sample>, Vec<Sample>) {
+pub fn train_val_split(
+    mut samples: Vec<Sample>,
+    cfg: &DatasetConfig,
+) -> (Vec<Sample>, Vec<Sample>) {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     samples.shuffle(&mut rng);
     let n_val = ((samples.len() as f64 * cfg.val_fraction).round() as usize).min(samples.len());

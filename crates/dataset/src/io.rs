@@ -94,11 +94,7 @@ mod tests {
         let dir = std::env::temp_dir().join("adarnet_ds_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
-        std::fs::write(
-            &path,
-            r#"{"version": 99, "fields": [], "metas": []}"#,
-        )
-        .unwrap();
+        std::fs::write(&path, r#"{"version": 99, "fields": [], "metas": []}"#).unwrap();
         assert!(load_samples(&path).is_err());
         std::fs::remove_file(&path).ok();
     }

@@ -20,7 +20,7 @@ pub use cases::{
     channel_training_res, ellipse_training_configs, flat_plate_training_res, Family, TestCase,
     ELLIPSE_ASPECTS,
 };
-pub use io::{load_samples, save_samples};
 pub use generator::{generate, train_val_split, DatasetConfig, Sample, SampleMeta};
+pub use io::{load_samples, save_samples};
 pub use solver_gen::solve_lr_sample;
 pub use synthetic::{point_value, synthesize};

@@ -51,8 +51,8 @@ pub fn point_value(case: &CaseConfig, x: f64, y: f64) -> (f64, f64, f64, f64) {
 fn channel_flow(case: &CaseConfig, x: f64, y: f64) -> (f64, f64, f64, f64) {
     let d = case.ly;
     let eta = (2.0 * y / d - 1.0).abs().min(1.0); // 0 centerline, 1 walls
-    // Bulk-preserving power law: u_max such that mean(u) = u_in.
-    // mean of (1 - eta)^(1/7) over eta in [0,1] is 7/8.
+                                                  // Bulk-preserving power law: u_max such that mean(u) = u_in.
+                                                  // mean of (1 - eta)^(1/7) over eta in [0,1] is 7/8.
     let u_max = case.u_in * 8.0 / 7.0;
     let u = u_max * (1.0 - eta).powf(1.0 / 7.0);
     let v = 0.0;
@@ -61,7 +61,7 @@ fn channel_flow(case: &CaseConfig, x: f64, y: f64) -> (f64, f64, f64, f64) {
     let f = 0.316 / re.powf(0.25); // Blasius friction factor
     let dpdx = -f / d * 0.5 * case.u_in * case.u_in;
     let p = dpdx * (x - case.lx); // p = 0 at the outlet
-    // Eddy viscosity: mixing-length parabola, nu_t ~ kappa u_tau y (1 - y/D).
+                                  // Eddy viscosity: mixing-length parabola, nu_t ~ kappa u_tau y (1 - y/D).
     let u_tau = case.u_in * (f / 8.0).sqrt();
     let yw = (y.min(d - y)).max(0.0);
     let nt = (0.41 * u_tau * yw * (1.0 - yw / (0.5 * d)).max(0.0) + 3.0 * NU).max(0.0);
@@ -97,12 +97,7 @@ fn flat_plate_flow(case: &CaseConfig, x: f64, y: f64) -> (f64, f64, f64, f64) {
 /// cylinder (exact for the cylinder case) plus a Gaussian wake deficit
 /// downstream, with eddy viscosity concentrated in the wake and near the
 /// surface.
-fn body_flow(
-    case: &CaseConfig,
-    body: &adarnet_cfd::Body,
-    x: f64,
-    y: f64,
-) -> (f64, f64, f64, f64) {
+fn body_flow(case: &CaseConfig, body: &adarnet_cfd::Body, x: f64, y: f64) -> (f64, f64, f64, f64) {
     let (xmin, ymin, xmax, ymax) = body.bbox();
     let (cx, cy) = (0.5 * (xmin + xmax), 0.5 * (ymin + ymax));
     let height = (ymax - ymin).max(1e-6);
@@ -210,7 +205,11 @@ mod tests {
         assert!(t.get3(0, i_mid, j_up) < u_in);
         // Wake deficit behind the body (x ~ 3.5).
         let j_wake = (3.5 / 8.0 * 128.0) as usize;
-        assert!(t.get3(0, i_mid, j_wake) < 0.8 * u_in, "{}", t.get3(0, i_mid, j_wake));
+        assert!(
+            t.get3(0, i_mid, j_wake) < 0.8 * u_in,
+            "{}",
+            t.get3(0, i_mid, j_wake)
+        );
         // Far field (top edge) close to freestream.
         assert!((t.get3(0, 31, 64) - u_in).abs() / u_in < 0.2);
         // Wake nu_tilde well above freestream level.

@@ -53,7 +53,11 @@ fn taps(dst: usize, scale: f64, src_len: usize) -> ([usize; 4], [f64; 4]) {
 
 /// Bicubic-resize a rank-3 `(C, H, W)` tensor to `(C, out_h, out_w)`.
 pub fn bicubic_resize3(x: &Tensor<F>, out_h: usize, out_w: usize) -> Tensor<F> {
-    assert_eq!(x.shape().rank(), 3, "bicubic_resize3 expects rank-3 (C,H,W)");
+    assert_eq!(
+        x.shape().rank(),
+        3,
+        "bicubic_resize3 expects rank-3 (C,H,W)"
+    );
     assert!(out_h > 0 && out_w > 0, "target extents must be positive");
     let (c, h, w) = (x.dim(0), x.dim(1), x.dim(2));
     let scale_y = h as f64 / out_h as f64;
@@ -193,7 +197,9 @@ mod tests {
         let ax = bicubic_resize3(&x, 12, 9);
         let y = Tensor::from_vec(
             ax.shape().clone(),
-            (0..ax.len()).map(|i| ((i * 13 % 7) as F - 3.0) * 0.5).collect(),
+            (0..ax.len())
+                .map(|i| ((i * 13 % 7) as F - 3.0) * 0.5)
+                .collect(),
         );
         let aty = bicubic_resize3_adjoint(&y, 5, 6);
         let lhs = ax.dot(&y);

@@ -36,7 +36,10 @@ impl Conv2d {
         init: Initializer,
         seed: u64,
     ) -> Self {
-        assert!(kernel % 2 == 1, "Conv2d requires an odd kernel for same padding");
+        assert!(
+            kernel % 2 == 1,
+            "Conv2d requires an odd kernel for same padding"
+        );
         let fan_in = in_channels * kernel * kernel;
         let fan_out = out_channels * kernel * kernel;
         let wshape = Shape::d4(out_channels, in_channels, kernel, kernel);

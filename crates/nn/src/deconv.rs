@@ -117,7 +117,8 @@ impl Layer for ConvTranspose2d {
         }
         // flip_transpose is linear and an involution, so the deconv-layout
         // gradient is the same transform applied to the conv-layout gradient.
-        self.dweight.axpy_inplace(1.0, &flip_transpose_weights(&dw_conv));
+        self.dweight
+            .axpy_inplace(1.0, &flip_transpose_weights(&dw_conv));
         let w_conv = flip_transpose_weights(&self.weight);
         if big {
             // dx of a same-padded stride-1 conv is the conv with the
@@ -174,7 +175,9 @@ mod tests {
         let mut dec = ConvTranspose2d::new(2, 3, 3, Initializer::XavierUniform, 9);
         let mut conv = Conv2d::new(2, 3, 3, Initializer::Zeros, 0);
         let w_conv = flip_transpose_weights(&dec.weight);
-        conv.weight_mut().as_mut_slice().copy_from_slice(w_conv.as_slice());
+        conv.weight_mut()
+            .as_mut_slice()
+            .copy_from_slice(w_conv.as_slice());
         let x = Tensor::from_vec(
             Shape::d4(1, 2, 4, 4),
             (0..32).map(|i| (i as F * 0.3).cos()).collect(),

@@ -42,13 +42,17 @@ pub fn check_layer_gradients(
     let n = in_shape.numel();
     let mut x = Tensor::from_vec(
         in_shape.clone(),
-        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<F>>(),
+        (0..n)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect::<Vec<F>>(),
     );
 
     let y0 = layer.forward(&x);
     let r = Tensor::from_vec(
         y0.shape().clone(),
-        (0..y0.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<F>>(),
+        (0..y0.len())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect::<Vec<F>>(),
     );
 
     // Analytic gradients.
@@ -83,6 +87,7 @@ pub fn check_layer_gradients(
     let mut max_param_rel = 0.0f64;
     let mut probed_params = 0usize;
     let n_params = layer.params().len();
+    #[allow(clippy::needless_range_loop)] // indexes params() and params_mut() in lockstep
     for pi in 0..n_params {
         let plen = layer.params()[pi].len();
         if plen == 0 {

@@ -77,11 +77,18 @@ mod tests {
         let fan_in = 64;
         let t = he_normal(Shape::d1(20000), fan_in, 7);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
             / t.len() as f64;
         let target = 2.0 / fan_in as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var - target).abs() / target < 0.1, "var {var} target {target}");
+        assert!(
+            (var - target).abs() / target < 0.1,
+            "var {var} target {target}"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn conv_out_extent(in_extent: usize, k: usize, pad: usize) -> usize {
 pub fn conv2d_forward(x: &Tensor<F>, w: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Tensor<F> {
     let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(ic, wic, "conv2d: input channels {ic} != weight channels {wic}");
+    assert_eq!(
+        ic, wic,
+        "conv2d: input channels {ic} != weight channels {wic}"
+    );
     assert!(
         bias.is_empty() || bias.len() == oc,
         "conv2d: bias length {} != out channels {oc}",
@@ -36,7 +39,10 @@ pub fn conv2d_forward(x: &Tensor<F>, w: &Tensor<F>, bias: &Tensor<F>, pad: usize
     );
     let oh = conv_out_extent(h, kh, pad);
     let ow = conv_out_extent(wd, kw, pad);
-    assert!(oh > 0 && ow > 0, "conv2d: kernel {kh}x{kw} larger than padded input");
+    assert!(
+        oh > 0 && ow > 0,
+        "conv2d: kernel {kh}x{kw} larger than padded input"
+    );
 
     let mut y = Tensor::<F>::zeros(Shape::d4(n, oc, oh, ow));
     let xs = x.as_slice();
@@ -93,9 +99,20 @@ pub fn conv2d_backward_input(
 ) -> Tensor<F> {
     let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
     let (woc, ic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(oc, woc, "conv2d backward: dy channels {oc} != weight out channels {woc}");
-    assert_eq!(oh, conv_out_extent(in_h, kh, pad), "conv2d backward: oh mismatch");
-    assert_eq!(ow, conv_out_extent(in_w, kw, pad), "conv2d backward: ow mismatch");
+    assert_eq!(
+        oc, woc,
+        "conv2d backward: dy channels {oc} != weight out channels {woc}"
+    );
+    assert_eq!(
+        oh,
+        conv_out_extent(in_h, kh, pad),
+        "conv2d backward: oh mismatch"
+    );
+    assert_eq!(
+        ow,
+        conv_out_extent(in_w, kw, pad),
+        "conv2d backward: ow mismatch"
+    );
 
     let mut dx = Tensor::<F>::zeros(Shape::d4(n, ic, in_h, in_w));
     let dys = dy.as_slice();
@@ -205,13 +222,9 @@ pub fn conv2d_backward_params(
         assert_eq!(db.len(), oc, "conv2d params: db length mismatch");
         let dbs = db.as_mut_slice();
         for ni in 0..n {
-            for oci in 0..oc {
+            for (oci, slot) in dbs.iter_mut().enumerate() {
                 let base = (ni * oc + oci) * oh * ow;
-                let mut acc = 0.0f32;
-                for k in 0..oh * ow {
-                    acc += dys[base + k];
-                }
-                dbs[oci] += acc;
+                *slot += dys[base..base + oh * ow].iter().sum::<f32>();
             }
         }
     }
@@ -231,7 +244,10 @@ pub fn conv2d_forward_gemm(
 ) -> Tensor<F> {
     let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(ic, wic, "conv2d: input channels {ic} != weight channels {wic}");
+    assert_eq!(
+        ic, wic,
+        "conv2d: input channels {ic} != weight channels {wic}"
+    );
     assert!(
         bias.is_empty() || bias.len() == oc,
         "conv2d: bias length {} != out channels {oc}",
@@ -356,26 +372,28 @@ pub fn conv2d_backward_params_gemm(
         }
         // dw[oc_i, :] += dy_row(oc_i) . col^T.
         let dws = dw.as_mut_slice();
-        dws.par_chunks_mut(k_len).enumerate().for_each(|(oci, dwrow)| {
-            let dyrow = &dys[(ni * oc + oci) * o_len..(ni * oc + oci + 1) * o_len];
-            for (k, dwv) in dwrow.iter_mut().enumerate() {
-                let crow = &col[k * o_len..(k + 1) * o_len];
-                let mut acc = 0.0f32;
-                for (dv, cv) in dyrow.iter().zip(crow) {
-                    acc += dv * cv;
+        dws.par_chunks_mut(k_len)
+            .enumerate()
+            .for_each(|(oci, dwrow)| {
+                let dyrow = &dys[(ni * oc + oci) * o_len..(ni * oc + oci + 1) * o_len];
+                for (k, dwv) in dwrow.iter_mut().enumerate() {
+                    let crow = &col[k * o_len..(k + 1) * o_len];
+                    let mut acc = 0.0f32;
+                    for (dv, cv) in dyrow.iter().zip(crow) {
+                        acc += dv * cv;
+                    }
+                    *dwv += acc;
                 }
-                *dwv += acc;
-            }
-        });
+            });
     }
 
     if !db.is_empty() {
         assert_eq!(db.len(), oc, "db length mismatch");
         let dbs = db.as_mut_slice();
         for ni in 0..n {
-            for oci in 0..oc {
+            for (oci, slot) in dbs.iter_mut().enumerate() {
                 let base = (ni * oc + oci) * o_len;
-                dbs[oci] += dys[base..base + o_len].iter().sum::<f32>();
+                *slot += dys[base..base + o_len].iter().sum::<f32>();
             }
         }
     }

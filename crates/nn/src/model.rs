@@ -57,7 +57,10 @@ impl Sequential {
 
     /// All trainable parameters, mutably.
     pub fn params_mut(&mut self) -> Vec<&mut Tensor<F>> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// All accumulated gradients, aligned with [`Sequential::params`].

@@ -56,12 +56,21 @@ impl Optimizer for Sgd {
         if self.velocity.is_empty() {
             self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "optimizer state mismatch");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "optimizer state mismatch"
+        );
         let lr = self.lr as F;
         let mu = self.momentum as F;
         for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             assert_eq!(p.len(), g.len(), "param/grad shape mismatch");
-            for ((pi, &gi), vi) in p.as_mut_slice().iter_mut().zip(g.as_slice()).zip(v.iter_mut()) {
+            for ((pi, &gi), vi) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(v.iter_mut())
+            {
                 *vi = mu * *vi - lr * gi;
                 *pi += *vi;
             }

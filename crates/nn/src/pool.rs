@@ -256,10 +256,7 @@ mod tests {
 
     #[test]
     fn backward_routes_to_argmax_only() {
-        let x = Tensor::from_vec(
-            Shape::d4(1, 1, 2, 2),
-            vec![1.0, 9.0, 3.0, 2.0],
-        );
+        let x = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1.0, 9.0, 3.0, 2.0]);
         let mut l = MaxPool2d::new(2, 2);
         let _ = l.forward(&x);
         let dx = l.backward(&Tensor::full(Shape::d4(1, 1, 1, 1), 2.5f32));

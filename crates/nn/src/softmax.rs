@@ -16,7 +16,9 @@ pub struct SpatialSoftmax {
 impl SpatialSoftmax {
     /// Create a softmax layer.
     pub fn new() -> Self {
-        SpatialSoftmax { cached_output: None }
+        SpatialSoftmax {
+            cached_output: None,
+        }
     }
 }
 
@@ -59,7 +61,10 @@ impl Layer for SpatialSoftmax {
             .cached_output
             .as_ref()
             .expect("SpatialSoftmax::backward called before forward");
-        assert!(y.shape().same(grad_out.shape()), "softmax grad shape mismatch");
+        assert!(
+            y.shape().same(grad_out.shape()),
+            "softmax grad shape mismatch"
+        );
         let n = y.dim(0);
         let per = y.len() / n.max(1);
         let mut dx = grad_out.clone();
@@ -67,7 +72,11 @@ impl Layer for SpatialSoftmax {
             let ys = &y.as_slice()[b * per..(b + 1) * per];
             let gs = &mut dx.as_mut_slice()[b * per..(b + 1) * per];
             // dx_i = y_i * (g_i - sum_j g_j y_j)
-            let dot: f64 = ys.iter().zip(gs.iter()).map(|(&yi, &gi)| (yi * gi) as f64).sum();
+            let dot: f64 = ys
+                .iter()
+                .zip(gs.iter())
+                .map(|(&yi, &gi)| (yi * gi) as f64)
+                .sum();
             let dot = dot as F;
             for (g, &yi) in gs.iter_mut().zip(ys) {
                 *g = yi * (*g - dot);
@@ -84,7 +93,10 @@ mod tests {
 
     #[test]
     fn sums_to_one_per_batch_item() {
-        let x = Tensor::from_vec(Shape::d4(2, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0]);
+        let x = Tensor::from_vec(
+            Shape::d4(2, 1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 2.0],
+        );
         let mut l = SpatialSoftmax::new();
         let y = l.forward(&x);
         let s0: f64 = y.as_slice()[..4].iter().map(|&v| v as f64).sum();

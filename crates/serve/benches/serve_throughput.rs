@@ -1,0 +1,65 @@
+//! Batched vs. unbatched serving throughput at 1/8/32 concurrent
+//! closed-loop clients.
+//!
+//! "Batched" is the full service (micro-batching + decoded-patch
+//! cache); "unbatched" forces one request per decoder pass with the
+//! cache off — naive per-request inference. Same model, same field
+//! pool, same client count in both arms.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adarnet_core::checkpoint;
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_serve::{field_pool, run_closed_loop, ModelRegistry, ServeConfig, Server};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fresh_server(batched: bool) -> Server {
+    let model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed: 42,
+        ..AdarNetConfig::default()
+    });
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(
+        "bench",
+        checkpoint::snapshot(&model, &NormStats::identity()),
+    );
+    registry.activate("bench").unwrap();
+    let base = ServeConfig {
+        queue_capacity: 256,
+        max_batch: 8,
+        max_linger: Duration::from_millis(2),
+        workers: 1,
+        cache_capacity: 4096,
+    };
+    let cfg = if batched { base } else { base.unbatched() };
+    Server::start(cfg, registry).unwrap()
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    let pool = field_pool(8, 16, 32, 1234);
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for concurrency in [1usize, 8, 32] {
+        for (label, batched) in [("batched", true), ("unbatched", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, concurrency),
+                &concurrency,
+                |b, &clients| {
+                    // One server per arm so cache warmth persists across
+                    // iterations (steady-state serving), torn down after.
+                    let server = fresh_server(batched);
+                    b.iter(|| run_closed_loop(&server, &pool, clients, 2));
+                    server.shutdown();
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_throughput);
+criterion_main!(benches);

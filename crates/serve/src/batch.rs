@@ -1,0 +1,207 @@
+//! Cache-aware micro-batch inference and the degraded bin-0 fallback.
+//!
+//! [`infer_cached`] is the serving-side twin of
+//! `AdarNet::predict_batch`: same-bin patches from every request in the
+//! micro-batch form one decoder batch, but each patch first consults
+//! the [`PatchCache`] — only misses are decoded, and fresh decodes are
+//! inserted for the next request. Because cache values are the exact
+//! tensors the decoder produced (keyed on the exact decoder input),
+//! predictions are bitwise identical with the cache on or off.
+//!
+//! [`degraded_prediction`] is the load-shedding path: a bin-0-everywhere
+//! "prediction" whose patches are the raw (normalized) LR patches — no
+//! scorer, no decoder, no model at all. It is what a saturated server
+//! answers instead of queueing, mirroring how an AMR code under memory
+//! pressure falls back to the unrefined mesh.
+
+use adarnet_amr::PatchLayout;
+use adarnet_core::engine::{EngineError, InferenceEngine};
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNetConfig, ForwardPlan, Prediction};
+use adarnet_core::ranker::Binning;
+use adarnet_tensor::{Shape, Tensor};
+
+use crate::cache::{PatchCache, PatchKey};
+
+/// Batched inference over raw LR fields with decoded-patch caching.
+///
+/// `generation` namespaces cache keys so entries from a hot-swapped-out
+/// model can never serve a hit for the new one.
+pub fn infer_cached(
+    engine: &InferenceEngine,
+    generation: u64,
+    fields: &[Tensor<f32>],
+    cache: &PatchCache,
+) -> Result<Vec<Prediction>, EngineError> {
+    if fields.is_empty() {
+        return Ok(Vec::new());
+    }
+    let norm = *engine.norm();
+    let bins = engine.config().bins;
+    engine.with_model(|model| {
+        let normalized: Vec<Tensor<f32>> = fields.iter().map(|x| norm.normalize(x)).collect();
+        let plans: Vec<ForwardPlan> = normalized
+            .iter()
+            .map(|x| model.try_plan(x))
+            .collect::<Result<_, _>>()?;
+        let mut outputs: Vec<Vec<Option<Tensor<f32>>>> = plans
+            .iter()
+            .map(|p| (0..p.layout.num_patches()).map(|_| None).collect())
+            .collect();
+
+        for bin in 0..bins {
+            // Gather this bin's (sample, patch) pairs across the whole
+            // micro-batch, resolving cache hits up front.
+            let mut owners: Vec<(usize, usize, PatchKey)> = Vec::new();
+            let mut inputs: Vec<Tensor<f32>> = Vec::new();
+            for (si, plan) in plans.iter().enumerate() {
+                for &pi in &plan.binning.groups[bin as usize] {
+                    let dec_in = model.decoder_input(plan, pi);
+                    let key = PatchKey::new(generation, bin, &dec_in);
+                    if let Some(hit) = cache.get(&key) {
+                        outputs[si][pi] = Some(hit);
+                    } else {
+                        owners.push((si, pi, key));
+                        inputs.push(dec_in);
+                    }
+                }
+            }
+            if inputs.is_empty() {
+                continue;
+            }
+            let batch = Tensor::stack(&inputs);
+            let out = model.decoder.forward(&batch);
+            for (k, (si, pi, key)) in owners.into_iter().enumerate() {
+                let image = out.image(k);
+                cache.insert(&key, image.clone());
+                outputs[si][pi] = Some(image);
+            }
+        }
+
+        Ok(plans
+            .into_iter()
+            .zip(outputs)
+            .map(|(plan, patches)| Prediction {
+                layout: plan.layout,
+                binning: plan.binning,
+                patches: patches.into_iter().map(|p| p.unwrap()).collect(),
+                scores: plan.scores,
+            })
+            .collect())
+    })
+}
+
+/// Build the bin-0 fallback for one raw `(C, H, W)` LR field: every
+/// patch at level 0, patch contents = the normalized LR patches
+/// themselves (what "no super-resolution" means in this pipeline).
+pub fn degraded_prediction(
+    norm: &NormStats,
+    cfg: AdarNetConfig,
+    field: &Tensor<f32>,
+) -> Prediction {
+    assert_eq!(field.shape().rank(), 3, "expected a (C, H, W) field");
+    assert_eq!(field.dim(0), cfg.in_channels, "channel count mismatch");
+    let (h, w) = (field.dim(1), field.dim(2));
+    let layout = PatchLayout::for_field(h, w, cfg.ph, cfg.pw);
+    let n = layout.num_patches();
+    let normalized = norm.normalize(field);
+
+    let patches: Vec<Tensor<f32>> = (0..n)
+        .map(|idx| {
+            let (py, px) = layout.coords(idx);
+            normalized.extract_patch(py * layout.ph, px * layout.pw, layout.ph, layout.pw)
+        })
+        .collect();
+
+    let mut groups = vec![Vec::new(); cfg.bins as usize];
+    groups[0] = (0..n).collect();
+    Prediction {
+        layout,
+        binning: Binning {
+            bin_of_patch: vec![0; n],
+            groups,
+        },
+        patches,
+        scores: Tensor::zeros(Shape::d4(1, 1, layout.npy, layout.npx)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_core::network::AdarNet;
+
+    fn sample(h: usize, w: usize, phase: f32) -> Tensor<f32> {
+        Tensor::from_vec(
+            Shape::d3(4, h, w),
+            (0..4 * h * w)
+                .map(|i| ((i as f32) * 0.017 + phase).sin())
+                .collect(),
+        )
+    }
+
+    fn tiny_engine(seed: u64) -> InferenceEngine {
+        let model = AdarNet::new(AdarNetConfig {
+            ph: 8,
+            pw: 8,
+            seed,
+            ..AdarNetConfig::default()
+        });
+        InferenceEngine::new(model, NormStats::identity())
+    }
+
+    #[test]
+    fn cached_inference_matches_uncached_bitwise() {
+        let engine = tiny_engine(3);
+        let fields = vec![sample(16, 32, 0.0), sample(16, 32, 1.1)];
+        let cache = PatchCache::new(512);
+        let disabled = PatchCache::new(0);
+        let warm = infer_cached(&engine, 1, &fields, &cache).unwrap();
+        // Second pass: now everything hits the cache.
+        let hot = infer_cached(&engine, 1, &fields, &cache).unwrap();
+        let cold = infer_cached(&engine, 1, &fields, &disabled).unwrap();
+        assert!(cache.hits() > 0, "second pass must hit");
+        for (a, b) in warm.iter().zip(&hot) {
+            assert_eq!(a.binning.bin_of_patch, b.binning.bin_of_patch);
+            for (x, y) in a.patches.iter().zip(&b.patches) {
+                assert_eq!(x, y);
+            }
+        }
+        for (a, b) in warm.iter().zip(&cold) {
+            for (x, y) in a.patches.iter().zip(&b.patches) {
+                assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_change_invalidates_hits() {
+        let engine = tiny_engine(4);
+        let fields = vec![sample(16, 16, 0.5)];
+        let cache = PatchCache::new(512);
+        infer_cached(&engine, 1, &fields, &cache).unwrap();
+        let hits_before = cache.hits();
+        infer_cached(&engine, 2, &fields, &cache).unwrap();
+        assert_eq!(cache.hits(), hits_before, "new generation must not hit");
+    }
+
+    #[test]
+    fn degraded_prediction_is_all_bin_zero_lr_patches() {
+        let cfg = AdarNetConfig {
+            ph: 8,
+            pw: 8,
+            ..AdarNetConfig::default()
+        };
+        let norm = NormStats::identity();
+        let field = sample(16, 32, 0.0);
+        let pred = degraded_prediction(&norm, cfg, &field);
+        assert_eq!(pred.patches.len(), 2 * 4);
+        assert!(pred.binning.bin_of_patch.iter().all(|&b| b == 0));
+        assert_eq!(pred.active_cells(), 16 * 32);
+        for p in &pred.patches {
+            assert_eq!((p.dim(0), p.dim(1), p.dim(2)), (4, 8, 8));
+        }
+        // Patch 0 is the top-left LR patch verbatim.
+        assert_eq!(pred.patches[0].get3(0, 0, 0), field.get3(0, 0, 0));
+    }
+}

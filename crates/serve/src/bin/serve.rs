@@ -1,0 +1,203 @@
+//! Closed-loop serving benchmark: trains nothing, serves a
+//! freshly-initialized model under synthetic load, and writes
+//! `BENCH_serve.json`.
+//!
+//! For each concurrency level (1/8/32) the driver runs the same
+//! request stream twice:
+//! * **batched** — micro-batching scheduler + decoded-patch cache (the
+//!   serving system under test);
+//! * **unbatched** — `max_batch = 1`, no linger, no cache (naive
+//!   per-request inference, the baseline).
+//!
+//! A final saturation phase submits a burst far beyond the queue bound
+//! to demonstrate load shedding: the overflow is answered with degraded
+//! bin-0 responses, counted, and reported.
+//!
+//! Environment knobs (all optional):
+//! * `ADARNET_SERVE_SCALE` — `quick` (default; 16x32 fields, 8x8
+//!   patches) or `full` (64x256 fields, 16x16 patches);
+//! * `ADARNET_SERVE_REQUESTS` — requests per client;
+//! * `ADARNET_SERVE_OUT` — output path (default `BENCH_serve.json`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adarnet_core::checkpoint;
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_serve::{
+    field_pool, run_closed_loop, LoadReport, ModelRegistry, ResponseKind, ServeConfig, Server,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SaturationReport {
+    queue_capacity: usize,
+    burst: usize,
+    shed_queue_full: u64,
+    degraded_seen: u64,
+    full_seen: u64,
+}
+
+#[derive(Serialize)]
+struct BenchOutput {
+    scale: String,
+    field_h: usize,
+    field_w: usize,
+    patch: usize,
+    pool_size: usize,
+    runs: Vec<LoadReport>,
+    batched_vs_unbatched_speedup_at_max_concurrency: f64,
+    saturation: SaturationReport,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `ModelCheckpoint` is not `Clone` (weight tensors are large and
+/// sharing is the norm); round-trip through restore/snapshot instead.
+fn checkpoint_clone(ckpt: &adarnet_core::ModelCheckpoint) -> adarnet_core::ModelCheckpoint {
+    let (model, norm) = checkpoint::restore(ckpt).expect("clone restores");
+    checkpoint::snapshot(&model, &norm)
+}
+
+fn main() {
+    let mut scale = std::env::var("ADARNET_SERVE_SCALE").unwrap_or_else(|_| "quick".into());
+    if scale != "quick" && scale != "full" {
+        eprintln!("warning: unknown ADARNET_SERVE_SCALE '{scale}', using quick");
+        scale = "quick".into();
+    }
+    let (h, w, patch, default_requests) = match scale.as_str() {
+        "full" => (64, 256, 16, 4),
+        _ => (16, 32, 8, 8),
+    };
+    let requests_per_client = env_usize("ADARNET_SERVE_REQUESTS", default_requests);
+    let out_path = std::env::var("ADARNET_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let concurrencies = [1usize, 8, 32];
+
+    // One checkpoint shared by every run (weights are random — serving
+    // cost does not depend on training quality).
+    let model = AdarNet::new(AdarNetConfig {
+        ph: patch,
+        pw: patch,
+        seed: 42,
+        ..AdarNetConfig::default()
+    });
+    let ckpt = checkpoint::snapshot(&model, &NormStats::identity());
+
+    let pool = field_pool(8, h, w, 1234);
+    println!(
+        "serve bench: scale={scale}, fields {h}x{w}, patch {patch}, pool {}",
+        pool.len()
+    );
+
+    let mut runs: Vec<LoadReport> = Vec::new();
+    let mut speedup_at_max = 0.0;
+
+    for &concurrency in &concurrencies {
+        let mut throughput = [0.0f64; 2];
+        for (mode_idx, mode) in ["batched", "unbatched"].into_iter().enumerate() {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.register("bench", checkpoint_clone(&ckpt));
+            registry.activate("bench").unwrap();
+            let base = ServeConfig {
+                queue_capacity: 256,
+                max_batch: 8,
+                max_linger: Duration::from_millis(2),
+                workers: 1,
+                cache_capacity: 4096,
+            };
+            let cfg = if mode == "batched" {
+                base
+            } else {
+                base.unbatched()
+            };
+            let server = Server::start(cfg, registry).unwrap();
+            let (observations, elapsed) =
+                run_closed_loop(&server, &pool, concurrency, requests_per_client);
+            let report = LoadReport::from_run(mode, concurrency, &server, &observations, elapsed);
+            println!(
+                "{:>9} c={:<3} {:>8.2} req/s  p50 {:>8.2} ms  p95 {:>8.2} ms  p99 {:>8.2} ms  cache {:>3.0}%  shed {}",
+                report.mode,
+                report.concurrency,
+                report.throughput_rps,
+                report.p50_ms,
+                report.p95_ms,
+                report.p99_ms,
+                report.cache_hit_rate * 100.0,
+                report.shed_queue_full + report.shed_inference_error,
+            );
+            throughput[mode_idx] = report.throughput_rps;
+            runs.push(report);
+            server.shutdown();
+        }
+        if concurrency == *concurrencies.last().unwrap() && throughput[1] > 0.0 {
+            speedup_at_max = throughput[0] / throughput[1];
+        }
+    }
+    println!("batched/unbatched speedup at c=32: {speedup_at_max:.2}x");
+
+    // Saturation: queue bound 4, burst of 32 submissions before the
+    // single worker can drain — overflow must shed, nothing may hang.
+    let saturation = {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("bench", checkpoint_clone(&ckpt));
+        registry.activate("bench").unwrap();
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            max_batch: 4,
+            max_linger: Duration::from_millis(20),
+            workers: 1,
+            cache_capacity: 0,
+        };
+        let burst = 32;
+        let server = Server::start(cfg, registry).unwrap();
+        let receivers: Vec<_> = (0..burst)
+            .map(|i| server.submit(pool[i % pool.len()].clone()))
+            .collect();
+        let mut degraded = 0u64;
+        let mut full = 0u64;
+        for rx in receivers {
+            match rx.recv().unwrap().kind {
+                ResponseKind::Full => full += 1,
+                _ => degraded += 1,
+            }
+        }
+        let shed = server
+            .stats()
+            .shed_queue_full
+            .load(std::sync::atomic::Ordering::Relaxed);
+        println!(
+            "saturation: burst {burst} over capacity 4 -> {full} full, {degraded} degraded ({shed} shed at queue)"
+        );
+        server.shutdown();
+        SaturationReport {
+            queue_capacity: 4,
+            burst,
+            shed_queue_full: shed,
+            degraded_seen: degraded,
+            full_seen: full,
+        }
+    };
+
+    let output = BenchOutput {
+        scale,
+        field_h: h,
+        field_w: w,
+        patch,
+        pool_size: pool.len(),
+        runs,
+        batched_vs_unbatched_speedup_at_max_concurrency: speedup_at_max,
+        saturation,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("report serializes");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,271 @@
+//! Decoded-patch cache: content-addressed, LRU-evicted, collision-proof.
+//!
+//! ADARNet's decoder is the expensive stage, and flow fields arriving at
+//! a serving endpoint are highly repetitive — freestream patches of the
+//! same case family are byte-identical across requests. The cache keys
+//! each decoded patch by a content hash of everything that determines
+//! its output: the model generation, the bin level, and the raw bytes
+//! of the decoder-input tensor (LR patch + latent + coordinate
+//! channels). Keying on the full decoder input rather than the bare LR
+//! patch is what makes hits *bitwise* safe: two identical LR patches at
+//! different grid positions get different coordinate channels, hence
+//! different keys.
+//!
+//! Hash collisions cannot corrupt results: every entry stores its full
+//! key bytes, a hit compares them, and a mismatch is treated as a miss
+//! and overwritten.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use adarnet_tensor::Tensor;
+
+/// FNV-1a 64-bit over a byte stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Content key of one decoded patch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchKey {
+    bytes: Vec<u8>,
+    hash: u64,
+}
+
+impl PatchKey {
+    /// Build the key for a decoder input at `level` under model
+    /// `generation`.
+    pub fn new(generation: u64, level: u8, decoder_input: &Tensor<f32>) -> PatchKey {
+        let data = decoder_input.as_slice();
+        let mut bytes = Vec::with_capacity(9 + 4 * data.len());
+        bytes.extend_from_slice(&generation.to_le_bytes());
+        bytes.push(level);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let hash = fnv1a(&bytes);
+        PatchKey { bytes, hash }
+    }
+}
+
+struct Entry {
+    key_bytes: Vec<u8>,
+    value: Tensor<f32>,
+    tick: u64,
+}
+
+struct CacheInner {
+    /// hash → entry. Collisions resolved by exact key-byte comparison.
+    map: HashMap<u64, Entry>,
+    /// recency tick → hash, oldest first (exact LRU order).
+    recency: BTreeMap<u64, u64>,
+    tick: u64,
+}
+
+/// Shared LRU cache of decoded patches with hit/miss counters.
+pub struct PatchCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PatchCache {
+    /// Create a cache holding at most `capacity` decoded patches.
+    /// `capacity == 0` disables caching (every lookup misses, inserts
+    /// are dropped).
+    pub fn new(capacity: usize) -> PatchCache {
+        PatchCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                recency: BTreeMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether caching is active.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up a decoded patch, refreshing its recency on hit.
+    pub fn get(&self, key: &PatchKey) -> Option<Tensor<f32>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key.hash) {
+            if entry.key_bytes == key.bytes {
+                let old_tick = entry.tick;
+                entry.tick = tick;
+                let value = entry.value.clone();
+                inner.recency.remove(&old_tick);
+                inner.recency.insert(tick, key.hash);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert a decoded patch, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&self, key: &PatchKey, value: Tensor<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key.hash,
+            Entry {
+                key_bytes: key.bytes.clone(),
+                value,
+                tick,
+            },
+        ) {
+            // Same hash slot reused (refresh or collision overwrite).
+            inner.recency.remove(&old.tick);
+        }
+        inner.recency.insert(tick, key.hash);
+        while inner.map.len() > self.capacity {
+            let (&oldest_tick, &oldest_hash) = inner
+                .recency
+                .iter()
+                .next()
+                .expect("recency tracks every entry");
+            inner.recency.remove(&oldest_tick);
+            inner.map.remove(&oldest_hash);
+        }
+    }
+
+    /// Drop every entry (e.g. on model hot-swap; entries are also
+    /// generation-keyed, so this is an optimization, not correctness).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.recency.clear();
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits / (hits + misses), or 0 with no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_tensor::Shape;
+
+    fn patch(seed: f32) -> Tensor<f32> {
+        Tensor::from_vec(
+            Shape::d3(1, 2, 2),
+            (0..4).map(|i| seed + i as f32).collect(),
+        )
+    }
+
+    #[test]
+    fn hit_after_insert_returns_identical_tensor() {
+        let cache = PatchCache::new(8);
+        let input = patch(1.0);
+        let key = PatchKey::new(0, 2, &input);
+        assert!(cache.get(&key).is_none());
+        let decoded = patch(100.0);
+        cache.insert(&key, decoded.clone());
+        assert_eq!(cache.get(&key).unwrap(), decoded);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn level_and_generation_distinguish_identical_patches() {
+        let cache = PatchCache::new(8);
+        let input = patch(1.0);
+        cache.insert(&PatchKey::new(0, 1, &input), patch(10.0));
+        assert!(cache.get(&PatchKey::new(0, 2, &input)).is_none());
+        assert!(cache.get(&PatchKey::new(1, 1, &input)).is_none());
+        assert_eq!(
+            cache.get(&PatchKey::new(0, 1, &input)).unwrap(),
+            patch(10.0)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PatchCache::new(2);
+        let (ka, kb, kc) = (
+            PatchKey::new(0, 0, &patch(1.0)),
+            PatchKey::new(0, 0, &patch(2.0)),
+            PatchKey::new(0, 0, &patch(3.0)),
+        );
+        cache.insert(&ka, patch(10.0));
+        cache.insert(&kb, patch(20.0));
+        // Touch A so B is now the LRU entry.
+        assert!(cache.get(&ka).is_some());
+        cache.insert(&kc, patch(30.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&kb).is_none(), "B should be evicted");
+        assert!(cache.get(&ka).is_some());
+        assert!(cache.get(&kc).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = PatchCache::new(0);
+        let key = PatchKey::new(0, 0, &patch(1.0));
+        cache.insert(&key, patch(9.0));
+        assert!(cache.get(&key).is_none());
+        assert!(!cache.enabled());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache = PatchCache::new(4);
+        cache.insert(&PatchKey::new(0, 0, &patch(1.0)), patch(5.0));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! Serving configuration.
+
+use std::time::Duration;
+
+/// Tunables for the inference service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Bounded request-queue capacity; submissions beyond this are shed
+    /// (answered with a degraded bin-0 response instead of queued).
+    pub queue_capacity: usize,
+    /// Maximum requests fused into one decoder micro-batch.
+    pub max_batch: usize,
+    /// How long the batcher lingers for more requests after the first
+    /// one is picked up, before dispatching a partial batch.
+    pub max_linger: Duration,
+    /// Worker threads, each with its own model replica.
+    pub workers: usize,
+    /// Decoded-patch cache capacity in entries (0 disables the cache).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+            max_linger: Duration::from_millis(2),
+            workers: 1,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The unbatched baseline: one request per decoder pass, no linger,
+    /// no cache. This is the per-request-inference configuration the
+    /// `serve_throughput` bench compares against.
+    pub fn unbatched(self) -> ServeConfig {
+        ServeConfig {
+            max_batch: 1,
+            max_linger: Duration::ZERO,
+            cache_capacity: 0,
+            ..self
+        }
+    }
+}

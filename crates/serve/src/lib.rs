@@ -1,0 +1,35 @@
+//! # adarnet-serve
+//!
+//! A multi-threaded inference service for trained ADARNet models,
+//! turning the paper's batched non-uniform SR (Figure 1's motivation)
+//! into a serving system:
+//!
+//! * **micro-batching** ([`server`]): concurrent requests are fused so
+//!   same-bin patches from different requests share decoder batches —
+//!   the cross-request generalization of `AdarNet::predict_batch`;
+//! * **decoded-patch cache** ([`cache`]): content-hash-keyed LRU over
+//!   decoder outputs; repeated freestream patches skip the decoder
+//!   entirely, with bitwise-identical results;
+//! * **model registry** ([`registry`]): named checkpoints with
+//!   generation-counted hot swap — workers rebuild replicas at batch
+//!   boundaries, never mid-flight;
+//! * **backpressure** ([`server`]): a bounded queue that sheds load by
+//!   answering with a degraded bin-0 (no-SR) prediction instead of
+//!   blocking, with observable shed counters;
+//! * **load generation** ([`loadgen`]): a closed-loop synthetic driver
+//!   over the `adarnet-dataset` families, reporting throughput and
+//!   p50/p95/p99 latency (the `serve` bin writes `BENCH_serve.json`).
+
+pub mod batch;
+pub mod cache;
+pub mod config;
+pub mod loadgen;
+pub mod registry;
+pub mod server;
+
+pub use batch::{degraded_prediction, infer_cached};
+pub use cache::{PatchCache, PatchKey};
+pub use config::ServeConfig;
+pub use loadgen::{field_pool, run_closed_loop, LoadReport, Observation};
+pub use registry::{ActiveModel, ModelRegistry, RegistryError};
+pub use server::{ResponseKind, ServeResponse, ServeStats, Server};

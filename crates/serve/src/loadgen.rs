@@ -1,0 +1,180 @@
+//! Synthetic closed-loop load generator and latency reporting.
+//!
+//! Clients are closed-loop: each thread submits one request, waits for
+//! its response, records the end-to-end latency, and immediately
+//! submits the next — so offered load scales with concurrency and the
+//! server is never measured against an open-loop arrival process it
+//! cannot shape. Fields are drawn round-robin from a pool produced by
+//! the `adarnet-dataset` generators (the three canonical flow
+//! families), giving the repetitive-patch traffic a CFD serving
+//! endpoint actually sees.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use adarnet_dataset::{generate, DatasetConfig};
+use adarnet_tensor::Tensor;
+use serde::Serialize;
+
+use crate::server::{ResponseKind, Server};
+
+/// Build a pool of `count` distinct LR fields of extent `h x w` from
+/// the dataset generators.
+pub fn field_pool(count: usize, h: usize, w: usize, seed: u64) -> Vec<Tensor<f32>> {
+    let per_family = count.div_ceil(3).max(2);
+    let cfg = DatasetConfig {
+        per_family,
+        h,
+        w,
+        seed,
+        val_fraction: 0.0,
+    };
+    generate(&cfg)
+        .into_iter()
+        .take(count)
+        .map(|s| s.field)
+        .collect()
+}
+
+/// One client-side observation.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// End-to-end latency (submit → response received).
+    pub latency: Duration,
+    /// What kind of response came back.
+    pub kind: ResponseKind,
+}
+
+/// Drive `clients` closed-loop threads, each issuing
+/// `requests_per_client` requests round-robin over `fields`. Returns
+/// every observation plus the wall-clock span of the whole run.
+pub fn run_closed_loop(
+    server: &Server,
+    fields: &[Tensor<f32>],
+    clients: usize,
+    requests_per_client: usize,
+) -> (Vec<Observation>, Duration) {
+    assert!(!fields.is_empty(), "need at least one field");
+    let next = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut all = Vec::with_capacity(clients * requests_per_client);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut observations = Vec::with_capacity(requests_per_client);
+                    for _ in 0..requests_per_client {
+                        let idx = next.fetch_add(1, Ordering::Relaxed) as usize % fields.len();
+                        let t0 = Instant::now();
+                        let response = server.submit_wait(fields[idx].clone());
+                        observations.push(Observation {
+                            latency: t0.elapsed(),
+                            kind: response.kind,
+                        });
+                    }
+                    observations
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("client thread panicked"));
+        }
+    });
+    (all, started.elapsed())
+}
+
+/// Nearest-rank percentile over a sorted slice of latencies.
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Aggregated report for one load-generator run (serialized into
+/// `BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Run label (e.g. "batched" / "unbatched").
+    pub mode: String,
+    /// Closed-loop client count.
+    pub concurrency: usize,
+    /// Total requests issued.
+    pub requests: usize,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Decoded-patch cache hit rate over the server's lifetime so far.
+    pub cache_hit_rate: f64,
+    /// Responses shed at submission (queue full).
+    pub shed_queue_full: u64,
+    /// Responses degraded by inference errors.
+    pub shed_inference_error: u64,
+    /// Degraded responses observed by the clients of *this* run.
+    pub degraded_seen: u64,
+}
+
+impl LoadReport {
+    /// Summarize a closed-loop run against the server's counters.
+    pub fn from_run(
+        mode: impl Into<String>,
+        concurrency: usize,
+        server: &Server,
+        observations: &[Observation],
+        elapsed: Duration,
+    ) -> LoadReport {
+        let mut sorted: Vec<Duration> = observations.iter().map(|o| o.latency).collect();
+        sorted.sort();
+        let mean_ms = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().map(|d| d.as_secs_f64()).sum::<f64>() / sorted.len() as f64 * 1e3
+        };
+        LoadReport {
+            mode: mode.into(),
+            concurrency,
+            requests: observations.len(),
+            throughput_rps: observations.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_ms: percentile_ms(&sorted, 50.0),
+            p95_ms: percentile_ms(&sorted, 95.0),
+            p99_ms: percentile_ms(&sorted, 99.0),
+            mean_ms,
+            cache_hit_rate: server.cache().hit_rate(),
+            shed_queue_full: server.stats().shed_queue_full.load(Ordering::Relaxed),
+            shed_inference_error: server.stats().shed_inference_error.load(Ordering::Relaxed),
+            degraded_seen: observations.iter().filter(|o| o.kind.is_degraded()).count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_pool_yields_distinct_fields() {
+        let pool = field_pool(4, 16, 32, 7);
+        assert_eq!(pool.len(), 4);
+        for f in &pool {
+            assert_eq!((f.dim(0), f.dim(1), f.dim(2)), (4, 16, 32));
+        }
+        assert_ne!(pool[0], pool[1]);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert!((percentile_ms(&sorted, 50.0) - 50.0).abs() <= 1.0);
+        assert!((percentile_ms(&sorted, 99.0) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+    }
+}

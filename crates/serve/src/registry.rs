@@ -1,0 +1,192 @@
+//! Model registry: named checkpoints with hot-swappable active model.
+//!
+//! The registry holds [`ModelCheckpoint`]s by name (loaded via
+//! `adarnet_core::checkpoint`) and publishes one of them as *active*.
+//! Activation swaps an `Arc` behind an `RwLock` and bumps a generation
+//! counter; worker threads compare the counter against their replica's
+//! generation at each batch boundary and rebuild lazily, so a swap
+//! never blocks in-flight inference and requires no thread restarts.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use adarnet_core::checkpoint::{self, ModelCheckpoint};
+use adarnet_core::engine::{EngineError, InferenceEngine};
+
+/// Registry errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// No checkpoint registered under this name.
+    UnknownModel(String),
+    /// The checkpoint failed to restore into a model.
+    Restore(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            RegistryError::Restore(msg) => write!(f, "restore failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The currently active checkpoint and its generation number.
+#[derive(Clone)]
+pub struct ActiveModel {
+    /// Monotone swap counter; bumped on every activation.
+    pub generation: u64,
+    /// Registry name the checkpoint was activated under.
+    pub name: String,
+    /// The checkpoint itself.
+    pub checkpoint: Arc<ModelCheckpoint>,
+}
+
+/// Named-checkpoint store with one hot-swappable active model.
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ModelCheckpoint>>>,
+    active: RwLock<Option<ActiveModel>>,
+    generation: AtomicU64,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry::new()
+    }
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry {
+            models: RwLock::new(HashMap::new()),
+            active: RwLock::new(None),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a checkpoint under `name` (replacing any previous one;
+    /// an already-active model stays active on its old checkpoint until
+    /// re-activated).
+    pub fn register(&self, name: impl Into<String>, ckpt: ModelCheckpoint) {
+        self.models
+            .write()
+            .unwrap()
+            .insert(name.into(), Arc::new(ckpt));
+    }
+
+    /// Load a checkpoint JSON from disk and register it under `name`.
+    pub fn load(&self, name: impl Into<String>, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = std::fs::read_to_string(path)?;
+        let ckpt: ModelCheckpoint = serde_json::from_str(&json)?;
+        // Validate eagerly: a checkpoint that cannot restore must not
+        // become activatable.
+        checkpoint::restore(&ckpt).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.register(name, ckpt);
+        Ok(())
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Make `name` the active model (hot swap): bumps the generation so
+    /// workers rebuild their replicas at the next batch boundary.
+    pub fn activate(&self, name: &str) -> Result<u64, RegistryError> {
+        let ckpt = self
+            .models
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        *self.active.write().unwrap() = Some(ActiveModel {
+            generation,
+            name: name.to_string(),
+            checkpoint: ckpt,
+        });
+        Ok(generation)
+    }
+
+    /// The active model, if any has been activated.
+    pub fn active(&self) -> Option<ActiveModel> {
+        self.active.read().unwrap().clone()
+    }
+
+    /// Current generation (0 before the first activation).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Build a fresh [`InferenceEngine`] replica of the active model.
+    pub fn replica(&self) -> Result<(u64, InferenceEngine), RegistryError> {
+        let active = self
+            .active()
+            .ok_or_else(|| RegistryError::UnknownModel("<no active model>".into()))?;
+        let engine = InferenceEngine::from_checkpoint(&active.checkpoint).map_err(|e| match e {
+            EngineError::Checkpoint(msg) => RegistryError::Restore(msg),
+            other => RegistryError::Restore(other.to_string()),
+        })?;
+        Ok((active.generation, engine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_core::loss::NormStats;
+    use adarnet_core::network::{AdarNet, AdarNetConfig};
+
+    fn ckpt(seed: u64) -> ModelCheckpoint {
+        let model = AdarNet::new(AdarNetConfig {
+            ph: 8,
+            pw: 8,
+            seed,
+            ..AdarNetConfig::default()
+        });
+        checkpoint::snapshot(&model, &NormStats::identity())
+    }
+
+    #[test]
+    fn activate_bumps_generation() {
+        let reg = ModelRegistry::new();
+        reg.register("a", ckpt(1));
+        reg.register("b", ckpt(2));
+        assert_eq!(reg.generation(), 0);
+        assert!(reg.active().is_none());
+        let g1 = reg.activate("a").unwrap();
+        let g2 = reg.activate("b").unwrap();
+        assert!(g2 > g1);
+        assert_eq!(reg.active().unwrap().name, "b");
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn activate_unknown_is_error() {
+        let reg = ModelRegistry::new();
+        assert_eq!(
+            reg.activate("nope"),
+            Err(RegistryError::UnknownModel("nope".into()))
+        );
+    }
+
+    #[test]
+    fn replica_restores_active_model() {
+        let reg = ModelRegistry::new();
+        reg.register("m", ckpt(7));
+        assert!(reg.replica().is_err(), "no active model yet");
+        reg.activate("m").unwrap();
+        let (generation, engine) = reg.replica().unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(engine.config().ph, 8);
+    }
+}

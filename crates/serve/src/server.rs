@@ -1,0 +1,314 @@
+//! The inference server: bounded queue → micro-batcher → decoder
+//! workers, with load shedding and hot-swap awareness.
+//!
+//! Requests enter a bounded queue. Each worker thread owns a full model
+//! replica (the decoder caches activations between passes, so replicas
+//! cannot be shared); it pops one request, lingers up to
+//! `max_linger` for more, and runs the whole group through
+//! [`crate::batch::infer_cached`] so same-bin patches from concurrent
+//! requests share decoder batches. When the queue is at capacity the
+//! server does not block or drop: it answers immediately with the
+//! degraded bin-0 prediction ([`crate::batch::degraded_prediction`])
+//! and counts the shed. Inference errors (e.g. NaN scores from a bad
+//! checkpoint) degrade the affected requests the same way instead of
+//! killing the worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use adarnet_core::network::Prediction;
+use adarnet_tensor::Tensor;
+
+use crate::batch::{degraded_prediction, infer_cached};
+use crate::cache::PatchCache;
+use crate::config::ServeConfig;
+use crate::registry::{ModelRegistry, RegistryError};
+
+/// Why a response is what it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// Full ADARNet inference.
+    Full,
+    /// Bin-0 fallback because the queue was saturated.
+    ShedQueueFull,
+    /// Bin-0 fallback because inference failed for this batch.
+    ShedInferenceError,
+}
+
+impl ResponseKind {
+    /// Whether this response was degraded rather than fully inferred.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, ResponseKind::Full)
+    }
+}
+
+/// One answered request.
+pub struct ServeResponse {
+    /// The (possibly degraded) prediction, in normalized units.
+    pub prediction: Prediction,
+    /// Full or degraded, and why.
+    pub kind: ResponseKind,
+    /// Server-side latency from submission to completion.
+    pub latency: Duration,
+    /// Model generation that served the request (0 for shed responses
+    /// answered without touching the model).
+    pub generation: u64,
+}
+
+struct Job {
+    field: Tensor<f32>,
+    submitted: Instant,
+    reply: Sender<ServeResponse>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Monotone counters exposed by the server.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Fully served requests.
+    pub completed: AtomicU64,
+    /// Requests shed at submission (queue full).
+    pub shed_queue_full: AtomicU64,
+    /// Requests degraded because inference errored.
+    pub shed_inference_error: AtomicU64,
+    /// Decoder micro-batches dispatched.
+    pub batches: AtomicU64,
+    /// Requests carried by those batches (batches ≤ this; the ratio is
+    /// the achieved batching factor).
+    pub batched_requests: AtomicU64,
+    /// Replica rebuilds triggered by hot swaps.
+    pub replica_rebuilds: AtomicU64,
+}
+
+impl ServeStats {
+    /// Total degraded responses.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full.load(Ordering::Relaxed)
+            + self.shed_inference_error.load(Ordering::Relaxed)
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    notify: Condvar,
+    registry: Arc<ModelRegistry>,
+    cache: PatchCache,
+    stats: ServeStats,
+}
+
+/// Handle to a running inference service.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start the service on the registry's active model. Fails if no
+    /// model has been activated.
+    pub fn start(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> Result<Server, RegistryError> {
+        // Fail fast — workers would otherwise spin on a missing model.
+        registry.replica()?;
+        let shared = Arc::new(Shared {
+            cache: PatchCache::new(cfg.cache_capacity),
+            cfg,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            notify: Condvar::new(),
+            registry,
+            stats: ServeStats::default(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Ok(Server { shared, workers })
+    }
+
+    /// Submit one raw `(C, H, W)` LR field. Never blocks on a full
+    /// queue: saturation answers immediately with a degraded bin-0
+    /// response on the returned channel.
+    pub fn submit(&self, field: Tensor<f32>) -> Receiver<ServeResponse> {
+        let (reply, rx) = mpsc::channel();
+        let submitted = Instant::now();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if !q.shutdown && q.jobs.len() < self.shared.cfg.queue_capacity {
+                q.jobs.push_back(Job {
+                    field,
+                    submitted,
+                    reply,
+                });
+                drop(q);
+                self.shared.notify.notify_one();
+                return rx;
+            }
+        }
+        // Shed: answer inline from the caller's thread (cheap — no model).
+        self.shared
+            .stats
+            .shed_queue_full
+            .fetch_add(1, Ordering::Relaxed);
+        let active = self.shared.registry.active();
+        let (norm, cfg) = match &active {
+            Some(a) => (a.checkpoint.norm, model_cfg(&a.checkpoint)),
+            None => unreachable!("start() verified an active model"),
+        };
+        let response = ServeResponse {
+            prediction: degraded_prediction(&norm, cfg, &field),
+            kind: ResponseKind::ShedQueueFull,
+            latency: submitted.elapsed(),
+            generation: 0,
+        };
+        let _ = reply.send(response);
+        rx
+    }
+
+    /// Submit and wait for the response (closed-loop clients).
+    pub fn submit_wait(&self, field: Tensor<f32>) -> ServeResponse {
+        self.submit(field)
+            .recv()
+            .expect("server dropped a reply channel")
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Decoded-patch cache (for hit/miss reporting).
+    pub fn cache(&self) -> &PatchCache {
+        &self.shared.cache
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().jobs.len()
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    pub fn shutdown(mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.notify.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn model_cfg(ckpt: &adarnet_core::checkpoint::ModelCheckpoint) -> adarnet_core::AdarNetConfig {
+    adarnet_core::AdarNetConfig {
+        in_channels: ckpt.in_channels,
+        ph: ckpt.ph,
+        pw: ckpt.pw,
+        bins: ckpt.bins,
+        seed: 0,
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let (mut generation, mut engine) = shared
+        .registry
+        .replica()
+        .expect("start() verified an active model");
+
+    loop {
+        // Collect a micro-batch: block for the first job, then linger.
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if !q.jobs.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.notify.wait(q).unwrap();
+            }
+            let mut batch = vec![q.jobs.pop_front().unwrap()];
+            let deadline = Instant::now() + shared.cfg.max_linger;
+            while batch.len() < shared.cfg.max_batch {
+                if let Some(job) = q.jobs.pop_front() {
+                    batch.push(job);
+                    continue;
+                }
+                let now = Instant::now();
+                if now >= deadline || q.shutdown {
+                    break;
+                }
+                let (guard, _) = shared.notify.wait_timeout(q, deadline - now).unwrap();
+                q = guard;
+            }
+            batch
+        };
+
+        // Hot swap: rebuild the replica when the registry moved on.
+        let current = shared.registry.generation();
+        if current != generation {
+            if let Ok((gen, fresh)) = shared.registry.replica() {
+                generation = gen;
+                engine = fresh;
+                shared
+                    .stats
+                    .replica_rebuilds
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let fields: Vec<Tensor<f32>> = batch.iter().map(|j| j.field.clone()).collect();
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        match infer_cached(&engine, generation, &fields, &shared.cache) {
+            Ok(predictions) => {
+                shared
+                    .stats
+                    .completed
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                for (job, prediction) in batch.into_iter().zip(predictions) {
+                    let _ = job.reply.send(ServeResponse {
+                        prediction,
+                        kind: ResponseKind::Full,
+                        latency: job.submitted.elapsed(),
+                        generation,
+                    });
+                }
+            }
+            Err(_) => {
+                // Degrade the whole batch rather than killing the worker.
+                shared
+                    .stats
+                    .shed_inference_error
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                let norm = *engine.norm();
+                let cfg = engine.config();
+                for job in batch {
+                    let _ = job.reply.send(ServeResponse {
+                        prediction: degraded_prediction(&norm, cfg, &job.field),
+                        kind: ResponseKind::ShedInferenceError,
+                        latency: job.submitted.elapsed(),
+                        generation,
+                    });
+                }
+            }
+        }
+    }
+}

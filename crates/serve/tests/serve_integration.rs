@@ -1,0 +1,247 @@
+//! Integration tests for the serving subsystem: cache bitwise
+//! identity, saturation shedding, and checkpoint round-trip through
+//! the registry with hot swap.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adarnet_core::checkpoint::{self, ModelCheckpoint};
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig, Prediction};
+use adarnet_serve::{ModelRegistry, ResponseKind, ServeConfig, Server};
+use adarnet_tensor::{Shape, Tensor};
+
+fn sample(h: usize, w: usize, phase: f32) -> Tensor<f32> {
+    Tensor::from_vec(
+        Shape::d3(4, h, w),
+        (0..4 * h * w)
+            .map(|i| ((i as f32) * 0.017 + phase).sin())
+            .collect(),
+    )
+}
+
+fn ckpt(seed: u64) -> ModelCheckpoint {
+    let model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed,
+        ..AdarNetConfig::default()
+    });
+    checkpoint::snapshot(&model, &NormStats::identity())
+}
+
+fn registry_with(name: &str, seed: u64) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(name, ckpt(seed));
+    registry.activate(name).unwrap();
+    registry
+}
+
+fn assert_predictions_bitwise_eq(a: &Prediction, b: &Prediction) {
+    assert_eq!(a.binning.bin_of_patch, b.binning.bin_of_patch);
+    assert_eq!(a.patches.len(), b.patches.len());
+    for (x, y) in a.patches.iter().zip(&b.patches) {
+        assert_eq!(x, y, "patch tensors must be bitwise identical");
+    }
+}
+
+/// Acceptance: cache on vs. off yields bitwise-identical predictions
+/// for a deterministic request stream.
+#[test]
+fn cache_on_off_bitwise_identical_stream() {
+    let stream: Vec<Tensor<f32>> = (0..6).map(|i| sample(16, 32, (i % 3) as f32)).collect();
+
+    let run = |cache_capacity: usize| -> Vec<Prediction> {
+        let cfg = ServeConfig {
+            queue_capacity: 64,
+            max_batch: 4,
+            max_linger: Duration::from_millis(1),
+            workers: 1,
+            cache_capacity,
+        };
+        let server = Server::start(cfg, registry_with("m", 7)).unwrap();
+        let predictions: Vec<Prediction> = stream
+            .iter()
+            .map(|f| {
+                let r = server.submit_wait(f.clone());
+                assert_eq!(r.kind, ResponseKind::Full);
+                r.prediction
+            })
+            .collect();
+        server.shutdown();
+        predictions
+    };
+
+    let with_cache = run(1024);
+    let without_cache = run(0);
+    for (a, b) in with_cache.iter().zip(&without_cache) {
+        assert_predictions_bitwise_eq(a, b);
+    }
+}
+
+/// The repetitive stream above must actually exercise the cache.
+#[test]
+fn repeated_fields_hit_cache() {
+    let cfg = ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        max_linger: Duration::from_millis(1),
+        workers: 1,
+        cache_capacity: 1024,
+    };
+    let server = Server::start(cfg, registry_with("m", 7)).unwrap();
+    let field = sample(16, 32, 0.0);
+    let first = server.submit_wait(field.clone());
+    let hits_after_first = server.cache().hits();
+    let second = server.submit_wait(field.clone());
+    assert!(
+        server.cache().hits() > hits_after_first,
+        "identical request must hit the decoded-patch cache"
+    );
+    assert_predictions_bitwise_eq(&first.prediction, &second.prediction);
+    server.shutdown();
+}
+
+/// Acceptance: with the queue bounded at N and far more than N
+/// submissions in flight, the overflow is answered with degraded bin-0
+/// responses — no panic, no deadlock — and the shed count is observable.
+#[test]
+fn saturation_sheds_with_degraded_bin0_responses() {
+    let capacity = 3;
+    let cfg = ServeConfig {
+        queue_capacity: capacity,
+        max_batch: 2,
+        max_linger: Duration::from_millis(10),
+        workers: 1,
+        cache_capacity: 0,
+    };
+    let server = Server::start(cfg, registry_with("m", 7)).unwrap();
+    let burst = 24;
+    let receivers: Vec<_> = (0..burst)
+        .map(|i| server.submit(sample(16, 32, i as f32 * 0.1)))
+        .collect();
+
+    let mut full = 0;
+    let mut degraded = 0;
+    for rx in receivers {
+        let response = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("every request must be answered (no deadlock)");
+        match response.kind {
+            ResponseKind::Full => full += 1,
+            ResponseKind::ShedQueueFull => {
+                degraded += 1;
+                // Degraded = bin 0 everywhere, LR-resolution patches.
+                assert!(response
+                    .prediction
+                    .binning
+                    .bin_of_patch
+                    .iter()
+                    .all(|&b| b == 0));
+                assert_eq!(response.prediction.active_cells(), 16 * 32);
+            }
+            ResponseKind::ShedInferenceError => panic!("model is healthy"),
+        }
+    }
+    assert_eq!(full + degraded, burst);
+    assert!(
+        degraded > 0,
+        "burst of {burst} over capacity {capacity} must shed"
+    );
+    assert_eq!(
+        server
+            .stats()
+            .shed_queue_full
+            .load(std::sync::atomic::Ordering::Relaxed),
+        degraded as u64
+    );
+    server.shutdown();
+}
+
+/// Satellite: checkpoint round-trip through the registry — save to
+/// disk, load back, hot-swap to it, and verify bitwise-identical
+/// inference on a fixed seed.
+#[test]
+fn registry_checkpoint_roundtrip_hot_swap_bitwise_identical() {
+    let dir = std::env::temp_dir().join("adarnet_serve_registry_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model_a.json");
+
+    // Save model A to disk via core::checkpoint.
+    let (model_a, norm_a) = checkpoint::restore(&ckpt(11)).unwrap();
+    checkpoint::save_file(&model_a, &norm_a, &path).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("b", ckpt(22));
+    registry.load("a", &path).unwrap();
+    registry.activate("b").unwrap();
+
+    let cfg = ServeConfig {
+        queue_capacity: 16,
+        max_batch: 2,
+        max_linger: Duration::from_millis(1),
+        workers: 1,
+        cache_capacity: 256,
+    };
+    let server = Server::start(cfg, registry.clone()).unwrap();
+    let field = sample(16, 16, 0.3);
+
+    let before_swap = server.submit_wait(field.clone());
+    assert_eq!(before_swap.generation, 1);
+
+    // Hot swap to the from-disk model; workers rebuild lazily.
+    registry.activate("a").unwrap();
+    let after_swap = server.submit_wait(field.clone());
+    assert_eq!(after_swap.generation, 2);
+    assert_eq!(
+        server
+            .stats()
+            .replica_rebuilds
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // The served result must be bitwise what model A computes directly.
+    let mut direct = checkpoint::load_file(&path).map(|(m, _)| m).unwrap();
+    let expected = direct.predict(&field);
+    assert_predictions_bitwise_eq(&after_swap.prediction, &expected);
+
+    // And differ from model B's output (the swap really happened).
+    assert_ne!(
+        before_swap.prediction.patches[0], after_swap.prediction.patches[0],
+        "different weights must produce different patches"
+    );
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Hot swap under concurrent traffic: no panics, every response comes
+/// from a coherent generation.
+#[test]
+fn hot_swap_under_load_is_coherent() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("a", ckpt(1));
+    registry.register("b", ckpt(2));
+    registry.activate("a").unwrap();
+    let cfg = ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        max_linger: Duration::from_millis(1),
+        workers: 1,
+        cache_capacity: 512,
+    };
+    let server = Server::start(cfg, registry.clone()).unwrap();
+    for i in 0..4 {
+        let r = server.submit_wait(sample(16, 16, i as f32));
+        assert_eq!(r.kind, ResponseKind::Full);
+        assert_eq!(r.generation, 1);
+    }
+    registry.activate("b").unwrap();
+    for i in 0..4 {
+        let r = server.submit_wait(sample(16, 16, i as f32));
+        assert_eq!(r.kind, ResponseKind::Full);
+        assert_eq!(r.generation, 2);
+    }
+    server.shutdown();
+}

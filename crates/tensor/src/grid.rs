@@ -118,7 +118,11 @@ impl<T: Element> Grid2<T> {
 
     /// Elementwise maximum absolute difference against a same-size field.
     pub fn max_abs_diff(&self, other: &Grid2<T>) -> f64 {
-        assert_eq!((self.ny, self.nx), (other.ny, other.nx), "grid size mismatch");
+        assert_eq!(
+            (self.ny, self.nx),
+            (other.ny, other.nx),
+            "grid size mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -155,13 +159,19 @@ impl<T: Element> Grid2<T> {
     /// Largest value in the field. Panics on empty fields.
     pub fn max_value(&self) -> T {
         assert!(!self.data.is_empty(), "max of empty grid");
-        self.data.iter().copied().fold(self.data[0], |a, b| a.max(b))
+        self.data
+            .iter()
+            .copied()
+            .fold(self.data[0], |a, b| a.max(b))
     }
 
     /// Smallest value in the field. Panics on empty fields.
     pub fn min_value(&self) -> T {
         assert!(!self.data.is_empty(), "min of empty grid");
-        self.data.iter().copied().fold(self.data[0], |a, b| a.min(b))
+        self.data
+            .iter()
+            .copied()
+            .fold(self.data[0], |a, b| a.min(b))
     }
 
     /// Bilinear sample at fractional index coordinates `(fi, fj)`, clamped
@@ -187,7 +197,7 @@ impl<T: Element> Grid2<T> {
     /// even.
     pub fn restrict_half(&self) -> Grid2<T> {
         assert!(
-            self.ny % 2 == 0 && self.nx % 2 == 0,
+            self.ny.is_multiple_of(2) && self.nx.is_multiple_of(2),
             "restrict_half needs even extents, got {}x{}",
             self.ny,
             self.nx

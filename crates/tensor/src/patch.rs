@@ -13,7 +13,11 @@ impl<T: Element> Tensor<T> {
     ///
     /// Panics if the window exceeds the tensor bounds.
     pub fn extract_patch(&self, y0: usize, x0: usize, ph: usize, pw: usize) -> Tensor<T> {
-        assert_eq!(self.shape().rank(), 3, "extract_patch expects rank-3 (C,H,W)");
+        assert_eq!(
+            self.shape().rank(),
+            3,
+            "extract_patch expects rank-3 (C,H,W)"
+        );
         let (c, h, w) = (self.dim(0), self.dim(1), self.dim(2));
         assert!(
             y0 + ph <= h && x0 + pw <= w,
@@ -36,7 +40,11 @@ impl<T: Element> Tensor<T> {
     /// Write `patch` (rank-3 `(C, ph, pw)`) into this rank-3 tensor at
     /// window origin `(y0, x0)`. Channel counts must match.
     pub fn insert_patch(&mut self, y0: usize, x0: usize, patch: &Tensor<T>) {
-        assert_eq!(self.shape().rank(), 3, "insert_patch expects rank-3 (C,H,W)");
+        assert_eq!(
+            self.shape().rank(),
+            3,
+            "insert_patch expects rank-3 (C,H,W)"
+        );
         assert_eq!(patch.shape().rank(), 3, "patch must be rank-3");
         let (c, h, w) = (self.dim(0), self.dim(1), self.dim(2));
         let (pc, ph, pw) = (patch.dim(0), patch.dim(1), patch.dim(2));
@@ -60,7 +68,11 @@ impl<T: Element> Tensor<T> {
     /// Split a rank-3 `(C, H, W)` tensor into a row-major grid of
     /// `(H/ph) x (W/pw)` patches. Panics unless `ph | H` and `pw | W`.
     pub fn split_patches(&self, ph: usize, pw: usize) -> Vec<Tensor<T>> {
-        assert_eq!(self.shape().rank(), 3, "split_patches expects rank-3 (C,H,W)");
+        assert_eq!(
+            self.shape().rank(),
+            3,
+            "split_patches expects rank-3 (C,H,W)"
+        );
         let (h, w) = (self.dim(1), self.dim(2));
         assert!(
             h % ph == 0 && w % pw == 0,

@@ -181,7 +181,10 @@ impl<T: Element> Tensor<T> {
         assert_eq!(self.shape.rank(), 4);
         let (ch, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
         let plane = ch * h * w;
-        Tensor::from_vec(Shape::d3(ch, h, w), self.data[n * plane..(n + 1) * plane].to_vec())
+        Tensor::from_vec(
+            Shape::d3(ch, h, w),
+            self.data[n * plane..(n + 1) * plane].to_vec(),
+        )
     }
 
     /// Borrow one channel plane of a rank-3 tensor as a rank-2 tensor copy.
@@ -189,7 +192,10 @@ impl<T: Element> Tensor<T> {
         assert_eq!(self.shape.rank(), 3);
         let (h, w) = (self.shape.dim(1), self.shape.dim(2));
         let plane = h * w;
-        Tensor::from_vec(Shape::d2(h, w), self.data[c * plane..(c + 1) * plane].to_vec())
+        Tensor::from_vec(
+            Shape::d2(h, w),
+            self.data[c * plane..(c + 1) * plane].to_vec(),
+        )
     }
 
     /// Stack rank-3 tensors of identical shape into a rank-4 batch.
@@ -202,7 +208,10 @@ impl<T: Element> Tensor<T> {
             assert!(im.shape().same(&s0), "stack shape mismatch");
             data.extend_from_slice(im.as_slice());
         }
-        Tensor::from_vec(Shape::d4(images.len(), s0.dim(0), s0.dim(1), s0.dim(2)), data)
+        Tensor::from_vec(
+            Shape::d4(images.len(), s0.dim(0), s0.dim(1), s0.dim(2)),
+            data,
+        )
     }
 
     /// True if every element is finite.
@@ -260,7 +269,8 @@ mod tests {
     #[test]
     fn stack_and_image_roundtrip() {
         let a = Tensor::from_fn_2d(2, 2, |y, x| (y * 2 + x) as f32).reshape(Shape::d3(1, 2, 2));
-        let b = Tensor::from_fn_2d(2, 2, |y, x| (10 + y * 2 + x) as f32).reshape(Shape::d3(1, 2, 2));
+        let b =
+            Tensor::from_fn_2d(2, 2, |y, x| (10 + y * 2 + x) as f32).reshape(Shape::d3(1, 2, 2));
         let s = Tensor::stack(&[a.clone(), b.clone()]);
         assert_eq!(s.shape(), &Shape::d4(2, 1, 2, 2));
         assert_eq!(s.image(0), a);

@@ -10,11 +10,10 @@
 
 use adarnet_amr::{AmrDriver, PatchLayout, RefinementMap};
 use adarnet_cfd::{CaseConfig, CaseMesh, RansSolver, SolverConfig};
-use adarnet_core::{
-    run_adarnet_case, run_amr_baseline, AdarNet, AdarNetConfig, NormStats, Trainer,
-    TrainerConfig,
-};
 use adarnet_core::framework::LrInput;
+use adarnet_core::{
+    run_adarnet_case, run_amr_baseline, AdarNet, AdarNetConfig, NormStats, Trainer, TrainerConfig,
+};
 use adarnet_dataset::{Family, Sample, SampleMeta};
 
 fn main() {
@@ -102,7 +101,10 @@ fn main() {
         ..AmrDriver::default()
     };
     let baseline = run_amr_baseline(&case, layout, solver_cfg, driver);
-    println!("\nAMR solver final mesh ({} rounds):", baseline.outcome.rounds.len());
+    println!(
+        "\nAMR solver final mesh ({} rounds):",
+        baseline.outcome.rounds.len()
+    );
     print!("{}", baseline.outcome.final_map.ascii());
     println!(
         "AMR solver: TTC {:.2}s, ITC {}",
@@ -117,10 +119,8 @@ fn main() {
     );
     // Sanity: both produce a skin-friction coefficient at x = 0.95 L.
     let mesh_a = CaseMesh::new(case.clone(), report.map.clone());
-    let cf_adarnet =
-        adarnet_cfd::skin_friction_coefficient(&report.final_state, &mesh_a, 0.95);
+    let cf_adarnet = adarnet_cfd::skin_friction_coefficient(&report.final_state, &mesh_a, 0.95);
     let mesh_b = CaseMesh::new(case.clone(), baseline.outcome.final_map.clone());
-    let cf_amr =
-        adarnet_cfd::skin_friction_coefficient(&baseline.final_state, &mesh_b, 0.95);
+    let cf_amr = adarnet_cfd::skin_friction_coefficient(&baseline.final_state, &mesh_b, 0.95);
     println!("Cf @ x=0.95L: ADARNet {cf_adarnet:.5} vs AMR {cf_amr:.5}");
 }

@@ -42,7 +42,10 @@ fn main() {
         ..AdarNetConfig::default()
     });
     let mut trainer = Trainer::new(model, norm, TrainerConfig::default());
-    println!("training on {} ellipse-family samples (cylinder unseen)...", train.len());
+    println!(
+        "training on {} ellipse-family samples (cylinder unseen)...",
+        train.len()
+    );
     for epoch in 0..4 {
         let st = trainer.train_epoch(&train);
         println!("  epoch {epoch}: total {:.3e}", st.total);
@@ -64,9 +67,18 @@ fn main() {
     };
     let baseline = run_amr_baseline(&case, layout, solver_cfg, driver);
 
-    println!("\nADARNet (one-shot)          AMR solver ({} rounds)", baseline.outcome.rounds.len());
+    println!(
+        "\nADARNet (one-shot)          AMR solver ({} rounds)",
+        baseline.outcome.rounds.len()
+    );
     let a_lines: Vec<String> = adarnet_map.ascii().lines().map(String::from).collect();
-    let b_lines: Vec<String> = baseline.outcome.final_map.ascii().lines().map(String::from).collect();
+    let b_lines: Vec<String> = baseline
+        .outcome
+        .final_map
+        .ascii()
+        .lines()
+        .map(String::from)
+        .collect();
     for (a, b) in a_lines.iter().zip(&b_lines) {
         println!("{a}    {b}");
     }

@@ -53,7 +53,10 @@ fn main() {
     let lr = adarnet_dataset::synthesize(&unseen, 32, 128);
     let pred = trainer.model.predict(&trainer.norm.normalize(&lr));
     let map = pred.refinement_map(3);
-    println!("\npredicted refinement map for {} (levels 0-3):", unseen.name);
+    println!(
+        "\npredicted refinement map for {} (levels 0-3):",
+        unseen.name
+    );
     print!("{}", map.ascii());
     println!(
         "active cells: {} of {} uniform-HR cells ({:.1}%)",

@@ -41,7 +41,11 @@ fn main() {
     // Cache to disk (the expensive part is now reusable).
     let path = std::env::temp_dir().join("adarnet_solver_samples.json");
     adarnet_dataset::save_samples(&samples, &path).expect("cache write");
-    println!("cached {} solver samples to {}", samples.len(), path.display());
+    println!(
+        "cached {} solver samples to {}",
+        samples.len(),
+        path.display()
+    );
     let reloaded = adarnet_dataset::load_samples(&path).expect("cache read");
     assert_eq!(reloaded.len(), samples.len());
 
@@ -56,7 +60,10 @@ fn main() {
     let mut trainer = Trainer::new(model, norm, TrainerConfig::default());
     for epoch in 0..4 {
         let st = trainer.train_epoch(&reloaded);
-        println!("epoch {epoch}: total {:.3e} (data {:.3e}, pde {:.3e})", st.total, st.data, st.pde);
+        println!(
+            "epoch {epoch}: total {:.3e} (data {:.3e}, pde {:.3e})",
+            st.total, st.data, st.pde
+        );
     }
 
     // Predict the unseen test Re.
@@ -64,6 +71,9 @@ fn main() {
     test_case.lx = 1.0;
     let (lr, _) = solve_lr_sample(&test_case, layout, solver_cfg);
     let pred = trainer.model.predict(&trainer.norm.normalize(&lr));
-    println!("\n{} refinement map from solver-data-trained model:", test_case.name);
+    println!(
+        "\n{} refinement map from solver-data-trained model:",
+        test_case.name
+    );
     print!("{}", pred.refinement_map(3).ascii());
 }

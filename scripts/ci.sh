@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: build, test, lint, format — all must pass.
+#
+#   ./scripts/ci.sh          # full gate
+#   SKIP_SLOW=1 ./scripts/ci.sh   # skip the (slow) workspace test suite
+#
+# Runs entirely offline: external deps resolve to vendor/ path crates.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+if [ "${SKIP_SLOW:-0}" != "1" ]; then
+  echo "==> cargo test -q"
+  cargo test -q --workspace
+fi
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "CI gate passed."

@@ -1,0 +1,294 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::{iter, iter_with_setup}`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple wall-clock runner: each benchmark runs
+//! `sample_size` samples after a single warm-up iteration and prints
+//! min/median/mean per-iteration times. No statistical analysis, no
+//! HTML reports, no comparison to previous runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("bins", 4)` → `bins/4`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id, rendered verbatim.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call so lazy init does not pollute sample 0.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` value per sample; setup is untimed.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{name:<40} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// Top-level benchmark runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub runner has no
+    /// target-time-driven iteration count, so this is a no-op.
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is fixed at one iteration.
+    pub fn warm_up_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility (criterion's CLI arg handling).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name, &b.samples);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Criterion prints a summary on drop; the stub reports inline, so
+    /// this only exists so `criterion_main!` can call it.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; no-op (see `Criterion::measurement_time`).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; no-op.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Run a parameterised benchmark; the input is passed by reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!`: both the plain and the `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!`: generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warm-up + 3 samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_with_input_and_setup() {
+        let mut c = Criterion::default().sample_size(2);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2)
+                .bench_with_input(BenchmarkId::new("sum", 8), &8usize, |b, &n| {
+                    b.iter_with_setup(
+                        || (0..n).collect::<Vec<usize>>(),
+                        |v| v.iter().sum::<usize>(),
+                    );
+                });
+            g.finish();
+        }
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("bins", 4).to_string(), "bins/4");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+
+    mod group_macro {
+        fn target(c: &mut crate::Criterion) {
+            c.bench_function("t", |b| b.iter(|| 1 + 1));
+        }
+        crate::criterion_group!(plain, target);
+        crate::criterion_group!(
+            name = configured;
+            config = crate::Criterion::default().sample_size(2);
+            targets = target,
+        );
+
+        #[test]
+        fn groups_run() {
+            plain();
+            configured();
+        }
+    }
+}

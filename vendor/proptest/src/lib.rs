@@ -1,0 +1,396 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest).
+//!
+//! Implements the subset of proptest this workspace's property tests
+//! use: numeric-range strategies, `prop::collection::vec`, `prop_map`,
+//! the `proptest!` macro (with the `#![proptest_config(..)]` header),
+//! and the `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Differences from the real crate, chosen deliberately:
+//! * **deterministic**: inputs derive from a ChaCha8 stream seeded by
+//!   the test's case index, so failures reproduce exactly on every run
+//!   and platform (the real proptest records failing seeds in regression
+//!   files instead);
+//! * **no shrinking**: a failing case reports its case index and
+//!   message; with deterministic generation that index replays the
+//!   exact inputs under a debugger;
+//! * default case count is 256, matching the real crate's default, so
+//!   the seed suite keeps its original coverage.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic input source handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Error raised by `prop_assert!`-style macros inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Failure description.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Build from a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Override the case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Produce one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Size specification for collection strategies: a fixed count or a
+/// half-open/inclusive range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.end > r.start, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.lo() == self.size.hi() {
+                    self.size.lo()
+                } else {
+                    rng.gen_range(self.size.lo()..=self.size.hi())
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+impl SizeRange {
+    fn lo(&self) -> usize {
+        self.lo
+    }
+    fn hi(&self) -> usize {
+        self.hi
+    }
+}
+
+/// Everything the workspace imports via `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Derive the per-case RNG: test name hash ⊕ case index, so each property
+/// gets an independent deterministic stream.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// The property-test macro. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in prop::collection::vec(0.0f64..1.0, 1..64)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!`: like `assert!` but returns a [`TestCaseError`] so the
+/// runner can report the failing case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let l = $lhs;
+        let r = $rhs;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let l = $lhs;
+        let r = $rhs;
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// `prop_assert_ne!`: inequality assertion with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let l = $lhs;
+        let r = $rhs;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::case_rng("ranges", 0);
+        for _ in 0..100 {
+            let x = Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::case_rng("vecs", 1);
+        let exact = prop::collection::vec(0u8..3, 4).generate(&mut rng);
+        assert_eq!(exact.len(), 4);
+        for _ in 0..50 {
+            let ranged = prop::collection::vec(0.0f64..1.0, 1..64).generate(&mut rng);
+            assert!((1..64).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::case_rng("map", 0);
+        let doubled = (1usize..10).prop_map(|x| x * 2).generate(&mut rng);
+        assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+    }
+
+    #[test]
+    fn determinism_per_case_index() {
+        let a: Vec<f64> =
+            prop::collection::vec(0.0f64..1.0, 8).generate(&mut crate::case_rng("d", 7));
+        let b: Vec<f64> =
+            prop::collection::vec(0.0f64..1.0, 8).generate(&mut crate::case_rng("d", 7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_end_to_end(x in 0usize..5, v in prop::collection::vec(0.0f64..1.0, 1..4)) {
+            prop_assert!(x < 5);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0usize..2) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

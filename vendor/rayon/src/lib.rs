@@ -1,0 +1,174 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon).
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real crate cannot be fetched. This crate re-implements exactly the
+//! parallel-iterator surface the workspace uses — `par_iter`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut`, `into_par_iter` — by
+//! returning the corresponding *standard* iterators. Every adapter the
+//! call sites chain on (`map`, `zip`, `enumerate`, `for_each`, `sum`,
+//! `collect`) therefore keeps its std semantics.
+//!
+//! Execution is sequential. The deployment target recorded in
+//! EXPERIMENTS.md is a single-core VM, where rayon's work-stealing pool
+//! only adds overhead; on that hardware this facade is not a compromise.
+//! If the fleet ever moves to multi-core images, swapping the real rayon
+//! back in is a one-line change in the workspace `Cargo.toml` — no call
+//! site names a facade-specific type.
+
+use std::ops::Range;
+
+/// Everything the workspace imports via `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type of the iterator.
+    type Item;
+    /// The (standard) iterator type returned.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = Range<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type of the iterator.
+    type Item: 'data;
+    /// The (standard) iterator type returned.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate by shared reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type of the iterator.
+    type Item: 'data;
+    /// The (standard) iterator type returned.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate by exclusive reference.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+/// Sequential stand-in for `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T> {
+    /// Iterate elements by shared reference.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Iterate `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Sequential stand-in for `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    /// Iterate elements by exclusive reference.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Iterate `chunk_size`-sized mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Always 1: this facade never spawns worker threads.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let v: Vec<i32> = (0..10).collect();
+        let doubled: Vec<i32> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let from_range: Vec<usize> = (0..5usize).into_par_iter().collect();
+        assert_eq!(from_range, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_traits_chain_std_adapters() {
+        let mut v = vec![1.0f64; 8];
+        v.as_mut_slice().par_iter_mut().for_each(|x| *x += 1.0);
+        let s: f64 = v.as_slice().par_iter().map(|x| x * x).sum();
+        assert_eq!(s, 32.0);
+        let mut w = vec![0usize; 6];
+        w.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i;
+            }
+        });
+        assert_eq!(w, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

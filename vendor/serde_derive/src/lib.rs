@@ -1,0 +1,461 @@
+//! Offline stand-in for [serde_derive](https://docs.rs/serde_derive).
+//!
+//! The build container cannot fetch crates, so the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) is unavailable. This crate
+//! re-implements the two derive macros against the workspace's
+//! value-tree `serde` facade, parsing the item declaration directly from
+//! the proc-macro token stream — no external parser.
+//!
+//! Supported shapes (everything the workspace derives on):
+//! * structs with named fields, including generic parameters with bounds
+//!   (`struct Tensor<T: Element> { .. }`);
+//! * tuple structs (arity 1 serializes transparently like serde's
+//!   newtype convention; higher arities serialize as arrays);
+//! * unit structs;
+//! * enums whose variants are all unit variants (serialized as strings,
+//!   serde's external-tagging convention for unit variants).
+//!
+//! Unsupported shapes (payload-carrying enum variants, `where` clauses,
+//! const generics, `#[serde(..)]` attributes) produce a `compile_error!`
+//! naming the limitation rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree facade).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` (value-tree facade).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with the given arity.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum of unit variants: variant identifiers.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// `(param_name, existing_bounds)`, e.g. `("T", "Element")`.
+    generics: Vec<(String, String)>,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item, mode)
+            .parse()
+            .expect("generated code must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_any_ident(&tokens, &mut pos)?;
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!(
+            "derive target must be a struct or enum, found `{keyword}`"
+        ));
+    }
+    let name = expect_any_ident(&tokens, &mut pos)?;
+    let generics = parse_generics(&tokens, &mut pos)?;
+
+    if matches!(peek_ident(&tokens, pos).as_deref(), Some("where")) {
+        return Err("derive(Serialize/Deserialize) stub does not support `where` clauses".into());
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if keyword == "struct" {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            } else {
+                Body::UnitEnum(parse_unit_variants(g.stream())?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if keyword == "enum" {
+                return Err("unexpected parentheses after enum name".into());
+            }
+            Body::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+        other => return Err(format!("unsupported item body: {other:?}")),
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        body,
+    })
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1; // '#'
+        if let Some(TokenTree::Group(_)) = tokens.get(*pos) {
+            *pos += 1; // [...]
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+fn expect_any_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn peek_ident(tokens: &[TokenTree], pos: usize) -> Option<String> {
+    match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Parse `<...>` after the item name into `(param, bounds)` pairs.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<Vec<(String, String)>, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut current = String::new();
+    let mut params: Vec<String> = Vec::new();
+    while depth > 0 {
+        let tok = tokens
+            .get(*pos)
+            .ok_or_else(|| "unterminated generic parameter list".to_string())?;
+        *pos += 1;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    params.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push_str(&tok.to_string());
+        current.push(' ');
+    }
+    if !current.trim().is_empty() {
+        params.push(current);
+    }
+
+    let mut out = Vec::new();
+    for param in params {
+        let param = param.trim().to_string();
+        if param.starts_with('\'') {
+            return Err("derive stub does not support lifetime parameters".into());
+        }
+        if param.starts_with("const ") {
+            return Err("derive stub does not support const generic parameters".into());
+        }
+        match param.split_once(':') {
+            Some((name, bounds)) => out.push((name.trim().to_string(), bounds.trim().to_string())),
+            None => out.push((param, String::new())),
+        }
+    }
+    Ok(out)
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let field = expect_any_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        if let Some(TokenTree::Punct(_)) = tokens.get(pos) {
+            pos += 1; // ','
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tok in stream {
+        saw_token = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_token {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let variant = expect_any_ident(&tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "derive stub supports only unit enum variants; `{variant}` carries data"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "derive stub does not support explicit discriminants (variant `{variant}`)"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{variant}`: {other:?}"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let trait_bound = match mode {
+        Mode::Serialize => "::serde::Serialize",
+        Mode::Deserialize => "::serde::Deserialize",
+    };
+    let impl_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|(name, bounds)| {
+                if bounds.is_empty() {
+                    format!("{name}: {trait_bound}")
+                } else {
+                    format!("{name}: {bounds} + {trait_bound}")
+                }
+            })
+            .collect();
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if item.generics.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<&str> = item.generics.iter().map(|(n, _)| n.as_str()).collect();
+        format!("<{}>", names.join(", "))
+    };
+    let name = &item.name;
+
+    match mode {
+        Mode::Serialize => {
+            let body = serialize_body(item);
+            format!(
+                "impl {impl_generics} ::serde::Serialize for {name} {ty_generics} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            let body = deserialize_body(item);
+            format!(
+                "impl {impl_generics} ::serde::Deserialize for {name} {ty_generics} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn serialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.body {
+        Body::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pushes.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    }
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::object_field(fields, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = value.as_object().ok_or_else(|| \
+                     ::serde::DeError::new(::std::format!(\
+                         \"expected object for {name}, found {{}}\", value.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                     ::serde::DeError::new(::std::format!(\
+                         \"expected array for {name}, found {{}}\", value.kind())))?;\n\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::DeError::new(::std::format!(\
+                         \"expected {n} elements for {name}, found {{}}\", items.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let tag = value.as_str().ok_or_else(|| \
+                     ::serde::DeError::new(::std::format!(\
+                         \"expected string tag for {name}, found {{}}\", value.kind())))?;\n\
+                 match tag {{ {} , other => ::std::result::Result::Err(\
+                     ::serde::DeError::new(::std::format!(\
+                         \"unknown {name} variant {{other:?}}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
