@@ -127,7 +127,7 @@ impl AmrDriver {
             let t0 = Instant::now();
             let mut solve = sim.solve(&map);
             // Trust the sim's own timing if it reports one; otherwise stamp.
-            if solve.seconds == 0.0 {
+            if solve.seconds <= 0.0 {
                 solve.seconds = t0.elapsed().as_secs_f64();
             }
 

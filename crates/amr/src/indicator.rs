@@ -97,7 +97,7 @@ pub fn mark_threshold(indicator: &[f64], theta: f64) -> Vec<usize> {
 /// (at least one patch if `frac > 0` and any indicator is positive).
 pub fn mark_top_fraction(indicator: &[f64], frac: f64) -> Vec<usize> {
     assert!((0.0..=1.0).contains(&frac), "frac must be in [0, 1]");
-    if frac == 0.0 || indicator.is_empty() {
+    if frac <= 0.0 || indicator.is_empty() {
         return Vec::new();
     }
     let mut order: Vec<usize> = (0..indicator.len()).collect();

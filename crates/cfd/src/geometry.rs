@@ -84,7 +84,9 @@ impl Body {
                     - 0.1036 * x * x * x * x)
         };
         let camber = |x: f64| -> (f64, f64) {
-            if m == 0.0 || p == 0.0 {
+            // m and p are non-negative digit ratios; <= is the exact
+            // zero test without a float equality.
+            if m <= 0.0 || p <= 0.0 {
                 (0.0, 0.0)
             } else if x < p {
                 (

@@ -409,7 +409,7 @@ impl RansSolver {
                             } else {
                                 vc * (q_n - q_c) / dy
                             };
-                            if blend == 0.0 {
+                            if blend <= 0.0 {
                                 return fx_up + fy_up;
                             }
                             let fx_ct = uc * (q_e - q_w) / (2.0 * dx);

@@ -98,18 +98,11 @@ impl FlowState {
     pub fn from_tensor(map: &RefinementMap, t: &Tensor<f32>, uniform_level: u8) -> FlowState {
         assert_eq!(t.dim(0), 4, "expected 4 channels (U, V, p, nu_tilde)");
         let (h, w) = (t.dim(1), t.dim(2));
-        let mut fields = Vec::with_capacity(4);
-        for c in 0..4 {
+        let [u, v, p, nt] = [0usize, 1, 2, 3].map(|c| {
             let g = adarnet_tensor::Grid2::from_fn(h, w, |i, j| t.get3(c, i, j) as f64);
-            fields.push(CompositeField::from_uniform(map, &g, uniform_level));
-        }
-        let mut it = fields.into_iter();
-        FlowState {
-            u: it.next().unwrap(),
-            v: it.next().unwrap(),
-            p: it.next().unwrap(),
-            nt: it.next().unwrap(),
-        }
+            CompositeField::from_uniform(map, &g, uniform_level)
+        });
+        FlowState { u, v, p, nt }
     }
 
     /// True if every cell of every field is finite.

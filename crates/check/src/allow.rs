@@ -1,0 +1,306 @@
+//! Waiver allowlist for the lint pass.
+//!
+//! `check/allow.toml` (at the repo root) holds explicit, reasoned
+//! waivers. Each `[[allow]]` entry must carry a `reason`; `path` is a
+//! suffix match on the repo-relative path and `contains` a substring
+//! match on the offending source line, so a waiver can be as narrow as
+//! one line or as wide as one pattern across a crate. Unused waivers
+//! are reported so the file cannot silently rot.
+//!
+//! The parser is a deliberately tiny TOML subset (tables of string
+//! key/values) — enough for this file, zero dependencies.
+
+use std::fmt;
+
+use crate::rules::Finding;
+
+/// One waiver entry from `check/allow.toml`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id this waiver applies to (required).
+    pub rule: String,
+    /// Repo-relative path suffix the finding's path must end with.
+    pub path: Option<String>,
+    /// Substring the offending source line must contain.
+    pub contains: Option<String>,
+    /// Why this is intentionally kept (required).
+    pub reason: String,
+    /// Line in allow.toml (for diagnostics).
+    pub line: usize,
+}
+
+/// Parse failure in `allow.toml`.
+#[derive(Debug)]
+pub struct AllowParseError {
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parse the `[[allow]]` entries of an allowlist file.
+pub fn parse_allowlist(src: &str) -> Result<Vec<Waiver>, AllowParseError> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut current: Option<(usize, Vec<(String, String)>)> = None;
+    let mut finish =
+        |current: &mut Option<(usize, Vec<(String, String)>)>| -> Result<(), AllowParseError> {
+            let Some((start, kvs)) = current.take() else {
+                return Ok(());
+            };
+            let get = |k: &str| kvs.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+            for (key, _) in &kvs {
+                if !matches!(key.as_str(), "rule" | "path" | "contains" | "reason") {
+                    return Err(AllowParseError {
+                        line: start,
+                        message: format!("unknown key `{key}` in [[allow]] entry"),
+                    });
+                }
+            }
+            let rule = get("rule").ok_or(AllowParseError {
+                line: start,
+                message: "[[allow]] entry missing required `rule`".into(),
+            })?;
+            let reason = get("reason").ok_or(AllowParseError {
+                line: start,
+                message: "[[allow]] entry missing required `reason` (waivers must say why)".into(),
+            })?;
+            if reason.trim().is_empty() {
+                return Err(AllowParseError {
+                    line: start,
+                    message: "[[allow]] entry has an empty `reason`".into(),
+                });
+            }
+            waivers.push(Waiver {
+                rule,
+                path: get("path"),
+                contains: get("contains"),
+                reason,
+                line: start,
+            });
+            Ok(())
+        };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut current)?;
+            current = Some((lineno, Vec::new()));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("unexpected table `{line}` (only [[allow]] is supported)"),
+            });
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let key = line[..eq].trim().to_string();
+        let value = parse_string_value(line[eq + 1..].trim()).ok_or_else(|| AllowParseError {
+            line: lineno,
+            message: format!("value for `{key}` must be a double-quoted string"),
+        })?;
+        match &mut current {
+            Some((_, kvs)) => kvs.push((key, value)),
+            None => {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: "key/value outside any [[allow]] entry".into(),
+                })
+            }
+        }
+    }
+    finish(&mut current)?;
+    Ok(waivers)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string_value(s: &str) -> Option<String> {
+    let rest = s.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            },
+            '"' => {
+                // Only trailing whitespace may follow the closing quote.
+                return chars.as_str().trim().is_empty().then_some(out);
+            }
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+impl Waiver {
+    /// Whether this waiver covers `finding`.
+    pub fn matches(&self, finding: &Finding) -> bool {
+        if self.rule != finding.rule {
+            return false;
+        }
+        if let Some(path) = &self.path {
+            let fp = finding.path.to_string_lossy().replace('\\', "/");
+            if !fp.ends_with(path.as_str()) {
+                return false;
+            }
+        }
+        if let Some(needle) = &self.contains {
+            if !finding.line_text.contains(needle.as_str()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Result of filtering findings through the allowlist.
+pub struct Screened {
+    /// Findings not covered by any waiver — these fail the build.
+    pub violations: Vec<Finding>,
+    /// `(finding, waiver-index)` pairs for covered findings.
+    pub waived: Vec<(Finding, usize)>,
+    /// Indices of waivers that matched nothing (stale entries).
+    pub unused: Vec<usize>,
+}
+
+/// Split findings into violations and waived, tracking waiver usage.
+pub fn screen(findings: Vec<Finding>, waivers: &[Waiver]) -> Screened {
+    let mut used = vec![false; waivers.len()];
+    let mut violations = Vec::new();
+    let mut waived = Vec::new();
+    for f in findings {
+        match waivers.iter().position(|w| w.matches(&f)) {
+            Some(i) => {
+                used[i] = true;
+                waived.push((f, i));
+            }
+            None => violations.push(f),
+        }
+    }
+    let unused = (0..waivers.len()).filter(|&i| !used[i]).collect();
+    Screened {
+        violations,
+        waived,
+        unused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn finding(rule: &'static str, path: &str, text: &str) -> Finding {
+        Finding {
+            rule,
+            path: PathBuf::from(path),
+            line: 1,
+            message: "m".into(),
+            line_text: text.into(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_with_comments() {
+        let src = r#"
+# global comment
+[[allow]]
+rule = "no-panic"            # trailing comment
+path = "core/src/network.rs"
+contains = "panic!(\"{e}\")"
+reason = "legacy adapter"
+
+[[allow]]
+rule = "float-eq"
+reason = "wide"
+"#;
+        let ws = parse_allowlist(src).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].rule, "no-panic");
+        assert_eq!(ws[0].contains.as_deref(), Some("panic!(\"{e}\")"));
+        assert!(ws[1].path.is_none());
+    }
+
+    #[test]
+    fn missing_reason_rejected() {
+        let err = parse_allowlist("[[allow]]\nrule = \"no-panic\"\n").unwrap_err();
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let src = "[[allow]]\nrule = \"x\"\nreason = \"y\"\nfile = \"z\"\n";
+        let err = parse_allowlist(src).unwrap_err();
+        assert!(err.message.contains("unknown key"));
+    }
+
+    #[test]
+    fn screening_tracks_usage() {
+        let waivers = parse_allowlist(
+            "[[allow]]\nrule = \"no-panic\"\ncontains = \"legacy\"\nreason = \"r\"\n\
+             [[allow]]\nrule = \"float-eq\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let fs = vec![
+            finding("no-panic", "a.rs", "legacy panic!()"),
+            finding("no-panic", "a.rs", "fresh panic!()"),
+        ];
+        let s = screen(fs, &waivers);
+        assert_eq!(s.violations.len(), 1);
+        assert_eq!(s.waived.len(), 1);
+        assert_eq!(s.unused, vec![1]);
+    }
+
+    #[test]
+    fn path_is_suffix_matched() {
+        let waivers = parse_allowlist(
+            "[[allow]]\nrule = \"no-panic\"\npath = \"core/src/network.rs\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let hit = finding("no-panic", "crates/core/src/network.rs", "x");
+        let miss = finding("no-panic", "crates/serve/src/server.rs", "x");
+        assert!(waivers[0].matches(&hit));
+        assert!(!waivers[0].matches(&miss));
+    }
+}

@@ -1,0 +1,61 @@
+//! `cargo run -p check --bin model-check [-- --budget full|small]
+//! [--min-interleavings N]`
+//!
+//! Drives the serve primitives through explored interleavings against
+//! their shadow oracles. Exit codes: 0 = all invariants held and the
+//! interleaving floor was met, 1 = violations or a short exploration,
+//! 2 = bad arguments.
+
+use check::suites::{run_all, Budget};
+
+fn main() {
+    let mut budget = Budget::Full;
+    let mut min_interleavings: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => match args.next().as_deref() {
+                Some("full") => budget = Budget::Full,
+                Some("small") => budget = Budget::Small,
+                other => {
+                    eprintln!("model-check: --budget expects full|small, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--min-interleavings" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("model-check: --min-interleavings expects a number");
+                    std::process::exit(2);
+                };
+                min_interleavings = n;
+            }
+            other => {
+                eprintln!("model-check: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut total: u64 = 0;
+    let mut failed = false;
+    for (name, result) in run_all(budget) {
+        total += result.interleavings;
+        println!(
+            "model-check: suite {name}: {} interleavings, {} violation(s)",
+            result.interleavings,
+            result.violations.len()
+        );
+        for v in &result.violations {
+            failed = true;
+            println!("  VIOLATION {v}");
+        }
+    }
+    println!("model-check: {total} interleavings total ({budget:?} budget)");
+    if min_interleavings > 0 && total < min_interleavings {
+        println!(
+            "model-check: FAIL — explored {total} < required {min_interleavings} interleavings"
+        );
+        failed = true;
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

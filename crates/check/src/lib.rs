@@ -1,0 +1,30 @@
+//! # check
+//!
+//! In-repo correctness tooling for the ADARNet reproduction, in two
+//! parts (DESIGN.md §9):
+//!
+//! 1. **Lint pass** (`cargo run -p check --bin lint`): repo-specific
+//!    policies clippy cannot express — panic-free library code,
+//!    explicit float comparisons, spelled-out float→int rounding in the
+//!    numeric kernels, and single-lock discipline in the serving crate.
+//!    Intentional exceptions live, with reasons, in `check/allow.toml`.
+//! 2. **Model checker** (`cargo run -p check --bin model-check`): a
+//!    deterministic mini-loom that drives the serve primitives
+//!    ([`adarnet_serve::BoundedQueue`], [`adarnet_serve::PatchCache`],
+//!    [`adarnet_serve::ModelRegistry`]) through bounded-exhaustive and
+//!    seeded-random interleavings against sequential shadow oracles.
+//!
+//! Both are CI stages (`scripts/ci.sh`); both are libraries first, so
+//! every rule and suite also runs as a plain `cargo test -p check`.
+
+pub mod allow;
+pub mod lexer;
+pub mod lint;
+pub mod oracle;
+pub mod rules;
+pub mod sched;
+pub mod suites;
+
+pub use lint::{run_lint, workspace_root, LintReport};
+pub use sched::{explore_exhaustive, explore_random, ExploreResult, Scenario, Violation};
+pub use suites::{run_all, Budget};

@@ -1,0 +1,274 @@
+//! Sequential shadow models for the serve primitives.
+//!
+//! Each oracle is a deliberately naive, obviously-correct restatement
+//! of one structure's contract. The model-checker suites run every
+//! operation against the real structure *and* its oracle in the same
+//! linearized order and fail on any divergence — so the oracles are the
+//! specification, and the concurrent implementations are checked
+//! against it under every explored interleaving.
+
+use std::collections::VecDeque;
+
+/// Shadow outcome of a queue push (mirrors
+/// [`adarnet_serve::PushOutcome`] without carrying the item).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelPush {
+    /// Accepted into the queue.
+    Enqueued,
+    /// Full; the caller keeps the item.
+    Saturated,
+    /// Shut down; the caller keeps the item.
+    Rejected,
+}
+
+/// Naive bounded FIFO with shutdown — the [`adarnet_serve::BoundedQueue`]
+/// contract.
+pub struct QueueModel {
+    capacity: usize,
+    items: VecDeque<u64>,
+    shutdown: bool,
+    /// Every value that was accepted, in acceptance order.
+    pub accepted: Vec<u64>,
+    /// Every value that came back out, in pop order.
+    pub popped: Vec<u64>,
+}
+
+impl QueueModel {
+    /// Model of a queue with `capacity` slots (clamped to 1, like the
+    /// real queue).
+    pub fn new(capacity: usize) -> QueueModel {
+        QueueModel {
+            capacity: capacity.max(1),
+            items: VecDeque::new(),
+            shutdown: false,
+            accepted: Vec::new(),
+            popped: Vec::new(),
+        }
+    }
+
+    /// Spec: reject after shutdown, saturate at capacity, else append.
+    pub fn push(&mut self, value: u64) -> ModelPush {
+        if self.shutdown {
+            ModelPush::Rejected
+        } else if self.items.len() >= self.capacity {
+            ModelPush::Saturated
+        } else {
+            self.items.push_back(value);
+            self.accepted.push(value);
+            ModelPush::Enqueued
+        }
+    }
+
+    /// Spec: strict FIFO, shutdown does not block draining.
+    pub fn try_pop(&mut self) -> Option<u64> {
+        let v = self.items.pop_front();
+        if let Some(v) = v {
+            self.popped.push(v);
+        }
+        v
+    }
+
+    /// Spec: pop min(len, max.max(1)) items in FIFO order.
+    pub fn try_pop_batch(&mut self, max: usize) -> Vec<u64> {
+        let take = self.items.len().min(max.max(1));
+        let batch: Vec<u64> = self.items.drain(..take).collect();
+        self.popped.extend_from_slice(&batch);
+        batch
+    }
+
+    /// Spec: stop accepting, keep draining.
+    pub fn shutdown(&mut self) {
+        self.shutdown = true;
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Conservation: every accepted item popped exactly once, in order,
+    /// with nothing left behind. Call after a full drain.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        if !self.items.is_empty() {
+            return Err(format!("{} items never drained", self.items.len()));
+        }
+        if self.accepted != self.popped {
+            return Err(format!(
+                "accepted {:?} but popped {:?} (lost, duplicated, or reordered entries)",
+                self.accepted, self.popped
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Naive exact-LRU map with hit/miss counters — the
+/// [`adarnet_serve::PatchCache`] contract, over small integer keys.
+pub struct LruModel {
+    capacity: usize,
+    /// `(key, value)` in recency order, least recent first.
+    entries: Vec<(u64, u64)>,
+    /// Lifetime hits.
+    pub hits: u64,
+    /// Lifetime misses.
+    pub misses: u64,
+}
+
+impl LruModel {
+    /// Model of a cache holding `capacity` entries (0 disables).
+    pub fn new(capacity: usize) -> LruModel {
+        LruModel {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Spec: hit refreshes recency and bumps `hits`; otherwise `misses`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return None;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            let entry = self.entries.remove(pos);
+            let value = entry.1;
+            self.entries.push(entry);
+            self.hits += 1;
+            Some(value)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Spec: insert/overwrite refreshes recency; evict least-recent
+    /// past capacity; no counter changes.
+    pub fn insert(&mut self, key: u64, value: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((key, value));
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+        }
+    }
+
+    /// Spec: drop everything; counters keep their lifetime values.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the model holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Naive activation history — the [`adarnet_serve::ModelRegistry`]
+/// generation contract.
+pub struct RegistryModel {
+    /// `(generation, name)` of the current active model.
+    pub active: Option<(u64, String)>,
+    /// Monotone activation counter.
+    pub generation: u64,
+}
+
+impl RegistryModel {
+    /// Model of a registry before any activation.
+    pub fn new() -> RegistryModel {
+        RegistryModel {
+            active: None,
+            generation: 0,
+        }
+    }
+
+    /// Spec: each activation takes the next generation and publishes
+    /// atomically.
+    pub fn activate(&mut self, name: &str) -> u64 {
+        self.generation += 1;
+        self.active = Some((self.generation, name.to_string()));
+        self.generation
+    }
+}
+
+impl Default for RegistryModel {
+    fn default() -> Self {
+        RegistryModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_model_saturates_and_rejects() {
+        let mut q = QueueModel::new(2);
+        assert_eq!(q.push(1), ModelPush::Enqueued);
+        assert_eq!(q.push(2), ModelPush::Enqueued);
+        assert_eq!(q.push(3), ModelPush::Saturated);
+        q.shutdown();
+        assert_eq!(q.push(4), ModelPush::Rejected);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop_batch(5), vec![2]);
+        assert!(q.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn queue_conservation_catches_leftovers() {
+        let mut q = QueueModel::new(4);
+        q.push(1);
+        assert!(q.check_conservation().is_err());
+        q.try_pop();
+        assert!(q.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn lru_model_evicts_least_recent() {
+        let mut c = LruModel::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(1), Some(10));
+        c.insert(3, 30);
+        assert_eq!(c.get(2), None, "2 was least-recent");
+        assert_eq!(c.get(3), Some(30));
+        assert_eq!((c.hits, c.misses), (2, 1));
+    }
+
+    #[test]
+    fn lru_model_zero_capacity_disables() {
+        let mut c = LruModel::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+        assert_eq!((c.hits, c.misses), (0, 1));
+    }
+
+    #[test]
+    fn registry_model_generations_are_monotone() {
+        let mut r = RegistryModel::new();
+        assert_eq!(r.activate("a"), 1);
+        assert_eq!(r.activate("b"), 2);
+        assert_eq!(r.active, Some((2, "b".to_string())));
+    }
+}

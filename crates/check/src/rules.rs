@@ -1,0 +1,512 @@
+//! Repo-specific lint rules over token streams.
+//!
+//! These are rules clippy cannot express because they encode *this*
+//! repo's policies (see DESIGN.md §9):
+//!
+//! * [`no-panic`](RULE_NO_PANIC) — no `unwrap()` / `expect()` /
+//!   `panic!`-family macros in non-test library code; failures must be
+//!   typed errors (the `RankerError` / `EngineError` direction).
+//! * [`float-eq`](RULE_FLOAT_EQ) — no `==`/`!=` against float literals;
+//!   a single NaN ranker score silently corrupts the final mesh, so
+//!   float comparisons must be explicit (`<=`, epsilon, or integer
+//!   restructure).
+//! * [`lossy-cast`](RULE_LOSSY_CAST) — no bare float→int `as` casts in
+//!   the `nn`/`tensor`/`cfd` kernels; truncation must be spelled
+//!   (`.floor()`, `.ceil()`, `.round()`, `.trunc()`) so grid-index
+//!   arithmetic cannot silently drop cells.
+//! * [`lock-order`](RULE_LOCK_ORDER) — in `serve`, no second lock
+//!   acquisition while a `Mutex`/`RwLock` guard is held in the same
+//!   function (intra-function lexical scan; cross-function interleaving
+//!   hazards are the model checker's domain).
+//!
+//! The rules are token-level heuristics, deliberately conservative in
+//! what they flag; anything intentionally kept is waived — with a
+//! reason — in `check/allow.toml`.
+
+use std::path::PathBuf;
+
+use crate::lexer::{test_region_mask, tokenize, Tok, TokKind};
+
+/// Rule id for the panic-free-library rule.
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// Rule id for the float-equality rule.
+pub const RULE_FLOAT_EQ: &str = "float-eq";
+/// Rule id for the lossy float→int cast rule.
+pub const RULE_LOSSY_CAST: &str = "lossy-cast";
+/// Rule id for the lock-ordering hazard rule.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// The raw source line (for diagnostics and waiver matching).
+    pub line_text: String,
+}
+
+/// Which rule families apply to a file (decided by the walker from the
+/// file's crate).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet {
+    /// Apply [`RULE_NO_PANIC`] and [`RULE_FLOAT_EQ`] (all library code).
+    pub core_rules: bool,
+    /// Apply [`RULE_LOSSY_CAST`] (numeric kernel crates).
+    pub lossy_cast: bool,
+    /// Apply [`RULE_LOCK_ORDER`] (concurrent serving crates).
+    pub lock_order: bool,
+}
+
+/// Lint one file's source, returning all findings.
+pub fn lint_source(path: &std::path::Path, src: &str, rules: RuleSet) -> Vec<Finding> {
+    let toks = tokenize(src);
+    let mask = test_region_mask(&toks);
+    let lines: Vec<&str> = src.lines().collect();
+    let line_text = |line: usize| -> String {
+        lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: usize, message: String| {
+        out.push(Finding {
+            rule,
+            path: path.to_path_buf(),
+            line,
+            message,
+            line_text: line_text(line),
+        });
+    };
+
+    if rules.core_rules {
+        scan_no_panic(&toks, &mask, &mut push);
+        scan_float_eq(&toks, &mask, &mut push);
+    }
+    if rules.lossy_cast {
+        scan_lossy_cast(&toks, &mask, &mut push);
+    }
+    if rules.lock_order {
+        scan_lock_order(&toks, &mask, &mut push);
+    }
+    out
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn scan_no_panic(toks: &[Tok], mask: &[bool], push: &mut impl FnMut(&'static str, usize, String)) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+        let next_open = i + 1 < toks.len() && toks[i + 1].is_punct("(");
+        let next_bang = i + 1 < toks.len() && toks[i + 1].is_punct("!");
+        if prev_dot && next_open && (t.text == "unwrap" || t.text == "expect") {
+            push(
+                RULE_NO_PANIC,
+                t.line,
+                format!(".{}() in non-test library code (use typed errors)", t.text),
+            );
+        } else if next_bang && PANIC_MACROS.contains(&t.text.as_str()) {
+            push(
+                RULE_NO_PANIC,
+                t.line,
+                format!("{}! in non-test library code (use typed errors)", t.text),
+            );
+        }
+    }
+}
+
+fn scan_float_eq(toks: &[Tok], mask: &[bool], push: &mut impl FnMut(&'static str, usize, String)) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let prev_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+        let next_float = i + 1 < toks.len() && toks[i + 1].kind == TokKind::Float;
+        // `x == f32::NAN` / `f64::INFINITY` style constants.
+        let next_float_path = i + 1 < toks.len()
+            && (toks[i + 1].is_ident("f32") || toks[i + 1].is_ident("f64"))
+            && i + 2 < toks.len()
+            && toks[i + 2].is_punct("::");
+        if prev_float || next_float || next_float_path {
+            push(
+                RULE_FLOAT_EQ,
+                t.line,
+                format!(
+                    "`{}` against a float literal (use <=/>= restructure or an epsilon)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Integer types a float must not be `as`-cast into without an explicit
+/// rounding call.
+const INT_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+/// Explicit-rounding methods that make a float→int cast intentional.
+const ROUNDING: &[&str] = &["floor", "ceil", "round", "trunc"];
+/// Methods whose result is certainly a float (a bare cast after these is
+/// a hidden truncation).
+const FLOAT_METHODS: &[&str] = &[
+    "sqrt",
+    "ln",
+    "log2",
+    "log10",
+    "exp",
+    "exp2",
+    "powf",
+    "powi",
+    "sin",
+    "cos",
+    "tan",
+    "atan2",
+    "hypot",
+    "recip",
+    "to_degrees",
+    "to_radians",
+];
+
+fn scan_lossy_cast(
+    toks: &[Tok],
+    mask: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || !t.is_ident("as") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if !(next.kind == TokKind::Ident && INT_TYPES.contains(&next.text.as_str())) {
+            continue;
+        }
+        let Some(prev) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
+            continue;
+        };
+        let flagged = if prev.kind == TokKind::Float {
+            true
+        } else if prev.is_ident("f32") || prev.is_ident("f64") {
+            // `x as f64 as usize`
+            true
+        } else if prev.is_punct(")") {
+            // Method call result: find the callee before the matching `(`.
+            match callee_before_close_paren(toks, i - 1) {
+                Some(name) if ROUNDING.contains(&name.as_str()) => false,
+                Some(name) => FLOAT_METHODS.contains(&name.as_str()),
+                None => false,
+            }
+        } else {
+            false
+        };
+        if flagged {
+            push(
+                RULE_LOSSY_CAST,
+                t.line,
+                format!(
+                    "float value cast to `{}` without .floor()/.ceil()/.round()/.trunc()",
+                    next.text
+                ),
+            );
+        }
+    }
+}
+
+/// For a `)` at token index `close`, return the method name `m` if the
+/// call has the shape `.m( ... )`.
+fn callee_before_close_paren(toks: &[Tok], close: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        if toks[j].is_punct(")") {
+            depth += 1;
+        } else if toks[j].is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+    // toks[j] is the matching `(`; callee is `.name` right before it.
+    let name = j.checked_sub(1).map(|k| &toks[k])?;
+    let dot = j.checked_sub(2).map(|k| &toks[k])?;
+    if name.kind == TokKind::Ident && dot.is_punct(".") {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Lock acquisition shapes recognized by [`scan_lock_order`]:
+/// `.lock(` / `.read(` / `.write(` and the poison-tolerant helpers
+/// `sync::lock(` / `sync::read(` / `sync::write(`.
+/// (`sync::wait*` re-acquires an existing guard and is not a new lock.)
+fn acquisition_at(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || !matches!(t.text.as_str(), "lock" | "read" | "write") {
+        return false;
+    }
+    if !(i + 1 < toks.len() && toks[i + 1].is_punct("(")) {
+        return false;
+    }
+    let Some(prev) = i.checked_sub(1).map(|j| &toks[j]) else {
+        return false;
+    };
+    if prev.is_punct(".") {
+        return true;
+    }
+    prev.is_punct("::") && i >= 2 && toks[i - 2].is_ident("sync")
+}
+
+struct HeldGuard {
+    name: Option<String>,
+    depth: usize,
+    /// Temporaries (no `let` binding) die at the end of the statement.
+    statement_scoped: bool,
+    line: usize,
+}
+
+fn scan_lock_order(
+    toks: &[Tok],
+    mask: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    let mut depth = 0usize;
+    let mut guards: Vec<HeldGuard> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_punct(";") {
+            guards.retain(|g| !(g.statement_scoped && g.depth == depth));
+        } else if t.is_ident("fn") {
+            // Guards cannot flow into a nested fn item.
+            guards.clear();
+        } else if t.is_ident("drop") && i + 2 < toks.len() && toks[i + 1].is_punct("(") {
+            if toks[i + 2].kind == TokKind::Ident {
+                let dropped = toks[i + 2].text.clone();
+                guards.retain(|g| g.name.as_deref() != Some(dropped.as_str()));
+            }
+        } else if !mask[i] && acquisition_at(toks, i) {
+            if let Some(held) = guards.last() {
+                push(
+                    RULE_LOCK_ORDER,
+                    t.line,
+                    format!(
+                        "lock acquired while guard {} (line {}) is still held — lock-ordering hazard",
+                        held.name.as_deref().map(|n| format!("`{n}`")).unwrap_or_else(|| "<temporary>".into()),
+                        held.line
+                    ),
+                );
+            }
+            // Determine whether this acquisition becomes a held guard:
+            // `let g = ....lock();` (binding, lives to end of block) vs a
+            // temporary consumed in a longer expression (lives to `;`).
+            let binding_name = let_binding_name(toks, i);
+            let ends_at_semicolon = acquisition_is_temporary(toks, i);
+            guards.push(HeldGuard {
+                name: if ends_at_semicolon {
+                    None
+                } else {
+                    binding_name
+                },
+                depth,
+                statement_scoped: ends_at_semicolon,
+                line: t.line,
+            });
+        }
+        i += 1;
+    }
+}
+
+/// Scan back from an acquisition to the start of its statement; if the
+/// statement is a `let`, return the bound identifier.
+fn let_binding_name(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return None;
+        }
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            while k < i && toks[k].is_ident("mut") {
+                k += 1;
+            }
+            if k < i && toks[k].kind == TokKind::Ident {
+                return Some(toks[k].text.clone());
+            }
+            return None;
+        }
+    }
+    None
+}
+
+/// Whether the acquisition's guard is consumed within its statement
+/// (method-chained temporary) rather than bound: true when the token
+/// after the call's matching `)` is not `;`.
+fn acquisition_is_temporary(toks: &[Tok], i: usize) -> bool {
+    // toks[i] is the method ident; toks[i+1] is `(`.
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        if toks[j].is_punct("(") {
+            depth += 1;
+        } else if toks[j].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    // `.lock().unwrap()` / `sync::lock(&m)` followed by `;` ⇒ binding or
+    // statement end; anything else (`.`, `)`, `,`) keeps it a temporary.
+    !matches!(toks.get(j + 1), Some(t) if t.is_punct(";"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    const ALL: RuleSet = RuleSet {
+        core_rules: true,
+        lossy_cast: true,
+        lock_order: true,
+    };
+
+    fn findings(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("x.rs"), src, ALL)
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        findings(src).iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged_outside_tests() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); }";
+        assert_eq!(rules_of(src), vec![RULE_NO_PANIC, RULE_NO_PANIC]);
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(\"x\"); } }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn panic_family_macros_flagged() {
+        let src = "fn f() { panic!(\"a\"); unreachable!(); todo!(); unimplemented!(); }";
+        assert_eq!(rules_of(src).len(), 4);
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_ignored() {
+        let src = "fn f() { let s = \"x.unwrap()\"; } // y.unwrap()";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f() { x.unwrap_or_else(|| 3); x.unwrap_or(0); }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_both_sides() {
+        let src = "fn f() { if a == 0.0 {} if 1.5 != b {} if c == f32::NAN {} }";
+        assert_eq!(
+            rules_of(src),
+            vec![RULE_FLOAT_EQ, RULE_FLOAT_EQ, RULE_FLOAT_EQ]
+        );
+    }
+
+    #[test]
+    fn int_eq_not_flagged() {
+        let src = "fn f() { if a == 0 {} if n != len {} }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_flags_bare_float_to_int() {
+        let src = "fn f() { let a = 1.5 as usize; let b = x.sqrt() as i32; }";
+        assert_eq!(rules_of(src), vec![RULE_LOSSY_CAST, RULE_LOSSY_CAST]);
+    }
+
+    #[test]
+    fn rounded_cast_is_allowed() {
+        let src = "fn f() { let a = x.floor() as usize; let b = y.round() as i64; }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn int_to_int_cast_is_allowed() {
+        let src = "fn f() { let a = n as usize; let b = (n + 1) as u64; }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn second_lock_under_held_guard_flagged() {
+        let src = "fn f() { let g = a.lock(); let h = b.lock(); }";
+        assert_eq!(rules_of(src), vec![RULE_LOCK_ORDER]);
+    }
+
+    #[test]
+    fn sequential_scopes_are_fine() {
+        let src = "fn f() { { let g = a.lock(); } { let h = b.lock(); } }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn dropped_guard_releases() {
+        let src = "fn f() { let g = a.lock(); drop(g); let h = b.lock(); }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn statement_temporary_releases_at_semicolon() {
+        let src = "fn f() { let x = m.lock().unwrap().len(); let g = b.lock(); }";
+        // The temporary dies at the `;`, so the second lock is safe —
+        // but the chained unwrap still trips no-panic.
+        assert_eq!(rules_of(src), vec![RULE_NO_PANIC]);
+    }
+
+    #[test]
+    fn nested_acquisition_in_one_statement_flagged() {
+        let src = "fn f() { let x = a.lock().merge(b.read()); }";
+        assert_eq!(rules_of(src), vec![RULE_LOCK_ORDER]);
+    }
+
+    #[test]
+    fn sync_helper_acquisitions_are_recognized() {
+        let src = "fn f() { let g = sync::lock(&m); let h = sync::write(&l); }";
+        assert_eq!(rules_of(src), vec![RULE_LOCK_ORDER]);
+    }
+
+    #[test]
+    fn io_read_method_on_chain_is_tolerated() {
+        // `.read(` on a chained temporary is treated as a lock guard until
+        // the semicolon, but alone it flags nothing.
+        let src = "fn f() { let n = file.read(&mut buf); }";
+        assert!(rules_of(src).is_empty());
+    }
+}

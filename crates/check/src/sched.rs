@@ -1,0 +1,367 @@
+//! Deterministic interleaving exploration (a miniature loom).
+//!
+//! A [`Scenario`] is a fixed set of logical threads, each a fixed
+//! sequence of operations against a shared structure plus a sequential
+//! shadow model. The explorer runs every operation *on the caller's
+//! thread*, in an interleaving it controls, so every run is exactly
+//! reproducible from its choice trace — no real parallelism, no timing
+//! dependence.
+//!
+//! Why this is sound for the serve primitives: every public operation
+//! on [`adarnet_serve::BoundedQueue`], [`adarnet_serve::PatchCache`]
+//! and [`adarnet_serve::ModelRegistry`] is atomic under that
+//! structure's internal lock, so any concurrent execution is equivalent
+//! to *some* linearization of the operations — and the explorer visits
+//! those linearizations exhaustively (or by seeded random sampling for
+//! the larger spaces). What this cannot see is a non-linearizable
+//! implementation (e.g. a torn multi-lock update); the lock-order lint
+//! and the uniform-checkpoint torn-read oracle cover that flank. See
+//! DESIGN.md §9 for the full argument and its limits.
+//!
+//! Two exploration modes:
+//!
+//! * [`explore_exhaustive`] — depth-first over *all* interleavings
+//!   (the count for thread op-lengths `(a, b, c)` is the multinomial
+//!   `(a+b+c)! / (a! b! c!)`);
+//! * [`explore_random`] — uniformly random scheduler choices from a
+//!   seeded [`rand_chacha::ChaCha8Rng`], for spaces too large to
+//!   enumerate.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A model-checking scenario: threads of operations over shared state.
+pub trait Scenario {
+    /// Per-interleaving state (the real structure plus its shadow
+    /// model).
+    type State;
+
+    /// Scenario name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of operations each logical thread performs.
+    fn thread_ops(&self) -> Vec<usize>;
+
+    /// Fresh state for one interleaving.
+    fn init(&self) -> Self::State;
+
+    /// Run operation `op` (0-based within the thread) of `thread`.
+    /// `Err` is an invariant violation; the message should say what
+    /// diverged between the real structure and the shadow model.
+    fn step(&self, state: &mut Self::State, thread: usize, op: usize) -> Result<(), String>;
+
+    /// End-of-interleaving invariants (e.g. conservation after a full
+    /// drain).
+    fn finish(&self, state: &mut Self::State) -> Result<(), String>;
+}
+
+/// One invariant violation with its reproducing schedule.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Scenario that failed.
+    pub scenario: &'static str,
+    /// Thread index chosen at each scheduling point — replaying these
+    /// choices reproduces the failure exactly.
+    pub trace: Vec<usize>,
+    /// What diverged.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} [schedule: {:?}]",
+            self.scenario, self.message, self.trace
+        )
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Default)]
+pub struct ExploreResult {
+    /// Interleavings executed.
+    pub interleavings: u64,
+    /// Invariant violations found (empty = pass).
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreResult {
+    /// Fold another result into this one.
+    pub fn merge(&mut self, other: ExploreResult) {
+        self.interleavings += other.interleavings;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// Cap on recorded violations per exploration; past this the run is
+/// thoroughly broken and more traces add nothing.
+const MAX_VIOLATIONS: usize = 8;
+
+/// Run one interleaving, with scheduling decided by `choose(runnable)`,
+/// which must return an index into the runnable-thread list. Returns
+/// the trace and the first violation (if any).
+fn run_one<S: Scenario>(
+    scenario: &S,
+    ops: &[usize],
+    mut choose: impl FnMut(&[usize]) -> usize,
+) -> (Vec<usize>, Option<String>) {
+    let mut remaining = ops.to_vec();
+    let mut cursor = vec![0usize; ops.len()];
+    let mut state = scenario.init();
+    let mut trace = Vec::new();
+    let mut failed: Option<String> = None;
+    loop {
+        let runnable: Vec<usize> = (0..remaining.len()).filter(|&t| remaining[t] > 0).collect();
+        if runnable.is_empty() {
+            break;
+        }
+        let pick = choose(&runnable).min(runnable.len() - 1);
+        let t = runnable[pick];
+        trace.push(t);
+        if failed.is_none() {
+            if let Err(m) = scenario.step(&mut state, t, cursor[t]) {
+                failed = Some(m);
+            }
+        }
+        cursor[t] += 1;
+        remaining[t] -= 1;
+    }
+    if failed.is_none() {
+        if let Err(m) = scenario.finish(&mut state) {
+            failed = Some(m);
+        }
+    }
+    (trace, failed)
+}
+
+/// Depth-first enumeration of every interleaving of the scenario's
+/// threads (per-thread program order preserved).
+pub fn explore_exhaustive<S: Scenario>(scenario: &S) -> ExploreResult {
+    let ops = scenario.thread_ops();
+    let mut result = ExploreResult::default();
+    // DFS stack of (choice, option-count) at each scheduling depth. A
+    // replay reuses the stack prefix, then extends with first-choice
+    // (0) entries; `advance` rolls the stack like an odometer.
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    loop {
+        let mut depth = 0usize;
+        let (trace, failed) = run_one(scenario, &ops, |runnable| {
+            let pick = if depth < stack.len() {
+                stack[depth].0
+            } else {
+                stack.push((0, runnable.len()));
+                0
+            };
+            depth += 1;
+            pick
+        });
+        result.interleavings += 1;
+        if let Some(message) = failed {
+            if result.violations.len() < MAX_VIOLATIONS {
+                result.violations.push(Violation {
+                    scenario: scenario.name(),
+                    trace,
+                    message,
+                });
+            }
+        }
+        // Advance to the next interleaving: drop exhausted tail
+        // entries, bump the deepest non-exhausted choice.
+        let advanced = loop {
+            match stack.pop() {
+                None => break false,
+                Some((choice, options)) if choice + 1 < options => {
+                    stack.push((choice + 1, options));
+                    break true;
+                }
+                Some(_) => {}
+            }
+        };
+        if !advanced {
+            return result;
+        }
+    }
+}
+
+/// `trials` interleavings with uniformly random scheduler choices from
+/// a ChaCha8 stream seeded with `seed` — fully reproducible.
+pub fn explore_random<S: Scenario>(scenario: &S, trials: u64, seed: u64) -> ExploreResult {
+    let ops = scenario.thread_ops();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut result = ExploreResult::default();
+    for _ in 0..trials {
+        let (trace, failed) = run_one(scenario, &ops, |runnable| {
+            if runnable.len() == 1 {
+                0
+            } else {
+                rng.gen_range(0..runnable.len())
+            }
+        });
+        result.interleavings += 1;
+        if let Some(message) = failed {
+            if result.violations.len() < MAX_VIOLATIONS {
+                result.violations.push(Violation {
+                    scenario: scenario.name(),
+                    trace,
+                    message,
+                });
+            }
+        }
+    }
+    result
+}
+
+/// Number of distinct interleavings for the given per-thread op counts
+/// (the multinomial coefficient), saturating at `u64::MAX`.
+pub fn interleaving_count(ops: &[usize]) -> u64 {
+    // Multiply incrementally: result *= C(total, k) per thread.
+    let mut result: u64 = 1;
+    let mut total: u64 = 0;
+    for &k in ops {
+        for i in 1..=(k as u64) {
+            total += 1;
+            // result * total / i is always integral at this point.
+            result = match result.checked_mul(total) {
+                Some(v) => v / i,
+                None => return u64::MAX,
+            };
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Counts distinct traces and checks program order per thread.
+    struct TraceCollector {
+        ops: Vec<usize>,
+        seen: RefCell<std::collections::BTreeSet<Vec<usize>>>,
+    }
+
+    impl Scenario for TraceCollector {
+        type State = Vec<usize>;
+        fn name(&self) -> &'static str {
+            "trace-collector"
+        }
+        fn thread_ops(&self) -> Vec<usize> {
+            self.ops.clone()
+        }
+        fn init(&self) -> Vec<usize> {
+            Vec::new()
+        }
+        fn step(&self, state: &mut Vec<usize>, thread: usize, op: usize) -> Result<(), String> {
+            // Program order: the op index must equal how many times this
+            // thread has already run.
+            let prior = state.iter().filter(|&&t| t == thread).count();
+            if prior != op {
+                return Err(format!("thread {thread} op {op} ran out of order"));
+            }
+            state.push(thread);
+            Ok(())
+        }
+        fn finish(&self, state: &mut Vec<usize>) -> Result<(), String> {
+            self.seen.borrow_mut().insert(state.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn exhaustive_visits_every_interleaving_exactly_once() {
+        let s = TraceCollector {
+            ops: vec![2, 2, 1],
+            seen: RefCell::new(Default::default()),
+        };
+        let r = explore_exhaustive(&s);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // 5!/(2!2!1!) = 30 distinct interleavings.
+        assert_eq!(interleaving_count(&[2, 2, 1]), 30);
+        assert_eq!(r.interleavings, 30);
+        assert_eq!(s.seen.borrow().len(), 30, "each visited exactly once");
+    }
+
+    #[test]
+    fn random_respects_program_order_and_trial_count() {
+        let s = TraceCollector {
+            ops: vec![3, 3],
+            seen: RefCell::new(Default::default()),
+        };
+        let r = explore_random(&s, 100, 42);
+        assert_eq!(r.interleavings, 100);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn random_is_reproducible_for_a_seed() {
+        struct Failing;
+        impl Scenario for Failing {
+            type State = ();
+            fn name(&self) -> &'static str {
+                "failing"
+            }
+            fn thread_ops(&self) -> Vec<usize> {
+                vec![2, 2]
+            }
+            fn init(&self) {}
+            fn step(&self, _: &mut (), thread: usize, op: usize) -> Result<(), String> {
+                if thread == 1 && op == 1 {
+                    Err("boom".into())
+                } else {
+                    Ok(())
+                }
+            }
+            fn finish(&self, _: &mut ()) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let a = explore_random(&Failing, 10, 7);
+        let b = explore_random(&Failing, 10, 7);
+        let ta: Vec<_> = a.violations.iter().map(|v| v.trace.clone()).collect();
+        let tb: Vec<_> = b.violations.iter().map(|v| v.trace.clone()).collect();
+        assert_eq!(ta, tb);
+        assert!(!ta.is_empty());
+    }
+
+    #[test]
+    fn violation_carries_reproducing_trace() {
+        struct FailOnce;
+        impl Scenario for FailOnce {
+            type State = ();
+            fn name(&self) -> &'static str {
+                "fail-once"
+            }
+            fn thread_ops(&self) -> Vec<usize> {
+                vec![1, 1]
+            }
+            fn init(&self) {}
+            fn step(&self, _: &mut (), thread: usize, _: usize) -> Result<(), String> {
+                if thread == 1 {
+                    Err("thread 1 ran".into())
+                } else {
+                    Ok(())
+                }
+            }
+            fn finish(&self, _: &mut ()) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let r = explore_exhaustive(&FailOnce);
+        assert_eq!(r.interleavings, 2);
+        // Both interleavings run thread 1 somewhere, so both fail.
+        assert_eq!(r.violations.len(), 2);
+        for v in &r.violations {
+            assert!(v.trace.contains(&1));
+        }
+    }
+
+    #[test]
+    fn interleaving_count_matches_known_values() {
+        assert_eq!(interleaving_count(&[3, 3, 3]), 1680);
+        assert_eq!(interleaving_count(&[1]), 1);
+        assert_eq!(interleaving_count(&[]), 1);
+        assert_eq!(interleaving_count(&[4, 4]), 70);
+    }
+}

@@ -1,0 +1,771 @@
+//! Model-checking suites: the serve primitives driven against their
+//! [`crate::oracle`] shadow models under explored interleavings.
+//!
+//! Each suite builds a handful of scenarios (small enough for
+//! bounded-exhaustive enumeration, larger ones for seeded-random
+//! sampling) and reports the merged result. The invariants, per
+//! structure:
+//!
+//! * **queue** — push outcomes (enqueued / saturated / rejected) match
+//!   the bounded-FIFO spec, pops are FIFO, and after a full drain every
+//!   accepted entry came out exactly once (no lost or duplicated batch
+//!   entries: patch-count conservation starts here);
+//! * **cache** — lookups, LRU eviction order, and the hit/miss
+//!   counters match an exact sequential LRU at every step;
+//! * **registry** — activation generations are exactly the linearized
+//!   activation count, the published active model is always a
+//!   `(generation, name)` pair the model predicts, and the active
+//!   checkpoint's weights are always *uniform* — a mixed-constant
+//!   tensor would mean a torn (half-swapped) checkpoint.
+
+use std::time::Duration;
+
+use adarnet_core::checkpoint::{ModelCheckpoint, CHECKPOINT_VERSION};
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_serve::{BoundedQueue, ModelRegistry, PatchCache, PatchKey, PushOutcome};
+use adarnet_tensor::{Shape, Tensor};
+
+use crate::oracle::{LruModel, ModelPush, QueueModel, RegistryModel};
+use crate::sched::{explore_exhaustive, explore_random, ExploreResult, Scenario};
+
+/// Exploration effort: `Full` is the CI gate (≥ 10k interleavings),
+/// `Small` the SKIP_SLOW smoke budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Full bounded-exhaustive + random budget.
+    Full,
+    /// Reduced smoke budget for fast iteration.
+    Small,
+}
+
+// ---------------------------------------------------------------------
+// Queue suite
+// ---------------------------------------------------------------------
+
+/// One scripted queue operation.
+#[derive(Debug, Clone, Copy)]
+pub enum QueueOp {
+    /// `push(value)`.
+    Push(u64),
+    /// `try_pop()`.
+    TryPop,
+    /// `try_pop_batch(max)`.
+    TryPopBatch(usize),
+    /// `pop_batch(max, 0)` — skipped when it would block (empty, not
+    /// shut down) since the checker owns the only thread.
+    PopBatch(usize),
+    /// `shutdown()`.
+    Shutdown,
+}
+
+/// Threads of queue ops over one shared [`BoundedQueue`].
+pub struct QueueScenario {
+    /// Queue capacity under test.
+    pub capacity: usize,
+    /// Per-thread op scripts.
+    pub scripts: Vec<Vec<QueueOp>>,
+}
+
+/// Real queue + shadow model for one interleaving.
+pub struct QueueState {
+    real: BoundedQueue<u64>,
+    model: QueueModel,
+}
+
+impl Scenario for QueueScenario {
+    type State = QueueState;
+
+    fn name(&self) -> &'static str {
+        "serve::queue"
+    }
+
+    fn thread_ops(&self) -> Vec<usize> {
+        self.scripts.iter().map(Vec::len).collect()
+    }
+
+    fn init(&self) -> QueueState {
+        QueueState {
+            real: BoundedQueue::new(self.capacity),
+            model: QueueModel::new(self.capacity),
+        }
+    }
+
+    fn step(&self, state: &mut QueueState, thread: usize, op: usize) -> Result<(), String> {
+        let Some(op) = self.scripts.get(thread).and_then(|s| s.get(op)).copied() else {
+            return Err(format!("no op {op} for thread {thread} (bad script)"));
+        };
+        match op {
+            QueueOp::Push(value) => {
+                let real = state.real.push(value);
+                let model = state.model.push(value);
+                let real_kind = match real {
+                    PushOutcome::Enqueued => ModelPush::Enqueued,
+                    PushOutcome::Saturated(v) if v == value => ModelPush::Saturated,
+                    PushOutcome::Rejected(v) if v == value => ModelPush::Rejected,
+                    PushOutcome::Saturated(v) | PushOutcome::Rejected(v) => {
+                        return Err(format!("push({value}) handed back wrong item {v}"))
+                    }
+                };
+                if real_kind != model {
+                    return Err(format!(
+                        "push({value}): real {real_kind:?} but spec says {model:?}"
+                    ));
+                }
+            }
+            QueueOp::TryPop => {
+                let real = state.real.try_pop();
+                let model = state.model.try_pop();
+                if real != model {
+                    return Err(format!("try_pop: real {real:?} but spec says {model:?}"));
+                }
+            }
+            QueueOp::TryPopBatch(max) => {
+                let real = state.real.try_pop_batch(max);
+                let model = state.model.try_pop_batch(max);
+                if real != model {
+                    return Err(format!(
+                        "try_pop_batch({max}): real {real:?} but spec says {model:?}"
+                    ));
+                }
+            }
+            QueueOp::PopBatch(max) => {
+                if state.model.is_empty() && !state.model.is_shutdown() {
+                    // Would block with no co-runner to wake it; the
+                    // blocking path is exercised by the queue's own
+                    // cross-thread unit test.
+                    return Ok(());
+                }
+                let real = state.real.pop_batch(max, Duration::ZERO);
+                let model = state.model.try_pop_batch(max);
+                match real {
+                    None => {
+                        if !(model.is_empty() && state.model.is_shutdown()) {
+                            return Err(format!(
+                                "pop_batch({max}): real returned shutdown-None but spec has {model:?}"
+                            ));
+                        }
+                    }
+                    Some(batch) => {
+                        if batch != model {
+                            return Err(format!(
+                                "pop_batch({max}): real {batch:?} but spec says {model:?}"
+                            ));
+                        }
+                        if batch.is_empty() {
+                            return Err("pop_batch returned an empty batch".into());
+                        }
+                    }
+                }
+            }
+            QueueOp::Shutdown => {
+                state.real.shutdown();
+                state.model.shutdown();
+            }
+        }
+        if state.real.len() != state.model.len() {
+            return Err(format!(
+                "len diverged after {op:?}: real {} vs spec {}",
+                state.real.len(),
+                state.model.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, state: &mut QueueState) -> Result<(), String> {
+        // Drain both sides completely, still in lock-step.
+        loop {
+            let real = state.real.try_pop();
+            let model = state.model.try_pop();
+            if real != model {
+                return Err(format!("drain diverged: real {real:?} vs spec {model:?}"));
+            }
+            if real.is_none() {
+                break;
+            }
+        }
+        state.model.check_conservation()
+    }
+}
+
+/// Run the queue suite at the given budget.
+pub fn queue_suite(budget: Budget) -> ExploreResult {
+    use QueueOp::*;
+    let mut result = ExploreResult::default();
+
+    // Two producers racing one consumer through a capacity-4 queue:
+    // every interleaving of 9 ops, exhaustively (1680 interleavings).
+    let contended = QueueScenario {
+        capacity: 4,
+        scripts: vec![
+            vec![Push(100), Push(101), Push(102)],
+            vec![Push(200), Push(201), Push(202)],
+            vec![TryPop, TryPop, TryPop],
+        ],
+    };
+    // Saturation + shutdown against batched popping, capacity 2
+    // (560 interleavings).
+    let saturating = QueueScenario {
+        capacity: 2,
+        scripts: vec![
+            vec![Push(1), Push(2), Push(3)],
+            vec![Push(10), Push(11), Shutdown],
+            vec![TryPopBatch(2), TryPopBatch(2)],
+        ],
+    };
+    // Blocking pop_batch vs producer + shutdown (20 interleavings).
+    let blocking = QueueScenario {
+        capacity: 4,
+        scripts: vec![
+            vec![Push(7), Push(8), Shutdown],
+            vec![PopBatch(3), PopBatch(3), PopBatch(3)],
+        ],
+    };
+    match budget {
+        Budget::Full => {
+            result.merge(explore_exhaustive(&contended));
+            result.merge(explore_exhaustive(&saturating));
+            result.merge(explore_exhaustive(&blocking));
+        }
+        Budget::Small => {
+            result.merge(explore_random(&contended, 60, 11));
+            result.merge(explore_random(&saturating, 60, 12));
+            result.merge(explore_exhaustive(&blocking));
+        }
+    }
+
+    // A larger mixed workload, randomly scheduled: three producers, two
+    // mixed poppers, a late shutdown — too many interleavings to
+    // enumerate, so sample a seeded stream.
+    let mixed = QueueScenario {
+        capacity: 3,
+        scripts: vec![
+            vec![Push(1), Push(2), Push(3), Push(4), Push(5)],
+            vec![Push(21), Push(22), Push(23), Push(24), Push(25)],
+            vec![TryPop, TryPopBatch(2), TryPop, TryPopBatch(3), TryPop],
+            vec![PopBatch(2), TryPop, PopBatch(2), TryPop],
+            vec![Push(31), Push(32), Shutdown],
+        ],
+    };
+    let trials = match budget {
+        Budget::Full => 4000,
+        Budget::Small => 200,
+    };
+    result.merge(explore_random(&mixed, trials, 0xADA7));
+    result
+}
+
+// ---------------------------------------------------------------------
+// Cache suite
+// ---------------------------------------------------------------------
+
+/// One scripted cache operation over small integer keys.
+#[derive(Debug, Clone, Copy)]
+pub enum CacheOp {
+    /// `get(key(k))`.
+    Get(u64),
+    /// `insert(key(k), value(k))`.
+    Insert(u64),
+    /// `clear()`.
+    Clear,
+}
+
+/// Threads of cache ops over one shared [`PatchCache`].
+pub struct CacheScenario {
+    /// Cache capacity under test.
+    pub capacity: usize,
+    /// Per-thread op scripts.
+    pub scripts: Vec<Vec<CacheOp>>,
+    /// Pre-built keys, indexed by the small-key id (so per-interleaving
+    /// init does no hashing work).
+    keys: Vec<PatchKey>,
+}
+
+impl CacheScenario {
+    /// Build a scenario; `max_key` bounds the key ids used in scripts.
+    pub fn new(capacity: usize, scripts: Vec<Vec<CacheOp>>, max_key: u64) -> CacheScenario {
+        let keys = (0..=max_key)
+            .map(|k| PatchKey::new(0, 0, &Tensor::from_vec(Shape::d1(1), vec![k as f32])))
+            .collect();
+        CacheScenario {
+            capacity,
+            scripts,
+            keys,
+        }
+    }
+
+    fn key(&self, k: u64) -> Result<&PatchKey, String> {
+        self.keys
+            .get(k as usize)
+            .ok_or_else(|| format!("script key {k} out of range (bad script)"))
+    }
+}
+
+/// The cached value for key `k` — deterministic so hits are checkable.
+fn cache_value(k: u64) -> Tensor<f32> {
+    Tensor::from_vec(Shape::d1(1), vec![(k * 10 + 7) as f32])
+}
+
+/// Real cache + shadow model for one interleaving.
+pub struct CacheState {
+    real: PatchCache,
+    model: LruModel,
+}
+
+impl Scenario for CacheScenario {
+    type State = CacheState;
+
+    fn name(&self) -> &'static str {
+        "serve::cache"
+    }
+
+    fn thread_ops(&self) -> Vec<usize> {
+        self.scripts.iter().map(Vec::len).collect()
+    }
+
+    fn init(&self) -> CacheState {
+        CacheState {
+            real: PatchCache::new(self.capacity),
+            model: LruModel::new(self.capacity),
+        }
+    }
+
+    fn step(&self, state: &mut CacheState, thread: usize, op: usize) -> Result<(), String> {
+        let Some(op) = self.scripts.get(thread).and_then(|s| s.get(op)).copied() else {
+            return Err(format!("no op {op} for thread {thread} (bad script)"));
+        };
+        match op {
+            CacheOp::Get(k) => {
+                let real = state.real.get(self.key(k)?);
+                let model = state.model.get(k);
+                match (real, model) {
+                    (None, None) => {}
+                    (Some(t), Some(v)) => {
+                        if t != cache_value(v) {
+                            return Err(format!(
+                                "get({k}): hit returned wrong tensor (spec value {v})"
+                            ));
+                        }
+                    }
+                    (real, model) => {
+                        return Err(format!(
+                            "get({k}): real {} but spec says {}",
+                            if real.is_some() { "hit" } else { "miss" },
+                            if model.is_some() { "hit" } else { "miss" }
+                        ));
+                    }
+                }
+            }
+            CacheOp::Insert(k) => {
+                state.real.insert(self.key(k)?, cache_value(k));
+                state.model.insert(k, k);
+            }
+            CacheOp::Clear => {
+                state.real.clear();
+                state.model.clear();
+            }
+        }
+        if state.real.len() != state.model.len() {
+            return Err(format!(
+                "len diverged after {op:?}: real {} vs spec {}",
+                state.real.len(),
+                state.model.len()
+            ));
+        }
+        if state.real.hits() != state.model.hits || state.real.misses() != state.model.misses {
+            return Err(format!(
+                "counters diverged after {op:?}: real {}h/{}m vs spec {}h/{}m",
+                state.real.hits(),
+                state.real.misses(),
+                state.model.hits,
+                state.model.misses
+            ));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, state: &mut CacheState) -> Result<(), String> {
+        // Final sweep: every key agrees on hit/miss and value.
+        for k in 0..self.keys.len() as u64 {
+            let real = state.real.get(self.key(k)?);
+            let model = state.model.get(k);
+            if real.is_some() != model.is_some() {
+                return Err(format!(
+                    "final sweep: key {k} real {} vs spec {}",
+                    if real.is_some() { "hit" } else { "miss" },
+                    if model.is_some() { "hit" } else { "miss" }
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run the cache suite at the given budget.
+pub fn cache_suite(budget: Budget) -> ExploreResult {
+    use CacheOp::*;
+    let mut result = ExploreResult::default();
+
+    // Capacity-2 cache, three threads contending on four keys with an
+    // eviction-heavy mix (1680 interleavings exhaustively).
+    let evicting = CacheScenario::new(
+        2,
+        vec![
+            vec![Insert(0), Get(0), Insert(1)],
+            vec![Insert(2), Get(1), Get(2)],
+            vec![Get(0), Insert(3), Get(3)],
+        ],
+        4,
+    );
+    match budget {
+        Budget::Full => result.merge(explore_exhaustive(&evicting)),
+        Budget::Small => result.merge(explore_random(&evicting, 80, 21)),
+    }
+
+    // Bigger key space + clears, randomly scheduled.
+    let churning = CacheScenario::new(
+        3,
+        vec![
+            vec![Insert(0), Insert(1), Insert(2), Get(0), Get(1)],
+            vec![Get(2), Insert(3), Get(3), Insert(4), Get(4)],
+            vec![Insert(1), Get(1), Clear, Insert(0), Get(0)],
+            vec![Get(4), Get(0), Insert(2), Get(2)],
+        ],
+        4,
+    );
+    let trials = match budget {
+        Budget::Full => 4000,
+        Budget::Small => 200,
+    };
+    result.merge(explore_random(&churning, trials, 0xCAC4E));
+    result
+}
+
+// ---------------------------------------------------------------------
+// Registry suite
+// ---------------------------------------------------------------------
+
+/// One scripted registry operation.
+#[derive(Debug, Clone, Copy)]
+pub enum RegistryOp {
+    /// `activate(names[i])`.
+    Activate(usize),
+    /// `active()` + generation/name/torn-checkpoint assertions.
+    ReadActive,
+    /// `replica()` — skipped before any activation.
+    Replica,
+}
+
+/// One name's constant-filled `(scorer, decoder)` weight set.
+type WeightSet = (Vec<Tensor<f32>>, Vec<Tensor<f32>>);
+
+/// Threads of registry ops over one shared [`ModelRegistry`] holding
+/// constant-weight checkpoints (one constant per name — the torn-swap
+/// detector).
+pub struct RegistryScenario {
+    /// Per-thread op scripts.
+    pub scripts: Vec<Vec<RegistryOp>>,
+    names: Vec<String>,
+    /// Per-name constant-filled weights.
+    weights: Vec<WeightSet>,
+    cfg: AdarNetConfig,
+}
+
+/// The uniform weight constant assigned to name index `i`.
+fn name_constant(i: usize) -> f32 {
+    (i + 1) as f32
+}
+
+impl RegistryScenario {
+    /// Build a scenario over `names.len()` constant-weight checkpoints.
+    pub fn new(names: &[&str], scripts: Vec<Vec<RegistryOp>>) -> RegistryScenario {
+        let cfg = AdarNetConfig {
+            ph: 8,
+            pw: 8,
+            seed: 1,
+            ..AdarNetConfig::default()
+        };
+        let model = AdarNet::new(cfg);
+        let base = adarnet_core::checkpoint::snapshot(&model, &NormStats::identity());
+        let weights = (0..names.len())
+            .map(|i| {
+                let fill = |ts: &[Tensor<f32>]| {
+                    ts.iter()
+                        .map(|t| {
+                            let mut t = t.clone();
+                            t.as_mut_slice().fill(name_constant(i));
+                            t
+                        })
+                        .collect::<Vec<_>>()
+                };
+                (fill(&base.scorer), fill(&base.decoder))
+            })
+            .collect();
+        RegistryScenario {
+            scripts,
+            names: names.iter().map(|s| s.to_string()).collect(),
+            weights,
+            cfg,
+        }
+    }
+
+    fn checkpoint(&self, i: usize) -> ModelCheckpoint {
+        let (scorer, decoder) = &self.weights[i.min(self.weights.len() - 1)];
+        ModelCheckpoint {
+            version: CHECKPOINT_VERSION,
+            in_channels: self.cfg.in_channels,
+            ph: self.cfg.ph,
+            pw: self.cfg.pw,
+            bins: self.cfg.bins,
+            norm: NormStats::identity(),
+            scorer: scorer.clone(),
+            decoder: decoder.clone(),
+        }
+    }
+
+    fn constant_of(&self, name: &str) -> Option<f32> {
+        self.names.iter().position(|n| n == name).map(name_constant)
+    }
+}
+
+/// Real registry + shadow model for one interleaving.
+pub struct RegistryState {
+    real: ModelRegistry,
+    model: RegistryModel,
+}
+
+/// All weights uniformly equal to `c` — anything else is a torn swap.
+fn is_uniform(ckpt: &ModelCheckpoint, c: f32) -> bool {
+    ckpt.scorer
+        .iter()
+        .chain(ckpt.decoder.iter())
+        .all(|t| t.as_slice().iter().all(|&v| (v - c).abs() < f32::EPSILON))
+}
+
+impl Scenario for RegistryScenario {
+    type State = RegistryState;
+
+    fn name(&self) -> &'static str {
+        "serve::registry"
+    }
+
+    fn thread_ops(&self) -> Vec<usize> {
+        self.scripts.iter().map(Vec::len).collect()
+    }
+
+    fn init(&self) -> RegistryState {
+        let real = ModelRegistry::new();
+        for (i, name) in self.names.iter().enumerate() {
+            real.register(name.clone(), self.checkpoint(i));
+        }
+        RegistryState {
+            real,
+            model: RegistryModel::new(),
+        }
+    }
+
+    fn step(&self, state: &mut RegistryState, thread: usize, op: usize) -> Result<(), String> {
+        let Some(op) = self.scripts.get(thread).and_then(|s| s.get(op)).copied() else {
+            return Err(format!("no op {op} for thread {thread} (bad script)"));
+        };
+        match op {
+            RegistryOp::Activate(i) => {
+                let Some(name) = self.names.get(i) else {
+                    return Err(format!("script name index {i} out of range"));
+                };
+                let real = state
+                    .real
+                    .activate(name)
+                    .map_err(|e| format!("activate({name}) failed: {e}"))?;
+                let model = state.model.activate(name);
+                if real != model {
+                    return Err(format!(
+                        "activate({name}): real generation {real} but spec says {model}"
+                    ));
+                }
+            }
+            RegistryOp::ReadActive => {
+                let real = state.real.active();
+                match (&real, &state.model.active) {
+                    (None, None) => {}
+                    (Some(a), Some((generation, name))) => {
+                        if a.generation != *generation || &a.name != name {
+                            return Err(format!(
+                                "active: real ({}, {:?}) but spec says ({generation}, {name:?})",
+                                a.generation, a.name
+                            ));
+                        }
+                        let Some(c) = self.constant_of(&a.name) else {
+                            return Err(format!("active name {:?} never registered", a.name));
+                        };
+                        if !is_uniform(&a.checkpoint, c) {
+                            return Err(format!(
+                                "torn checkpoint: active {:?} has non-uniform weights \
+                                 (expected all {c})",
+                                a.name
+                            ));
+                        }
+                    }
+                    (real, model) => {
+                        return Err(format!(
+                            "active: real {} but spec says {}",
+                            if real.is_some() { "Some" } else { "None" },
+                            if model.is_some() { "Some" } else { "None" }
+                        ));
+                    }
+                }
+            }
+            RegistryOp::Replica => {
+                if state.model.active.is_none() {
+                    // Pre-activation replica is a typed error by contract;
+                    // nothing to cross-check.
+                    if state.real.replica().is_ok() {
+                        return Err("replica succeeded with no active model".into());
+                    }
+                    return Ok(());
+                }
+                let (generation, engine) = state
+                    .real
+                    .replica()
+                    .map_err(|e| format!("replica failed with an active model: {e}"))?;
+                let Some((model_generation, _)) = &state.model.active else {
+                    return Err("spec lost its active model".into());
+                };
+                if generation != *model_generation {
+                    return Err(format!(
+                        "replica generation {generation} but spec says {model_generation}"
+                    ));
+                }
+                if engine.config().ph != self.cfg.ph {
+                    return Err("replica restored with wrong patch geometry".into());
+                }
+            }
+        }
+        if state.real.generation() != state.model.generation {
+            return Err(format!(
+                "generation diverged after {op:?}: real {} vs spec {}",
+                state.real.generation(),
+                state.model.generation
+            ));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, state: &mut RegistryState) -> Result<(), String> {
+        // The final published model must be the last linearized
+        // activation, with intact (untorn) weights.
+        let real = state.real.active();
+        match (&real, &state.model.active) {
+            (None, None) => Ok(()),
+            (Some(a), Some((generation, name)))
+                if a.generation == *generation && &a.name == name =>
+            {
+                Ok(())
+            }
+            _ => Err("final active model diverged from the spec".into()),
+        }
+    }
+}
+
+/// Run the registry suite at the given budget.
+pub fn registry_suite(budget: Budget) -> ExploreResult {
+    use RegistryOp::*;
+    let mut result = ExploreResult::default();
+
+    // Two activators racing a reader (90 interleavings exhaustively) —
+    // this is the scenario that catches the generation-outside-lock
+    // race the fix in `ModelRegistry::activate` addresses.
+    let racing = RegistryScenario::new(
+        &["a", "b", "c"],
+        vec![
+            vec![Activate(0), Activate(2)],
+            vec![Activate(1), ReadActive],
+            vec![ReadActive, Replica],
+        ],
+    );
+    result.merge(explore_exhaustive(&racing));
+
+    // Longer random-schedule churn with replicas in the mix.
+    let churn = RegistryScenario::new(
+        &["a", "b"],
+        vec![
+            vec![Activate(0), Activate(1), Activate(0), ReadActive],
+            vec![ReadActive, Activate(1), ReadActive, Activate(0)],
+            vec![ReadActive, Replica, ReadActive],
+        ],
+    );
+    let trials = match budget {
+        Budget::Full => 2000,
+        Budget::Small => 100,
+    };
+    result.merge(explore_random(&churn, trials, 0x9E6));
+    result
+}
+
+/// Run every suite, returning `(suite name, result)` per suite.
+pub fn run_all(budget: Budget) -> Vec<(&'static str, ExploreResult)> {
+    vec![
+        ("queue", queue_suite(budget)),
+        ("cache", cache_suite(budget)),
+        ("registry", registry_suite(budget)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_budget_suites_pass() {
+        for (name, result) in run_all(Budget::Small) {
+            assert!(
+                result.violations.is_empty(),
+                "{name}: {:?}",
+                result.violations
+            );
+            assert!(result.interleavings > 0, "{name} explored nothing");
+        }
+    }
+
+    #[test]
+    fn oracle_catches_a_seeded_queue_bug() {
+        // Sanity that the harness *can* fail: a wrong-capacity shadow
+        // model must diverge from the real queue.
+        struct Buggy(QueueScenario);
+        impl Scenario for Buggy {
+            type State = QueueState;
+            fn name(&self) -> &'static str {
+                "buggy"
+            }
+            fn thread_ops(&self) -> Vec<usize> {
+                self.0.thread_ops()
+            }
+            fn init(&self) -> QueueState {
+                // Real queue one slot smaller than the model believes.
+                QueueState {
+                    real: BoundedQueue::new(1),
+                    model: QueueModel::new(2),
+                }
+            }
+            fn step(&self, s: &mut QueueState, t: usize, o: usize) -> Result<(), String> {
+                self.0.step(s, t, o)
+            }
+            fn finish(&self, s: &mut QueueState) -> Result<(), String> {
+                self.0.finish(s)
+            }
+        }
+        let buggy = Buggy(QueueScenario {
+            capacity: 1,
+            scripts: vec![
+                vec![QueueOp::Push(1), QueueOp::Push(2)],
+                vec![QueueOp::TryPop],
+            ],
+        });
+        let r = explore_exhaustive(&buggy);
+        assert!(
+            !r.violations.is_empty(),
+            "seeded capacity bug must be caught"
+        );
+    }
+}

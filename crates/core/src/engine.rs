@@ -19,6 +19,8 @@ use std::sync::Mutex;
 
 use adarnet_tensor::Tensor;
 
+use crate::sync;
+
 use crate::checkpoint::{self, ModelCheckpoint};
 use crate::loss::NormStats;
 use crate::network::{AdarNet, AdarNetConfig, Prediction};
@@ -75,15 +77,17 @@ impl InferenceEngine {
 
     /// Snapshot the wrapped model back into a checkpoint.
     pub fn checkpoint(&self) -> ModelCheckpoint {
-        let model = self.model.lock().unwrap();
+        let model = sync::lock(&self.model);
         checkpoint::snapshot(&model, &self.norm)
     }
 
     /// Clone this engine's weights into an independent replica (one per
-    /// worker thread; replicas never contend on the model lock).
-    pub fn replicate(&self) -> InferenceEngine {
+    /// worker thread; replicas never contend on the model lock). A
+    /// snapshot of a live engine always restores, so the error arm is
+    /// unreachable in practice — but serving callers propagate it
+    /// rather than panicking a worker thread.
+    pub fn replicate(&self) -> Result<InferenceEngine, EngineError> {
         InferenceEngine::from_checkpoint(&self.checkpoint())
-            .expect("a checkpoint snapshotted from a live engine always restores")
     }
 
     /// Static model configuration.
@@ -99,7 +103,7 @@ impl InferenceEngine {
     /// Infer one raw (physical-units) `(C, H, W)` LR field.
     pub fn infer(&self, lr_field: &Tensor<f32>) -> Result<Prediction, EngineError> {
         let normalized = self.norm.normalize(lr_field);
-        let mut model = self.model.lock().unwrap();
+        let mut model = sync::lock(&self.model);
         Ok(model.try_predict(&normalized)?)
     }
 
@@ -110,14 +114,14 @@ impl InferenceEngine {
     pub fn infer_batch(&self, lr_fields: &[Tensor<f32>]) -> Result<Vec<Prediction>, EngineError> {
         let normalized: Vec<Tensor<f32>> =
             lr_fields.iter().map(|x| self.norm.normalize(x)).collect();
-        let mut model = self.model.lock().unwrap();
+        let mut model = sync::lock(&self.model);
         Ok(model.try_predict_batch(&normalized)?)
     }
 
     /// Run `f` with exclusive access to the wrapped model (training-time
     /// escape hatch; serving paths should stick to `infer*`).
     pub fn with_model<R>(&self, f: impl FnOnce(&mut AdarNet) -> R) -> R {
-        let mut model = self.model.lock().unwrap();
+        let mut model = sync::lock(&self.model);
         f(&mut model)
     }
 }
@@ -181,7 +185,7 @@ mod tests {
         let x = sample(16, 16, 0.4);
         let original = engine.infer(&x).unwrap();
         let restored = InferenceEngine::from_checkpoint(&engine.checkpoint()).unwrap();
-        let replica = engine.replicate();
+        let replica = engine.replicate().unwrap();
         for other in [&restored, &replica] {
             let pred = other.infer(&x).unwrap();
             assert_eq!(pred.binning.bin_of_patch, original.binning.bin_of_patch);

@@ -31,6 +31,7 @@ pub mod ranker;
 pub mod schedule;
 pub mod scorer;
 pub mod surfnet;
+pub mod sync;
 pub mod trainer;
 
 pub use checkpoint::{load_file, save_file, ModelCheckpoint};

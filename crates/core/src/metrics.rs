@@ -31,7 +31,9 @@ pub fn psnr_db(a: &Grid2<f64>, b: &Grid2<f64>) -> f64 {
         .map(|(x, y)| (x - y) * (x - y))
         .sum::<f64>()
         / a.len() as f64;
-    if mse == 0.0 {
+    // mse is a mean of squares, so <= 0.0 is the exact-zero case without
+    // a float equality.
+    if mse <= 0.0 {
         f64::INFINITY
     } else {
         10.0 * (range * range / mse).log10()

@@ -196,7 +196,10 @@ impl AdarNet {
         Ok(Prediction {
             layout: plan.layout,
             binning: plan.binning,
-            patches: patches.into_iter().map(|p| p.unwrap()).collect(),
+            patches: patches
+                .into_iter()
+                .map(|p| p.expect("per-bin loops fill every patch"))
+                .collect(),
             scores: plan.scores,
         })
     }
@@ -264,7 +267,10 @@ impl AdarNet {
             .map(|(plan, patches)| Prediction {
                 layout: plan.layout,
                 binning: plan.binning,
-                patches: patches.into_iter().map(|p| p.unwrap()).collect(),
+                patches: patches
+                    .into_iter()
+                    .map(|p| p.expect("per-bin loops fill every patch"))
+                    .collect(),
                 scores: plan.scores,
             })
             .collect())

@@ -1,0 +1,96 @@
+//! Poison-tolerant locking helpers.
+//!
+//! The serving layers hold models, caches, and queues behind `Mutex`/
+//! `RwLock`. The std guards return a `PoisonError` when another thread
+//! panicked while holding the lock; `.unwrap()`-ing that result turns
+//! one worker's panic into a cascade that wedges every other thread
+//! touching the same structure. For a server that must keep answering
+//! (even degraded) under partial failure, the right policy is the
+//! opposite: recover the guard and keep going — the protected state is
+//! plain data whose invariants are re-checked by the consumers (and, in
+//! CI, by the `check` crate's model checker), not state that becomes
+//! meaningless because a panic unwound through it.
+//!
+//! These helpers centralize that policy so library code never spells
+//! `lock().unwrap()` (the in-repo lint forbids it; see
+//! `crates/check`).
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use std::time::Duration;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a read guard, recovering from poisoning.
+pub fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a write guard, recovering from poisoning.
+pub fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Block on a condvar, recovering the guard from poisoning.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Block on a condvar with a timeout, recovering the guard from
+/// poisoning. The timed-out flag is dropped: callers re-check their
+/// predicate and deadline anyway.
+pub fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, _)) => g,
+        Err(poisoned) => poisoned.into_inner().0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock should be poisoned");
+        assert_eq!(*lock(&m), 7, "helper must still hand out the guard");
+    }
+
+    #[test]
+    fn rwlock_helpers_recover_from_poison() {
+        let l = Arc::new(RwLock::new(3u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(*read(&l), 3);
+        *write(&l) = 4;
+        assert_eq!(*read(&l), 4);
+    }
+
+    #[test]
+    fn wait_timeout_returns_after_deadline() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = lock(&m);
+        let _g = wait_timeout(&cv, g, Duration::from_millis(1));
+    }
+}

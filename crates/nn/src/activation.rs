@@ -109,7 +109,10 @@ impl Layer for Activation {
             .cached_input
             .as_ref()
             .expect("Activation::backward called before forward");
-        let y = self.cached_output.as_ref().unwrap();
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("Activation::backward called before forward");
         let kind = self.kind;
         let mut dx = grad_out.clone();
         dx.as_mut_slice()

@@ -103,11 +103,13 @@ impl Layer for Conv2d {
         // both paths are verified equivalent in the kernel tests.
         let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
         let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
-        if oh * ow >= GEMM_THRESHOLD {
+        let y = if oh * ow >= GEMM_THRESHOLD {
             conv2d_forward_gemm(x, &self.weight, &self.bias, self.pad)
         } else {
             conv2d_forward(x, &self.weight, &self.bias, self.pad)
-        }
+        };
+        crate::finite::debug_guard_finite("Conv2d", x, &y);
+        y
     }
 
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {

@@ -90,11 +90,13 @@ impl Layer for ConvTranspose2d {
         let w_conv = flip_transpose_weights(&self.weight);
         let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
         let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
-        if oh * ow >= GEMM_THRESHOLD {
+        let y = if oh * ow >= GEMM_THRESHOLD {
             conv2d_forward_gemm(x, &w_conv, &self.bias, self.pad)
         } else {
             conv2d_forward(x, &w_conv, &self.bias, self.pad)
-        }
+        };
+        crate::finite::debug_guard_finite("ConvTranspose2d", x, &y);
+        y
     }
 
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {

@@ -1,0 +1,76 @@
+//! Non-finite guards at layer boundaries.
+//!
+//! ADARNet's discretization is one-shot: a NaN that leaks out of a
+//! kernel flows through the scorer's softmax into the ranker, and the
+//! serving path then degrades the request (or, pre-PR1, panicked deep
+//! inside binning with no hint of which layer produced it). These
+//! guards move detection to the layer that *introduced* the value: in
+//! debug builds, conv / deconv / softmax forwards assert that a finite
+//! input produced a finite output. A non-finite *input* is deliberately
+//! not flagged — ReLU and max-pool legitimately absorb upstream NaN
+//! (`f32::max` drops it), and garbage-in is the engine's typed-error
+//! business, not the kernel's.
+//!
+//! Release builds compile the checks out entirely (`debug_assert!`),
+//! keeping the serving hot path untouched.
+
+use adarnet_tensor::Tensor;
+
+use crate::F;
+
+/// Whether every element of `t` is finite (no NaN, no ±inf).
+pub fn all_finite(t: &Tensor<F>) -> bool {
+    t.as_slice().iter().all(|v| v.is_finite())
+}
+
+/// Debug-assert the layer contract "finite in ⇒ finite out".
+///
+/// `layer` names the offender in the panic message so a poisoned
+/// checkpoint or overflowing kernel is caught at its own boundary
+/// instead of surfacing as a `RankerError` three stages later.
+#[inline]
+pub fn debug_guard_finite(layer: &str, input: &Tensor<F>, output: &Tensor<F>) {
+    debug_assert!(
+        !all_finite(input) || all_finite(output),
+        "{layer}: finite input produced a non-finite output \
+         (poisoned weights or numeric overflow at this layer boundary)"
+    );
+    // Release builds: debug_assert! skips the scans; the borrows are free.
+    let _ = (layer, input, output);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_tensor::Shape;
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        let mut t = Tensor::<F>::zeros(Shape::d2(2, 2));
+        assert!(all_finite(&t));
+        t.as_mut_slice()[1] = F::NAN;
+        assert!(!all_finite(&t));
+        t.as_mut_slice()[1] = F::INFINITY;
+        assert!(!all_finite(&t));
+    }
+
+    #[test]
+    fn guard_allows_nonfinite_input() {
+        let mut x = Tensor::<F>::zeros(Shape::d2(1, 2));
+        x.as_mut_slice()[0] = F::NAN;
+        let mut y = Tensor::<F>::zeros(Shape::d2(1, 2));
+        y.as_mut_slice()[0] = F::NAN;
+        // NaN propagated from a NaN input is not the layer's fault.
+        debug_guard_finite("TestLayer", &x, &y);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "TestLayer: finite input produced a non-finite output")]
+    fn guard_rejects_introduced_nan() {
+        let x = Tensor::<F>::zeros(Shape::d2(1, 2));
+        let mut y = Tensor::<F>::zeros(Shape::d2(1, 2));
+        y.as_mut_slice()[1] = F::NAN;
+        debug_guard_finite("TestLayer", &x, &y);
+    }
+}

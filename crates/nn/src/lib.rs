@@ -20,6 +20,7 @@ pub mod activation;
 pub mod bicubic;
 pub mod conv;
 pub mod deconv;
+pub mod finite;
 pub mod gradcheck;
 pub mod init;
 pub mod kernels;
@@ -35,6 +36,7 @@ pub use bicubic::{
 };
 pub use conv::Conv2d;
 pub use deconv::ConvTranspose2d;
+pub use finite::{all_finite, debug_guard_finite};
 pub use gradcheck::{check_layer_gradients, GradCheckReport};
 pub use init::{he_normal, xavier_uniform, Initializer};
 pub use layer::Layer;

@@ -84,7 +84,11 @@ impl Layer for MaxPool2d {
             .cached_argmax
             .as_ref()
             .expect("MaxPool2d::backward called before forward");
-        let in_shape = self.cached_in_shape.as_ref().unwrap().clone();
+        let in_shape = self
+            .cached_in_shape
+            .as_ref()
+            .expect("MaxPool2d::backward called before forward")
+            .clone();
         assert_eq!(grad_out.len(), argmax.len(), "grad_out size mismatch");
         let mut dx = Tensor::<F>::zeros(in_shape);
         let dxs = dx.as_mut_slice();

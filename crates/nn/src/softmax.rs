@@ -52,6 +52,7 @@ impl Layer for SpatialSoftmax {
                 *v *= inv;
             }
         }
+        crate::finite::debug_guard_finite("SpatialSoftmax", x, &y);
         self.cached_output = Some(y.clone());
         y
     }

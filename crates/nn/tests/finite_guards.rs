@@ -1,0 +1,47 @@
+//! Integration tests for the layer-boundary non-finite guards
+//! (`adarnet_nn::finite`): a poisoned weight must be caught at the
+//! layer that owns it, while upstream NaN keeps flowing to the typed
+//! error handling downstream (the engine's business, not the kernel's).
+
+use adarnet_nn::{all_finite, Conv2d, Initializer, Layer, SpatialSoftmax};
+use adarnet_tensor::{Shape, Tensor};
+
+fn finite_input() -> Tensor<f32> {
+    Tensor::from_vec(
+        Shape::d4(1, 2, 6, 6),
+        (0..72).map(|i| ((i as f32) * 0.13).sin()).collect(),
+    )
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "Conv2d: finite input produced a non-finite output")]
+fn poisoned_conv_weight_is_caught_at_its_own_boundary() {
+    let mut conv = Conv2d::new(2, 3, 3, Initializer::HeNormal, 7);
+    // A single NaN weight — e.g. from a corrupted checkpoint — must
+    // trip the guard at this layer, not three stages later in binning.
+    conv.weight_mut().as_mut_slice()[0] = f32::NAN;
+    let _ = conv.forward(&finite_input());
+}
+
+#[test]
+fn nan_input_propagates_without_panicking() {
+    let mut conv = Conv2d::new(2, 3, 3, Initializer::HeNormal, 7);
+    let mut x = finite_input();
+    x.as_mut_slice()[5] = f32::NAN;
+    // Garbage in, garbage out: the guard only owns "finite in ⇒ finite
+    // out", so a NaN input passes through to the engine's typed errors.
+    let y = conv.forward(&x);
+    assert!(!all_finite(&y), "NaN must propagate, not be masked");
+}
+
+#[test]
+fn finite_pipeline_stays_finite() {
+    let mut conv = Conv2d::new(2, 3, 3, Initializer::HeNormal, 7);
+    let mut softmax = SpatialSoftmax::new();
+    let y = softmax.forward(&conv.forward(&finite_input()));
+    assert!(
+        all_finite(&y),
+        "healthy layers must keep finite data finite"
+    );
+}

@@ -84,7 +84,10 @@ pub fn infer_cached(
             .map(|(plan, patches)| Prediction {
                 layout: plan.layout,
                 binning: plan.binning,
-                patches: patches.into_iter().map(|p| p.unwrap()).collect(),
+                patches: patches
+                    .into_iter()
+                    .map(|p| p.expect("per-bin loops fill every patch"))
+                    .collect(),
                 scores: plan.scores,
             })
             .collect())

@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use adarnet_core::sync;
 use adarnet_tensor::Tensor;
 
 /// FNV-1a 64-bit over a byte stream.
@@ -104,7 +105,7 @@ impl PatchCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = sync::lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.map.get_mut(&key.hash) {
@@ -128,7 +129,7 @@ impl PatchCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = sync::lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner.map.insert(
@@ -144,11 +145,10 @@ impl PatchCache {
         }
         inner.recency.insert(tick, key.hash);
         while inner.map.len() > self.capacity {
-            let (&oldest_tick, &oldest_hash) = inner
-                .recency
-                .iter()
-                .next()
-                .expect("recency tracks every entry");
+            let Some((&oldest_tick, &oldest_hash)) = inner.recency.iter().next() else {
+                debug_assert!(false, "recency must track every entry");
+                break;
+            };
             inner.recency.remove(&oldest_tick);
             inner.map.remove(&oldest_hash);
         }
@@ -157,14 +157,14 @@ impl PatchCache {
     /// Drop every entry (e.g. on model hot-swap; entries are also
     /// generation-keyed, so this is an optimization, not correctness).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = sync::lock(&self.inner);
         inner.map.clear();
         inner.recency.clear();
     }
 
     /// Entries currently held.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        sync::lock(&self.inner).map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -184,12 +184,12 @@ impl PatchCache {
 
     /// Hits / (hits + misses), or 0 with no traffic.
     pub fn hit_rate(&self) -> f64 {
-        let h = self.hits() as f64;
-        let m = self.misses() as f64;
-        if h + m == 0.0 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
             0.0
         } else {
-            h / (h + m)
+            h as f64 / (h + m) as f64
         }
     }
 }

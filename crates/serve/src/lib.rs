@@ -24,6 +24,7 @@ pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod loadgen;
+pub mod queue;
 pub mod registry;
 pub mod server;
 
@@ -31,5 +32,6 @@ pub use batch::{degraded_prediction, infer_cached};
 pub use cache::{PatchCache, PatchKey};
 pub use config::ServeConfig;
 pub use loadgen::{field_pool, run_closed_loop, LoadReport, Observation};
+pub use queue::{BoundedQueue, PushOutcome};
 pub use registry::{ActiveModel, ModelRegistry, RegistryError};
 pub use server::{ResponseKind, ServeResponse, ServeStats, Server};

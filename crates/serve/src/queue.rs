@@ -1,0 +1,220 @@
+//! The bounded micro-batch queue, extracted from the server so the
+//! `check` crate's deterministic model checker can drive it directly.
+//!
+//! Semantics (the oracle in `crates/check` re-states these as a
+//! sequential shadow model):
+//!
+//! * **bounded**: at most `capacity` items are ever queued; a push
+//!   against a full queue returns the item to the caller
+//!   ([`PushOutcome::Saturated`]) instead of blocking or dropping it —
+//!   the server turns that into a degraded bin-0 response;
+//! * **FIFO**: items pop in push order, and every accepted item pops
+//!   exactly once (patch-count conservation starts here);
+//! * **batching**: [`BoundedQueue::pop_batch`] blocks for the first
+//!   item, then lingers up to a deadline to fuse more arrivals into one
+//!   micro-batch, never exceeding `max` items;
+//! * **shutdown**: after [`BoundedQueue::shutdown`], pushes are
+//!   rejected, already-queued items drain, and poppers return `None`
+//!   once the queue is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use adarnet_core::sync;
+
+/// What happened to a pushed item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// The item was queued and will be served.
+    Enqueued,
+    /// The queue was at capacity; the item comes back to the caller.
+    Saturated(T),
+    /// The queue is shut down; the item comes back to the caller.
+    Rejected(T),
+}
+
+impl<T> PushOutcome<T> {
+    /// Whether the item was accepted.
+    pub fn is_enqueued(&self) -> bool {
+        matches!(self, PushOutcome::Enqueued)
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// A bounded, shutdown-aware MPMC queue with batched popping.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    notify: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Create a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                shutdown: false,
+            }),
+            notify: Condvar::new(),
+        }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offer one item. Never blocks: a full queue saturates and a shut
+    /// down queue rejects, both returning the item.
+    pub fn push(&self, item: T) -> PushOutcome<T> {
+        {
+            let mut inner = sync::lock(&self.inner);
+            if inner.shutdown {
+                return PushOutcome::Rejected(item);
+            }
+            if inner.items.len() >= self.capacity {
+                return PushOutcome::Saturated(item);
+            }
+            inner.items.push_back(item);
+        }
+        self.notify.notify_one();
+        PushOutcome::Enqueued
+    }
+
+    /// Pop one item if immediately available (model-checker entry
+    /// point; the server uses [`BoundedQueue::pop_batch`]).
+    pub fn try_pop(&self) -> Option<T> {
+        sync::lock(&self.inner).items.pop_front()
+    }
+
+    /// Pop up to `max` immediately available items without blocking.
+    pub fn try_pop_batch(&self, max: usize) -> Vec<T> {
+        let mut inner = sync::lock(&self.inner);
+        let take = inner.items.len().min(max.max(1));
+        inner.items.drain(..take).collect()
+    }
+
+    /// Block for the first item, then linger up to `linger` fusing more
+    /// arrivals, returning a batch of 1..=`max` items. Returns `None`
+    /// only when the queue is shut down *and* drained.
+    pub fn pop_batch(&self, max: usize, linger: Duration) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut inner = sync::lock(&self.inner);
+        loop {
+            if !inner.items.is_empty() {
+                break;
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = sync::wait(&self.notify, inner);
+        }
+        let mut batch = Vec::with_capacity(max.min(inner.items.len()));
+        if let Some(first) = inner.items.pop_front() {
+            batch.push(first);
+        }
+        let deadline = Instant::now() + linger;
+        while batch.len() < max {
+            if let Some(item) = inner.items.pop_front() {
+                batch.push(item);
+                continue;
+            }
+            let now = Instant::now();
+            if now >= deadline || inner.shutdown {
+                break;
+            }
+            inner = sync::wait_timeout(&self.notify, inner, deadline - now);
+        }
+        Some(batch)
+    }
+
+    /// Stop accepting new items and wake every blocked popper. Queued
+    /// items still drain.
+    pub fn shutdown(&self) {
+        {
+            let mut inner = sync::lock(&self.inner);
+            inner.shutdown = true;
+        }
+        self.notify.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::shutdown`] has been called.
+    pub fn is_shutdown(&self) -> bool {
+        sync::lock(&self.inner).shutdown
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        sync::lock(&self.inner).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1).is_enqueued());
+        assert!(q.push(2).is_enqueued());
+        assert_eq!(q.push(3), PushOutcome::Saturated(3));
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.push(3).is_enqueued());
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_but_drains_old() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(10).is_enqueued());
+        q.shutdown();
+        assert_eq!(q.push(11), PushOutcome::Rejected(11));
+        assert_eq!(q.pop_batch(8, Duration::ZERO), Some(vec![10]));
+        assert_eq!(q.pop_batch(8, Duration::ZERO), None);
+    }
+
+    #[test]
+    fn pop_batch_fuses_queued_items_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            assert!(q.push(i).is_enqueued());
+        }
+        let batch = q.pop_batch(3, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![0, 1, 2]);
+        assert_eq!(q.try_pop_batch(10), vec![3, 4]);
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_cross_thread_push() {
+        let q = std::sync::Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop_batch(4, Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(q.push(42).is_enqueued());
+        let batch = h.join().expect("popper panicked");
+        assert_eq!(batch, Some(vec![42]));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push(1).is_enqueued());
+        assert_eq!(q.push(2), PushOutcome::Saturated(2));
+    }
+}

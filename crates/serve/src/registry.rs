@@ -15,6 +15,7 @@ use std::sync::{Arc, RwLock};
 
 use adarnet_core::checkpoint::{self, ModelCheckpoint};
 use adarnet_core::engine::{EngineError, InferenceEngine};
+use adarnet_core::sync;
 
 /// Registry errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,10 +75,7 @@ impl ModelRegistry {
     /// an already-active model stays active on its old checkpoint until
     /// re-activated).
     pub fn register(&self, name: impl Into<String>, ckpt: ModelCheckpoint) {
-        self.models
-            .write()
-            .unwrap()
-            .insert(name.into(), Arc::new(ckpt));
+        sync::write(&self.models).insert(name.into(), Arc::new(ckpt));
     }
 
     /// Load a checkpoint JSON from disk and register it under `name`.
@@ -93,7 +91,7 @@ impl ModelRegistry {
 
     /// Registered model names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.models.read().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = sync::read(&self.models).keys().cloned().collect();
         names.sort();
         names
     }
@@ -101,15 +99,18 @@ impl ModelRegistry {
     /// Make `name` the active model (hot swap): bumps the generation so
     /// workers rebuild their replicas at the next batch boundary.
     pub fn activate(&self, name: &str) -> Result<u64, RegistryError> {
-        let ckpt = self
-            .models
-            .read()
-            .unwrap()
+        let ckpt = sync::read(&self.models)
             .get(name)
             .cloned()
             .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        // Bump the generation *inside* the write critical section:
+        // concurrent activations then publish in generation order, so a
+        // stale activation can never overwrite a newer one while the
+        // counter says otherwise (the model checker's registry suite
+        // asserts this generation/active consistency).
+        let mut active = sync::write(&self.active);
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
-        *self.active.write().unwrap() = Some(ActiveModel {
+        *active = Some(ActiveModel {
             generation,
             name: name.to_string(),
             checkpoint: ckpt,
@@ -119,7 +120,7 @@ impl ModelRegistry {
 
     /// The active model, if any has been activated.
     pub fn active(&self) -> Option<ActiveModel> {
-        self.active.read().unwrap().clone()
+        sync::read(&self.active).clone()
     }
 
     /// Current generation (0 before the first activation).

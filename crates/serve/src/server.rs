@@ -1,9 +1,9 @@
 //! The inference server: bounded queue → micro-batcher → decoder
 //! workers, with load shedding and hot-swap awareness.
 //!
-//! Requests enter a bounded queue. Each worker thread owns a full model
-//! replica (the decoder caches activations between passes, so replicas
-//! cannot be shared); it pops one request, lingers up to
+//! Requests enter a [`BoundedQueue`]. Each worker thread owns a full
+//! model replica (the decoder caches activations between passes, so
+//! replicas cannot be shared); it pops one request, lingers up to
 //! `max_linger` for more, and runs the whole group through
 //! [`crate::batch::infer_cached`] so same-bin patches from concurrent
 //! requests share decoder batches. When the queue is at capacity the
@@ -11,21 +11,24 @@
 //! degraded bin-0 prediction ([`crate::batch::degraded_prediction`])
 //! and counts the shed. Inference errors (e.g. NaN scores from a bad
 //! checkpoint) degrade the affected requests the same way instead of
-//! killing the worker.
+//! killing the worker — no path in this module panics (the in-repo
+//! lint enforces it; the model checker in `crates/check` exercises the
+//! queue/cache/registry interleavings).
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use adarnet_core::network::Prediction;
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNetConfig, Prediction};
 use adarnet_tensor::Tensor;
 
 use crate::batch::{degraded_prediction, infer_cached};
 use crate::cache::PatchCache;
 use crate::config::ServeConfig;
+use crate::queue::{BoundedQueue, PushOutcome};
 use crate::registry::{ModelRegistry, RegistryError};
 
 /// Why a response is what it is.
@@ -65,11 +68,6 @@ struct Job {
     reply: Sender<ServeResponse>,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
-}
-
 /// Monotone counters exposed by the server.
 #[derive(Default)]
 pub struct ServeStats {
@@ -98,11 +96,25 @@ impl ServeStats {
 
 struct Shared {
     cfg: ServeConfig,
-    queue: Mutex<QueueState>,
-    notify: Condvar,
+    queue: BoundedQueue<Job>,
     registry: Arc<ModelRegistry>,
     cache: PatchCache,
     stats: ServeStats,
+    /// Normalization and model config captured at startup, so shed
+    /// paths can still answer if the registry is ever unreadable.
+    startup_norm: NormStats,
+    startup_cfg: AdarNetConfig,
+}
+
+impl Shared {
+    /// Parameters for building a degraded response: the active model's
+    /// if available, the startup snapshot otherwise.
+    fn shed_params(&self) -> (NormStats, AdarNetConfig) {
+        match self.registry.active() {
+            Some(a) => (a.checkpoint.norm, model_cfg(&a.checkpoint)),
+            None => (self.startup_norm, self.startup_cfg),
+        }
+    }
 }
 
 /// Handle to a running inference service.
@@ -113,25 +125,31 @@ pub struct Server {
 
 impl Server {
     /// Start the service on the registry's active model. Fails if no
-    /// model has been activated.
+    /// model has been activated or its checkpoint cannot restore.
     pub fn start(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> Result<Server, RegistryError> {
-        // Fail fast — workers would otherwise spin on a missing model.
-        registry.replica()?;
+        // Build every worker's replica up front: a missing or corrupt
+        // active model fails start() instead of panicking workers.
+        let replicas: Vec<_> = (0..cfg.workers.max(1))
+            .map(|_| registry.replica())
+            .collect::<Result<_, _>>()?;
+        let (startup_norm, startup_cfg) = match replicas.first() {
+            Some((_, engine)) => (*engine.norm(), engine.config()),
+            None => return Err(RegistryError::UnknownModel("<no active model>".into())),
+        };
         let shared = Arc::new(Shared {
             cache: PatchCache::new(cfg.cache_capacity),
+            queue: BoundedQueue::new(cfg.queue_capacity),
             cfg,
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            notify: Condvar::new(),
             registry,
             stats: ServeStats::default(),
+            startup_norm,
+            startup_cfg,
         });
-        let workers = (0..cfg.workers.max(1))
-            .map(|_| {
+        let workers = replicas
+            .into_iter()
+            .map(|(generation, engine)| {
                 let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(shared))
+                std::thread::spawn(move || worker_loop(shared, generation, engine))
             })
             .collect();
         Ok(Server { shared, workers })
@@ -143,44 +161,53 @@ impl Server {
     pub fn submit(&self, field: Tensor<f32>) -> Receiver<ServeResponse> {
         let (reply, rx) = mpsc::channel();
         let submitted = Instant::now();
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            if !q.shutdown && q.jobs.len() < self.shared.cfg.queue_capacity {
-                q.jobs.push_back(Job {
-                    field,
-                    submitted,
-                    reply,
-                });
-                drop(q);
-                self.shared.notify.notify_one();
-                return rx;
-            }
-        }
+        let job = Job {
+            field,
+            submitted,
+            reply,
+        };
+        let job = match self.shared.queue.push(job) {
+            PushOutcome::Enqueued => return rx,
+            PushOutcome::Saturated(job) | PushOutcome::Rejected(job) => job,
+        };
         // Shed: answer inline from the caller's thread (cheap — no model).
         self.shared
             .stats
             .shed_queue_full
             .fetch_add(1, Ordering::Relaxed);
-        let active = self.shared.registry.active();
-        let (norm, cfg) = match &active {
-            Some(a) => (a.checkpoint.norm, model_cfg(&a.checkpoint)),
-            None => unreachable!("start() verified an active model"),
-        };
+        let (norm, cfg) = self.shared.shed_params();
         let response = ServeResponse {
-            prediction: degraded_prediction(&norm, cfg, &field),
+            prediction: degraded_prediction(&norm, cfg, &job.field),
             kind: ResponseKind::ShedQueueFull,
-            latency: submitted.elapsed(),
+            latency: job.submitted.elapsed(),
             generation: 0,
         };
-        let _ = reply.send(response);
+        let _ = job.reply.send(response);
         rx
     }
 
-    /// Submit and wait for the response (closed-loop clients).
+    /// Submit and wait for the response (closed-loop clients). If a
+    /// worker dies mid-batch and drops the reply channel, the caller
+    /// gets a degraded response instead of a panic.
     pub fn submit_wait(&self, field: Tensor<f32>) -> ServeResponse {
-        self.submit(field)
-            .recv()
-            .expect("server dropped a reply channel")
+        let fallback = field.clone();
+        let submitted = Instant::now();
+        match self.submit(field).recv() {
+            Ok(response) => response,
+            Err(_) => {
+                self.shared
+                    .stats
+                    .shed_inference_error
+                    .fetch_add(1, Ordering::Relaxed);
+                let (norm, cfg) = self.shared.shed_params();
+                ServeResponse {
+                    prediction: degraded_prediction(&norm, cfg, &fallback),
+                    kind: ResponseKind::ShedInferenceError,
+                    latency: submitted.elapsed(),
+                    generation: 0,
+                }
+            }
+        }
     }
 
     /// Server counters.
@@ -195,24 +222,20 @@ impl Server {
 
     /// Requests currently queued.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().unwrap().jobs.len()
+        self.shared.queue.len()
     }
 
     /// Stop accepting work, drain the queue, and join the workers.
     pub fn shutdown(mut self) {
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            q.shutdown = true;
-        }
-        self.shared.notify.notify_all();
+        self.shared.queue.shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 }
 
-fn model_cfg(ckpt: &adarnet_core::checkpoint::ModelCheckpoint) -> adarnet_core::AdarNetConfig {
-    adarnet_core::AdarNetConfig {
+fn model_cfg(ckpt: &adarnet_core::checkpoint::ModelCheckpoint) -> AdarNetConfig {
+    AdarNetConfig {
         in_channels: ckpt.in_channels,
         ph: ckpt.ph,
         pw: ckpt.pw,
@@ -221,40 +244,18 @@ fn model_cfg(ckpt: &adarnet_core::checkpoint::ModelCheckpoint) -> adarnet_core::
     }
 }
 
-fn worker_loop(shared: Arc<Shared>) {
-    let (mut generation, mut engine) = shared
-        .registry
-        .replica()
-        .expect("start() verified an active model");
-
+fn worker_loop(
+    shared: Arc<Shared>,
+    mut generation: u64,
+    mut engine: adarnet_core::engine::InferenceEngine,
+) {
     loop {
-        // Collect a micro-batch: block for the first job, then linger.
-        let batch: Vec<Job> = {
-            let mut q = shared.queue.lock().unwrap();
-            loop {
-                if !q.jobs.is_empty() {
-                    break;
-                }
-                if q.shutdown {
-                    return;
-                }
-                q = shared.notify.wait(q).unwrap();
-            }
-            let mut batch = vec![q.jobs.pop_front().unwrap()];
-            let deadline = Instant::now() + shared.cfg.max_linger;
-            while batch.len() < shared.cfg.max_batch {
-                if let Some(job) = q.jobs.pop_front() {
-                    batch.push(job);
-                    continue;
-                }
-                let now = Instant::now();
-                if now >= deadline || q.shutdown {
-                    break;
-                }
-                let (guard, _) = shared.notify.wait_timeout(q, deadline - now).unwrap();
-                q = guard;
-            }
-            batch
+        let batch = match shared
+            .queue
+            .pop_batch(shared.cfg.max_batch, shared.cfg.max_linger)
+        {
+            Some(batch) => batch,
+            None => return, // shutdown and drained
         };
 
         // Hot swap: rebuild the replica when the registry moved on.

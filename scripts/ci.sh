@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI gate: build, test, lint, format — all must pass.
+# CI gate: build, test, repo lint, model check, clippy, format — all
+# must pass.
 #
 #   ./scripts/ci.sh          # full gate
 #   SKIP_SLOW=1 ./scripts/ci.sh   # skip the (slow) workspace test suite
+#                                 # and shrink the model-check budget
 #
 # Runs entirely offline: external deps resolve to vendor/ path crates.
 
@@ -15,6 +17,16 @@ cargo build --release --workspace
 if [ "${SKIP_SLOW:-0}" != "1" ]; then
   echo "==> cargo test -q"
   cargo test -q --workspace
+fi
+
+echo "==> repo lint (crates/check)"
+cargo run --release -q -p check --bin lint
+
+echo "==> concurrency model check (crates/check)"
+if [ "${SKIP_SLOW:-0}" != "1" ]; then
+  cargo run --release -q -p check --bin model-check -- --budget full --min-interleavings 10000
+else
+  cargo run --release -q -p check --bin model-check -- --budget small
 fi
 
 echo "==> cargo clippy -- -D warnings"
