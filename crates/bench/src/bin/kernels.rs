@@ -1,0 +1,243 @@
+//! Convolution kernel throughput sweep over the paper's shapes.
+//!
+//! Benchmarks the three forward paths — direct (`conv2d_forward`),
+//! im2col + row GEMM (`conv2d_forward_gemm`), and the register-tiled,
+//! cache-blocked micro-kernel (`conv2d_forward_blocked`) — across the
+//! patch extents the decoder actually sees (16/32/64/128 per side:
+//! 16x16 patches refined to bins 0–3) and the decoder/scorer channel
+//! widths (8/16/64), plus the scorer's full 64x256 LR field.
+//!
+//! The sweep is what `GEMM_THRESHOLD` in `adarnet_nn::kernels` is
+//! calibrated from: the `sub0_*` probe rows bracket the crossover where
+//! the blocked path overtakes the direct loop nest (between 4 and 16
+//! output pixels — far below the smallest paper shape, so every bin
+//! routes blocked).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p adarnet-bench --bin kernels                # full sweep -> BENCH_kernels.json
+//! cargo run --release -p adarnet-bench --bin kernels -- --smoke     # CI budget, no file written
+//! cargo run --release -p adarnet-bench --bin kernels -- --smoke \
+//!     --check-against BENCH_kernels.json                            # regression gate (>1.5x fails)
+//! cargo run --release -p adarnet-bench --bin kernels -- --out path  # explicit output path
+//! ```
+//!
+//! The `--check-against` gate compares the blocked path's measured
+//! throughput per configuration against the committed baseline and
+//! exits non-zero if any config runs more than 1.5x slower — a guard
+//! against silent micro-kernel regressions, sized loosely enough to
+//! tolerate machine-to-machine variance in CI.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use adarnet_nn::he_normal;
+use adarnet_nn::kernels::{
+    conv2d_forward, conv2d_forward_blocked, conv2d_forward_gemm, GEMM_THRESHOLD,
+};
+use adarnet_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// One benchmarked (extent, channels) configuration.
+#[derive(Debug, Serialize, Deserialize)]
+struct ConfigResult {
+    /// Square spatial extent per side (bin n of a 16x16 patch -> 16 << n),
+    /// except the scorer row which is 64x256.
+    label: String,
+    /// Input spatial extent.
+    h: usize,
+    w: usize,
+    /// Channel width (input == output channels, 3x3 same-padded).
+    channels: usize,
+    /// Output pixels per image (`h * w` with same padding) — the quantity
+    /// `GEMM_THRESHOLD` dispatches on.
+    o_len: usize,
+    /// Seconds per iteration, per path.
+    naive_secs: f64,
+    gemm_secs: f64,
+    blocked_secs: f64,
+    /// Blocked-path throughput in GFLOP/s (2 * oc * k_len * o_len flops).
+    blocked_gflops: f64,
+    /// Speedup of the blocked path over the row-GEMM reference.
+    blocked_vs_gemm: f64,
+}
+
+/// The committed benchmark artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    /// `full` or `smoke` — smoke numbers are for the regression gate
+    /// only and are never written over a full baseline.
+    mode: String,
+    /// The threshold compiled into `adarnet_nn::kernels` when this
+    /// report was produced.
+    gemm_threshold: usize,
+    configs: Vec<ConfigResult>,
+}
+
+/// Time `f` adaptively: one probe iteration sizes a batch that targets
+/// `budget` seconds, then the batch is timed. Returns secs per iteration.
+fn time_secs(budget: f64, mut f: impl FnMut()) -> f64 {
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64().max(1e-7);
+    let reps = ((budget / once).ceil() as usize).clamp(1, 10_000);
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn bench_config(label: &str, h: usize, w: usize, ch: usize, budget: f64) -> ConfigResult {
+    let x = Tensor::<f32>::from_vec(
+        Shape::d4(1, ch, h, w),
+        (0..ch * h * w)
+            .map(|i| ((i as f32) * 0.013).sin())
+            .collect(),
+    );
+    let wt = he_normal(Shape::d4(ch, ch, 3, 3), ch * 9, 7);
+    let b = Tensor::<f32>::zeros(Shape::d1(ch));
+    let o_len = h * w;
+    let k_len = ch * 9;
+
+    let naive_secs = time_secs(budget, || {
+        black_box(conv2d_forward(black_box(&x), &wt, &b, 1)).recycle();
+    });
+    let gemm_secs = time_secs(budget, || {
+        black_box(conv2d_forward_gemm(black_box(&x), &wt, &b, 1)).recycle();
+    });
+    let blocked_secs = time_secs(budget, || {
+        black_box(conv2d_forward_blocked(black_box(&x), &wt, &b, 1)).recycle();
+    });
+
+    let flops = 2.0 * ch as f64 * k_len as f64 * o_len as f64;
+    ConfigResult {
+        label: label.to_string(),
+        h,
+        w,
+        channels: ch,
+        o_len,
+        naive_secs,
+        gemm_secs,
+        blocked_secs,
+        blocked_gflops: flops / blocked_secs / 1e9,
+        blocked_vs_gemm: gemm_secs / blocked_secs,
+    }
+}
+
+fn run_sweep(smoke: bool) -> BenchReport {
+    // Per-path, per-config measurement budget. Smoke keeps the whole
+    // sweep under a few seconds for CI; full targets stable numbers.
+    let budget = if smoke { 0.03 } else { 0.25 };
+    let mut configs = Vec::new();
+    // Crossover probe below the smallest paper shape: where the direct
+    // path still beats the blocked path's im2col + dispatch overhead.
+    // `GEMM_THRESHOLD` is read off these rows.
+    for &e in &[2usize, 4, 8] {
+        let label = format!("sub0_{e}x{e}_8ch");
+        eprintln!("  running {label} ...");
+        configs.push(bench_config(&label, e, e, 8, budget));
+    }
+    // 16x16 patches at bins 0..=3 -> 16/32/64/128 per side.
+    for bin in 0..4usize {
+        let e = 16 << bin;
+        for &ch in &[8usize, 16, 64] {
+            let label = format!("bin{bin}_{e}x{e}_{ch}ch");
+            eprintln!("  running {label} ...");
+            configs.push(bench_config(&label, e, e, ch, budget));
+        }
+    }
+    // The scorer runs on the full LR field, not a patch.
+    eprintln!("  running scorer_64x256_16ch ...");
+    configs.push(bench_config("scorer_64x256_16ch", 64, 256, 16, budget));
+
+    BenchReport {
+        schema: "adarnet-bench-kernels-v1".to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        gemm_threshold: GEMM_THRESHOLD,
+        configs,
+    }
+}
+
+/// Compare `current` against a committed baseline; returns the labels
+/// whose blocked path regressed by more than `max_ratio`.
+fn regressions(current: &BenchReport, baseline: &BenchReport, max_ratio: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    for cur in &current.configs {
+        if let Some(base) = baseline.configs.iter().find(|c| c.label == cur.label) {
+            let ratio = cur.blocked_secs / base.blocked_secs;
+            if ratio > max_ratio {
+                bad.push(format!(
+                    "{}: blocked path {:.2}x slower than baseline ({:.3e}s vs {:.3e}s)",
+                    cur.label, ratio, cur.blocked_secs, base.blocked_secs
+                ));
+            }
+        }
+    }
+    bad
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check_against = args
+        .iter()
+        .position(|a| a == "--check-against")
+        .map(|i| args[i + 1].clone());
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args[i + 1].clone());
+
+    eprintln!(
+        "kernel sweep ({}): naive vs gemm vs blocked, GEMM_THRESHOLD={}",
+        if smoke { "smoke" } else { "full" },
+        GEMM_THRESHOLD
+    );
+    let report = run_sweep(smoke);
+
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>12} {:>10} {:>9}",
+        "config", "o_len", "naive s", "gemm s", "blocked s", "GFLOP/s", "vs gemm"
+    );
+    for c in &report.configs {
+        println!(
+            "{:<22} {:>8} {:>12.3e} {:>12.3e} {:>12.3e} {:>10.2} {:>8.2}x",
+            c.label,
+            c.o_len,
+            c.naive_secs,
+            c.gemm_secs,
+            c.blocked_secs,
+            c.blocked_gflops,
+            c.blocked_vs_gemm
+        );
+    }
+
+    if let Some(path) = &check_against {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: BenchReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let bad = regressions(&report, &baseline, 1.5);
+        if bad.is_empty() {
+            println!(
+                "regression gate: OK ({} configs within 1.5x of baseline)",
+                report.configs.len()
+            );
+        } else {
+            eprintln!("regression gate FAILED:");
+            for b in &bad {
+                eprintln!("  {b}");
+            }
+            std::process::exit(1);
+        }
+        return; // gate runs never overwrite the committed baseline
+    }
+
+    let path = out.unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {path}");
+}

@@ -11,7 +11,10 @@
 //! * `vendor/` stand-ins and `target/` are never scanned;
 //! * [`rules::RULE_LOSSY_CAST`] applies to the numeric kernel crates
 //!   (`nn`, `tensor`, `cfd`); [`rules::RULE_LOCK_ORDER`] to the
-//!   concurrent serving crate (`serve`).
+//!   concurrent serving crate (`serve`);
+//! * [`rules::RULE_NO_ALLOC`] is per-file, not per-crate: it applies to
+//!   the designated hot-path kernel files ([`NO_ALLOC_FILES`]), where
+//!   every buffer must come from the `adarnet_tensor::workspace` pool.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -23,6 +26,10 @@ use crate::rules::{lint_source, Finding, RuleSet};
 const LOSSY_CAST_CRATES: &[&str] = &["nn", "tensor", "cfd"];
 /// Crates with cross-thread locking.
 const LOCK_ORDER_CRATES: &[&str] = &["serve"];
+/// Hot-path kernel files (repo-relative) where allocating constructors
+/// are banned outright — buffers come from the workspace pool so the
+/// zero-allocation inference contract cannot silently regress.
+const NO_ALLOC_FILES: &[&str] = &["crates/nn/src/kernels.rs"];
 
 /// Aggregate outcome of a lint run.
 pub struct LintReport {
@@ -81,7 +88,7 @@ pub fn run_lint(root: &Path) -> Result<LintReport, LintError> {
         for file in files {
             let src = fs::read_to_string(&file).map_err(|e| LintError::Io(file.clone(), e))?;
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            findings.extend(lint_source(&rel, &src, rules));
+            findings.extend(lint_source(&rel, &src, rules_for_file(rules, &rel)));
             files_scanned += 1;
         }
     }
@@ -136,6 +143,16 @@ fn rule_set_for(crate_name: &str) -> RuleSet {
         core_rules: true,
         lossy_cast: LOSSY_CAST_CRATES.contains(&crate_name),
         lock_order: LOCK_ORDER_CRATES.contains(&crate_name),
+        no_alloc: false,
+    }
+}
+
+/// Specialize a crate's rule set for one file: the no-alloc rule is
+/// scoped to the designated hot-path kernel files only.
+fn rules_for_file(base: RuleSet, rel: &Path) -> RuleSet {
+    RuleSet {
+        no_alloc: NO_ALLOC_FILES.iter().any(|f| rel == Path::new(f)),
+        ..base
     }
 }
 
@@ -221,6 +238,11 @@ mod tests {
         assert!(!rule_set_for("serve").lossy_cast);
         assert!(!rule_set_for("core").lock_order);
         assert!(rule_set_for("core").core_rules);
+        // no-alloc is per-file: only the designated kernel files get it.
+        let nn = rule_set_for("nn");
+        assert!(rules_for_file(nn, Path::new("crates/nn/src/kernels.rs")).no_alloc);
+        assert!(!rules_for_file(nn, Path::new("crates/nn/src/model.rs")).no_alloc);
+        assert!(rules_for_file(nn, Path::new("crates/nn/src/kernels.rs")).lossy_cast);
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   acquisition while a `Mutex`/`RwLock` guard is held in the same
 //!   function (intra-function lexical scan; cross-function interleaving
 //!   hazards are the model checker's domain).
+//! * [`no-alloc-in-hot-path`](RULE_NO_ALLOC) — in the convolution
+//!   kernel file, no allocating constructors (`vec![`, `Vec::new`,
+//!   `Vec::with_capacity`, `Tensor::zeros`, `Tensor::full`, `.to_vec()`)
+//!   in non-test code; hot-loop buffers come from the
+//!   `adarnet_tensor::workspace` pool so steady-state inference stays
+//!   allocation-free.
 //!
 //! The rules are token-level heuristics, deliberately conservative in
 //! what they flag; anything intentionally kept is waived — with a
@@ -35,6 +41,8 @@ pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const RULE_LOSSY_CAST: &str = "lossy-cast";
 /// Rule id for the lock-ordering hazard rule.
 pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// Rule id for the hot-path allocation rule.
+pub const RULE_NO_ALLOC: &str = "no-alloc-in-hot-path";
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -61,6 +69,8 @@ pub struct RuleSet {
     pub lossy_cast: bool,
     /// Apply [`RULE_LOCK_ORDER`] (concurrent serving crates).
     pub lock_order: bool,
+    /// Apply [`RULE_NO_ALLOC`] (designated hot-path kernel files).
+    pub no_alloc: bool,
 }
 
 /// Lint one file's source, returning all findings.
@@ -94,6 +104,9 @@ pub fn lint_source(path: &std::path::Path, src: &str, rules: RuleSet) -> Vec<Fin
     }
     if rules.lock_order {
         scan_lock_order(&toks, &mask, &mut push);
+    }
+    if rules.no_alloc {
+        scan_no_alloc(&toks, &mask, &mut push);
     }
     out
 }
@@ -335,6 +348,91 @@ fn scan_lock_order(
     }
 }
 
+/// Allocating `Vec` constructors banned from hot-path kernel files.
+const ALLOC_VEC_METHODS: &[&str] = &["new", "with_capacity"];
+/// Allocating `Tensor` constructors banned from hot-path kernel files
+/// (the pooled variants `pooled_zeroed` / `pooled_scratch` are the
+/// sanctioned replacements).
+const ALLOC_TENSOR_METHODS: &[&str] = &["zeros", "full"];
+
+fn scan_no_alloc(toks: &[Tok], mask: &[bool], push: &mut impl FnMut(&'static str, usize, String)) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "vec" && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
+            push(
+                RULE_NO_ALLOC,
+                t.line,
+                "vec! allocates in a hot-path kernel file (use the workspace pool)".into(),
+            );
+            continue;
+        }
+        if t.text == "to_vec"
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("(")
+        {
+            push(
+                RULE_NO_ALLOC,
+                t.line,
+                ".to_vec() allocates in a hot-path kernel file (use the workspace pool)".into(),
+            );
+            continue;
+        }
+        let banned: &[&str] = match t.text.as_str() {
+            "Vec" => ALLOC_VEC_METHODS,
+            "Tensor" => ALLOC_TENSOR_METHODS,
+            _ => continue,
+        };
+        if let Some(m) = path_method(toks, i) {
+            if banned.contains(&m.text.as_str()) {
+                push(
+                    RULE_NO_ALLOC,
+                    m.line,
+                    format!(
+                        "{}::{} allocates in a hot-path kernel file (use the workspace pool)",
+                        t.text, m.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// For a type ident at token `i`, resolve `Type::method` — including the
+/// turbofish form `Type::<..>::method` — and return the method token.
+fn path_method(toks: &[Tok], i: usize) -> Option<&Tok> {
+    let mut j = i + 1;
+    if !toks.get(j)?.is_punct("::") {
+        return None;
+    }
+    j += 1;
+    if toks.get(j)?.is_punct("<") {
+        let mut depth = 0usize;
+        loop {
+            let t = toks.get(j)?;
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        j += 1;
+        if !toks.get(j)?.is_punct("::") {
+            return None;
+        }
+        j += 1;
+    }
+    let m = toks.get(j)?;
+    (m.kind == TokKind::Ident).then_some(m)
+}
+
 /// Scan back from an acquisition to the start of its statement; if the
 /// statement is a `let`, return the bound identifier.
 fn let_binding_name(toks: &[Tok], i: usize) -> Option<String> {
@@ -391,6 +489,7 @@ mod tests {
         core_rules: true,
         lossy_cast: true,
         lock_order: true,
+        no_alloc: true,
     };
 
     fn findings(src: &str) -> Vec<Finding> {
@@ -500,6 +599,44 @@ mod tests {
     fn sync_helper_acquisitions_are_recognized() {
         let src = "fn f() { let g = sync::lock(&m); let h = sync::write(&l); }";
         assert_eq!(rules_of(src), vec![RULE_LOCK_ORDER]);
+    }
+
+    #[test]
+    fn alloc_constructors_flagged_in_hot_path() {
+        let src = "fn f() { let a = vec![0.0; n]; let b = Vec::new(); \
+                   let c = Vec::with_capacity(8); let d = x.to_vec(); }";
+        assert_eq!(
+            rules_of(src),
+            vec![RULE_NO_ALLOC, RULE_NO_ALLOC, RULE_NO_ALLOC, RULE_NO_ALLOC]
+        );
+    }
+
+    #[test]
+    fn tensor_constructors_flagged_including_turbofish() {
+        let src = "fn f() { let a = Tensor::zeros(s); let b = Tensor::<F>::zeros(s); \
+                   let c = Tensor::full(s, 1.0); }";
+        assert_eq!(
+            rules_of(src),
+            vec![RULE_NO_ALLOC, RULE_NO_ALLOC, RULE_NO_ALLOC]
+        );
+    }
+
+    #[test]
+    fn pooled_constructors_and_generics_not_flagged() {
+        // Pool-backed constructors, `Vec` in type position, and the
+        // collect turbofish are all fine — only allocating constructor
+        // *calls* are banned.
+        let src = "fn f() { let a = Tensor::<F>::pooled_scratch(s); \
+                   let p: Vec<(usize, Vec<f32>)> = it.collect::<Vec<_>>(); \
+                   let q = Tensor::from_vec(s, buf); }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_cfg_test_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let v = vec![1.0]; \
+                   let t = Tensor::zeros(s); } }";
+        assert!(rules_of(src).is_empty());
     }
 
     #[test]

@@ -72,6 +72,22 @@ impl Decoder {
         self.net.forward(x)
     }
 
+    /// Inference-only forward: runs every layer's cache-free
+    /// `forward_infer` path with workspace-pooled intermediates, so
+    /// steady-state serving performs no data-plane heap allocation. The
+    /// returned batch is pool-backed — recycle it when done. Calling
+    /// [`Decoder::backward`] after this is unsupported.
+    pub fn forward_infer(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(
+            x.dim(1),
+            self.in_channels,
+            "decoder expects {} channels, got {}",
+            self.in_channels,
+            x.dim(1)
+        );
+        self.net.forward_infer(x)
+    }
+
     /// Backward a per-bin batch gradient; accumulates parameter gradients
     /// and returns dL/dinput.
     pub fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {

@@ -101,21 +101,39 @@ impl InferenceEngine {
     }
 
     /// Infer one raw (physical-units) `(C, H, W)` LR field.
+    ///
+    /// The returned [`Prediction`] is backed by workspace-pool buffers;
+    /// call [`Prediction::recycle`] once it is consumed to keep
+    /// steady-state inference loops free of data-plane heap allocation.
     pub fn infer(&self, lr_field: &Tensor<f32>) -> Result<Prediction, EngineError> {
         let normalized = self.norm.normalize(lr_field);
         let mut model = sync::lock(&self.model);
-        Ok(model.try_predict(&normalized)?)
+        let pred = model.try_predict(&normalized);
+        drop(model);
+        normalized.recycle();
+        Ok(pred?)
     }
 
     /// Infer a batch of raw LR fields of identical extent: same-bin
     /// patches from *all* samples share decoder batches
     /// ([`AdarNet::predict_batch`]), which is the serving-time payoff of
     /// non-uniform SR.
+    ///
+    /// After warmup, a steady-state loop of `infer_batch` +
+    /// [`Prediction::recycle`] performs zero data-plane heap allocations:
+    /// every tensor buffer (normalized inputs, scorer/decoder
+    /// activations, im2col panels, patch outputs) is drawn from and
+    /// returned to the workspace pool (see `adarnet_tensor::workspace`).
     pub fn infer_batch(&self, lr_fields: &[Tensor<f32>]) -> Result<Vec<Prediction>, EngineError> {
         let normalized: Vec<Tensor<f32>> =
             lr_fields.iter().map(|x| self.norm.normalize(x)).collect();
         let mut model = sync::lock(&self.model);
-        Ok(model.try_predict_batch(&normalized)?)
+        let preds = model.try_predict_batch(&normalized);
+        drop(model);
+        for x in normalized {
+            x.recycle();
+        }
+        Ok(preds?)
     }
 
     /// Run `f` with exclusive access to the wrapped model (training-time

@@ -82,7 +82,9 @@ impl NormStats {
     fn affine(&self, t: &Tensor<f32>, forward: bool) -> Tensor<f32> {
         assert_eq!(t.dim(0), 4, "expected 4-channel tensor");
         let plane = t.dim(1) * t.dim(2);
-        let mut out = t.clone();
+        // Pool-backed output: normalize runs once per field per inference,
+        // squarely on the zero-allocation hot path.
+        let mut out = t.pooled_copy();
         for c in 0..4 {
             let (lo, span) = (self.lo[c], self.span(c));
             for v in &mut out.as_mut_slice()[c * plane..(c + 1) * plane] {

@@ -108,18 +108,38 @@ impl AdarNet {
     /// instead of panicking, so serving threads can degrade gracefully.
     /// Shape mismatches remain assertions — those are caller bugs.
     pub fn try_plan(&mut self, x: &Tensor<f32>) -> Result<ForwardPlan, RankerError> {
+        self.plan_with(x, false)
+    }
+
+    /// Inference-only [`AdarNet::try_plan`]: the scorer runs its
+    /// cache-free `forward_infer` path, so no backward pass is possible
+    /// afterwards. All plan tensors are workspace-pooled; recycle
+    /// `plan.aug` and `plan.scores` (or hand them to a [`Prediction`])
+    /// to keep steady-state loops allocation-free.
+    pub fn try_plan_infer(&mut self, x: &Tensor<f32>) -> Result<ForwardPlan, RankerError> {
+        self.plan_with(x, true)
+    }
+
+    fn plan_with(&mut self, x: &Tensor<f32>, infer: bool) -> Result<ForwardPlan, RankerError> {
         assert_eq!(x.shape().rank(), 3, "plan expects a (C, H, W) sample");
         assert_eq!(x.dim(0), self.cfg.in_channels, "channel count mismatch");
         let (c, h, w) = (x.dim(0), x.dim(1), x.dim(2));
         let layout = PatchLayout::for_field(h, w, self.cfg.ph, self.cfg.pw);
-        let x4 = x.clone().reshape(Shape::d4(1, c, h, w));
-        let out = self.scorer.forward(&x4);
+        let x4 = x.pooled_copy().reshape(Shape::d4(1, c, h, w));
+        let out = if infer {
+            self.scorer.forward_infer(&x4)
+        } else {
+            self.scorer.forward(&x4)
+        };
+        x4.recycle();
         let binning = self.ranker.try_bin_tensor(&out.scores)?;
 
-        // Augment: append the latent channel to the input field.
-        let mut aug = Tensor::<f32>::zeros(Shape::d3(c + 1, h, w));
+        // Augment: append the latent channel to the input field. Every
+        // element is overwritten, so pooled scratch contents are fine.
+        let mut aug = Tensor::<f32>::pooled_scratch(Shape::d3(c + 1, h, w));
         aug.as_mut_slice()[..c * h * w].copy_from_slice(x.as_slice());
         aug.as_mut_slice()[c * h * w..].copy_from_slice(out.latent.as_slice());
+        out.latent.recycle();
 
         Ok(ForwardPlan {
             layout,
@@ -136,18 +156,23 @@ impl AdarNet {
         let layout = plan.layout;
         let (py, px) = layout.coords(patch_idx);
         let level = plan.binning.level_of(patch_idx);
-        let raw = plan
-            .aug
-            .extract_patch(py * layout.ph, px * layout.pw, layout.ph, layout.pw);
+        let raw =
+            plan.aug
+                .pooled_extract_patch(py * layout.ph, px * layout.pw, layout.ph, layout.pw);
         let (th, tw) = layout.patch_extent(level);
         let refined = if level == 0 {
             raw
         } else {
-            bicubic_resize3(&raw, th, tw)
+            let r = bicubic_resize3(&raw, th, tw);
+            raw.recycle();
+            r
         };
         let c_aug = refined.dim(0);
-        let mut with_coords = Tensor::<f32>::zeros(Shape::d3(c_aug + 2, th, tw));
+        // Pooled scratch: the refined channels are copied in below and the
+        // two coordinate channels are fully written by the loops.
+        let mut with_coords = Tensor::<f32>::pooled_scratch(Shape::d3(c_aug + 2, th, tw));
         with_coords.as_mut_slice()[..c_aug * th * tw].copy_from_slice(refined.as_slice());
+        refined.recycle();
         // Global normalized coordinates of each pixel center.
         let fh = (layout.coarse_h()) as f32;
         let fw = (layout.coarse_w()) as f32;
@@ -174,12 +199,18 @@ impl AdarNet {
     }
 
     /// Fallible variant of [`AdarNet::predict`] (see [`AdarNet::try_plan`]).
+    ///
+    /// This is the inference entry point: the scorer and decoder run
+    /// their cache-free `forward_infer` paths with workspace-pooled
+    /// buffers, and every intermediate is recycled. The returned
+    /// [`Prediction`] is pool-backed — call [`Prediction::recycle`] when
+    /// done to keep steady-state serving loops allocation-free.
     pub fn try_predict(&mut self, x: &Tensor<f32>) -> Result<Prediction, RankerError> {
-        let plan = self.try_plan(x)?;
+        let plan = self.try_plan_infer(x)?;
         let n_patches = plan.layout.num_patches();
         let mut patches: Vec<Option<Tensor<f32>>> = (0..n_patches).map(|_| None).collect();
         for bin in 0..self.cfg.bins {
-            let group = plan.binning.groups[bin as usize].clone();
+            let group = &plan.binning.groups[bin as usize];
             if group.is_empty() {
                 continue;
             }
@@ -187,20 +218,32 @@ impl AdarNet {
                 .iter()
                 .map(|&i| self.decoder_input(&plan, i))
                 .collect();
-            let batch = Tensor::stack(&inputs);
-            let out = self.decoder.forward(&batch);
-            for (k, &i) in group.iter().enumerate() {
-                patches[i] = Some(out.image(k));
+            let batch = Tensor::pooled_stack(&inputs);
+            for dec_in in inputs {
+                dec_in.recycle();
             }
+            let out = self.decoder.forward_infer(&batch);
+            batch.recycle();
+            for (k, &i) in group.iter().enumerate() {
+                patches[i] = Some(out.pooled_image(k));
+            }
+            out.recycle();
         }
+        let ForwardPlan {
+            layout,
+            scores,
+            aug,
+            binning,
+        } = plan;
+        aug.recycle();
         Ok(Prediction {
-            layout: plan.layout,
-            binning: plan.binning,
+            layout,
+            binning,
             patches: patches
                 .into_iter()
                 .map(|p| p.expect("per-bin loops fill every patch"))
                 .collect(),
-            scores: plan.scores,
+            scores,
         })
     }
 }
@@ -233,7 +276,7 @@ impl AdarNet {
         }
         let plans: Vec<ForwardPlan> = samples
             .iter()
-            .map(|x| self.try_plan(x))
+            .map(|x| self.try_plan_infer(x))
             .collect::<Result<_, _>>()?;
         let n_patches = plans[0].layout.num_patches();
         let mut outputs: Vec<Vec<Option<Tensor<f32>>>> = plans
@@ -254,30 +297,58 @@ impl AdarNet {
             if inputs.is_empty() {
                 continue;
             }
-            let batch = Tensor::stack(&inputs);
-            let out = self.decoder.forward(&batch);
-            for (k, &(si, pi)) in owners.iter().enumerate() {
-                outputs[si][pi] = Some(out.image(k));
+            let batch = Tensor::pooled_stack(&inputs);
+            for dec_in in inputs {
+                dec_in.recycle();
             }
+            let out = self.decoder.forward_infer(&batch);
+            batch.recycle();
+            for (k, &(si, pi)) in owners.iter().enumerate() {
+                outputs[si][pi] = Some(out.pooled_image(k));
+            }
+            out.recycle();
         }
 
         Ok(plans
             .into_iter()
             .zip(outputs)
-            .map(|(plan, patches)| Prediction {
-                layout: plan.layout,
-                binning: plan.binning,
-                patches: patches
-                    .into_iter()
-                    .map(|p| p.expect("per-bin loops fill every patch"))
-                    .collect(),
-                scores: plan.scores,
+            .map(|(plan, patches)| {
+                let ForwardPlan {
+                    layout,
+                    scores,
+                    aug,
+                    binning,
+                } = plan;
+                aug.recycle();
+                Prediction {
+                    layout,
+                    binning,
+                    patches: patches
+                        .into_iter()
+                        .map(|p| p.expect("per-bin loops fill every patch"))
+                        .collect(),
+                    scores,
+                }
             })
             .collect())
     }
 }
 
 impl Prediction {
+    /// Return every tensor buffer in this prediction to the workspace
+    /// pool. Inference entry points ([`AdarNet::try_predict`],
+    /// [`crate::engine::InferenceEngine::infer_batch`], ...) produce
+    /// pool-backed predictions; recycling consumed ones is what makes
+    /// steady-state serving loops allocation-free. Dropping a prediction
+    /// instead is always safe — it merely returns the buffers to the
+    /// allocator rather than the pool.
+    pub fn recycle(self) {
+        for p in self.patches {
+            p.recycle();
+        }
+        self.scores.recycle();
+    }
+
     /// The refinement map this prediction implies (the one-shot mesh).
     pub fn refinement_map(&self, max_level: u8) -> RefinementMap {
         RefinementMap::from_levels(self.layout, self.binning.bin_of_patch.clone(), max_level)

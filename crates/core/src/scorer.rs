@@ -40,6 +40,12 @@ impl ScorerPool {
             ScorerPool::Avg(l) => l.forward(x),
         }
     }
+    fn forward_infer(&mut self, x: &Tensor<f32>) -> Tensor<f32> {
+        match self {
+            ScorerPool::Max(l) => l.forward_infer(x),
+            ScorerPool::Avg(l) => l.forward_infer(x),
+        }
+    }
     fn backward(&mut self, g: &Tensor<f32>) -> Tensor<f32> {
         match self {
             ScorerPool::Max(l) => l.backward(g),
@@ -112,12 +118,51 @@ impl Scorer {
 
     /// Forward pass on an `(N, C, H, W)` LR field.
     pub fn forward(&mut self, x: &Tensor<f32>) -> ScorerOutput {
-        let h1 = self.act1.forward(&self.conv1.forward(x));
-        let h2 = self.act2.forward(&self.conv2.forward(&h1));
-        let h3 = self.act3.forward(&self.conv3.forward(&h2));
+        // Intermediates are recycled into the workspace pool as soon as
+        // the next layer has consumed (and internally cached) them, so
+        // steady-state training epochs reuse the same buffers.
+        let c1 = self.conv1.forward(x);
+        let h1 = self.act1.forward(&c1);
+        c1.recycle();
+        let c2 = self.conv2.forward(&h1);
+        h1.recycle();
+        let h2 = self.act2.forward(&c2);
+        c2.recycle();
+        let c3 = self.conv3.forward(&h2);
+        h2.recycle();
+        let h3 = self.act3.forward(&c3);
+        c3.recycle();
         let latent = self.conv4.forward(&h3);
+        h3.recycle();
         let pooled = self.pool.forward(&latent);
         let scores = self.softmax.forward(&pooled);
+        pooled.recycle();
+        ScorerOutput { scores, latent }
+    }
+
+    /// Inference-only forward: every layer runs its cache-free
+    /// `forward_infer` path and intermediates are recycled into the
+    /// workspace pool, so steady-state calls perform no data-plane heap
+    /// allocation. Both returned tensors are pool-backed — recycle them
+    /// (or let [`crate::network::Prediction::recycle`] do it) when done.
+    /// Calling [`Scorer::backward_latent`] after this is unsupported.
+    pub fn forward_infer(&mut self, x: &Tensor<f32>) -> ScorerOutput {
+        let c1 = self.conv1.forward_infer(x);
+        let h1 = self.act1.forward_infer(&c1);
+        c1.recycle();
+        let c2 = self.conv2.forward_infer(&h1);
+        h1.recycle();
+        let h2 = self.act2.forward_infer(&c2);
+        c2.recycle();
+        let c3 = self.conv3.forward_infer(&h2);
+        h2.recycle();
+        let h3 = self.act3.forward_infer(&c3);
+        c3.recycle();
+        let latent = self.conv4.forward_infer(&h3);
+        h3.recycle();
+        let pooled = self.pool.forward_infer(&latent);
+        let scores = self.softmax.forward_infer(&pooled);
+        pooled.recycle();
         ScorerOutput { scores, latent }
     }
 
@@ -127,9 +172,19 @@ impl Scorer {
     /// Accumulates parameter gradients, returns dL/dinput.
     pub fn backward_latent(&mut self, grad_latent: &Tensor<f32>) -> Tensor<f32> {
         let g4 = self.conv4.backward(grad_latent);
-        let g3 = self.conv3.backward(&self.act3.backward(&g4));
-        let g2 = self.conv2.backward(&self.act2.backward(&g3));
-        self.conv1.backward(&self.act1.backward(&g2))
+        let a3 = self.act3.backward(&g4);
+        g4.recycle();
+        let g3 = self.conv3.backward(&a3);
+        a3.recycle();
+        let a2 = self.act2.backward(&g3);
+        g3.recycle();
+        let g2 = self.conv2.backward(&a2);
+        a2.recycle();
+        let a1 = self.act1.backward(&g2);
+        g2.recycle();
+        let dx = self.conv1.backward(&a1);
+        a1.recycle();
+        dx
     }
 
     /// Combined backward: gradient on the latent output plus (optionally)
@@ -141,13 +196,17 @@ impl Scorer {
         grad_latent: &Tensor<f32>,
         grad_scores: Option<&Tensor<f32>>,
     ) -> Tensor<f32> {
-        let mut g = grad_latent.clone();
+        let mut g = grad_latent.pooled_copy();
         if let Some(ds) = grad_scores {
             let d_pooled = self.softmax.backward(ds);
             let d_latent2 = self.pool.backward(&d_pooled);
+            d_pooled.recycle();
             g.axpy_inplace(1.0, &d_latent2);
+            d_latent2.recycle();
         }
-        self.backward_latent(&g)
+        let dx = self.backward_latent(&g);
+        g.recycle();
+        dx
     }
 
     /// All trainable parameters (4 convs x weight+bias).

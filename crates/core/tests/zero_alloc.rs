@@ -1,0 +1,78 @@
+//! The zero-allocation hot-path contract (acceptance test for the
+//! workspace-pool refactor).
+//!
+//! After a warmup phase that populates the pool with the steady-state
+//! working set, repeated `InferenceEngine::infer_batch` calls — the
+//! serving hot loop — must perform **zero data-plane heap allocations**:
+//! every `f32` buffer (normalized inputs, scorer/decoder activations,
+//! im2col panels, GEMM output panels, refined patches, coordinate
+//! channels, patch outputs) is drawn from and recycled back into the
+//! `adarnet_tensor::workspace` pool.
+//!
+//! The hook being asserted is `workspace::data_allocs()`: a process-wide
+//! counter bumped on every pool miss and on every instrumented
+//! `Tensor<f32>` data-buffer construction (`zeros`, `full`, `clone`,
+//! `stack`, `image`, ...). Control-plane allocations — `Shape` vectors,
+//! rayon task bookkeeping, the `Vec<Prediction>` spine — are deliberately
+//! out of scope: they are O(patches) pointer-sized, not O(pixels), and a
+//! global-allocator hook is off the table under `unsafe_code = "deny"`.
+
+use adarnet_core::engine::InferenceEngine;
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_tensor::{workspace, Shape, Tensor};
+
+fn sample(h: usize, w: usize, phase: f32) -> Tensor<f32> {
+    Tensor::from_vec(
+        Shape::d3(4, h, w),
+        (0..4 * h * w)
+            .map(|i| ((i as f32) * 0.017 + phase).sin())
+            .collect(),
+    )
+}
+
+/// One test function on purpose: the workspace pool and the allocation
+/// counter are process-global, so a sibling `#[test]` running on another
+/// thread would perturb the count. Integration tests get their own
+/// process, which is exactly the isolation this assertion needs.
+#[test]
+fn steady_state_infer_batch_performs_zero_data_allocations() {
+    let model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed: 42,
+        ..AdarNetConfig::default()
+    });
+    let engine = InferenceEngine::new(model, NormStats::identity());
+    // Two 16x32 fields -> 2x4 patch grids; with 8x8 patches the four bins
+    // span extents 8/16/32/64, all above GEMM_THRESHOLD, so the loop runs
+    // the blocked kernel path the pool exists for.
+    let fields = vec![sample(16, 32, 0.0), sample(16, 32, 1.3)];
+
+    // Warmup: several rounds so the pool reaches its steady-state working
+    // set, including the peak number of concurrently-held im2col/output
+    // panels across the rayon workers.
+    for _ in 0..6 {
+        for pred in engine.infer_batch(&fields).expect("warmup inference") {
+            pred.recycle();
+        }
+    }
+
+    let before = workspace::data_allocs();
+    let mut cells = 0usize;
+    for _ in 0..8 {
+        for pred in engine.infer_batch(&fields).expect("steady-state inference") {
+            cells += pred.active_cells();
+            pred.recycle();
+        }
+    }
+    let after = workspace::data_allocs();
+    assert!(cells >= 8 * 2 * 16 * 32, "inference produced no output?");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state infer_batch allocated {} data buffers in 8 \
+         iterations; the hot path must run entirely from the workspace pool",
+        after - before
+    );
+}

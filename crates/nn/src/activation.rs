@@ -98,9 +98,24 @@ impl Layer for Activation {
 
     fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
         let kind = self.kind;
-        let y = x.map(move |v| kind.apply(v));
-        self.cached_input = Some(x.clone());
-        self.cached_output = Some(y.clone());
+        let mut y = x.pooled_copy();
+        y.map_inplace(move |v| kind.apply(v));
+        // Pool-backed caches: recycle last call's buffers for reuse.
+        if let Some(old) = self.cached_input.take() {
+            old.recycle();
+        }
+        if let Some(old) = self.cached_output.take() {
+            old.recycle();
+        }
+        self.cached_input = Some(x.pooled_copy());
+        self.cached_output = Some(y.pooled_copy());
+        y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        let kind = self.kind;
+        let mut y = x.pooled_copy();
+        y.map_inplace(move |v| kind.apply(v));
         y
     }
 
@@ -114,7 +129,7 @@ impl Layer for Activation {
             .as_ref()
             .expect("Activation::backward called before forward");
         let kind = self.kind;
-        let mut dx = grad_out.clone();
+        let mut dx = grad_out.pooled_copy();
         dx.as_mut_slice()
             .iter_mut()
             .zip(x.as_slice().iter().zip(y.as_slice()))

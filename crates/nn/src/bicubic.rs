@@ -67,7 +67,9 @@ pub fn bicubic_resize3(x: &Tensor<F>, out_h: usize, out_w: usize) -> Tensor<F> {
     let ytaps: Vec<_> = (0..out_h).map(|oy| taps(oy, scale_y, h)).collect();
     let xtaps: Vec<_> = (0..out_w).map(|ox| taps(ox, scale_x, w)).collect();
 
-    let mut out = Tensor::<F>::zeros(Shape::d3(c, out_h, out_w));
+    // Every output element is written below, so unspecified pooled
+    // contents are fine — this runs once per refined patch per inference.
+    let mut out = Tensor::<F>::pooled_scratch(Shape::d3(c, out_h, out_w));
     let xs = x.as_slice();
     let os = out.as_mut_slice();
     for ci in 0..c {
@@ -101,7 +103,7 @@ pub fn bicubic_resize3_adjoint(dy: &Tensor<F>, in_h: usize, in_w: usize) -> Tens
     let ytaps: Vec<_> = (0..oh).map(|oy| taps(oy, scale_y, in_h)).collect();
     let xtaps: Vec<_> = (0..ow).map(|ox| taps(ox, scale_x, in_w)).collect();
 
-    let mut dx = Tensor::<F>::zeros(Shape::d3(c, in_h, in_w));
+    let mut dx = Tensor::<F>::pooled_zeroed(Shape::d3(c, in_h, in_w));
     let dys = dy.as_slice();
     let dxs = dx.as_mut_slice();
     for ci in 0..c {

@@ -4,7 +4,7 @@ use adarnet_tensor::{Shape, Tensor};
 
 use crate::kernels::{
     conv2d_backward_input, conv2d_backward_params, conv2d_backward_params_gemm, conv2d_forward,
-    conv2d_forward_gemm, conv_out_extent, flip_transpose_weights, GEMM_THRESHOLD,
+    conv2d_forward_blocked, conv_out_extent, flip_transpose_weights, GEMM_THRESHOLD,
 };
 use crate::{Initializer, Layer, F};
 
@@ -80,6 +80,19 @@ impl Conv2d {
     pub fn bias(&self) -> &Tensor<F> {
         &self.bias
     }
+
+    /// Shared forward compute: large spatial extents run markedly faster
+    /// through the blocked im2col + GEMM micro-kernel; both paths are
+    /// verified equivalent in the kernel tests.
+    fn run_forward(&self, x: &Tensor<F>) -> Tensor<F> {
+        let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
+        let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
+        if oh * ow >= GEMM_THRESHOLD {
+            conv2d_forward_blocked(x, &self.weight, &self.bias, self.pad)
+        } else {
+            conv2d_forward(x, &self.weight, &self.bias, self.pad)
+        }
+    }
 }
 
 impl Layer for Conv2d {
@@ -98,16 +111,26 @@ impl Layer for Conv2d {
             self.name(),
             x.dim(1)
         );
-        self.cached_input = Some(x.clone());
-        // Large spatial extents run markedly faster through im2col + GEMM;
-        // both paths are verified equivalent in the kernel tests.
-        let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
-        let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
-        let y = if oh * ow >= GEMM_THRESHOLD {
-            conv2d_forward_gemm(x, &self.weight, &self.bias, self.pad)
-        } else {
-            conv2d_forward(x, &self.weight, &self.bias, self.pad)
-        };
+        // Pool-backed input cache: recycle the previous epoch's buffer so
+        // steady-state training does not allocate here.
+        if let Some(old) = self.cached_input.take() {
+            old.recycle();
+        }
+        self.cached_input = Some(x.pooled_copy());
+        let y = self.run_forward(x);
+        crate::finite::debug_guard_finite("Conv2d", x, &y);
+        y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        assert_eq!(
+            x.dim(1),
+            self.in_channels,
+            "{}: input has {} channels",
+            self.name(),
+            x.dim(1)
+        );
+        let y = self.run_forward(x);
         crate::finite::debug_guard_finite("Conv2d", x, &y);
         y
     }
@@ -124,7 +147,10 @@ impl Layer for Conv2d {
         if big {
             conv2d_backward_params_gemm(grad_out, x, self.pad, &mut self.dweight, &mut self.dbias);
             let w_flip = flip_transpose_weights(&self.weight);
-            conv2d_forward_gemm(grad_out, &w_flip, &Tensor::zeros(Shape::d1(0)), self.pad)
+            let dx =
+                conv2d_forward_blocked(grad_out, &w_flip, &Tensor::zeros(Shape::d1(0)), self.pad);
+            w_flip.recycle();
+            dx
         } else {
             conv2d_backward_params(grad_out, x, self.pad, &mut self.dweight, &mut self.dbias);
             conv2d_backward_input(grad_out, &self.weight, x.dim(2), x.dim(3), self.pad)

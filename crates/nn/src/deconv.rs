@@ -11,7 +11,7 @@ use adarnet_tensor::{Shape, Tensor};
 
 use crate::kernels::{
     conv2d_backward_input, conv2d_backward_params, conv2d_backward_params_gemm, conv2d_forward,
-    conv2d_forward_gemm, conv_out_extent, flip_transpose_weights, GEMM_THRESHOLD,
+    conv2d_forward_blocked, conv_out_extent, flip_transpose_weights, GEMM_THRESHOLD,
 };
 use crate::{Initializer, Layer, F};
 
@@ -67,6 +67,22 @@ impl ConvTranspose2d {
     pub fn out_channels(&self) -> usize {
         self.out_channels
     }
+
+    /// Shared forward compute through the equivalent-conv identity. The
+    /// flipped weight copy is pool-backed and recycled before returning.
+    fn run_forward(&self, x: &Tensor<F>) -> Tensor<F> {
+        // Equivalent conv weights: (OC, IC, KH, KW) with flipped kernels.
+        let w_conv = flip_transpose_weights(&self.weight);
+        let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
+        let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
+        let y = if oh * ow >= GEMM_THRESHOLD {
+            conv2d_forward_blocked(x, &w_conv, &self.bias, self.pad)
+        } else {
+            conv2d_forward(x, &w_conv, &self.bias, self.pad)
+        };
+        w_conv.recycle();
+        y
+    }
 }
 
 impl Layer for ConvTranspose2d {
@@ -85,16 +101,24 @@ impl Layer for ConvTranspose2d {
             self.name(),
             x.dim(1)
         );
-        self.cached_input = Some(x.clone());
-        // Equivalent conv weights: (OC, IC, KH, KW) with flipped kernels.
-        let w_conv = flip_transpose_weights(&self.weight);
-        let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
-        let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
-        let y = if oh * ow >= GEMM_THRESHOLD {
-            conv2d_forward_gemm(x, &w_conv, &self.bias, self.pad)
-        } else {
-            conv2d_forward(x, &w_conv, &self.bias, self.pad)
-        };
+        if let Some(old) = self.cached_input.take() {
+            old.recycle();
+        }
+        self.cached_input = Some(x.pooled_copy());
+        let y = self.run_forward(x);
+        crate::finite::debug_guard_finite("ConvTranspose2d", x, &y);
+        y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        assert_eq!(
+            x.dim(1),
+            self.in_channels,
+            "{}: input has {} channels",
+            self.name(),
+            x.dim(1)
+        );
+        let y = self.run_forward(x);
         crate::finite::debug_guard_finite("ConvTranspose2d", x, &y);
         y
     }
@@ -105,7 +129,7 @@ impl Layer for ConvTranspose2d {
             .as_ref()
             .expect("ConvTranspose2d::backward called before forward");
         // Gradients computed in the equivalent conv layout, then mapped back.
-        let mut dw_conv = Tensor::zeros(Shape::d4(
+        let mut dw_conv = Tensor::pooled_zeroed(Shape::d4(
             self.out_channels,
             self.in_channels,
             self.kernel,
@@ -119,17 +143,24 @@ impl Layer for ConvTranspose2d {
         }
         // flip_transpose is linear and an involution, so the deconv-layout
         // gradient is the same transform applied to the conv-layout gradient.
-        self.dweight
-            .axpy_inplace(1.0, &flip_transpose_weights(&dw_conv));
+        let dw_deconv = flip_transpose_weights(&dw_conv);
+        self.dweight.axpy_inplace(1.0, &dw_deconv);
+        dw_deconv.recycle();
+        dw_conv.recycle();
         let w_conv = flip_transpose_weights(&self.weight);
-        if big {
+        let dx = if big {
             // dx of a same-padded stride-1 conv is the conv with the
             // flip-transposed weights (the deconvolution identity).
             let w_back = flip_transpose_weights(&w_conv);
-            conv2d_forward_gemm(grad_out, &w_back, &Tensor::zeros(Shape::d1(0)), self.pad)
+            let dx =
+                conv2d_forward_blocked(grad_out, &w_back, &Tensor::zeros(Shape::d1(0)), self.pad);
+            w_back.recycle();
+            dx
         } else {
             conv2d_backward_input(grad_out, &w_conv, x.dim(2), x.dim(3), self.pad)
-        }
+        };
+        w_conv.recycle();
+        dx
     }
 
     fn params(&self) -> Vec<&Tensor<F>> {

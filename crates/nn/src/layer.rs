@@ -21,6 +21,18 @@ pub trait Layer: Send {
     /// Run the layer on `x`, caching state for backprop.
     fn forward(&mut self, x: &Tensor<F>) -> Tensor<F>;
 
+    /// Inference-only forward pass: identical output to
+    /// [`Layer::forward`], but the layer skips caching backprop state
+    /// and draws its output from the workspace pool
+    /// ([`adarnet_tensor::workspace`]), so steady-state serving
+    /// performs no heap allocation. Calling [`Layer::backward`] after
+    /// `forward_infer` is unsupported: it may panic (no cache) or use
+    /// stale state from an earlier `forward`. Defaults to plain
+    /// [`Layer::forward`] for layers without an optimized path.
+    fn forward_infer(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        self.forward(x)
+    }
+
     /// Propagate `grad_out` (dL/dy) back to dL/dx, accumulating parameter
     /// gradients.
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F>;

@@ -32,20 +32,42 @@ impl Sequential {
         self.layers.is_empty()
     }
 
-    /// Forward through every layer.
+    /// Forward through every layer. Intermediate activations are
+    /// recycled into the workspace pool as soon as the next layer has
+    /// consumed them.
     pub fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
-        let mut cur = x.clone();
+        let mut cur = x.pooled_copy();
         for layer in &mut self.layers {
-            cur = layer.forward(&cur);
+            let next = layer.forward(&cur);
+            cur.recycle();
+            cur = next;
+        }
+        cur
+    }
+
+    /// Inference-only forward: every layer runs its
+    /// [`Layer::forward_infer`] path (no backprop caches), and
+    /// intermediates are recycled — steady-state calls perform no heap
+    /// allocation. The returned tensor is pool-backed; recycle it when
+    /// done to keep the loop allocation-free.
+    pub fn forward_infer(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        let mut cur = x.pooled_copy();
+        for layer in &mut self.layers {
+            let next = layer.forward_infer(&cur);
+            cur.recycle();
+            cur = next;
         }
         cur
     }
 
     /// Backward through every layer in reverse; returns dL/dinput.
+    /// Intermediate gradients are recycled like forward activations.
     pub fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
-        let mut cur = grad_out.clone();
+        let mut cur = grad_out.pooled_copy();
         for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur);
+            let next = layer.backward(&cur);
+            cur.recycle();
+            cur = next;
         }
         cur
     }

@@ -30,14 +30,11 @@ impl MaxPool2d {
             cached_in_shape: None,
         }
     }
-}
 
-impl Layer for MaxPool2d {
-    fn name(&self) -> String {
-        format!("MaxPool2d({}x{})", self.pool_h, self.pool_w)
-    }
-
-    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+    /// Shared max-pool compute into a pool-backed output; `record` is
+    /// called with `(output index, flat input argmax)` for each output
+    /// element (a no-op closure on the inference path).
+    fn run_forward(&self, x: &Tensor<F>, mut record: impl FnMut(usize, usize)) -> Tensor<F> {
         assert_eq!(x.shape().rank(), 4, "MaxPool2d expects NCHW input");
         let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
         assert!(
@@ -47,8 +44,7 @@ impl Layer for MaxPool2d {
             self.pool_w
         );
         let (oh, ow) = (h / self.pool_h, w / self.pool_w);
-        let mut y = Tensor::<F>::zeros(Shape::d4(n, c, oh, ow));
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, c, oh, ow));
         let xs = x.as_slice();
         for ni in 0..n {
             for ci in 0..c {
@@ -69,14 +65,36 @@ impl Layer for MaxPool2d {
                         }
                         let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
                         y.as_mut_slice()[oidx] = best;
-                        argmax[oidx] = best_idx;
+                        record(oidx, best_idx);
                     }
                 }
             }
         }
+        y
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> String {
+        format!("MaxPool2d({}x{})", self.pool_h, self.pool_w)
+    }
+
+    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        let (n, c) = (x.dim(0), x.dim(1));
+        let out_len = n * c * (x.dim(2) / self.pool_h) * (x.dim(3) / self.pool_w);
+        // Reuse last call's argmax buffer: steady-state training epochs
+        // don't allocate here (usize scratch has no f32 pool to draw on).
+        let mut argmax = self.cached_argmax.take().unwrap_or_default();
+        argmax.clear();
+        argmax.resize(out_len, 0);
+        let y = self.run_forward(x, |oidx, best_idx| argmax[oidx] = best_idx);
         self.cached_argmax = Some(argmax);
         self.cached_in_shape = Some(x.shape().clone());
         y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        self.run_forward(x, |_, _| {})
     }
 
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
@@ -90,7 +108,7 @@ impl Layer for MaxPool2d {
             .expect("MaxPool2d::backward called before forward")
             .clone();
         assert_eq!(grad_out.len(), argmax.len(), "grad_out size mismatch");
-        let mut dx = Tensor::<F>::zeros(in_shape);
+        let mut dx = Tensor::<F>::pooled_zeroed(in_shape);
         let dxs = dx.as_mut_slice();
         for (g, &idx) in grad_out.as_slice().iter().zip(argmax) {
             dxs[idx] += g;
@@ -124,12 +142,9 @@ impl AvgPool2d {
     }
 }
 
-impl Layer for AvgPool2d {
-    fn name(&self) -> String {
-        format!("AvgPool2d({}x{})", self.pool_h, self.pool_w)
-    }
-
-    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+impl AvgPool2d {
+    /// Shared average-pool compute into a pool-backed output.
+    fn run_forward(&self, x: &Tensor<F>) -> Tensor<F> {
         assert_eq!(x.shape().rank(), 4, "AvgPool2d expects NCHW input");
         let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
         assert!(
@@ -140,7 +155,7 @@ impl Layer for AvgPool2d {
         );
         let (oh, ow) = (h / self.pool_h, w / self.pool_w);
         let inv = 1.0 / (self.pool_h * self.pool_w) as F;
-        let mut y = Tensor::<F>::zeros(Shape::d4(n, c, oh, ow));
+        let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, c, oh, ow));
         let xs = x.as_slice();
         for ni in 0..n {
             for ci in 0..c {
@@ -159,8 +174,23 @@ impl Layer for AvgPool2d {
                 }
             }
         }
+        y
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> String {
+        format!("AvgPool2d({}x{})", self.pool_h, self.pool_w)
+    }
+
+    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        let y = self.run_forward(x);
         self.cached_in_shape = Some(x.shape().clone());
         y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        self.run_forward(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
@@ -177,7 +207,7 @@ impl Layer for AvgPool2d {
         );
         let (oh, ow) = (h / self.pool_h, w / self.pool_w);
         let inv = 1.0 / (self.pool_h * self.pool_w) as F;
-        let mut dx = Tensor::<F>::zeros(in_shape);
+        let mut dx = Tensor::<F>::pooled_zeroed(in_shape);
         let dxs = dx.as_mut_slice();
         let gs = grad_out.as_slice();
         for ni in 0..n {

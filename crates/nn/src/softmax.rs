@@ -20,24 +20,13 @@ impl SpatialSoftmax {
             cached_output: None,
         }
     }
-}
 
-impl Default for SpatialSoftmax {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Layer for SpatialSoftmax {
-    fn name(&self) -> String {
-        "SpatialSoftmax".to_string()
-    }
-
-    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+    /// Shared forward compute into a pool-backed output.
+    fn run_forward(&self, x: &Tensor<F>) -> Tensor<F> {
         assert!(x.shape().rank() >= 1, "softmax needs at least rank 1");
         let n = x.dim(0);
         let per = x.len() / n.max(1);
-        let mut y = x.clone();
+        let mut y = x.pooled_copy();
         for b in 0..n {
             let sl = &mut y.as_mut_slice()[b * per..(b + 1) * per];
             // Standard max-shift for numerical stability.
@@ -53,8 +42,32 @@ impl Layer for SpatialSoftmax {
             }
         }
         crate::finite::debug_guard_finite("SpatialSoftmax", x, &y);
-        self.cached_output = Some(y.clone());
         y
+    }
+}
+
+impl Default for SpatialSoftmax {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for SpatialSoftmax {
+    fn name(&self) -> String {
+        "SpatialSoftmax".to_string()
+    }
+
+    fn forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        let y = self.run_forward(x);
+        if let Some(old) = self.cached_output.take() {
+            old.recycle();
+        }
+        self.cached_output = Some(y.pooled_copy());
+        y
+    }
+
+    fn forward_infer(&mut self, x: &Tensor<F>) -> Tensor<F> {
+        self.run_forward(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
@@ -68,7 +81,7 @@ impl Layer for SpatialSoftmax {
         );
         let n = y.dim(0);
         let per = y.len() / n.max(1);
-        let mut dx = grad_out.clone();
+        let mut dx = grad_out.pooled_copy();
         for b in 0..n {
             let ys = &y.as_slice()[b * per..(b + 1) * per];
             let gs = &mut dx.as_mut_slice()[b * per..(b + 1) * per];

@@ -1,0 +1,123 @@
+//! Property-based equivalence suite for the three convolution forward
+//! paths: direct (`conv2d_forward`), im2col + row GEMM
+//! (`conv2d_forward_gemm`), and the register-tiled, cache-blocked
+//! micro-kernel (`conv2d_forward_blocked`).
+//!
+//! All three must agree within 1e-4 across randomized shapes, including
+//! the degenerate corners the blocked kernel's edge handling exists for:
+//! a single output channel (`oc = 1`, below the MR=4 register tile), a
+//! 1x1 kernel, a single-sample batch, and non-square fields (H != W).
+
+use adarnet_nn::kernels::{conv2d_forward, conv2d_forward_blocked, conv2d_forward_gemm};
+use adarnet_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random fill: proptest's vendored stand-in has no
+/// dependent (flat-map) generation, so shapes are drawn as plain dims and
+/// the tensor contents derive from a drawn seed.
+fn filled(shape: Shape, seed: u64, scale: f32) -> Tensor<f32> {
+    let n = shape.numel();
+    Tensor::from_vec(
+        shape,
+        (0..n)
+            .map(|i| ((i as f32) * 0.731 + (seed % 4096) as f32 * 0.137).sin() * scale)
+            .collect(),
+    )
+}
+
+fn assert_paths_agree(
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    b: &Tensor<f32>,
+    pad: usize,
+) -> Result<(), TestCaseError> {
+    let direct = conv2d_forward(x, w, b, pad);
+    let gemm = conv2d_forward_gemm(x, w, b, pad);
+    let blocked = conv2d_forward_blocked(x, w, b, pad);
+    prop_assert_eq!(direct.shape(), gemm.shape());
+    prop_assert_eq!(direct.shape(), blocked.shape());
+    for (i, ((&d, &g), &bl)) in direct
+        .as_slice()
+        .iter()
+        .zip(gemm.as_slice())
+        .zip(blocked.as_slice())
+        .enumerate()
+    {
+        let tol = 1e-4 * (1.0 + d.abs());
+        prop_assert!(
+            (d - g).abs() <= tol,
+            "gemm diverges at {i}: direct={d} gemm={g} (shape {:?})",
+            direct.shape()
+        );
+        prop_assert!(
+            (d - bl).abs() <= tol,
+            "blocked diverges at {i}: direct={d} blocked={bl} (shape {:?})",
+            direct.shape()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomized batch/channel/kernel/extent sweep. `oc` deliberately
+    /// starts at 1 (partial MR tile), kernels cover 1x1/3x3/5x5, and
+    /// `h`/`w` are drawn independently so most cases are non-square.
+    #[test]
+    fn all_paths_agree_on_randomized_shapes(
+        n in 1usize..=3,
+        ic in 1usize..=4,
+        oc in 1usize..=9,
+        kidx in 0usize..=2,
+        h in 1usize..=11,
+        w in 1usize..=11,
+        seed in 0u64..4096,
+    ) {
+        let k = 2 * kidx + 1;
+        let pad = (k - 1) / 2;
+        let x = filled(Shape::d4(n, ic, h, w), seed, 1.0);
+        let wt = filled(Shape::d4(oc, ic, k, k), seed ^ 0x9e37, 0.5);
+        let b = filled(Shape::d1(oc), seed ^ 0x7f4a, 0.1);
+        assert_paths_agree(&x, &wt, &b, pad)?;
+    }
+
+    /// Valid (pad = 0) convolutions shrink the output; exercise the
+    /// non-"same" geometry the layers never use but the kernels support.
+    #[test]
+    fn all_paths_agree_without_padding(
+        ic in 1usize..=3,
+        oc in 1usize..=5,
+        h in 3usize..=9,
+        w in 3usize..=9,
+        seed in 0u64..4096,
+    ) {
+        let x = filled(Shape::d4(2, ic, h, w), seed, 1.0);
+        let wt = filled(Shape::d4(oc, ic, 3, 3), seed ^ 0x1234, 0.5);
+        let b = filled(Shape::d1(oc), seed ^ 0x4321, 0.1);
+        assert_paths_agree(&x, &wt, &b, 0)?;
+    }
+
+    /// The degenerate corners pinned explicitly: single-sample batch,
+    /// single output channel, 1x1 kernel, strongly non-square field.
+    #[test]
+    fn degenerate_corners_agree(seed in 0u64..4096) {
+        // n=1, oc=1, k=1, H != W.
+        let x = filled(Shape::d4(1, 3, 2, 13), seed, 1.0);
+        let wt = filled(Shape::d4(1, 3, 1, 1), seed ^ 0xaa, 0.5);
+        let b = filled(Shape::d1(1), seed ^ 0xbb, 0.1);
+        assert_paths_agree(&x, &wt, &b, 0)?;
+
+        // Single pixel per row: w=1 with a 3x3 same-padded kernel.
+        let x = filled(Shape::d4(1, 2, 7, 1), seed ^ 0xcc, 1.0);
+        let wt = filled(Shape::d4(1, 2, 3, 3), seed ^ 0xdd, 0.5);
+        let b = filled(Shape::d1(1), seed ^ 0xee, 0.1);
+        assert_paths_agree(&x, &wt, &b, 1)?;
+
+        // Exactly one full MR x NR register tile (oc=4, 16 output pixels).
+        let x = filled(Shape::d4(1, 3, 4, 4), seed ^ 0x11, 1.0);
+        let wt = filled(Shape::d4(4, 3, 3, 3), seed ^ 0x22, 0.5);
+        let b = filled(Shape::d1(4), seed ^ 0x33, 0.1);
+        assert_paths_agree(&x, &wt, &b, 1)?;
+    }
+}

@@ -40,10 +40,12 @@ pub fn infer_cached(
     let bins = engine.config().bins;
     engine.with_model(|model| {
         let normalized: Vec<Tensor<f32>> = fields.iter().map(|x| norm.normalize(x)).collect();
-        let plans: Vec<ForwardPlan> = normalized
-            .iter()
-            .map(|x| model.try_plan(x))
-            .collect::<Result<_, _>>()?;
+        let plans: Result<Vec<ForwardPlan>, _> =
+            normalized.iter().map(|x| model.try_plan_infer(x)).collect();
+        for x in normalized {
+            x.recycle();
+        }
+        let plans = plans?;
         let mut outputs: Vec<Vec<Option<Tensor<f32>>>> = plans
             .iter()
             .map(|p| (0..p.layout.num_patches()).map(|_| None).collect())
@@ -69,26 +71,42 @@ pub fn infer_cached(
             if inputs.is_empty() {
                 continue;
             }
-            let batch = Tensor::stack(&inputs);
-            let out = model.decoder.forward(&batch);
+            let batch = Tensor::pooled_stack(&inputs);
+            for dec_in in inputs {
+                dec_in.recycle();
+            }
+            let out = model.decoder.forward_infer(&batch);
+            batch.recycle();
             for (k, (si, pi, key)) in owners.into_iter().enumerate() {
-                let image = out.image(k);
+                let image = out.pooled_image(k);
+                // The cache owns an independent copy; the pooled image
+                // travels with the prediction and is recycled by callers.
                 cache.insert(&key, image.clone());
                 outputs[si][pi] = Some(image);
             }
+            out.recycle();
         }
 
         Ok(plans
             .into_iter()
             .zip(outputs)
-            .map(|(plan, patches)| Prediction {
-                layout: plan.layout,
-                binning: plan.binning,
-                patches: patches
-                    .into_iter()
-                    .map(|p| p.expect("per-bin loops fill every patch"))
-                    .collect(),
-                scores: plan.scores,
+            .map(|(plan, patches)| {
+                let ForwardPlan {
+                    layout,
+                    scores,
+                    aug,
+                    binning,
+                } = plan;
+                aug.recycle();
+                Prediction {
+                    layout,
+                    binning,
+                    patches: patches
+                        .into_iter()
+                        .map(|p| p.expect("per-bin loops fill every patch"))
+                        .collect(),
+                    scores,
+                }
             })
             .collect())
     })
@@ -112,9 +130,10 @@ pub fn degraded_prediction(
     let patches: Vec<Tensor<f32>> = (0..n)
         .map(|idx| {
             let (py, px) = layout.coords(idx);
-            normalized.extract_patch(py * layout.ph, px * layout.pw, layout.ph, layout.pw)
+            normalized.pooled_extract_patch(py * layout.ph, px * layout.pw, layout.ph, layout.pw)
         })
         .collect();
+    normalized.recycle();
 
     let mut groups = vec![Vec::new(); cfg.bins as usize];
     groups[0] = (0..n).collect();
@@ -125,7 +144,7 @@ pub fn degraded_prediction(
             groups,
         },
         patches,
-        scores: Tensor::zeros(Shape::d4(1, 1, layout.npy, layout.npx)),
+        scores: Tensor::<f32>::pooled_zeroed(Shape::d4(1, 1, layout.npy, layout.npx)),
     }
 }
 

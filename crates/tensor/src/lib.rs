@@ -22,6 +22,7 @@ pub mod ops;
 pub mod patch;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use element::Element;
 pub use grid::Grid2;

@@ -36,7 +36,39 @@ impl<T: Element> Tensor<T> {
         }
         out
     }
+}
 
+impl Tensor<f32> {
+    /// [`Tensor::extract_patch`] with the output buffer drawn from the
+    /// workspace pool — the hot-path variant used per patch per inference.
+    /// Recycle the result when done to keep the loop allocation-free.
+    pub fn pooled_extract_patch(&self, y0: usize, x0: usize, ph: usize, pw: usize) -> Tensor<f32> {
+        assert_eq!(
+            self.shape().rank(),
+            3,
+            "extract_patch expects rank-3 (C,H,W)"
+        );
+        let (c, h, w) = (self.dim(0), self.dim(1), self.dim(2));
+        assert!(
+            y0 + ph <= h && x0 + pw <= w,
+            "patch window ({y0}..{}, {x0}..{}) exceeds field {h}x{w}",
+            y0 + ph,
+            x0 + pw
+        );
+        let mut out = Tensor::<f32>::pooled_scratch(Shape::d3(c, ph, pw));
+        for ci in 0..c {
+            for y in 0..ph {
+                let src_base = (ci * h + (y0 + y)) * w + x0;
+                let dst_base = (ci * ph + y) * pw;
+                out.as_mut_slice()[dst_base..dst_base + pw]
+                    .copy_from_slice(&self.as_slice()[src_base..src_base + pw]);
+            }
+        }
+        out
+    }
+}
+
+impl<T: Element> Tensor<T> {
     /// Write `patch` (rank-3 `(C, ph, pw)`) into this rank-3 tensor at
     /// window origin `(y0, x0)`. Channel counts must match.
     pub fn insert_patch(&mut self, y0: usize, x0: usize, patch: &Tensor<T>) {

@@ -1,6 +1,6 @@
 //! The dense row-major tensor type.
 
-use crate::{Element, Shape};
+use crate::{workspace, Element, Shape};
 use serde::{Deserialize, Serialize};
 
 /// A dense, row-major, dynamically-shaped tensor.
@@ -16,10 +16,27 @@ use serde::{Deserialize, Serialize};
 /// let patches = lr.split_patches(16, 16);
 /// assert_eq!(patches.len(), 64); // the paper's patch count
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Tensor<T: Element> {
     shape: Shape,
     data: Vec<T>,
+}
+
+/// `Clone` is implemented by hand (not derived) so every deep copy of a
+/// tensor's backing buffer reports through the data-plane allocation
+/// counter in [`crate::workspace`]. Zero-alloc tests rely on this: a
+/// stray `.clone()` on the inference hot path shows up as a counter
+/// bump, not a silent slowdown.
+impl<T: Element> Clone for Tensor<T> {
+    fn clone(&self) -> Self {
+        if !self.data.is_empty() {
+            workspace::note_data_alloc();
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl<T: Element> Tensor<T> {
@@ -27,6 +44,9 @@ impl<T: Element> Tensor<T> {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
+        if n > 0 {
+            workspace::note_data_alloc();
+        }
         Tensor {
             shape,
             data: vec![T::ZERO; n],
@@ -37,6 +57,9 @@ impl<T: Element> Tensor<T> {
     pub fn full(shape: impl Into<Shape>, value: T) -> Self {
         let shape = shape.into();
         let n = shape.numel();
+        if n > 0 {
+            workspace::note_data_alloc();
+        }
         Tensor {
             shape,
             data: vec![value; n],
@@ -58,6 +81,7 @@ impl<T: Element> Tensor<T> {
 
     /// Build a rank-2 tensor from a closure over `(row, col)`.
     pub fn from_fn_2d(h: usize, w: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        workspace::note_data_alloc();
         let mut data = Vec::with_capacity(h * w);
         for y in 0..h {
             for x in 0..w {
@@ -181,6 +205,7 @@ impl<T: Element> Tensor<T> {
         assert_eq!(self.shape.rank(), 4);
         let (ch, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
         let plane = ch * h * w;
+        workspace::note_data_alloc();
         Tensor::from_vec(
             Shape::d3(ch, h, w),
             self.data[n * plane..(n + 1) * plane].to_vec(),
@@ -192,6 +217,7 @@ impl<T: Element> Tensor<T> {
         assert_eq!(self.shape.rank(), 3);
         let (h, w) = (self.shape.dim(1), self.shape.dim(2));
         let plane = h * w;
+        workspace::note_data_alloc();
         Tensor::from_vec(
             Shape::d2(h, w),
             self.data[c * plane..(c + 1) * plane].to_vec(),
@@ -203,6 +229,7 @@ impl<T: Element> Tensor<T> {
         assert!(!images.is_empty(), "cannot stack an empty list");
         let s0 = images[0].shape().clone();
         assert_eq!(s0.rank(), 3, "stack expects rank-3 inputs");
+        workspace::note_data_alloc();
         let mut data = Vec::with_capacity(images.len() * s0.numel());
         for im in images {
             assert!(im.shape().same(&s0), "stack shape mismatch");
@@ -217,6 +244,82 @@ impl<T: Element> Tensor<T> {
     /// True if every element is finite.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Workspace-pooled construction for the `f32` hot path.
+///
+/// These are the allocation-free counterparts of [`Tensor::zeros`],
+/// [`Tensor::stack`], [`Tensor::image`] and `clone`: the backing buffer
+/// comes from the process-wide size-classed pool in
+/// [`crate::workspace`] and goes back via [`Tensor::recycle`]. After a
+/// short warmup the pool is populated and steady-state use performs no
+/// heap allocation (asserted by the zero-alloc tests in
+/// `adarnet-core`).
+impl Tensor<f32> {
+    /// A pooled tensor of zeros.
+    pub fn pooled_zeroed(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = workspace::take_zeroed(shape.numel());
+        Tensor { shape, data }
+    }
+
+    /// A pooled tensor with *unspecified* contents (stale pool data on
+    /// a hit). Use only when every element will be overwritten.
+    pub fn pooled_scratch(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = workspace::take_scratch(shape.numel());
+        Tensor { shape, data }
+    }
+
+    /// A pooled deep copy (the zero-alloc `clone`).
+    pub fn pooled_copy(&self) -> Self {
+        let mut data = workspace::take_scratch(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Pooled [`Tensor::stack`]: rank-3 tensors of identical shape into
+    /// a rank-4 batch, buffer drawn from the workspace.
+    pub fn pooled_stack(images: &[Tensor<f32>]) -> Tensor<f32> {
+        assert!(!images.is_empty(), "cannot stack an empty list");
+        let s0 = images[0].shape().clone();
+        assert_eq!(s0.rank(), 3, "stack expects rank-3 inputs");
+        let plane = s0.numel();
+        let mut data = workspace::take_scratch(images.len() * plane);
+        for (im, dst) in images.iter().zip(data.chunks_exact_mut(plane)) {
+            assert!(im.shape().same(&s0), "stack shape mismatch");
+            dst.copy_from_slice(im.as_slice());
+        }
+        Tensor {
+            shape: Shape::d4(images.len(), s0.dim(0), s0.dim(1), s0.dim(2)),
+            data,
+        }
+    }
+
+    /// Pooled [`Tensor::image`]: copy batch item `n` of a rank-4 tensor
+    /// into a pooled rank-3 tensor.
+    pub fn pooled_image(&self, n: usize) -> Tensor<f32> {
+        assert_eq!(self.shape.rank(), 4);
+        let (ch, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        let plane = ch * h * w;
+        let mut data = workspace::take_scratch(plane);
+        data.copy_from_slice(&self.data[n * plane..(n + 1) * plane]);
+        Tensor {
+            shape: Shape::d3(ch, h, w),
+            data,
+        }
+    }
+
+    /// Return this tensor's backing buffer to the workspace pool.
+    ///
+    /// Safe to call on any `f32` tensor, pooled or not — recycling a
+    /// conventionally-allocated tensor simply donates its buffer.
+    pub fn recycle(self) {
+        workspace::put(self.data);
     }
 }
 
@@ -284,6 +387,53 @@ mod tests {
         let c1 = t.channel(1);
         assert_eq!(c1.get2(0, 1), 9.0);
         assert_eq!(c1.shape(), &Shape::d2(2, 2));
+    }
+
+    #[test]
+    fn pooled_constructors_roundtrip() {
+        let _g = crate::workspace::TEST_POOL_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let z = Tensor::<f32>::pooled_zeroed(Shape::d2(4, 4));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let c = z.pooled_copy();
+        assert_eq!(c, z);
+        z.recycle();
+        c.recycle();
+        // A fresh pooled tensor of the same class reuses the buffer and
+        // must not read back stale data when zeroed.
+        let mut s = Tensor::<f32>::pooled_scratch(Shape::d2(4, 4));
+        s.as_mut_slice().fill(7.0);
+        s.recycle();
+        let z2 = Tensor::<f32>::pooled_zeroed(Shape::d2(4, 4));
+        assert!(z2.as_slice().iter().all(|&v| v == 0.0));
+        z2.recycle();
+    }
+
+    #[test]
+    fn pooled_stack_and_image_match_plain() {
+        let _g = crate::workspace::TEST_POOL_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let a = Tensor::from_fn_2d(2, 3, |y, x| (y * 3 + x) as f32).reshape(Shape::d3(1, 2, 3));
+        let b = Tensor::from_fn_2d(2, 3, |y, x| -((y * 3 + x) as f32)).reshape(Shape::d3(1, 2, 3));
+        let plain = Tensor::stack(&[a.clone(), b.clone()]);
+        let pooled = Tensor::pooled_stack(&[a, b]);
+        assert_eq!(plain, pooled);
+        assert_eq!(plain.image(1), pooled.pooled_image(1));
+        pooled.recycle();
+    }
+
+    #[test]
+    fn clone_reports_data_alloc() {
+        let t = Tensor::<f32>::zeros(Shape::d2(8, 8));
+        let before = crate::workspace::data_allocs();
+        let u = t.clone();
+        assert!(
+            crate::workspace::data_allocs() > before,
+            "deep clone must bump the data-plane counter"
+        );
+        assert_eq!(u, t);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Thread-aware scratch workspace: size-classed reusable `f32` buffer
+//! pools plus the allocation-observability hook the zero-alloc tests
+//! assert against.
+//!
+//! The hot path of both training epochs and steady-state inference is
+//! dominated by conv/deconv kernels that need short-lived buffers:
+//! im2col panels, layer outputs, flipped weight copies. Allocating those
+//! fresh on every call costs page faults and allocator contention under
+//! rayon. This module keeps returned buffers on power-of-two "shelves"
+//! so a steady-state workload recycles the same arenas forever.
+//!
+//! Design (DESIGN.md §10):
+//!
+//! * **Size classes.** Shelf `s` holds buffers whose capacity lies in
+//!   `[2^s, 2^(s+1))`. [`take_scratch`]`(len)` pops from shelf
+//!   `ceil(log2(len))`, which guarantees `capacity >= len`; a miss
+//!   allocates `len.next_power_of_two()` so the buffer re-enters the
+//!   same shelf on [`put`]. Capacity is therefore at most 2× the live
+//!   requirement and never creeps.
+//! * **Thread awareness.** Shelves are independent `Mutex<Vec<_>>`
+//!   slots, so threads contending for *different* size classes never
+//!   serialize, and the per-shelf critical section is a push/pop.
+//!   Locks are poison-tolerant: a panicking test thread must not wedge
+//!   the pool for the rest of the process.
+//! * **Bounded retention.** Each shelf keeps at most
+//!   [`MAX_PER_SHELF`] buffers; put beyond that drops the buffer, so
+//!   a transient burst (e.g. a wide training batch) cannot pin its
+//!   peak memory forever.
+//! * **Observability.** Every *fresh* heap allocation of tensor data —
+//!   a pool miss here, or any `Tensor` constructor/clone building a new
+//!   backing `Vec` — bumps a process-wide counter readable via
+//!   [`data_allocs`]. The workspace crate cannot install a counting
+//!   `#[global_allocator]` (the workspace denies `unsafe_code`), so the
+//!   counter instruments the data plane at the source instead: control
+//!   structures (small index `Vec`s, rayon internals) are documented
+//!   out of scope. Tests snapshot the counter, run a steady-state
+//!   window, and assert it did not move.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of power-of-two size classes. Shelf 40 covers buffers up to
+/// 2^41 elements (8 TiB of f32) — far beyond any tensor in this
+/// workspace, so every request maps to a shelf.
+const SHELVES: usize = 41;
+
+/// Maximum buffers retained per shelf. 64 covers the deepest fan-out in
+/// the decoder (6 layers × worker threads) with slack; beyond that,
+/// buffers are dropped back to the allocator.
+pub const MAX_PER_SHELF: usize = 64;
+
+/// Process-wide count of fresh data-plane heap allocations: pool misses
+/// plus instrumented `Tensor` buffer constructions.
+static DATA_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+static POOL: Pool = Pool::new();
+
+struct Pool {
+    shelves: [Mutex<Vec<Vec<f32>>>; SHELVES],
+}
+
+impl Pool {
+    const fn new() -> Self {
+        // `Mutex::new` is const, but array-repeat needs Copy; build
+        // explicitly via a const block repeat.
+        Pool {
+            shelves: [const { Mutex::new(Vec::new()) }; SHELVES],
+        }
+    }
+}
+
+/// Shelf index a buffer of capacity `cap` belongs on: `floor(log2(cap))`.
+#[inline]
+fn shelf_of_capacity(cap: usize) -> usize {
+    debug_assert!(cap > 0);
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
+}
+
+/// Shelf index guaranteed to satisfy a request of `len` elements:
+/// `ceil(log2(len))`, i.e. the class of `len.next_power_of_two()`.
+#[inline]
+fn shelf_for_request(len: usize) -> usize {
+    debug_assert!(len > 0);
+    shelf_of_capacity(len.next_power_of_two())
+}
+
+/// Bump the fresh-allocation counter by one. Public so `Tensor`
+/// constructors (and any other data-plane allocation site) can report
+/// through the same channel the zero-alloc tests observe.
+#[inline]
+pub fn note_data_alloc() {
+    DATA_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total fresh data-plane allocations since process start. Monotonic;
+/// compare two snapshots to count allocations in a window.
+pub fn data_allocs() -> u64 {
+    DATA_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Take a buffer of exactly `len` elements with *unspecified* contents
+/// (stale data from a previous user on a pool hit). Use when every
+/// element will be overwritten; otherwise use [`take_zeroed`].
+pub fn take_scratch(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shelf = shelf_for_request(len);
+    let popped = {
+        let mut guard = POOL.shelves[shelf]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        guard.pop()
+    };
+    match popped {
+        Some(mut buf) => {
+            debug_assert!(buf.capacity() >= len);
+            buf.resize(len, 0.0);
+            buf
+        }
+        None => {
+            note_data_alloc();
+            let mut buf = Vec::with_capacity(len.next_power_of_two());
+            buf.resize(len, 0.0);
+            buf
+        }
+    }
+}
+
+/// Take a buffer of exactly `len` zeroed elements.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut buf = take_scratch(len);
+    buf.fill(0.0);
+    buf
+}
+
+/// Return a buffer to the pool for reuse. Zero-capacity buffers and
+/// overflow beyond the shelf cap are dropped.
+pub fn put(buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap == 0 {
+        return;
+    }
+    let shelf = shelf_of_capacity(cap);
+    let mut guard = POOL.shelves[shelf]
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if guard.len() < MAX_PER_SHELF {
+        guard.push(buf);
+    }
+}
+
+/// Number of buffers currently pooled across all shelves (diagnostic).
+pub fn pooled_buffers() -> usize {
+    POOL.shelves
+        .iter()
+        .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()).len())
+        .sum()
+}
+
+/// Drop every pooled buffer (test isolation helper).
+pub fn clear() {
+    for shelf in &POOL.shelves {
+        shelf.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+/// Serializes tests that assert on global pool state (pool hits, exact
+/// capacities, alloc-counter deltas) against each other. Cargo runs
+/// same-binary tests in parallel; any test observing the shared pool
+/// must hold this.
+#[cfg(test)]
+pub(crate) static TEST_POOL_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_POOL_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn shelf_indexing() {
+        assert_eq!(shelf_of_capacity(1), 0);
+        assert_eq!(shelf_of_capacity(2), 1);
+        assert_eq!(shelf_of_capacity(3), 1);
+        assert_eq!(shelf_of_capacity(4), 2);
+        assert_eq!(shelf_for_request(1), 0);
+        assert_eq!(shelf_for_request(3), 2);
+        assert_eq!(shelf_for_request(4), 2);
+        assert_eq!(shelf_for_request(5), 3);
+    }
+
+    #[test]
+    fn take_put_roundtrip_reuses_capacity() {
+        let _g = serial();
+        clear();
+        let buf = take_scratch(1000);
+        assert_eq!(buf.len(), 1000);
+        let cap = buf.capacity();
+        assert!(cap >= 1000);
+        put(buf);
+        // Pool hit: 900 and 1000 both round up to the 1024 shelf. The
+        // alloc counter is process-global (other tests bump it in
+        // parallel), so assert reuse via the exact capacity instead.
+        let again = take_scratch(900);
+        assert_eq!(again.len(), 900);
+        assert_eq!(again.capacity(), cap, "must reuse the pooled buffer");
+        put(again);
+    }
+
+    #[test]
+    fn miss_counts_as_alloc() {
+        let _g = serial();
+        clear();
+        let before = data_allocs();
+        let buf = take_scratch(77);
+        assert!(data_allocs() > before);
+        put(buf);
+    }
+
+    #[test]
+    fn zeroed_clears_stale_contents() {
+        let _g = serial();
+        let mut buf = take_scratch(64);
+        buf.fill(3.5);
+        put(buf);
+        let z = take_zeroed(64);
+        assert!(z.iter().all(|&v| v == 0.0));
+        put(z);
+    }
+
+    #[test]
+    fn zero_len_request_is_free() {
+        let buf = take_scratch(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 0, "zero-len take must not allocate");
+    }
+
+    #[test]
+    fn shelf_cap_bounds_retention() {
+        let _g = serial();
+        clear();
+        for _ in 0..(MAX_PER_SHELF + 8) {
+            put(Vec::with_capacity(256));
+        }
+        assert!(pooled_buffers() <= MAX_PER_SHELF);
+        clear();
+    }
+}

@@ -29,6 +29,15 @@ else
   cargo run --release -q -p check --bin model-check -- --budget small
 fi
 
+echo "==> bench-smoke (kernel regression gate)"
+if [ "${SKIP_SLOW:-0}" != "1" ]; then
+  # Tiny measurement budget; fails if the blocked kernel path runs
+  # >1.5x slower than the committed BENCH_kernels.json baseline.
+  cargo run --release -q -p adarnet-bench --bin kernels -- --smoke --check-against BENCH_kernels.json
+else
+  echo "    skipped (SKIP_SLOW=1): timing gate is meaningless on a loaded machine"
+fi
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
