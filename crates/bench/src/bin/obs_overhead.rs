@@ -1,0 +1,113 @@
+//! Observability overhead gate: instrumented vs. bare `infer_batch`.
+//!
+//! The obs layer promises a near-free record path (striped atomic
+//! adds, no locks, no allocation). This bench holds it to that: it
+//! times `InferenceEngine::infer_batch` with the obs layer enabled and
+//! disabled (`adarnet_obs::set_enabled`), interleaving the two arms
+//! rep-for-rep so drift (thermal, cache, scheduler) hits both equally,
+//! and takes the *minimum* per arm — the standard estimator for the
+//! true cost floor under noise.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p adarnet-bench --bin obs_overhead            # measure + report
+//! cargo run --release -p adarnet-bench --bin obs_overhead -- --gate  # exit 1 if >3% slower
+//! cargo run --release -p adarnet-bench --bin obs_overhead -- --smoke --gate
+//! ```
+//!
+//! `--smoke` shrinks reps/batch for the SKIP_SLOW CI budget. The gate
+//! threshold is 3% (`ADARNET_OBS_GATE_PCT` overrides — CI machines
+//! with noisy neighbors may need headroom).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use adarnet_core::engine::InferenceEngine;
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_tensor::{Shape, Tensor};
+
+fn field(h: usize, w: usize, phase: f32) -> Tensor<f32> {
+    Tensor::from_vec(
+        Shape::d3(4, h, w),
+        (0..4 * h * w)
+            .map(|i| ((i as f32) * 0.017 + phase).sin())
+            .collect(),
+    )
+}
+
+/// Seconds for one `infer_batch` call over `fields`.
+fn time_once(engine: &InferenceEngine, fields: &[Tensor<f32>]) -> f64 {
+    let start = Instant::now();
+    let out = engine.infer_batch(black_box(fields)).expect("inference");
+    let secs = start.elapsed().as_secs_f64();
+    for p in out {
+        p.recycle();
+    }
+    secs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let threshold_pct: f64 = std::env::var("ADARNET_OBS_GATE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    let (h, w, batch, reps) = if smoke {
+        (16, 32, 2, 3)
+    } else {
+        (16, 64, 4, 7)
+    };
+    let model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed: 42,
+        ..AdarNetConfig::default()
+    });
+    let engine = InferenceEngine::new(model, NormStats::identity());
+    let fields: Vec<Tensor<f32>> = (0..batch).map(|i| field(h, w, i as f32 * 0.3)).collect();
+
+    eprintln!(
+        "obs overhead ({}): infer_batch of {batch} {h}x{w} fields, min of {reps} interleaved reps, gate {threshold_pct:.1}%",
+        if smoke { "smoke" } else { "full" },
+    );
+
+    // Warm both arms once: pooled buffers, histogram interning, and the
+    // decoder's activation caches all settle before anything is timed.
+    adarnet_obs::set_enabled(true);
+    time_once(&engine, &fields);
+    adarnet_obs::set_enabled(false);
+    time_once(&engine, &fields);
+
+    let mut best_on = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    for rep in 0..reps {
+        adarnet_obs::set_enabled(true);
+        let on = time_once(&engine, &fields);
+        adarnet_obs::set_enabled(false);
+        let off = time_once(&engine, &fields);
+        best_on = best_on.min(on);
+        best_off = best_off.min(off);
+        eprintln!("  rep {rep}: on {on:.4}s, off {off:.4}s");
+    }
+    adarnet_obs::set_enabled(true);
+
+    let overhead_pct = (best_on / best_off - 1.0) * 100.0;
+    println!(
+        "obs_overhead: instrumented {best_on:.4}s vs bare {best_off:.4}s -> {overhead_pct:+.2}% overhead"
+    );
+
+    if gate {
+        if overhead_pct > threshold_pct {
+            eprintln!(
+                "obs_overhead: FAIL — instrumentation costs {overhead_pct:.2}% (> {threshold_pct:.1}% budget)"
+            );
+            std::process::exit(1);
+        }
+        println!("obs_overhead: OK (within {threshold_pct:.1}% budget)");
+    }
+}

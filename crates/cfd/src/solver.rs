@@ -516,6 +516,7 @@ impl RansSolver {
     /// March to convergence: iterate until the normalized residual drops
     /// below `cfg.tol` or `cfg.max_iters` is reached.
     pub fn solve_to_convergence(&mut self) -> SolveStats {
+        let _span = adarnet_obs::span!("stage_solver");
         let t0 = Instant::now();
         let start_iters = self.iters_done;
         let mut res = f64::INFINITY;

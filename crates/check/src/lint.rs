@@ -14,7 +14,10 @@
 //!   concurrent serving crate (`serve`);
 //! * [`rules::RULE_NO_ALLOC`] is per-file, not per-crate: it applies to
 //!   the designated hot-path kernel files ([`NO_ALLOC_FILES`]), where
-//!   every buffer must come from the `adarnet_tensor::workspace` pool.
+//!   every buffer must come from the `adarnet_tensor::workspace` pool;
+//! * [`rules::RULE_NO_PRINTLN`] applies to every linted library file:
+//!   libraries report through the obs layer or typed returns, never by
+//!   printing (`src/bin/` and test regions are already out of scope).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -144,6 +147,7 @@ fn rule_set_for(crate_name: &str) -> RuleSet {
         lossy_cast: LOSSY_CAST_CRATES.contains(&crate_name),
         lock_order: LOCK_ORDER_CRATES.contains(&crate_name),
         no_alloc: false,
+        no_println: true,
     }
 }
 

@@ -24,6 +24,11 @@
 //!   in non-test code; hot-loop buffers come from the
 //!   `adarnet_tensor::workspace` pool so steady-state inference stays
 //!   allocation-free.
+//! * [`no-println`](RULE_NO_PRINTLN) — no `println!` / `eprintln!` /
+//!   `print!` / `eprint!` in library code; libraries report through the
+//!   obs layer (metrics, flight-recorder marks) or typed returns, never
+//!   by writing to the process's stdio behind its back. Binaries
+//!   (`src/bin/`) and test code are exempt.
 //!
 //! The rules are token-level heuristics, deliberately conservative in
 //! what they flag; anything intentionally kept is waived — with a
@@ -43,6 +48,8 @@ pub const RULE_LOSSY_CAST: &str = "lossy-cast";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 /// Rule id for the hot-path allocation rule.
 pub const RULE_NO_ALLOC: &str = "no-alloc-in-hot-path";
+/// Rule id for the no-stdio-in-libraries rule.
+pub const RULE_NO_PRINTLN: &str = "no-println";
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -71,6 +78,8 @@ pub struct RuleSet {
     pub lock_order: bool,
     /// Apply [`RULE_NO_ALLOC`] (designated hot-path kernel files).
     pub no_alloc: bool,
+    /// Apply [`RULE_NO_PRINTLN`] (all library code; bins/tests exempt).
+    pub no_println: bool,
 }
 
 /// Lint one file's source, returning all findings.
@@ -108,10 +117,40 @@ pub fn lint_source(path: &std::path::Path, src: &str, rules: RuleSet) -> Vec<Fin
     if rules.no_alloc {
         scan_no_alloc(&toks, &mask, &mut push);
     }
+    if rules.no_println {
+        scan_no_println(&toks, &mask, &mut push);
+    }
     out
 }
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Stdio-writing macros banned from library code by
+/// [`RULE_NO_PRINTLN`].
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+fn scan_no_println(
+    toks: &[Tok],
+    mask: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_bang = i + 1 < toks.len() && toks[i + 1].is_punct("!");
+        if next_bang && PRINT_MACROS.contains(&t.text.as_str()) {
+            push(
+                RULE_NO_PRINTLN,
+                t.line,
+                format!(
+                    "{}! in library code (report via the obs layer or typed returns)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
 
 fn scan_no_panic(toks: &[Tok], mask: &[bool], push: &mut impl FnMut(&'static str, usize, String)) {
     for (i, t) in toks.iter().enumerate() {
@@ -490,6 +529,7 @@ mod tests {
         lossy_cast: true,
         lock_order: true,
         no_alloc: true,
+        no_println: true,
     };
 
     fn findings(src: &str) -> Vec<Finding> {
@@ -636,6 +676,35 @@ mod tests {
     fn alloc_in_cfg_test_is_ignored() {
         let src = "#[cfg(test)]\nmod tests { fn t() { let v = vec![1.0]; \
                    let t = Tensor::zeros(s); } }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn print_macros_flagged_in_library_code() {
+        let src = "fn f() { println!(\"a\"); eprintln!(\"b\"); print!(\"c\"); eprint!(\"d\"); }";
+        assert_eq!(
+            rules_of(src),
+            vec![
+                RULE_NO_PRINTLN,
+                RULE_NO_PRINTLN,
+                RULE_NO_PRINTLN,
+                RULE_NO_PRINTLN
+            ]
+        );
+    }
+
+    #[test]
+    fn print_in_cfg_test_or_string_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { println!(\"x\"); } }\n\
+                   fn f() { let s = \"println!\"; } // eprintln!(\"y\")";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn writeln_to_explicit_sink_is_not_flagged() {
+        // `writeln!` targets a caller-supplied sink — that is the
+        // sanctioned way for a library to emit text.
+        let src = "fn f(w: &mut W) { writeln!(w, \"x\"); }";
         assert!(rules_of(src).is_empty());
     }
 

@@ -16,7 +16,12 @@
 //!   activation count, the published active model is always a
 //!   `(generation, name)` pair the model predicts, and the active
 //!   checkpoint's weights are always *uniform* — a mixed-constant
-//!   tensor would mean a torn (half-swapped) checkpoint.
+//!   tensor would mean a torn (half-swapped) checkpoint;
+//! * **recorder** — the obs flight recorder's two-phase
+//!   `reserve()`/`commit()` ring matches its order-independent fixed
+//!   point (per slot, the highest-seq committed event) under every
+//!   interleaving of reserves and laggard commits, and never loses a
+//!   committed event from the most recent `capacity` sequence numbers.
 
 use std::time::Duration;
 
@@ -26,7 +31,9 @@ use adarnet_core::network::{AdarNet, AdarNetConfig};
 use adarnet_serve::{BoundedQueue, ModelRegistry, PatchCache, PatchKey, PushOutcome};
 use adarnet_tensor::{Shape, Tensor};
 
-use crate::oracle::{LruModel, ModelPush, QueueModel, RegistryModel};
+use adarnet_obs::{EventKind, FlightRecorder};
+
+use crate::oracle::{LruModel, ModelPush, QueueModel, RecorderModel, RegistryModel};
 use crate::sched::{explore_exhaustive, explore_random, ExploreResult, Scenario};
 
 /// Exploration effort: `Full` is the CI gate (≥ 10k interleavings),
@@ -703,12 +710,203 @@ pub fn registry_suite(budget: Budget) -> ExploreResult {
     result
 }
 
+// ---------------------------------------------------------------------
+// Flight-recorder suite
+// ---------------------------------------------------------------------
+
+/// One scripted recorder operation. `Commit(k)` publishes the `k`-th
+/// sequence number *this thread* reserved earlier in its own script
+/// (scripts are written so every commit follows its reserve), which is
+/// exactly how span guards behave: reserve at drop, commit immediately,
+/// but with arbitrary cross-thread interleaving in between.
+#[derive(Debug, Clone, Copy)]
+pub enum RecorderOp {
+    /// `reserve()` one sequence number.
+    Reserve,
+    /// `commit(thread's k-th reserved seq, unique payload)`.
+    Commit(usize),
+}
+
+/// Threads of reserve/commit ops over one shared [`FlightRecorder`].
+pub struct RecorderScenario {
+    /// Ring capacity under test.
+    pub capacity: usize,
+    /// Per-thread op scripts.
+    pub scripts: Vec<Vec<RecorderOp>>,
+}
+
+/// Real ring + shadow model for one interleaving.
+pub struct RecorderState {
+    real: FlightRecorder,
+    model: RecorderModel,
+    /// Sequence numbers each thread has reserved so far.
+    reserved: Vec<Vec<u64>>,
+}
+
+/// Unique committed payload for thread `t`'s `k`-th reservation.
+fn recorder_payload(thread: usize, k: usize) -> u64 {
+    (thread as u64) * 100 + k as u64
+}
+
+impl Scenario for RecorderScenario {
+    type State = RecorderState;
+
+    fn name(&self) -> &'static str {
+        "obs::recorder"
+    }
+
+    fn thread_ops(&self) -> Vec<usize> {
+        self.scripts.iter().map(Vec::len).collect()
+    }
+
+    fn init(&self) -> RecorderState {
+        RecorderState {
+            real: FlightRecorder::with_capacity(self.capacity),
+            model: RecorderModel::new(self.capacity),
+            reserved: vec![Vec::new(); self.scripts.len()],
+        }
+    }
+
+    fn step(&self, state: &mut RecorderState, thread: usize, op: usize) -> Result<(), String> {
+        let Some(op) = self.scripts.get(thread).and_then(|s| s.get(op)).copied() else {
+            return Err(format!("no op {op} for thread {thread} (bad script)"));
+        };
+        match op {
+            RecorderOp::Reserve => {
+                let real = state.real.reserve();
+                let model = state.model.reserve();
+                if real != model {
+                    return Err(format!(
+                        "reserve: real seq {real} but spec says {model} \
+                         (sequence numbers must be dense)"
+                    ));
+                }
+                state.reserved[thread].push(real);
+            }
+            RecorderOp::Commit(k) => {
+                let Some(&seq) = state.reserved[thread].get(k) else {
+                    return Err(format!(
+                        "thread {thread} commits its reservation {k} before making it (bad script)"
+                    ));
+                };
+                let value = recorder_payload(thread, k);
+                state.real.commit(seq, EventKind::Mark, "mc", "", value, 0);
+                state.model.commit(seq, value);
+            }
+        }
+        // The ring's contents must sit at the model's fixed point after
+        // *every* step — newest-wins means no transient state where a
+        // laggard shadows a newer event.
+        let real: Vec<(u64, u64)> = state
+            .real
+            .recent()
+            .iter()
+            .map(|e| (e.seq, e.value))
+            .collect();
+        let expected = state.model.expected_survivors();
+        if real != expected {
+            return Err(format!(
+                "ring diverged after {op:?}: real {real:?} but spec says {expected:?}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, state: &mut RecorderState) -> Result<(), String> {
+        let survivors: Vec<(u64, u64)> = state
+            .real
+            .recent()
+            .iter()
+            .map(|e| (e.seq, e.value))
+            .collect();
+        if state.real.recorded() != state.model.reserved {
+            return Err(format!(
+                "recorded() {} but spec reserved {}",
+                state.real.recorded(),
+                state.model.reserved
+            ));
+        }
+        state.model.check_tail(&survivors)
+    }
+}
+
+/// Run the flight-recorder suite at the given budget.
+pub fn recorder_suite(budget: Budget) -> ExploreResult {
+    use RecorderOp::*;
+    let mut result = ExploreResult::default();
+
+    // Three span-like threads (reserve, reserve, then commit newest
+    // first — the laggard shape) over a 2-slot ring: every slot sees
+    // cross-thread laggard/newer collisions (34650 interleavings for
+    // (4,4,4) exhaustively).
+    let laggards = RecorderScenario {
+        capacity: 2,
+        scripts: vec![
+            vec![Reserve, Reserve, Commit(1), Commit(0)],
+            vec![Reserve, Reserve, Commit(1), Commit(0)],
+            vec![Reserve, Reserve, Commit(0), Commit(1)],
+        ],
+    };
+    // A writer that never commits one reservation (a crashed thread)
+    // racing orderly writers over a 1-slot ring — the gap must not
+    // resurrect older events (3150 interleavings for (3,4) + a reader
+    // thread is implicit in the per-step recent() comparison).
+    let crashed = RecorderScenario {
+        capacity: 1,
+        scripts: vec![
+            vec![Reserve, Reserve, Commit(1)],
+            vec![Reserve, Commit(0), Reserve, Commit(1)],
+        ],
+    };
+    match budget {
+        Budget::Full => {
+            result.merge(explore_exhaustive(&laggards));
+            result.merge(explore_exhaustive(&crashed));
+        }
+        Budget::Small => {
+            result.merge(explore_random(&laggards, 120, 31));
+            result.merge(explore_exhaustive(&crashed));
+        }
+    }
+
+    // Bigger churn, randomly scheduled: four threads wrapping a 4-slot
+    // ring several times with mixed laggard commits.
+    let churn = RecorderScenario {
+        capacity: 4,
+        scripts: (0..4)
+            .map(|t| {
+                let mut script = Vec::new();
+                for k in 0..4 {
+                    script.push(Reserve);
+                    // Odd threads lag one commit behind their reserves.
+                    if t % 2 == 0 {
+                        script.push(Commit(k));
+                    } else if k > 0 {
+                        script.push(Commit(k - 1));
+                    }
+                }
+                if t % 2 != 0 {
+                    script.push(Commit(3));
+                }
+                script
+            })
+            .collect(),
+    };
+    let trials = match budget {
+        Budget::Full => 4000,
+        Budget::Small => 200,
+    };
+    result.merge(explore_random(&churn, trials, 0x0B5));
+    result
+}
+
 /// Run every suite, returning `(suite name, result)` per suite.
 pub fn run_all(budget: Budget) -> Vec<(&'static str, ExploreResult)> {
     vec![
         ("queue", queue_suite(budget)),
         ("cache", cache_suite(budget)),
         ("registry", registry_suite(budget)),
+        ("recorder", recorder_suite(budget)),
     ]
 }
 
@@ -726,6 +924,48 @@ mod tests {
             );
             assert!(result.interleavings > 0, "{name} explored nothing");
         }
+    }
+
+    #[test]
+    fn oracle_catches_a_seeded_recorder_bug() {
+        // A real ring one slot smaller than the model believes loses
+        // part of the tail the spec protects — the harness must see it.
+        struct Buggy(RecorderScenario);
+        impl Scenario for Buggy {
+            type State = RecorderState;
+            fn name(&self) -> &'static str {
+                "buggy-recorder"
+            }
+            fn thread_ops(&self) -> Vec<usize> {
+                self.0.thread_ops()
+            }
+            fn init(&self) -> RecorderState {
+                RecorderState {
+                    real: FlightRecorder::with_capacity(1),
+                    model: RecorderModel::new(2),
+                    reserved: vec![Vec::new(); self.0.scripts.len()],
+                }
+            }
+            fn step(&self, s: &mut RecorderState, t: usize, o: usize) -> Result<(), String> {
+                self.0.step(s, t, o)
+            }
+            fn finish(&self, s: &mut RecorderState) -> Result<(), String> {
+                self.0.finish(s)
+            }
+        }
+        use RecorderOp::*;
+        let buggy = Buggy(RecorderScenario {
+            capacity: 2,
+            scripts: vec![
+                vec![Reserve, Commit(0), Reserve, Commit(1)],
+                vec![Reserve, Commit(0)],
+            ],
+        });
+        let r = explore_exhaustive(&buggy);
+        assert!(
+            !r.violations.is_empty(),
+            "seeded undersized ring must be caught"
+        );
     }
 
     #[test]

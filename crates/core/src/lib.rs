@@ -26,6 +26,7 @@ pub mod loss;
 pub mod memory;
 pub mod metrics;
 pub mod network;
+pub mod observe;
 pub mod pde;
 pub mod ranker;
 pub mod schedule;

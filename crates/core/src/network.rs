@@ -126,13 +126,20 @@ impl AdarNet {
         let (c, h, w) = (x.dim(0), x.dim(1), x.dim(2));
         let layout = PatchLayout::for_field(h, w, self.cfg.ph, self.cfg.pw);
         let x4 = x.pooled_copy().reshape(Shape::d4(1, c, h, w));
-        let out = if infer {
-            self.scorer.forward_infer(&x4)
-        } else {
-            self.scorer.forward(&x4)
+        let out = {
+            let _span = adarnet_obs::span!("stage_scorer");
+            if infer {
+                self.scorer.forward_infer(&x4)
+            } else {
+                self.scorer.forward(&x4)
+            }
         };
         x4.recycle();
-        let binning = self.ranker.try_bin_tensor(&out.scores)?;
+        let binning = {
+            let _span = adarnet_obs::span!("stage_ranker");
+            self.ranker.try_bin_tensor(&out.scores)?
+        };
+        crate::observe::note_bin_groups(&binning.groups);
 
         // Augment: append the latent channel to the input field. Every
         // element is overwritten, so pooled scratch contents are fine.
@@ -222,7 +229,10 @@ impl AdarNet {
             for dec_in in inputs {
                 dec_in.recycle();
             }
-            let out = self.decoder.forward_infer(&batch);
+            let out = {
+                let _span = adarnet_obs::span!("stage_decoder", bin = bin);
+                self.decoder.forward_infer(&batch)
+            };
             batch.recycle();
             for (k, &i) in group.iter().enumerate() {
                 patches[i] = Some(out.pooled_image(k));
@@ -301,7 +311,10 @@ impl AdarNet {
             for dec_in in inputs {
                 dec_in.recycle();
             }
-            let out = self.decoder.forward_infer(&batch);
+            let out = {
+                let _span = adarnet_obs::span!("stage_decoder", bin = bin);
+                self.decoder.forward_infer(&batch)
+            };
             batch.recycle();
             for (k, &(si, pi)) in owners.iter().enumerate() {
                 outputs[si][pi] = Some(out.pooled_image(k));

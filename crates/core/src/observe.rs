@@ -1,0 +1,52 @@
+//! Observability glue local to the core pipeline: per-bin patch-count
+//! counters fed by every ranker pass.
+//!
+//! The paper's Figures 7–9 analysis hinges on the bin distribution the
+//! ranker emits (how much of each field runs at which resolution), so
+//! the counters `core_patches_bin{b}_total` accumulate, per bin, how
+//! many patches were routed there. Handles are interned once; the
+//! record path is the registry's striped, allocation-free counter add.
+
+use std::sync::{Arc, OnceLock};
+
+use adarnet_obs::metrics::{registry, Counter};
+
+/// Counters cover bins 0..8; the paper uses b = 4, the config caps at
+/// `u8`, and anything above the table clamps into the last counter.
+const MAX_BINS: usize = 8;
+
+fn bin_counters() -> &'static [Arc<Counter>] {
+    static CELLS: OnceLock<Vec<Arc<Counter>>> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        (0..MAX_BINS)
+            .map(|b| registry().counter(&format!("core_patches_bin{b}_total")))
+            .collect()
+    })
+}
+
+/// Record one ranker pass: bump `core_patches_bin{b}_total` by the
+/// number of patches each bin received.
+pub fn note_bin_groups(groups: &[Vec<usize>]) {
+    if !adarnet_obs::enabled() {
+        return;
+    }
+    for (b, g) in groups.iter().enumerate() {
+        if !g.is_empty() {
+            bin_counters()[b.min(MAX_BINS - 1)].add(g.len() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_groups_accumulate_per_bin() {
+        let before: Vec<u64> = (0..MAX_BINS).map(|b| bin_counters()[b].value()).collect();
+        note_bin_groups(&[vec![0, 1, 2], vec![], vec![3]]);
+        assert_eq!(bin_counters()[0].value() - before[0], 3);
+        assert_eq!(bin_counters()[1].value() - before[1], 0);
+        assert_eq!(bin_counters()[2].value() - before[2], 1);
+    }
+}

@@ -177,6 +177,13 @@ impl Trainer {
         agg.data /= n;
         agg.pde /= n;
         agg.total /= n;
+        // Per-epoch loss decomposition (data MSE vs. λ-weighted PDE
+        // residual) as gauges, so a dashboard tracks the λ trade-off
+        // the paper tunes in §3.3 without parsing training logs.
+        adarnet_obs::counter!("train_epochs_total").inc();
+        adarnet_obs::gauge!("train_data_loss").set(agg.data);
+        adarnet_obs::gauge!("train_pde_loss").set(agg.pde);
+        adarnet_obs::gauge!("train_weighted_loss").set(agg.total);
         agg
     }
 

@@ -466,6 +466,7 @@ pub fn conv2d_forward_blocked(
                         oc0 += MR;
                     }
                     workspace::put(colp);
+                    adarnet_obs::counter!("nn_gemm_panels_total").inc();
                     (c0, out)
                 })
                 .collect();

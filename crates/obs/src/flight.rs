@@ -1,0 +1,310 @@
+//! Bounded ring-buffer flight recorder: the last ~1k interesting events
+//! (span completions, shed decisions, hot swaps, marks) kept in fixed
+//! storage, dumped to stderr + `obs-dump.json` when something goes
+//! wrong (panic, load-shed, hot-swap).
+//!
+//! Recording is a two-phase `reserve()` / `commit()` protocol:
+//! `reserve` claims a monotonically increasing sequence number with one
+//! `fetch_add`; `commit` writes the event into slot `seq % capacity`,
+//! overwriting only events with *older* sequence numbers. Newest-wins
+//! overwrite is what makes the recorder lossless for the tail: of the
+//! last `capacity` reserved sequence numbers, every committed event
+//! survives, no matter how writers interleave between the two phases —
+//! a laggard holding an old `seq` can never clobber a newer event in
+//! the same slot. The two phases are public precisely so the
+//! `crates/check` model checker can interleave them adversarially and
+//! verify that claim.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed tracing span (`dur_ns` is its duration).
+    Span,
+    /// A free-form annotation via [`mark`].
+    Mark,
+    /// A request was shed (queue full / inference error).
+    Shed,
+    /// A serving replica hot-swapped to a new model generation.
+    HotSwap,
+    /// The process panicked (recorded by the panic hook).
+    Panic,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Mark => "mark",
+            EventKind::Shed => "shed",
+            EventKind::HotSwap => "hot_swap",
+            EventKind::Panic => "panic",
+        }
+    }
+}
+
+/// One recorded event. Everything is `Copy` — recording moves a few
+/// words, never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Global sequence number (order of [`FlightRecorder::reserve`]).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_us: u64,
+    /// Event class.
+    pub kind: EventKind,
+    /// Event name (span name, mark label, ...).
+    pub name: &'static str,
+    /// Optional structured field name (`""` when absent).
+    pub field: &'static str,
+    /// Value of `field` (0 when absent).
+    pub value: u64,
+    /// Span duration in nanoseconds (0 for non-span events).
+    pub dur_ns: u64,
+}
+
+/// Fixed-capacity newest-wins ring of [`Event`]s.
+pub struct FlightRecorder {
+    slots: Box<[Mutex<Option<Event>>]>,
+    cursor: AtomicU64,
+    epoch: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` events
+    /// (`capacity` >= 1 enforced).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total sequence numbers handed out so far.
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Phase 1: claim the next sequence number.
+    #[inline]
+    pub fn reserve(&self) -> u64 {
+        self.cursor.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Phase 2: publish the event for a previously reserved `seq`.
+    /// Overwrites the slot only if it holds an older event — a delayed
+    /// committer can never erase newer history.
+    pub fn commit(
+        &self,
+        seq: u64,
+        kind: EventKind,
+        name: &'static str,
+        field: &'static str,
+        value: u64,
+        dur_ns: u64,
+    ) {
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut guard = lock(slot);
+        if guard.is_none_or(|e| e.seq < seq) {
+            *guard = Some(Event {
+                seq,
+                at_us: self.epoch.elapsed().as_micros() as u64,
+                kind,
+                name,
+                field,
+                value,
+                dur_ns,
+            });
+        }
+    }
+
+    /// Reserve + commit in one step. No-op while the obs layer is
+    /// disabled.
+    #[inline]
+    pub fn record(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        field: &'static str,
+        value: u64,
+        dur_ns: u64,
+    ) {
+        if !crate::enabled() {
+            return;
+        }
+        let seq = self.reserve();
+        self.commit(seq, kind, name, field, value, dur_ns);
+    }
+
+    /// The surviving events, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self.slots.iter().filter_map(|s| *lock(s)).collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// JSON document of the ring plus a metrics snapshot.
+    pub fn dump_json(&self, reason: &str) -> String {
+        let mut out = format!(
+            "{{\"reason\":\"{}\",\"recorded\":{},\"capacity\":{},\"events\":[",
+            crate::text::sanitize(reason),
+            self.recorded(),
+            self.capacity(),
+        );
+        for (k, e) in self.recent().iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"name\":\"{}\",\"field\":\"{}\",\"value\":{},\"dur_ns\":{}}}",
+                e.seq,
+                e.at_us,
+                e.kind.as_str(),
+                crate::text::sanitize(e.name),
+                crate::text::sanitize(e.field),
+                e.value,
+                e.dur_ns,
+            ));
+        }
+        out.push_str("],\"metrics\":");
+        out.push_str(&crate::metrics::registry().snapshot().to_json());
+        out.push('}');
+        out
+    }
+}
+
+/// The process-wide flight recorder (capacity 1024).
+pub fn recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| FlightRecorder::with_capacity(1024))
+}
+
+/// Record a free-form [`EventKind::Mark`] on the global recorder.
+pub fn mark(name: &'static str, field: &'static str, value: u64) {
+    recorder().record(EventKind::Mark, name, field, value, 0);
+}
+
+/// Seconds-since-recorder-epoch of the last dump, for rate limiting.
+static LAST_DUMP_S: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Where dumps land: `$ADARNET_OBS_DUMP`, default `obs-dump.json`.
+pub fn dump_path() -> PathBuf {
+    std::env::var_os("ADARNET_OBS_DUMP")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("obs-dump.json"))
+}
+
+/// Dump the global ring + metrics snapshot to stderr (one summary
+/// line) and [`dump_path`]. Unforced dumps are rate-limited to one per
+/// second so a shed storm cannot grind the server into disk I/O;
+/// `force` (panic path) always writes. Returns the path written.
+pub fn dump(reason: &str, force: bool) -> Option<PathBuf> {
+    let now_s = recorder().epoch.elapsed().as_secs();
+    if !force {
+        let last = LAST_DUMP_S.load(Ordering::Acquire);
+        if last != u64::MAX && now_s <= last {
+            return None;
+        }
+        if LAST_DUMP_S
+            .compare_exchange(last, now_s, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return None; // someone else is dumping this second
+        }
+    } else {
+        LAST_DUMP_S.store(now_s, Ordering::Release);
+    }
+    let json = recorder().dump_json(reason);
+    let path = dump_path();
+    let _ = std::fs::write(&path, &json);
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "[obs] flight-recorder dump (reason: {reason}) -> {} ({} events)",
+        path.display(),
+        recorder().recent().len()
+    );
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_capacity_events() {
+        let r = FlightRecorder::with_capacity(4);
+        for i in 0..10 {
+            let seq = r.reserve();
+            r.commit(seq, EventKind::Mark, "m", "", i, 0);
+        }
+        let recent = r.recent();
+        assert_eq!(recent.len(), 4);
+        let seqs: Vec<u64> = recent.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn laggard_commit_cannot_clobber_newer_event() {
+        let r = FlightRecorder::with_capacity(2);
+        let old = r.reserve(); // seq 0
+        let newer = r.reserve(); // seq 1
+        let newest = r.reserve(); // seq 2, same slot as 0
+        r.commit(newest, EventKind::Mark, "new", "", 0, 0);
+        r.commit(newer, EventKind::Mark, "mid", "", 0, 0);
+        r.commit(old, EventKind::Mark, "old", "", 0, 0); // must be discarded
+        let names: Vec<&str> = r.recent().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["mid", "new"]);
+    }
+
+    #[test]
+    fn interleaved_writers_never_lose_the_tail() {
+        let _g = crate::testutil::shared();
+        let r = FlightRecorder::with_capacity(8);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        let seq = r.reserve();
+                        r.commit(seq, EventKind::Mark, "w", "", 0, 0);
+                    }
+                });
+            }
+        });
+        let recent = r.recent();
+        assert_eq!(recent.len(), 8);
+        // All committed, so the survivors are exactly the final 8 seqs.
+        let seqs: Vec<u64> = recent.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (3_992..4_000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn dump_json_is_parseable() {
+        let _g = crate::testutil::shared();
+        mark("test_mark", "value", 7);
+        let json = recorder().dump_json("unit-test");
+        let doc = serde_json::parse_value(&json).expect("valid JSON");
+        let obj = doc.as_object().expect("object");
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert!(get("events").is_some());
+        assert!(get("metrics").is_some());
+        assert_eq!(get("reason").and_then(|v| v.as_str()), Some("unit_test"));
+    }
+}

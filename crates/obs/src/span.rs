@@ -1,0 +1,147 @@
+//! RAII tracing spans: `obs::span!("decode", bin = n)` times a scope,
+//! records the duration (nanoseconds) into the histogram
+//! `{name}_ns` and appends a [`flight`](crate::flight) event so the
+//! flight recorder can replay the last moments before a dump.
+//!
+//! Each `span!` call site owns a `static` [`SpanSite`] whose histogram
+//! handle is resolved once (one registry lookup + one allocation on
+//! first use); after that, entering and dropping a span touches only
+//! atomics and a `Mutex`-guarded ring slot — no allocation, in keeping
+//! with the zero-alloc hot-path contract.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::flight::{self, EventKind};
+use crate::metrics::{registry, Histogram};
+
+/// Per-call-site state for a `span!` invocation: the span name and the
+/// lazily resolved duration histogram (`{name}_ns`).
+pub struct SpanSite {
+    name: &'static str,
+    hist: OnceLock<Arc<Histogram>>,
+}
+
+impl SpanSite {
+    /// Const constructor so `span!` can place sites in `static`s.
+    pub const fn new(name: &'static str) -> SpanSite {
+        SpanSite {
+            name,
+            hist: OnceLock::new(),
+        }
+    }
+
+    /// Span name (also the flight-event name).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn histogram(&self) -> &Arc<Histogram> {
+        self.hist
+            .get_or_init(|| registry().histogram(&format!("{}_ns", self.name)))
+    }
+
+    /// Enter the span with no structured field.
+    pub fn enter(&'static self) -> SpanGuard {
+        self.enter_with("", 0)
+    }
+
+    /// Enter the span carrying one structured `field = value` pair
+    /// (recorded on the flight event, not the histogram).
+    pub fn enter_with(&'static self, field: &'static str, value: u64) -> SpanGuard {
+        SpanGuard {
+            site: self,
+            field,
+            value,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+}
+
+/// Guard returned by [`SpanSite::enter`]; records on drop.
+pub struct SpanGuard {
+    site: &'static SpanSite,
+    field: &'static str,
+    value: u64,
+    /// `None` when the obs layer was disabled at entry — the drop then
+    /// records nothing, so disabled spans cost two branches total.
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Elapsed time so far (`None` if the span is disabled).
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let ns = start.elapsed().as_nanos() as u64;
+        self.site.histogram().record(ns);
+        flight::recorder().record(EventKind::Span, self.site.name, self.field, self.value, ns);
+    }
+}
+
+/// Time a scope into the histogram `{name}_ns` and the flight recorder.
+///
+/// ```
+/// {
+///     let _g = adarnet_obs::span!("stage_decoder", bin = 3u64);
+///     // ... work ...
+/// } // duration recorded here
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static SITE: $crate::span::SpanSite = $crate::span::SpanSite::new($name);
+        SITE.enter()
+    }};
+    ($name:literal, $field:ident = $value:expr) => {{
+        static SITE: $crate::span::SpanSite = $crate::span::SpanSite::new($name);
+        SITE.enter_with(stringify!($field), ($value) as u64)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_duration_and_flight_event() {
+        let _g = crate::testutil::shared();
+        {
+            let _g = crate::span!("obs_test_span", bin = 2u64);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = registry().snapshot();
+        let h = snap.histogram("obs_test_span_ns").expect("histogram");
+        assert!(h.count >= 1);
+        assert!(h.max >= 1_000_000, "slept 1ms, recorded {}ns", h.max);
+        let ev = crate::flight::recorder()
+            .recent()
+            .into_iter()
+            .rev()
+            .find(|e| e.name == "obs_test_span")
+            .expect("flight event");
+        assert_eq!(ev.field, "bin");
+        assert_eq!(ev.value, 2);
+        assert!(ev.dur_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _g = crate::testutil::exclusive();
+        let before = registry().histogram("obs_gated_span_ns").count();
+        crate::set_enabled(false);
+        {
+            let g = crate::span!("obs_gated_span");
+            assert!(g.elapsed_ns().is_none());
+        }
+        crate::set_enabled(true);
+        assert_eq!(registry().histogram("obs_gated_span_ns").count(), before);
+    }
+}

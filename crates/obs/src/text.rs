@@ -1,0 +1,212 @@
+//! Prometheus-style exposition text: [`render`] a [`Snapshot`] and
+//! [`parse`] it back (the round-trip keeps the format honest and gives
+//! scrape-side tooling a reference decoder).
+//!
+//! The format is the classic text exposition: `# TYPE` comments, one
+//! sample per line, histograms as cumulative `_bucket{le="..."}` series
+//! plus `_sum` / `_count`. One nonstandard extension: a `_max` line per
+//! histogram, because the recorded max is exact while bucket bounds are
+//! quantized.
+
+use crate::metrics::{bucket_bounds, bucket_index, HistogramSnapshot, Snapshot, NUM_BUCKETS};
+
+/// Clamp a metric name to the Prometheus charset `[a-zA-Z0-9_:]`.
+pub fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot as exposition text.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(*v)));
+    }
+    for h in &snap.histograms {
+        let name = &h.name;
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cum = 0u64;
+        for &(i, n) in &h.buckets {
+            cum += n;
+            let (_, hi) = bucket_bounds(i);
+            out.push_str(&format!("{name}_bucket{{le=\"{hi}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+        out.push_str(&format!("{name}_max {}\n", h.max));
+    }
+    out
+}
+
+/// Parse exposition text produced by [`render`] back into a
+/// [`Snapshot`]. Only the subset this module emits is recognized —
+/// unknown lines are an error, so drift between encoder and decoder
+/// fails the round-trip test instead of passing silently.
+pub fn parse(text: &str) -> Result<Snapshot, String> {
+    let mut snap = Snapshot {
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+    };
+    // name -> declared type, from `# TYPE` lines.
+    let mut kinds: Vec<(String, String)> = Vec::new();
+    let kind_of = |kinds: &[(String, String)], name: &str| {
+        kinds
+            .iter()
+            .rev()
+            .find(|(n, _)| {
+                name == n
+                    || (name.starts_with(n.as_str())
+                        && matches!(&name[n.len()..], "_bucket" | "_sum" | "_count" | "_max"))
+            })
+            .map(|(n, k)| (n.clone(), k.clone()))
+    };
+    let hist_mut = |snap: &mut Snapshot, name: &str| -> usize {
+        if let Some(i) = snap.histograms.iter().position(|h| h.name == name) {
+            i
+        } else {
+            snap.histograms.push(HistogramSnapshot::empty(name));
+            snap.histograms.len() - 1
+        }
+    };
+
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {}: malformed TYPE", ln + 1))?;
+            kinds.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (key, val) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: missing value", ln + 1))?;
+        let bare = key.split('{').next().unwrap_or(key);
+        let (base, kind) = kind_of(&kinds, bare)
+            .ok_or_else(|| format!("line {}: sample `{bare}` has no TYPE", ln + 1))?;
+        match kind.as_str() {
+            "counter" => {
+                let v: u64 = val.parse().map_err(|e| format!("line {}: {e}", ln + 1))?;
+                snap.counters.push((base, v));
+            }
+            "gauge" => {
+                let v: f64 = val.parse().map_err(|e| format!("line {}: {e}", ln + 1))?;
+                snap.gauges.push((base, v));
+            }
+            "histogram" => {
+                let v: u64 = val.parse().map_err(|e| format!("line {}: {e}", ln + 1))?;
+                let i = hist_mut(&mut snap, &base);
+                let h = &mut snap.histograms[i];
+                match &key[base.len()..] {
+                    "_sum" => h.sum = v,
+                    "_count" => h.count = v,
+                    "_max" => h.max = v,
+                    suffix if suffix.starts_with("_bucket{le=\"") => {
+                        let le = suffix
+                            .trim_start_matches("_bucket{le=\"")
+                            .trim_end_matches("\"}");
+                        if le == "+Inf" {
+                            continue; // redundant with _count
+                        }
+                        let hi: u64 = le
+                            .parse()
+                            .map_err(|e| format!("line {}: le: {e}", ln + 1))?;
+                        let idx = bucket_index(hi.saturating_sub(1));
+                        if idx >= NUM_BUCKETS {
+                            return Err(format!("line {}: le {hi} out of range", ln + 1));
+                        }
+                        h.buckets.push((idx, v)); // cumulative for now
+                    }
+                    other => return Err(format!("line {}: unknown suffix `{other}`", ln + 1)),
+                }
+            }
+            other => return Err(format!("line {}: unknown TYPE `{other}`", ln + 1)),
+        }
+    }
+    // De-cumulate bucket counts.
+    for h in &mut snap.histograms {
+        let mut prev = 0u64;
+        for b in &mut h.buckets {
+            let cum = b.1;
+            b.1 = cum.saturating_sub(prev);
+            prev = cum;
+        }
+        h.buckets.retain(|&(_, n)| n > 0);
+    }
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn sanitize_clamps_charset() {
+        assert_eq!(sanitize("a.b-c d"), "a_b_c_d");
+        assert_eq!(sanitize("stage_scorer_ns"), "stage_scorer_ns");
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let _g = crate::testutil::shared();
+        let reg = MetricsRegistry::new();
+        reg.counter("req_total").add(41);
+        reg.counter("shed_total").add(3);
+        reg.gauge("loss").set(0.125);
+        reg.gauge("lam").set(-2.0);
+        let h = reg.histogram("e2e_ns");
+        for v in [1u64, 1, 5, 40, 999, 70_000, 1_000_000_007] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let text = render(&snap);
+        let back = parse(&text).expect("parse rendered text");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn round_trip_survives_empty_histogram() {
+        let _g = crate::testutil::shared();
+        let reg = MetricsRegistry::new();
+        reg.histogram("quiet_ns");
+        let snap = reg.snapshot();
+        let back = parse(&render(&snap)).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parse_rejects_untyped_samples() {
+        assert!(parse("mystery 4\n").is_err());
+        assert!(parse("# TYPE a counter\na not_a_number\n").is_err());
+    }
+}

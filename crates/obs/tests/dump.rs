@@ -1,0 +1,47 @@
+//! Integration test for the panic-hook dump path: `obs::init()` must
+//! produce a parseable `obs-dump.json` when a panic unwinds, with the
+//! panic event on the flight recorder.
+//!
+//! Runs in its own test binary (hence its own process) so the panic
+//! hook and the `ADARNET_OBS_DUMP` override cannot leak into other
+//! tests.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn panic_dump_produces_parseable_json() {
+    let dir = std::env::temp_dir().join(format!("obs-dump-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("obs-dump.json");
+    // Safety per std: set_var is unsafe-free pre-2024 edition; this
+    // test binary is single-threaded at this point.
+    std::env::set_var("ADARNET_OBS_DUMP", &path);
+
+    adarnet_obs::init();
+    adarnet_obs::counter!("dump_test_total").add(5);
+    adarnet_obs::mark("before_panic", "stage", 1);
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        let _g = adarnet_obs::span!("doomed_stage");
+        panic!("induced panic for dump test");
+    }));
+    assert!(unwound.is_err());
+
+    let raw = std::fs::read_to_string(&path).expect("dump file written by panic hook");
+    let doc = serde_json::parse_value(&raw).expect("dump is valid JSON");
+    let obj = doc.as_object().expect("top-level object");
+    let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    assert_eq!(get("reason").and_then(|v| v.as_str()), Some("panic"));
+    let events = get("events").and_then(|v| v.as_array()).expect("events");
+    let has = |kind: &str, name: &str| {
+        events.iter().any(|e| {
+            let Some(f) = e.as_object() else { return false };
+            let field = |k: &str| f.iter().find(|(n, _)| n == k).and_then(|(_, v)| v.as_str());
+            field("kind") == Some(kind) && field("name") == Some(name)
+        })
+    };
+    assert!(has("panic", "panic"), "panic event recorded");
+    assert!(has("mark", "before_panic"), "pre-panic mark survives");
+    assert!(get("metrics").is_some(), "metrics snapshot embedded");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the log-scale histogram: recording any
+//! sample set preserves count/sum/max exactly, quantile estimates stay
+//! within the documented 12.5% quantization bound of true quantiles,
+//! and the text exposition round-trips losslessly.
+
+use adarnet_obs::metrics::{bucket_bounds, bucket_index, MetricsRegistry, NUM_BUCKETS};
+use adarnet_obs::text;
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix of magnitudes: the raw draw spans the full u64 range and the
+    // variable right-shift spreads values from sub-32 exact buckets up
+    // to multi-second nanosecond spans.
+    // Capped at 2^48 so a 300-sample sum cannot overflow u64 in either
+    // the histogram or the oracle below.
+    prop::collection::vec((0u64..u64::MAX).prop_map(|v| v >> (16 + v % 48)), 1..300)
+}
+
+proptest! {
+    #[test]
+    fn bucket_index_total_and_monotone(raw in 0u64..u64::MAX, shift in 0u32..64) {
+        let v = raw >> shift;
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && (v < hi || hi == u64::MAX));
+        if v > 0 {
+            prop_assert!(bucket_index(v - 1) <= i);
+        }
+    }
+
+    #[test]
+    fn count_sum_max_are_exact(vs in samples()) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("p");
+        for &v in &vs {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, vs.len() as u64);
+        prop_assert_eq!(snap.sum, vs.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, vs.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn quantiles_within_bucket_quantization(vs in samples(), q in 0.0f64..1.0) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q");
+        for &v in &vs {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let est = snap.quantile(q);
+        // The estimate must land inside (or within one bucket width of)
+        // the exact value's bucket.
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        let width = (hi - lo) as f64;
+        prop_assert!(
+            est >= lo as f64 - width && est <= hi as f64 + width,
+            "q={q} exact={exact} bucket=[{lo},{hi}) est={est}"
+        );
+    }
+
+    #[test]
+    fn exposition_text_round_trips(vs in samples(), total in 0u64..1_000_000) {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(total);
+        let h = reg.histogram("h_ns");
+        for &v in &vs {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let back = text::parse(&text::render(&snap));
+        prop_assert_eq!(back.as_ref(), Ok(&snap));
+    }
+}

@@ -75,7 +75,10 @@ pub fn infer_cached(
             for dec_in in inputs {
                 dec_in.recycle();
             }
-            let out = model.decoder.forward_infer(&batch);
+            let out = {
+                let _span = adarnet_obs::span!("stage_decoder", bin = bin);
+                model.decoder.forward_infer(&batch)
+            };
             batch.recycle();
             for (k, (si, pi, key)) in owners.into_iter().enumerate() {
                 let image = out.pooled_image(k);

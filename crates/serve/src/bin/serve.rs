@@ -13,11 +13,18 @@
 //! to demonstrate load shedding: the overflow is answered with degraded
 //! bin-0 responses, counted, and reported.
 //!
+//! Subcommand:
+//! * `serve stats` — run a short demo load against a fresh server and
+//!   print the obs registry's Prometheus-style exposition text (the
+//!   "stats endpoint" of a process with no network listener).
+//!
 //! Environment knobs (all optional):
 //! * `ADARNET_SERVE_SCALE` — `quick` (default; 16x32 fields, 8x8
 //!   patches) or `full` (64x256 fields, 16x16 patches);
 //! * `ADARNET_SERVE_REQUESTS` — requests per client;
-//! * `ADARNET_SERVE_OUT` — output path (default `BENCH_serve.json`).
+//! * `ADARNET_SERVE_OUT` — output path (default `BENCH_serve.json`);
+//! * `ADARNET_SERVE_METRICS_OUT` — also write the final exposition
+//!   text (metrics snapshot) to this path.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,7 +33,8 @@ use adarnet_core::checkpoint;
 use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNet, AdarNetConfig};
 use adarnet_serve::{
-    field_pool, run_closed_loop, LoadReport, ModelRegistry, ResponseKind, ServeConfig, Server,
+    field_pool, run_closed_loop, LatencyWindow, LoadReport, ModelRegistry, ResponseKind,
+    ServeConfig, Server,
 };
 use serde::Serialize;
 
@@ -65,7 +73,42 @@ fn checkpoint_clone(ckpt: &adarnet_core::ModelCheckpoint) -> adarnet_core::Model
     checkpoint::snapshot(&model, &norm)
 }
 
+/// `serve stats`: run a short demo load and print the metrics registry
+/// as Prometheus exposition text — the closest thing a listener-less
+/// process has to a `/metrics` endpoint, and the output shown in the
+/// README's "Observing a running server" quickstart.
+fn stats_main() {
+    let model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed: 42,
+        ..AdarNetConfig::default()
+    });
+    let ckpt = checkpoint::snapshot(&model, &NormStats::identity());
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("demo", ckpt);
+    registry.activate("demo").unwrap();
+    let server = Server::start(
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+            max_linger: Duration::from_millis(2),
+            workers: 1,
+            cache_capacity: 1024,
+        },
+        registry,
+    )
+    .unwrap();
+    let pool = field_pool(4, 16, 32, 7);
+    let (_, _) = run_closed_loop(&server, &pool, 4, 4);
+    server.shutdown();
+    print!("{}", adarnet_obs::registry().render_text());
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("stats") {
+        return stats_main();
+    }
     let mut scale = std::env::var("ADARNET_SERVE_SCALE").unwrap_or_else(|_| "quick".into());
     if scale != "quick" && scale != "full" {
         eprintln!("warning: unknown ADARNET_SERVE_SCALE '{scale}', using quick");
@@ -117,17 +160,26 @@ fn main() {
                 base.unbatched()
             };
             let server = Server::start(cfg, registry).unwrap();
+            let window = LatencyWindow::start();
             let (observations, elapsed) =
                 run_closed_loop(&server, &pool, concurrency, requests_per_client);
-            let report = LoadReport::from_run(mode, concurrency, &server, &observations, elapsed);
+            let report = LoadReport::from_run(
+                mode,
+                concurrency,
+                &server,
+                &observations,
+                elapsed,
+                &window.finish(),
+            );
             println!(
-                "{:>9} c={:<3} {:>8.2} req/s  p50 {:>8.2} ms  p95 {:>8.2} ms  p99 {:>8.2} ms  cache {:>3.0}%  shed {}",
+                "{:>9} c={:<3} {:>8.2} req/s  p50 {:>8.2} ms  p95 {:>8.2} ms  p99 {:>8.2} ms  max {:>8.2} ms  cache {:>3.0}%  shed {}",
                 report.mode,
                 report.concurrency,
                 report.throughput_rps,
                 report.p50_ms,
                 report.p95_ms,
                 report.p99_ms,
+                report.max_ms,
                 report.cache_hit_rate * 100.0,
                 report.shed_queue_full + report.shed_inference_error,
             );
@@ -167,10 +219,7 @@ fn main() {
                 _ => degraded += 1,
             }
         }
-        let shed = server
-            .stats()
-            .shed_queue_full
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let shed = server.stats().shed_queue_full;
         println!(
             "saturation: burst {burst} over capacity 4 -> {full} full, {degraded} degraded ({shed} shed at queue)"
         );
@@ -200,4 +249,13 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    if let Ok(metrics_path) = std::env::var("ADARNET_SERVE_METRICS_OUT") {
+        let text = adarnet_obs::registry().render_text();
+        if let Err(e) = std::fs::write(&metrics_path, text) {
+            eprintln!("error: cannot write {metrics_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {metrics_path}");
+    }
 }

@@ -103,6 +103,7 @@ impl PatchCache {
     pub fn get(&self, key: &PatchKey) -> Option<Tensor<f32>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            adarnet_obs::counter!("serve_cache_misses_total").inc();
             return None;
         }
         let mut inner = sync::lock(&self.inner);
@@ -116,10 +117,12 @@ impl PatchCache {
                 inner.recency.remove(&old_tick);
                 inner.recency.insert(tick, key.hash);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                adarnet_obs::counter!("serve_cache_hits_total").inc();
                 return Some(value);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        adarnet_obs::counter!("serve_cache_misses_total").inc();
         None
     }
 

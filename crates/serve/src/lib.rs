@@ -31,7 +31,7 @@ pub mod server;
 pub use batch::{degraded_prediction, infer_cached};
 pub use cache::{PatchCache, PatchKey};
 pub use config::ServeConfig;
-pub use loadgen::{field_pool, run_closed_loop, LoadReport, Observation};
+pub use loadgen::{field_pool, run_closed_loop, LatencyWindow, LoadReport, Observation};
 pub use queue::{BoundedQueue, PushOutcome};
 pub use registry::{ActiveModel, ModelRegistry, RegistryError};
 pub use server::{ResponseKind, ServeResponse, ServeStats, Server};

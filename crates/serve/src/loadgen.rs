@@ -13,10 +13,44 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use adarnet_dataset::{generate, DatasetConfig};
+use adarnet_obs::HistogramSnapshot;
 use adarnet_tensor::Tensor;
 use serde::Serialize;
 
 use crate::server::{ResponseKind, Server};
+
+/// Delimits a measurement window over the server-side `serve_e2e_ns`
+/// histogram: snapshot the cumulative histogram at [`start`], and
+/// [`finish`] returns only the samples recorded in between. Latency
+/// percentiles in [`LoadReport`] come from this window, so they measure
+/// the *server's* submission-to-reply distribution (including shed
+/// fast-paths), not the client's scheduling jitter.
+///
+/// The histogram is process-global: overlapping windows from two
+/// concurrent servers in one process will blend. The bench driver and
+/// tests run one load at a time.
+///
+/// [`start`]: LatencyWindow::start
+/// [`finish`]: LatencyWindow::finish
+pub struct LatencyWindow {
+    before: HistogramSnapshot,
+}
+
+impl LatencyWindow {
+    /// Open a window at the histogram's current state.
+    pub fn start() -> LatencyWindow {
+        LatencyWindow {
+            before: adarnet_obs::histogram!("serve_e2e_ns").snapshot(),
+        }
+    }
+
+    /// Close the window: the e2e samples recorded since [`LatencyWindow::start`].
+    pub fn finish(self) -> HistogramSnapshot {
+        adarnet_obs::histogram!("serve_e2e_ns")
+            .snapshot()
+            .since(&self.before)
+    }
+}
 
 /// Build a pool of `count` distinct LR fields of extent `h x w` from
 /// the dataset generators.
@@ -105,12 +139,14 @@ pub struct LoadReport {
     pub requests: usize,
     /// Requests per second over the whole run.
     pub throughput_rps: f64,
-    /// Median latency, milliseconds.
+    /// Median latency, milliseconds (server-side histogram window).
     pub p50_ms: f64,
     /// 95th-percentile latency, milliseconds.
     pub p95_ms: f64,
     /// 99th-percentile latency, milliseconds.
     pub p99_ms: f64,
+    /// Worst latency in the window, milliseconds.
+    pub max_ms: f64,
     /// Mean latency, milliseconds.
     pub mean_ms: f64,
     /// Decoded-patch cache hit rate over the server's lifetime so far.
@@ -124,33 +160,57 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Summarize a closed-loop run against the server's counters.
+    /// Summarize a closed-loop run against the server's counters and an
+    /// e2e-latency histogram `window` (see [`LatencyWindow`]).
+    /// Percentiles come from the window when it saw traffic; with the
+    /// obs layer disabled (empty window) they fall back to the client
+    /// observations so the report never silently zeroes out.
     pub fn from_run(
         mode: impl Into<String>,
         concurrency: usize,
         server: &Server,
         observations: &[Observation],
         elapsed: Duration,
+        window: &HistogramSnapshot,
     ) -> LoadReport {
-        let mut sorted: Vec<Duration> = observations.iter().map(|o| o.latency).collect();
-        sorted.sort();
-        let mean_ms = if sorted.is_empty() {
-            0.0
+        let (p50_ms, p95_ms, p99_ms, max_ms, mean_ms) = if window.count > 0 {
+            (
+                window.percentile(50.0) / 1e6,
+                window.percentile(95.0) / 1e6,
+                window.percentile(99.0) / 1e6,
+                window.max as f64 / 1e6,
+                window.mean() / 1e6,
+            )
         } else {
-            sorted.iter().map(|d| d.as_secs_f64()).sum::<f64>() / sorted.len() as f64 * 1e3
+            let mut sorted: Vec<Duration> = observations.iter().map(|o| o.latency).collect();
+            sorted.sort();
+            let mean_ms = if sorted.is_empty() {
+                0.0
+            } else {
+                sorted.iter().map(|d| d.as_secs_f64()).sum::<f64>() / sorted.len() as f64 * 1e3
+            };
+            (
+                percentile_ms(&sorted, 50.0),
+                percentile_ms(&sorted, 95.0),
+                percentile_ms(&sorted, 99.0),
+                sorted.last().map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0),
+                mean_ms,
+            )
         };
+        let stats = server.stats();
         LoadReport {
             mode: mode.into(),
             concurrency,
             requests: observations.len(),
             throughput_rps: observations.len() as f64 / elapsed.as_secs_f64().max(1e-9),
-            p50_ms: percentile_ms(&sorted, 50.0),
-            p95_ms: percentile_ms(&sorted, 95.0),
-            p99_ms: percentile_ms(&sorted, 99.0),
+            p50_ms,
+            p95_ms,
+            p99_ms,
+            max_ms,
             mean_ms,
             cache_hit_rate: server.cache().hit_rate(),
-            shed_queue_full: server.stats().shed_queue_full.load(Ordering::Relaxed),
-            shed_inference_error: server.stats().shed_inference_error.load(Ordering::Relaxed),
+            shed_queue_full: stats.shed_queue_full,
+            shed_inference_error: stats.shed_inference_error,
             degraded_seen: observations.iter().filter(|o| o.kind.is_degraded()).count() as u64,
         }
     }

@@ -15,7 +15,7 @@
 //! lint enforces it; the model checker in `crates/check` exercises the
 //! queue/cache/registry interleavings).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -68,29 +68,62 @@ struct Job {
     reply: Sender<ServeResponse>,
 }
 
-/// Monotone counters exposed by the server.
-#[derive(Default)]
+/// Point-in-time view of the server's monotone counters, taken by
+/// [`Server::stats`] behind an acquire fence. The per-server cells are
+/// the exact source of truth (the process-global obs registry mirrors
+/// them for fleet dashboards, but multiple servers in one process — the
+/// test suite, notably — share that registry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Fully served requests.
-    pub completed: AtomicU64,
+    pub completed: u64,
     /// Requests shed at submission (queue full).
-    pub shed_queue_full: AtomicU64,
+    pub shed_queue_full: u64,
     /// Requests degraded because inference errored.
-    pub shed_inference_error: AtomicU64,
+    pub shed_inference_error: u64,
     /// Decoder micro-batches dispatched.
-    pub batches: AtomicU64,
+    pub batches: u64,
     /// Requests carried by those batches (batches ≤ this; the ratio is
     /// the achieved batching factor).
-    pub batched_requests: AtomicU64,
+    pub batched_requests: u64,
     /// Replica rebuilds triggered by hot swaps.
-    pub replica_rebuilds: AtomicU64,
+    pub replica_rebuilds: u64,
 }
 
 impl ServeStats {
     /// Total degraded responses.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full.load(Ordering::Relaxed)
-            + self.shed_inference_error.load(Ordering::Relaxed)
+        self.shed_queue_full + self.shed_inference_error
+    }
+}
+
+/// Internal counter cells. Increments use `Release` so that a reader
+/// who synchronized with the incrementing thread (e.g. joined it in
+/// `shutdown()`, or received its reply on a channel) observes the
+/// count under the acquire fence in [`StatsCells::snapshot`] — plain
+/// `Relaxed` loads right after shutdown-drain could legally read stale
+/// values.
+#[derive(Default)]
+struct StatsCells {
+    completed: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_inference_error: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    replica_rebuilds: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> ServeStats {
+        fence(Ordering::Acquire);
+        ServeStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_inference_error: self.shed_inference_error.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            replica_rebuilds: self.replica_rebuilds.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -99,7 +132,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     registry: Arc<ModelRegistry>,
     cache: PatchCache,
-    stats: ServeStats,
+    stats: StatsCells,
     /// Normalization and model config captured at startup, so shed
     /// paths can still answer if the registry is ever unreadable.
     startup_norm: NormStats,
@@ -127,6 +160,10 @@ impl Server {
     /// Start the service on the registry's active model. Fails if no
     /// model has been activated or its checkpoint cannot restore.
     pub fn start(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> Result<Server, RegistryError> {
+        // Panic-hook dump + flight recorder live for the process's
+        // lifetime; installing here means any embedding binary gets
+        // crash forensics without its own obs::init() call.
+        adarnet_obs::init();
         // Build every worker's replica up front: a missing or corrupt
         // active model fails start() instead of panicking workers.
         let replicas: Vec<_> = (0..cfg.workers.max(1))
@@ -141,7 +178,7 @@ impl Server {
             queue: BoundedQueue::new(cfg.queue_capacity),
             cfg,
             registry,
-            stats: ServeStats::default(),
+            stats: StatsCells::default(),
             startup_norm,
             startup_cfg,
         });
@@ -174,7 +211,16 @@ impl Server {
         self.shared
             .stats
             .shed_queue_full
-            .fetch_add(1, Ordering::Relaxed);
+            .fetch_add(1, Ordering::Release);
+        adarnet_obs::counter!("serve_shed_queue_full_total").inc();
+        adarnet_obs::recorder().record(
+            adarnet_obs::EventKind::Shed,
+            "shed_queue_full",
+            "queue_depth",
+            self.shared.queue.len() as u64,
+            0,
+        );
+        let _ = adarnet_obs::dump("load_shed", false);
         let (norm, cfg) = self.shared.shed_params();
         let response = ServeResponse {
             prediction: degraded_prediction(&norm, cfg, &job.field),
@@ -182,6 +228,7 @@ impl Server {
             latency: job.submitted.elapsed(),
             generation: 0,
         };
+        record_e2e(&response);
         let _ = job.reply.send(response);
         rx
     }
@@ -198,21 +245,27 @@ impl Server {
                 self.shared
                     .stats
                     .shed_inference_error
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Release);
+                adarnet_obs::counter!("serve_shed_inference_error_total").inc();
+                adarnet_obs::mark("degraded_reply", "", 0);
                 let (norm, cfg) = self.shared.shed_params();
-                ServeResponse {
+                let response = ServeResponse {
                     prediction: degraded_prediction(&norm, cfg, &fallback),
                     kind: ResponseKind::ShedInferenceError,
                     latency: submitted.elapsed(),
                     generation: 0,
-                }
+                };
+                record_e2e(&response);
+                response
             }
         }
     }
 
-    /// Server counters.
-    pub fn stats(&self) -> &ServeStats {
-        &self.shared.stats
+    /// Acquire-fenced snapshot of the server counters. Reading after
+    /// [`Server::shutdown`] (which joins the workers) is guaranteed to
+    /// observe every increment the workers made.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
     }
 
     /// Decoded-patch cache (for hit/miss reporting).
@@ -226,11 +279,15 @@ impl Server {
     }
 
     /// Stop accepting work, drain the queue, and join the workers.
-    pub fn shutdown(mut self) {
+    /// Returns the final counter snapshot, which is exact: the joins
+    /// synchronize with every worker's `Release` increments, so the
+    /// acquire-fenced read cannot miss a count.
+    pub fn shutdown(mut self) -> ServeStats {
         self.shared.queue.shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.shared.stats.snapshot()
     }
 }
 
@@ -244,53 +301,87 @@ fn model_cfg(ckpt: &adarnet_core::checkpoint::ModelCheckpoint) -> AdarNetConfig 
     }
 }
 
+/// Record a response's end-to-end latency (submission → reply) into
+/// the `serve_e2e_ns` histogram every reply path shares.
+fn record_e2e(response: &ServeResponse) {
+    adarnet_obs::histogram!("serve_e2e_ns").record(response.latency.as_nanos() as u64);
+}
+
 fn worker_loop(
     shared: Arc<Shared>,
     mut generation: u64,
     mut engine: adarnet_core::engine::InferenceEngine,
 ) {
     loop {
-        let batch = match shared
-            .queue
-            .pop_batch(shared.cfg.max_batch, shared.cfg.max_linger)
-        {
-            Some(batch) => batch,
-            None => return, // shutdown and drained
+        // Batch assembly = blocking pop + linger window. The span
+        // includes idle waiting by design: under light load it reads as
+        // the arrival gap, under heavy load it collapses toward zero.
+        let batch = {
+            let _span = adarnet_obs::span!("serve_batch_assembly");
+            match shared
+                .queue
+                .pop_batch(shared.cfg.max_batch, shared.cfg.max_linger)
+            {
+                Some(batch) => batch,
+                None => return, // shutdown and drained
+            }
         };
+        let queue_wait = adarnet_obs::histogram!("serve_queue_wait_ns");
+        for job in &batch {
+            queue_wait.record(job.submitted.elapsed().as_nanos() as u64);
+        }
 
         // Hot swap: rebuild the replica when the registry moved on.
         let current = shared.registry.generation();
         if current != generation {
             if let Ok((gen, fresh)) = shared.registry.replica() {
+                adarnet_obs::recorder().record(
+                    adarnet_obs::EventKind::HotSwap,
+                    "replica_rebuild",
+                    "generation",
+                    gen,
+                    0,
+                );
+                let _ = adarnet_obs::dump("hot_swap", false);
                 generation = gen;
                 engine = fresh;
                 shared
                     .stats
                     .replica_rebuilds
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(1, Ordering::Release);
+                adarnet_obs::counter!("serve_replica_rebuilds_total").inc();
             }
         }
 
         let fields: Vec<Tensor<f32>> = batch.iter().map(|j| j.field.clone()).collect();
-        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared.stats.batches.fetch_add(1, Ordering::Release);
         shared
             .stats
             .batched_requests
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add(batch.len() as u64, Ordering::Release);
+        adarnet_obs::counter!("serve_batches_total").inc();
+        adarnet_obs::counter!("serve_batched_requests_total").add(batch.len() as u64);
 
-        match infer_cached(&engine, generation, &fields, &shared.cache) {
+        let inferred = {
+            let _span = adarnet_obs::span!("serve_infer", batch = batch.len());
+            infer_cached(&engine, generation, &fields, &shared.cache)
+        };
+        match inferred {
             Ok(predictions) => {
                 shared
                     .stats
                     .completed
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    .fetch_add(batch.len() as u64, Ordering::Release);
+                adarnet_obs::counter!("serve_completed_total").add(batch.len() as u64);
                 for (job, prediction) in batch.into_iter().zip(predictions) {
-                    let _ = job.reply.send(ServeResponse {
+                    let response = ServeResponse {
                         prediction,
                         kind: ResponseKind::Full,
                         latency: job.submitted.elapsed(),
                         generation,
-                    });
+                    };
+                    record_e2e(&response);
+                    let _ = job.reply.send(response);
                 }
             }
             Err(_) => {
@@ -298,16 +389,27 @@ fn worker_loop(
                 shared
                     .stats
                     .shed_inference_error
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    .fetch_add(batch.len() as u64, Ordering::Release);
+                adarnet_obs::counter!("serve_shed_inference_error_total").add(batch.len() as u64);
+                adarnet_obs::recorder().record(
+                    adarnet_obs::EventKind::Shed,
+                    "shed_inference_error",
+                    "batch",
+                    batch.len() as u64,
+                    0,
+                );
+                let _ = adarnet_obs::dump("load_shed", false);
                 let norm = *engine.norm();
                 let cfg = engine.config();
                 for job in batch {
-                    let _ = job.reply.send(ServeResponse {
+                    let response = ServeResponse {
                         prediction: degraded_prediction(&norm, cfg, &job.field),
                         kind: ResponseKind::ShedInferenceError,
                         latency: job.submitted.elapsed(),
                         generation,
-                    });
+                    };
+                    record_e2e(&response);
+                    let _ = job.reply.send(response);
                 }
             }
         }

@@ -1,0 +1,131 @@
+//! Observability acceptance tests: after real traffic the metrics
+//! snapshot must expose per-stage latency histograms and per-bin patch
+//! counters, and `Server::stats()` must be exact once `shutdown()` has
+//! joined the workers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adarnet_core::checkpoint::{self, ModelCheckpoint};
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_serve::{ModelRegistry, ResponseKind, ServeConfig, Server};
+use adarnet_tensor::{Shape, Tensor};
+
+fn sample(h: usize, w: usize, phase: f32) -> Tensor<f32> {
+    Tensor::from_vec(
+        Shape::d3(4, h, w),
+        (0..4 * h * w)
+            .map(|i| ((i as f32) * 0.017 + phase).sin())
+            .collect(),
+    )
+}
+
+fn ckpt(seed: u64) -> ModelCheckpoint {
+    let model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed,
+        ..AdarNetConfig::default()
+    });
+    checkpoint::snapshot(&model, &NormStats::identity())
+}
+
+fn registry_with(name: &str, seed: u64) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(name, ckpt(seed));
+    registry.activate(name).unwrap();
+    registry
+}
+
+/// Acceptance: the registry snapshot exposes per-stage latency
+/// histograms (scorer, ranker, decoder, batch assembly, e2e) with
+/// samples in them, plus per-bin patch counters, after serving traffic.
+#[test]
+fn snapshot_exposes_stage_histograms_and_bin_counters() {
+    let cfg = ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        max_linger: Duration::from_millis(1),
+        workers: 1,
+        cache_capacity: 1024,
+    };
+    let server = Server::start(cfg, registry_with("obs", 7)).unwrap();
+    for i in 0..6 {
+        let r = server.submit_wait(sample(16, 32, i as f32 * 0.3));
+        assert_eq!(r.kind, ResponseKind::Full);
+    }
+    server.shutdown();
+
+    let snap = adarnet_obs::registry().snapshot();
+    for name in [
+        "stage_scorer_ns",
+        "stage_ranker_ns",
+        "stage_decoder_ns",
+        "serve_batch_assembly_ns",
+        "serve_e2e_ns",
+    ] {
+        let h = snap
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram {name} must be registered"));
+        assert!(h.count > 0, "histogram {name} must have samples");
+        assert!(h.sum > 0, "histogram {name} durations must be nonzero");
+        assert!(
+            h.percentile(99.0) >= h.percentile(50.0),
+            "{name}: percentiles must be monotone"
+        );
+    }
+    let binned: u64 = (0..8)
+        .filter_map(|b| snap.counter(&format!("core_patches_bin{b}_total")))
+        .sum();
+    assert!(binned > 0, "per-bin patch counters must see traffic");
+
+    // The snapshot also round-trips through the text exposition.
+    let parsed = adarnet_obs::text::parse(&snap.render_text()).unwrap();
+    assert_eq!(
+        parsed.histogram("serve_e2e_ns").map(|h| h.count),
+        snap.histogram("serve_e2e_ns").map(|h| h.count)
+    );
+}
+
+/// Regression: `stats()` after `shutdown()` (which joins the workers)
+/// must be *exact* — every submitted request accounted for, no stale
+/// reads. The shed/completed counters are written with `Release` and
+/// read behind an `Acquire` fence, so the joined workers' final
+/// increments are all visible.
+#[test]
+fn stats_are_exact_after_shutdown_drain() {
+    let cfg = ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        max_linger: Duration::from_millis(1),
+        workers: 2,
+        cache_capacity: 1024,
+    };
+    let server = Server::start(cfg, registry_with("exact", 9)).unwrap();
+    let n = 12u64;
+    // Three distinct fields cycled: repeats hit the decoded-patch cache,
+    // keeping the drain fast even in debug builds.
+    let receivers: Vec<_> = (0..n)
+        .map(|i| server.submit(sample(16, 32, (i % 3) as f32 * 0.2)))
+        .collect();
+    let mut full = 0u64;
+    for rx in receivers {
+        if rx.recv_timeout(Duration::from_secs(120)).unwrap().kind == ResponseKind::Full {
+            full += 1;
+        }
+    }
+    let live = server.stats();
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.completed + stats.shed_total(),
+        n,
+        "every request must be counted exactly once after the drain"
+    );
+    assert_eq!(stats.completed, full);
+    assert_eq!(stats.batched_requests, stats.completed);
+    assert!(stats.batches > 0 && stats.batches <= stats.batched_requests);
+    // The pre-shutdown snapshot can never exceed the drained totals.
+    assert!(live.completed <= stats.completed);
+    assert!(live.shed_total() <= stats.shed_total());
+}

@@ -1,0 +1,99 @@
+//! Flight-recorder dump on load shed. Lives in its own integration
+//! test binary (= its own process) so the `ADARNET_OBS_DUMP`
+//! environment variable and the one-dump-per-second rate limit are not
+//! shared with any other test.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adarnet_core::checkpoint;
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_serve::{ModelRegistry, ServeConfig, Server};
+use adarnet_tensor::{Shape, Tensor};
+use serde::Value;
+
+fn field(phase: f32) -> Tensor<f32> {
+    Tensor::from_vec(
+        Shape::d3(4, 16, 32),
+        (0..4 * 16 * 32)
+            .map(|i| ((i as f32) * 0.017 + phase).sin())
+            .collect(),
+    )
+}
+
+fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(n, _)| n == key).map(|(_, v)| v)
+}
+
+/// Acceptance: overloading the queue makes the server dump the flight
+/// recorder, and the dump file is parseable JSON carrying shed events
+/// plus an embedded metrics snapshot.
+#[test]
+fn load_shed_dumps_parseable_flight_record() {
+    let dir = std::env::temp_dir().join(format!("adarnet-obs-shed-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump_path = dir.join("obs-dump.json");
+    std::env::set_var("ADARNET_OBS_DUMP", &dump_path);
+
+    let cfg = ServeConfig {
+        queue_capacity: 2,
+        max_batch: 2,
+        max_linger: Duration::from_millis(10),
+        workers: 1,
+        cache_capacity: 0,
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    let model = AdarNet::new(AdarNetConfig {
+        ph: 8,
+        pw: 8,
+        seed: 5,
+        ..AdarNetConfig::default()
+    });
+    registry.register("m", checkpoint::snapshot(&model, &NormStats::identity()));
+    registry.activate("m").unwrap();
+    let server = Server::start(cfg, registry).unwrap();
+
+    let receivers: Vec<_> = (0..24)
+        .map(|i| server.submit(field(i as f32 * 0.1)))
+        .collect();
+    for rx in receivers {
+        rx.recv_timeout(Duration::from_secs(60))
+            .expect("every request answered");
+    }
+    let stats = server.shutdown();
+    assert!(
+        stats.shed_queue_full > 0,
+        "burst over a capacity-2 queue must shed"
+    );
+
+    let text = std::fs::read_to_string(&dump_path)
+        .unwrap_or_else(|e| panic!("dump file {} must exist: {e}", dump_path.display()));
+    let doc = serde_json::parse_value(&text).expect("dump must be valid JSON");
+    let obj = doc.as_object().expect("dump is a JSON object");
+
+    assert_eq!(
+        get(obj, "reason").and_then(|v| v.as_str()),
+        Some("load_shed")
+    );
+    let events = get(obj, "events")
+        .and_then(|v| v.as_array())
+        .expect("events array");
+    let shed_events = events
+        .iter()
+        .filter(|e| {
+            e.as_object()
+                .and_then(|o| get(o, "kind"))
+                .and_then(|v| v.as_str())
+                == Some("shed")
+        })
+        .count();
+    assert!(shed_events > 0, "dump must carry shed events");
+    let metrics = get(obj, "metrics")
+        .and_then(|v| v.as_object())
+        .expect("embedded metrics snapshot");
+    assert!(get(metrics, "counters").is_some());
+    assert!(get(metrics, "histograms").is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -148,13 +148,7 @@ fn saturation_sheds_with_degraded_bin0_responses() {
         degraded > 0,
         "burst of {burst} over capacity {capacity} must shed"
     );
-    assert_eq!(
-        server
-            .stats()
-            .shed_queue_full
-            .load(std::sync::atomic::Ordering::Relaxed),
-        degraded as u64
-    );
+    assert_eq!(server.stats().shed_queue_full, degraded as u64);
     server.shutdown();
 }
 
@@ -193,13 +187,7 @@ fn registry_checkpoint_roundtrip_hot_swap_bitwise_identical() {
     registry.activate("a").unwrap();
     let after_swap = server.submit_wait(field.clone());
     assert_eq!(after_swap.generation, 2);
-    assert_eq!(
-        server
-            .stats()
-            .replica_rebuilds
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(server.stats().replica_rebuilds, 1);
 
     // The served result must be bitwise what model A computes directly.
     let mut direct = checkpoint::load_file(&path).map(|(m, _)| m).unwrap();

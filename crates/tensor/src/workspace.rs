@@ -114,12 +114,14 @@ pub fn take_scratch(len: usize) -> Vec<f32> {
     };
     match popped {
         Some(mut buf) => {
+            adarnet_obs::counter!("tensor_pool_hits_total").inc();
             debug_assert!(buf.capacity() >= len);
             buf.resize(len, 0.0);
             buf
         }
         None => {
             note_data_alloc();
+            adarnet_obs::counter!("tensor_pool_misses_total").inc();
             let mut buf = Vec::with_capacity(len.next_power_of_two());
             buf.resize(len, 0.0);
             buf

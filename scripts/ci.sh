@@ -38,6 +38,15 @@ else
   echo "    skipped (SKIP_SLOW=1): timing gate is meaningless on a loaded machine"
 fi
 
+echo "==> obs overhead gate"
+if [ "${SKIP_SLOW:-0}" != "1" ]; then
+  # Fails if instrumented infer_batch runs >3% slower than with the
+  # obs layer disabled (ADARNET_OBS_GATE_PCT overrides the budget).
+  cargo run --release -q -p adarnet-bench --bin obs_overhead -- --gate
+else
+  cargo run --release -q -p adarnet-bench --bin obs_overhead -- --smoke --gate
+fi
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
