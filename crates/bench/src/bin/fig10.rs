@@ -46,7 +46,7 @@ fn ascii_render(g: &Grid2<f64>, rows: usize, cols: usize) -> String {
 
 fn main() {
     let scale = Scale::from_env();
-    let mut trainer = trained_model(scale);
+    let trainer = trained_model(scale);
     let driver = AmrDriver {
         max_level: 3,
         theta: 0.5,
@@ -71,7 +71,7 @@ fn main() {
         drop(sample);
 
         let adarnet = run_adarnet_case(
-            &mut trainer.model,
+            &trainer.model,
             &trainer.norm,
             &case,
             &lr_field,

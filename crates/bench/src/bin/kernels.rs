@@ -1,8 +1,10 @@
 //! Convolution kernel throughput sweep over the paper's shapes.
 //!
-//! Benchmarks the three forward paths — direct (`conv2d_forward`),
-//! im2col + row GEMM (`conv2d_forward_gemm`), and the register-tiled,
-//! cache-blocked micro-kernel (`conv2d_forward_blocked`) — across the
+//! Benchmarks the four forward paths — direct (`conv2d_forward`),
+//! im2col + row GEMM (`conv2d_forward_gemm`), the register-tiled,
+//! cache-blocked micro-kernel (`conv2d_forward_blocked`), and the
+//! pre-packed-weights variant (`conv2d_forward_packed`, panels packed
+//! once outside the timed region as a frozen model would) — across the
 //! patch extents the decoder actually sees (16/32/64/128 per side:
 //! 16x16 patches refined to bins 0–3) and the decoder/scorer channel
 //! widths (8/16/64), plus the scorer's full 64x256 LR field.
@@ -34,7 +36,8 @@ use std::time::Instant;
 
 use adarnet_nn::he_normal;
 use adarnet_nn::kernels::{
-    conv2d_forward, conv2d_forward_blocked, conv2d_forward_gemm, GEMM_THRESHOLD,
+    conv2d_forward, conv2d_forward_blocked, conv2d_forward_gemm, conv2d_forward_packed,
+    pack_weight_panels, packed_panels_len, PackedPanels, GEMM_THRESHOLD,
 };
 use adarnet_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
@@ -57,10 +60,16 @@ struct ConfigResult {
     naive_secs: f64,
     gemm_secs: f64,
     blocked_secs: f64,
+    /// Pre-packed-weights path: panels packed once outside the timed
+    /// region, so this isolates the per-call packing overhead the
+    /// frozen model eliminates.
+    packed_secs: f64,
     /// Blocked-path throughput in GFLOP/s (2 * oc * k_len * o_len flops).
     blocked_gflops: f64,
     /// Speedup of the blocked path over the row-GEMM reference.
     blocked_vs_gemm: f64,
+    /// Speedup of the pre-packed path over per-call-packing blocked.
+    packed_vs_blocked: f64,
 }
 
 /// The committed benchmark artifact.
@@ -112,6 +121,21 @@ fn bench_config(label: &str, h: usize, w: usize, ch: usize, budget: f64) -> Conf
         black_box(conv2d_forward_blocked(black_box(&x), &wt, &b, 1)).recycle();
     });
 
+    // Pack once, outside the timed region — exactly what a frozen
+    // model does at construction — then time the packed forward alone.
+    let mut panels = vec![0.0f32; packed_panels_len(ch, k_len)];
+    pack_weight_panels(wt.as_slice(), ch, k_len, &mut panels);
+    let packed = PackedPanels {
+        data: &panels,
+        oc: ch,
+        ic: ch,
+        kh: 3,
+        kw: 3,
+    };
+    let packed_secs = time_secs(budget, || {
+        black_box(conv2d_forward_packed(black_box(&x), packed, &b, 1)).recycle();
+    });
+
     let flops = 2.0 * ch as f64 * k_len as f64 * o_len as f64;
     ConfigResult {
         label: label.to_string(),
@@ -122,8 +146,10 @@ fn bench_config(label: &str, h: usize, w: usize, ch: usize, budget: f64) -> Conf
         naive_secs,
         gemm_secs,
         blocked_secs,
+        packed_secs,
         blocked_gflops: flops / blocked_secs / 1e9,
         blocked_vs_gemm: gemm_secs / blocked_secs,
+        packed_vs_blocked: blocked_secs / packed_secs,
     }
 }
 
@@ -199,19 +225,29 @@ fn main() {
     let report = run_sweep(smoke);
 
     println!(
-        "{:<22} {:>8} {:>12} {:>12} {:>12} {:>10} {:>9}",
-        "config", "o_len", "naive s", "gemm s", "blocked s", "GFLOP/s", "vs gemm"
+        "{:<22} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>9} {:>10}",
+        "config",
+        "o_len",
+        "naive s",
+        "gemm s",
+        "blocked s",
+        "packed s",
+        "GFLOP/s",
+        "vs gemm",
+        "vs packed"
     );
     for c in &report.configs {
         println!(
-            "{:<22} {:>8} {:>12.3e} {:>12.3e} {:>12.3e} {:>10.2} {:>8.2}x",
+            "{:<22} {:>8} {:>12.3e} {:>12.3e} {:>12.3e} {:>12.3e} {:>10.2} {:>8.2}x {:>9.2}x",
             c.label,
             c.o_len,
             c.naive_secs,
             c.gemm_secs,
             c.blocked_secs,
+            c.packed_secs,
             c.blocked_gflops,
-            c.blocked_vs_gemm
+            c.blocked_vs_gemm,
+            c.packed_vs_blocked
         );
     }
 

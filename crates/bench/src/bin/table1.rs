@@ -18,7 +18,7 @@ use adarnet_dataset::TestCase;
 
 fn main() {
     let scale = Scale::from_env();
-    let mut trainer = trained_model(scale);
+    let trainer = trained_model(scale);
     let mut solver_cfg = scale.solver_cfg();
     // Shared cap for every solve on both sides; ratios stay meaningful.
     solver_cfg.max_iters = solver_cfg.max_iters.min(2000);
@@ -48,7 +48,7 @@ fn main() {
 
         // --- ADARNet one-shot pipeline. ---
         let adarnet = run_adarnet_case(
-            &mut trainer.model,
+            &trainer.model,
             &trainer.norm,
             &case,
             &lr_field,

@@ -23,7 +23,7 @@ const GB: f64 = 1024.0 * 1024.0 * 1024.0;
 
 fn main() {
     let scale = Scale::from_env();
-    let mut trainer = trained_model(scale);
+    let trainer = trained_model(scale);
     let mut solver_cfg = scale.solver_cfg();
     // Both pipelines share one cap; SURFNet's uniform max-level solve is
     // the expensive side, which is exactly the point of the comparison.
@@ -47,7 +47,7 @@ fn main() {
 
         // --- ADARNet: one-shot non-uniform SR + physics solve. ---
         let adarnet = run_adarnet_case(
-            &mut trainer.model,
+            &trainer.model,
             &trainer.norm,
             &case,
             &sample.field,

@@ -16,16 +16,21 @@
 //!   activation count, the published active model is always a
 //!   `(generation, name)` pair the model predicts, and the active
 //!   checkpoint's weights are always *uniform* — a mixed-constant
-//!   tensor would mean a torn (half-swapped) checkpoint;
+//!   tensor would mean a torn (half-swapped) checkpoint; the shared
+//!   frozen engine additionally satisfies one-`Arc`-per-generation
+//!   identity, and an engine held across a hot swap (an in-flight
+//!   batch) keeps the *old* generation's weights bit-for-bit;
 //! * **recorder** — the obs flight recorder's two-phase
 //!   `reserve()`/`commit()` ring matches its order-independent fixed
 //!   point (per slot, the highest-seq committed event) under every
 //!   interleaving of reserves and laggard commits, and never loses a
 //!   committed event from the most recent `capacity` sequence numbers.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use adarnet_core::checkpoint::{ModelCheckpoint, CHECKPOINT_VERSION};
+use adarnet_core::engine::InferenceEngine;
 use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNet, AdarNetConfig};
 use adarnet_serve::{BoundedQueue, ModelRegistry, PatchCache, PatchKey, PushOutcome};
@@ -462,6 +467,17 @@ pub enum RegistryOp {
     ReadActive,
     /// `replica()` — skipped before any activation.
     Replica,
+    /// `shared()` — the fetched engine's generation must be the spec's
+    /// current one, its weights untorn, and repeated fetches at one
+    /// generation must return the *same* `Arc` (one resident engine per
+    /// generation). The thread retains the `Arc` as its in-flight
+    /// engine.
+    Shared,
+    /// Re-check the thread's retained shared engine: its weights must
+    /// still be the untorn weights of the generation it was fetched at,
+    /// even after later activations — an in-flight batch completes on
+    /// the old generation. No-op if the thread holds nothing yet.
+    UseHeld,
 }
 
 /// One name's constant-filled `(scorer, decoder)` weight set.
@@ -540,6 +556,12 @@ impl RegistryScenario {
 pub struct RegistryState {
     real: ModelRegistry,
     model: RegistryModel,
+    /// Per-thread in-flight shared engine: `(generation, active name at
+    /// fetch time, engine)`.
+    held: Vec<Option<(u64, String, Arc<InferenceEngine>)>>,
+    /// The most recent `shared()` result, for one-Arc-per-generation
+    /// identity checks.
+    last_shared: Option<(u64, Arc<InferenceEngine>)>,
 }
 
 /// All weights uniformly equal to `c` — anything else is a torn swap.
@@ -569,6 +591,8 @@ impl Scenario for RegistryScenario {
         RegistryState {
             real,
             model: RegistryModel::new(),
+            held: vec![None; self.scripts.len()],
+            last_shared: None,
         }
     }
 
@@ -648,6 +672,59 @@ impl Scenario for RegistryScenario {
                     return Err("replica restored with wrong patch geometry".into());
                 }
             }
+            RegistryOp::Shared => {
+                if state.model.active.is_none() {
+                    if state.real.shared().is_ok() {
+                        return Err("shared succeeded with no active model".into());
+                    }
+                    return Ok(());
+                }
+                let (generation, engine) = state
+                    .real
+                    .shared()
+                    .map_err(|e| format!("shared failed with an active model: {e}"))?;
+                let Some((model_generation, model_name)) = state.model.active.clone() else {
+                    return Err("spec lost its active model".into());
+                };
+                if generation != model_generation {
+                    return Err(format!(
+                        "shared generation {generation} but spec says {model_generation}"
+                    ));
+                }
+                let Some(c) = self.constant_of(&model_name) else {
+                    return Err(format!("active name {model_name:?} never registered"));
+                };
+                if !is_uniform(&engine.checkpoint(), c) {
+                    return Err(format!(
+                        "torn shared engine: generation {generation} ({model_name:?}) has \
+                         non-uniform weights (expected all {c})"
+                    ));
+                }
+                if let Some((last_generation, last_engine)) = &state.last_shared {
+                    if *last_generation == generation && !Arc::ptr_eq(last_engine, &engine) {
+                        return Err(format!(
+                            "two shared() calls at generation {generation} returned distinct \
+                             engines (weights must be resident once per generation)"
+                        ));
+                    }
+                }
+                state.last_shared = Some((generation, engine.clone()));
+                state.held[thread] = Some((generation, model_name, engine));
+            }
+            RegistryOp::UseHeld => {
+                let Some((generation, name, engine)) = &state.held[thread] else {
+                    return Ok(());
+                };
+                let Some(c) = self.constant_of(name) else {
+                    return Err(format!("held name {name:?} never registered"));
+                };
+                if !is_uniform(&engine.checkpoint(), c) {
+                    return Err(format!(
+                        "in-flight engine from generation {generation} lost its weights \
+                         after a hot swap (expected all {c})"
+                    ));
+                }
+            }
         }
         if state.real.generation() != state.model.generation {
             return Err(format!(
@@ -707,6 +784,38 @@ pub fn registry_suite(budget: Budget) -> ExploreResult {
         Budget::Small => 100,
     };
     result.merge(explore_random(&churn, trials, 0x9E6));
+
+    // Hot swap under shared engines: a swapper races two "workers" that
+    // fetch the shared engine and then keep using it — every
+    // interleaving of fetch vs. activate vs. in-flight use (210
+    // exhaustively). The `UseHeld` steps after an `Activate` are the
+    // in-flight-batch-completes-on-old-generation guarantee.
+    let hot_swap = RegistryScenario::new(
+        &["a", "b"],
+        vec![
+            vec![Activate(0), Activate(1)],
+            vec![Shared, UseHeld, Shared],
+            vec![Shared, UseHeld],
+        ],
+    );
+    result.merge(explore_exhaustive(&hot_swap));
+
+    // Longer random-schedule churn mixing swaps, shared fetches, and
+    // in-flight re-use across three worker threads.
+    let shared_churn = RegistryScenario::new(
+        &["a", "b", "c"],
+        vec![
+            vec![Activate(0), Activate(1), Activate(2), Activate(0)],
+            vec![Shared, UseHeld, Shared, UseHeld],
+            vec![Shared, UseHeld, UseHeld, Shared],
+            vec![ReadActive, Shared, UseHeld, ReadActive],
+        ],
+    );
+    let shared_trials = match budget {
+        Budget::Full => 1500,
+        Budget::Small => 80,
+    };
+    result.merge(explore_random(&shared_churn, shared_trials, 0x5A4ED));
     result
 }
 

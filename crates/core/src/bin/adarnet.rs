@@ -197,7 +197,7 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
 }
 
 fn cmd_run_case(opts: &Flags) -> Result<(), String> {
-    let (mut model, norm) = load_model(opts)?;
+    let (model, norm) = load_model(opts)?;
     let case_name = get_req(opts, "case")?;
     let re = get_num(opts, "re", default_re(case_name))?;
     let mut case = case_by_name(case_name, re)?;
@@ -213,7 +213,7 @@ fn cmd_run_case(opts: &Flags) -> Result<(), String> {
         ..SolverConfig::default()
     };
     let report = run_adarnet_case(
-        &mut model,
+        &model,
         &norm,
         &case,
         &lr,

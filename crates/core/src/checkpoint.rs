@@ -14,7 +14,7 @@ use crate::loss::NormStats;
 use crate::network::{AdarNet, AdarNetConfig};
 
 /// On-disk representation of a trained model.
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct ModelCheckpoint {
     /// Format version (bumped on layout changes).
     pub version: u32,

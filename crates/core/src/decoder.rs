@@ -8,7 +8,7 @@
 //! target resolutions** (the paper's weight-sharing design choice): every
 //! bin's batch, including the LR bin, passes through the same weights.
 
-use adarnet_nn::{Activation, Conv2d, ConvTranspose2d, Initializer, Sequential};
+use adarnet_nn::{Activation, Conv2d, ConvTranspose2d, FrozenSequential, Initializer, Sequential};
 use adarnet_tensor::Tensor;
 
 /// The shared decoder: input `(N, in_channels, h, w)` -> `(N, 4, h, w)`.
@@ -88,6 +88,16 @@ impl Decoder {
         self.net.forward_infer(x)
     }
 
+    /// Freeze into an immutable, `Sync` [`FrozenDecoder`] — bitwise the
+    /// same forward as [`Decoder::forward_infer`], with the deconv
+    /// flip-transpose and GEMM panel packing done once, here.
+    pub fn freeze(&self) -> FrozenDecoder {
+        FrozenDecoder {
+            net: self.net.freeze(),
+            in_channels: self.in_channels,
+        }
+    }
+
     /// Backward a per-bin batch gradient; accumulates parameter gradients
     /// and returns dL/dinput.
     pub fn backward(&mut self, grad_out: &Tensor<f32>) -> Tensor<f32> {
@@ -128,10 +138,60 @@ impl Decoder {
     }
 }
 
+/// The decoder's frozen twin: one weight copy, any number of threads.
+/// Produced by [`Decoder::freeze`]; every bin's batch still passes
+/// through the same shared weights (the paper's weight-sharing design),
+/// now concurrently.
+pub struct FrozenDecoder {
+    net: FrozenSequential,
+    in_channels: usize,
+}
+
+impl FrozenDecoder {
+    /// Expected input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Inference forward of a per-bin batch; pool-backed output.
+    pub fn forward(&self, x: &Tensor<f32>) -> Tensor<f32> {
+        assert_eq!(
+            x.dim(1),
+            self.in_channels,
+            "decoder expects {} channels, got {}",
+            self.in_channels,
+            x.dim(1)
+        );
+        self.net.infer(x)
+    }
+
+    /// Resident frozen-weight bytes across the 6 conv/deconv layers.
+    pub fn weight_bytes(&self) -> usize {
+        self.net.weight_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use adarnet_tensor::Shape;
+
+    #[test]
+    fn frozen_decoder_matches_forward_infer_bitwise() {
+        let mut d = Decoder::new(7, 5);
+        let frozen = d.freeze();
+        assert_eq!(frozen.in_channels(), 7);
+        assert!(frozen.weight_bytes() > 0);
+        for (h, w) in [(8, 8), (16, 16), (32, 32)] {
+            let x = Tensor::from_vec(
+                Shape::d4(2, 7, h, w),
+                (0..2 * 7 * h * w)
+                    .map(|i| (i as f32 * 0.013).sin())
+                    .collect(),
+            );
+            assert_eq!(frozen.forward(&x), d.forward_infer(&x), "{h}x{w}");
+        }
+    }
 
     #[test]
     fn preserves_spatial_extent_across_resolutions() {

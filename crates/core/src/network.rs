@@ -8,10 +8,11 @@
 use adarnet_amr::{PatchLayout, RefinementMap};
 use adarnet_nn::bicubic_resize3;
 use adarnet_tensor::{Shape, Tensor};
+use rayon::prelude::*;
 
-use crate::decoder::Decoder;
+use crate::decoder::{Decoder, FrozenDecoder};
 use crate::ranker::{Binning, Ranker, RankerError};
-use crate::scorer::Scorer;
+use crate::scorer::{FrozenScorer, Scorer};
 
 /// Static configuration of the DNN.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +66,48 @@ pub struct ForwardPlan {
     pub binning: Binning,
 }
 
+impl ForwardPlan {
+    /// Build the decoder input for one patch: extract the augmented patch,
+    /// bicubically refine it to the bin's target resolution, and append
+    /// the two global-coordinate channels. Uses only plan state, so
+    /// per-patch inputs can be assembled concurrently from any thread.
+    pub fn decoder_input(&self, patch_idx: usize) -> Tensor<f32> {
+        let layout = self.layout;
+        let (py, px) = layout.coords(patch_idx);
+        let level = self.binning.level_of(patch_idx);
+        let raw =
+            self.aug
+                .pooled_extract_patch(py * layout.ph, px * layout.pw, layout.ph, layout.pw);
+        let (th, tw) = layout.patch_extent(level);
+        let refined = if level == 0 {
+            raw
+        } else {
+            let r = bicubic_resize3(&raw, th, tw);
+            raw.recycle();
+            r
+        };
+        let c_aug = refined.dim(0);
+        // Pooled scratch: the refined channels are copied in below and the
+        // two coordinate channels are fully written by the loops.
+        let mut with_coords = Tensor::<f32>::pooled_scratch(Shape::d3(c_aug + 2, th, tw));
+        with_coords.as_mut_slice()[..c_aug * th * tw].copy_from_slice(refined.as_slice());
+        refined.recycle();
+        // Global normalized coordinates of each pixel center.
+        let fh = (layout.coarse_h()) as f32;
+        let fw = (layout.coarse_w()) as f32;
+        let scale = (1usize << level) as f32;
+        for i in 0..th {
+            let ycoord = (py as f32 * layout.ph as f32 + (i as f32 + 0.5) / scale) / fh;
+            for j in 0..tw {
+                let xcoord = (px as f32 * layout.pw as f32 + (j as f32 + 0.5) / scale) / fw;
+                with_coords.set3(c_aug, i, j, xcoord);
+                with_coords.set3(c_aug + 1, i, j, ycoord);
+            }
+        }
+        with_coords
+    }
+}
+
 /// The network's non-uniform prediction for one sample.
 #[derive(Clone)]
 pub struct Prediction {
@@ -93,6 +136,20 @@ impl AdarNet {
     /// Decoder input channel count (`C + latent + 2 coords`).
     pub fn decoder_channels(&self) -> usize {
         self.cfg.in_channels + 3
+    }
+
+    /// Freeze into the immutable, `Sync` [`FrozenAdarNet`]: scorer and
+    /// decoder weights are packed once (GEMM A-panels, the deconv
+    /// flip-transpose), the `Copy` ranker is copied, and every
+    /// inference entry point becomes `&self`. Predictions are
+    /// bitwise-identical to [`AdarNet::try_predict`].
+    pub fn freeze(&self) -> FrozenAdarNet {
+        FrozenAdarNet {
+            cfg: self.cfg,
+            scorer: self.scorer.freeze(),
+            ranker: self.ranker,
+            decoder: self.decoder.freeze(),
+        }
     }
 
     /// Run the scorer and ranker on one `(C, H, W)` sample.
@@ -156,43 +213,11 @@ impl AdarNet {
         })
     }
 
-    /// Build the decoder input for one patch: extract the augmented patch,
-    /// bicubically refine it to the bin's target resolution, and append
-    /// the two global-coordinate channels.
+    /// Build the decoder input for one patch (see
+    /// [`ForwardPlan::decoder_input`]; kept as a method here for
+    /// API continuity).
     pub fn decoder_input(&self, plan: &ForwardPlan, patch_idx: usize) -> Tensor<f32> {
-        let layout = plan.layout;
-        let (py, px) = layout.coords(patch_idx);
-        let level = plan.binning.level_of(patch_idx);
-        let raw =
-            plan.aug
-                .pooled_extract_patch(py * layout.ph, px * layout.pw, layout.ph, layout.pw);
-        let (th, tw) = layout.patch_extent(level);
-        let refined = if level == 0 {
-            raw
-        } else {
-            let r = bicubic_resize3(&raw, th, tw);
-            raw.recycle();
-            r
-        };
-        let c_aug = refined.dim(0);
-        // Pooled scratch: the refined channels are copied in below and the
-        // two coordinate channels are fully written by the loops.
-        let mut with_coords = Tensor::<f32>::pooled_scratch(Shape::d3(c_aug + 2, th, tw));
-        with_coords.as_mut_slice()[..c_aug * th * tw].copy_from_slice(refined.as_slice());
-        refined.recycle();
-        // Global normalized coordinates of each pixel center.
-        let fh = (layout.coarse_h()) as f32;
-        let fw = (layout.coarse_w()) as f32;
-        let scale = (1usize << level) as f32;
-        for i in 0..th {
-            let ycoord = (py as f32 * layout.ph as f32 + (i as f32 + 0.5) / scale) / fh;
-            for j in 0..tw {
-                let xcoord = (px as f32 * layout.pw as f32 + (j as f32 + 0.5) / scale) / fw;
-                with_coords.set3(c_aug, i, j, xcoord);
-                with_coords.set3(c_aug + 1, i, j, ycoord);
-            }
-        }
-        with_coords
+        plan.decoder_input(patch_idx)
     }
 
     /// Full inference: scorer → ranker → per-bin decoder batches →
@@ -322,6 +347,220 @@ impl AdarNet {
             out.recycle();
         }
 
+        Ok(plans
+            .into_iter()
+            .zip(outputs)
+            .map(|(plan, patches)| {
+                let ForwardPlan {
+                    layout,
+                    scores,
+                    aug,
+                    binning,
+                } = plan;
+                aug.recycle();
+                Prediction {
+                    layout,
+                    binning,
+                    patches: patches
+                        .into_iter()
+                        .map(|p| p.expect("per-bin loops fill every patch"))
+                        .collect(),
+                    scores,
+                }
+            })
+            .collect())
+    }
+}
+
+/// The frozen, `Sync` inference twin of [`AdarNet`], produced by
+/// [`AdarNet::freeze`].
+///
+/// One weight copy — scorer and decoder GEMM A-panels pre-packed, the
+/// deconv flip-transpose applied once — serves any number of threads:
+/// every entry point is `&self`, activations come from the thread-local
+/// workspace pool, and independent `(sample, bin)` decode batches run
+/// rayon-parallel. Outputs are bitwise-identical to the mutable model's
+/// inference path (`try_predict` / `try_predict_batch`): each bin's
+/// decoder output is per-item independent of batch composition (pinned
+/// by `predict_batch_matches_per_sample_predict`), so re-cutting the
+/// batches along `(sample, bin)` changes nothing but wall-clock.
+pub struct FrozenAdarNet {
+    cfg: AdarNetConfig,
+    scorer: FrozenScorer,
+    ranker: Ranker,
+    decoder: FrozenDecoder,
+}
+
+/// Output of one `(sample, bin)` decode work item: `(patch_idx, patch)`
+/// pairs for every patch the ranker placed in that bin.
+type DecodedBin = Vec<(usize, Tensor<f32>)>;
+
+impl FrozenAdarNet {
+    /// Model configuration.
+    pub fn cfg(&self) -> &AdarNetConfig {
+        &self.cfg
+    }
+
+    /// Decoder input channel count (`C + latent + 2 coords`).
+    pub fn decoder_channels(&self) -> usize {
+        self.cfg.in_channels + 3
+    }
+
+    /// Resident frozen-weight bytes (scorer + decoder, packed panels
+    /// included). The serving gauge `engine_weight_bytes` reports this.
+    pub fn weight_bytes(&self) -> usize {
+        self.scorer.weight_bytes() + self.decoder.weight_bytes()
+    }
+
+    /// The shared frozen decoder, for callers that compose their own
+    /// decoder batches (e.g. cache-aware serving, which decodes only
+    /// cache misses).
+    pub fn decoder(&self) -> &FrozenDecoder {
+        &self.decoder
+    }
+
+    /// Run the scorer and ranker on one `(C, H, W)` sample — the
+    /// `&self` twin of [`AdarNet::try_plan_infer`], same spans, same
+    /// pooled tensors, same values.
+    pub fn try_plan(&self, x: &Tensor<f32>) -> Result<ForwardPlan, RankerError> {
+        assert_eq!(x.shape().rank(), 3, "plan expects a (C, H, W) sample");
+        assert_eq!(x.dim(0), self.cfg.in_channels, "channel count mismatch");
+        let (c, h, w) = (x.dim(0), x.dim(1), x.dim(2));
+        let layout = PatchLayout::for_field(h, w, self.cfg.ph, self.cfg.pw);
+        let x4 = x.pooled_copy().reshape(Shape::d4(1, c, h, w));
+        let out = {
+            let _span = adarnet_obs::span!("stage_scorer");
+            self.scorer.forward(&x4)
+        };
+        x4.recycle();
+        let binning = {
+            let _span = adarnet_obs::span!("stage_ranker");
+            self.ranker.try_bin_tensor(&out.scores)?
+        };
+        crate::observe::note_bin_groups(&binning.groups);
+
+        // Augment: append the latent channel to the input field. Every
+        // element is overwritten, so pooled scratch contents are fine.
+        let mut aug = Tensor::<f32>::pooled_scratch(Shape::d3(c + 1, h, w));
+        aug.as_mut_slice()[..c * h * w].copy_from_slice(x.as_slice());
+        aug.as_mut_slice()[c * h * w..].copy_from_slice(out.latent.as_slice());
+        out.latent.recycle();
+
+        Ok(ForwardPlan {
+            layout,
+            scores: out.scores,
+            aug,
+            binning,
+        })
+    }
+
+    /// Decode one bin of one plan: assemble the decoder batch from the
+    /// plan's augmented field, run the shared frozen decoder, and split
+    /// the output back into `(patch_idx, patch)` pairs. One call is one
+    /// parallel work item.
+    fn decode_bin(&self, plan: &ForwardPlan, group: &[usize], bin: u8) -> DecodedBin {
+        let inputs: Vec<Tensor<f32>> = group.iter().map(|&i| plan.decoder_input(i)).collect();
+        let batch = Tensor::pooled_stack(&inputs);
+        for dec_in in inputs {
+            dec_in.recycle();
+        }
+        let out = {
+            let _span = adarnet_obs::span!("stage_decoder", bin = bin);
+            self.decoder.forward(&batch)
+        };
+        batch.recycle();
+        adarnet_obs::counter!("core_decode_tasks_total").inc();
+        adarnet_obs::counter!("core_decode_patches_total").add(group.len() as u64);
+        let split = group
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (i, out.pooled_image(k)))
+            .collect();
+        out.recycle();
+        split
+    }
+
+    /// Full `&self` inference for one sample. Non-empty bins decode as
+    /// parallel work items; each bin's batch has the same composition as
+    /// the sequential loop in [`AdarNet::try_predict`], so the
+    /// prediction is bitwise-identical.
+    pub fn try_predict(&self, x: &Tensor<f32>) -> Result<Prediction, RankerError> {
+        let plan = self.try_plan(x)?;
+        let n_patches = plan.layout.num_patches();
+        let bins: Vec<u8> = (0..self.cfg.bins)
+            .filter(|&bin| !plan.binning.groups[bin as usize].is_empty())
+            .collect();
+        let decoded: Vec<Vec<(usize, Tensor<f32>)>> = bins
+            .par_iter()
+            .map(|&bin| self.decode_bin(&plan, &plan.binning.groups[bin as usize], bin))
+            .collect();
+        let mut patches: Vec<Option<Tensor<f32>>> = (0..n_patches).map(|_| None).collect();
+        for (i, p) in decoded.into_iter().flatten() {
+            patches[i] = Some(p);
+        }
+        let ForwardPlan {
+            layout,
+            scores,
+            aug,
+            binning,
+        } = plan;
+        aug.recycle();
+        Ok(Prediction {
+            layout,
+            binning,
+            patches: patches
+                .into_iter()
+                .map(|p| p.expect("per-bin loops fill every patch"))
+                .collect(),
+            scores,
+        })
+    }
+
+    /// Batched `&self` inference: samples plan in parallel, then every
+    /// `(sample, bin)` pair with a non-empty group decodes as an
+    /// independent parallel work item. Splitting the mutable path's
+    /// all-samples-per-bin batches along samples leaves each patch
+    /// bitwise unchanged (decoder outputs are per-item independent of
+    /// batch composition).
+    pub fn try_predict_batch(
+        &self,
+        samples: &[Tensor<f32>],
+    ) -> Result<Vec<Prediction>, RankerError> {
+        if samples.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plans: Vec<ForwardPlan> = samples
+            .par_iter()
+            .map(|x| self.try_plan(x))
+            .collect::<Result<_, _>>()?;
+        let n_patches = plans[0].layout.num_patches();
+        let mut work: Vec<(usize, u8)> = Vec::new();
+        for (si, plan) in plans.iter().enumerate() {
+            for bin in 0..self.cfg.bins {
+                if !plan.binning.groups[bin as usize].is_empty() {
+                    work.push((si, bin));
+                }
+            }
+        }
+        let decoded: Vec<(usize, DecodedBin)> = work
+            .into_par_iter()
+            .map(|(si, bin)| {
+                let plan = &plans[si];
+                (
+                    si,
+                    self.decode_bin(plan, &plan.binning.groups[bin as usize], bin),
+                )
+            })
+            .collect();
+        let mut outputs: Vec<Vec<Option<Tensor<f32>>>> = plans
+            .iter()
+            .map(|_| (0..n_patches).map(|_| None).collect())
+            .collect();
+        for (si, items) in decoded {
+            for (pi, p) in items {
+                outputs[si][pi] = Some(p);
+            }
+        }
         Ok(plans
             .into_iter()
             .zip(outputs)
@@ -498,6 +737,67 @@ mod tests {
         }
         for (x, y) in batch[1].patches.iter().zip(&pb.patches) {
             assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn frozen_predict_is_bitwise_identical() {
+        let mut m = tiny_model();
+        let frozen = m.freeze();
+        let x = sample(16, 32);
+        let p_mut = m.predict(&x);
+        let p_frozen = frozen.try_predict(&x).unwrap();
+        assert_eq!(p_frozen.binning.bin_of_patch, p_mut.binning.bin_of_patch);
+        assert_eq!(p_frozen.scores, p_mut.scores);
+        assert_eq!(p_frozen.patches.len(), p_mut.patches.len());
+        for (a, b) in p_frozen.patches.iter().zip(&p_mut.patches) {
+            assert_eq!(a, b);
+        }
+        assert!(frozen.weight_bytes() > 0);
+    }
+
+    #[test]
+    fn frozen_predict_batch_matches_sequential_batch() {
+        let mut m = tiny_model();
+        let frozen = m.freeze();
+        let a = sample(16, 32);
+        let b = {
+            let mut t = sample(16, 32);
+            t.map_inplace(|v| v * 0.5 - 0.2);
+            t
+        };
+        let seq = m.predict_batch(&[a.clone(), b.clone()]);
+        let par = frozen.try_predict_batch(&[a, b]).unwrap();
+        assert_eq!(par.len(), 2);
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.binning.bin_of_patch, p.binning.bin_of_patch);
+            for (x, y) in s.patches.iter().zip(&p.patches) {
+                assert_eq!(x, y);
+            }
+        }
+        assert!(frozen.try_predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn frozen_model_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let mut m = tiny_model();
+        let frozen = Arc::new(m.freeze());
+        let x = sample(16, 32);
+        let want = m.predict(&x);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&frozen);
+                let xs = x.clone();
+                std::thread::spawn(move || f.try_predict(&xs).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().unwrap();
+            assert_eq!(got.binning.bin_of_patch, want.binning.bin_of_patch);
+            for (a, b) in got.patches.iter().zip(&want.patches) {
+                assert_eq!(a, b);
+            }
         }
     }
 

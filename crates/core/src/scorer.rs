@@ -12,7 +12,9 @@
 //! channel, which is concatenated to every patch before the decoder
 //! (Figure 3) — gradient arrives via [`Scorer::backward_latent`].
 
-use adarnet_nn::{Activation, AvgPool2d, Conv2d, Initializer, Layer, MaxPool2d, SpatialSoftmax};
+use adarnet_nn::{
+    Activation, AvgPool2d, Conv2d, InferLayer, Initializer, Layer, MaxPool2d, SpatialSoftmax,
+};
 use adarnet_tensor::Tensor;
 
 /// Which pooling collapses the latent image into per-patch scores.
@@ -166,6 +168,27 @@ impl Scorer {
         ScorerOutput { scores, latent }
     }
 
+    /// Freeze the scorer into an immutable, `Sync` [`FrozenScorer`]
+    /// whose forward pass is bitwise-identical to
+    /// [`Scorer::forward_infer`]: conv weights pre-packed for the
+    /// blocked GEMM, no backprop caches, `&self` end to end.
+    pub fn freeze(&self) -> FrozenScorer {
+        FrozenScorer {
+            conv1: self.conv1.freeze(),
+            act1: self.act1.freeze(),
+            conv2: self.conv2.freeze(),
+            act2: self.act2.freeze(),
+            conv3: self.conv3.freeze(),
+            act3: self.act3.freeze(),
+            conv4: self.conv4.freeze(),
+            pool: match &self.pool {
+                ScorerPool::Max(l) => l.freeze(),
+                ScorerPool::Avg(l) => l.freeze(),
+            },
+            softmax: self.softmax.freeze(),
+        }
+    }
+
     /// Backward pass for the gradient arriving at the **latent** output
     /// (the differentiable path through the decoder; gradients on the
     /// binning decision itself are cut by the discrete ranker).
@@ -263,6 +286,54 @@ impl Scorer {
     }
 }
 
+/// The scorer's frozen, share-everything twin: same layer chain over
+/// [`InferLayer`]s, `&self` forward, `Sync`. Produced by
+/// [`Scorer::freeze`].
+pub struct FrozenScorer {
+    conv1: Box<dyn InferLayer>,
+    act1: Box<dyn InferLayer>,
+    conv2: Box<dyn InferLayer>,
+    act2: Box<dyn InferLayer>,
+    conv3: Box<dyn InferLayer>,
+    act3: Box<dyn InferLayer>,
+    conv4: Box<dyn InferLayer>,
+    pool: Box<dyn InferLayer>,
+    softmax: Box<dyn InferLayer>,
+}
+
+impl FrozenScorer {
+    /// Inference forward: the exact op/recycle chain of
+    /// [`Scorer::forward_infer`], over frozen weights.
+    pub fn forward(&self, x: &Tensor<f32>) -> ScorerOutput {
+        let c1 = self.conv1.infer(x);
+        let h1 = self.act1.infer(&c1);
+        c1.recycle();
+        let c2 = self.conv2.infer(&h1);
+        h1.recycle();
+        let h2 = self.act2.infer(&c2);
+        c2.recycle();
+        let c3 = self.conv3.infer(&h2);
+        h2.recycle();
+        let h3 = self.act3.infer(&c3);
+        c3.recycle();
+        let latent = self.conv4.infer(&h3);
+        h3.recycle();
+        let pooled = self.pool.infer(&latent);
+        let scores = self.softmax.infer(&pooled);
+        pooled.recycle();
+        ScorerOutput { scores, latent }
+    }
+
+    /// Resident frozen-weight bytes (the four convs' tensors + packed
+    /// panels; pool/softmax/activations are weightless).
+    pub fn weight_bytes(&self) -> usize {
+        [&self.conv1, &self.conv2, &self.conv3, &self.conv4]
+            .iter()
+            .map(|l| l.weight_bytes())
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +409,33 @@ mod tests {
         let dl = Tensor::zeros(sa.latent.shape().clone());
         let dx = avg.backward(&dl, Some(&ds));
         assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn frozen_scorer_is_bitwise_identical_and_shareable() {
+        for pooling in [PoolKind::Max, PoolKind::Avg] {
+            let mut s = Scorer::with_pooling(4, 8, 8, 11, pooling);
+            let frozen = s.freeze();
+            assert!(frozen.weight_bytes() > 0);
+            let x = input(2, 16, 32);
+            let live = s.forward_infer(&x);
+            let cold = frozen.forward(&x);
+            assert_eq!(live.scores, cold.scores);
+            assert_eq!(live.latent, cold.latent);
+            // &self + Sync: concurrent forwards over one frozen instance
+            // must agree with the serial result.
+            let frozen = std::sync::Arc::new(frozen);
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let f = std::sync::Arc::clone(&frozen);
+                    let x = x.clone();
+                    std::thread::spawn(move || f.forward(&x).scores)
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("scorer thread"), live.scores);
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use adarnet_tensor::Tensor;
 
-use crate::{Layer, F};
+use crate::{InferLayer, Layer, F};
 
 /// Which nonlinearity an [`Activation`] layer applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +119,10 @@ impl Layer for Activation {
         y
     }
 
+    fn freeze(&self) -> Box<dyn InferLayer> {
+        Box::new(FrozenActivation { kind: self.kind })
+    }
+
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
         let x = self
             .cached_input
@@ -135,6 +139,25 @@ impl Layer for Activation {
             .zip(x.as_slice().iter().zip(y.as_slice()))
             .for_each(|(g, (&xi, &yi))| *g *= kind.derivative(xi, yi));
         dx
+    }
+}
+
+/// Frozen activation: just the [`ActivationKind`] — the layer was
+/// already stateless on its inference path.
+pub struct FrozenActivation {
+    kind: ActivationKind,
+}
+
+impl InferLayer for FrozenActivation {
+    fn name(&self) -> String {
+        format!("FrozenActivation({:?})", self.kind)
+    }
+
+    fn infer(&self, x: &Tensor<F>) -> Tensor<F> {
+        let kind = self.kind;
+        let mut y = x.pooled_copy();
+        y.map_inplace(move |v| kind.apply(v));
+        y
     }
 }
 

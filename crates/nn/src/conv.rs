@@ -6,7 +6,8 @@ use crate::kernels::{
     conv2d_backward_input, conv2d_backward_params, conv2d_backward_params_gemm, conv2d_forward,
     conv2d_forward_blocked, conv_out_extent, flip_transpose_weights, GEMM_THRESHOLD,
 };
-use crate::{Initializer, Layer, F};
+use crate::packed::{FrozenConv2d, PackedConvWeights};
+use crate::{InferLayer, Initializer, Layer, F};
 
 /// 2-D convolution, stride 1, symmetric zero padding.
 ///
@@ -155,6 +156,13 @@ impl Layer for Conv2d {
             conv2d_backward_params(grad_out, x, self.pad, &mut self.dweight, &mut self.dbias);
             conv2d_backward_input(grad_out, &self.weight, x.dim(2), x.dim(3), self.pad)
         }
+    }
+
+    fn freeze(&self) -> Box<dyn InferLayer> {
+        Box::new(FrozenConv2d::new(
+            "Conv2d",
+            PackedConvWeights::from_conv_weight(&self.weight, &self.bias, self.pad),
+        ))
     }
 
     fn params(&self) -> Vec<&Tensor<F>> {

@@ -13,7 +13,8 @@ use crate::kernels::{
     conv2d_backward_input, conv2d_backward_params, conv2d_backward_params_gemm, conv2d_forward,
     conv2d_forward_blocked, conv_out_extent, flip_transpose_weights, GEMM_THRESHOLD,
 };
-use crate::{Initializer, Layer, F};
+use crate::packed::{FrozenConv2d, PackedConvWeights};
+use crate::{InferLayer, Initializer, Layer, F};
 
 /// 2-D transposed convolution, stride 1, "same" padding.
 ///
@@ -161,6 +162,15 @@ impl Layer for ConvTranspose2d {
         };
         w_conv.recycle();
         dx
+    }
+
+    fn freeze(&self) -> Box<dyn InferLayer> {
+        // The flip-transpose to the equivalent conv kernel happens here,
+        // once — run_forward above pays it on every call.
+        Box::new(FrozenConv2d::new(
+            "ConvTranspose2d",
+            PackedConvWeights::from_deconv_weight(&self.weight, &self.bias, self.pad),
+        ))
     }
 
     fn params(&self) -> Vec<&Tensor<F>> {

@@ -145,6 +145,9 @@ mod tests {
         fn backward(&mut self, g: &Tensor<F>) -> Tensor<F> {
             self.inner.backward(g).scale(2.0)
         }
+        fn freeze(&self) -> Box<dyn crate::InferLayer> {
+            self.inner.freeze()
+        }
     }
 
     #[test]

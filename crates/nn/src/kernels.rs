@@ -20,6 +20,15 @@
 //!   each item, with a panel-local im2col fill, so both wide training
 //!   batches and single-field inference saturate all cores.
 //!
+//! A fourth entry point, [`conv2d_forward_packed`], is the blocked path
+//! with the weight A-panels pre-packed once into the k-major, [`MR`]-row
+//! layout the micro-kernel consumes (see [`pack_weight_panels`]). It is
+//! bitwise-identical to [`conv2d_forward_blocked`] — same accumulation
+//! order, same values — but skips the strided weight reads per tile and,
+//! for the deconv layers, the per-call [`flip_transpose_weights`] copy.
+//! Frozen inference models (`crate::packed::PackedConvWeights`) pack at
+//! construction and serve every call from the shared panels.
+//!
 //! Memory discipline: every scratch buffer (im2col panels, panel
 //! outputs) and every output tensor comes from the size-classed pool in
 //! [`adarnet_tensor::workspace`] — after warmup the hot path performs no
@@ -481,6 +490,208 @@ pub fn conv2d_forward_blocked(
     y
 }
 
+/// Length in floats of the packed A-panel buffer for an `oc × k_len`
+/// weight matrix: `oc.div_ceil(MR)` row blocks of `k_len × MR` floats,
+/// edge rows zero-padded.
+#[inline]
+pub fn packed_panels_len(oc: usize, k_len: usize) -> usize {
+    oc.div_ceil(MR) * k_len * MR
+}
+
+/// Pack the weight matrix `ws` (`oc × k_len`, row-major — a conv weight
+/// tensor viewed as `(OC, IC*KH*KW)`) into the k-major, [`MR`]-blocked
+/// A-panel layout the packed micro-kernel reads:
+///
+/// `dst[((blk * k_len) + k) * MR + m] = ws[(blk*MR + m) * k_len + k]`
+///
+/// with rows past `oc` zero-filled. Each reduction step `k` of a row
+/// block then reads one contiguous `MR`-float slab instead of `MR`
+/// strided rows. `dst` must be exactly [`packed_panels_len`] long; the
+/// caller owns the (one-time) allocation so this file stays hot-path
+/// allocation-free.
+pub fn pack_weight_panels(ws: &[F], oc: usize, k_len: usize, dst: &mut [F]) {
+    assert_eq!(ws.len(), oc * k_len, "pack: weight matrix size mismatch");
+    assert_eq!(
+        dst.len(),
+        packed_panels_len(oc, k_len),
+        "pack: destination size mismatch"
+    );
+    for (blk, dblock) in dst.chunks_exact_mut(k_len * MR).enumerate() {
+        let oc0 = blk * MR;
+        for (k, dk) in dblock.chunks_exact_mut(MR).enumerate() {
+            for (m, slot) in dk.iter_mut().enumerate() {
+                *slot = if oc0 + m < oc {
+                    ws[(oc0 + m) * k_len + k]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Borrowed view of a pre-packed conv weight: the packed A-panels plus
+/// the shape metadata the forward pass needs. Constructed by
+/// `crate::packed::PackedConvWeights`; plain conv layout `(OC, IC, KH,
+/// KW)` semantics.
+#[derive(Clone, Copy)]
+pub struct PackedPanels<'a> {
+    /// Packed panel data, [`packed_panels_len`]`(oc, ic*kh*kw)` floats.
+    pub data: &'a [F],
+    /// Output channels.
+    pub oc: usize,
+    /// Input channels.
+    pub ic: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+}
+
+/// The packed-weights twin of [`micro_kernel`]: identical loop structure
+/// and accumulation order (bitwise-identical outputs), but the weight
+/// reads come from the pre-packed `k_len × MR` block for row block
+/// `oc0 / MR` — contiguous per reduction step instead of strided across
+/// `MR` weight rows.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_packed(
+    out: &mut [f32],
+    wp_block: &[f32],
+    bs: &[f32],
+    colp: &[f32],
+    oc0: usize,
+    rows: usize,
+    k_len: usize,
+    cn: usize,
+    j0: usize,
+    jn: usize,
+) {
+    debug_assert_eq!(wp_block.len(), k_len * MR);
+    if rows == MR && jn == NR {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (k, ctile) in colp.chunks_exact(cn).enumerate() {
+            let ctile = &ctile[j0..j0 + NR];
+            let wk = &wp_block[k * MR..(k + 1) * MR];
+            for (m, am) in acc.iter_mut().enumerate() {
+                let wv = wk[m];
+                for (a, &c) in am.iter_mut().zip(ctile) {
+                    *a += wv * c;
+                }
+            }
+        }
+        for (m, am) in acc.iter().enumerate() {
+            let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
+            let orow = &mut out[(oc0 + m) * cn + j0..(oc0 + m) * cn + j0 + NR];
+            for (o, a) in orow.iter_mut().zip(am) {
+                *o = a + b;
+            }
+        }
+    } else {
+        for m in 0..rows {
+            let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
+            for j in j0..j0 + jn {
+                let mut acc = b;
+                for k in 0..k_len {
+                    acc += wp_block[k * MR + m] * colp[k * cn + j];
+                }
+                out[(oc0 + m) * cn + j] = acc;
+            }
+        }
+    }
+}
+
+/// Blocked im2col + GEMM convolution over **pre-packed** weights:
+/// bitwise-identical to [`conv2d_forward_blocked`] (same panel
+/// decomposition, same micro-kernel accumulation order — pinned by
+/// `packed_path_is_bitwise_identical_to_blocked` and the proptest
+/// suite), minus the per-call strided weight traversal. The packing
+/// itself happens once, outside this function (see
+/// [`pack_weight_panels`]), so a frozen model amortizes it across every
+/// inference call.
+pub fn conv2d_forward_packed(
+    x: &Tensor<F>,
+    w: PackedPanels<'_>,
+    bias: &Tensor<F>,
+    pad: usize,
+) -> Tensor<F> {
+    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, kh, kw) = (w.oc, w.kh, w.kw);
+    assert_eq!(
+        ic, w.ic,
+        "conv2d: input channels {ic} != weight channels {}",
+        w.ic
+    );
+    assert!(
+        bias.is_empty() || bias.len() == oc,
+        "conv2d: bias length {} != out channels {oc}",
+        bias.len()
+    );
+    let oh = conv_out_extent(h, kh, pad);
+    let ow = conv_out_extent(wd, kw, pad);
+    assert!(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
+
+    let k_len = ic * kh * kw;
+    assert_eq!(
+        w.data.len(),
+        packed_panels_len(oc, k_len),
+        "conv2d: packed panel size mismatch"
+    );
+    let o_len = oh * ow;
+    let wp = w.data;
+    let bs = bias.as_slice();
+    let xs = x.as_slice();
+    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
+
+    y.as_mut_slice()
+        .par_chunks_mut(oc * o_len)
+        .enumerate()
+        .for_each(|(ni, ybatch)| {
+            let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
+            let panels: Vec<(usize, Vec<f32>)> = (0..o_len)
+                .step_by(NC)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|&c0| {
+                    let cn = (o_len - c0).min(NC);
+                    let mut colp = workspace::take_scratch(k_len * cn);
+                    for (r, dst) in colp.chunks_exact_mut(cn).enumerate() {
+                        let ici = r / (kh * kw);
+                        let ky = (r / kw) % kh;
+                        let kx = r % kw;
+                        let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
+                        im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, c0, cn);
+                    }
+                    let mut out = workspace::take_scratch(oc * cn);
+                    let mut oc0 = 0;
+                    while oc0 < oc {
+                        let rows = (oc - oc0).min(MR);
+                        let wp_block = &wp[(oc0 / MR) * k_len * MR..(oc0 / MR + 1) * k_len * MR];
+                        let mut j0 = 0;
+                        while j0 < cn {
+                            let jn = (cn - j0).min(NR);
+                            micro_kernel_packed(
+                                &mut out, wp_block, bs, &colp, oc0, rows, k_len, cn, j0, jn,
+                            );
+                            j0 += NR;
+                        }
+                        oc0 += MR;
+                    }
+                    workspace::put(colp);
+                    adarnet_obs::counter!("nn_gemm_panels_total").inc();
+                    (c0, out)
+                })
+                .collect();
+            for (c0, out) in panels {
+                let cn = (o_len - c0).min(NC);
+                for (oci, orow) in out.chunks_exact(cn).enumerate() {
+                    ybatch[oci * o_len + c0..oci * o_len + c0 + cn].copy_from_slice(orow);
+                }
+                workspace::put(out);
+            }
+        });
+    y
+}
+
 /// im2col + GEMM convolution: identical semantics to [`conv2d_forward`];
 /// the pre-blocking reference implementation, kept as the mid-size
 /// comparison point in the kernels bench. The inner loop is a plain
@@ -829,6 +1040,57 @@ mod tests {
         );
         for (a, b) in direct.as_slice().iter().zip(via_conv.as_slice()) {
             assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn packed_path_is_bitwise_identical_to_blocked() {
+        // Shapes chosen to exercise full MR x NR tiles, ragged row blocks
+        // (oc % MR != 0), ragged column tiles (o_len % NR != 0), and
+        // multi-panel widths (o_len > NC).
+        for (n, ic, oc, h, wd, k, pad) in [
+            (1usize, 3usize, 4usize, 7usize, 9usize, 3usize, 1usize),
+            (2, 1, 2, 5, 5, 3, 1),
+            (1, 2, 3, 8, 6, 1, 0),
+            (1, 4, 8, 16, 16, 3, 1),
+            (3, 2, 5, 13, 4, 3, 1),
+            (1, 8, 16, 40, 40, 3, 1),
+        ] {
+            let x = seq_tensor(Shape::d4(n, ic, h, wd));
+            let w = seq_tensor(Shape::d4(oc, ic, k, k));
+            let b = seq_tensor(Shape::d1(oc));
+            let k_len = ic * k * k;
+            let mut packed = vec![0.0f32; packed_panels_len(oc, k_len)];
+            pack_weight_panels(w.as_slice(), oc, k_len, &mut packed);
+            let view = PackedPanels {
+                data: &packed,
+                oc,
+                ic,
+                kh: k,
+                kw: k,
+            };
+            let blocked = conv2d_forward_blocked(&x, &w, &b, pad);
+            let packed_y = conv2d_forward_packed(&x, view, &b, pad);
+            // Bitwise equality, not tolerance: the packed kernel must
+            // replay the exact accumulation order of the blocked one.
+            assert_eq!(
+                blocked, packed_y,
+                "packed != blocked (cfg {n},{ic},{oc},{h},{wd},{k},{pad})"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_zero_fills_ragged_row_block() {
+        // oc = 5 -> second block has 3 dead rows that must read as 0.
+        let w = seq_tensor(Shape::d4(5, 2, 3, 3));
+        let k_len = 2 * 3 * 3;
+        let mut packed = vec![1.0f32; packed_panels_len(5, k_len)];
+        pack_weight_panels(w.as_slice(), 5, k_len, &mut packed);
+        for k in 0..k_len {
+            for m in 1..MR {
+                assert_eq!(packed[(k_len + k) * MR + m], 0.0);
+            }
         }
     }
 

@@ -1,8 +1,40 @@
 //! The [`Layer`] trait: explicit forward/backward with cached activations.
+//!
+//! [`InferLayer`] is its frozen, inference-only counterpart: `&self`
+//! end to end, `Sync`, no backprop caches — the shape shared weights
+//! must take so one model instance can serve many threads (DESIGN.md
+//! §12). Every [`Layer`] can produce one via [`Layer::freeze`].
 
 use adarnet_tensor::Tensor;
 
 use crate::F;
+
+/// An immutable, share-everything inference layer.
+///
+/// Contract:
+/// * [`InferLayer::infer`] computes exactly the same values as the
+///   source layer's [`Layer::forward_infer`] — bitwise, not just within
+///   tolerance — with the output drawn from the workspace pool.
+/// * The layer holds no per-call state: `infer` takes `&self` and the
+///   type is `Sync`, so one frozen model behind an `Arc` serves any
+///   number of threads concurrently with zero locking.
+/// * Weight-derived data (e.g. pre-packed GEMM panels, the flipped
+///   deconv kernels) is computed once at [`Layer::freeze`] time, never
+///   per call.
+pub trait InferLayer: Send + Sync {
+    /// Human-readable layer name for diagnostics.
+    fn name(&self) -> String;
+
+    /// Run the layer on `x`. Pool-backed output; recycle it when done.
+    fn infer(&self, x: &Tensor<F>) -> Tensor<F>;
+
+    /// Resident bytes of frozen weight data (including packed panels).
+    /// Zero for weightless layers; feeds the `engine_weight_bytes`
+    /// gauge and the serve bench's `weight_bytes_resident` column.
+    fn weight_bytes(&self) -> usize {
+        0
+    }
+}
 
 /// A differentiable network layer.
 ///
@@ -36,6 +68,12 @@ pub trait Layer: Send {
     /// Propagate `grad_out` (dL/dy) back to dL/dx, accumulating parameter
     /// gradients.
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F>;
+
+    /// Snapshot the layer's weights into an immutable [`InferLayer`]
+    /// whose [`InferLayer::infer`] is bitwise-identical to
+    /// [`Layer::forward_infer`]. Weight-derived inference state (packed
+    /// GEMM panels, flipped deconv kernels) is built here, once.
+    fn freeze(&self) -> Box<dyn InferLayer>;
 
     /// Immutable views of trainable parameters (possibly empty).
     fn params(&self) -> Vec<&Tensor<F>> {

@@ -27,10 +27,11 @@ pub mod kernels;
 pub mod layer;
 pub mod model;
 pub mod optimizer;
+pub mod packed;
 pub mod pool;
 pub mod softmax;
 
-pub use activation::{Activation, ActivationKind};
+pub use activation::{Activation, ActivationKind, FrozenActivation};
 pub use bicubic::{
     bicubic_resize3, bicubic_resize3_adjoint, bicubic_resize4, bicubic_resize4_adjoint,
 };
@@ -39,11 +40,12 @@ pub use deconv::ConvTranspose2d;
 pub use finite::{all_finite, debug_guard_finite};
 pub use gradcheck::{check_layer_gradients, GradCheckReport};
 pub use init::{he_normal, xavier_uniform, Initializer};
-pub use layer::Layer;
-pub use model::Sequential;
+pub use layer::{InferLayer, Layer};
+pub use model::{FrozenSequential, Sequential};
 pub use optimizer::{Adam, Optimizer, Sgd};
-pub use pool::{AvgPool2d, MaxPool2d};
-pub use softmax::SpatialSoftmax;
+pub use packed::{FrozenConv2d, PackedConvWeights};
+pub use pool::{AvgPool2d, FrozenAvgPool2d, FrozenMaxPool2d, MaxPool2d};
+pub use softmax::{FrozenSpatialSoftmax, SpatialSoftmax};
 
 /// The floating-point type used for all network activations and weights.
 pub type F = f32;

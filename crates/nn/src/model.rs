@@ -3,7 +3,7 @@
 use adarnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::{Layer, F};
+use crate::{InferLayer, Layer, F};
 
 /// A stack of layers applied in order.
 pub struct Sequential {
@@ -114,6 +114,16 @@ impl Sequential {
         }
     }
 
+    /// Freeze every layer into an immutable [`FrozenSequential`] whose
+    /// inference is bitwise-identical to [`Sequential::forward_infer`]
+    /// but `&self` and `Sync` — the weight plane one copy of which all
+    /// serving threads share.
+    pub fn freeze(&self) -> FrozenSequential {
+        FrozenSequential {
+            layers: self.layers.iter().map(|l| l.freeze()).collect(),
+        }
+    }
+
     /// Restore weights from a checkpoint (shapes must match exactly).
     pub fn restore(&mut self, ckpt: &Checkpoint) {
         let mut params = self.params_mut();
@@ -139,6 +149,47 @@ impl Sequential {
 impl Default for Sequential {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// An immutable stack of frozen layers: the inference-only twin of
+/// [`Sequential`], produced by [`Sequential::freeze`].
+pub struct FrozenSequential {
+    layers: Vec<Box<dyn InferLayer>>,
+}
+
+impl FrozenSequential {
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Inference forward through every frozen layer, recycling
+    /// intermediates — same values and pool discipline as
+    /// [`Sequential::forward_infer`], without `&mut`.
+    pub fn infer(&self, x: &Tensor<F>) -> Tensor<F> {
+        let mut cur = x.pooled_copy();
+        for layer in &self.layers {
+            let next = layer.infer(&cur);
+            cur.recycle();
+            cur = next;
+        }
+        cur
+    }
+
+    /// Layer names, for diagnostics.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Total resident frozen-weight bytes across layers.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.weight_bytes()).sum()
     }
 }
 
@@ -191,6 +242,37 @@ mod tests {
         let ckpt = a.snapshot();
         b.restore(&ckpt);
         assert_eq!(b.forward(&x), ya);
+    }
+
+    #[test]
+    fn frozen_infer_is_bitwise_identical_to_forward_infer() {
+        use crate::ConvTranspose2d;
+        // Conv + activation + deconv covers every freeze-time transform
+        // (panel packing, kind copy, one-time flip-transpose).
+        let mut net = Sequential::new()
+            .push(Conv2d::new(1, 4, 3, Initializer::HeNormal, 21))
+            .push(Activation::relu())
+            .push(ConvTranspose2d::new(
+                4,
+                2,
+                3,
+                Initializer::XavierUniform,
+                22,
+            ));
+        let frozen = net.freeze();
+        assert_eq!(frozen.len(), 3);
+        // 16x16 -> 256 px routes through the blocked/packed GEMM path.
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 16, 16),
+            (0..256).map(|i| (i as F * 0.07).sin()).collect(),
+        );
+        assert_eq!(frozen.infer(&x), net.forward_infer(&x));
+        // And a sub-threshold input exercises the direct dispatch arm.
+        let small = Tensor::from_vec(
+            Shape::d4(1, 1, 3, 3),
+            (0..9).map(|i| (i as F * 0.3).cos()).collect(),
+        );
+        assert_eq!(frozen.infer(&small), net.forward_infer(&small));
     }
 
     #[test]

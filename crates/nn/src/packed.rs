@@ -1,0 +1,187 @@
+//! Pre-packed, frozen convolution weights for `&self` inference.
+//!
+//! [`PackedConvWeights`] owns one conv-layout weight tensor plus its
+//! GEMM A-panels packed once (see [`crate::kernels::pack_weight_panels`])
+//! into the k-major, `MR`-blocked layout the blocked micro-kernel
+//! consumes. Freezing a [`crate::Conv2d`] packs its weight directly;
+//! freezing a [`crate::ConvTranspose2d`] applies
+//! [`flip_transpose_weights`] **once** here instead of on every forward
+//! call — the deconv layers are where per-call weight preparation hurt
+//! most. [`FrozenConv2d`] wraps the packed weights as an
+//! [`InferLayer`] with the exact dispatch of the mutable layers, so the
+//! frozen path is bitwise-identical to the training-side
+//! `forward_infer`.
+
+use adarnet_tensor::Tensor;
+
+use crate::kernels::{
+    conv2d_forward, conv2d_forward_packed, conv_out_extent, flip_transpose_weights,
+    pack_weight_panels, packed_panels_len, PackedPanels, GEMM_THRESHOLD,
+};
+use crate::{InferLayer, F};
+
+/// A conv weight frozen for inference: the conv-layout tensor (kept for
+/// the small-shape direct path) plus its pre-packed GEMM A-panels.
+pub struct PackedConvWeights {
+    /// Conv layout `(OC, IC, KH, KW)`.
+    weight: Tensor<F>,
+    bias: Tensor<F>,
+    /// Pre-packed A-panels, `packed_panels_len(oc, ic*kh*kw)` floats.
+    packed: Vec<F>,
+    pad: usize,
+}
+
+impl PackedConvWeights {
+    /// Pack a conv-layout weight `(OC, IC, KH, KW)`. The one-time pack
+    /// cost is timed under the caller's `prepack_ns` span.
+    pub fn from_conv_weight(weight: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Self {
+        let (oc, ic, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+        let k_len = ic * kh * kw;
+        let mut packed = vec![0.0; packed_panels_len(oc, k_len)];
+        pack_weight_panels(weight.as_slice(), oc, k_len, &mut packed);
+        PackedConvWeights {
+            weight: weight.clone(),
+            bias: bias.clone(),
+            packed,
+            pad,
+        }
+    }
+
+    /// Pack a deconv-layout weight `(IC, OC, KH, KW)`: flip-transpose to
+    /// the equivalent conv kernel once, then pack. Every subsequent
+    /// forward skips both the flip and the pack.
+    pub fn from_deconv_weight(weight: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Self {
+        let w_conv = flip_transpose_weights(weight);
+        let out = Self::from_conv_weight(&w_conv, bias, pad);
+        w_conv.recycle();
+        out
+    }
+
+    /// Input channel count (conv-layout axis 1).
+    pub fn in_channels(&self) -> usize {
+        self.weight.dim(1)
+    }
+
+    /// Output channel count (conv-layout axis 0).
+    pub fn out_channels(&self) -> usize {
+        self.weight.dim(0)
+    }
+
+    /// Resident bytes: unpacked weight + bias + packed panels.
+    pub fn weight_bytes(&self) -> usize {
+        (self.weight.len() + self.bias.len() + self.packed.len()) * std::mem::size_of::<F>()
+    }
+
+    /// Forward pass with the exact dispatch of [`crate::Conv2d`]'s
+    /// inference path: blocked GEMM (over the pre-packed panels) at or
+    /// above [`GEMM_THRESHOLD`] output pixels, the direct loop nest
+    /// below it. Bitwise-identical to the mutable layer's
+    /// `forward_infer`.
+    pub fn forward(&self, x: &Tensor<F>) -> Tensor<F> {
+        let (kh, kw) = (self.weight.dim(2), self.weight.dim(3));
+        let oh = conv_out_extent(x.dim(2), kh, self.pad);
+        let ow = conv_out_extent(x.dim(3), kw, self.pad);
+        if oh * ow >= GEMM_THRESHOLD {
+            let view = PackedPanels {
+                data: &self.packed,
+                oc: self.weight.dim(0),
+                ic: self.weight.dim(1),
+                kh,
+                kw,
+            };
+            conv2d_forward_packed(x, view, &self.bias, self.pad)
+        } else {
+            conv2d_forward(x, &self.weight, &self.bias, self.pad)
+        }
+    }
+}
+
+/// Frozen conv / transposed-conv layer: [`PackedConvWeights`] behind the
+/// [`InferLayer`] interface. Both layer kinds freeze to this type — a
+/// stride-1 deconv *is* a conv after the one-time flip-transpose.
+pub struct FrozenConv2d {
+    name: &'static str,
+    packed: PackedConvWeights,
+}
+
+impl FrozenConv2d {
+    /// Wrap packed weights; `name` tags diagnostics (finite guards,
+    /// channel-mismatch panics) with the source layer kind.
+    pub fn new(name: &'static str, packed: PackedConvWeights) -> Self {
+        FrozenConv2d { name, packed }
+    }
+
+    /// Resident bytes of the frozen weights.
+    pub fn weight_bytes(&self) -> usize {
+        self.packed.weight_bytes()
+    }
+}
+
+impl InferLayer for FrozenConv2d {
+    fn name(&self) -> String {
+        format!(
+            "{}({}->{})",
+            self.name,
+            self.packed.in_channels(),
+            self.packed.out_channels()
+        )
+    }
+
+    fn infer(&self, x: &Tensor<F>) -> Tensor<F> {
+        assert_eq!(
+            x.dim(1),
+            self.packed.in_channels(),
+            "{}: input has {} channels",
+            self.name(),
+            x.dim(1)
+        );
+        let y = self.packed.forward(x);
+        crate::finite::debug_guard_finite(self.name, x, &y);
+        y
+    }
+
+    fn weight_bytes(&self) -> usize {
+        self.packed.weight_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adarnet_tensor::Shape;
+
+    fn seq_tensor(shape: Shape) -> Tensor<F> {
+        let n = shape.numel();
+        Tensor::from_vec(shape, (0..n).map(|i| (i as F * 0.1).sin()).collect())
+    }
+
+    #[test]
+    fn weight_bytes_counts_both_copies() {
+        let w = seq_tensor(Shape::d4(8, 4, 3, 3));
+        let b = seq_tensor(Shape::d1(8));
+        let p = PackedConvWeights::from_conv_weight(&w, &b, 1);
+        let expect = (8 * 4 * 9 + 8 + packed_panels_len(8, 36)) * 4;
+        assert_eq!(p.weight_bytes(), expect);
+    }
+
+    #[test]
+    fn packed_forward_dispatches_both_paths() {
+        let w = seq_tensor(Shape::d4(3, 2, 3, 3));
+        let b = seq_tensor(Shape::d1(3));
+        let p = PackedConvWeights::from_conv_weight(&w, &b, 1);
+        // 3x3 input -> 9 px: below GEMM_THRESHOLD, direct path.
+        let small = seq_tensor(Shape::d4(1, 2, 3, 3));
+        assert_eq!(
+            p.forward(&small),
+            conv2d_forward(&small, &w, &b, 1),
+            "direct dispatch"
+        );
+        // 16x16 input -> 256 px: blocked packed path.
+        let big = seq_tensor(Shape::d4(1, 2, 16, 16));
+        assert_eq!(
+            p.forward(&big),
+            crate::kernels::conv2d_forward_blocked(&big, &w, &b, 1),
+            "blocked dispatch"
+        );
+    }
+}

@@ -8,7 +8,7 @@
 
 use adarnet_tensor::{Shape, Tensor};
 
-use crate::{Layer, F};
+use crate::{InferLayer, Layer, F};
 
 /// Non-overlapping 2-D max pooling.
 pub struct MaxPool2d {
@@ -97,6 +97,12 @@ impl Layer for MaxPool2d {
         self.run_forward(x, |_, _| {})
     }
 
+    fn freeze(&self) -> Box<dyn InferLayer> {
+        Box::new(FrozenMaxPool2d {
+            inner: MaxPool2d::new(self.pool_h, self.pool_w),
+        })
+    }
+
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
         let argmax = self
             .cached_argmax
@@ -114,6 +120,25 @@ impl Layer for MaxPool2d {
             dxs[idx] += g;
         }
         dx
+    }
+}
+
+/// Frozen max pool: stateless wrapper over the shared compute with a
+/// no-op argmax recorder.
+pub struct FrozenMaxPool2d {
+    inner: MaxPool2d,
+}
+
+impl InferLayer for FrozenMaxPool2d {
+    fn name(&self) -> String {
+        format!(
+            "FrozenMaxPool2d({}x{})",
+            self.inner.pool_h, self.inner.pool_w
+        )
+    }
+
+    fn infer(&self, x: &Tensor<F>) -> Tensor<F> {
+        self.inner.run_forward(x, |_, _| {})
     }
 }
 
@@ -193,6 +218,12 @@ impl Layer for AvgPool2d {
         self.run_forward(x)
     }
 
+    fn freeze(&self) -> Box<dyn InferLayer> {
+        Box::new(FrozenAvgPool2d {
+            inner: AvgPool2d::new(self.pool_h, self.pool_w),
+        })
+    }
+
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
         let in_shape = self
             .cached_in_shape
@@ -227,6 +258,24 @@ impl Layer for AvgPool2d {
             }
         }
         dx
+    }
+}
+
+/// Frozen average pool: stateless wrapper over the shared compute.
+pub struct FrozenAvgPool2d {
+    inner: AvgPool2d,
+}
+
+impl InferLayer for FrozenAvgPool2d {
+    fn name(&self) -> String {
+        format!(
+            "FrozenAvgPool2d({}x{})",
+            self.inner.pool_h, self.inner.pool_w
+        )
+    }
+
+    fn infer(&self, x: &Tensor<F>) -> Tensor<F> {
+        self.inner.run_forward(x)
     }
 }
 

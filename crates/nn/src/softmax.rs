@@ -6,7 +6,7 @@
 
 use adarnet_tensor::Tensor;
 
-use crate::{Layer, F};
+use crate::{InferLayer, Layer, F};
 
 /// Softmax across everything but the batch axis.
 pub struct SpatialSoftmax {
@@ -70,6 +70,12 @@ impl Layer for SpatialSoftmax {
         self.run_forward(x)
     }
 
+    fn freeze(&self) -> Box<dyn InferLayer> {
+        Box::new(FrozenSpatialSoftmax {
+            inner: SpatialSoftmax::new(),
+        })
+    }
+
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
         let y = self
             .cached_output
@@ -97,6 +103,21 @@ impl Layer for SpatialSoftmax {
             }
         }
         dx
+    }
+}
+
+/// Frozen spatial softmax: stateless wrapper over the shared compute.
+pub struct FrozenSpatialSoftmax {
+    inner: SpatialSoftmax,
+}
+
+impl InferLayer for FrozenSpatialSoftmax {
+    fn name(&self) -> String {
+        "FrozenSpatialSoftmax".to_string()
+    }
+
+    fn infer(&self, x: &Tensor<F>) -> Tensor<F> {
+        self.inner.run_forward(x)
     }
 }
 

@@ -1,7 +1,10 @@
 //! Property-based tests for the NN substrate: linearity of the linear
 //! operators, adjoint identities, and shape invariants.
 
-use adarnet_nn::kernels::{conv2d_forward, conv2d_forward_gemm, flip_transpose_weights};
+use adarnet_nn::kernels::{
+    conv2d_forward, conv2d_forward_blocked, conv2d_forward_gemm, conv2d_forward_packed,
+    flip_transpose_weights, pack_weight_panels, packed_panels_len, PackedPanels,
+};
 use adarnet_nn::{bicubic_resize3, bicubic_resize3_adjoint, Layer, MaxPool2d, SpatialSoftmax};
 use adarnet_tensor::{Shape, Tensor};
 use proptest::prelude::*;
@@ -46,6 +49,29 @@ proptest! {
         for (a, bv) in d.as_slice().iter().zip(g.as_slice()) {
             prop_assert!((a - bv).abs() < 1e-4 * (1.0 + a.abs()));
         }
+    }
+
+    /// The pre-packed-weights path is **bitwise** identical to the
+    /// per-call-packing blocked path on arbitrary inputs, weights, and
+    /// shapes — the frozen model's packed panels must replay the exact
+    /// accumulation order, not merely approximate it.
+    #[test]
+    fn packed_bitwise_identical_to_blocked(
+        x in arb_tensor(Shape::d4(2, 3, 9, 7)),
+        w in arb_tensor(Shape::d4(5, 3, 3, 3)),
+        b in arb_tensor(Shape::d1(5)),
+    ) {
+        let blocked = conv2d_forward_blocked(&x, &w, &b, 1);
+        let k_len = 3 * 3 * 3;
+        let mut panels = vec![0.0f32; packed_panels_len(5, k_len)];
+        pack_weight_panels(w.as_slice(), 5, k_len, &mut panels);
+        let packed = conv2d_forward_packed(
+            &x,
+            PackedPanels { data: &panels, oc: 5, ic: 3, kh: 3, kw: 3 },
+            &b,
+            1,
+        );
+        prop_assert_eq!(blocked.as_slice(), packed.as_slice());
     }
 
     /// Bicubic adjoint identity <A x, y> == <x, A^T y> on arbitrary fields.

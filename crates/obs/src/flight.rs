@@ -34,7 +34,7 @@ pub enum EventKind {
     Mark,
     /// A request was shed (queue full / inference error).
     Shed,
-    /// A serving replica hot-swapped to a new model generation.
+    /// The serving engine hot-swapped to a new model generation.
     HotSwap,
     /// The process panicked (recorded by the panic hook).
     Panic,

@@ -26,7 +26,9 @@ use crate::cache::{PatchCache, PatchKey};
 /// Batched inference over raw LR fields with decoded-patch caching.
 ///
 /// `generation` namespaces cache keys so entries from a hot-swapped-out
-/// model can never serve a hit for the new one.
+/// model can never serve a hit for the new one. The whole pass is
+/// `&engine` — the frozen weight plane is shared, so any number of
+/// workers run this concurrently against one engine.
 pub fn infer_cached(
     engine: &InferenceEngine,
     generation: u64,
@@ -38,81 +40,80 @@ pub fn infer_cached(
     }
     let norm = *engine.norm();
     let bins = engine.config().bins;
-    engine.with_model(|model| {
-        let normalized: Vec<Tensor<f32>> = fields.iter().map(|x| norm.normalize(x)).collect();
-        let plans: Result<Vec<ForwardPlan>, _> =
-            normalized.iter().map(|x| model.try_plan_infer(x)).collect();
-        for x in normalized {
-            x.recycle();
-        }
-        let plans = plans?;
-        let mut outputs: Vec<Vec<Option<Tensor<f32>>>> = plans
-            .iter()
-            .map(|p| (0..p.layout.num_patches()).map(|_| None).collect())
-            .collect();
+    let frozen = engine.frozen();
+    let normalized: Vec<Tensor<f32>> = fields.iter().map(|x| norm.normalize(x)).collect();
+    let plans: Result<Vec<ForwardPlan>, _> =
+        normalized.iter().map(|x| frozen.try_plan(x)).collect();
+    for x in normalized {
+        x.recycle();
+    }
+    let plans = plans?;
+    let mut outputs: Vec<Vec<Option<Tensor<f32>>>> = plans
+        .iter()
+        .map(|p| (0..p.layout.num_patches()).map(|_| None).collect())
+        .collect();
 
-        for bin in 0..bins {
-            // Gather this bin's (sample, patch) pairs across the whole
-            // micro-batch, resolving cache hits up front.
-            let mut owners: Vec<(usize, usize, PatchKey)> = Vec::new();
-            let mut inputs: Vec<Tensor<f32>> = Vec::new();
-            for (si, plan) in plans.iter().enumerate() {
-                for &pi in &plan.binning.groups[bin as usize] {
-                    let dec_in = model.decoder_input(plan, pi);
-                    let key = PatchKey::new(generation, bin, &dec_in);
-                    if let Some(hit) = cache.get(&key) {
-                        outputs[si][pi] = Some(hit);
-                    } else {
-                        owners.push((si, pi, key));
-                        inputs.push(dec_in);
-                    }
+    for bin in 0..bins {
+        // Gather this bin's (sample, patch) pairs across the whole
+        // micro-batch, resolving cache hits up front.
+        let mut owners: Vec<(usize, usize, PatchKey)> = Vec::new();
+        let mut inputs: Vec<Tensor<f32>> = Vec::new();
+        for (si, plan) in plans.iter().enumerate() {
+            for &pi in &plan.binning.groups[bin as usize] {
+                let dec_in = plan.decoder_input(pi);
+                let key = PatchKey::new(generation, bin, &dec_in);
+                if let Some(hit) = cache.get(&key) {
+                    outputs[si][pi] = Some(hit);
+                } else {
+                    owners.push((si, pi, key));
+                    inputs.push(dec_in);
                 }
             }
-            if inputs.is_empty() {
-                continue;
-            }
-            let batch = Tensor::pooled_stack(&inputs);
-            for dec_in in inputs {
-                dec_in.recycle();
-            }
-            let out = {
-                let _span = adarnet_obs::span!("stage_decoder", bin = bin);
-                model.decoder.forward_infer(&batch)
-            };
-            batch.recycle();
-            for (k, (si, pi, key)) in owners.into_iter().enumerate() {
-                let image = out.pooled_image(k);
-                // The cache owns an independent copy; the pooled image
-                // travels with the prediction and is recycled by callers.
-                cache.insert(&key, image.clone());
-                outputs[si][pi] = Some(image);
-            }
-            out.recycle();
         }
+        if inputs.is_empty() {
+            continue;
+        }
+        let batch = Tensor::pooled_stack(&inputs);
+        for dec_in in inputs {
+            dec_in.recycle();
+        }
+        let out = {
+            let _span = adarnet_obs::span!("stage_decoder", bin = bin);
+            frozen.decoder().forward(&batch)
+        };
+        batch.recycle();
+        for (k, (si, pi, key)) in owners.into_iter().enumerate() {
+            let image = out.pooled_image(k);
+            // The cache owns an independent copy; the pooled image
+            // travels with the prediction and is recycled by callers.
+            cache.insert(&key, image.clone());
+            outputs[si][pi] = Some(image);
+        }
+        out.recycle();
+    }
 
-        Ok(plans
-            .into_iter()
-            .zip(outputs)
-            .map(|(plan, patches)| {
-                let ForwardPlan {
-                    layout,
-                    scores,
-                    aug,
-                    binning,
-                } = plan;
-                aug.recycle();
-                Prediction {
-                    layout,
-                    binning,
-                    patches: patches
-                        .into_iter()
-                        .map(|p| p.expect("per-bin loops fill every patch"))
-                        .collect(),
-                    scores,
-                }
-            })
-            .collect())
-    })
+    Ok(plans
+        .into_iter()
+        .zip(outputs)
+        .map(|(plan, patches)| {
+            let ForwardPlan {
+                layout,
+                scores,
+                aug,
+                binning,
+            } = plan;
+            aug.recycle();
+            Prediction {
+                layout,
+                binning,
+                patches: patches
+                    .into_iter()
+                    .map(|p| p.expect("per-bin loops fill every patch"))
+                    .collect(),
+                scores,
+            }
+        })
+        .collect())
 }
 
 /// Build the bin-0 fallback for one raw `(C, H, W)` LR field: every

@@ -13,6 +13,14 @@
 //! to demonstrate load shedding: the overflow is answered with degraded
 //! bin-0 responses, counted, and reported.
 //!
+//! An `engine_comparison` phase pits the lock-free shared engine (one
+//! `Arc<InferenceEngine>` behind N worker slots) against the old
+//! replica-per-worker architecture (N mutex-guarded engine copies
+//! behind the same N slots). Worker concurrency is identical on both
+//! sides, so the measured difference is engine sharing itself — lock
+//! acquisition plus weight-cache residency — reported as throughput
+//! and resident weight bytes for both.
+//!
 //! Subcommand:
 //! * `serve stats` — run a short demo load against a fresh server and
 //!   print the obs registry's Prometheus-style exposition text (the
@@ -48,6 +56,20 @@ struct SaturationReport {
 }
 
 #[derive(Serialize)]
+struct EngineComparison {
+    clients: usize,
+    requests_per_client: usize,
+    shared_throughput_rps: f64,
+    /// Resident frozen-weight bytes with one shared engine.
+    shared_weight_bytes_resident: u64,
+    replica_workers: usize,
+    replica_throughput_rps: f64,
+    /// Resident weight bytes with one engine copy per worker.
+    replica_weight_bytes_resident: u64,
+    shared_vs_replica_speedup: f64,
+}
+
+#[derive(Serialize)]
 struct BenchOutput {
     scale: String,
     field_h: usize,
@@ -57,6 +79,7 @@ struct BenchOutput {
     runs: Vec<LoadReport>,
     batched_vs_unbatched_speedup_at_max_concurrency: f64,
     saturation: SaturationReport,
+    engine_comparison: EngineComparison,
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -66,11 +89,136 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// `ModelCheckpoint` is not `Clone` (weight tensors are large and
-/// sharing is the norm); round-trip through restore/snapshot instead.
-fn checkpoint_clone(ckpt: &adarnet_core::ModelCheckpoint) -> adarnet_core::ModelCheckpoint {
-    let (model, norm) = checkpoint::restore(ckpt).expect("clone restores");
-    checkpoint::snapshot(&model, &norm)
+/// Closed-loop throughput of `clients` threads, each issuing
+/// `requests` inferences through `infer`, round-robin over `pool`.
+fn closed_loop_rps(
+    pool: &[adarnet_tensor::Tensor<f32>],
+    clients: usize,
+    requests: usize,
+    infer: impl Fn(&adarnet_tensor::Tensor<f32>) + Sync,
+) -> f64 {
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let infer = &infer;
+            scope.spawn(move || {
+                for r in 0..requests {
+                    infer(&pool[(c * requests + r) % pool.len()]);
+                }
+            });
+        }
+    });
+    (clients * requests) as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// A counting semaphore bounding in-flight inferences to the worker
+/// count, so both engine architectures run under the same concurrency
+/// discipline and only the engine-sharing strategy differs.
+struct WorkerSlots {
+    free: std::sync::Mutex<usize>,
+    cv: std::sync::Condvar,
+}
+
+impl WorkerSlots {
+    fn new(n: usize) -> WorkerSlots {
+        WorkerSlots {
+            free: std::sync::Mutex::new(n),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        let mut free = self.free.lock().expect("bench slots");
+        while *free == 0 {
+            free = self.cv.wait(free).expect("bench slots");
+        }
+        *free -= 1;
+        drop(free);
+        let r = f();
+        *self.free.lock().expect("bench slots") += 1;
+        self.cv.notify_one();
+        r
+    }
+}
+
+/// Shared lock-free engine vs. the old replica-per-worker shape: same
+/// offered load (closed-loop clients) and the same worker concurrency
+/// (`replica_workers` slots) on both sides; resident weight bytes and
+/// throughput for both.
+fn engine_comparison(
+    ckpt: &adarnet_core::ModelCheckpoint,
+    pool: &[adarnet_tensor::Tensor<f32>],
+    clients: usize,
+    requests: usize,
+) -> EngineComparison {
+    use adarnet_core::InferenceEngine;
+    let replica_workers = 4usize;
+
+    // Shared: one engine; up to `replica_workers` in-flight inferences
+    // drive it concurrently with no lock.
+    let shared = Arc::new(InferenceEngine::from_checkpoint(ckpt).expect("bench ckpt restores"));
+    let shared_weight_bytes = shared.weight_bytes() as u64;
+    let slots = WorkerSlots::new(replica_workers);
+    let shared_infer = |f: &adarnet_tensor::Tensor<f32>| {
+        slots.run(|| shared.infer(f).expect("bench inference").recycle());
+    };
+
+    // Replica-per-worker: N mutex-guarded copies (the pre-refactor
+    // worker owned its engine exclusively; the mutex reproduces that
+    // exclusivity). With at most N in flight and N replicas, a free
+    // engine always exists; the scan finds it without queueing behind
+    // a busy one.
+    let replicas: Vec<std::sync::Mutex<InferenceEngine>> = (0..replica_workers)
+        .map(|_| {
+            std::sync::Mutex::new(
+                InferenceEngine::from_checkpoint(ckpt).expect("bench ckpt restores"),
+            )
+        })
+        .collect();
+    let replica_weight_bytes = replicas
+        .iter()
+        .map(|m| m.lock().expect("bench mutex").weight_bytes() as u64)
+        .sum::<u64>();
+    let slots = WorkerSlots::new(replica_workers);
+    let replica_infer = |f: &adarnet_tensor::Tensor<f32>| {
+        slots.run(|| loop {
+            for m in &replicas {
+                if let Ok(engine) = m.try_lock() {
+                    engine.infer(f).expect("bench inference").recycle();
+                    return;
+                }
+            }
+            std::thread::yield_now();
+        });
+    };
+    // Interleaved best-of-reps (the obs_overhead gate's discipline):
+    // alternating shared/replica measurements cancels machine drift on
+    // the shared 1-core VM, and the per-side max is the cleanest
+    // estimate of each architecture's capability. One untimed round
+    // first warms the workspace pool and page cache for both.
+    let warmup = requests.div_ceil(4);
+    closed_loop_rps(pool, clients, warmup, shared_infer);
+    closed_loop_rps(pool, clients, warmup, replica_infer);
+    let (mut shared_rps, mut replica_rps) = (0.0f64, 0.0f64);
+    for _ in 0..3 {
+        shared_rps = shared_rps.max(closed_loop_rps(pool, clients, requests, shared_infer));
+        replica_rps = replica_rps.max(closed_loop_rps(pool, clients, requests, replica_infer));
+    }
+
+    EngineComparison {
+        clients,
+        requests_per_client: requests,
+        shared_throughput_rps: shared_rps,
+        shared_weight_bytes_resident: shared_weight_bytes,
+        replica_workers,
+        replica_throughput_rps: replica_rps,
+        replica_weight_bytes_resident: replica_weight_bytes,
+        shared_vs_replica_speedup: if replica_rps > 0.0 {
+            shared_rps / replica_rps
+        } else {
+            0.0
+        },
+    }
 }
 
 /// `serve stats`: run a short demo load and print the metrics registry
@@ -145,7 +293,7 @@ fn main() {
         let mut throughput = [0.0f64; 2];
         for (mode_idx, mode) in ["batched", "unbatched"].into_iter().enumerate() {
             let registry = Arc::new(ModelRegistry::new());
-            registry.register("bench", checkpoint_clone(&ckpt));
+            registry.register("bench", ckpt.clone());
             registry.activate("bench").unwrap();
             let base = ServeConfig {
                 queue_capacity: 256,
@@ -197,7 +345,7 @@ fn main() {
     // single worker can drain — overflow must shed, nothing may hang.
     let saturation = {
         let registry = Arc::new(ModelRegistry::new());
-        registry.register("bench", checkpoint_clone(&ckpt));
+        registry.register("bench", ckpt.clone());
         registry.activate("bench").unwrap();
         let cfg = ServeConfig {
             queue_capacity: 4,
@@ -233,6 +381,18 @@ fn main() {
         }
     };
 
+    // Shared-engine vs. replica-per-worker at the highest concurrency.
+    let comparison = engine_comparison(&ckpt, &pool, 32, requests_per_client);
+    println!(
+        "engine: shared {:.2} req/s ({} B resident) vs {}x replicas {:.2} req/s ({} B resident) -> {:.2}x",
+        comparison.shared_throughput_rps,
+        comparison.shared_weight_bytes_resident,
+        comparison.replica_workers,
+        comparison.replica_throughput_rps,
+        comparison.replica_weight_bytes_resident,
+        comparison.shared_vs_replica_speedup,
+    );
+
     let output = BenchOutput {
         scale,
         field_h: h,
@@ -242,6 +402,7 @@ fn main() {
         runs,
         batched_vs_unbatched_speedup_at_max_concurrency: speedup_at_max,
         saturation,
+        engine_comparison: comparison,
     };
     let json = serde_json::to_string_pretty(&output).expect("report serializes");
     if let Err(e) = std::fs::write(&out_path, json) {

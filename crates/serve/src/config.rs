@@ -13,7 +13,8 @@ pub struct ServeConfig {
     /// How long the batcher lingers for more requests after the first
     /// one is picked up, before dispatching a partial batch.
     pub max_linger: Duration,
-    /// Worker threads, each with its own model replica.
+    /// Worker threads. All workers share one frozen engine (one
+    /// resident weight copy); this only sets batching concurrency.
     pub workers: usize,
     /// Decoded-patch cache capacity in entries (0 disables the cache).
     pub cache_capacity: usize,

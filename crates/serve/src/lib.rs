@@ -10,9 +10,13 @@
 //! * **decoded-patch cache** ([`cache`]): content-hash-keyed LRU over
 //!   decoder outputs; repeated freestream patches skip the decoder
 //!   entirely, with bitwise-identical results;
+//! * **shared frozen engine** ([`registry`], [`server`]): every worker
+//!   clones one `Arc<InferenceEngine>` — one resident weight copy with
+//!   pre-packed GEMM panels, no model lock;
 //! * **model registry** ([`registry`]): named checkpoints with
-//!   generation-counted hot swap — workers rebuild replicas at batch
-//!   boundaries, never mid-flight;
+//!   generation-counted hot swap — workers re-fetch the shared engine
+//!   at batch boundaries, never mid-flight, and an in-flight batch
+//!   completes on the old generation's weights;
 //! * **backpressure** ([`server`]): a bounded queue that sheds load by
 //!   answering with a degraded bin-0 (no-SR) prediction instead of
 //!   blocking, with observable shed counters;

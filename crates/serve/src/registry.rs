@@ -3,9 +3,17 @@
 //! The registry holds [`ModelCheckpoint`]s by name (loaded via
 //! `adarnet_core::checkpoint`) and publishes one of them as *active*.
 //! Activation swaps an `Arc` behind an `RwLock` and bumps a generation
-//! counter; worker threads compare the counter against their replica's
-//! generation at each batch boundary and rebuild lazily, so a swap
-//! never blocks in-flight inference and requires no thread restarts.
+//! counter; worker threads compare the counter against their engine's
+//! generation at each batch boundary and re-fetch the shared engine
+//! lazily, so a swap never blocks in-flight inference and requires no
+//! thread restarts.
+//!
+//! [`ModelRegistry::shared`] is the serving entry point: one frozen
+//! [`InferenceEngine`] per generation, built lazily outside any lock
+//! and cached behind an `Arc`. Every worker thread clones the same
+//! `Arc` — one resident weight copy regardless of worker count — and a
+//! hot swap is just the cache moving to a newer generation; threads
+//! mid-batch keep their old `Arc` alive until they finish.
 
 use std::collections::HashMap;
 use std::io;
@@ -53,6 +61,9 @@ pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<ModelCheckpoint>>>,
     active: RwLock<Option<ActiveModel>>,
     generation: AtomicU64,
+    /// Lazily built shared engine for the active model, keyed by the
+    /// generation it was built from. One engine serves every worker.
+    engine: RwLock<Option<(u64, Arc<InferenceEngine>)>>,
 }
 
 impl Default for ModelRegistry {
@@ -68,6 +79,7 @@ impl ModelRegistry {
             models: RwLock::new(HashMap::new()),
             active: RwLock::new(None),
             generation: AtomicU64::new(0),
+            engine: RwLock::new(None),
         }
     }
 
@@ -129,16 +141,54 @@ impl ModelRegistry {
     }
 
     /// Build a fresh [`InferenceEngine`] replica of the active model.
+    /// Serving does not need replicas (see [`ModelRegistry::shared`]);
+    /// this remains for callers that want a private engine.
     pub fn replica(&self) -> Result<(u64, InferenceEngine), RegistryError> {
         let active = self
             .active()
             .ok_or_else(|| RegistryError::UnknownModel("<no active model>".into()))?;
-        let engine = InferenceEngine::from_checkpoint(&active.checkpoint).map_err(|e| match e {
-            EngineError::Checkpoint(msg) => RegistryError::Restore(msg),
-            other => RegistryError::Restore(other.to_string()),
-        })?;
+        let engine = build_engine(&active.checkpoint)?;
         Ok((active.generation, engine))
     }
+
+    /// The shared engine for the active model: one frozen weight copy
+    /// behind an `Arc`, cloned by every caller.
+    ///
+    /// The engine is built lazily, **outside** the cache lock (weight
+    /// packing is the expensive part of construction), then installed
+    /// if the cache does not already hold a same-or-newer generation —
+    /// two threads racing after a swap cannot roll the cache backwards,
+    /// and the loser simply serves the winner's engine. Callers that
+    /// hold an older `Arc` (in-flight batches during a hot swap) keep
+    /// it alive until they drop it; the old weights free once the last
+    /// such caller finishes.
+    pub fn shared(&self) -> Result<(u64, Arc<InferenceEngine>), RegistryError> {
+        let active = self
+            .active()
+            .ok_or_else(|| RegistryError::UnknownModel("<no active model>".into()))?;
+        if let Some((generation, engine)) = sync::read(&self.engine).as_ref() {
+            if *generation >= active.generation {
+                return Ok((*generation, engine.clone()));
+            }
+        }
+        let fresh = Arc::new(build_engine(&active.checkpoint)?);
+        let mut cache = sync::write(&self.engine);
+        if let Some((generation, engine)) = cache.as_ref() {
+            if *generation >= active.generation {
+                // Lost the race to a same-or-newer build; serve that one.
+                return Ok((*generation, engine.clone()));
+            }
+        }
+        *cache = Some((active.generation, fresh.clone()));
+        Ok((active.generation, fresh))
+    }
+}
+
+fn build_engine(ckpt: &ModelCheckpoint) -> Result<InferenceEngine, RegistryError> {
+    InferenceEngine::from_checkpoint(ckpt).map_err(|e| match e {
+        EngineError::Checkpoint(msg) => RegistryError::Restore(msg),
+        other => RegistryError::Restore(other.to_string()),
+    })
 }
 
 #[cfg(test)]
@@ -189,5 +239,46 @@ mod tests {
         let (generation, engine) = reg.replica().unwrap();
         assert_eq!(generation, 1);
         assert_eq!(engine.config().ph, 8);
+    }
+
+    #[test]
+    fn shared_returns_one_engine_per_generation() {
+        let reg = ModelRegistry::new();
+        reg.register("a", ckpt(1));
+        assert!(reg.shared().is_err(), "no active model yet");
+        reg.activate("a").unwrap();
+        let (g1, e1) = reg.shared().unwrap();
+        let (g2, e2) = reg.shared().unwrap();
+        assert_eq!((g1, g2), (1, 1));
+        assert!(
+            Arc::ptr_eq(&e1, &e2),
+            "same generation must share one engine"
+        );
+    }
+
+    #[test]
+    fn shared_swaps_on_activation_and_old_arc_survives() {
+        let reg = ModelRegistry::new();
+        reg.register("a", ckpt(1));
+        reg.register("b", ckpt(2));
+        reg.activate("a").unwrap();
+        let (g_old, e_old) = reg.shared().unwrap();
+        reg.activate("b").unwrap();
+        let (g_new, e_new) = reg.shared().unwrap();
+        assert!(g_new > g_old);
+        assert!(!Arc::ptr_eq(&e_old, &e_new), "swap must build a new engine");
+        // An in-flight holder of the old Arc still infers on the old
+        // generation's weights.
+        let x = adarnet_tensor::Tensor::from_vec(
+            adarnet_tensor::Shape::d3(4, 16, 16),
+            (0..4 * 256).map(|i| ((i as f32) * 0.02).sin()).collect(),
+        );
+        let old_pred = e_old.infer(&x).unwrap();
+        let fresh_old = InferenceEngine::from_checkpoint(&ckpt(1)).unwrap();
+        let want = fresh_old.infer(&x).unwrap();
+        assert_eq!(old_pred.binning.bin_of_patch, want.binning.bin_of_patch);
+        for (a, b) in old_pred.patches.iter().zip(&want.patches) {
+            assert_eq!(a, b);
+        }
     }
 }

@@ -1,12 +1,16 @@
 //! The inference server: bounded queue → micro-batcher → decoder
 //! workers, with load shedding and hot-swap awareness.
 //!
-//! Requests enter a [`BoundedQueue`]. Each worker thread owns a full
-//! model replica (the decoder caches activations between passes, so
-//! replicas cannot be shared); it pops one request, lingers up to
+//! Requests enter a [`BoundedQueue`]. Every worker thread shares **one**
+//! frozen engine (`Arc<InferenceEngine>` from
+//! [`ModelRegistry::shared`]) — one resident weight copy regardless of
+//! worker count; a worker pops one request, lingers up to
 //! `max_linger` for more, and runs the whole group through
 //! [`crate::batch::infer_cached`] so same-bin patches from concurrent
-//! requests share decoder batches. When the queue is at capacity the
+//! requests share decoder batches. A hot swap is an `Arc` swap: workers
+//! re-fetch the shared engine at the next batch boundary, and a batch
+//! in flight during the swap completes on the old generation's weights
+//! (its `Arc` keeps them alive). When the queue is at capacity the
 //! server does not block or drop: it answers immediately with the
 //! degraded bin-0 prediction ([`crate::batch::degraded_prediction`])
 //! and counts the shed. Inference errors (e.g. NaN scores from a bad
@@ -86,8 +90,8 @@ pub struct ServeStats {
     /// Requests carried by those batches (batches ≤ this; the ratio is
     /// the achieved batching factor).
     pub batched_requests: u64,
-    /// Replica rebuilds triggered by hot swaps.
-    pub replica_rebuilds: u64,
+    /// Shared-engine swaps observed by workers after hot swaps.
+    pub engine_swaps: u64,
 }
 
 impl ServeStats {
@@ -110,7 +114,7 @@ struct StatsCells {
     shed_inference_error: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
-    replica_rebuilds: AtomicU64,
+    engine_swaps: AtomicU64,
 }
 
 impl StatsCells {
@@ -122,7 +126,7 @@ impl StatsCells {
             shed_inference_error: self.shed_inference_error.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
-            replica_rebuilds: self.replica_rebuilds.load(Ordering::Relaxed),
+            engine_swaps: self.engine_swaps.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,15 +168,11 @@ impl Server {
         // lifetime; installing here means any embedding binary gets
         // crash forensics without its own obs::init() call.
         adarnet_obs::init();
-        // Build every worker's replica up front: a missing or corrupt
-        // active model fails start() instead of panicking workers.
-        let replicas: Vec<_> = (0..cfg.workers.max(1))
-            .map(|_| registry.replica())
-            .collect::<Result<_, _>>()?;
-        let (startup_norm, startup_cfg) = match replicas.first() {
-            Some((_, engine)) => (*engine.norm(), engine.config()),
-            None => return Err(RegistryError::UnknownModel("<no active model>".into())),
-        };
+        // Build the shared engine up front: a missing or corrupt active
+        // model fails start() instead of panicking workers. Every worker
+        // clones this one Arc — one resident weight copy.
+        let (generation, engine) = registry.shared()?;
+        let (startup_norm, startup_cfg) = (*engine.norm(), engine.config());
         let shared = Arc::new(Shared {
             cache: PatchCache::new(cfg.cache_capacity),
             queue: BoundedQueue::new(cfg.queue_capacity),
@@ -182,10 +182,10 @@ impl Server {
             startup_norm,
             startup_cfg,
         });
-        let workers = replicas
-            .into_iter()
-            .map(|(generation, engine)| {
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
                 let shared = shared.clone();
+                let engine = engine.clone();
                 std::thread::spawn(move || worker_loop(shared, generation, engine))
             })
             .collect();
@@ -310,7 +310,7 @@ fn record_e2e(response: &ServeResponse) {
 fn worker_loop(
     shared: Arc<Shared>,
     mut generation: u64,
-    mut engine: adarnet_core::engine::InferenceEngine,
+    mut engine: Arc<adarnet_core::engine::InferenceEngine>,
 ) {
     loop {
         // Batch assembly = blocking pop + linger window. The span
@@ -331,25 +331,26 @@ fn worker_loop(
             queue_wait.record(job.submitted.elapsed().as_nanos() as u64);
         }
 
-        // Hot swap: rebuild the replica when the registry moved on.
+        // Hot swap: re-fetch the shared engine when the registry moved
+        // on. The old Arc drops here (or when the last in-flight batch
+        // on it finishes elsewhere); no weights are copied per worker.
         let current = shared.registry.generation();
         if current != generation {
-            if let Ok((gen, fresh)) = shared.registry.replica() {
-                adarnet_obs::recorder().record(
-                    adarnet_obs::EventKind::HotSwap,
-                    "replica_rebuild",
-                    "generation",
-                    gen,
-                    0,
-                );
-                let _ = adarnet_obs::dump("hot_swap", false);
-                generation = gen;
-                engine = fresh;
-                shared
-                    .stats
-                    .replica_rebuilds
-                    .fetch_add(1, Ordering::Release);
-                adarnet_obs::counter!("serve_replica_rebuilds_total").inc();
+            if let Ok((gen, fresh)) = shared.registry.shared() {
+                if gen != generation {
+                    adarnet_obs::recorder().record(
+                        adarnet_obs::EventKind::HotSwap,
+                        "engine_swap",
+                        "generation",
+                        gen,
+                        0,
+                    );
+                    let _ = adarnet_obs::dump("hot_swap", false);
+                    generation = gen;
+                    engine = fresh;
+                    shared.stats.engine_swaps.fetch_add(1, Ordering::Release);
+                    adarnet_obs::counter!("serve_engine_swaps_total").inc();
+                }
             }
         }
 

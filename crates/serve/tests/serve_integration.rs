@@ -183,11 +183,12 @@ fn registry_checkpoint_roundtrip_hot_swap_bitwise_identical() {
     let before_swap = server.submit_wait(field.clone());
     assert_eq!(before_swap.generation, 1);
 
-    // Hot swap to the from-disk model; workers rebuild lazily.
+    // Hot swap to the from-disk model; workers re-fetch the shared
+    // engine lazily.
     registry.activate("a").unwrap();
     let after_swap = server.submit_wait(field.clone());
     assert_eq!(after_swap.generation, 2);
-    assert_eq!(server.stats().replica_rebuilds, 1);
+    assert_eq!(server.stats().engine_swaps, 1);
 
     // The served result must be bitwise what model A computes directly.
     let mut direct = checkpoint::load_file(&path).map(|(m, _)| m).unwrap();

@@ -71,7 +71,7 @@ fn main() {
 
     // --- Step 3: ADARNet one-shot pipeline. ---
     let report = run_adarnet_case(
-        &mut trainer.model,
+        &trainer.model,
         &trainer.norm,
         &case,
         &lr_field,

@@ -95,7 +95,7 @@ fn adarnet_prediction_accelerates_physics_convergence() {
     // The paper's core claim (Table 1 mechanics): starting the solver from
     // the DNN prediction must converge at least as fast as from freestream
     // on the same mesh.
-    let mut trainer = trained_channel_trainer(2);
+    let trainer = trained_channel_trainer(2);
     let mut case = CaseConfig::channel(2.5e3);
     case.lx = 1.0;
     let lr_field = synthesize(&case, 16, 32);
@@ -105,7 +105,7 @@ fn adarnet_prediction_accelerates_physics_convergence() {
         ..SolverConfig::default()
     };
     let report = run_adarnet_case(
-        &mut trainer.model,
+        &trainer.model,
         &trainer.norm,
         &case,
         &lr_field,

@@ -88,14 +88,14 @@ fn adarnet_pipeline_handles_unseen_cylinder() {
     let case = CaseConfig::cylinder(1e5);
     let lr = synthesize(&case, 16, 64);
     let norm = NormStats::from_samples([&lr]);
-    let mut model = AdarNet::new(AdarNetConfig {
+    let model = AdarNet::new(AdarNetConfig {
         ph: 8,
         pw: 8,
         seed: 31,
         ..AdarNetConfig::default()
     });
     let report = run_adarnet_case(
-        &mut model,
+        &model,
         &norm,
         &case,
         &lr,
