@@ -28,7 +28,7 @@ use crate::rules::{lint_source, Finding, RuleSet};
 /// Crates whose float→int casts index grids and tensors.
 const LOSSY_CAST_CRATES: &[&str] = &["nn", "tensor", "cfd"];
 /// Crates with cross-thread locking.
-const LOCK_ORDER_CRATES: &[&str] = &["serve"];
+const LOCK_ORDER_CRATES: &[&str] = &["serve", "net"];
 /// Hot-path kernel files (repo-relative) where allocating constructors
 /// are banned outright — buffers come from the workspace pool so the
 /// zero-allocation inference contract cannot silently regress.
@@ -239,6 +239,7 @@ mod tests {
     fn rule_scoping_matches_policy() {
         assert!(rule_set_for("nn").lossy_cast);
         assert!(rule_set_for("serve").lock_order);
+        assert!(rule_set_for("net").lock_order);
         assert!(!rule_set_for("serve").lossy_cast);
         assert!(!rule_set_for("core").lock_order);
         assert!(rule_set_for("core").core_rules);

@@ -112,6 +112,232 @@ impl QueueModel {
     }
 }
 
+/// Number of priority lanes, mirrored from `adarnet_serve::NUM_LANES`
+/// (restated here so the oracle stays a dependency-free spec).
+pub const LANES: usize = 3;
+
+/// Naive three-lane weighted-deficit priority queue — the
+/// [`adarnet_serve::LaneQueue`] contract, restated independently of
+/// `select_lane_spec` so a bug in either the selection rule or the
+/// queue's locking shows up as a divergence.
+pub struct PriorityQueueModel {
+    capacity: usize,
+    weights: [i64; LANES],
+    lanes: [VecDeque<u64>; LANES],
+    credits: [i64; LANES],
+    shutdown: bool,
+    /// Per-lane accepted values, in acceptance order.
+    pub accepted: [Vec<u64>; LANES],
+    /// Per-lane popped values, in pop order.
+    pub popped: [Vec<u64>; LANES],
+    /// Pops served per lane (the fairness ledger).
+    pub served: [u64; LANES],
+}
+
+impl PriorityQueueModel {
+    /// Model of a queue whose every lane holds `capacity` items
+    /// (clamped to 1) with per-cycle `weights` (each clamped to ≥ 1),
+    /// like the real queue.
+    pub fn new(capacity: usize, weights: [u64; LANES]) -> PriorityQueueModel {
+        PriorityQueueModel {
+            capacity: capacity.max(1),
+            weights: [
+                weights[0].max(1) as i64,
+                weights[1].max(1) as i64,
+                weights[2].max(1) as i64,
+            ],
+            lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            credits: [0; LANES],
+            shutdown: false,
+            accepted: [Vec::new(), Vec::new(), Vec::new()],
+            popped: [Vec::new(), Vec::new(), Vec::new()],
+            served: [0; LANES],
+        }
+    }
+
+    /// Spec: reject after shutdown, saturate when *that lane* is at
+    /// capacity (lanes are independent), else append to the lane.
+    pub fn push(&mut self, lane: usize, value: u64) -> ModelPush {
+        if self.shutdown {
+            ModelPush::Rejected
+        } else if self.lanes[lane].len() >= self.capacity {
+            ModelPush::Saturated
+        } else {
+            self.lanes[lane].push_back(value);
+            self.accepted[lane].push(value);
+            ModelPush::Enqueued
+        }
+    }
+
+    /// Spec: the weighted-deficit pickup rule, naively — scan lanes in
+    /// priority order for a non-empty lane with positive credit; if no
+    /// lane qualifies, refill every credit by its weight (capped at one
+    /// cycle's worth) and rescan. `None` iff every lane is empty.
+    fn select(&mut self) -> Option<usize> {
+        if self.lanes.iter().all(VecDeque::is_empty) {
+            return None;
+        }
+        loop {
+            for i in 0..LANES {
+                if !self.lanes[i].is_empty() && self.credits[i] > 0 {
+                    return Some(i);
+                }
+            }
+            for i in 0..LANES {
+                self.credits[i] = (self.credits[i] + self.weights[i]).min(self.weights[i]);
+            }
+        }
+    }
+
+    /// Spec: select a lane, pop its head, charge one credit.
+    pub fn try_pop(&mut self) -> Option<(usize, u64)> {
+        let lane = self.select()?;
+        let value = self.lanes[lane].pop_front()?;
+        self.credits[lane] -= 1;
+        self.popped[lane].push(value);
+        self.served[lane] += 1;
+        Some((lane, value))
+    }
+
+    /// Spec: select a lane, pop min(len, max.max(1)) items *from that
+    /// lane only*, charge the whole batch against its credit.
+    pub fn try_pop_batch(&mut self, max: usize) -> Option<(usize, Vec<u64>)> {
+        let lane = self.select()?;
+        let take = self.lanes[lane].len().min(max.max(1));
+        let batch: Vec<u64> = self.lanes[lane].drain(..take).collect();
+        self.credits[lane] -= batch.len() as i64;
+        self.popped[lane].extend_from_slice(&batch);
+        self.served[lane] += batch.len() as u64;
+        Some((lane, batch))
+    }
+
+    /// Spec: stop accepting, keep draining.
+    pub fn shutdown(&mut self) {
+        self.shutdown = true;
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Items queued in one lane.
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.lanes[lane].len()
+    }
+
+    /// Items queued across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Conservation, per lane: every accepted item popped exactly once,
+    /// in FIFO order within its lane, nothing left behind. Call after a
+    /// full drain. A lane with accepted items and zero pops would fail
+    /// here — starvation is a conservation violation at drain time.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for lane in 0..LANES {
+            if !self.lanes[lane].is_empty() {
+                return Err(format!(
+                    "lane {lane}: {} items never drained",
+                    self.lanes[lane].len()
+                ));
+            }
+            if self.accepted[lane] != self.popped[lane] {
+                return Err(format!(
+                    "lane {lane}: accepted {:?} but popped {:?} \
+                     (lost, duplicated, or reordered entries)",
+                    self.accepted[lane], self.popped[lane]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Nano-tokens per token, mirrored from `adarnet_serve::quota`.
+const NANO: u64 = 1_000_000_000;
+
+/// Naive token bucket over a logical clock — the
+/// [`adarnet_serve::TokenBucket`] contract, restated with u128
+/// arithmetic throughout (no saturation subtleties to share with the
+/// real code), plus the conservation ledger.
+pub struct QuotaModel {
+    rate_per_sec: u64,
+    burst: u64,
+    /// Current fill, nano-tokens.
+    tokens_nano: u128,
+    /// Highest clock value seen.
+    last_ns: u64,
+    /// Clock value at creation (the conservation window's start).
+    start_ns: u64,
+    /// Tokens granted so far.
+    pub granted: u64,
+    /// Takes denied so far.
+    pub denied: u64,
+}
+
+impl QuotaModel {
+    /// A bucket that starts full, like the real one (clamps mirror the
+    /// real constructor).
+    pub fn new(rate_per_sec: u64, burst: u64, now_ns: u64) -> QuotaModel {
+        let burst = burst.max(1);
+        QuotaModel {
+            rate_per_sec: rate_per_sec.max(1),
+            burst,
+            tokens_nano: burst as u128 * NANO as u128,
+            last_ns: now_ns,
+            start_ns: now_ns,
+            granted: 0,
+            denied: 0,
+        }
+    }
+
+    /// Spec: refill `elapsed × rate` nano-tokens capped at `burst`
+    /// (a backwards clock refills nothing), then take one token if a
+    /// whole one is available.
+    pub fn try_take(&mut self, now_ns: u64) -> bool {
+        let elapsed = now_ns.saturating_sub(self.last_ns) as u128;
+        self.last_ns = self.last_ns.max(now_ns);
+        let cap = self.burst as u128 * NANO as u128;
+        self.tokens_nano = (self.tokens_nano + elapsed * self.rate_per_sec as u128).min(cap);
+        if self.tokens_nano >= NANO as u128 {
+            self.tokens_nano -= NANO as u128;
+            self.granted += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    /// Current fill in whole tokens.
+    pub fn available(&self) -> u64 {
+        (self.tokens_nano / NANO as u128) as u64
+    }
+
+    /// Token-bucket conservation: over the bucket's whole life,
+    /// `granted ≤ burst + elapsed × rate / 1e9` (+1 for the fractional
+    /// token in flight). A bucket violating this is over-admitting.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let elapsed = self.last_ns.saturating_sub(self.start_ns) as u128;
+        let bound = self.burst as u128 + elapsed * self.rate_per_sec as u128 / NANO as u128 + 1;
+        if self.granted as u128 > bound {
+            return Err(format!(
+                "token bucket over-admitted: granted {} > bound {bound} \
+                 (burst {}, rate {}/s, window {elapsed} ns)",
+                self.granted, self.burst, self.rate_per_sec
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Naive exact-LRU map with hit/miss counters — the
 /// [`adarnet_serve::PatchCache`] contract, over small integer keys.
 pub struct LruModel {
@@ -364,6 +590,86 @@ mod tests {
         r.commit(3, 13);
         assert_eq!(r.expected_survivors(), vec![(1, 11), (3, 13)]);
         assert!(r.check_tail(&r.expected_survivors()).is_ok());
+    }
+
+    #[test]
+    fn priority_model_matches_the_documented_pop_order() {
+        // Same script as the real LaneQueue's unit test: the two
+        // restatements of the WRR rule must agree on the exact order.
+        let mut q = PriorityQueueModel::new(16, [4, 2, 1]);
+        for v in 0..3 {
+            assert_eq!(q.push(2, 300 + v), ModelPush::Enqueued);
+            assert_eq!(q.push(1, 200 + v), ModelPush::Enqueued);
+            assert_eq!(q.push(0, 100 + v), ModelPush::Enqueued);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.try_pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![100, 101, 102, 200, 201, 300, 202, 301, 302]);
+        assert!(q.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn priority_model_never_starves_bulk() {
+        let mut q = PriorityQueueModel::new(64, [4, 2, 1]);
+        for v in 0..27 {
+            q.push((v % 3) as usize, v);
+        }
+        // Top every lane back up while popping a full backlog window.
+        for i in 0..21 {
+            let (lane, _) = q.try_pop().expect("backlogged");
+            q.push(lane, 1000 + i);
+        }
+        assert!(q.served[2] >= 2, "bulk starved: {:?}", q.served);
+        assert!(
+            q.served[0] > q.served[2],
+            "weighting inverted: {:?}",
+            q.served
+        );
+    }
+
+    #[test]
+    fn priority_model_saturates_per_lane_and_batches_stay_pure() {
+        let mut q = PriorityQueueModel::new(1, [4, 2, 1]);
+        assert_eq!(q.push(0, 1), ModelPush::Enqueued);
+        assert_eq!(q.push(0, 2), ModelPush::Saturated, "lane 0 full");
+        assert_eq!(q.push(2, 3), ModelPush::Enqueued, "lanes independent");
+        let (lane, batch) = q.try_pop_batch(8).unwrap();
+        assert_eq!((lane, batch), (0, vec![1]), "one lane per batch");
+        q.shutdown();
+        assert_eq!(q.push(1, 4), ModelPush::Rejected);
+        let (lane, batch) = q.try_pop_batch(8).unwrap();
+        assert_eq!((lane, batch), (2, vec![3]), "shutdown still drains");
+        assert!(q.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn priority_conservation_catches_starvation() {
+        let mut q = PriorityQueueModel::new(4, [4, 2, 1]);
+        q.push(2, 7);
+        assert!(q.check_conservation().is_err(), "undrained lane caught");
+    }
+
+    #[test]
+    fn quota_model_burst_deny_refill_and_conservation() {
+        let mut b = QuotaModel::new(10, 3, 0);
+        for _ in 0..3 {
+            assert!(b.try_take(0));
+        }
+        assert!(!b.try_take(0), "burst exhausted");
+        assert!(!b.try_take(50_000_000), "half a token is not a token");
+        assert!(b.try_take(100_000_000), "one token refilled at 10/s");
+        // Backwards clock: tolerated, no refill.
+        assert!(!b.try_take(0));
+        assert_eq!((b.granted, b.denied), (4, 3));
+        assert!(b.check_conservation().is_ok());
+    }
+
+    #[test]
+    fn quota_conservation_catches_over_admission() {
+        let mut b = QuotaModel::new(1, 1, 0);
+        // Forge a broken ledger: more grants than the window allows.
+        b.granted = 50;
+        b.last_ns = NANO; // 1 s window at 1/s: bound is 1 + 1 + 1.
+        assert!(b.check_conservation().is_err());
     }
 
     #[test]

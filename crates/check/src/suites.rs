@@ -20,6 +20,16 @@
 //!   frozen engine additionally satisfies one-`Arc`-per-generation
 //!   identity, and an engine held across a hot swap (an in-flight
 //!   batch) keeps the *old* generation's weights bit-for-bit;
+//! * **lanes** — the three-lane weighted-deficit queue's push outcomes
+//!   (per-lane saturation, shutdown rejection), the lane every pop
+//!   selects, per-lane FIFO order, batch lane-purity, and drain-time
+//!   conservation (a starved lane is a conservation violation) all
+//!   match the naive `PriorityQueueModel` restatement of the pickup
+//!   rule at every step;
+//! * **quota** — per-tenant token buckets match the `QuotaModel`
+//!   admit/deny decisions under a logical clock (including
+//!   non-monotonic interleavings), and every tenant's grants respect
+//!   the conservation bound `granted ≤ burst + elapsed × rate`;
 //! * **recorder** — the obs flight recorder's two-phase
 //!   `reserve()`/`commit()` ring matches its order-independent fixed
 //!   point (per slot, the highest-seq committed event) under every
@@ -33,12 +43,17 @@ use adarnet_core::checkpoint::{ModelCheckpoint, CHECKPOINT_VERSION};
 use adarnet_core::engine::InferenceEngine;
 use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNet, AdarNetConfig};
-use adarnet_serve::{BoundedQueue, ModelRegistry, PatchCache, PatchKey, PushOutcome};
+use adarnet_serve::{
+    BoundedQueue, LaneQueue, ModelRegistry, PatchCache, PatchKey, Priority, PushOutcome,
+    QuotaConfig, QuotaTable,
+};
 use adarnet_tensor::{Shape, Tensor};
 
 use adarnet_obs::{EventKind, FlightRecorder};
 
-use crate::oracle::{LruModel, ModelPush, QueueModel, RecorderModel, RegistryModel};
+use crate::oracle::{
+    LruModel, ModelPush, PriorityQueueModel, QueueModel, QuotaModel, RecorderModel, RegistryModel,
+};
 use crate::sched::{explore_exhaustive, explore_random, ExploreResult, Scenario};
 
 /// Exploration effort: `Full` is the CI gate (≥ 10k interleavings),
@@ -265,6 +280,389 @@ pub fn queue_suite(budget: Budget) -> ExploreResult {
         Budget::Small => 200,
     };
     result.merge(explore_random(&mixed, trials, 0xADA7));
+    result
+}
+
+// ---------------------------------------------------------------------
+// Lane suite
+// ---------------------------------------------------------------------
+
+/// One scripted lane-queue operation.
+#[derive(Debug, Clone, Copy)]
+pub enum LaneOp {
+    /// `push(lane, value)` (lane 0 = interactive .. 2 = bulk).
+    Push(usize, u64),
+    /// `try_pop()`.
+    TryPop,
+    /// `try_pop_batch(max)`.
+    TryPopBatch(usize),
+    /// `pop_batch(max, 0)` — skipped when it would block (all lanes
+    /// empty, not shut down) since the checker owns the only thread.
+    PopBatch(usize),
+    /// `shutdown()`.
+    Shutdown,
+}
+
+/// Threads of lane ops over one shared [`LaneQueue`].
+pub struct LaneScenario {
+    /// Per-lane capacity under test.
+    pub capacity: usize,
+    /// Per-cycle lane credits under test.
+    pub weights: [u64; 3],
+    /// Per-thread op scripts.
+    pub scripts: Vec<Vec<LaneOp>>,
+}
+
+/// Real lane queue + shadow model for one interleaving.
+pub struct LaneState {
+    real: LaneQueue<u64>,
+    model: PriorityQueueModel,
+}
+
+impl LaneState {
+    fn lens_diverged(&self) -> Option<String> {
+        for lane in 0..3 {
+            let p = Priority::from_index(lane)?;
+            if self.real.lane_len(p) != self.model.lane_len(lane) {
+                return Some(format!(
+                    "lane {lane} len diverged: real {} vs spec {}",
+                    self.real.lane_len(p),
+                    self.model.lane_len(lane)
+                ));
+            }
+        }
+        None
+    }
+}
+
+impl Scenario for LaneScenario {
+    type State = LaneState;
+
+    fn name(&self) -> &'static str {
+        "serve::lanes"
+    }
+
+    fn thread_ops(&self) -> Vec<usize> {
+        self.scripts.iter().map(Vec::len).collect()
+    }
+
+    fn init(&self) -> LaneState {
+        LaneState {
+            real: LaneQueue::new(self.capacity, self.weights),
+            model: PriorityQueueModel::new(self.capacity, self.weights),
+        }
+    }
+
+    fn step(&self, state: &mut LaneState, thread: usize, op: usize) -> Result<(), String> {
+        let Some(op) = self.scripts.get(thread).and_then(|s| s.get(op)).copied() else {
+            return Err(format!("no op {op} for thread {thread} (bad script)"));
+        };
+        match op {
+            LaneOp::Push(lane, value) => {
+                let Some(p) = Priority::from_index(lane) else {
+                    return Err(format!("script lane {lane} out of range"));
+                };
+                let real = state.real.push(p, value);
+                let model = state.model.push(lane, value);
+                let real_kind = match real {
+                    PushOutcome::Enqueued => ModelPush::Enqueued,
+                    PushOutcome::Saturated(v) if v == value => ModelPush::Saturated,
+                    PushOutcome::Rejected(v) if v == value => ModelPush::Rejected,
+                    PushOutcome::Saturated(v) | PushOutcome::Rejected(v) => {
+                        return Err(format!("push({lane}, {value}) handed back wrong item {v}"))
+                    }
+                };
+                if real_kind != model {
+                    return Err(format!(
+                        "push({lane}, {value}): real {real_kind:?} but spec says {model:?}"
+                    ));
+                }
+            }
+            LaneOp::TryPop => {
+                let real = state.real.try_pop().map(|(p, v)| (p.index(), v));
+                let model = state.model.try_pop();
+                if real != model {
+                    return Err(format!(
+                        "try_pop: real {real:?} but spec says {model:?} \
+                         (wrong lane selected or wrong item)"
+                    ));
+                }
+            }
+            LaneOp::TryPopBatch(max) => {
+                let real = state.real.try_pop_batch(max).map(|(p, b)| (p.index(), b));
+                let model = state.model.try_pop_batch(max);
+                if real != model {
+                    return Err(format!(
+                        "try_pop_batch({max}): real {real:?} but spec says {model:?}"
+                    ));
+                }
+            }
+            LaneOp::PopBatch(max) => {
+                if state.model.is_empty() && !state.model.is_shutdown() {
+                    // Would block with no co-runner to wake it; the
+                    // blocking path is exercised by the queue's own
+                    // cross-thread unit test.
+                    return Ok(());
+                }
+                let real = state
+                    .real
+                    .pop_batch(max, Duration::ZERO)
+                    .map(|(p, b)| (p.index(), b));
+                let model = state.model.try_pop_batch(max);
+                match (real, model) {
+                    (None, None) if state.model.is_shutdown() => {}
+                    (Some((lane, batch)), Some((mlane, mbatch))) => {
+                        if lane != mlane || batch != mbatch {
+                            return Err(format!(
+                                "pop_batch({max}): real lane {lane} {batch:?} but spec \
+                                 says lane {mlane} {mbatch:?}"
+                            ));
+                        }
+                        if batch.is_empty() {
+                            return Err("pop_batch returned an empty batch".into());
+                        }
+                    }
+                    (real, model) => {
+                        return Err(format!(
+                            "pop_batch({max}): real {real:?} but spec says {model:?}"
+                        ));
+                    }
+                }
+            }
+            LaneOp::Shutdown => {
+                state.real.shutdown();
+                state.model.shutdown();
+            }
+        }
+        if let Some(msg) = state.lens_diverged() {
+            return Err(format!("after {op:?}: {msg}"));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, state: &mut LaneState) -> Result<(), String> {
+        // Drain both sides completely, still in lock-step — so a lane
+        // the real queue never serves (starvation) diverges here or in
+        // the conservation check.
+        loop {
+            let real = state.real.try_pop().map(|(p, v)| (p.index(), v));
+            let model = state.model.try_pop();
+            if real != model {
+                return Err(format!("drain diverged: real {real:?} vs spec {model:?}"));
+            }
+            if real.is_none() {
+                break;
+            }
+        }
+        state.model.check_conservation()
+    }
+}
+
+/// Run the lane suite at the given budget.
+pub fn lane_suite(budget: Budget) -> ExploreResult {
+    use LaneOp::*;
+    let mut result = ExploreResult::default();
+
+    // Three producers (one per lane) racing one popper through the
+    // default [8, 4, 1] weighting — every interleaving of 9 ops
+    // (1680 exhaustively). Every pop's lane choice is cross-checked.
+    let contended = LaneScenario {
+        capacity: 4,
+        weights: [8, 4, 1],
+        scripts: vec![
+            vec![Push(0, 100), Push(0, 101), Push(0, 102)],
+            vec![Push(2, 300), Push(2, 301), Push(2, 302)],
+            vec![TryPop, TryPop, TryPop],
+        ],
+    };
+    // Per-lane saturation + shutdown against batched popping,
+    // capacity 1 per lane (560 interleavings).
+    let saturating = LaneScenario {
+        capacity: 1,
+        weights: [4, 2, 1],
+        scripts: vec![
+            vec![Push(0, 1), Push(0, 2), Push(1, 3)],
+            vec![Push(2, 10), Push(2, 11), Shutdown],
+            vec![TryPopBatch(2), TryPopBatch(2)],
+        ],
+    };
+    // Blocking pop_batch vs producers + shutdown (560 interleavings):
+    // batches must stay lane-pure under every arrival order.
+    let blocking = LaneScenario {
+        capacity: 4,
+        weights: [2, 2, 2],
+        scripts: vec![
+            vec![Push(1, 7), Push(2, 8), Shutdown],
+            vec![Push(0, 9), Push(0, 10)],
+            vec![PopBatch(3), PopBatch(3)],
+        ],
+    };
+    match budget {
+        Budget::Full => {
+            result.merge(explore_exhaustive(&contended));
+            result.merge(explore_exhaustive(&saturating));
+            result.merge(explore_exhaustive(&blocking));
+        }
+        Budget::Small => {
+            result.merge(explore_random(&contended, 60, 41));
+            result.merge(explore_random(&saturating, 60, 42));
+            result.merge(explore_exhaustive(&blocking));
+        }
+    }
+
+    // A larger mixed workload, randomly scheduled: pushers on every
+    // lane, mixed poppers, a late shutdown. Too many interleavings to
+    // enumerate, so sample a seeded stream.
+    let mixed = LaneScenario {
+        capacity: 3,
+        weights: [4, 2, 1],
+        scripts: vec![
+            vec![Push(0, 1), Push(1, 2), Push(0, 3), Push(2, 4), Push(0, 5)],
+            vec![Push(2, 21), Push(2, 22), Push(1, 23), Push(2, 24)],
+            vec![TryPop, TryPopBatch(2), TryPop, TryPopBatch(3), TryPop],
+            vec![PopBatch(2), TryPop, PopBatch(2)],
+            vec![Push(1, 31), Push(0, 32), Shutdown],
+        ],
+    };
+    let trials = match budget {
+        Budget::Full => 4000,
+        Budget::Small => 200,
+    };
+    result.merge(explore_random(&mixed, trials, 0x1A4E5));
+    result
+}
+
+// ---------------------------------------------------------------------
+// Quota suite
+// ---------------------------------------------------------------------
+
+/// One scripted quota operation: `try_take_at(tenant, now_ns)`. Clock
+/// values are per-op, so interleavings drive the buckets with
+/// non-monotonic clocks — exactly the hostile schedule the bucket must
+/// tolerate.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaOp {
+    /// Tenant id taking a token.
+    pub tenant: u64,
+    /// Logical clock for this take, nanoseconds.
+    pub now_ns: u64,
+}
+
+/// Threads of quota takes over one shared [`QuotaTable`].
+pub struct QuotaScenario {
+    /// Limits enforced for every tenant.
+    pub cfg: QuotaConfig,
+    /// Per-thread op scripts.
+    pub scripts: Vec<Vec<QuotaOp>>,
+}
+
+/// Real table + per-tenant shadow buckets for one interleaving.
+pub struct QuotaState {
+    real: QuotaTable,
+    model: std::collections::HashMap<u64, QuotaModel>,
+}
+
+impl Scenario for QuotaScenario {
+    type State = QuotaState;
+
+    fn name(&self) -> &'static str {
+        "serve::quota"
+    }
+
+    fn thread_ops(&self) -> Vec<usize> {
+        self.scripts.iter().map(Vec::len).collect()
+    }
+
+    fn init(&self) -> QuotaState {
+        QuotaState {
+            real: QuotaTable::new(self.cfg),
+            model: std::collections::HashMap::new(),
+        }
+    }
+
+    fn step(&self, state: &mut QuotaState, thread: usize, op: usize) -> Result<(), String> {
+        let Some(op) = self.scripts.get(thread).and_then(|s| s.get(op)).copied() else {
+            return Err(format!("no op {op} for thread {thread} (bad script)"));
+        };
+        let real = state.real.try_take_at(op.tenant, op.now_ns);
+        let bucket = state
+            .model
+            .entry(op.tenant)
+            .or_insert_with(|| QuotaModel::new(self.cfg.rate_per_sec, self.cfg.burst, op.now_ns));
+        let model = bucket.try_take(op.now_ns);
+        if real != model {
+            return Err(format!(
+                "try_take_at(tenant {}, {} ns): real {real} but spec says {model}",
+                op.tenant, op.now_ns
+            ));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, state: &mut QuotaState) -> Result<(), String> {
+        if state.real.tenants() != state.model.len() {
+            return Err(format!(
+                "tenant count diverged: real {} vs spec {}",
+                state.real.tenants(),
+                state.model.len()
+            ));
+        }
+        for (tenant, bucket) in &state.model {
+            bucket
+                .check_conservation()
+                .map_err(|e| format!("tenant {tenant}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the quota suite at the given budget.
+pub fn quota_suite(budget: Budget) -> ExploreResult {
+    let mut result = ExploreResult::default();
+    let take = |tenant, now_ns| QuotaOp { tenant, now_ns };
+    let ms = 1_000_000u64;
+
+    // Two tenants, three threads with overlapping clock ranges: every
+    // interleaving delivers a different (often non-monotonic) clock
+    // sequence to each bucket (1680 exhaustively). rate 100/s, burst 2:
+    // refills land mid-script (one token per 10 ms).
+    let cfg = QuotaConfig {
+        rate_per_sec: 100,
+        burst: 2,
+    };
+    let racing = QuotaScenario {
+        cfg,
+        scripts: vec![
+            vec![take(1, 0), take(1, 5 * ms), take(1, 30 * ms)],
+            vec![take(1, 10 * ms), take(2, 0), take(2, ms)],
+            vec![take(2, 20 * ms), take(1, 15 * ms), take(2, 2 * ms)],
+        ],
+    };
+    match budget {
+        Budget::Full => result.merge(explore_exhaustive(&racing)),
+        Budget::Small => result.merge(explore_random(&racing, 80, 51)),
+    }
+
+    // Heavier churn: four tenants, dense takes, clocks that jump both
+    // ways — randomly scheduled.
+    let churn = QuotaScenario {
+        cfg: QuotaConfig {
+            rate_per_sec: 1000,
+            burst: 3,
+        },
+        scripts: (0..4)
+            .map(|t| {
+                (0..6)
+                    .map(|k| take(1 + (t as u64 + k) % 4, (k * 7 + t as u64 * 3) * ms))
+                    .collect()
+            })
+            .collect(),
+    };
+    let trials = match budget {
+        Budget::Full => 4000,
+        Budget::Small => 200,
+    };
+    result.merge(explore_random(&churn, trials, 0x900A));
     result
 }
 
@@ -1013,6 +1411,8 @@ pub fn recorder_suite(budget: Budget) -> ExploreResult {
 pub fn run_all(budget: Budget) -> Vec<(&'static str, ExploreResult)> {
     vec![
         ("queue", queue_suite(budget)),
+        ("lanes", lane_suite(budget)),
+        ("quota", quota_suite(budget)),
         ("cache", cache_suite(budget)),
         ("registry", registry_suite(budget)),
         ("recorder", recorder_suite(budget)),
@@ -1074,6 +1474,96 @@ mod tests {
         assert!(
             !r.violations.is_empty(),
             "seeded undersized ring must be caught"
+        );
+    }
+
+    #[test]
+    fn oracle_catches_a_seeded_lane_weight_bug() {
+        // A real queue configured with different weights than the spec
+        // believes must diverge on some pop's lane choice.
+        struct Buggy(LaneScenario);
+        impl Scenario for Buggy {
+            type State = LaneState;
+            fn name(&self) -> &'static str {
+                "buggy-lanes"
+            }
+            fn thread_ops(&self) -> Vec<usize> {
+                self.0.thread_ops()
+            }
+            fn init(&self) -> LaneState {
+                LaneState {
+                    // Real weights favor bulk; the spec expects [4,2,1].
+                    real: LaneQueue::new(self.0.capacity, [1, 1, 4]),
+                    model: PriorityQueueModel::new(self.0.capacity, [4, 2, 1]),
+                }
+            }
+            fn step(&self, s: &mut LaneState, t: usize, o: usize) -> Result<(), String> {
+                self.0.step(s, t, o)
+            }
+            fn finish(&self, s: &mut LaneState) -> Result<(), String> {
+                self.0.finish(s)
+            }
+        }
+        use LaneOp::*;
+        let buggy = Buggy(LaneScenario {
+            capacity: 8,
+            weights: [4, 2, 1],
+            scripts: vec![
+                vec![Push(0, 1), Push(0, 2), Push(0, 3)],
+                vec![Push(2, 10), Push(2, 11), Push(2, 12)],
+            ],
+        });
+        let r = explore_exhaustive(&buggy);
+        assert!(
+            !r.violations.is_empty(),
+            "seeded weight mismatch must be caught at drain time"
+        );
+    }
+
+    #[test]
+    fn oracle_catches_a_seeded_quota_bug() {
+        // A real table admitting at double the spec's rate must diverge.
+        struct Buggy(QuotaScenario);
+        impl Scenario for Buggy {
+            type State = QuotaState;
+            fn name(&self) -> &'static str {
+                "buggy-quota"
+            }
+            fn thread_ops(&self) -> Vec<usize> {
+                self.0.thread_ops()
+            }
+            fn init(&self) -> QuotaState {
+                QuotaState {
+                    real: QuotaTable::new(QuotaConfig {
+                        rate_per_sec: self.0.cfg.rate_per_sec * 2,
+                        burst: self.0.cfg.burst,
+                    }),
+                    model: std::collections::HashMap::new(),
+                }
+            }
+            fn step(&self, s: &mut QuotaState, t: usize, o: usize) -> Result<(), String> {
+                self.0.step(s, t, o)
+            }
+            fn finish(&self, s: &mut QuotaState) -> Result<(), String> {
+                self.0.finish(s)
+            }
+        }
+        let take = |tenant, now_ns| QuotaOp { tenant, now_ns };
+        let buggy = Buggy(QuotaScenario {
+            cfg: QuotaConfig {
+                rate_per_sec: 100,
+                burst: 1,
+            },
+            scripts: vec![
+                // 100/s = one token per 10 ms; at 2× rate the 5 ms take
+                // after exhaustion is wrongly admitted.
+                vec![take(1, 0), take(1, 5_000_000), take(1, 10_000_000)],
+            ],
+        });
+        let r = explore_exhaustive(&buggy);
+        assert!(
+            !r.violations.is_empty(),
+            "seeded double-rate table must be caught"
         );
     }
 

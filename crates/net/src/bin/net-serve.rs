@@ -1,0 +1,333 @@
+//! TCP serving driver: stand up the full stack (model → serve →
+//! net) on loopback or a given address, and measure the priority
+//! scheduler under mixed tenant load.
+//!
+//! Subcommands:
+//!
+//! * `net-serve smoke` — loopback end-to-end smoke: start a server on
+//!   an ephemeral port, drive a small mixed load through the TCP
+//!   loadgen, verify every lane completed and a corrupt frame is
+//!   rejected. Exit code 0 on success (the CI net stage).
+//! * `net-serve serve [ADDR]` — run a server (default
+//!   `127.0.0.1:7878`) until killed, printing the bound address.
+//! * `net-serve bench` — the lanes-vs-FIFO acceptance benchmark: the
+//!   same interactive + bulk tenant mix through (a) the 3-lane
+//!   weighted-deficit scheduler and (b) a FIFO-only configuration,
+//!   reporting per-lane p50/p95/p99 and merging a `tcp_lanes` object
+//!   into `BENCH_serve.json` (path from `ADARNET_SERVE_OUT`).
+//!
+//! Environment knobs: `ADARNET_SERVE_SCALE` (`quick` | `full`),
+//! `ADARNET_NET_REQUESTS` (requests per interactive connection),
+//! `ADARNET_SERVE_OUT` (bench JSON path, default `BENCH_serve.json`).
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adarnet_core::checkpoint;
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_net::{run_tcp_closed_loop, ClientSpec, NetClient, NetServer, TcpLoadReport};
+use adarnet_serve::{field_pool, ModelRegistry, Priority, QuotaConfig, ServeConfig, Server};
+use serde::{Serialize, Value};
+
+fn registry(patch: usize) -> Arc<ModelRegistry> {
+    let model = AdarNet::new(AdarNetConfig {
+        ph: patch,
+        pw: patch,
+        seed: 42,
+        ..AdarNetConfig::default()
+    });
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("net", checkpoint::snapshot(&model, &NormStats::identity()));
+    registry.activate("net").unwrap();
+    registry
+}
+
+fn start_stack(cfg: ServeConfig, patch: usize, addr: &str) -> (NetServer, Arc<Server>) {
+    let serve = Arc::new(Server::start(cfg, registry(patch)).unwrap());
+    let net = NetServer::start(addr, serve.clone()).unwrap();
+    (net, serve)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The mixed tenant load both bench sides and the smoke test share:
+/// interactive tenants send small fields with a deadline; bulk tenants
+/// keep a deep backlog of 4×-the-cells fields queued at all times.
+/// `scale` multiplies request counts. Many medium bulk jobs (rather
+/// than a few huge ones) keep the single worker's in-flight time short
+/// relative to the queue backlog, so *queue order* — the thing the
+/// lane scheduler controls — is what separates the two bench modes.
+fn mixed_specs(scale: usize, interactive_requests: usize) -> Vec<ClientSpec> {
+    // Interactive: small fields, latency-sensitive.
+    let small = field_pool(4, 16, 32, 7);
+    // Bulk: 4x the cells per request, throughput-oriented.
+    let large = field_pool(4, 32, 64, 11);
+    vec![
+        ClientSpec {
+            tenant: 1,
+            priority: Priority::Interactive,
+            connections: 4,
+            requests: interactive_requests * scale,
+            deadline_ms: 0,
+            fields: small,
+        },
+        ClientSpec {
+            tenant: 2,
+            priority: Priority::Bulk,
+            connections: 8,
+            requests: interactive_requests * scale,
+            deadline_ms: 0,
+            fields: large,
+        },
+    ]
+}
+
+fn print_report(label: &str, report: &TcpLoadReport) {
+    println!(
+        "{label}: {:.1} req/s over {:.2}s",
+        report.throughput_rps, report.elapsed_s
+    );
+    for lane in &report.lanes {
+        println!(
+            "  {:>11}  n={:<4} full={:<4} degraded={:<3} err={:<2} p50 {:>8.2} ms  p95 {:>8.2} ms  p99 {:>8.2} ms  max {:>8.2} ms",
+            lane.lane, lane.requests, lane.full, lane.degraded, lane.errors,
+            lane.p50_ms, lane.p95_ms, lane.p99_ms, lane.max_ms,
+        );
+    }
+}
+
+fn smoke() {
+    let cfg = ServeConfig {
+        workers: 1,
+        quota: Some(QuotaConfig {
+            rate_per_sec: 100_000,
+            burst: 100_000,
+        }),
+        ..ServeConfig::default()
+    };
+    let (net, serve) = start_stack(cfg, 8, "127.0.0.1:0");
+    let addr = net.local_addr();
+    println!("smoke: serving on {addr}");
+
+    let specs = mixed_specs(1, env_usize("ADARNET_NET_REQUESTS", 4));
+    let report = run_tcp_closed_loop(addr, &specs);
+    print_report("smoke mixed load", &report);
+
+    let interactive = report.lane(Priority::Interactive).expect("interactive ran");
+    let bulk = report.lane(Priority::Bulk).expect("bulk ran");
+    let expect_interactive: usize = specs[0].connections * specs[0].requests;
+    let expect_bulk: usize = specs[1].connections * specs[1].requests;
+    assert_eq!(
+        interactive.requests, expect_interactive,
+        "every interactive request must be answered"
+    );
+    assert_eq!(
+        bulk.requests, expect_bulk,
+        "every bulk request must be answered (no starvation, no hang)"
+    );
+    assert_eq!(interactive.errors + bulk.errors, 0, "no protocol errors");
+
+    // Well-framed garbage must come back as a typed error response.
+    let mut client = NetClient::connect(addr).unwrap();
+    let garbage = vec![0u8; 32];
+    let resp = client
+        .send_raw(&garbage)
+        .expect("framed garbage gets a reply");
+    assert_eq!(
+        resp.status,
+        adarnet_net::Status::Error,
+        "typed error expected"
+    );
+
+    // A corrupt frame (bad CRC) must close the connection, not hang it.
+    {
+        use std::io::Write;
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let body = b"not a real body";
+        raw.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        raw.write_all(body).unwrap();
+        raw.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap(); // wrong CRC
+        raw.flush().unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = [0u8; 1];
+        use std::io::Read;
+        let n = raw.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server must close the connection on CRC mismatch");
+    }
+
+    net.shutdown();
+    let stats = Arc::try_unwrap(serve)
+        .map(|s| s.shutdown())
+        .unwrap_or_else(|arc| arc.stats());
+    println!(
+        "smoke: completed={} per-lane={:?} shed_total={}",
+        stats.completed,
+        stats.completed_per_lane,
+        stats.shed_total()
+    );
+    println!("net smoke OK");
+}
+
+fn serve_forever(addr: &str) {
+    let (net, _serve) = start_stack(ServeConfig::default(), 8, addr);
+    println!("serving on {} (ctrl-c to stop)", net.local_addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[derive(Serialize)]
+struct LanesVsFifo {
+    mode: String,
+    report: TcpLoadReport,
+}
+
+#[derive(Serialize)]
+struct TcpLanesBench {
+    interactive_connections: usize,
+    bulk_connections: usize,
+    interactive_requests_per_conn: usize,
+    bulk_requests_per_conn: usize,
+    lane_weights: [u64; 3],
+    runs: Vec<LanesVsFifo>,
+    fifo_interactive_p99_ms: f64,
+    lanes_interactive_p99_ms: f64,
+    interactive_p99_speedup: f64,
+    bulk_completed_under_lanes: u64,
+}
+
+fn bench() {
+    let scale = match std::env::var("ADARNET_SERVE_SCALE").as_deref() {
+        Ok("full") => 4,
+        _ => 1,
+    };
+    let interactive_requests = env_usize("ADARNET_NET_REQUESTS", 8);
+    let specs = mixed_specs(scale, interactive_requests);
+
+    // Tight queues + single worker + single-request batches: the
+    // scheduler, not spare capacity or in-flight batch length, decides
+    // who waits. FIFO side funnels everything into one lane.
+    let base = ServeConfig {
+        queue_capacity: 512,
+        max_batch: 1,
+        max_linger: Duration::from_millis(0),
+        workers: 1,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let mut runs = Vec::new();
+    let mut fifo_p99 = 0.0f64;
+    let mut lanes_p99 = 0.0f64;
+    let mut bulk_completed = 0u64;
+
+    for (mode, fifo_only) in [("fifo", true), ("lanes", false)] {
+        let cfg = ServeConfig { fifo_only, ..base };
+        let (net, serve) = start_stack(cfg, 8, "127.0.0.1:0");
+        let report = run_tcp_closed_loop(net.local_addr(), &specs);
+        print_report(mode, &report);
+        let interactive = report
+            .lane(Priority::Interactive)
+            .expect("interactive lane saw traffic");
+        match mode {
+            "fifo" => fifo_p99 = interactive.p99_ms,
+            _ => lanes_p99 = interactive.p99_ms,
+        }
+        net.shutdown();
+        let stats = Arc::try_unwrap(serve)
+            .map(|s| s.shutdown())
+            .unwrap_or_else(|arc| arc.stats());
+        if mode == "lanes" {
+            bulk_completed = stats.completed_per_lane[Priority::Bulk.index()];
+            assert!(
+                bulk_completed > 0,
+                "bulk lane starved under the weighted scheduler"
+            );
+        }
+        runs.push(LanesVsFifo {
+            mode: mode.to_string(),
+            report,
+        });
+    }
+
+    let speedup = if lanes_p99 > 0.0 {
+        fifo_p99 / lanes_p99
+    } else {
+        0.0
+    };
+    println!(
+        "interactive p99: fifo {fifo_p99:.2} ms vs lanes {lanes_p99:.2} ms -> {speedup:.2}x; bulk completed under lanes: {bulk_completed}"
+    );
+
+    let bench = TcpLanesBench {
+        interactive_connections: specs[0].connections,
+        bulk_connections: specs[1].connections,
+        interactive_requests_per_conn: specs[0].requests,
+        bulk_requests_per_conn: specs[1].requests,
+        lane_weights: base.lane_weights,
+        runs,
+        fifo_interactive_p99_ms: fifo_p99,
+        lanes_interactive_p99_ms: lanes_p99,
+        interactive_p99_speedup: speedup,
+        bulk_completed_under_lanes: bulk_completed,
+    };
+
+    let out_path = std::env::var("ADARNET_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    merge_into_bench_json(&out_path, &bench);
+    println!("merged tcp_lanes into {out_path}");
+}
+
+/// Insert/replace the `tcp_lanes` key in the (existing or fresh)
+/// BENCH_serve.json, preserving everything the serve bin wrote.
+fn merge_into_bench_json(path: &str, bench: &TcpLanesBench) {
+    use serde::Serialize as _;
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::parse_value(&text).ok())
+        .unwrap_or(Value::Object(Vec::new()));
+    let fields = match &mut doc {
+        Value::Object(fields) => fields,
+        _ => {
+            doc = Value::Object(Vec::new());
+            match &mut doc {
+                Value::Object(fields) => fields,
+                _ => unreachable!(),
+            }
+        }
+    };
+    let entry = bench.to_value();
+    match fields.iter_mut().find(|(k, _)| k == "tcp_lanes") {
+        Some((_, v)) => *v = entry,
+        None => fields.push(("tcp_lanes".to_string(), entry)),
+    }
+    let json = serde_json::to_string_pretty(&doc).expect("bench report serializes");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    adarnet_obs::init();
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "smoke".into());
+    match mode.as_str() {
+        "smoke" => smoke(),
+        "serve" => {
+            let addr = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "127.0.0.1:7878".into());
+            serve_forever(&addr);
+        }
+        "bench" => bench(),
+        other => {
+            eprintln!("unknown subcommand '{other}' (expected smoke | serve | bench)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # adarnet-net
+//!
+//! Wire-protocol front end for the ADARNet inference service
+//! (DESIGN.md §13): the layer between real TCP traffic and the
+//! priority-lane scheduler in `adarnet-serve`.
+//!
+//! * **framing** ([`frame`]): length-prefixed binary frames with a
+//!   CRC32 trailer — a corrupt or oversized frame is detected before a
+//!   single payload byte is interpreted, and closes the connection;
+//! * **codec** ([`proto`]): versioned request/response bodies carrying
+//!   request id, tenant id, priority class, deadline budget, and the
+//!   raw `(C, H, W)` LR field; responses return the refinement
+//!   decision map (per-patch bins + scores) rather than the decoded SR
+//!   patches, so response size is bounded by the patch grid, not the
+//!   upsampling factor;
+//! * **server** ([`server`]): a blocking thread-per-connection
+//!   listener that decodes requests, submits them through
+//!   [`adarnet_serve::Server::submit_with`] (priority lane, tenant
+//!   quota, deadline — the full admission state machine), and answers
+//!   with the typed [`adarnet_serve::RejectReason`] when a request is
+//!   shed or browned out;
+//! * **client** ([`client`]): a blocking request/response client;
+//! * **load generation** ([`loadgen`]): a closed-loop TCP driver with
+//!   per-lane latency percentiles (the `net-serve` bin's bench mode
+//!   writes them into `BENCH_serve.json`).
+
+pub mod client;
+pub mod frame;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::NetClient;
+pub use frame::{crc32, read_frame, write_frame, FrameError, MAX_FRAME};
+pub use loadgen::{run_tcp_closed_loop, ClientSpec, LaneReport, TcpLoadReport};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, DecodeError, Request,
+    Response, Status, PROTOCOL_VERSION, REJECT_BAD_REQUEST,
+};
+pub use server::{NetServer, NetServerError};

@@ -1,0 +1,173 @@
+//! Loopback end-to-end tests: the full stack (model → serve →
+//! net) over real TCP on an ephemeral port.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adarnet_core::checkpoint;
+use adarnet_core::loss::NormStats;
+use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_net::{NetClient, NetServer, Status, REJECT_BAD_REQUEST};
+use adarnet_serve::{field_pool, ModelRegistry, Priority, RejectReason, ServeConfig, Server};
+
+const PATCH: usize = 8;
+
+fn start_stack(cfg: ServeConfig) -> (NetServer, Arc<Server>) {
+    let model = AdarNet::new(AdarNetConfig {
+        ph: PATCH,
+        pw: PATCH,
+        seed: 42,
+        ..AdarNetConfig::default()
+    });
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(
+        "net-test",
+        checkpoint::snapshot(&model, &NormStats::identity()),
+    );
+    registry.activate("net-test").unwrap();
+    let serve = Arc::new(Server::start(cfg, registry).unwrap());
+    let net = NetServer::start("127.0.0.1:0", serve.clone()).unwrap();
+    (net, serve)
+}
+
+fn finish(net: NetServer, serve: Arc<Server>) -> adarnet_serve::ServeStats {
+    net.shutdown();
+    Arc::try_unwrap(serve)
+        .map(|s| s.shutdown())
+        .unwrap_or_else(|arc| arc.stats())
+}
+
+#[test]
+fn full_inference_roundtrip_over_loopback() {
+    let (net, serve) = start_stack(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = net.local_addr();
+
+    let fields = field_pool(2, 16, 32, 7);
+    let mut client = NetClient::connect(addr).unwrap();
+    for (i, field) in fields.iter().enumerate() {
+        let resp = client
+            .infer(field.clone(), Priority::Interactive, 3, 0)
+            .unwrap();
+        assert_eq!(resp.status, Status::Full, "request {i} must fully infer");
+        assert_eq!(resp.reject, None);
+        assert_eq!(resp.priority, Priority::Interactive, "lane echo");
+        assert!(resp.generation > 0, "a live model generation");
+        // 16×32 field over 8×8 patches: a 2×4 decision grid.
+        assert_eq!((resp.npy, resp.npx), (2, 4), "patch grid extents");
+        let cells = resp.npy as usize * resp.npx as usize;
+        assert_eq!(resp.bins.len(), cells, "one bin per patch");
+        assert_eq!(resp.scores.len(), cells, "one score per patch");
+        assert!(resp.bins.iter().all(|&b| b <= 3), "bins within range");
+    }
+
+    let stats = finish(net, serve);
+    assert_eq!(stats.completed, fields.len() as u64);
+    assert_eq!(
+        stats.completed_per_lane[Priority::Interactive.index()],
+        fields.len() as u64,
+        "all traffic rode the interactive lane"
+    );
+    assert_eq!(stats.shed_total(), 0);
+}
+
+#[test]
+fn malformed_body_gets_typed_error_and_connection_survives() {
+    let (net, serve) = start_stack(ServeConfig::default());
+    let mut client = NetClient::connect(net.local_addr()).unwrap();
+
+    // Well-framed garbage: typed error response, not a hang or close.
+    let resp = client.send_raw(&[0u8; 48]).unwrap();
+    assert_eq!(resp.status, Status::Error);
+    assert_eq!(resp.reject_code, REJECT_BAD_REQUEST);
+    assert_eq!((resp.npy, resp.npx), (0, 0), "no decision grid on error");
+
+    // The same connection still serves real requests afterwards.
+    let field = field_pool(1, 16, 16, 5).remove(0);
+    let resp = client.infer(field, Priority::Standard, 1, 0).unwrap();
+    assert_eq!(resp.status, Status::Full, "connection survived bad request");
+
+    finish(net, serve);
+}
+
+#[test]
+fn corrupt_frame_closes_connection() {
+    let (net, serve) = start_stack(ServeConfig::default());
+    let addr = net.local_addr();
+
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let body = b"corrupted in flight";
+    raw.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+    raw.write_all(body).unwrap();
+    raw.write_all(&0x1BAD_C0DEu32.to_le_bytes()).unwrap(); // wrong CRC
+    raw.flush().unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut buf = [0u8; 1];
+    let n = raw.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server must close, not answer, a corrupt frame");
+
+    // The listener itself is unharmed: fresh connections still work.
+    let field = field_pool(1, 16, 16, 9).remove(0);
+    let mut client = NetClient::connect(addr).unwrap();
+    let resp = client.infer(field, Priority::Bulk, 2, 0).unwrap();
+    assert_eq!(resp.status, Status::Full);
+    assert_eq!(resp.priority, Priority::Bulk);
+
+    finish(net, serve);
+}
+
+#[test]
+fn wire_deadline_brownout_is_typed() {
+    // deadline_ms is a relative budget stamped at frame receipt; with a
+    // saturated single worker and a long bulk queue ahead of it, a
+    // 1 ms budget cannot survive the queue wait, so the sweep answers
+    // with a typed deadline brownout rather than silently dropping it.
+    let (net, serve) = start_stack(ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        max_linger: Duration::from_millis(0),
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    });
+    let addr = net.local_addr();
+
+    // Saturate the worker from a second connection with bulk work.
+    let big = field_pool(2, 24, 32, 11);
+    let bulk = std::thread::spawn(move || {
+        let mut c = NetClient::connect(addr).unwrap();
+        for f in big.iter().cycle().take(3) {
+            c.infer(f.clone(), Priority::Bulk, 9, 0).unwrap();
+        }
+    });
+
+    // Meanwhile, issue tight-deadline requests; at least one must be
+    // browned out while the worker grinds through bulk inference.
+    let small = field_pool(1, 16, 16, 3).remove(0);
+    let mut client = NetClient::connect(addr).unwrap();
+    let mut brownouts = 0;
+    for _ in 0..4 {
+        let resp = client
+            .infer(small.clone(), Priority::Interactive, 4, 1)
+            .unwrap();
+        match resp.status {
+            Status::Degraded => {
+                assert_eq!(resp.reject, Some(RejectReason::DeadlineExceeded));
+                let cells = resp.npy as usize * resp.npx as usize;
+                assert!(cells > 0, "brownout still carries a decision grid");
+                assert!(resp.bins.iter().all(|&b| b == 0), "brownout is bin-0");
+                brownouts += 1;
+            }
+            Status::Full => {}
+            Status::Error => panic!("deadline must brown out, not error"),
+        }
+    }
+    bulk.join().unwrap();
+    assert!(brownouts > 0, "a 1 ms budget under load must brown out");
+
+    let stats = finish(net, serve);
+    assert_eq!(stats.brownout_deadline, brownouts as u64);
+}

@@ -4,7 +4,8 @@ use adarnet_tensor::{Shape, Tensor};
 
 use crate::kernels::{
     conv2d_backward_input, conv2d_backward_params, conv2d_backward_params_gemm, conv2d_forward,
-    conv2d_forward_blocked, conv_out_extent, flip_transpose_weights, GEMM_THRESHOLD,
+    conv2d_forward_blocked, conv2d_forward_packed, conv_out_extent, flip_transpose_weights,
+    pack_weight_panels, packed_panels_len, PackedPanels, GEMM_THRESHOLD,
 };
 use crate::packed::{FrozenConv2d, PackedConvWeights};
 use crate::{InferLayer, Initializer, Layer, F};
@@ -23,6 +24,13 @@ pub struct Conv2d {
     dweight: Tensor<F>,
     dbias: Tensor<F>,
     cached_input: Option<Tensor<F>>,
+    /// Pack-once-per-step GEMM A-panel cache: the weight matrix packed
+    /// into the micro-kernel's k-major layout, rebuilt lazily after any
+    /// weight mutation ([`Conv2d::params_mut`] / [`Conv2d::weight_mut`]).
+    /// The buffer itself is retained across invalidations so repacking
+    /// after an optimizer step allocates nothing.
+    packed_cache: Vec<F>,
+    packed_valid: bool,
 }
 
 impl Conv2d {
@@ -54,6 +62,8 @@ impl Conv2d {
             dweight: Tensor::zeros(wshape),
             dbias: Tensor::zeros(Shape::d1(out_channels)),
             cached_input: None,
+            packed_cache: Vec::new(),
+            packed_valid: false,
         }
     }
 
@@ -72,8 +82,10 @@ impl Conv2d {
         &self.weight
     }
 
-    /// Direct mutable access to the weight tensor.
+    /// Direct mutable access to the weight tensor. Invalidates the
+    /// packed-panel cache: the next forward repacks.
     pub fn weight_mut(&mut self) -> &mut Tensor<F> {
+        self.packed_valid = false;
         &mut self.weight
     }
 
@@ -83,13 +95,36 @@ impl Conv2d {
     }
 
     /// Shared forward compute: large spatial extents run markedly faster
-    /// through the blocked im2col + GEMM micro-kernel; both paths are
-    /// verified equivalent in the kernel tests.
-    fn run_forward(&self, x: &Tensor<F>) -> Tensor<F> {
+    /// through the blocked im2col + GEMM micro-kernel, fed from the
+    /// pack-once-per-step A-panel cache (bitwise-identical to the
+    /// unpacked blocked path; both are verified equivalent to the direct
+    /// loop nest in the kernel tests). Weights repack only after a
+    /// mutation through [`Conv2d::params_mut`] / [`Conv2d::weight_mut`],
+    /// i.e. once per optimizer step in the training loop.
+    fn run_forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
         let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
         let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
         if oh * ow >= GEMM_THRESHOLD {
-            conv2d_forward_blocked(x, &self.weight, &self.bias, self.pad)
+            let k_len = self.in_channels * self.kernel * self.kernel;
+            if !self.packed_valid {
+                self.packed_cache
+                    .resize(packed_panels_len(self.out_channels, k_len), 0.0);
+                pack_weight_panels(
+                    self.weight.as_slice(),
+                    self.out_channels,
+                    k_len,
+                    &mut self.packed_cache,
+                );
+                self.packed_valid = true;
+            }
+            let view = PackedPanels {
+                data: &self.packed_cache,
+                oc: self.out_channels,
+                ic: self.in_channels,
+                kh: self.kernel,
+                kw: self.kernel,
+            };
+            conv2d_forward_packed(x, view, &self.bias, self.pad)
         } else {
             conv2d_forward(x, &self.weight, &self.bias, self.pad)
         }
@@ -170,6 +205,9 @@ impl Layer for Conv2d {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Tensor<F>> {
+        // The optimizer mutates weights through here; the next forward
+        // repacks the GEMM panels exactly once.
+        self.packed_valid = false;
         vec![&mut self.weight, &mut self.bias]
     }
 

@@ -11,7 +11,8 @@ use adarnet_tensor::{Shape, Tensor};
 
 use crate::kernels::{
     conv2d_backward_input, conv2d_backward_params, conv2d_backward_params_gemm, conv2d_forward,
-    conv2d_forward_blocked, conv_out_extent, flip_transpose_weights, GEMM_THRESHOLD,
+    conv2d_forward_blocked, conv2d_forward_packed, conv_out_extent, flip_transpose_weights,
+    pack_weight_panels, packed_panels_len, PackedPanels, GEMM_THRESHOLD,
 };
 use crate::packed::{FrozenConv2d, PackedConvWeights};
 use crate::{InferLayer, Initializer, Layer, F};
@@ -31,6 +32,13 @@ pub struct ConvTranspose2d {
     dweight: Tensor<F>,
     dbias: Tensor<F>,
     cached_input: Option<Tensor<F>>,
+    /// Pack-once-per-step cache of the *equivalent-conv* GEMM A-panels:
+    /// flip-transpose + pack happen together, lazily, after any weight
+    /// mutation through [`Layer::params_mut`] — so steady-state forward
+    /// calls skip both the per-call flip copy and the strided weight
+    /// traversal. The buffer is retained across invalidations.
+    packed_cache: Vec<F>,
+    packed_valid: bool,
 }
 
 impl ConvTranspose2d {
@@ -56,6 +64,8 @@ impl ConvTranspose2d {
             dweight: Tensor::zeros(wshape),
             dbias: Tensor::zeros(Shape::d1(out_channels)),
             cached_input: None,
+            packed_cache: Vec::new(),
+            packed_valid: false,
         }
     }
 
@@ -69,20 +79,44 @@ impl ConvTranspose2d {
         self.out_channels
     }
 
-    /// Shared forward compute through the equivalent-conv identity. The
-    /// flipped weight copy is pool-backed and recycled before returning.
-    fn run_forward(&self, x: &Tensor<F>) -> Tensor<F> {
-        // Equivalent conv weights: (OC, IC, KH, KW) with flipped kernels.
-        let w_conv = flip_transpose_weights(&self.weight);
+    /// Shared forward compute through the equivalent-conv identity. At
+    /// GEMM extents the flipped kernel lives pre-packed in the
+    /// pack-once-per-step cache (flip + pack paid only after a weight
+    /// mutation); below them a transient flipped copy feeds the direct
+    /// loop nest, pool-backed and recycled before returning.
+    fn run_forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
         let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
         let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
-        let y = if oh * ow >= GEMM_THRESHOLD {
-            conv2d_forward_blocked(x, &w_conv, &self.bias, self.pad)
+        if oh * ow >= GEMM_THRESHOLD {
+            let k_len = self.in_channels * self.kernel * self.kernel;
+            if !self.packed_valid {
+                // Equivalent conv weights: (OC, IC, KH, KW), flipped.
+                let w_conv = flip_transpose_weights(&self.weight);
+                self.packed_cache
+                    .resize(packed_panels_len(self.out_channels, k_len), 0.0);
+                pack_weight_panels(
+                    w_conv.as_slice(),
+                    self.out_channels,
+                    k_len,
+                    &mut self.packed_cache,
+                );
+                w_conv.recycle();
+                self.packed_valid = true;
+            }
+            let view = PackedPanels {
+                data: &self.packed_cache,
+                oc: self.out_channels,
+                ic: self.in_channels,
+                kh: self.kernel,
+                kw: self.kernel,
+            };
+            conv2d_forward_packed(x, view, &self.bias, self.pad)
         } else {
-            conv2d_forward(x, &w_conv, &self.bias, self.pad)
-        };
-        w_conv.recycle();
-        y
+            let w_conv = flip_transpose_weights(&self.weight);
+            let y = conv2d_forward(x, &w_conv, &self.bias, self.pad);
+            w_conv.recycle();
+            y
+        }
     }
 }
 
@@ -178,6 +212,9 @@ impl Layer for ConvTranspose2d {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Tensor<F>> {
+        // The optimizer mutates weights through here; the next forward
+        // re-flips and repacks the GEMM panels exactly once.
+        self.packed_valid = false;
         vec![&mut self.weight, &mut self.bias]
     }
 

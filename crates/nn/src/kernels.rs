@@ -35,10 +35,25 @@
 //! heap allocation (enforced by the `no-alloc-in-hot-path` repo lint
 //! rule and asserted end-to-end by `crates/core/tests/zero_alloc.rs`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use adarnet_tensor::{workspace, Shape, Tensor};
 use rayon::prelude::*;
 
 use crate::F;
+
+/// Process-wide count of weight A-panel packs ([`pack_weight_panels`]
+/// invocations). The pack-once-per-step caches in [`crate::Conv2d`] /
+/// [`crate::ConvTranspose2d`] and the frozen-model pre-pack are both
+/// pinned against this counter, `data_allocs()`-style: compare two
+/// snapshots to count packs in a window.
+static WEIGHT_PACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total weight-panel packs since process start. Monotonic; see
+/// [`WEIGHT_PACKS`].
+pub fn weight_packs() -> u64 {
+    WEIGHT_PACKS.load(Ordering::Relaxed)
+}
 
 /// Output spatial extent for stride-1 convolution.
 #[inline]
@@ -510,6 +525,7 @@ pub fn packed_panels_len(oc: usize, k_len: usize) -> usize {
 /// caller owns the (one-time) allocation so this file stays hot-path
 /// allocation-free.
 pub fn pack_weight_panels(ws: &[F], oc: usize, k_len: usize, dst: &mut [F]) {
+    WEIGHT_PACKS.fetch_add(1, Ordering::Relaxed);
     assert_eq!(ws.len(), oc * k_len, "pack: weight matrix size mismatch");
     assert_eq!(
         dst.len(),

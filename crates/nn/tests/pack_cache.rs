@@ -1,0 +1,139 @@
+//! Pack-once-per-step regression tests: the GEMM A-panel caches in
+//! `Conv2d` / `ConvTranspose2d` must pack exactly once per weight
+//! mutation, never per forward call, and never change the math.
+//!
+//! Pinned `data_allocs()`-style against the process-wide
+//! [`weight_packs`] counter: snapshot, act, compare. The counter is
+//! global, so every test that measures a delta holds [`COUNTER_LOCK`]
+//! for its whole window.
+
+use std::sync::Mutex;
+
+use adarnet_nn::kernels::{conv2d_forward_blocked, weight_packs};
+use adarnet_nn::{
+    Activation, Conv2d, ConvTranspose2d, Initializer, Layer, Optimizer, Sequential, Sgd,
+};
+use adarnet_tensor::{Shape, Tensor};
+
+/// Serializes the tests' [`weight_packs`] windows against each other.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn seq_tensor(shape: Shape) -> Tensor<f32> {
+    let n = shape.numel();
+    Tensor::from_vec(shape, (0..n).map(|i| (i as f32 * 0.13).sin()).collect())
+}
+
+/// Conv + activation + deconv — both cache-bearing layer kinds.
+fn tiny_net() -> Sequential {
+    Sequential::new()
+        .push(Conv2d::new(1, 4, 3, Initializer::HeNormal, 31))
+        .push(Activation::relu())
+        .push(ConvTranspose2d::new(
+            4,
+            2,
+            3,
+            Initializer::XavierUniform,
+            32,
+        ))
+}
+
+/// One optimizer step the way `crates/core`'s trainer does it: clone
+/// the accumulated grads, then update through `params_mut`.
+fn sgd_step(net: &mut Sequential, opt: &mut Sgd) {
+    let grads: Vec<Tensor<f32>> = net.grads().into_iter().cloned().collect();
+    let grad_refs: Vec<&Tensor<f32>> = grads.iter().collect();
+    let mut params = net.params_mut();
+    opt.step(&mut params, &grad_refs);
+}
+
+#[test]
+fn forward_packs_once_per_optimizer_step() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let mut net = tiny_net();
+    let mut opt = Sgd::new(1e-2);
+    // 16×16 input → 256 output px per layer: the blocked GEMM path.
+    let x = seq_tensor(Shape::d4(2, 1, 16, 16));
+
+    // First epoch: each of the two conv layers packs exactly once, no
+    // matter how many forward/backward passes run before the step.
+    let before = weight_packs();
+    for _ in 0..3 {
+        let y = net.forward(&x);
+        let dy = Tensor::full(y.shape().clone(), 0.1f32);
+        net.backward(&dy);
+        y.recycle();
+    }
+    assert_eq!(weight_packs() - before, 2, "one pack per conv layer");
+
+    // An optimizer step invalidates both caches; the next forward — and
+    // only the next — repacks once per layer.
+    sgd_step(&mut net, &mut opt);
+    let before = weight_packs();
+    for _ in 0..4 {
+        net.forward_infer(&x).recycle();
+    }
+    assert_eq!(weight_packs() - before, 2, "one repack per step");
+
+    // A second step behaves identically: the cost is per-step, not
+    // cumulative and not per-call.
+    net.zero_grads();
+    sgd_step(&mut net, &mut opt);
+    let before = weight_packs();
+    net.forward_infer(&x).recycle();
+    assert_eq!(weight_packs() - before, 2);
+}
+
+#[test]
+fn sub_threshold_direct_path_never_packs() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let mut net = tiny_net();
+    // 3×3 input → 9 output px: below GEMM_THRESHOLD, direct loop nest.
+    let x = seq_tensor(Shape::d4(1, 1, 3, 3));
+    let before = weight_packs();
+    for _ in 0..3 {
+        net.forward_infer(&x).recycle();
+    }
+    assert_eq!(weight_packs() - before, 0, "direct path must not pack");
+}
+
+#[test]
+fn weight_mut_invalidates_and_output_tracks_new_weights() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let mut l = Conv2d::new(2, 3, 3, Initializer::XavierUniform, 7);
+    let x = seq_tensor(Shape::d4(1, 2, 16, 16));
+    let y_old = l.forward_infer(&x);
+
+    // Mutate weights directly; the stale panels must not survive.
+    for w in l.weight_mut().as_mut_slice() {
+        *w = -*w;
+    }
+    let before = weight_packs();
+    let y_new = l.forward_infer(&x);
+    assert_eq!(weight_packs() - before, 1, "exactly one repack");
+    assert_ne!(y_old, y_new, "output must reflect the mutated weights");
+    assert_eq!(
+        y_new,
+        conv2d_forward_blocked(&x, l.weight(), l.bias(), 1),
+        "cached packed path stays bitwise-identical to the blocked kernel"
+    );
+}
+
+#[test]
+fn cached_path_matches_frozen_inference_bitwise() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let mut net = tiny_net();
+    let x = seq_tensor(Shape::d4(1, 1, 16, 16));
+    // Warm the caches, then compare against the independently-packed
+    // frozen model — same values bit for bit, before and after a
+    // weight mutation.
+    let warm = net.forward_infer(&x);
+    assert_eq!(net.freeze().infer(&x), warm);
+    for p in net.params_mut() {
+        for v in p.as_mut_slice() {
+            *v += 0.01;
+        }
+    }
+    let moved = net.forward_infer(&x);
+    assert_ne!(moved, warm);
+    assert_eq!(net.freeze().infer(&x), moved);
+}

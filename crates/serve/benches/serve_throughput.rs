@@ -34,6 +34,7 @@ fn fresh_server(batched: bool) -> Server {
         max_linger: Duration::from_millis(2),
         workers: 1,
         cache_capacity: 4096,
+        ..ServeConfig::default()
     };
     let cfg = if batched { base } else { base.unbatched() };
     Server::start(cfg, registry).unwrap()

@@ -243,6 +243,7 @@ fn stats_main() {
             max_linger: Duration::from_millis(2),
             workers: 1,
             cache_capacity: 1024,
+            ..ServeConfig::default()
         },
         registry,
     )
@@ -301,6 +302,7 @@ fn main() {
                 max_linger: Duration::from_millis(2),
                 workers: 1,
                 cache_capacity: 4096,
+                ..ServeConfig::default()
             };
             let cfg = if mode == "batched" {
                 base
@@ -353,6 +355,7 @@ fn main() {
             max_linger: Duration::from_millis(20),
             workers: 1,
             cache_capacity: 0,
+            ..ServeConfig::default()
         };
         let burst = 32;
         let server = Server::start(cfg, registry).unwrap();

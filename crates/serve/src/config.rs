@@ -2,11 +2,15 @@
 
 use std::time::Duration;
 
+use crate::lanes::NUM_LANES;
+use crate::quota::QuotaConfig;
+
 /// Tunables for the inference service.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Bounded request-queue capacity; submissions beyond this are shed
-    /// (answered with a degraded bin-0 response instead of queued).
+    /// Bounded request-queue capacity *per lane*; submissions beyond
+    /// this are shed (answered with a degraded bin-0 response instead
+    /// of queued).
     pub queue_capacity: usize,
     /// Maximum requests fused into one decoder micro-batch.
     pub max_batch: usize,
@@ -18,6 +22,16 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Decoded-patch cache capacity in entries (0 disables the cache).
     pub cache_capacity: usize,
+    /// Weighted-deficit credits per refill cycle for the
+    /// interactive/standard/bulk lanes (each clamped ≥ 1; see
+    /// [`crate::lanes::LaneQueue`]).
+    pub lane_weights: [u64; NUM_LANES],
+    /// Collapse every submission into the standard lane — the FIFO
+    /// baseline configuration the lane benchmark compares against.
+    pub fifo_only: bool,
+    /// Per-tenant token-bucket admission quota; `None` admits every
+    /// tenant unconditionally.
+    pub quota: Option<QuotaConfig>,
 }
 
 impl Default for ServeConfig {
@@ -28,6 +42,9 @@ impl Default for ServeConfig {
             max_linger: Duration::from_millis(2),
             workers: 1,
             cache_capacity: 4096,
+            lane_weights: [8, 4, 1],
+            fifo_only: false,
+            quota: None,
         }
     }
 }

@@ -17,7 +17,15 @@
 //!   generation-counted hot swap — workers re-fetch the shared engine
 //!   at batch boundaries, never mid-flight, and an in-flight batch
 //!   completes on the old generation's weights;
-//! * **backpressure** ([`server`]): a bounded queue that sheds load by
+//! * **priority lanes** ([`lanes`], [`server`]): three bounded lanes
+//!   (interactive / standard / bulk) drained by weighted deficit
+//!   pickup, so small latency-sensitive fields never queue behind bulk
+//!   refinement jobs and bulk still cannot starve;
+//! * **admission control** ([`quota`], [`server`]): per-tenant
+//!   token-bucket quotas and deadline-aware brownouts — every rejected
+//!   or expired request is answered with a typed
+//!   [`server::RejectReason`] and its own counter, never silently shed;
+//! * **backpressure** ([`server`]): bounded lanes that shed load by
 //!   answering with a degraded bin-0 (no-SR) prediction instead of
 //!   blocking, with observable shed counters;
 //! * **load generation** ([`loadgen`]): a closed-loop synthetic driver
@@ -27,15 +35,19 @@
 pub mod batch;
 pub mod cache;
 pub mod config;
+pub mod lanes;
 pub mod loadgen;
 pub mod queue;
+pub mod quota;
 pub mod registry;
 pub mod server;
 
 pub use batch::{degraded_prediction, infer_cached};
 pub use cache::{PatchCache, PatchKey};
 pub use config::ServeConfig;
+pub use lanes::{select_lane_spec, LaneQueue, Priority, NUM_LANES};
 pub use loadgen::{field_pool, run_closed_loop, LatencyWindow, LoadReport, Observation};
 pub use queue::{BoundedQueue, PushOutcome};
+pub use quota::{QuotaConfig, QuotaTable, TokenBucket};
 pub use registry::{ActiveModel, ModelRegistry, RegistryError};
-pub use server::{ResponseKind, ServeResponse, ServeStats, Server};
+pub use server::{RejectReason, ResponseKind, ServeResponse, ServeStats, Server, SubmitOptions};

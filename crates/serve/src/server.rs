@@ -1,23 +1,41 @@
-//! The inference server: bounded queue → micro-batcher → decoder
-//! workers, with load shedding and hot-swap awareness.
+//! The inference server: priority lanes → quota-gated admission →
+//! micro-batcher → decoder workers, with typed load shedding, deadline
+//! brownouts, and hot-swap awareness.
 //!
-//! Requests enter a [`BoundedQueue`]. Every worker thread shares **one**
-//! frozen engine (`Arc<InferenceEngine>` from
-//! [`ModelRegistry::shared`]) — one resident weight copy regardless of
-//! worker count; a worker pops one request, lingers up to
-//! `max_linger` for more, and runs the whole group through
-//! [`crate::batch::infer_cached`] so same-bin patches from concurrent
-//! requests share decoder batches. A hot swap is an `Arc` swap: workers
-//! re-fetch the shared engine at the next batch boundary, and a batch
-//! in flight during the swap completes on the old generation's weights
-//! (its `Arc` keeps them alive). When the queue is at capacity the
-//! server does not block or drop: it answers immediately with the
-//! degraded bin-0 prediction ([`crate::batch::degraded_prediction`])
-//! and counts the shed. Inference errors (e.g. NaN scores from a bad
-//! checkpoint) degrade the affected requests the same way instead of
-//! killing the worker — no path in this module panics (the in-repo
-//! lint enforces it; the model checker in `crates/check` exercises the
-//! queue/cache/registry interleavings).
+//! Requests enter a three-lane [`LaneQueue`] (interactive / standard /
+//! bulk, weighted deficit pickup — see `lanes.rs` for the scheduling
+//! spec). Admission runs a small state machine *before* anything is
+//! queued:
+//!
+//! 1. **deadline** — a request already past its deadline is answered
+//!    immediately with the degraded bin-0 brownout response
+//!    ([`RejectReason::DeadlineExceeded`]) instead of wasting a lane
+//!    slot;
+//! 2. **quota** — each tenant draws one token from its bucket
+//!    ([`crate::quota::QuotaTable`]); an empty bucket sheds the request
+//!    ([`RejectReason::QuotaExceeded`]) so one tenant cannot consume
+//!    another's queue capacity;
+//! 3. **lane push** — a full lane sheds ([`RejectReason::QueueFull`]),
+//!    a shut-down server sheds ([`RejectReason::Shutdown`]). Every
+//!    reject path is *typed* and increments its own obs counter — no
+//!    reason is ever lumped with another.
+//!
+//! Every worker thread shares **one** frozen engine
+//! (`Arc<InferenceEngine>` from [`ModelRegistry::shared`]) — one
+//! resident weight copy regardless of worker count; a worker pops one
+//! lane-pure batch, lingers up to `max_linger` for more arrivals from
+//! the same lane, drops any request whose deadline expired while
+//! queued (answered with the brownout, not silently shed), and runs the
+//! survivors through [`crate::batch::infer_cached`] so same-bin patches
+//! from concurrent requests share decoder batches. A hot swap is an
+//! `Arc` swap: workers re-fetch the shared engine at the next batch
+//! boundary, and a batch in flight during the swap completes on the old
+//! generation's weights (its `Arc` keeps them alive). Inference errors
+//! (e.g. NaN scores from a bad checkpoint) degrade the affected
+//! requests instead of killing the worker — no path in this module
+//! panics (the in-repo lint enforces it; the model checker in
+//! `crates/check` exercises the lane/quota/cache/registry
+//! interleavings).
 
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -32,24 +50,98 @@ use adarnet_tensor::Tensor;
 use crate::batch::{degraded_prediction, infer_cached};
 use crate::cache::PatchCache;
 use crate::config::ServeConfig;
-use crate::queue::{BoundedQueue, PushOutcome};
+use crate::lanes::{LaneQueue, Priority};
+use crate::queue::PushOutcome;
 use crate::registry::{ModelRegistry, RegistryError};
+
+/// Why a request was not served in full. Carried in the response (and
+/// on the wire by `crates/net`) so clients can distinguish "slow down"
+/// from "shrink your deadline" from "the server is going away".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The request's lane was at capacity.
+    QueueFull,
+    /// The tenant's token bucket was empty at admission.
+    QuotaExceeded,
+    /// The deadline had passed — at admission or while queued.
+    DeadlineExceeded,
+    /// The server is shutting down.
+    Shutdown,
+    /// Inference failed for the batch carrying this request.
+    InferenceError,
+}
+
+impl RejectReason {
+    /// Stable wire/report tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::QuotaExceeded => "quota_exceeded",
+            RejectReason::DeadlineExceeded => "deadline_exceeded",
+            RejectReason::Shutdown => "shutdown",
+            RejectReason::InferenceError => "inference_error",
+        }
+    }
+}
 
 /// Why a response is what it is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ResponseKind {
     /// Full ADARNet inference.
     Full,
-    /// Bin-0 fallback because the queue was saturated.
+    /// Bin-0 fallback because the request's lane was saturated.
     ShedQueueFull,
     /// Bin-0 fallback because inference failed for this batch.
     ShedInferenceError,
+    /// Bin-0 fallback because the tenant exceeded its quota.
+    ShedQuota,
+    /// Bin-0 fallback because the server is shutting down.
+    ShedShutdown,
+    /// Bin-0 brownout because the deadline passed before inference
+    /// could start — answered, never silently dropped.
+    BrownoutDeadline,
 }
 
 impl ResponseKind {
     /// Whether this response was degraded rather than fully inferred.
     pub fn is_degraded(&self) -> bool {
         !matches!(self, ResponseKind::Full)
+    }
+
+    /// The typed reject reason, `None` for a full response.
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        match self {
+            ResponseKind::Full => None,
+            ResponseKind::ShedQueueFull => Some(RejectReason::QueueFull),
+            ResponseKind::ShedInferenceError => Some(RejectReason::InferenceError),
+            ResponseKind::ShedQuota => Some(RejectReason::QuotaExceeded),
+            ResponseKind::ShedShutdown => Some(RejectReason::Shutdown),
+            ResponseKind::BrownoutDeadline => Some(RejectReason::DeadlineExceeded),
+        }
+    }
+}
+
+/// Per-request admission options. [`Default`] is the pre-lane behavior:
+/// standard lane, tenant 0, no deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitOptions {
+    /// Which lane the request rides (ignored under
+    /// [`ServeConfig::fifo_only`], which maps everything to standard).
+    pub priority: Priority,
+    /// Tenant id for quota accounting and per-tenant counters.
+    pub tenant: u64,
+    /// Absolute deadline; past it, the request is answered with the
+    /// degraded brownout instead of being inferred.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            priority: Priority::Standard,
+            tenant: 0,
+            deadline: None,
+        }
     }
 }
 
@@ -64,11 +156,16 @@ pub struct ServeResponse {
     /// Model generation that served the request (0 for shed responses
     /// answered without touching the model).
     pub generation: u64,
+    /// Lane the request was admitted to.
+    pub priority: Priority,
 }
 
 struct Job {
     field: Tensor<f32>,
     submitted: Instant,
+    deadline: Option<Instant>,
+    tenant: u64,
+    priority: Priority,
     reply: Sender<ServeResponse>,
 }
 
@@ -81,10 +178,17 @@ struct Job {
 pub struct ServeStats {
     /// Fully served requests.
     pub completed: u64,
-    /// Requests shed at submission (queue full).
+    /// Requests shed at submission (lane full).
     pub shed_queue_full: u64,
     /// Requests degraded because inference errored.
     pub shed_inference_error: u64,
+    /// Requests shed at admission because the tenant's bucket was empty.
+    pub shed_quota: u64,
+    /// Requests shed because the server was shutting down.
+    pub shed_shutdown: u64,
+    /// Requests answered with the deadline brownout (at admission or
+    /// after queueing).
+    pub brownout_deadline: u64,
     /// Decoder micro-batches dispatched.
     pub batches: u64,
     /// Requests carried by those batches (batches ≤ this; the ratio is
@@ -92,12 +196,18 @@ pub struct ServeStats {
     pub batched_requests: u64,
     /// Shared-engine swaps observed by workers after hot swaps.
     pub engine_swaps: u64,
+    /// Fully served requests per lane (interactive/standard/bulk).
+    pub completed_per_lane: [u64; 3],
 }
 
 impl ServeStats {
     /// Total degraded responses.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_inference_error
+        self.shed_queue_full
+            + self.shed_inference_error
+            + self.shed_quota
+            + self.shed_shutdown
+            + self.brownout_deadline
     }
 }
 
@@ -112,9 +222,13 @@ struct StatsCells {
     completed: AtomicU64,
     shed_queue_full: AtomicU64,
     shed_inference_error: AtomicU64,
+    shed_quota: AtomicU64,
+    shed_shutdown: AtomicU64,
+    brownout_deadline: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     engine_swaps: AtomicU64,
+    completed_per_lane: [AtomicU64; 3],
 }
 
 impl StatsCells {
@@ -124,16 +238,25 @@ impl StatsCells {
             completed: self.completed.load(Ordering::Relaxed),
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
             shed_inference_error: self.shed_inference_error.load(Ordering::Relaxed),
+            shed_quota: self.shed_quota.load(Ordering::Relaxed),
+            shed_shutdown: self.shed_shutdown.load(Ordering::Relaxed),
+            brownout_deadline: self.brownout_deadline.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             engine_swaps: self.engine_swaps.load(Ordering::Relaxed),
+            completed_per_lane: [
+                self.completed_per_lane[0].load(Ordering::Relaxed),
+                self.completed_per_lane[1].load(Ordering::Relaxed),
+                self.completed_per_lane[2].load(Ordering::Relaxed),
+            ],
         }
     }
 }
 
 struct Shared {
     cfg: ServeConfig,
-    queue: BoundedQueue<Job>,
+    queue: LaneQueue<Job>,
+    quota: Option<crate::quota::QuotaTable>,
     registry: Arc<ModelRegistry>,
     cache: PatchCache,
     stats: StatsCells,
@@ -152,6 +275,64 @@ impl Shared {
             None => (self.startup_norm, self.startup_cfg),
         }
     }
+
+    /// Build, record, and send the degraded response for a rejected or
+    /// browned-out job. Single funnel: every non-Full reply goes
+    /// through here, so the typed counter bookkeeping cannot be
+    /// skipped on any path.
+    fn reject(&self, job: Job, kind: ResponseKind, norm: &NormStats, cfg: AdarNetConfig) {
+        let (cell, counter_name) = match kind {
+            ResponseKind::ShedQueueFull => {
+                (&self.stats.shed_queue_full, "serve_shed_queue_full_total")
+            }
+            ResponseKind::ShedInferenceError => (
+                &self.stats.shed_inference_error,
+                "serve_shed_inference_error_total",
+            ),
+            ResponseKind::ShedQuota => (&self.stats.shed_quota, "serve_shed_quota_total"),
+            ResponseKind::ShedShutdown => (&self.stats.shed_shutdown, "serve_shed_shutdown_total"),
+            ResponseKind::BrownoutDeadline | ResponseKind::Full => (
+                &self.stats.brownout_deadline,
+                "serve_brownout_deadline_total",
+            ),
+        };
+        cell.fetch_add(1, Ordering::Release);
+        adarnet_obs::registry().counter(counter_name).inc();
+        tenant_counter(job.tenant, "reject").inc();
+        if let Some(reason) = kind.reject_reason() {
+            adarnet_obs::recorder().record(
+                adarnet_obs::EventKind::Shed,
+                reason.as_str(),
+                job.priority.as_str(),
+                self.queue.len() as u64,
+                0,
+            );
+        }
+        // Overload and model failure warrant crash-forensics dumps
+        // (rate-limited inside obs); policy rejections (quota,
+        // deadline, shutdown) are normal operation.
+        if matches!(
+            kind,
+            ResponseKind::ShedQueueFull | ResponseKind::ShedInferenceError
+        ) {
+            let _ = adarnet_obs::dump("load_shed", false);
+        }
+        let response = ServeResponse {
+            prediction: degraded_prediction(norm, cfg, &job.field),
+            kind,
+            latency: job.submitted.elapsed(),
+            generation: 0,
+            priority: job.priority,
+        };
+        record_e2e(&response);
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Per-tenant admit/reject/brownout counters live in the process
+/// registry under dynamic names (the macro path interns literals only).
+fn tenant_counter(tenant: u64, event: &str) -> Arc<adarnet_obs::Counter> {
+    adarnet_obs::registry().counter(&format!("serve_tenant_{tenant}_{event}_total"))
 }
 
 /// Handle to a running inference service.
@@ -175,7 +356,8 @@ impl Server {
         let (startup_norm, startup_cfg) = (*engine.norm(), engine.config());
         let shared = Arc::new(Shared {
             cache: PatchCache::new(cfg.cache_capacity),
-            queue: BoundedQueue::new(cfg.queue_capacity),
+            queue: LaneQueue::new(cfg.queue_capacity, cfg.lane_weights),
+            quota: cfg.quota.map(crate::quota::QuotaTable::new),
             cfg,
             registry,
             stats: StatsCells::default(),
@@ -192,44 +374,59 @@ impl Server {
         Ok(Server { shared, workers })
     }
 
-    /// Submit one raw `(C, H, W)` LR field. Never blocks on a full
-    /// queue: saturation answers immediately with a degraded bin-0
-    /// response on the returned channel.
+    /// Submit one raw `(C, H, W)` LR field on the standard lane, tenant
+    /// 0, no deadline — the pre-lane API, kept for in-process callers.
     pub fn submit(&self, field: Tensor<f32>) -> Receiver<ServeResponse> {
+        self.submit_with(field, SubmitOptions::default())
+    }
+
+    /// Submit with explicit priority / tenant / deadline. Never blocks:
+    /// every reject path answers immediately with a degraded bin-0
+    /// response carrying a typed [`RejectReason`].
+    pub fn submit_with(&self, field: Tensor<f32>, opts: SubmitOptions) -> Receiver<ServeResponse> {
         let (reply, rx) = mpsc::channel();
         let submitted = Instant::now();
+        let priority = if self.shared.cfg.fifo_only {
+            Priority::Standard
+        } else {
+            opts.priority
+        };
         let job = Job {
             field,
             submitted,
+            deadline: opts.deadline,
+            tenant: opts.tenant,
+            priority,
             reply,
         };
-        let job = match self.shared.queue.push(job) {
+
+        // Admission stage 1: already past deadline → brownout now, don't
+        // waste a lane slot.
+        if job.deadline.is_some_and(|d| submitted >= d) {
+            let (norm, cfg) = self.shared.shed_params();
+            self.shared
+                .reject(job, ResponseKind::BrownoutDeadline, &norm, cfg);
+            return rx;
+        }
+
+        // Admission stage 2: tenant token bucket.
+        if let Some(quota) = &self.shared.quota {
+            if !quota.try_take(job.tenant) {
+                let (norm, cfg) = self.shared.shed_params();
+                self.shared.reject(job, ResponseKind::ShedQuota, &norm, cfg);
+                return rx;
+            }
+        }
+
+        // Admission stage 3: the lane itself.
+        tenant_counter(job.tenant, "admit").inc();
+        let (job, kind) = match self.shared.queue.push(priority, job) {
             PushOutcome::Enqueued => return rx,
-            PushOutcome::Saturated(job) | PushOutcome::Rejected(job) => job,
+            PushOutcome::Saturated(job) => (job, ResponseKind::ShedQueueFull),
+            PushOutcome::Rejected(job) => (job, ResponseKind::ShedShutdown),
         };
-        // Shed: answer inline from the caller's thread (cheap — no model).
-        self.shared
-            .stats
-            .shed_queue_full
-            .fetch_add(1, Ordering::Release);
-        adarnet_obs::counter!("serve_shed_queue_full_total").inc();
-        adarnet_obs::recorder().record(
-            adarnet_obs::EventKind::Shed,
-            "shed_queue_full",
-            "queue_depth",
-            self.shared.queue.len() as u64,
-            0,
-        );
-        let _ = adarnet_obs::dump("load_shed", false);
         let (norm, cfg) = self.shared.shed_params();
-        let response = ServeResponse {
-            prediction: degraded_prediction(&norm, cfg, &job.field),
-            kind: ResponseKind::ShedQueueFull,
-            latency: job.submitted.elapsed(),
-            generation: 0,
-        };
-        record_e2e(&response);
-        let _ = job.reply.send(response);
+        self.shared.reject(job, kind, &norm, cfg);
         rx
     }
 
@@ -237,9 +434,14 @@ impl Server {
     /// worker dies mid-batch and drops the reply channel, the caller
     /// gets a degraded response instead of a panic.
     pub fn submit_wait(&self, field: Tensor<f32>) -> ServeResponse {
+        self.submit_wait_with(field, SubmitOptions::default())
+    }
+
+    /// [`Server::submit_wait`] with explicit admission options.
+    pub fn submit_wait_with(&self, field: Tensor<f32>, opts: SubmitOptions) -> ServeResponse {
         let fallback = field.clone();
         let submitted = Instant::now();
-        match self.submit(field).recv() {
+        match self.submit_with(field, opts).recv() {
             Ok(response) => response,
             Err(_) => {
                 self.shared
@@ -254,6 +456,7 @@ impl Server {
                     kind: ResponseKind::ShedInferenceError,
                     latency: submitted.elapsed(),
                     generation: 0,
+                    priority: opts.priority,
                 };
                 record_e2e(&response);
                 response
@@ -273,9 +476,14 @@ impl Server {
         &self.shared.cache
     }
 
-    /// Requests currently queued.
+    /// Requests currently queued across all lanes.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Requests currently queued in one lane.
+    pub fn lane_depth(&self, priority: Priority) -> usize {
+        self.shared.queue.lane_len(priority)
     }
 
     /// Stop accepting work, drain the queue, and join the workers.
@@ -302,9 +510,29 @@ fn model_cfg(ckpt: &adarnet_core::checkpoint::ModelCheckpoint) -> AdarNetConfig 
 }
 
 /// Record a response's end-to-end latency (submission → reply) into
-/// the `serve_e2e_ns` histogram every reply path shares.
+/// the aggregate `serve_e2e_ns` histogram every reply path shares, plus
+/// the per-lane histogram (macro names must be literals, hence the
+/// match).
 fn record_e2e(response: &ServeResponse) {
-    adarnet_obs::histogram!("serve_e2e_ns").record(response.latency.as_nanos() as u64);
+    let ns = response.latency.as_nanos() as u64;
+    adarnet_obs::histogram!("serve_e2e_ns").record(ns);
+    match response.priority {
+        Priority::Interactive => adarnet_obs::histogram!("serve_e2e_interactive_ns").record(ns),
+        Priority::Standard => adarnet_obs::histogram!("serve_e2e_standard_ns").record(ns),
+        Priority::Bulk => adarnet_obs::histogram!("serve_e2e_bulk_ns").record(ns),
+    }
+}
+
+/// Per-lane queue-wait histogram (admission → batch pickup).
+fn record_queue_wait(priority: Priority, ns: u64) {
+    adarnet_obs::histogram!("serve_queue_wait_ns").record(ns);
+    match priority {
+        Priority::Interactive => {
+            adarnet_obs::histogram!("serve_queue_wait_interactive_ns").record(ns)
+        }
+        Priority::Standard => adarnet_obs::histogram!("serve_queue_wait_standard_ns").record(ns),
+        Priority::Bulk => adarnet_obs::histogram!("serve_queue_wait_bulk_ns").record(ns),
+    }
 }
 
 fn worker_loop(
@@ -313,23 +541,41 @@ fn worker_loop(
     mut engine: Arc<adarnet_core::engine::InferenceEngine>,
 ) {
     loop {
-        // Batch assembly = blocking pop + linger window. The span
-        // includes idle waiting by design: under light load it reads as
-        // the arrival gap, under heavy load it collapses toward zero.
-        let batch = {
+        // Batch assembly = blocking pop + linger window on the lane the
+        // deficit scheduler picked. The span includes idle waiting by
+        // design: under light load it reads as the arrival gap, under
+        // heavy load it collapses toward zero.
+        let (lane, batch) = {
             let _span = adarnet_obs::span!("serve_batch_assembly");
             match shared
                 .queue
                 .pop_batch(shared.cfg.max_batch, shared.cfg.max_linger)
             {
-                Some(batch) => batch,
+                Some(picked) => picked,
                 None => return, // shutdown and drained
             }
         };
-        let queue_wait = adarnet_obs::histogram!("serve_queue_wait_ns");
+        let now = Instant::now();
         for job in &batch {
-            queue_wait.record(job.submitted.elapsed().as_nanos() as u64);
+            record_queue_wait(lane, now.duration_since(job.submitted).as_nanos() as u64);
         }
+
+        // Deadline sweep: anything that expired while queued gets the
+        // brownout response now — answered, counted, never inferred.
+        let (live, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|j| j.deadline.is_none_or(|d| now < d));
+        if !expired.is_empty() {
+            let (norm, cfg) = shared.shed_params();
+            for job in expired {
+                tenant_counter(job.tenant, "brownout").inc();
+                shared.reject(job, ResponseKind::BrownoutDeadline, &norm, cfg);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let batch = live;
 
         // Hot swap: re-fetch the shared engine when the registry moved
         // on. The old Arc drops here (or when the last in-flight batch
@@ -373,6 +619,8 @@ fn worker_loop(
                     .stats
                     .completed
                     .fetch_add(batch.len() as u64, Ordering::Release);
+                shared.stats.completed_per_lane[lane.index()]
+                    .fetch_add(batch.len() as u64, Ordering::Release);
                 adarnet_obs::counter!("serve_completed_total").add(batch.len() as u64);
                 for (job, prediction) in batch.into_iter().zip(predictions) {
                     let response = ServeResponse {
@@ -380,6 +628,7 @@ fn worker_loop(
                         kind: ResponseKind::Full,
                         latency: job.submitted.elapsed(),
                         generation,
+                        priority: job.priority,
                     };
                     record_e2e(&response);
                     let _ = job.reply.send(response);
@@ -387,30 +636,10 @@ fn worker_loop(
             }
             Err(_) => {
                 // Degrade the whole batch rather than killing the worker.
-                shared
-                    .stats
-                    .shed_inference_error
-                    .fetch_add(batch.len() as u64, Ordering::Release);
-                adarnet_obs::counter!("serve_shed_inference_error_total").add(batch.len() as u64);
-                adarnet_obs::recorder().record(
-                    adarnet_obs::EventKind::Shed,
-                    "shed_inference_error",
-                    "batch",
-                    batch.len() as u64,
-                    0,
-                );
-                let _ = adarnet_obs::dump("load_shed", false);
                 let norm = *engine.norm();
                 let cfg = engine.config();
                 for job in batch {
-                    let response = ServeResponse {
-                        prediction: degraded_prediction(&norm, cfg, &job.field),
-                        kind: ResponseKind::ShedInferenceError,
-                        latency: job.submitted.elapsed(),
-                        generation,
-                    };
-                    record_e2e(&response);
-                    let _ = job.reply.send(response);
+                    shared.reject(job, ResponseKind::ShedInferenceError, &norm, cfg);
                 }
             }
         }

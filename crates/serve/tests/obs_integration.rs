@@ -49,6 +49,7 @@ fn snapshot_exposes_stage_histograms_and_bin_counters() {
         max_linger: Duration::from_millis(1),
         workers: 1,
         cache_capacity: 1024,
+        ..ServeConfig::default()
     };
     let server = Server::start(cfg, registry_with("obs", 7)).unwrap();
     for i in 0..6 {
@@ -101,6 +102,7 @@ fn stats_are_exact_after_shutdown_drain() {
         max_linger: Duration::from_millis(1),
         workers: 2,
         cache_capacity: 1024,
+        ..ServeConfig::default()
     };
     let server = Server::start(cfg, registry_with("exact", 9)).unwrap();
     let n = 12u64;

@@ -42,6 +42,7 @@ fn load_shed_dumps_parseable_flight_record() {
         max_linger: Duration::from_millis(10),
         workers: 1,
         cache_capacity: 0,
+        ..ServeConfig::default()
     };
     let registry = Arc::new(ModelRegistry::new());
     let model = AdarNet::new(AdarNetConfig {

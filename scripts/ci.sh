@@ -38,6 +38,16 @@ else
   echo "    skipped (SKIP_SLOW=1): timing gate is meaningless on a loaded machine"
 fi
 
+echo "==> net smoke (loopback TCP end-to-end)"
+if [ "${SKIP_SLOW:-0}" != "1" ]; then
+  # Full mixed load through the TCP loadgen: every lane answered, typed
+  # errors on garbage, connection closed on CRC corruption.
+  cargo run --release -q -p adarnet-net --bin net-serve -- smoke
+else
+  # One request per interactive connection keeps the smoke sub-second.
+  ADARNET_NET_REQUESTS=1 cargo run --release -q -p adarnet-net --bin net-serve -- smoke
+fi
+
 echo "==> obs overhead gate"
 if [ "${SKIP_SLOW:-0}" != "1" ]; then
   # Fails if instrumented infer_batch runs >3% slower than with the
