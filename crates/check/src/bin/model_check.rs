@@ -1,16 +1,33 @@
 //! `cargo run -p check --bin model-check [-- --budget full|small]
-//! [--min-interleavings N]`
+//! [--min-interleavings N] [--dpor|--no-dpor|--compare]`
 //!
 //! Drives the serve primitives through explored interleavings against
-//! their shadow oracles. Exit codes: 0 = all invariants held and the
-//! interleaving floor was met, 1 = violations or a short exploration,
-//! 2 = bad arguments.
+//! their shadow oracles, with every schedule's sync-event stream
+//! replayed through the vector-clock race detector (DESIGN.md §14).
+//! Exhaustive spaces default to sleep-set DPOR (`--dpor`); `--no-dpor`
+//! forces plain DFS and `--compare` runs both, cross-checking verdicts
+//! and coverage and enforcing the ≥5× schedule-reduction floor on the
+//! footprint-bearing suites. Exit codes: 0 = all invariants held and
+//! the floors were met, 1 = violations, mismatches, or a short
+//! exploration, 2 = bad arguments.
 
 use check::suites::{run_all, Budget};
+use check::Mode;
+
+/// Suites with declared footprints, counted toward the DPOR reduction
+/// floor under `--compare`. The recorder suite is excluded: its ops
+/// are fully dependent by design, so it is run as plain DPOR (≡ DFS)
+/// rather than enumerated twice.
+const REDUCTION_SUITES: [&str; 5] = ["queue", "lanes", "quota", "cache", "registry"];
+
+/// Minimum `covered / explored` ratio `--compare` must demonstrate
+/// across [`REDUCTION_SUITES`].
+const MIN_REDUCTION: u64 = 5;
 
 fn main() {
     let mut budget = Budget::Full;
     let mut min_interleavings: u64 = 0;
+    let mut mode = Mode::Dpor;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,6 +46,9 @@ fn main() {
                 };
                 min_interleavings = n;
             }
+            "--dpor" => mode = Mode::Dpor,
+            "--no-dpor" => mode = Mode::Dfs,
+            "--compare" => mode = Mode::Compare,
             other => {
                 eprintln!("model-check: unknown argument {other:?}");
                 std::process::exit(2);
@@ -36,24 +56,63 @@ fn main() {
         }
     }
 
-    let mut total: u64 = 0;
+    let mut covered: u64 = 0;
+    let mut explored: u64 = 0;
+    let mut reduction_covered: u64 = 0;
+    let mut reduction_explored: u64 = 0;
     let mut failed = false;
-    for (name, result) in run_all(budget) {
-        total += result.interleavings;
+    for (name, stats) in run_all(budget, mode) {
+        covered += stats.covered();
+        explored += stats.explored();
+        if REDUCTION_SUITES.contains(&name) {
+            reduction_covered += stats.exh_covered;
+            reduction_explored += stats.exh_explored;
+        }
         println!(
-            "model-check: suite {name}: {} interleavings, {} violation(s)",
-            result.interleavings,
-            result.violations.len()
+            "model-check: suite {name}: {} schedules explored ({} exhaustive + {} random), \
+             {} skipped as trace-equivalent, {} interleavings covered, {} violation(s)",
+            stats.explored(),
+            stats.exh_explored,
+            stats.random_explored,
+            stats.exh_skipped,
+            stats.covered(),
+            stats.violations.len()
         );
-        for v in &result.violations {
+        for v in &stats.violations {
             failed = true;
             println!("  VIOLATION {v}");
         }
+        for m in &stats.mismatches {
+            failed = true;
+            println!("  MISMATCH {m}");
+        }
     }
-    println!("model-check: {total} interleavings total ({budget:?} budget)");
-    if min_interleavings > 0 && total < min_interleavings {
+    println!(
+        "model-check: explored {explored} schedules covering {covered} interleavings \
+         ({budget:?} budget, {mode:?} mode)"
+    );
+    if mode == Mode::Compare {
+        let ratio_x10 = reduction_covered
+            .saturating_mul(10)
+            .checked_div(reduction_explored)
+            .unwrap_or(0);
         println!(
-            "model-check: FAIL — explored {total} < required {min_interleavings} interleavings"
+            "model-check: dpor explored {reduction_explored} vs {reduction_covered} exhaustive \
+             on the footprint suites ({}.{}x reduction)",
+            ratio_x10 / 10,
+            ratio_x10 % 10
+        );
+        if ratio_x10 < MIN_REDUCTION * 10 {
+            println!(
+                "model-check: FAIL — DPOR reduction under {MIN_REDUCTION}x on \
+                 {REDUCTION_SUITES:?}"
+            );
+            failed = true;
+        }
+    }
+    if min_interleavings > 0 && covered < min_interleavings {
+        println!(
+            "model-check: FAIL — covered {covered} < required {min_interleavings} interleavings"
         );
         failed = true;
     }

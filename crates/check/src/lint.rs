@@ -17,7 +17,13 @@
 //!   every buffer must come from the `adarnet_tensor::workspace` pool;
 //! * [`rules::RULE_NO_PRINTLN`] applies to every linted library file:
 //!   libraries report through the obs layer or typed returns, never by
-//!   printing (`src/bin/` and test regions are already out of scope).
+//!   printing (`src/bin/` and test regions are already out of scope);
+//! * [`rules::RULE_UNCHECKED_ARITH`] is per-file: it applies to the
+//!   wire-parse files ([`UNCHECKED_ARITH_FILES`]), where lengths are
+//!   attacker-controlled;
+//! * [`rules::RULE_RELAXED_ORDERING`] applies to every crate except
+//!   `obs` ([`RELAXED_ORDERING_EXEMPT_CRATE`]); surviving uses carry
+//!   per-site justifications in `check/allow.toml`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -33,6 +39,15 @@ const LOCK_ORDER_CRATES: &[&str] = &["serve", "net"];
 /// are banned outright — buffers come from the workspace pool so the
 /// zero-allocation inference contract cannot silently regress.
 const NO_ALLOC_FILES: &[&str] = &["crates/nn/src/kernels.rs"];
+/// Wire-parse files (repo-relative) where bare `+`/`*` on lengths is
+/// banned — these are the only places attacker-controlled sizes enter
+/// the process, so overflow handling must be spelled out (or waived
+/// with a bound argument, e.g. `MAX_FRAME` gating upstream).
+const UNCHECKED_ARITH_FILES: &[&str] = &["crates/net/src/frame.rs", "crates/net/src/proto.rs"];
+/// The one crate allowed bare `Ordering::Relaxed`: its metrics and
+/// flight-recorder cells are monotonic counters by design. Everywhere
+/// else each use needs a written waiver.
+const RELAXED_ORDERING_EXEMPT_CRATE: &str = "obs";
 
 /// Aggregate outcome of a lint run.
 pub struct LintReport {
@@ -148,14 +163,17 @@ fn rule_set_for(crate_name: &str) -> RuleSet {
         lock_order: LOCK_ORDER_CRATES.contains(&crate_name),
         no_alloc: false,
         no_println: true,
+        unchecked_arith: false,
+        relaxed_ordering: crate_name != RELAXED_ORDERING_EXEMPT_CRATE,
     }
 }
 
-/// Specialize a crate's rule set for one file: the no-alloc rule is
-/// scoped to the designated hot-path kernel files only.
+/// Specialize a crate's rule set for one file: the no-alloc and
+/// unchecked-arith rules are scoped to designated files only.
 fn rules_for_file(base: RuleSet, rel: &Path) -> RuleSet {
     RuleSet {
         no_alloc: NO_ALLOC_FILES.iter().any(|f| rel == Path::new(f)),
+        unchecked_arith: UNCHECKED_ARITH_FILES.iter().any(|f| rel == Path::new(f)),
         ..base
     }
 }
@@ -248,6 +266,15 @@ mod tests {
         assert!(rules_for_file(nn, Path::new("crates/nn/src/kernels.rs")).no_alloc);
         assert!(!rules_for_file(nn, Path::new("crates/nn/src/model.rs")).no_alloc);
         assert!(rules_for_file(nn, Path::new("crates/nn/src/kernels.rs")).lossy_cast);
+        // unchecked-arith is per-file: only the wire-parse files get it.
+        let net = rule_set_for("net");
+        assert!(rules_for_file(net, Path::new("crates/net/src/frame.rs")).unchecked_arith);
+        assert!(rules_for_file(net, Path::new("crates/net/src/proto.rs")).unchecked_arith);
+        assert!(!rules_for_file(net, Path::new("crates/net/src/server.rs")).unchecked_arith);
+        // relaxed-ordering applies everywhere except the obs crate.
+        assert!(rule_set_for("serve").relaxed_ordering);
+        assert!(rule_set_for("net").relaxed_ordering);
+        assert!(!rule_set_for("obs").relaxed_ordering);
     }
 
     #[test]

@@ -29,6 +29,16 @@
 //!   obs layer (metrics, flight-recorder marks) or typed returns, never
 //!   by writing to the process's stdio behind its back. Binaries
 //!   (`src/bin/`) and test code are exempt.
+//! * [`unchecked-arith`](RULE_UNCHECKED_ARITH) — in the wire-protocol
+//!   parse files, no bare `+`/`*` where an operand is a length
+//!   (`.len()`, `count`, `cells`, ...): attacker-influenced sizes must
+//!   go through `checked_*`/`saturating_*`, or carry a waiver arguing
+//!   the bound (e.g. `MAX_FRAME` gating upstream).
+//! * [`relaxed-ordering`](RULE_RELAXED_ORDERING) — `Ordering::Relaxed`
+//!   outside `crates/obs` needs a written justification in
+//!   `check/allow.toml`: relaxed atomics are fine for monotonic
+//!   counters the obs layer owns, but anywhere else each use must
+//!   argue why no synchronization edge is being lost.
 //!
 //! The rules are token-level heuristics, deliberately conservative in
 //! what they flag; anything intentionally kept is waived — with a
@@ -50,6 +60,10 @@ pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_NO_ALLOC: &str = "no-alloc-in-hot-path";
 /// Rule id for the no-stdio-in-libraries rule.
 pub const RULE_NO_PRINTLN: &str = "no-println";
+/// Rule id for the unchecked-length-arithmetic rule.
+pub const RULE_UNCHECKED_ARITH: &str = "unchecked-arith";
+/// Rule id for the relaxed-atomic-ordering rule.
+pub const RULE_RELAXED_ORDERING: &str = "relaxed-ordering";
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -80,6 +94,10 @@ pub struct RuleSet {
     pub no_alloc: bool,
     /// Apply [`RULE_NO_PRINTLN`] (all library code; bins/tests exempt).
     pub no_println: bool,
+    /// Apply [`RULE_UNCHECKED_ARITH`] (designated wire-parse files).
+    pub unchecked_arith: bool,
+    /// Apply [`RULE_RELAXED_ORDERING`] (every crate except `obs`).
+    pub relaxed_ordering: bool,
 }
 
 /// Lint one file's source, returning all findings.
@@ -119,6 +137,12 @@ pub fn lint_source(path: &std::path::Path, src: &str, rules: RuleSet) -> Vec<Fin
     }
     if rules.no_println {
         scan_no_println(&toks, &mask, &mut push);
+    }
+    if rules.unchecked_arith {
+        scan_unchecked_arith(&toks, &mask, &mut push);
+    }
+    if rules.relaxed_ordering {
+        scan_relaxed_ordering(&toks, &mask, &mut push);
     }
     out
 }
@@ -387,6 +411,102 @@ fn scan_lock_order(
     }
 }
 
+/// Identifiers that name a length or count in the wire-parse files;
+/// bare arithmetic on these is what [`RULE_UNCHECKED_ARITH`] flags.
+const LEN_IDENTS: &[&str] = &[
+    "len",
+    "count",
+    "cells",
+    "size",
+    "pos",
+    "offset",
+    "extent",
+    "remaining",
+];
+/// Method callees whose result is a length (`x.len() * 4`).
+const LEN_CALLEES: &[&str] = &["len", "count", "size", "capacity"];
+
+/// Whether the token at `i` ends an operand (so a following `+`/`*` is
+/// binary, not unary/deref).
+fn ends_operand(t: &Tok) -> bool {
+    t.kind == TokKind::Ident || t.kind == TokKind::Int || t.is_punct(")") || t.is_punct("]")
+}
+
+/// Whether tokens at `i..` spell `ident . len ( ` — a length call as
+/// the right-hand operand.
+fn len_call_ahead(toks: &[Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+        && toks
+            .get(i + 2)
+            .is_some_and(|t| t.kind == TokKind::Ident && LEN_CALLEES.contains(&t.text.as_str()))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct("("))
+}
+
+fn scan_unchecked_arith(
+    toks: &[Tok],
+    mask: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || !(t.is_punct("+") || t.is_punct("*")) {
+            continue;
+        }
+        // Binary position only: `+=`/`*=`/`::` are fused by the lexer,
+        // so a lone `+`/`*` with an operand on each side is arithmetic.
+        let Some(prev) = i.checked_sub(1).map(|j| &toks[j]) else {
+            continue;
+        };
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if !ends_operand(prev) || prev.kind == TokKind::Float || next.kind == TokKind::Float {
+            continue;
+        }
+        let prev_len = (prev.kind == TokKind::Ident && LEN_IDENTS.contains(&prev.text.as_str()))
+            || (prev.is_punct(")")
+                && matches!(
+                    callee_before_close_paren(toks, i - 1),
+                    Some(name) if LEN_CALLEES.contains(&name.as_str())
+                ));
+        let next_len = (next.kind == TokKind::Ident && LEN_IDENTS.contains(&next.text.as_str()))
+            || len_call_ahead(toks, i + 1);
+        if prev_len || next_len {
+            push(
+                RULE_UNCHECKED_ARITH,
+                t.line,
+                format!(
+                    "bare `{}` on a length in a wire-parse file \
+                     (use checked_*/saturating_* or waive with a bound argument)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn scan_relaxed_ordering(
+    toks: &[Tok],
+    mask: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || !t.is_ident("Relaxed") {
+            continue;
+        }
+        let path = i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident("Ordering");
+        if path {
+            push(
+                RULE_RELAXED_ORDERING,
+                t.line,
+                "Ordering::Relaxed outside the obs crate \
+                 (justify with a waiver or strengthen the ordering)"
+                    .into(),
+            );
+        }
+    }
+}
+
 /// Allocating `Vec` constructors banned from hot-path kernel files.
 const ALLOC_VEC_METHODS: &[&str] = &["new", "with_capacity"];
 /// Allocating `Tensor` constructors banned from hot-path kernel files
@@ -530,6 +650,8 @@ mod tests {
         lock_order: true,
         no_alloc: true,
         no_println: true,
+        unchecked_arith: true,
+        relaxed_ordering: true,
     };
 
     fn findings(src: &str) -> Vec<Finding> {
@@ -706,6 +828,57 @@ mod tests {
         // sanctioned way for a library to emit text.
         let src = "fn f(w: &mut W) { writeln!(w, \"x\"); }";
         assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn unchecked_arith_flags_length_sums_and_products() {
+        let src = "fn f() { let a = 16 + 24 + data.len() * 4; let b = cells * 5; \
+                   let c = pos + n_bytes; }";
+        // `24 + data.len()`, `data.len() * 4`, `cells * 5`, `pos + ...`.
+        let got: Vec<_> = rules_of(src)
+            .into_iter()
+            .filter(|r| *r == RULE_UNCHECKED_ARITH)
+            .collect();
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn checked_and_saturating_arith_not_flagged() {
+        let src = "fn f() { let a = count.checked_mul(4)?; \
+                   let b = 40usize.saturating_add(cells.saturating_mul(5)); \
+                   let c = self.pos.checked_add(n)?; }";
+        assert!(!rules_of(src).contains(&RULE_UNCHECKED_ARITH));
+    }
+
+    #[test]
+    fn non_length_arith_and_unary_not_flagged() {
+        let src = "fn f(p: *const u8) { let a = x + y; let b = 2 * k; \
+                   let c = *ptr; let d = w * h; }";
+        assert!(!rules_of(src).contains(&RULE_UNCHECKED_ARITH));
+    }
+
+    #[test]
+    fn float_arith_on_len_words_not_flagged() {
+        // Geometry math on floats is not wire-length arithmetic.
+        let src = "fn f() { let a = extent * 0.5; let b = 1.0 + size; }";
+        assert!(!rules_of(src).contains(&RULE_UNCHECKED_ARITH));
+    }
+
+    #[test]
+    fn relaxed_ordering_flagged_outside_tests() {
+        let src = "fn f() { c.fetch_add(1, Ordering::Relaxed); c.load(Ordering::Relaxed); }";
+        let got: Vec<_> = rules_of(src)
+            .into_iter()
+            .filter(|r| *r == RULE_RELAXED_ORDERING)
+            .collect();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn stronger_orderings_and_test_relaxed_not_flagged() {
+        let src = "fn f() { c.load(Ordering::Acquire); c.store(1, Ordering::SeqCst); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { c.load(Ordering::Relaxed); } }";
+        assert!(!rules_of(src).contains(&RULE_RELAXED_ORDERING));
     }
 
     #[test]

@@ -30,6 +30,11 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use adarnet_core::sync::trace;
+
+use crate::dpor::{explore_dpor, Footprint};
+use crate::race;
+
 /// A model-checking scenario: threads of operations over shared state.
 pub trait Scenario {
     /// Per-interleaving state (the real structure plus its shadow
@@ -53,6 +58,14 @@ pub trait Scenario {
     /// End-of-interleaving invariants (e.g. conservation after a full
     /// drain).
     fn finish(&self, state: &mut Self::State) -> Result<(), String>;
+
+    /// Declared read/write footprint of `op` on `thread`, used by
+    /// [`crate::dpor::explore_dpor`] to decide which steps commute.
+    /// The default makes every pair of steps conflict, so DPOR
+    /// degenerates to plain DFS — sound without any declaration.
+    fn footprint(&self, _thread: usize, _op: usize) -> Footprint {
+        Footprint::exclusive(0)
+    }
 }
 
 /// One invariant violation with its reproducing schedule.
@@ -92,6 +105,13 @@ impl ExploreResult {
         self.interleavings += other.interleavings;
         self.violations.extend(other.violations);
     }
+
+    /// Record a violation, capped at [`MAX_VIOLATIONS`].
+    pub(crate) fn record(&mut self, v: Violation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        }
+    }
 }
 
 /// Cap on recorded violations per exploration; past this the run is
@@ -101,7 +121,16 @@ const MAX_VIOLATIONS: usize = 8;
 /// Run one interleaving, with scheduling decided by `choose(runnable)`,
 /// which must return an index into the runnable-thread list. Returns
 /// the trace and the first violation (if any).
-fn run_one<S: Scenario>(
+///
+/// Every step runs with the `adarnet_core::sync::trace` recorder
+/// armed and attributed to the acting logical thread; after the last
+/// step the captured acquire/release/wait/read/write stream is
+/// replayed through [`race::analyze`], so a data race or lock-order
+/// inversion surfaces as a violation of the schedule that exhibited
+/// it — even when every oracle check passed. `init` and `finish` run
+/// outside the recording window: they are single-threaded prologue /
+/// epilogue, not concurrent behavior.
+pub(crate) fn run_one<S: Scenario>(
     scenario: &S,
     ops: &[usize],
     mut choose: impl FnMut(&[usize]) -> usize,
@@ -109,8 +138,9 @@ fn run_one<S: Scenario>(
     let mut remaining = ops.to_vec();
     let mut cursor = vec![0usize; ops.len()];
     let mut state = scenario.init();
-    let mut trace = Vec::new();
+    let mut trace_out = Vec::new();
     let mut failed: Option<String> = None;
+    trace::begin();
     loop {
         let runnable: Vec<usize> = (0..remaining.len()).filter(|&t| remaining[t] > 0).collect();
         if runnable.is_empty() {
@@ -118,8 +148,9 @@ fn run_one<S: Scenario>(
         }
         let pick = choose(&runnable).min(runnable.len() - 1);
         let t = runnable[pick];
-        trace.push(t);
+        trace_out.push(t);
         if failed.is_none() {
+            trace::set_thread(t as u32);
             if let Err(m) = scenario.step(&mut state, t, cursor[t]) {
                 failed = Some(m);
             }
@@ -127,12 +158,18 @@ fn run_one<S: Scenario>(
         cursor[t] += 1;
         remaining[t] -= 1;
     }
+    let events = trace::end();
+    if failed.is_none() {
+        if let Some(p) = race::analyze(&events).into_iter().next() {
+            failed = Some(p.message);
+        }
+    }
     if failed.is_none() {
         if let Err(m) = scenario.finish(&mut state) {
             failed = Some(m);
         }
     }
-    (trace, failed)
+    (trace_out, failed)
 }
 
 /// Depth-first enumeration of every interleaving of the scenario's
@@ -210,6 +247,137 @@ pub fn explore_random<S: Scenario>(scenario: &S, trials: u64, seed: u64) -> Expl
         }
     }
     result
+}
+
+/// How exhaustive spaces are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Plain depth-first enumeration of every interleaving.
+    Dfs,
+    /// Sleep-set DPOR: one representative per Mazurkiewicz trace.
+    Dpor,
+    /// Both, cross-checked: any scenario where DFS and DPOR disagree
+    /// on whether violations exist (or on the covered interleaving
+    /// count) is reported as a mismatch. The expensive, high-assurance
+    /// mode CI runs at full budget.
+    Compare,
+}
+
+/// Accumulated counts and findings for one suite.
+#[derive(Debug, Default)]
+pub struct SuiteStats {
+    /// Schedules executed by the exhaustive explorer (DPOR
+    /// representatives, or every interleaving under [`Mode::Dfs`]).
+    pub exh_explored: u64,
+    /// Interleavings covered by the exhaustive explorer (the full
+    /// multinomial count, regardless of mode).
+    pub exh_covered: u64,
+    /// `exh_covered - exh_explored`: schedules skipped as
+    /// trace-equivalent.
+    pub exh_skipped: u64,
+    /// Schedules executed by seeded random sampling.
+    pub random_explored: u64,
+    /// Violations found (empty = pass).
+    pub violations: Vec<Violation>,
+    /// [`Mode::Compare`] verdict divergences (empty = DFS and DPOR
+    /// agree everywhere).
+    pub mismatches: Vec<String>,
+}
+
+impl SuiteStats {
+    /// Total schedules executed.
+    pub fn explored(&self) -> u64 {
+        self.exh_explored + self.random_explored
+    }
+
+    /// Total interleavings covered (each random trial counts once).
+    pub fn covered(&self) -> u64 {
+        self.exh_covered + self.random_explored
+    }
+}
+
+/// Runs a suite's scenarios under one [`Mode`], accumulating
+/// [`SuiteStats`]. Suites call [`Explorer::exhaustive`] /
+/// [`Explorer::random`] instead of the `explore_*` functions directly
+/// so the mode is decided once, by the caller (the `model-check` bin).
+pub struct Explorer {
+    mode: Mode,
+    /// Counts and findings so far.
+    pub stats: SuiteStats,
+}
+
+impl Explorer {
+    /// A fresh explorer in `mode`.
+    pub fn new(mode: Mode) -> Explorer {
+        Explorer {
+            mode,
+            stats: SuiteStats::default(),
+        }
+    }
+
+    /// The mode this explorer was built with.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Exhaustively cover every interleaving of `scenario` (via DFS,
+    /// DPOR, or both cross-checked, per the mode).
+    pub fn exhaustive<S: Scenario>(&mut self, scenario: &S) {
+        match self.mode {
+            Mode::Dfs => {
+                let r = explore_exhaustive(scenario);
+                self.stats.exh_explored += r.interleavings;
+                self.stats.exh_covered += r.interleavings;
+                self.stats.violations.extend(r.violations);
+            }
+            Mode::Dpor => {
+                let d = explore_dpor(scenario);
+                self.stats.exh_explored += d.result.interleavings;
+                self.stats.exh_covered += d.covered;
+                self.stats.exh_skipped += d.skipped;
+                self.stats.violations.extend(d.result.violations);
+            }
+            Mode::Compare => {
+                let r = explore_exhaustive(scenario);
+                let d = explore_dpor(scenario);
+                if r.violations.is_empty() != d.result.violations.is_empty() {
+                    self.stats.mismatches.push(format!(
+                        "{}: dfs found {} violation(s), dpor found {} — a footprint \
+                         declaration is wrong",
+                        scenario.name(),
+                        r.violations.len(),
+                        d.result.violations.len()
+                    ));
+                }
+                if d.covered != r.interleavings {
+                    self.stats.mismatches.push(format!(
+                        "{}: dpor claims to cover {} interleavings, dfs enumerated {}",
+                        scenario.name(),
+                        d.covered,
+                        r.interleavings
+                    ));
+                }
+                self.stats.exh_explored += d.result.interleavings;
+                self.stats.exh_covered += r.interleavings;
+                self.stats.exh_skipped += d.skipped;
+                // DFS findings subsume DPOR's (same traces, more
+                // schedules); fall back so a DPOR-only find still
+                // surfaces alongside its mismatch.
+                if r.violations.is_empty() {
+                    self.stats.violations.extend(d.result.violations);
+                } else {
+                    self.stats.violations.extend(r.violations);
+                }
+            }
+        }
+    }
+
+    /// `trials` random schedules from `seed` (mode-independent).
+    pub fn random<S: Scenario>(&mut self, scenario: &S, trials: u64, seed: u64) {
+        let r = explore_random(scenario, trials, seed);
+        self.stats.random_explored += r.interleavings;
+        self.stats.violations.extend(r.violations);
+    }
 }
 
 /// Number of distinct interleavings for the given per-thread op counts

@@ -338,7 +338,9 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
 /// Encode a response into a frame body.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let cells = resp.bins.len().min(resp.scores.len());
-    let mut out = Vec::with_capacity(16 + 24 + cells * 5);
+    // 16B header + 24B fixed fields + 5B per cell (u8 bin + f32 score);
+    // saturating because this is only a capacity hint.
+    let mut out = Vec::with_capacity(40usize.saturating_add(cells.saturating_mul(5)));
     put_header(&mut out, KIND_RESPONSE, resp.request_id);
     out.push(resp.status.to_u8());
     out.push(if resp.reject_code != 0 {

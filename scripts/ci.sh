@@ -24,7 +24,10 @@ cargo run --release -q -p check --bin lint
 
 echo "==> concurrency model check (crates/check)"
 if [ "${SKIP_SLOW:-0}" != "1" ]; then
-  cargo run --release -q -p check --bin model-check -- --budget full --min-interleavings 10000
+  # --compare runs DFS and sleep-set DPOR side by side: verdicts and
+  # covered-interleaving counts must agree, and DPOR must explore at
+  # least 5x fewer schedules on the footprint-bearing suites.
+  cargo run --release -q -p check --bin model-check -- --budget full --compare --min-interleavings 10000
 else
   cargo run --release -q -p check --bin model-check -- --budget small
 fi
