@@ -23,7 +23,11 @@
 //!   attacker-controlled;
 //! * [`rules::RULE_RELAXED_ORDERING`] applies to every crate except
 //!   `obs` ([`RELAXED_ORDERING_EXEMPT_CRATE`]); surviving uses carry
-//!   per-site justifications in `check/allow.toml`.
+//!   per-site justifications in `check/allow.toml`;
+//! * [`rules::RULE_UNSAFE_CODE`] applies to every crate: the workspace
+//!   denies `unsafe_code`, and the files that opt out of that deny (the
+//!   AVX2 micro-kernels, the aligned workspace buffer) must justify
+//!   every `unsafe` site with a waiver in `check/allow.toml`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -38,7 +42,12 @@ const LOCK_ORDER_CRATES: &[&str] = &["serve", "net"];
 /// Hot-path kernel files (repo-relative) where allocating constructors
 /// are banned outright — buffers come from the workspace pool so the
 /// zero-allocation inference contract cannot silently regress.
-const NO_ALLOC_FILES: &[&str] = &["crates/nn/src/kernels.rs"];
+const NO_ALLOC_FILES: &[&str] = &[
+    "crates/nn/src/kernels.rs",
+    "crates/nn/src/device/driver.rs",
+    "crates/nn/src/device/cpu_scalar.rs",
+    "crates/nn/src/device/cpu_simd.rs",
+];
 /// Wire-parse files (repo-relative) where bare `+`/`*` on lengths is
 /// banned — these are the only places attacker-controlled sizes enter
 /// the process, so overflow handling must be spelled out (or waived
@@ -165,6 +174,7 @@ fn rule_set_for(crate_name: &str) -> RuleSet {
         no_println: true,
         unchecked_arith: false,
         relaxed_ordering: crate_name != RELAXED_ORDERING_EXEMPT_CRATE,
+        unsafe_code: true,
     }
 }
 
@@ -261,9 +271,14 @@ mod tests {
         assert!(!rule_set_for("serve").lossy_cast);
         assert!(!rule_set_for("core").lock_order);
         assert!(rule_set_for("core").core_rules);
-        // no-alloc is per-file: only the designated kernel files get it.
+        // no-alloc is per-file: only the designated kernel files get it
+        // (the dispatch façade plus both device kernel planes).
         let nn = rule_set_for("nn");
         assert!(rules_for_file(nn, Path::new("crates/nn/src/kernels.rs")).no_alloc);
+        assert!(rules_for_file(nn, Path::new("crates/nn/src/device/driver.rs")).no_alloc);
+        assert!(rules_for_file(nn, Path::new("crates/nn/src/device/cpu_scalar.rs")).no_alloc);
+        assert!(rules_for_file(nn, Path::new("crates/nn/src/device/cpu_simd.rs")).no_alloc);
+        assert!(!rules_for_file(nn, Path::new("crates/nn/src/device/mod.rs")).no_alloc);
         assert!(!rules_for_file(nn, Path::new("crates/nn/src/model.rs")).no_alloc);
         assert!(rules_for_file(nn, Path::new("crates/nn/src/kernels.rs")).lossy_cast);
         // unchecked-arith is per-file: only the wire-parse files get it.
@@ -275,6 +290,11 @@ mod tests {
         assert!(rule_set_for("serve").relaxed_ordering);
         assert!(rule_set_for("net").relaxed_ordering);
         assert!(!rule_set_for("obs").relaxed_ordering);
+        // unsafe-code applies everywhere: opting out of the workspace
+        // deny never opts out of the waiver requirement.
+        assert!(rule_set_for("nn").unsafe_code);
+        assert!(rule_set_for("tensor").unsafe_code);
+        assert!(rule_set_for("obs").unsafe_code);
     }
 
     #[test]

@@ -39,6 +39,13 @@
 //!   `check/allow.toml`: relaxed atomics are fine for monotonic
 //!   counters the obs layer owns, but anywhere else each use must
 //!   argue why no synchronization edge is being lost.
+//! * [`unsafe-code`](RULE_UNSAFE_CODE) — every `unsafe` keyword in
+//!   non-test library code needs a written justification in
+//!   `check/allow.toml`. The workspace already carries
+//!   `unsafe_code = "deny"`, so any file opting out via
+//!   `#![allow(unsafe_code)]` (the SIMD micro-kernels, the aligned
+//!   workspace buffer) must pair each site with a waiver arguing its
+//!   safety contract — the opt-out attribute alone is not enough.
 //!
 //! The rules are token-level heuristics, deliberately conservative in
 //! what they flag; anything intentionally kept is waived — with a
@@ -64,6 +71,8 @@ pub const RULE_NO_PRINTLN: &str = "no-println";
 pub const RULE_UNCHECKED_ARITH: &str = "unchecked-arith";
 /// Rule id for the relaxed-atomic-ordering rule.
 pub const RULE_RELAXED_ORDERING: &str = "relaxed-ordering";
+/// Rule id for the justified-unsafe rule.
+pub const RULE_UNSAFE_CODE: &str = "unsafe-code";
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -98,6 +107,9 @@ pub struct RuleSet {
     pub unchecked_arith: bool,
     /// Apply [`RULE_RELAXED_ORDERING`] (every crate except `obs`).
     pub relaxed_ordering: bool,
+    /// Apply [`RULE_UNSAFE_CODE`] (every crate; the workspace denies
+    /// `unsafe_code`, so each opted-out site needs a waiver).
+    pub unsafe_code: bool,
 }
 
 /// Lint one file's source, returning all findings.
@@ -143,6 +155,9 @@ pub fn lint_source(path: &std::path::Path, src: &str, rules: RuleSet) -> Vec<Fin
     }
     if rules.relaxed_ordering {
         scan_relaxed_ordering(&toks, &mask, &mut push);
+    }
+    if rules.unsafe_code {
+        scan_unsafe_code(&toks, &mask, &mut push);
     }
     out
 }
@@ -507,6 +522,27 @@ fn scan_relaxed_ordering(
     }
 }
 
+fn scan_unsafe_code(
+    toks: &[Tok],
+    mask: &[bool],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || !t.is_ident("unsafe") {
+            continue;
+        }
+        // Note: the lint-level opt-out `#[allow(unsafe_code)]` spells a
+        // different identifier (`unsafe_code`) and is deliberately NOT
+        // matched — the attribute satisfies rustc, the waiver satisfies
+        // this rule, and both are required.
+        push(
+            RULE_UNSAFE_CODE,
+            t.line,
+            "`unsafe` in library code (argue the safety contract in check/allow.toml)".into(),
+        );
+    }
+}
+
 /// Allocating `Vec` constructors banned from hot-path kernel files.
 const ALLOC_VEC_METHODS: &[&str] = &["new", "with_capacity"];
 /// Allocating `Tensor` constructors banned from hot-path kernel files
@@ -652,6 +688,7 @@ mod tests {
         no_println: true,
         unchecked_arith: true,
         relaxed_ordering: true,
+        unsafe_code: true,
     };
 
     fn findings(src: &str) -> Vec<Finding> {
@@ -879,6 +916,27 @@ mod tests {
         let src = "fn f() { c.load(Ordering::Acquire); c.store(1, Ordering::SeqCst); }\n\
                    #[cfg(test)]\nmod tests { fn t() { c.load(Ordering::Relaxed); } }";
         assert!(!rules_of(src).contains(&RULE_RELAXED_ORDERING));
+    }
+
+    #[test]
+    fn unsafe_blocks_and_fns_flagged_outside_tests() {
+        let src = "fn f() { unsafe { ptr.read() } }\nunsafe fn g() {}";
+        let got: Vec<_> = rules_of(src)
+            .into_iter()
+            .filter(|r| *r == RULE_UNSAFE_CODE)
+            .collect();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn unsafe_in_tests_comments_and_allow_attr_not_flagged() {
+        // `unsafe_code` (the lint name in the opt-out attribute) is a
+        // different identifier from `unsafe` and must not fire; nor do
+        // comments, strings, or #[cfg(test)] regions.
+        let src = "#![allow(unsafe_code)]\n\
+                   fn f() { let s = \"unsafe\"; } // unsafe\n\
+                   #[cfg(test)]\nmod tests { fn t() { unsafe { x() } } }";
+        assert!(!rules_of(src).contains(&RULE_UNSAFE_CODE));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! target resolutions** (the paper's weight-sharing design choice): every
 //! bin's batch, including the LR bin, passes through the same weights.
 
-use adarnet_nn::{Activation, Conv2d, ConvTranspose2d, FrozenSequential, Initializer, Sequential};
+use adarnet_nn::{
+    Activation, Conv2d, ConvTranspose2d, Device, FrozenSequential, Initializer, Sequential,
+};
 use adarnet_tensor::Tensor;
 
 /// The shared decoder: input `(N, in_channels, h, w)` -> `(N, 4, h, w)`.
@@ -57,6 +59,13 @@ impl Decoder {
     /// Expected input channel count.
     pub fn in_channels(&self) -> usize {
         self.in_channels
+    }
+
+    /// Route every conv/deconv kernel to `device` (see
+    /// [`adarnet_nn::Layer::set_device`]). Freezing afterwards yields a
+    /// frozen decoder pinned to the same backend.
+    pub fn set_device(&mut self, device: Device) {
+        self.net.set_device(device);
     }
 
     /// Forward a per-bin batch. Spatial extent is preserved; the batch may

@@ -70,7 +70,9 @@ impl InferenceEngine {
     /// frozen: GEMM A-panels pack once here, under the `prepack_ns`
     /// span, and never again on the request path. The resident
     /// frozen-weight footprint is published on the
-    /// `engine_weight_bytes` gauge.
+    /// `engine_weight_bytes` gauge, and whether the vectorized kernel
+    /// plane is live on the `engine_backend_simd` gauge (1 = the
+    /// AVX2+FMA micro-kernels run, 0 = scalar reference plane).
     pub fn new(model: AdarNet, norm: NormStats) -> InferenceEngine {
         let ckpt = checkpoint::snapshot(&model, &norm);
         let frozen = {
@@ -78,6 +80,11 @@ impl InferenceEngine {
             model.freeze()
         };
         adarnet_obs::gauge!("engine_weight_bytes").set(frozen.weight_bytes() as f64);
+        adarnet_obs::gauge!("engine_backend_simd").set(if frozen.device().is_simd_active() {
+            1.0
+        } else {
+            0.0
+        });
         InferenceEngine {
             cfg: model.cfg,
             norm,
@@ -127,6 +134,17 @@ impl InferenceEngine {
     /// included).
     pub fn weight_bytes(&self) -> usize {
         self.frozen.weight_bytes()
+    }
+
+    /// The compute backend the frozen plane is pinned to.
+    pub fn device(&self) -> adarnet_nn::Device {
+        self.frozen.device()
+    }
+
+    /// Canonical name of the active backend (`cpu_scalar` /
+    /// `cpu_simd`), for stats endpoints and logs.
+    pub fn backend_name(&self) -> &'static str {
+        self.frozen.device().name()
     }
 
     /// Infer one raw (physical-units) `(C, H, W)` LR field.

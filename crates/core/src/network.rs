@@ -6,7 +6,7 @@
 //! resolution `2^n x` per side (`4^n x` cells) chosen by the ranker.
 
 use adarnet_amr::{PatchLayout, RefinementMap};
-use adarnet_nn::bicubic_resize3;
+use adarnet_nn::{bicubic_resize3, Device};
 use adarnet_tensor::{Shape, Tensor};
 use rayon::prelude::*;
 
@@ -52,6 +52,10 @@ pub struct AdarNet {
     pub ranker: Ranker,
     /// Shared decoder (Figure 5).
     pub decoder: Decoder,
+    /// Compute backend every kernel in the scorer and decoder routes
+    /// through; [`Device::active`] at construction, changed via
+    /// [`AdarNet::set_device`].
+    device: Device,
 }
 
 /// Cached products of the scorer stage, consumed by per-bin decoding.
@@ -130,12 +134,28 @@ impl AdarNet {
             ranker: Ranker::new(cfg.bins),
             // Decoder input: flow channels + latent + 2 coordinates.
             decoder: Decoder::new(cfg.in_channels + 3, cfg.seed + 100),
+            device: Device::active(),
         }
     }
 
     /// Decoder input channel count (`C + latent + 2 coords`).
     pub fn decoder_channels(&self) -> usize {
         self.cfg.in_channels + 3
+    }
+
+    /// The compute backend this model's kernels run on.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Route every scorer and decoder kernel to `device`. Freezing
+    /// afterwards yields a [`FrozenAdarNet`] pinned to the same backend;
+    /// switching conservatively invalidates the layers' packed-weight
+    /// caches (packed panels are a per-backend bitwise contract).
+    pub fn set_device(&mut self, device: Device) {
+        self.device = device;
+        self.scorer.set_device(device);
+        self.decoder.set_device(device);
     }
 
     /// Freeze into the immutable, `Sync` [`FrozenAdarNet`]: scorer and
@@ -149,6 +169,7 @@ impl AdarNet {
             scorer: self.scorer.freeze(),
             ranker: self.ranker,
             decoder: self.decoder.freeze(),
+            device: self.device,
         }
     }
 
@@ -389,6 +410,7 @@ pub struct FrozenAdarNet {
     scorer: FrozenScorer,
     ranker: Ranker,
     decoder: FrozenDecoder,
+    device: Device,
 }
 
 /// Output of one `(sample, bin)` decode work item: `(patch_idx, patch)`
@@ -404,6 +426,14 @@ impl FrozenAdarNet {
     /// Decoder input channel count (`C + latent + 2 coords`).
     pub fn decoder_channels(&self) -> usize {
         self.cfg.in_channels + 3
+    }
+
+    /// The compute backend this frozen plane was pinned to at
+    /// [`AdarNet::freeze`] time. The serving gauge
+    /// `engine_backend_simd` reports whether it actually runs the
+    /// vectorized micro-kernels on this machine.
+    pub fn device(&self) -> Device {
+        self.device
     }
 
     /// Resident frozen-weight bytes (scorer + decoder, packed panels

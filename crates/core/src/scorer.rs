@@ -13,7 +13,8 @@
 //! (Figure 3) — gradient arrives via [`Scorer::backward_latent`].
 
 use adarnet_nn::{
-    Activation, AvgPool2d, Conv2d, InferLayer, Initializer, Layer, MaxPool2d, SpatialSoftmax,
+    Activation, AvgPool2d, Conv2d, Device, InferLayer, Initializer, Layer, MaxPool2d,
+    SpatialSoftmax,
 };
 use adarnet_tensor::Tensor;
 
@@ -116,6 +117,21 @@ impl Scorer {
     /// Patch extent `(ph, pw)` this scorer pools over.
     pub fn patch_size(&self) -> (usize, usize) {
         (self.ph, self.pw)
+    }
+
+    /// Route every compute-bearing layer to `device` (see
+    /// [`Layer::set_device`]). Freezing afterwards yields a frozen
+    /// scorer pinned to the same backend.
+    pub fn set_device(&mut self, device: Device) {
+        self.conv1.set_device(device);
+        self.conv2.set_device(device);
+        self.conv3.set_device(device);
+        self.conv4.set_device(device);
+        match &mut self.pool {
+            ScorerPool::Max(l) => l.set_device(device),
+            ScorerPool::Avg(l) => l.set_device(device),
+        }
+        self.softmax.set_device(device);
     }
 
     /// Forward pass on an `(N, C, H, W)` LR field.

@@ -20,6 +20,7 @@
 use adarnet_core::engine::InferenceEngine;
 use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNet, AdarNetConfig};
+use adarnet_nn::Device;
 use adarnet_tensor::{workspace, Shape, Tensor};
 
 fn sample(h: usize, w: usize, phase: f32) -> Tensor<f32> {
@@ -37,42 +38,50 @@ fn sample(h: usize, w: usize, phase: f32) -> Tensor<f32> {
 /// process, which is exactly the isolation this assertion needs.
 #[test]
 fn steady_state_infer_batch_performs_zero_data_allocations() {
-    let model = AdarNet::new(AdarNetConfig {
-        ph: 8,
-        pw: 8,
-        seed: 42,
-        ..AdarNetConfig::default()
-    });
-    let engine = InferenceEngine::new(model, NormStats::identity());
-    // Two 16x32 fields -> 2x4 patch grids; with 8x8 patches the four bins
-    // span extents 8/16/32/64, all above GEMM_THRESHOLD, so the loop runs
-    // the blocked kernel path the pool exists for.
-    let fields = vec![sample(16, 32, 0.0), sample(16, 32, 1.3)];
+    // Both compute backends must honor the contract: the SIMD plane
+    // draws its im2col/output panels from the same (64-byte-aligned)
+    // workspace shelves as the scalar plane. Engines run sequentially
+    // within the one test so the global counter stays interpretable.
+    for device in [Device::CpuScalar, Device::CpuSimd] {
+        let mut model = AdarNet::new(AdarNetConfig {
+            ph: 8,
+            pw: 8,
+            seed: 42,
+            ..AdarNetConfig::default()
+        });
+        model.set_device(device);
+        let engine = InferenceEngine::new(model, NormStats::identity());
+        // Two 16x32 fields -> 2x4 patch grids; with 8x8 patches the four bins
+        // span extents 8/16/32/64, all above GEMM_THRESHOLD, so the loop runs
+        // the blocked kernel path the pool exists for.
+        let fields = vec![sample(16, 32, 0.0), sample(16, 32, 1.3)];
 
-    // Warmup: several rounds so the pool reaches its steady-state working
-    // set, including the peak number of concurrently-held im2col/output
-    // panels across the rayon workers.
-    for _ in 0..6 {
-        for pred in engine.infer_batch(&fields).expect("warmup inference") {
-            pred.recycle();
+        // Warmup: several rounds so the pool reaches its steady-state working
+        // set, including the peak number of concurrently-held im2col/output
+        // panels across the rayon workers.
+        for _ in 0..6 {
+            for pred in engine.infer_batch(&fields).expect("warmup inference") {
+                pred.recycle();
+            }
         }
-    }
 
-    let before = workspace::data_allocs();
-    let mut cells = 0usize;
-    for _ in 0..8 {
-        for pred in engine.infer_batch(&fields).expect("steady-state inference") {
-            cells += pred.active_cells();
-            pred.recycle();
+        let before = workspace::data_allocs();
+        let mut cells = 0usize;
+        for _ in 0..8 {
+            for pred in engine.infer_batch(&fields).expect("steady-state inference") {
+                cells += pred.active_cells();
+                pred.recycle();
+            }
         }
+        let after = workspace::data_allocs();
+        assert!(cells >= 8 * 2 * 16 * 32, "inference produced no output?");
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state infer_batch on {} allocated {} data buffers in 8 \
+             iterations; the hot path must run entirely from the workspace pool",
+            device.name(),
+            after - before
+        );
     }
-    let after = workspace::data_allocs();
-    assert!(cells >= 8 * 2 * 16 * 32, "inference produced no output?");
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state infer_batch allocated {} data buffers in 8 \
-         iterations; the hot path must run entirely from the workspace pool",
-        after - before
-    );
 }

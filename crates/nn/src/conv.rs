@@ -1,11 +1,11 @@
 //! Stride-1 2-D convolution layer with "same" padding.
 
-use adarnet_tensor::{Shape, Tensor};
+use adarnet_tensor::{AlignedBuf, Shape, Tensor};
 
+use crate::device::Device;
 use crate::kernels::{
-    conv2d_backward_input, conv2d_backward_params, conv2d_backward_params_gemm, conv2d_forward,
-    conv2d_forward_blocked, conv2d_forward_packed, conv_out_extent, flip_transpose_weights,
-    pack_weight_panels, packed_panels_len, PackedPanels, GEMM_THRESHOLD,
+    conv_out_extent, flip_transpose_weights, pack_weight_panels, packed_panels_len, PackedPanels,
+    GEMM_THRESHOLD, PACKED_MIN_OLEN,
 };
 use crate::packed::{FrozenConv2d, PackedConvWeights};
 use crate::{InferLayer, Initializer, Layer, F};
@@ -28,9 +28,13 @@ pub struct Conv2d {
     /// into the micro-kernel's k-major layout, rebuilt lazily after any
     /// weight mutation ([`Conv2d::params_mut`] / [`Conv2d::weight_mut`]).
     /// The buffer itself is retained across invalidations so repacking
-    /// after an optimizer step allocates nothing.
-    packed_cache: Vec<F>,
+    /// after an optimizer step allocates nothing. 64-byte aligned so the
+    /// SIMD micro-kernel's panel reads never split a cache line.
+    packed_cache: AlignedBuf,
     packed_valid: bool,
+    /// Compute backend for this layer's kernels. [`Device::active`] by
+    /// default; see [`Layer::set_device`].
+    device: Device,
 }
 
 impl Conv2d {
@@ -62,8 +66,9 @@ impl Conv2d {
             dweight: Tensor::zeros(wshape),
             dbias: Tensor::zeros(Shape::d1(out_channels)),
             cached_input: None,
-            packed_cache: Vec::new(),
+            packed_cache: AlignedBuf::new(),
             packed_valid: false,
+            device: Device::active(),
         }
     }
 
@@ -94,26 +99,34 @@ impl Conv2d {
         &self.bias
     }
 
-    /// Shared forward compute: large spatial extents run markedly faster
-    /// through the blocked im2col + GEMM micro-kernel, fed from the
-    /// pack-once-per-step A-panel cache (bitwise-identical to the
-    /// unpacked blocked path; both are verified equivalent to the direct
-    /// loop nest in the kernel tests). Weights repack only after a
-    /// mutation through [`Conv2d::params_mut`] / [`Conv2d::weight_mut`],
-    /// i.e. once per optimizer step in the training loop.
+    /// Shared forward compute, three-way dispatched on output-pixel
+    /// count (value-safe: packed == blocked bitwise per backend, and
+    /// both match the direct loop nest within float tolerance — pinned
+    /// by the kernel tests):
+    ///
+    /// * `o_len >= PACKED_MIN_OLEN` — blocked GEMM over the
+    ///   pack-once-per-step A-panel cache. Weights repack only after a
+    ///   mutation through [`Conv2d::params_mut`] /
+    ///   [`Conv2d::weight_mut`], i.e. once per optimizer step.
+    /// * `GEMM_THRESHOLD <= o_len < PACKED_MIN_OLEN` — blocked GEMM on
+    ///   the unpacked weights: at these extents (1–4 column tiles) the
+    ///   pack cost and layout overhead measured as a net loss in the
+    ///   kernels bench (see [`PACKED_MIN_OLEN`]).
+    /// * below — the direct loop nest.
     fn run_forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
         let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
         let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
-        if oh * ow >= GEMM_THRESHOLD {
+        let o_len = oh * ow;
+        if o_len >= PACKED_MIN_OLEN {
             let k_len = self.in_channels * self.kernel * self.kernel;
             if !self.packed_valid {
                 self.packed_cache
-                    .resize(packed_panels_len(self.out_channels, k_len), 0.0);
+                    .resize(packed_panels_len(self.out_channels, k_len));
                 pack_weight_panels(
                     self.weight.as_slice(),
                     self.out_channels,
                     k_len,
-                    &mut self.packed_cache,
+                    self.packed_cache.as_mut_slice(),
                 );
                 self.packed_valid = true;
             }
@@ -124,9 +137,14 @@ impl Conv2d {
                 kh: self.kernel,
                 kw: self.kernel,
             };
-            conv2d_forward_packed(x, view, &self.bias, self.pad)
+            self.device
+                .conv2d_forward_packed(x, view, &self.bias, self.pad)
+        } else if o_len >= GEMM_THRESHOLD {
+            self.device
+                .conv2d_forward_blocked(x, &self.weight, &self.bias, self.pad)
         } else {
-            conv2d_forward(x, &self.weight, &self.bias, self.pad)
+            self.device
+                .conv2d_forward(x, &self.weight, &self.bias, self.pad)
         }
     }
 }
@@ -181,23 +199,49 @@ impl Layer for Conv2d {
         // dx = conv(dy, flip_transpose(w)) (the deconvolution identity).
         let big = grad_out.dim(2) * grad_out.dim(3) >= GEMM_THRESHOLD;
         if big {
-            conv2d_backward_params_gemm(grad_out, x, self.pad, &mut self.dweight, &mut self.dbias);
+            self.device.conv2d_backward_params_gemm(
+                grad_out,
+                x,
+                self.pad,
+                &mut self.dweight,
+                &mut self.dbias,
+            );
             let w_flip = flip_transpose_weights(&self.weight);
-            let dx =
-                conv2d_forward_blocked(grad_out, &w_flip, &Tensor::zeros(Shape::d1(0)), self.pad);
+            let dx = self.device.conv2d_forward_blocked(
+                grad_out,
+                &w_flip,
+                &Tensor::zeros(Shape::d1(0)),
+                self.pad,
+            );
             w_flip.recycle();
             dx
         } else {
-            conv2d_backward_params(grad_out, x, self.pad, &mut self.dweight, &mut self.dbias);
-            conv2d_backward_input(grad_out, &self.weight, x.dim(2), x.dim(3), self.pad)
+            self.device.conv2d_backward_params(
+                grad_out,
+                x,
+                self.pad,
+                &mut self.dweight,
+                &mut self.dbias,
+            );
+            self.device
+                .conv2d_backward_input(grad_out, &self.weight, x.dim(2), x.dim(3), self.pad)
         }
     }
 
     fn freeze(&self) -> Box<dyn InferLayer> {
         Box::new(FrozenConv2d::new(
             "Conv2d",
-            PackedConvWeights::from_conv_weight(&self.weight, &self.bias, self.pad),
+            PackedConvWeights::from_conv_weight_on(self.device, &self.weight, &self.bias, self.pad),
         ))
+    }
+
+    fn set_device(&mut self, device: Device) {
+        if device != self.device {
+            self.device = device;
+            // Conservative: the packed layout is backend-independent,
+            // but repacking once keeps the invalidation rule simple.
+            self.packed_valid = false;
+        }
     }
 
     fn params(&self) -> Vec<&Tensor<F>> {

@@ -7,12 +7,12 @@
 //! kernels through [`flip_transpose_weights`], which keeps one set of
 //! verified kernels for both layer types.
 
-use adarnet_tensor::{Shape, Tensor};
+use adarnet_tensor::{AlignedBuf, Shape, Tensor};
 
+use crate::device::Device;
 use crate::kernels::{
-    conv2d_backward_input, conv2d_backward_params, conv2d_backward_params_gemm, conv2d_forward,
-    conv2d_forward_blocked, conv2d_forward_packed, conv_out_extent, flip_transpose_weights,
-    pack_weight_panels, packed_panels_len, PackedPanels, GEMM_THRESHOLD,
+    conv_out_extent, flip_transpose_weights, pack_weight_panels, packed_panels_len, PackedPanels,
+    GEMM_THRESHOLD, PACKED_MIN_OLEN,
 };
 use crate::packed::{FrozenConv2d, PackedConvWeights};
 use crate::{InferLayer, Initializer, Layer, F};
@@ -36,9 +36,13 @@ pub struct ConvTranspose2d {
     /// flip-transpose + pack happen together, lazily, after any weight
     /// mutation through [`Layer::params_mut`] — so steady-state forward
     /// calls skip both the per-call flip copy and the strided weight
-    /// traversal. The buffer is retained across invalidations.
-    packed_cache: Vec<F>,
+    /// traversal. The buffer is retained across invalidations and is
+    /// 64-byte aligned for the SIMD micro-kernel's panel reads.
+    packed_cache: AlignedBuf,
     packed_valid: bool,
+    /// Compute backend for this layer's kernels. [`Device::active`] by
+    /// default; see [`Layer::set_device`].
+    device: Device,
 }
 
 impl ConvTranspose2d {
@@ -64,8 +68,9 @@ impl ConvTranspose2d {
             dweight: Tensor::zeros(wshape),
             dbias: Tensor::zeros(Shape::d1(out_channels)),
             cached_input: None,
-            packed_cache: Vec::new(),
+            packed_cache: AlignedBuf::new(),
             packed_valid: false,
+            device: Device::active(),
         }
     }
 
@@ -87,18 +92,19 @@ impl ConvTranspose2d {
     fn run_forward(&mut self, x: &Tensor<F>) -> Tensor<F> {
         let oh = conv_out_extent(x.dim(2), self.kernel, self.pad);
         let ow = conv_out_extent(x.dim(3), self.kernel, self.pad);
-        if oh * ow >= GEMM_THRESHOLD {
+        let o_len = oh * ow;
+        if o_len >= PACKED_MIN_OLEN {
             let k_len = self.in_channels * self.kernel * self.kernel;
             if !self.packed_valid {
                 // Equivalent conv weights: (OC, IC, KH, KW), flipped.
                 let w_conv = flip_transpose_weights(&self.weight);
                 self.packed_cache
-                    .resize(packed_panels_len(self.out_channels, k_len), 0.0);
+                    .resize(packed_panels_len(self.out_channels, k_len));
                 pack_weight_panels(
                     w_conv.as_slice(),
                     self.out_channels,
                     k_len,
-                    &mut self.packed_cache,
+                    self.packed_cache.as_mut_slice(),
                 );
                 w_conv.recycle();
                 self.packed_valid = true;
@@ -110,10 +116,20 @@ impl ConvTranspose2d {
                 kh: self.kernel,
                 kw: self.kernel,
             };
-            conv2d_forward_packed(x, view, &self.bias, self.pad)
+            self.device
+                .conv2d_forward_packed(x, view, &self.bias, self.pad)
+        } else if o_len >= GEMM_THRESHOLD {
+            // Mid-band: blocked GEMM on a transient flipped copy — the
+            // pack overhead measured as a net loss here (PACKED_MIN_OLEN).
+            let w_conv = flip_transpose_weights(&self.weight);
+            let y = self
+                .device
+                .conv2d_forward_blocked(x, &w_conv, &self.bias, self.pad);
+            w_conv.recycle();
+            y
         } else {
             let w_conv = flip_transpose_weights(&self.weight);
-            let y = conv2d_forward(x, &w_conv, &self.bias, self.pad);
+            let y = self.device.conv2d_forward(x, &w_conv, &self.bias, self.pad);
             w_conv.recycle();
             y
         }
@@ -172,9 +188,21 @@ impl Layer for ConvTranspose2d {
         ));
         let big = grad_out.dim(2) * grad_out.dim(3) >= GEMM_THRESHOLD;
         if big {
-            conv2d_backward_params_gemm(grad_out, x, self.pad, &mut dw_conv, &mut self.dbias);
+            self.device.conv2d_backward_params_gemm(
+                grad_out,
+                x,
+                self.pad,
+                &mut dw_conv,
+                &mut self.dbias,
+            );
         } else {
-            conv2d_backward_params(grad_out, x, self.pad, &mut dw_conv, &mut self.dbias);
+            self.device.conv2d_backward_params(
+                grad_out,
+                x,
+                self.pad,
+                &mut dw_conv,
+                &mut self.dbias,
+            );
         }
         // flip_transpose is linear and an involution, so the deconv-layout
         // gradient is the same transform applied to the conv-layout gradient.
@@ -187,12 +215,17 @@ impl Layer for ConvTranspose2d {
             // dx of a same-padded stride-1 conv is the conv with the
             // flip-transposed weights (the deconvolution identity).
             let w_back = flip_transpose_weights(&w_conv);
-            let dx =
-                conv2d_forward_blocked(grad_out, &w_back, &Tensor::zeros(Shape::d1(0)), self.pad);
+            let dx = self.device.conv2d_forward_blocked(
+                grad_out,
+                &w_back,
+                &Tensor::zeros(Shape::d1(0)),
+                self.pad,
+            );
             w_back.recycle();
             dx
         } else {
-            conv2d_backward_input(grad_out, &w_conv, x.dim(2), x.dim(3), self.pad)
+            self.device
+                .conv2d_backward_input(grad_out, &w_conv, x.dim(2), x.dim(3), self.pad)
         };
         w_conv.recycle();
         dx
@@ -203,8 +236,20 @@ impl Layer for ConvTranspose2d {
         // once — run_forward above pays it on every call.
         Box::new(FrozenConv2d::new(
             "ConvTranspose2d",
-            PackedConvWeights::from_deconv_weight(&self.weight, &self.bias, self.pad),
+            PackedConvWeights::from_deconv_weight_on(
+                self.device,
+                &self.weight,
+                &self.bias,
+                self.pad,
+            ),
         ))
+    }
+
+    fn set_device(&mut self, device: Device) {
+        if device != self.device {
+            self.device = device;
+            self.packed_valid = false;
+        }
     }
 
     fn params(&self) -> Vec<&Tensor<F>> {

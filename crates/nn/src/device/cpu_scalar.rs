@@ -1,0 +1,432 @@
+//! The reference CPU backend: plain scalar loops, moved verbatim from
+//! the pre-device-trait `crate::kernels` / layer implementations.
+//!
+//! [`ScalarMicro`] replays the exact accumulation order of the
+//! historical blocked/packed micro-kernels, so every bitwise contract
+//! established before the backend split (packed == blocked, frozen ==
+//! mutable, checkpoint-replicate identity) continues to hold verbatim
+//! on this backend. It is also the semantic baseline the SIMD backend
+//! is proptest-bounded against (`tests/device_equivalence.rs`).
+//!
+//! The direct (sub-[`crate::kernels::GEMM_THRESHOLD`]) convolution
+//! kernels and the memory-bound pool/softmax ops live here too and are
+//! shared by *all* CPU backends: their cost is loads and stores, not
+//! arithmetic, so a vector plane buys nothing and sharing one
+//! implementation keeps cross-backend outputs bitwise identical for
+//! every op except the FMA-reassociated GEMMs.
+
+use adarnet_tensor::{Shape, Tensor};
+use rayon::prelude::*;
+
+use crate::device::driver::MicroGemm;
+use crate::kernels::{conv_out_extent, MR, NR};
+use crate::F;
+
+/// Zero-sized handle for the scalar micro-kernels.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarMicro;
+
+impl MicroGemm for ScalarMicro {
+    #[inline]
+    fn tile_rows(
+        &self,
+        acc: &mut [[f32; NR]; MR],
+        wrow0: &[f32],
+        k_len: usize,
+        colp: &[f32],
+        cn: usize,
+        j0: usize,
+    ) {
+        for (k, ctile) in colp.chunks_exact(cn).enumerate() {
+            let ctile = &ctile[j0..j0 + NR];
+            for (m, am) in acc.iter_mut().enumerate() {
+                let wv = wrow0[m * k_len + k];
+                for (a, &c) in am.iter_mut().zip(ctile) {
+                    *a += wv * c;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn tile_packed(
+        &self,
+        acc: &mut [[f32; NR]; MR],
+        wp_block: &[f32],
+        colp: &[f32],
+        cn: usize,
+        j0: usize,
+    ) {
+        for (k, ctile) in colp.chunks_exact(cn).enumerate() {
+            let ctile = &ctile[j0..j0 + NR];
+            let wk = &wp_block[k * MR..(k + 1) * MR];
+            for (m, am) in acc.iter_mut().enumerate() {
+                let wv = wk[m];
+                for (a, &c) in am.iter_mut().zip(ctile) {
+                    *a += wv * c;
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn gemm_row(&self, yrow: &mut [f32], wrow: &[f32], col: &[f32]) {
+        let o_len = yrow.len();
+        for (wk, crow) in wrow.iter().zip(col.chunks_exact(o_len)) {
+            for (yv, cv) in yrow.iter_mut().zip(crow) {
+                *yv += wk * cv;
+            }
+        }
+    }
+
+    #[inline]
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (dv, cv) in a.iter().zip(b) {
+            acc += dv * cv;
+        }
+        acc
+    }
+}
+
+/// Direct 7-loop stride-1 convolution, parallel over `(batch,
+/// out-channel)` planes — the sub-threshold path for every backend.
+pub fn conv2d_forward_direct(
+    x: &Tensor<F>,
+    w: &Tensor<F>,
+    bias: &Tensor<F>,
+    pad: usize,
+) -> Tensor<F> {
+    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(
+        ic, wic,
+        "conv2d: input channels {ic} != weight channels {wic}"
+    );
+    assert!(
+        bias.is_empty() || bias.len() == oc,
+        "conv2d: bias length {} != out channels {oc}",
+        bias.len()
+    );
+    let oh = conv_out_extent(h, kh, pad);
+    let ow = conv_out_extent(wd, kw, pad);
+    assert!(
+        oh > 0 && ow > 0,
+        "conv2d: kernel {kh}x{kw} larger than padded input"
+    );
+
+    // Every output element is written below, so scratch (not zeroed)
+    // pooled memory is safe.
+    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
+    let xs = x.as_slice();
+    let ws = w.as_slice();
+    let bs = bias.as_slice();
+    let plane = oh * ow;
+
+    y.as_mut_slice()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(p, yplane)| {
+            let ni = p / oc;
+            let oci = p % oc;
+            let b = if bs.is_empty() { 0.0 } else { bs[oci] };
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ici in 0..ic {
+                        let wbase = ((oci * ic + ici) * kh) * kw;
+                        let xbase = (ni * ic + ici) * h * wd;
+                        for ky in 0..kh {
+                            let iy = oy + ky;
+                            if iy < pad || iy >= h + pad {
+                                continue;
+                            }
+                            let iy = iy - pad;
+                            let wrow = wbase + ky * kw;
+                            let xrow = xbase + iy * wd;
+                            for kx in 0..kw {
+                                let ix = ox + kx;
+                                if ix < pad || ix >= wd + pad {
+                                    continue;
+                                }
+                                acc += xs[xrow + (ix - pad)] * ws[wrow + kx];
+                            }
+                        }
+                    }
+                    yplane[oy * ow + ox] = acc;
+                }
+            }
+        });
+    y
+}
+
+/// Adjoint of [`conv2d_forward_direct`] with respect to the input.
+pub fn conv2d_backward_input_direct(
+    dy: &Tensor<F>,
+    w: &Tensor<F>,
+    in_h: usize,
+    in_w: usize,
+    pad: usize,
+) -> Tensor<F> {
+    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
+    let (woc, ic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(
+        oc, woc,
+        "conv2d backward: dy channels {oc} != weight out channels {woc}"
+    );
+    assert_eq!(
+        oh,
+        conv_out_extent(in_h, kh, pad),
+        "conv2d backward: oh mismatch"
+    );
+    assert_eq!(
+        ow,
+        conv_out_extent(in_w, kw, pad),
+        "conv2d backward: ow mismatch"
+    );
+
+    let mut dx = Tensor::<F>::pooled_scratch(Shape::d4(n, ic, in_h, in_w));
+    let dys = dy.as_slice();
+    let ws = w.as_slice();
+    let plane = in_h * in_w;
+
+    dx.as_mut_slice()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(p, dxplane)| {
+            let ni = p / ic;
+            let ici = p % ic;
+            // dx[iy, ix] = sum_{oc, ky, kx : oy = iy + pad - ky in range}
+            //              dy[oc, oy, ox] * w[oc, ic, ky, kx]
+            for iy in 0..in_h {
+                for ix in 0..in_w {
+                    let mut acc = 0.0f32;
+                    for oci in 0..oc {
+                        let dybase = (ni * oc + oci) * oh * ow;
+                        let wbase = ((oci * ic + ici) * kh) * kw;
+                        for ky in 0..kh {
+                            let oy = iy + pad;
+                            if oy < ky {
+                                continue;
+                            }
+                            let oy = oy - ky;
+                            if oy >= oh {
+                                continue;
+                            }
+                            let dyrow = dybase + oy * ow;
+                            let wrow = wbase + ky * kw;
+                            for kx in 0..kw {
+                                let ox = ix + pad;
+                                if ox < kx {
+                                    continue;
+                                }
+                                let ox = ox - kx;
+                                if ox >= ow {
+                                    continue;
+                                }
+                                acc += dys[dyrow + ox] * ws[wrow + kx];
+                            }
+                        }
+                    }
+                    dxplane[iy * in_w + ix] = acc;
+                }
+            }
+        });
+    dx
+}
+
+/// Direct-loop weight/bias gradient accumulation, the small-shape
+/// counterpart of the GEMM-based driver.
+pub fn conv2d_backward_params_direct(
+    dy: &Tensor<F>,
+    x: &Tensor<F>,
+    pad: usize,
+    dw: &mut Tensor<F>,
+    db: &mut Tensor<F>,
+) {
+    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
+    let (xn, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(n, xn, "conv2d params: batch mismatch");
+    let (dwoc, dwic, kh, kw) = (dw.dim(0), dw.dim(1), dw.dim(2), dw.dim(3));
+    assert_eq!((dwoc, dwic), (oc, ic), "conv2d params: dw shape mismatch");
+
+    let dys = dy.as_slice();
+    let xs = x.as_slice();
+    let slab = ic * kh * kw;
+
+    dw.as_mut_slice()
+        .par_chunks_mut(slab)
+        .enumerate()
+        .for_each(|(oci, dwslab)| {
+            for ni in 0..n {
+                let dybase = (ni * oc + oci) * oh * ow;
+                for ici in 0..ic {
+                    let xbase = (ni * ic + ici) * h * wd;
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let mut acc = 0.0f32;
+                            for oy in 0..oh {
+                                let iy = oy + ky;
+                                if iy < pad || iy >= h + pad {
+                                    continue;
+                                }
+                                let xrow = xbase + (iy - pad) * wd;
+                                let dyrow = dybase + oy * ow;
+                                for ox in 0..ow {
+                                    let ix = ox + kx;
+                                    if ix < pad || ix >= wd + pad {
+                                        continue;
+                                    }
+                                    acc += dys[dyrow + ox] * xs[xrow + (ix - pad)];
+                                }
+                            }
+                            dwslab[(ici * kh + ky) * kw + kx] += acc;
+                        }
+                    }
+                }
+            }
+        });
+
+    if !db.is_empty() {
+        assert_eq!(db.len(), oc, "conv2d params: db length mismatch");
+        let dbs = db.as_mut_slice();
+        for ni in 0..n {
+            for (oci, slot) in dbs.iter_mut().enumerate() {
+                let base = (ni * oc + oci) * oh * ow;
+                *slot += dys[base..base + oh * ow].iter().sum::<f32>();
+            }
+        }
+    }
+}
+
+/// Non-overlapping max pool (pool size == stride); `record` is called
+/// with `(output index, flat input argmax)` for each output element (a
+/// no-op closure on the inference path). Moved verbatim from
+/// `MaxPool2d::run_forward`.
+pub fn max_pool2d_forward(
+    x: &Tensor<F>,
+    pool_h: usize,
+    pool_w: usize,
+    mut record: impl FnMut(usize, usize),
+) -> Tensor<F> {
+    assert_eq!(x.shape().rank(), 4, "MaxPool2d expects NCHW input");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert!(
+        h % pool_h == 0 && w % pool_w == 0,
+        "pool {pool_h}x{pool_w} does not tile {h}x{w}"
+    );
+    let (oh, ow) = (h / pool_h, w / pool_w);
+    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, c, oh, ow));
+    let xs = x.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = F::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for py in 0..pool_h {
+                        let row = base + (oy * pool_h + py) * w + ox * pool_w;
+                        for px in 0..pool_w {
+                            let v = xs[row + px];
+                            if v > best {
+                                best = v;
+                                best_idx = row + px;
+                            }
+                        }
+                    }
+                    let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                    y.as_mut_slice()[oidx] = best;
+                    record(oidx, best_idx);
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Non-overlapping average pool (pool size == stride). Moved verbatim
+/// from `AvgPool2d::run_forward`.
+pub fn avg_pool2d_forward(x: &Tensor<F>, pool_h: usize, pool_w: usize) -> Tensor<F> {
+    assert_eq!(x.shape().rank(), 4, "AvgPool2d expects NCHW input");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert!(
+        h % pool_h == 0 && w % pool_w == 0,
+        "pool {pool_h}x{pool_w} does not tile {h}x{w}"
+    );
+    let (oh, ow) = (h / pool_h, w / pool_w);
+    let inv = 1.0 / (pool_h * pool_w) as F;
+    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, c, oh, ow));
+    let xs = x.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for py in 0..pool_h {
+                        let row = base + (oy * pool_h + py) * w + ox * pool_w;
+                        for px in 0..pool_w {
+                            acc += xs[row + px];
+                        }
+                    }
+                    y.as_mut_slice()[((ni * c + ci) * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Softmax across everything but the batch axis, max-shifted with an
+/// f64 partition sum. Moved verbatim from `SpatialSoftmax::run_forward`
+/// (minus the caller's finite guard, which stays in the layer).
+pub fn spatial_softmax_forward(x: &Tensor<F>) -> Tensor<F> {
+    assert!(x.shape().rank() >= 1, "softmax needs at least rank 1");
+    let n = x.dim(0);
+    let per = x.len() / n.max(1);
+    let mut y = x.pooled_copy();
+    for b in 0..n {
+        let sl = &mut y.as_mut_slice()[b * per..(b + 1) * per];
+        // Standard max-shift for numerical stability.
+        let m = sl.iter().copied().fold(F::NEG_INFINITY, F::max);
+        let mut z = 0.0f64;
+        for v in sl.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v as f64;
+        }
+        let inv = (1.0 / z) as F;
+        for v in sl.iter_mut() {
+            *v *= inv;
+        }
+    }
+    y
+}
+
+/// Softmax backward: `dx_i = y_i * (g_i - sum_j g_j y_j)` per batch
+/// item with an f64 inner product, `y` being the cached forward output.
+/// Moved verbatim from `SpatialSoftmax::backward`.
+pub fn spatial_softmax_backward(y: &Tensor<F>, grad_out: &Tensor<F>) -> Tensor<F> {
+    assert!(
+        y.shape().same(grad_out.shape()),
+        "softmax grad shape mismatch"
+    );
+    let n = y.dim(0);
+    let per = y.len() / n.max(1);
+    let mut dx = grad_out.pooled_copy();
+    for b in 0..n {
+        let ys = &y.as_slice()[b * per..(b + 1) * per];
+        let gs = &mut dx.as_mut_slice()[b * per..(b + 1) * per];
+        // dx_i = y_i * (g_i - sum_j g_j y_j)
+        let dot: f64 = ys
+            .iter()
+            .zip(gs.iter())
+            .map(|(&yi, &gi)| (yi * gi) as f64)
+            .sum();
+        let dot = dot as F;
+        for (g, &yi) in gs.iter_mut().zip(ys) {
+            *g = yi * (*g - dot);
+        }
+    }
+    dx
+}

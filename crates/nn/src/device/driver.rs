@@ -1,0 +1,457 @@
+//! Backend-generic GEMM drivers: the panel decomposition, im2col fills,
+//! edge handling, and write-back that every CPU backend shares, with the
+//! innermost register tile abstracted behind [`MicroGemm`].
+//!
+//! The drivers here are the bodies that used to live in
+//! [`crate::kernels`] (`conv2d_forward_blocked` and friends), made
+//! generic over the micro-kernel. Everything *outside* the full
+//! `MR × NR` tile — panel blocking, ragged row/column edges, bias
+//! write-back, pooled-scratch discipline, obs counters — is shared
+//! scalar code, so two backends differ only in how a full tile
+//! accumulates. The scalar backend's tile replays the exact loop the
+//! monolithic kernels ran, which keeps the historical bitwise contracts
+//! (packed == blocked, frozen == mutable) intact per backend.
+//!
+//! Monomorphization, not dynamic dispatch: each driver is generic over
+//! `M: MicroGemm` and the [`crate::device::Device`] enum selects the
+//! instantiation, so the micro-kernel inlines into the panel loop
+//! exactly as it did before the refactor.
+
+use adarnet_tensor::{workspace, AlignedBuf, Shape, Tensor};
+use rayon::prelude::*;
+
+use crate::kernels::{conv_out_extent, im2col_row_segment, packed_panels_len, PackedPanels};
+use crate::kernels::{MR, NC, NR};
+use crate::F;
+
+/// The innermost register tile of the blocked GEMM, the only code that
+/// differs between CPU backends.
+///
+/// Implementations must be `Copy` zero-sized handles (they are captured
+/// by rayon parallel closures) and must compute, for each method, the
+/// same real-arithmetic sum as the scalar reference — the scalar
+/// backend bitwise-replays the historical kernels, while vectorized
+/// backends may reassociate the reduction (FMA, multiple accumulators)
+/// within the ULP envelope pinned by `tests/device_equivalence.rs`.
+pub trait MicroGemm: Copy + Send + Sync {
+    /// Accumulate a full `MR × NR` tile from *strided* weight rows:
+    /// `acc[m][j] += w[oc0+m][k] * colp[k][j0+j]` over all `k`, where
+    /// `wrow0` is the `MR × k_len` row-major weight slab for this row
+    /// block and `colp` the `k_len × cn` im2col panel.
+    fn tile_rows(
+        &self,
+        acc: &mut [[f32; NR]; MR],
+        wrow0: &[f32],
+        k_len: usize,
+        colp: &[f32],
+        cn: usize,
+        j0: usize,
+    );
+
+    /// [`Self::tile_rows`] over a *pre-packed* k-major weight block
+    /// (`k_len × MR` floats, see [`crate::kernels::pack_weight_panels`]):
+    /// `acc[m][j] += wp_block[k*MR + m] * colp[k][j0+j]`.
+    fn tile_packed(
+        &self,
+        acc: &mut [[f32; NR]; MR],
+        wp_block: &[f32],
+        colp: &[f32],
+        cn: usize,
+        j0: usize,
+    );
+
+    /// Row-times-matrix AXPY for the reference GEMM path:
+    /// `yrow[j] += wrow[k] * col[k*o_len + j]` with `o_len = yrow.len()`.
+    fn gemm_row(&self, yrow: &mut [f32], wrow: &[f32], col: &[f32]);
+
+    /// Dot product of two equal-length slices (weight-gradient GEMM).
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+}
+
+/// Write a finished `MR × NR` accumulator tile back into the `oc × cn`
+/// panel with bias added — shared by both micro-kernel variants and
+/// identical to the historical scalar write-back.
+#[inline]
+fn writeback_tile(
+    out: &mut [f32],
+    bs: &[f32],
+    acc: &[[f32; NR]; MR],
+    oc0: usize,
+    cn: usize,
+    j0: usize,
+) {
+    for (m, am) in acc.iter().enumerate() {
+        let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
+        let orow = &mut out[(oc0 + m) * cn + j0..(oc0 + m) * cn + j0 + NR];
+        for (o, a) in orow.iter_mut().zip(am) {
+            *o = a + b;
+        }
+    }
+}
+
+/// The register-tiled micro-kernel: `rows × jn` output tile at row
+/// offset `oc0`, column offset `j0` of an `oc × cn` panel. Full
+/// `MR × NR` tiles dispatch to the backend tile; irregular edges run a
+/// shared scalar loop (all paper shapes are edge-free, see
+/// [`crate::kernels::NR`]).
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel<M: MicroGemm>(
+    micro: M,
+    out: &mut [f32],
+    ws: &[f32],
+    bs: &[f32],
+    colp: &[f32],
+    oc0: usize,
+    rows: usize,
+    k_len: usize,
+    cn: usize,
+    j0: usize,
+    jn: usize,
+) {
+    if rows == MR && jn == NR {
+        let mut acc = [[0.0f32; NR]; MR];
+        let wrow0 = &ws[oc0 * k_len..(oc0 + MR) * k_len];
+        micro.tile_rows(&mut acc, wrow0, k_len, colp, cn, j0);
+        writeback_tile(out, bs, &acc, oc0, cn, j0);
+    } else {
+        for m in 0..rows {
+            let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
+            let wrow = &ws[(oc0 + m) * k_len..(oc0 + m + 1) * k_len];
+            for j in j0..j0 + jn {
+                let mut acc = b;
+                for (k, &wv) in wrow.iter().enumerate() {
+                    acc += wv * colp[k * cn + j];
+                }
+                out[(oc0 + m) * cn + j] = acc;
+            }
+        }
+    }
+}
+
+/// The packed-weights twin of [`micro_kernel`]: same loop structure and
+/// edge handling, weight reads from the pre-packed `k_len × MR` block.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_packed<M: MicroGemm>(
+    micro: M,
+    out: &mut [f32],
+    wp_block: &[f32],
+    bs: &[f32],
+    colp: &[f32],
+    oc0: usize,
+    rows: usize,
+    k_len: usize,
+    cn: usize,
+    j0: usize,
+    jn: usize,
+) {
+    debug_assert_eq!(wp_block.len(), k_len * MR);
+    if rows == MR && jn == NR {
+        let mut acc = [[0.0f32; NR]; MR];
+        micro.tile_packed(&mut acc, wp_block, colp, cn, j0);
+        writeback_tile(out, bs, &acc, oc0, cn, j0);
+    } else {
+        for m in 0..rows {
+            let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
+            for j in j0..j0 + jn {
+                let mut acc = b;
+                for k in 0..k_len {
+                    acc += wp_block[k * MR + m] * colp[k * cn + j];
+                }
+                out[(oc0 + m) * cn + j] = acc;
+            }
+        }
+    }
+}
+
+/// Blocked im2col + GEMM convolution (see
+/// [`crate::kernels::conv2d_forward_blocked`] for the public contract
+/// and DESIGN.md §10 for the blocking argument), generic over the
+/// register tile. Scratch panels come 64-byte-aligned from the
+/// workspace pool so vector loads never split a cache line.
+pub fn conv2d_forward_blocked<M: MicroGemm>(
+    micro: M,
+    x: &Tensor<F>,
+    w: &Tensor<F>,
+    bias: &Tensor<F>,
+    pad: usize,
+) -> Tensor<F> {
+    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(
+        ic, wic,
+        "conv2d: input channels {ic} != weight channels {wic}"
+    );
+    assert!(
+        bias.is_empty() || bias.len() == oc,
+        "conv2d: bias length {} != out channels {oc}",
+        bias.len()
+    );
+    let oh = conv_out_extent(h, kh, pad);
+    let ow = conv_out_extent(wd, kw, pad);
+    assert!(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
+
+    let k_len = ic * kh * kw;
+    let o_len = oh * ow;
+    let ws = w.as_slice();
+    let bs = bias.as_slice();
+    let xs = x.as_slice();
+    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
+
+    y.as_mut_slice()
+        .par_chunks_mut(oc * o_len)
+        .enumerate()
+        .for_each(|(ni, ybatch)| {
+            let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
+            // Column panels of this batch item, computed in parallel
+            // into pooled per-panel buffers, then scattered back.
+            let panels: Vec<(usize, AlignedBuf)> = (0..o_len)
+                .step_by(NC)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|&c0| {
+                    let cn = (o_len - c0).min(NC);
+                    let mut colp = workspace::take_aligned(k_len * cn);
+                    for (r, dst) in colp.chunks_exact_mut(cn).enumerate() {
+                        let ici = r / (kh * kw);
+                        let ky = (r / kw) % kh;
+                        let kx = r % kw;
+                        let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
+                        im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, c0, cn);
+                    }
+                    let mut out = workspace::take_aligned(oc * cn);
+                    let mut oc0 = 0;
+                    while oc0 < oc {
+                        let rows = (oc - oc0).min(MR);
+                        let mut j0 = 0;
+                        while j0 < cn {
+                            let jn = (cn - j0).min(NR);
+                            micro_kernel(
+                                micro, &mut out, ws, bs, &colp, oc0, rows, k_len, cn, j0, jn,
+                            );
+                            j0 += NR;
+                        }
+                        oc0 += MR;
+                    }
+                    workspace::put_aligned(colp);
+                    adarnet_obs::counter!("nn_gemm_panels_total").inc();
+                    (c0, out)
+                })
+                .collect();
+            for (c0, out) in panels {
+                let cn = (o_len - c0).min(NC);
+                for (oci, orow) in out.chunks_exact(cn).enumerate() {
+                    ybatch[oci * o_len + c0..oci * o_len + c0 + cn].copy_from_slice(orow);
+                }
+                workspace::put_aligned(out);
+            }
+        });
+    y
+}
+
+/// Blocked im2col + GEMM over **pre-packed** weights (see
+/// [`crate::kernels::conv2d_forward_packed`]): same panel decomposition
+/// and accumulation order as [`conv2d_forward_blocked`] for the same
+/// backend, minus the per-call strided weight traversal.
+pub fn conv2d_forward_packed<M: MicroGemm>(
+    micro: M,
+    x: &Tensor<F>,
+    w: PackedPanels<'_>,
+    bias: &Tensor<F>,
+    pad: usize,
+) -> Tensor<F> {
+    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, kh, kw) = (w.oc, w.kh, w.kw);
+    assert_eq!(
+        ic, w.ic,
+        "conv2d: input channels {ic} != weight channels {}",
+        w.ic
+    );
+    assert!(
+        bias.is_empty() || bias.len() == oc,
+        "conv2d: bias length {} != out channels {oc}",
+        bias.len()
+    );
+    let oh = conv_out_extent(h, kh, pad);
+    let ow = conv_out_extent(wd, kw, pad);
+    assert!(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
+
+    let k_len = ic * kh * kw;
+    assert_eq!(
+        w.data.len(),
+        packed_panels_len(oc, k_len),
+        "conv2d: packed panel size mismatch"
+    );
+    let o_len = oh * ow;
+    let wp = w.data;
+    let bs = bias.as_slice();
+    let xs = x.as_slice();
+    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
+
+    y.as_mut_slice()
+        .par_chunks_mut(oc * o_len)
+        .enumerate()
+        .for_each(|(ni, ybatch)| {
+            let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
+            let panels: Vec<(usize, AlignedBuf)> = (0..o_len)
+                .step_by(NC)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|&c0| {
+                    let cn = (o_len - c0).min(NC);
+                    let mut colp = workspace::take_aligned(k_len * cn);
+                    for (r, dst) in colp.chunks_exact_mut(cn).enumerate() {
+                        let ici = r / (kh * kw);
+                        let ky = (r / kw) % kh;
+                        let kx = r % kw;
+                        let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
+                        im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, c0, cn);
+                    }
+                    let mut out = workspace::take_aligned(oc * cn);
+                    let mut oc0 = 0;
+                    while oc0 < oc {
+                        let rows = (oc - oc0).min(MR);
+                        let wp_block = &wp[(oc0 / MR) * k_len * MR..(oc0 / MR + 1) * k_len * MR];
+                        let mut j0 = 0;
+                        while j0 < cn {
+                            let jn = (cn - j0).min(NR);
+                            micro_kernel_packed(
+                                micro, &mut out, wp_block, bs, &colp, oc0, rows, k_len, cn, j0, jn,
+                            );
+                            j0 += NR;
+                        }
+                        oc0 += MR;
+                    }
+                    workspace::put_aligned(colp);
+                    adarnet_obs::counter!("nn_gemm_panels_total").inc();
+                    (c0, out)
+                })
+                .collect();
+            for (c0, out) in panels {
+                let cn = (o_len - c0).min(NC);
+                for (oci, orow) in out.chunks_exact(cn).enumerate() {
+                    ybatch[oci * o_len + c0..oci * o_len + c0 + cn].copy_from_slice(orow);
+                }
+                workspace::put_aligned(out);
+            }
+        });
+    y
+}
+
+/// im2col + row-GEMM reference convolution (see
+/// [`crate::kernels::conv2d_forward_gemm`]), generic over the AXPY row.
+pub fn conv2d_forward_gemm<M: MicroGemm>(
+    micro: M,
+    x: &Tensor<F>,
+    w: &Tensor<F>,
+    bias: &Tensor<F>,
+    pad: usize,
+) -> Tensor<F> {
+    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(
+        ic, wic,
+        "conv2d: input channels {ic} != weight channels {wic}"
+    );
+    assert!(
+        bias.is_empty() || bias.len() == oc,
+        "conv2d: bias length {} != out channels {oc}",
+        bias.len()
+    );
+    let oh = conv_out_extent(h, kh, pad);
+    let ow = conv_out_extent(wd, kw, pad);
+    assert!(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
+
+    let k_len = ic * kh * kw;
+    let o_len = oh * ow;
+    let ws = w.as_slice();
+    let bs = bias.as_slice();
+    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
+
+    // Per-batch-item: materialize the im2col matrix (k_len x o_len), then
+    // each output channel is one row-times-matrix product.
+    let mut col = workspace::take_scratch(k_len * o_len);
+    for ni in 0..n {
+        let xs = x.as_slice();
+        let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
+        for (r, dst) in col.chunks_exact_mut(o_len).enumerate() {
+            let ici = r / (kh * kw);
+            let ky = (r / kw) % kh;
+            let kx = r % kw;
+            let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
+            im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, 0, o_len);
+        }
+        // GEMM: y[oc_i, :] = w_row(oc_i) . col + bias.
+        let ybatch = &mut y.as_mut_slice()[ni * oc * o_len..(ni + 1) * oc * o_len];
+        ybatch
+            .par_chunks_mut(o_len)
+            .enumerate()
+            .for_each(|(oci, yrow)| {
+                let b = if bs.is_empty() { 0.0 } else { bs[oci] };
+                yrow.fill(b);
+                let wrow = &ws[oci * k_len..(oci + 1) * k_len];
+                micro.gemm_row(yrow, wrow, &col);
+            });
+    }
+    workspace::put(col);
+    y
+}
+
+/// GEMM-based weight-gradient accumulation (see
+/// [`crate::kernels::conv2d_backward_params_gemm`]), generic over the
+/// reduction dot product.
+pub fn conv2d_backward_params_gemm<M: MicroGemm>(
+    micro: M,
+    dy: &Tensor<F>,
+    x: &Tensor<F>,
+    pad: usize,
+    dw: &mut Tensor<F>,
+    db: &mut Tensor<F>,
+) {
+    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
+    let (xn, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert_eq!(n, xn, "conv2d params: batch mismatch");
+    let (dwoc, dwic, kh, kw) = (dw.dim(0), dw.dim(1), dw.dim(2), dw.dim(3));
+    assert_eq!((dwoc, dwic), (oc, ic), "conv2d params: dw shape mismatch");
+    assert_eq!(oh, conv_out_extent(h, kh, pad), "oh mismatch");
+    assert_eq!(ow, conv_out_extent(wd, kw, pad), "ow mismatch");
+
+    let k_len = ic * kh * kw;
+    let o_len = oh * ow;
+    let dys = dy.as_slice();
+    let xs = x.as_slice();
+    let mut col = workspace::take_scratch(k_len * o_len);
+    for ni in 0..n {
+        // Same im2col fill as the forward GEMM paths, parallel over rows.
+        let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
+        col.par_chunks_mut(o_len).enumerate().for_each(|(r, dst)| {
+            let ici = r / (kh * kw);
+            let ky = (r / kw) % kh;
+            let kx = r % kw;
+            let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
+            im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, 0, o_len);
+        });
+        // dw[oc_i, :] += dy_row(oc_i) . col^T.
+        let dws = dw.as_mut_slice();
+        dws.par_chunks_mut(k_len)
+            .enumerate()
+            .for_each(|(oci, dwrow)| {
+                let dyrow = &dys[(ni * oc + oci) * o_len..(ni * oc + oci + 1) * o_len];
+                for (k, dwv) in dwrow.iter_mut().enumerate() {
+                    let crow = &col[k * o_len..(k + 1) * o_len];
+                    *dwv += micro.dot(dyrow, crow);
+                }
+            });
+    }
+    workspace::put(col);
+
+    if !db.is_empty() {
+        assert_eq!(db.len(), oc, "db length mismatch");
+        let dbs = db.as_mut_slice();
+        for ni in 0..n {
+            for (oci, slot) in dbs.iter_mut().enumerate() {
+                let base = (ni * oc + oci) * o_len;
+                *slot += dys[base..base + o_len].iter().sum::<f32>();
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Pluggable compute backends for the nn kernel plane.
+//!
+//! Every compute kernel — the blocked/packed/row GEMMs behind
+//! [`crate::Conv2d`] / [`crate::ConvTranspose2d`], the direct
+//! small-shape convolutions, pooling, and softmax — is reachable as a
+//! method on the [`Device`] enum. Two backends exist today:
+//!
+//! * [`Device::CpuScalar`] — the reference plane
+//!   ([`cpu_scalar::ScalarMicro`]): plain scalar loops, bitwise
+//!   identical to the pre-device-trait kernels. All historical bitwise
+//!   contracts (packed == blocked, frozen == mutable) are stated *per
+//!   backend* and hold exactly on this plane.
+//! * [`Device::CpuSimd`] — the vectorized plane
+//!   ([`cpu_simd::SimdMicro`]): AVX2+FMA micro-kernels for the GEMM
+//!   tiles. Falls back to the scalar micro-kernels at runtime when the
+//!   CPU lacks AVX2/FMA (or off x86_64), so selecting it is always
+//!   safe. GEMM outputs differ from scalar only by FMA reassociation
+//!   (ULP-bounded, pinned by `tests/device_equivalence.rs`); the
+//!   direct, pool, and softmax ops share one implementation across
+//!   backends and stay bitwise identical.
+//!
+//! Dispatch is enum + monomorphization: each method matches on the
+//! backend once per *kernel call* and runs a driver instantiated with
+//! that backend's zero-sized micro-kernel handle
+//! ([`driver::MicroGemm`]), so there is no per-tile virtual call and
+//! the scalar instantiation compiles to exactly the old code.
+//!
+//! ## Selection
+//!
+//! [`Device::active`] is the process-wide default used by every layer
+//! constructor: the `ADARNET_DEVICE` environment variable
+//! (`cpu_scalar` / `cpu_simd`) when set to a recognized name, else
+//! [`Device::detect`] (SIMD wherever it can run). Tests and tools that
+//! need a specific backend regardless of environment use the layers'
+//! `set_device` hooks ([`crate::Layer::set_device`]) — there is
+//! deliberately no mutable global, so a process's default backend
+//! never changes underneath a running engine.
+
+pub mod cpu_scalar;
+pub mod cpu_simd;
+pub mod driver;
+
+use std::sync::OnceLock;
+
+use adarnet_tensor::Tensor;
+
+use crate::kernels::PackedPanels;
+use crate::F;
+
+/// A compute backend for the nn kernel plane. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Device {
+    /// Reference scalar CPU plane (bitwise-stable baseline).
+    CpuScalar,
+    /// Vectorized AVX2+FMA CPU plane (runtime-detected, scalar
+    /// fallback when unavailable).
+    CpuSimd,
+}
+
+/// Instantiate `$body` with `$m` bound to the selected backend's
+/// micro-kernel handle. `CpuSimd` without runtime AVX2/FMA support
+/// degrades to the scalar handle.
+macro_rules! with_micro {
+    ($dev:expr, $m:ident => $body:expr) => {
+        match $dev {
+            Device::CpuScalar => {
+                let $m = cpu_scalar::ScalarMicro;
+                $body
+            }
+            Device::CpuSimd => match cpu_simd::micro() {
+                Some($m) => $body,
+                None => {
+                    let $m = cpu_scalar::ScalarMicro;
+                    $body
+                }
+            },
+        }
+    };
+}
+
+impl Device {
+    /// The process-wide default backend: `ADARNET_DEVICE` when set to a
+    /// recognized name, else [`Device::detect`]. Read once and cached
+    /// for the life of the process.
+    pub fn active() -> Device {
+        static ACTIVE: OnceLock<Device> = OnceLock::new();
+        *ACTIVE.get_or_init(|| match std::env::var("ADARNET_DEVICE") {
+            Ok(name) => Device::from_name(&name).unwrap_or_else(Device::detect),
+            Err(_) => Device::detect(),
+        })
+    }
+
+    /// The best backend this machine can run: [`Device::CpuSimd`] when
+    /// AVX2+FMA are present, else [`Device::CpuScalar`].
+    pub fn detect() -> Device {
+        if cpu_simd::available() {
+            Device::CpuSimd
+        } else {
+            Device::CpuScalar
+        }
+    }
+
+    /// Parse a backend name (`cpu_scalar`/`scalar`, `cpu_simd`/`simd`).
+    pub fn from_name(name: &str) -> Option<Device> {
+        match name.trim() {
+            "cpu_scalar" | "scalar" => Some(Device::CpuScalar),
+            "cpu_simd" | "simd" => Some(Device::CpuSimd),
+            _ => None,
+        }
+    }
+
+    /// Canonical backend name (`cpu_scalar` / `cpu_simd`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Device::CpuScalar => "cpu_scalar",
+            Device::CpuSimd => "cpu_simd",
+        }
+    }
+
+    /// Whether this selection actually runs the vectorized
+    /// micro-kernels on this machine (false for `CpuSimd` on hardware
+    /// without AVX2/FMA, where it degrades to scalar).
+    pub fn is_simd_active(self) -> bool {
+        self == Device::CpuSimd && cpu_simd::available()
+    }
+
+    /// Direct 7-loop convolution (the sub-`GEMM_THRESHOLD` path).
+    /// Shared scalar implementation: bitwise identical across backends.
+    pub fn conv2d_forward(
+        self,
+        x: &Tensor<F>,
+        w: &Tensor<F>,
+        bias: &Tensor<F>,
+        pad: usize,
+    ) -> Tensor<F> {
+        cpu_scalar::conv2d_forward_direct(x, w, bias, pad)
+    }
+
+    /// Adjoint of [`Device::conv2d_forward`] w.r.t. the input. Shared
+    /// scalar implementation: bitwise identical across backends.
+    pub fn conv2d_backward_input(
+        self,
+        dy: &Tensor<F>,
+        w: &Tensor<F>,
+        in_h: usize,
+        in_w: usize,
+        pad: usize,
+    ) -> Tensor<F> {
+        cpu_scalar::conv2d_backward_input_direct(dy, w, in_h, in_w, pad)
+    }
+
+    /// Direct-loop weight/bias gradient accumulation. Shared scalar
+    /// implementation: bitwise identical across backends.
+    pub fn conv2d_backward_params(
+        self,
+        dy: &Tensor<F>,
+        x: &Tensor<F>,
+        pad: usize,
+        dw: &mut Tensor<F>,
+        db: &mut Tensor<F>,
+    ) {
+        cpu_scalar::conv2d_backward_params_direct(dy, x, pad, dw, db);
+    }
+
+    /// Blocked im2col + GEMM convolution on this backend's register
+    /// tile (see [`crate::kernels::conv2d_forward_blocked`]).
+    pub fn conv2d_forward_blocked(
+        self,
+        x: &Tensor<F>,
+        w: &Tensor<F>,
+        bias: &Tensor<F>,
+        pad: usize,
+    ) -> Tensor<F> {
+        with_micro!(self, m => driver::conv2d_forward_blocked(m, x, w, bias, pad))
+    }
+
+    /// Blocked GEMM over pre-packed weight panels; bitwise identical to
+    /// [`Device::conv2d_forward_blocked`] *on the same backend*.
+    pub fn conv2d_forward_packed(
+        self,
+        x: &Tensor<F>,
+        w: PackedPanels<'_>,
+        bias: &Tensor<F>,
+        pad: usize,
+    ) -> Tensor<F> {
+        with_micro!(self, m => driver::conv2d_forward_packed(m, x, w, bias, pad))
+    }
+
+    /// im2col + row-GEMM reference convolution (bench comparison path).
+    pub fn conv2d_forward_gemm(
+        self,
+        x: &Tensor<F>,
+        w: &Tensor<F>,
+        bias: &Tensor<F>,
+        pad: usize,
+    ) -> Tensor<F> {
+        with_micro!(self, m => driver::conv2d_forward_gemm(m, x, w, bias, pad))
+    }
+
+    /// GEMM-based weight-gradient accumulation on this backend's
+    /// reduction kernel.
+    pub fn conv2d_backward_params_gemm(
+        self,
+        dy: &Tensor<F>,
+        x: &Tensor<F>,
+        pad: usize,
+        dw: &mut Tensor<F>,
+        db: &mut Tensor<F>,
+    ) {
+        with_micro!(self, m => driver::conv2d_backward_params_gemm(m, dy, x, pad, dw, db))
+    }
+
+    /// Non-overlapping max pool; `record` receives `(output index, flat
+    /// input argmax)` per output element. Memory-bound — shared scalar
+    /// implementation, bitwise identical across backends.
+    pub fn max_pool2d_forward(
+        self,
+        x: &Tensor<F>,
+        pool_h: usize,
+        pool_w: usize,
+        record: impl FnMut(usize, usize),
+    ) -> Tensor<F> {
+        cpu_scalar::max_pool2d_forward(x, pool_h, pool_w, record)
+    }
+
+    /// Non-overlapping average pool. Memory-bound — shared scalar
+    /// implementation, bitwise identical across backends.
+    pub fn avg_pool2d_forward(self, x: &Tensor<F>, pool_h: usize, pool_w: usize) -> Tensor<F> {
+        cpu_scalar::avg_pool2d_forward(x, pool_h, pool_w)
+    }
+
+    /// Softmax across everything but the batch axis. Exp/renormalize is
+    /// latency-bound on `exp` — shared scalar implementation, bitwise
+    /// identical across backends.
+    pub fn spatial_softmax_forward(self, x: &Tensor<F>) -> Tensor<F> {
+        cpu_scalar::spatial_softmax_forward(x)
+    }
+
+    /// Softmax backward against the cached forward output `y`. Shared
+    /// scalar implementation, bitwise identical across backends.
+    pub fn spatial_softmax_backward(self, y: &Tensor<F>, grad_out: &Tensor<F>) -> Tensor<F> {
+        cpu_scalar::spatial_softmax_backward(y, grad_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for d in [Device::CpuScalar, Device::CpuSimd] {
+            assert_eq!(Device::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Device::from_name("scalar"), Some(Device::CpuScalar));
+        assert_eq!(Device::from_name("simd"), Some(Device::CpuSimd));
+        assert_eq!(Device::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn detect_matches_feature_probe() {
+        let d = Device::detect();
+        if cpu_simd::available() {
+            assert_eq!(d, Device::CpuSimd);
+            assert!(d.is_simd_active());
+        } else {
+            assert_eq!(d, Device::CpuScalar);
+        }
+        // Scalar never claims the vector plane.
+        assert!(!Device::CpuScalar.is_simd_active());
+    }
+
+    #[test]
+    fn simd_selection_is_total() {
+        // CpuSimd must be selectable on any machine: without AVX2/FMA
+        // it degrades to the scalar micro-kernels instead of failing.
+        use adarnet_tensor::Shape;
+        let x = Tensor::<F>::from_vec(
+            Shape::d4(1, 2, 6, 6),
+            (0..72).map(|i| (i as F * 0.1).sin()).collect(),
+        );
+        let w = Tensor::<F>::from_vec(
+            Shape::d4(3, 2, 3, 3),
+            (0..54).map(|i| (i as F * 0.05).cos()).collect(),
+        );
+        let b = Tensor::<F>::zeros(Shape::d1(3));
+        let y = Device::CpuSimd.conv2d_forward_blocked(&x, &w, &b, 1);
+        assert_eq!(y.shape(), &Shape::d4(1, 3, 6, 6));
+        assert!(y.all_finite());
+    }
+}

@@ -6,6 +6,20 @@
 //! uses stride 1 and "same" 3x3 convolutions everywhere). Output spatial
 //! size is `H + 2*pad - KH + 1`.
 //!
+//! As of the device-backend refactor (DESIGN.md §15) the kernel *bodies*
+//! live in [`crate::device`]: the backend-generic drivers in
+//! [`crate::device::driver`], the scalar reference implementations in
+//! [`crate::device::cpu_scalar`], and the AVX2+FMA micro-kernels in
+//! [`crate::device::cpu_simd`]. This module keeps what is
+//! backend-independent — tiling constants, dispatch thresholds, the
+//! im2col fill, weight packing, and the pack counter — plus free-function
+//! entry points that run on [`crate::device::Device::CpuScalar`]. The
+//! free functions are the *scalar reference* surface: their historical
+//! bitwise behavior is unchanged (the scalar micro-kernel replays the
+//! exact pre-refactor loops), which is what this module's tests and the
+//! equivalence proptests pin. Backend-aware callers (the layers, frozen
+//! models) go through [`crate::device::Device`] methods instead.
+//!
 //! Three forward implementations, equivalent within float tolerance
 //! (proptest-verified in `tests/kernel_equivalence.rs`):
 //!
@@ -23,11 +37,12 @@
 //! A fourth entry point, [`conv2d_forward_packed`], is the blocked path
 //! with the weight A-panels pre-packed once into the k-major, [`MR`]-row
 //! layout the micro-kernel consumes (see [`pack_weight_panels`]). It is
-//! bitwise-identical to [`conv2d_forward_blocked`] — same accumulation
-//! order, same values — but skips the strided weight reads per tile and,
-//! for the deconv layers, the per-call [`flip_transpose_weights`] copy.
-//! Frozen inference models (`crate::packed::PackedConvWeights`) pack at
-//! construction and serve every call from the shared panels.
+//! bitwise-identical to [`conv2d_forward_blocked`] on the same backend —
+//! same accumulation order, same values — but skips the strided weight
+//! reads per tile and, for the deconv layers, the per-call
+//! [`flip_transpose_weights`] copy. Frozen inference models
+//! (`crate::packed::PackedConvWeights`) pack at construction and serve
+//! every call from the shared panels.
 //!
 //! Memory discipline: every scratch buffer (im2col panels, panel
 //! outputs) and every output tensor comes from the size-classed pool in
@@ -37,9 +52,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use adarnet_tensor::{workspace, Shape, Tensor};
-use rayon::prelude::*;
+use adarnet_tensor::{Shape, Tensor};
 
+use crate::device::Device;
 use crate::F;
 
 /// Process-wide count of weight A-panel packs ([`pack_weight_panels`]
@@ -83,6 +98,24 @@ pub fn conv_out_extent(in_extent: usize, k: usize, pad: usize) -> usize {
 /// pins this routing.
 pub const GEMM_THRESHOLD: usize = 16;
 
+/// Output-pixel count at or above which the blocked path is worth
+/// *pre-packing* weights for ([`conv2d_forward_packed`] /
+/// `crate::packed::PackedConvWeights`).
+///
+/// Below this (but at or above [`GEMM_THRESHOLD`]) the layers run the
+/// blocked path on unpacked weights: the `sub0_*` rows of
+/// `BENCH_kernels.json` showed the packed path 0.65–0.94× blocked at
+/// 4–64 output pixels, because with only 1–4 column tiles per call the
+/// packed layout's contiguous weight reads can't amortize its extra
+/// panel indexing, while pack maintenance (cache invalidation on every
+/// weight update) still costs. At ≥ 64 px the packed path draws level
+/// and beyond (every paper shape: bins 0–3 at 256+ px and the 16k-px
+/// scorer field) it wins outright — the bench gates packed ≥ 0.95×
+/// blocked at every measured shape. Value-safe dispatch: packed and
+/// blocked are bitwise identical per backend, so this threshold only
+/// moves work, never numbers.
+pub const PACKED_MIN_OLEN: usize = 64;
+
 /// Register-tile rows: output channels accumulated simultaneously. The
 /// micro-kernel keeps `MR × NR` f32 accumulators live (8 AVX2 vectors),
 /// and an `MR × k_len` weight slab (≤ 9 KiB at the decoder's widest
@@ -90,7 +123,9 @@ pub const GEMM_THRESHOLD: usize = 16;
 pub const MR: usize = 4;
 /// Register-tile columns: output pixels per accumulator row (two 256-bit
 /// vectors of f32). All paper shapes have `o_len` divisible by 16, so
-/// the scalar edge path only runs on irregular test shapes.
+/// the scalar edge path only runs on irregular test shapes. The SIMD
+/// backend's FMA tile fills both 256-bit FMA pipes from this width
+/// (2 ymm per accumulator row × [`MR`] rows = 8 live ymm registers).
 pub const NR: usize = 16;
 /// Column-panel width (output pixels) processed per im2col fill. Bounds
 /// the per-task scratch to `k_len × NC` floats (≈ 576 KiB at the widest
@@ -102,68 +137,12 @@ pub const NC: usize = 256;
 /// Stride-1 2-D convolution (cross-correlation, as in every DL framework).
 ///
 /// `x`: `(N, IC, H, W)`, `w`: `(OC, IC, KH, KW)`, `bias`: `(OC)` or empty.
+///
+/// Scalar-reference entry point (shared direct loop, bitwise identical
+/// on every backend); backend-aware callers use
+/// [`Device::conv2d_forward`].
 pub fn conv2d_forward(x: &Tensor<F>, w: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Tensor<F> {
-    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(
-        ic, wic,
-        "conv2d: input channels {ic} != weight channels {wic}"
-    );
-    assert!(
-        bias.is_empty() || bias.len() == oc,
-        "conv2d: bias length {} != out channels {oc}",
-        bias.len()
-    );
-    let oh = conv_out_extent(h, kh, pad);
-    let ow = conv_out_extent(wd, kw, pad);
-    assert!(
-        oh > 0 && ow > 0,
-        "conv2d: kernel {kh}x{kw} larger than padded input"
-    );
-
-    // Every output element is written below, so scratch (not zeroed)
-    // pooled memory is safe.
-    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
-    let xs = x.as_slice();
-    let ws = w.as_slice();
-    let bs = bias.as_slice();
-    let plane = oh * ow;
-
-    y.as_mut_slice()
-        .par_chunks_mut(plane)
-        .enumerate()
-        .for_each(|(p, yplane)| {
-            let ni = p / oc;
-            let oci = p % oc;
-            let b = if bs.is_empty() { 0.0 } else { bs[oci] };
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = b;
-                    for ici in 0..ic {
-                        let wbase = ((oci * ic + ici) * kh) * kw;
-                        let xbase = (ni * ic + ici) * h * wd;
-                        for ky in 0..kh {
-                            let iy = oy + ky;
-                            if iy < pad || iy >= h + pad {
-                                continue;
-                            }
-                            let iy = iy - pad;
-                            let wrow = wbase + ky * kw;
-                            let xrow = xbase + iy * wd;
-                            for kx in 0..kw {
-                                let ix = ox + kx;
-                                if ix < pad || ix >= wd + pad {
-                                    continue;
-                                }
-                                acc += xs[xrow + (ix - pad)] * ws[wrow + kx];
-                            }
-                        }
-                    }
-                    yplane[oy * ow + ox] = acc;
-                }
-            }
-        });
-    y
+    Device::CpuScalar.conv2d_forward(x, w, bias, pad)
 }
 
 /// Adjoint of [`conv2d_forward`] with respect to the input.
@@ -176,71 +155,7 @@ pub fn conv2d_backward_input(
     in_w: usize,
     pad: usize,
 ) -> Tensor<F> {
-    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
-    let (woc, ic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(
-        oc, woc,
-        "conv2d backward: dy channels {oc} != weight out channels {woc}"
-    );
-    assert_eq!(
-        oh,
-        conv_out_extent(in_h, kh, pad),
-        "conv2d backward: oh mismatch"
-    );
-    assert_eq!(
-        ow,
-        conv_out_extent(in_w, kw, pad),
-        "conv2d backward: ow mismatch"
-    );
-
-    let mut dx = Tensor::<F>::pooled_scratch(Shape::d4(n, ic, in_h, in_w));
-    let dys = dy.as_slice();
-    let ws = w.as_slice();
-    let plane = in_h * in_w;
-
-    dx.as_mut_slice()
-        .par_chunks_mut(plane)
-        .enumerate()
-        .for_each(|(p, dxplane)| {
-            let ni = p / ic;
-            let ici = p % ic;
-            // dx[iy, ix] = sum_{oc, ky, kx : oy = iy + pad - ky in range}
-            //              dy[oc, oy, ox] * w[oc, ic, ky, kx]
-            for iy in 0..in_h {
-                for ix in 0..in_w {
-                    let mut acc = 0.0f32;
-                    for oci in 0..oc {
-                        let dybase = (ni * oc + oci) * oh * ow;
-                        let wbase = ((oci * ic + ici) * kh) * kw;
-                        for ky in 0..kh {
-                            let oy = iy + pad;
-                            if oy < ky {
-                                continue;
-                            }
-                            let oy = oy - ky;
-                            if oy >= oh {
-                                continue;
-                            }
-                            let dyrow = dybase + oy * ow;
-                            let wrow = wbase + ky * kw;
-                            for kx in 0..kw {
-                                let ox = ix + pad;
-                                if ox < kx {
-                                    continue;
-                                }
-                                let ox = ox - kx;
-                                if ox >= ow {
-                                    continue;
-                                }
-                                acc += dys[dyrow + ox] * ws[wrow + kx];
-                            }
-                        }
-                    }
-                    dxplane[iy * in_w + ix] = acc;
-                }
-            }
-        });
-    dx
+    Device::CpuScalar.conv2d_backward_input(dy, w, in_h, in_w, pad)
 }
 
 /// Accumulate weight and bias gradients for [`conv2d_forward`].
@@ -254,59 +169,7 @@ pub fn conv2d_backward_params(
     dw: &mut Tensor<F>,
     db: &mut Tensor<F>,
 ) {
-    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
-    let (xn, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    assert_eq!(n, xn, "conv2d params: batch mismatch");
-    let (dwoc, dwic, kh, kw) = (dw.dim(0), dw.dim(1), dw.dim(2), dw.dim(3));
-    assert_eq!((dwoc, dwic), (oc, ic), "conv2d params: dw shape mismatch");
-
-    let dys = dy.as_slice();
-    let xs = x.as_slice();
-    let slab = ic * kh * kw;
-
-    dw.as_mut_slice()
-        .par_chunks_mut(slab)
-        .enumerate()
-        .for_each(|(oci, dwslab)| {
-            for ni in 0..n {
-                let dybase = (ni * oc + oci) * oh * ow;
-                for ici in 0..ic {
-                    let xbase = (ni * ic + ici) * h * wd;
-                    for ky in 0..kh {
-                        for kx in 0..kw {
-                            let mut acc = 0.0f32;
-                            for oy in 0..oh {
-                                let iy = oy + ky;
-                                if iy < pad || iy >= h + pad {
-                                    continue;
-                                }
-                                let xrow = xbase + (iy - pad) * wd;
-                                let dyrow = dybase + oy * ow;
-                                for ox in 0..ow {
-                                    let ix = ox + kx;
-                                    if ix < pad || ix >= wd + pad {
-                                        continue;
-                                    }
-                                    acc += dys[dyrow + ox] * xs[xrow + (ix - pad)];
-                                }
-                            }
-                            dwslab[(ici * kh + ky) * kw + kx] += acc;
-                        }
-                    }
-                }
-            }
-        });
-
-    if !db.is_empty() {
-        assert_eq!(db.len(), oc, "conv2d params: db length mismatch");
-        let dbs = db.as_mut_slice();
-        for ni in 0..n {
-            for (oci, slot) in dbs.iter_mut().enumerate() {
-                let base = (ni * oc + oci) * oh * ow;
-                *slot += dys[base..base + oh * ow].iter().sum::<f32>();
-            }
-        }
-    }
+    Device::CpuScalar.conv2d_backward_params(dy, x, pad, dw, db);
 }
 
 /// Fill one im2col row segment for column range `[c0, c0 + cn)`.
@@ -315,9 +178,10 @@ pub fn conv2d_backward_params(
 /// `c = oy*ow + ox`, the input sample `x[ici, oy+ky-pad, ox+kx-pad]`
 /// (zero outside the input). The fill is segment-wise: per output row,
 /// a zero prefix, one contiguous `copy_from_slice` for the valid span,
-/// and a zero suffix — no per-element branching.
+/// and a zero suffix — no per-element branching. Shared by every
+/// backend's drivers (the fill is a memory transform, not arithmetic).
 #[allow(clippy::too_many_arguments)]
-fn im2col_row_segment(
+pub(crate) fn im2col_row_segment(
     dst: &mut [f32],
     xplane: &[f32],
     ky: usize,
@@ -361,148 +225,21 @@ fn im2col_row_segment(
     }
 }
 
-/// The register-tiled micro-kernel: `rows × jn` output tile at row
-/// offset `oc0`, column offset `j0` of an `oc × cn` panel. `colp` is the
-/// `k_len × cn` im2col panel. Full `MR × NR` tiles run with fixed-size
-/// accumulator arrays (autovectorized, no data-dependent branches);
-/// irregular edges fall back to a scalar loop.
-#[allow(clippy::too_many_arguments)]
-fn micro_kernel(
-    out: &mut [f32],
-    ws: &[f32],
-    bs: &[f32],
-    colp: &[f32],
-    oc0: usize,
-    rows: usize,
-    k_len: usize,
-    cn: usize,
-    j0: usize,
-    jn: usize,
-) {
-    if rows == MR && jn == NR {
-        let mut acc = [[0.0f32; NR]; MR];
-        let wrow0 = &ws[oc0 * k_len..(oc0 + MR) * k_len];
-        for (k, ctile) in colp.chunks_exact(cn).enumerate() {
-            let ctile = &ctile[j0..j0 + NR];
-            for (m, am) in acc.iter_mut().enumerate() {
-                let wv = wrow0[m * k_len + k];
-                for (a, &c) in am.iter_mut().zip(ctile) {
-                    *a += wv * c;
-                }
-            }
-        }
-        for (m, am) in acc.iter().enumerate() {
-            let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
-            let orow = &mut out[(oc0 + m) * cn + j0..(oc0 + m) * cn + j0 + NR];
-            for (o, a) in orow.iter_mut().zip(am) {
-                *o = a + b;
-            }
-        }
-    } else {
-        for m in 0..rows {
-            let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
-            let wrow = &ws[(oc0 + m) * k_len..(oc0 + m + 1) * k_len];
-            for j in j0..j0 + jn {
-                let mut acc = b;
-                for (k, &wv) in wrow.iter().enumerate() {
-                    acc += wv * colp[k * cn + j];
-                }
-                out[(oc0 + m) * cn + j] = acc;
-            }
-        }
-    }
-}
-
 /// Blocked im2col + GEMM convolution: identical semantics to
 /// [`conv2d_forward`], the production path above [`GEMM_THRESHOLD`]
-/// output pixels.
+/// output pixels. See `crate::device::driver::conv2d_forward_blocked`
+/// for the blocking structure (DESIGN.md §10).
 ///
-/// Blocking (DESIGN.md §10): columns are processed in [`NC`]-wide
-/// panels; each panel task fills a pooled `k_len × NC` im2col panel
-/// (L2-resident across the whole panel GEMM) and computes all output
-/// channels against it in [`MR`]`×`[`NR`] register tiles with the full
-/// reduction depth per pass (KC = `k_len`, ≤ 576 for the decoder's
-/// widest 3×3 layer). Parallelism spans the batch dimension (outer
-/// `par_chunks_mut`) *and* the column panels within each item (inner
-/// `par_iter`), so a 64-patch training batch and a single bin-3 field
-/// both saturate the thread pool. Panel results are written back with
-/// contiguous per-row copies, which costs `1/(2·k_len)` of the GEMM
-/// flops and keeps the whole kernel free of `unsafe`.
+/// Scalar-reference entry point: runs the scalar micro-kernel, which
+/// replays the pre-refactor accumulation bitwise. Backend-aware callers
+/// use [`Device::conv2d_forward_blocked`].
 pub fn conv2d_forward_blocked(
     x: &Tensor<F>,
     w: &Tensor<F>,
     bias: &Tensor<F>,
     pad: usize,
 ) -> Tensor<F> {
-    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(
-        ic, wic,
-        "conv2d: input channels {ic} != weight channels {wic}"
-    );
-    assert!(
-        bias.is_empty() || bias.len() == oc,
-        "conv2d: bias length {} != out channels {oc}",
-        bias.len()
-    );
-    let oh = conv_out_extent(h, kh, pad);
-    let ow = conv_out_extent(wd, kw, pad);
-    assert!(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
-
-    let k_len = ic * kh * kw;
-    let o_len = oh * ow;
-    let ws = w.as_slice();
-    let bs = bias.as_slice();
-    let xs = x.as_slice();
-    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
-
-    y.as_mut_slice()
-        .par_chunks_mut(oc * o_len)
-        .enumerate()
-        .for_each(|(ni, ybatch)| {
-            let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
-            // Column panels of this batch item, computed in parallel
-            // into pooled per-panel buffers, then scattered back.
-            let panels: Vec<(usize, Vec<f32>)> = (0..o_len)
-                .step_by(NC)
-                .collect::<Vec<_>>()
-                .par_iter()
-                .map(|&c0| {
-                    let cn = (o_len - c0).min(NC);
-                    let mut colp = workspace::take_scratch(k_len * cn);
-                    for (r, dst) in colp.chunks_exact_mut(cn).enumerate() {
-                        let ici = r / (kh * kw);
-                        let ky = (r / kw) % kh;
-                        let kx = r % kw;
-                        let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
-                        im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, c0, cn);
-                    }
-                    let mut out = workspace::take_scratch(oc * cn);
-                    let mut oc0 = 0;
-                    while oc0 < oc {
-                        let rows = (oc - oc0).min(MR);
-                        let mut j0 = 0;
-                        while j0 < cn {
-                            let jn = (cn - j0).min(NR);
-                            micro_kernel(&mut out, ws, bs, &colp, oc0, rows, k_len, cn, j0, jn);
-                            j0 += NR;
-                        }
-                        oc0 += MR;
-                    }
-                    workspace::put(colp);
-                    adarnet_obs::counter!("nn_gemm_panels_total").inc();
-                    (c0, out)
-                })
-                .collect();
-            for (c0, out) in panels {
-                let cn = (o_len - c0).min(NC);
-                for (oci, orow) in out.chunks_exact(cn).enumerate() {
-                    ybatch[oci * o_len + c0..oci * o_len + c0 + cn].copy_from_slice(orow);
-                }
-                workspace::put(out);
-            }
-        });
-    y
+    Device::CpuScalar.conv2d_forward_blocked(x, w, bias, pad)
 }
 
 /// Length in floats of the packed A-panel buffer for an `oc × k_len`
@@ -523,7 +260,8 @@ pub fn packed_panels_len(oc: usize, k_len: usize) -> usize {
 /// block then reads one contiguous `MR`-float slab instead of `MR`
 /// strided rows. `dst` must be exactly [`packed_panels_len`] long; the
 /// caller owns the (one-time) allocation so this file stays hot-path
-/// allocation-free.
+/// allocation-free. The layout is backend-independent: both the scalar
+/// and the SIMD micro-kernels consume the same panels.
 pub fn pack_weight_panels(ws: &[F], oc: usize, k_len: usize, dst: &mut [F]) {
     WEIGHT_PACKS.fetch_add(1, Ordering::Relaxed);
     assert_eq!(ws.len(), oc * k_len, "pack: weight matrix size mismatch");
@@ -564,58 +302,6 @@ pub struct PackedPanels<'a> {
     pub kw: usize,
 }
 
-/// The packed-weights twin of [`micro_kernel`]: identical loop structure
-/// and accumulation order (bitwise-identical outputs), but the weight
-/// reads come from the pre-packed `k_len × MR` block for row block
-/// `oc0 / MR` — contiguous per reduction step instead of strided across
-/// `MR` weight rows.
-#[allow(clippy::too_many_arguments)]
-fn micro_kernel_packed(
-    out: &mut [f32],
-    wp_block: &[f32],
-    bs: &[f32],
-    colp: &[f32],
-    oc0: usize,
-    rows: usize,
-    k_len: usize,
-    cn: usize,
-    j0: usize,
-    jn: usize,
-) {
-    debug_assert_eq!(wp_block.len(), k_len * MR);
-    if rows == MR && jn == NR {
-        let mut acc = [[0.0f32; NR]; MR];
-        for (k, ctile) in colp.chunks_exact(cn).enumerate() {
-            let ctile = &ctile[j0..j0 + NR];
-            let wk = &wp_block[k * MR..(k + 1) * MR];
-            for (m, am) in acc.iter_mut().enumerate() {
-                let wv = wk[m];
-                for (a, &c) in am.iter_mut().zip(ctile) {
-                    *a += wv * c;
-                }
-            }
-        }
-        for (m, am) in acc.iter().enumerate() {
-            let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
-            let orow = &mut out[(oc0 + m) * cn + j0..(oc0 + m) * cn + j0 + NR];
-            for (o, a) in orow.iter_mut().zip(am) {
-                *o = a + b;
-            }
-        }
-    } else {
-        for m in 0..rows {
-            let b = if bs.is_empty() { 0.0 } else { bs[oc0 + m] };
-            for j in j0..j0 + jn {
-                let mut acc = b;
-                for k in 0..k_len {
-                    acc += wp_block[k * MR + m] * colp[k * cn + j];
-                }
-                out[(oc0 + m) * cn + j] = acc;
-            }
-        }
-    }
-}
-
 /// Blocked im2col + GEMM convolution over **pre-packed** weights:
 /// bitwise-identical to [`conv2d_forward_blocked`] (same panel
 /// decomposition, same micro-kernel accumulation order — pinned by
@@ -624,88 +310,16 @@ fn micro_kernel_packed(
 /// itself happens once, outside this function (see
 /// [`pack_weight_panels`]), so a frozen model amortizes it across every
 /// inference call.
+///
+/// Scalar-reference entry point; backend-aware callers use
+/// [`Device::conv2d_forward_packed`].
 pub fn conv2d_forward_packed(
     x: &Tensor<F>,
     w: PackedPanels<'_>,
     bias: &Tensor<F>,
     pad: usize,
 ) -> Tensor<F> {
-    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    let (oc, kh, kw) = (w.oc, w.kh, w.kw);
-    assert_eq!(
-        ic, w.ic,
-        "conv2d: input channels {ic} != weight channels {}",
-        w.ic
-    );
-    assert!(
-        bias.is_empty() || bias.len() == oc,
-        "conv2d: bias length {} != out channels {oc}",
-        bias.len()
-    );
-    let oh = conv_out_extent(h, kh, pad);
-    let ow = conv_out_extent(wd, kw, pad);
-    assert!(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
-
-    let k_len = ic * kh * kw;
-    assert_eq!(
-        w.data.len(),
-        packed_panels_len(oc, k_len),
-        "conv2d: packed panel size mismatch"
-    );
-    let o_len = oh * ow;
-    let wp = w.data;
-    let bs = bias.as_slice();
-    let xs = x.as_slice();
-    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
-
-    y.as_mut_slice()
-        .par_chunks_mut(oc * o_len)
-        .enumerate()
-        .for_each(|(ni, ybatch)| {
-            let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
-            let panels: Vec<(usize, Vec<f32>)> = (0..o_len)
-                .step_by(NC)
-                .collect::<Vec<_>>()
-                .par_iter()
-                .map(|&c0| {
-                    let cn = (o_len - c0).min(NC);
-                    let mut colp = workspace::take_scratch(k_len * cn);
-                    for (r, dst) in colp.chunks_exact_mut(cn).enumerate() {
-                        let ici = r / (kh * kw);
-                        let ky = (r / kw) % kh;
-                        let kx = r % kw;
-                        let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
-                        im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, c0, cn);
-                    }
-                    let mut out = workspace::take_scratch(oc * cn);
-                    let mut oc0 = 0;
-                    while oc0 < oc {
-                        let rows = (oc - oc0).min(MR);
-                        let wp_block = &wp[(oc0 / MR) * k_len * MR..(oc0 / MR + 1) * k_len * MR];
-                        let mut j0 = 0;
-                        while j0 < cn {
-                            let jn = (cn - j0).min(NR);
-                            micro_kernel_packed(
-                                &mut out, wp_block, bs, &colp, oc0, rows, k_len, cn, j0, jn,
-                            );
-                            j0 += NR;
-                        }
-                        oc0 += MR;
-                    }
-                    workspace::put(colp);
-                    adarnet_obs::counter!("nn_gemm_panels_total").inc();
-                    (c0, out)
-                })
-                .collect();
-            for (c0, out) in panels {
-                let cn = (o_len - c0).min(NC);
-                for (oci, orow) in out.chunks_exact(cn).enumerate() {
-                    ybatch[oci * o_len + c0..oci * o_len + c0 + cn].copy_from_slice(orow);
-                }
-                workspace::put(out);
-            }
-        });
-    y
+    Device::CpuScalar.conv2d_forward_packed(x, w, bias, pad)
 }
 
 /// im2col + GEMM convolution: identical semantics to [`conv2d_forward`];
@@ -720,58 +334,7 @@ pub fn conv2d_forward_gemm(
     bias: &Tensor<F>,
     pad: usize,
 ) -> Tensor<F> {
-    let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    let (oc, wic, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(
-        ic, wic,
-        "conv2d: input channels {ic} != weight channels {wic}"
-    );
-    assert!(
-        bias.is_empty() || bias.len() == oc,
-        "conv2d: bias length {} != out channels {oc}",
-        bias.len()
-    );
-    let oh = conv_out_extent(h, kh, pad);
-    let ow = conv_out_extent(wd, kw, pad);
-    assert!(oh > 0 && ow > 0, "conv2d: kernel larger than padded input");
-
-    let k_len = ic * kh * kw;
-    let o_len = oh * ow;
-    let ws = w.as_slice();
-    let bs = bias.as_slice();
-    let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
-
-    // Per-batch-item: materialize the im2col matrix (k_len x o_len), then
-    // each output channel is one row-times-matrix product.
-    let mut col = workspace::take_scratch(k_len * o_len);
-    for ni in 0..n {
-        let xs = x.as_slice();
-        let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
-        for (r, dst) in col.chunks_exact_mut(o_len).enumerate() {
-            let ici = r / (kh * kw);
-            let ky = (r / kw) % kh;
-            let kx = r % kw;
-            let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
-            im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, 0, o_len);
-        }
-        // GEMM: y[oc_i, :] = w_row(oc_i) . col + bias.
-        let ybatch = &mut y.as_mut_slice()[ni * oc * o_len..(ni + 1) * oc * o_len];
-        ybatch
-            .par_chunks_mut(o_len)
-            .enumerate()
-            .for_each(|(oci, yrow)| {
-                let b = if bs.is_empty() { 0.0 } else { bs[oci] };
-                yrow.fill(b);
-                let wrow = &ws[oci * k_len..(oci + 1) * k_len];
-                for (wk, crow) in wrow.iter().zip(col.chunks_exact(o_len)) {
-                    for (yv, cv) in yrow.iter_mut().zip(crow) {
-                        *yv += wk * cv;
-                    }
-                }
-            });
-    }
-    workspace::put(col);
-    y
+    Device::CpuScalar.conv2d_forward_gemm(x, w, bias, pad)
 }
 
 /// GEMM-based weight-gradient accumulation for **same-padded stride-1**
@@ -785,57 +348,7 @@ pub fn conv2d_backward_params_gemm(
     dw: &mut Tensor<F>,
     db: &mut Tensor<F>,
 ) {
-    let (n, oc, oh, ow) = (dy.dim(0), dy.dim(1), dy.dim(2), dy.dim(3));
-    let (xn, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    assert_eq!(n, xn, "conv2d params: batch mismatch");
-    let (dwoc, dwic, kh, kw) = (dw.dim(0), dw.dim(1), dw.dim(2), dw.dim(3));
-    assert_eq!((dwoc, dwic), (oc, ic), "conv2d params: dw shape mismatch");
-    assert_eq!(oh, conv_out_extent(h, kh, pad), "oh mismatch");
-    assert_eq!(ow, conv_out_extent(wd, kw, pad), "ow mismatch");
-
-    let k_len = ic * kh * kw;
-    let o_len = oh * ow;
-    let dys = dy.as_slice();
-    let xs = x.as_slice();
-    let mut col = workspace::take_scratch(k_len * o_len);
-    for ni in 0..n {
-        // Same im2col fill as the forward GEMM paths, parallel over rows.
-        let xitem = &xs[ni * ic * h * wd..(ni + 1) * ic * h * wd];
-        col.par_chunks_mut(o_len).enumerate().for_each(|(r, dst)| {
-            let ici = r / (kh * kw);
-            let ky = (r / kw) % kh;
-            let kx = r % kw;
-            let xplane = &xitem[ici * h * wd..(ici + 1) * h * wd];
-            im2col_row_segment(dst, xplane, ky, kx, h, wd, ow, pad, 0, o_len);
-        });
-        // dw[oc_i, :] += dy_row(oc_i) . col^T.
-        let dws = dw.as_mut_slice();
-        dws.par_chunks_mut(k_len)
-            .enumerate()
-            .for_each(|(oci, dwrow)| {
-                let dyrow = &dys[(ni * oc + oci) * o_len..(ni * oc + oci + 1) * o_len];
-                for (k, dwv) in dwrow.iter_mut().enumerate() {
-                    let crow = &col[k * o_len..(k + 1) * o_len];
-                    let mut acc = 0.0f32;
-                    for (dv, cv) in dyrow.iter().zip(crow) {
-                        acc += dv * cv;
-                    }
-                    *dwv += acc;
-                }
-            });
-    }
-    workspace::put(col);
-
-    if !db.is_empty() {
-        assert_eq!(db.len(), oc, "db length mismatch");
-        let dbs = db.as_mut_slice();
-        for ni in 0..n {
-            for (oci, slot) in dbs.iter_mut().enumerate() {
-                let base = (ni * oc + oci) * o_len;
-                *slot += dys[base..base + o_len].iter().sum::<f32>();
-            }
-        }
-    }
+    Device::CpuScalar.conv2d_backward_params_gemm(dy, x, pad, dw, db);
 }
 
 /// Flip a weight tensor spatially and transpose its channel axes:
@@ -1023,6 +536,24 @@ mod tests {
             degenerate * degenerate < GEMM_THRESHOLD,
             "degenerate fields -> direct"
         );
+    }
+
+    #[test]
+    fn packed_threshold_splits_paper_shapes() {
+        // Every paper shape (bins 0-3 at 256+ px, the 16k-px scorer
+        // field) pre-packs; the bench's sub-paper probe rows (4-64 px)
+        // stay on unpacked blocked or direct, where BENCH_kernels.json
+        // measured packing as a net loss. The mid-band [GEMM_THRESHOLD,
+        // PACKED_MIN_OLEN) must be non-empty so all three dispatch arms
+        // stay reachable.
+        const { assert!(PACKED_MIN_OLEN > GEMM_THRESHOLD) };
+        for lvl in 0..4 {
+            let e = 16usize << lvl;
+            assert!(e * e >= PACKED_MIN_OLEN, "bin {e}px -> packed");
+        }
+        // scorer (64*256 px) -> packed; sub0 4x4 probe -> not packed
+        const { assert!(64 * 256 >= PACKED_MIN_OLEN) };
+        const { assert!(4 * 4 < PACKED_MIN_OLEN) };
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use adarnet_tensor::Tensor;
 
+use crate::device::Device;
 use crate::F;
 
 /// An immutable, share-everything inference layer.
@@ -74,6 +75,17 @@ pub trait Layer: Send {
     /// [`Layer::forward_infer`]. Weight-derived inference state (packed
     /// GEMM panels, flipped deconv kernels) is built here, once.
     fn freeze(&self) -> Box<dyn InferLayer>;
+
+    /// Select the compute backend this layer's kernels run on. Layers
+    /// default to [`Device::active`] at construction; this override
+    /// exists for tests and tools that must pin a backend regardless of
+    /// environment (e.g. the backend-equivalence suite, the kernels
+    /// bench). Weightless layers ignore it. Switching devices
+    /// invalidates any backend-independent caches conservatively (a
+    /// repack costs one [`crate::kernels::pack_weight_panels`] call).
+    fn set_device(&mut self, device: Device) {
+        let _ = device;
+    }
 
     /// Immutable views of trainable parameters (possibly empty).
     fn params(&self) -> Vec<&Tensor<F>> {

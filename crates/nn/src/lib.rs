@@ -20,6 +20,7 @@ pub mod activation;
 pub mod bicubic;
 pub mod conv;
 pub mod deconv;
+pub mod device;
 pub mod finite;
 pub mod gradcheck;
 pub mod init;
@@ -37,6 +38,7 @@ pub use bicubic::{
 };
 pub use conv::Conv2d;
 pub use deconv::ConvTranspose2d;
+pub use device::Device;
 pub use finite::{all_finite, debug_guard_finite};
 pub use gradcheck::{check_layer_gradients, GradCheckReport};
 pub use init::{he_normal, xavier_uniform, Initializer};

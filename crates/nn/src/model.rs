@@ -3,6 +3,7 @@
 use adarnet_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+use crate::device::Device;
 use crate::{InferLayer, Layer, F};
 
 /// A stack of layers applied in order.
@@ -88,6 +89,15 @@ impl Sequential {
     /// All accumulated gradients, aligned with [`Sequential::params`].
     pub fn grads(&self) -> Vec<&Tensor<F>> {
         self.layers.iter().flat_map(|l| l.grads()).collect()
+    }
+
+    /// Route every layer's kernels to `device` (see
+    /// [`Layer::set_device`]). Freezing after this call produces a
+    /// frozen stack pinned to the same backend.
+    pub fn set_device(&mut self, device: Device) {
+        for layer in &mut self.layers {
+            layer.set_device(device);
+        }
     }
 
     /// Zero every accumulated gradient.

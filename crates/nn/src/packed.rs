@@ -12,38 +12,57 @@
 //! frozen path is bitwise-identical to the training-side
 //! `forward_infer`.
 
-use adarnet_tensor::Tensor;
+use adarnet_tensor::{AlignedBuf, Tensor};
 
+use crate::device::Device;
 use crate::kernels::{
-    conv2d_forward, conv2d_forward_packed, conv_out_extent, flip_transpose_weights,
-    pack_weight_panels, packed_panels_len, PackedPanels, GEMM_THRESHOLD,
+    conv_out_extent, flip_transpose_weights, pack_weight_panels, packed_panels_len, PackedPanels,
+    GEMM_THRESHOLD, PACKED_MIN_OLEN,
 };
 use crate::{InferLayer, F};
 
 /// A conv weight frozen for inference: the conv-layout tensor (kept for
-/// the small-shape direct path) plus its pre-packed GEMM A-panels.
+/// the small- and mid-shape paths) plus its pre-packed GEMM A-panels.
 pub struct PackedConvWeights {
     /// Conv layout `(OC, IC, KH, KW)`.
     weight: Tensor<F>,
     bias: Tensor<F>,
-    /// Pre-packed A-panels, `packed_panels_len(oc, ic*kh*kw)` floats.
-    packed: Vec<F>,
+    /// Pre-packed A-panels, `packed_panels_len(oc, ic*kh*kw)` floats,
+    /// 64-byte aligned for the SIMD micro-kernel's panel reads.
+    packed: AlignedBuf,
     pad: usize,
+    /// Compute backend the frozen forward runs on, captured at freeze
+    /// time from the source layer.
+    device: Device,
 }
 
 impl PackedConvWeights {
-    /// Pack a conv-layout weight `(OC, IC, KH, KW)`. The one-time pack
-    /// cost is timed under the caller's `prepack_ns` span.
+    /// Pack a conv-layout weight `(OC, IC, KH, KW)` for the process-wide
+    /// [`Device::active`] backend. The one-time pack cost is timed under
+    /// the caller's `prepack_ns` span.
     pub fn from_conv_weight(weight: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Self {
+        Self::from_conv_weight_on(Device::active(), weight, bias, pad)
+    }
+
+    /// Pack a conv-layout weight for a specific backend (the freeze path:
+    /// the frozen layer inherits the source layer's device).
+    pub fn from_conv_weight_on(
+        device: Device,
+        weight: &Tensor<F>,
+        bias: &Tensor<F>,
+        pad: usize,
+    ) -> Self {
         let (oc, ic, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
         let k_len = ic * kh * kw;
-        let mut packed = vec![0.0; packed_panels_len(oc, k_len)];
-        pack_weight_panels(weight.as_slice(), oc, k_len, &mut packed);
+        let mut packed = AlignedBuf::new();
+        packed.resize(packed_panels_len(oc, k_len));
+        pack_weight_panels(weight.as_slice(), oc, k_len, packed.as_mut_slice());
         PackedConvWeights {
             weight: weight.clone(),
             bias: bias.clone(),
             packed,
             pad,
+            device,
         }
     }
 
@@ -51,10 +70,26 @@ impl PackedConvWeights {
     /// the equivalent conv kernel once, then pack. Every subsequent
     /// forward skips both the flip and the pack.
     pub fn from_deconv_weight(weight: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Self {
+        Self::from_deconv_weight_on(Device::active(), weight, bias, pad)
+    }
+
+    /// Deconv-layout pack for a specific backend; see
+    /// [`PackedConvWeights::from_conv_weight_on`].
+    pub fn from_deconv_weight_on(
+        device: Device,
+        weight: &Tensor<F>,
+        bias: &Tensor<F>,
+        pad: usize,
+    ) -> Self {
         let w_conv = flip_transpose_weights(weight);
-        let out = Self::from_conv_weight(&w_conv, bias, pad);
+        let out = Self::from_conv_weight_on(device, &w_conv, bias, pad);
         w_conv.recycle();
         out
+    }
+
+    /// The backend this frozen weight's forward runs on.
+    pub fn device(&self) -> Device {
+        self.device
     }
 
     /// Input channel count (conv-layout axis 1).
@@ -73,15 +108,17 @@ impl PackedConvWeights {
     }
 
     /// Forward pass with the exact dispatch of [`crate::Conv2d`]'s
-    /// inference path: blocked GEMM (over the pre-packed panels) at or
-    /// above [`GEMM_THRESHOLD`] output pixels, the direct loop nest
-    /// below it. Bitwise-identical to the mutable layer's
-    /// `forward_infer`.
+    /// inference path: blocked GEMM over the pre-packed panels at or
+    /// above [`PACKED_MIN_OLEN`] output pixels, blocked GEMM on the
+    /// unpacked weight in the mid-band down to [`GEMM_THRESHOLD`], the
+    /// direct loop nest below it. Bitwise-identical to the mutable
+    /// layer's `forward_infer` on the same backend.
     pub fn forward(&self, x: &Tensor<F>) -> Tensor<F> {
         let (kh, kw) = (self.weight.dim(2), self.weight.dim(3));
         let oh = conv_out_extent(x.dim(2), kh, self.pad);
         let ow = conv_out_extent(x.dim(3), kw, self.pad);
-        if oh * ow >= GEMM_THRESHOLD {
+        let o_len = oh * ow;
+        if o_len >= PACKED_MIN_OLEN {
             let view = PackedPanels {
                 data: &self.packed,
                 oc: self.weight.dim(0),
@@ -89,9 +126,14 @@ impl PackedConvWeights {
                 kh,
                 kw,
             };
-            conv2d_forward_packed(x, view, &self.bias, self.pad)
+            self.device
+                .conv2d_forward_packed(x, view, &self.bias, self.pad)
+        } else if o_len >= GEMM_THRESHOLD {
+            self.device
+                .conv2d_forward_blocked(x, &self.weight, &self.bias, self.pad)
         } else {
-            conv2d_forward(x, &self.weight, &self.bias, self.pad)
+            self.device
+                .conv2d_forward(x, &self.weight, &self.bias, self.pad)
         }
     }
 }
@@ -165,7 +207,11 @@ mod tests {
     }
 
     #[test]
-    fn packed_forward_dispatches_both_paths() {
+    fn packed_forward_dispatches_all_three_paths() {
+        // Compare against the same backend the frozen weights captured
+        // (Device::active()): the dispatch contract is bitwise equality
+        // per backend, not against the scalar reference.
+        let dev = Device::active();
         let w = seq_tensor(Shape::d4(3, 2, 3, 3));
         let b = seq_tensor(Shape::d1(3));
         let p = PackedConvWeights::from_conv_weight(&w, &b, 1);
@@ -173,14 +219,21 @@ mod tests {
         let small = seq_tensor(Shape::d4(1, 2, 3, 3));
         assert_eq!(
             p.forward(&small),
-            conv2d_forward(&small, &w, &b, 1),
+            dev.conv2d_forward(&small, &w, &b, 1),
             "direct dispatch"
+        );
+        // 6x6 input -> 36 px: mid-band, blocked on unpacked weights.
+        let mid = seq_tensor(Shape::d4(1, 2, 6, 6));
+        assert_eq!(
+            p.forward(&mid),
+            dev.conv2d_forward_blocked(&mid, &w, &b, 1),
+            "mid-band blocked dispatch"
         );
         // 16x16 input -> 256 px: blocked packed path.
         let big = seq_tensor(Shape::d4(1, 2, 16, 16));
         assert_eq!(
             p.forward(&big),
-            crate::kernels::conv2d_forward_blocked(&big, &w, &b, 1),
+            dev.conv2d_forward_blocked(&big, &w, &b, 1),
             "blocked dispatch"
         );
     }

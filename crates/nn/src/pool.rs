@@ -8,6 +8,7 @@
 
 use adarnet_tensor::{Shape, Tensor};
 
+use crate::device::Device;
 use crate::{InferLayer, Layer, F};
 
 /// Non-overlapping 2-D max pooling.
@@ -17,6 +18,10 @@ pub struct MaxPool2d {
     /// Flat argmax index into the input buffer per output element.
     cached_argmax: Option<Vec<usize>>,
     cached_in_shape: Option<Shape>,
+    /// Compute backend. Pooling is memory-bound and shared across
+    /// backends ([`Device::max_pool2d_forward`]), so this only selects
+    /// where the call routes — outputs are bitwise identical.
+    device: Device,
 }
 
 impl MaxPool2d {
@@ -28,49 +33,16 @@ impl MaxPool2d {
             pool_w,
             cached_argmax: None,
             cached_in_shape: None,
+            device: Device::active(),
         }
     }
 
     /// Shared max-pool compute into a pool-backed output; `record` is
     /// called with `(output index, flat input argmax)` for each output
     /// element (a no-op closure on the inference path).
-    fn run_forward(&self, x: &Tensor<F>, mut record: impl FnMut(usize, usize)) -> Tensor<F> {
-        assert_eq!(x.shape().rank(), 4, "MaxPool2d expects NCHW input");
-        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-        assert!(
-            h % self.pool_h == 0 && w % self.pool_w == 0,
-            "pool {}x{} does not tile {h}x{w}",
-            self.pool_h,
-            self.pool_w
-        );
-        let (oh, ow) = (h / self.pool_h, w / self.pool_w);
-        let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, c, oh, ow));
-        let xs = x.as_slice();
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * h * w;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut best = F::NEG_INFINITY;
-                        let mut best_idx = 0usize;
-                        for py in 0..self.pool_h {
-                            let row = base + (oy * self.pool_h + py) * w + ox * self.pool_w;
-                            for px in 0..self.pool_w {
-                                let v = xs[row + px];
-                                if v > best {
-                                    best = v;
-                                    best_idx = row + px;
-                                }
-                            }
-                        }
-                        let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
-                        y.as_mut_slice()[oidx] = best;
-                        record(oidx, best_idx);
-                    }
-                }
-            }
-        }
-        y
+    fn run_forward(&self, x: &Tensor<F>, record: impl FnMut(usize, usize)) -> Tensor<F> {
+        self.device
+            .max_pool2d_forward(x, self.pool_h, self.pool_w, record)
     }
 }
 
@@ -98,9 +70,13 @@ impl Layer for MaxPool2d {
     }
 
     fn freeze(&self) -> Box<dyn InferLayer> {
-        Box::new(FrozenMaxPool2d {
-            inner: MaxPool2d::new(self.pool_h, self.pool_w),
-        })
+        let mut inner = MaxPool2d::new(self.pool_h, self.pool_w);
+        inner.device = self.device;
+        Box::new(FrozenMaxPool2d { inner })
+    }
+
+    fn set_device(&mut self, device: Device) {
+        self.device = device;
     }
 
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
@@ -152,6 +128,8 @@ pub struct AvgPool2d {
     pool_h: usize,
     pool_w: usize,
     cached_in_shape: Option<Shape>,
+    /// Compute backend; same routing-only role as `MaxPool2d`'s.
+    device: Device,
 }
 
 impl AvgPool2d {
@@ -163,6 +141,7 @@ impl AvgPool2d {
             pool_h,
             pool_w,
             cached_in_shape: None,
+            device: Device::active(),
         }
     }
 }
@@ -170,36 +149,7 @@ impl AvgPool2d {
 impl AvgPool2d {
     /// Shared average-pool compute into a pool-backed output.
     fn run_forward(&self, x: &Tensor<F>) -> Tensor<F> {
-        assert_eq!(x.shape().rank(), 4, "AvgPool2d expects NCHW input");
-        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-        assert!(
-            h % self.pool_h == 0 && w % self.pool_w == 0,
-            "pool {}x{} does not tile {h}x{w}",
-            self.pool_h,
-            self.pool_w
-        );
-        let (oh, ow) = (h / self.pool_h, w / self.pool_w);
-        let inv = 1.0 / (self.pool_h * self.pool_w) as F;
-        let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, c, oh, ow));
-        let xs = x.as_slice();
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * h * w;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        for py in 0..self.pool_h {
-                            let row = base + (oy * self.pool_h + py) * w + ox * self.pool_w;
-                            for px in 0..self.pool_w {
-                                acc += xs[row + px];
-                            }
-                        }
-                        y.as_mut_slice()[((ni * c + ci) * oh + oy) * ow + ox] = acc * inv;
-                    }
-                }
-            }
-        }
-        y
+        self.device.avg_pool2d_forward(x, self.pool_h, self.pool_w)
     }
 }
 
@@ -219,9 +169,13 @@ impl Layer for AvgPool2d {
     }
 
     fn freeze(&self) -> Box<dyn InferLayer> {
-        Box::new(FrozenAvgPool2d {
-            inner: AvgPool2d::new(self.pool_h, self.pool_w),
-        })
+        let mut inner = AvgPool2d::new(self.pool_h, self.pool_w);
+        inner.device = self.device;
+        Box::new(FrozenAvgPool2d { inner })
+    }
+
+    fn set_device(&mut self, device: Device) {
+        self.device = device;
     }
 
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {

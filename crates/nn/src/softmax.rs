@@ -6,11 +6,16 @@
 
 use adarnet_tensor::Tensor;
 
+use crate::device::Device;
 use crate::{InferLayer, Layer, F};
 
 /// Softmax across everything but the batch axis.
 pub struct SpatialSoftmax {
     cached_output: Option<Tensor<F>>,
+    /// Compute backend. Softmax is `exp`-latency-bound and shared
+    /// across backends ([`Device::spatial_softmax_forward`]): outputs
+    /// are bitwise identical whichever backend is selected.
+    device: Device,
 }
 
 impl SpatialSoftmax {
@@ -18,29 +23,13 @@ impl SpatialSoftmax {
     pub fn new() -> Self {
         SpatialSoftmax {
             cached_output: None,
+            device: Device::active(),
         }
     }
 
     /// Shared forward compute into a pool-backed output.
     fn run_forward(&self, x: &Tensor<F>) -> Tensor<F> {
-        assert!(x.shape().rank() >= 1, "softmax needs at least rank 1");
-        let n = x.dim(0);
-        let per = x.len() / n.max(1);
-        let mut y = x.pooled_copy();
-        for b in 0..n {
-            let sl = &mut y.as_mut_slice()[b * per..(b + 1) * per];
-            // Standard max-shift for numerical stability.
-            let m = sl.iter().copied().fold(F::NEG_INFINITY, F::max);
-            let mut z = 0.0f64;
-            for v in sl.iter_mut() {
-                *v = (*v - m).exp();
-                z += *v as f64;
-            }
-            let inv = (1.0 / z) as F;
-            for v in sl.iter_mut() {
-                *v *= inv;
-            }
-        }
+        let y = self.device.spatial_softmax_forward(x);
         crate::finite::debug_guard_finite("SpatialSoftmax", x, &y);
         y
     }
@@ -71,9 +60,13 @@ impl Layer for SpatialSoftmax {
     }
 
     fn freeze(&self) -> Box<dyn InferLayer> {
-        Box::new(FrozenSpatialSoftmax {
-            inner: SpatialSoftmax::new(),
-        })
+        let mut inner = SpatialSoftmax::new();
+        inner.device = self.device;
+        Box::new(FrozenSpatialSoftmax { inner })
+    }
+
+    fn set_device(&mut self, device: Device) {
+        self.device = device;
     }
 
     fn backward(&mut self, grad_out: &Tensor<F>) -> Tensor<F> {
@@ -81,28 +74,7 @@ impl Layer for SpatialSoftmax {
             .cached_output
             .as_ref()
             .expect("SpatialSoftmax::backward called before forward");
-        assert!(
-            y.shape().same(grad_out.shape()),
-            "softmax grad shape mismatch"
-        );
-        let n = y.dim(0);
-        let per = y.len() / n.max(1);
-        let mut dx = grad_out.pooled_copy();
-        for b in 0..n {
-            let ys = &y.as_slice()[b * per..(b + 1) * per];
-            let gs = &mut dx.as_mut_slice()[b * per..(b + 1) * per];
-            // dx_i = y_i * (g_i - sum_j g_j y_j)
-            let dot: f64 = ys
-                .iter()
-                .zip(gs.iter())
-                .map(|(&yi, &gi)| (yi * gi) as f64)
-                .sum();
-            let dot = dot as F;
-            for (g, &yi) in gs.iter_mut().zip(ys) {
-                *g = yi * (*g - dot);
-            }
-        }
-        dx
+        self.device.spatial_softmax_backward(y, grad_out)
     }
 }
 

@@ -9,9 +9,9 @@
 
 use std::sync::Mutex;
 
-use adarnet_nn::kernels::{conv2d_forward_blocked, weight_packs};
+use adarnet_nn::kernels::weight_packs;
 use adarnet_nn::{
-    Activation, Conv2d, ConvTranspose2d, Initializer, Layer, Optimizer, Sequential, Sgd,
+    Activation, Conv2d, ConvTranspose2d, Device, Initializer, Layer, Optimizer, Sequential, Sgd,
 };
 use adarnet_tensor::{Shape, Tensor};
 
@@ -111,9 +111,12 @@ fn weight_mut_invalidates_and_output_tracks_new_weights() {
     let y_new = l.forward_infer(&x);
     assert_eq!(weight_packs() - before, 1, "exactly one repack");
     assert_ne!(y_old, y_new, "output must reflect the mutated weights");
+    // Same-backend comparison: the layer runs on Device::active(), so
+    // the blocked reference must too (packed == blocked is a
+    // per-backend bitwise contract).
     assert_eq!(
         y_new,
-        conv2d_forward_blocked(&x, l.weight(), l.bias(), 1),
+        Device::active().conv2d_forward_blocked(&x, l.weight(), l.bias(), 1),
         "cached packed path stays bitwise-identical to the blocked kernel"
     );
 }

@@ -28,6 +28,7 @@ pub use element::Element;
 pub use grid::Grid2;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::AlignedBuf;
 
 /// Element count above which elementwise kernels switch to rayon-parallel
 /// execution. Chosen so a 16x16 patch (256 elements) stays sequential while

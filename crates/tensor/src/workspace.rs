@@ -36,6 +36,7 @@
 //!   out of scope. Tests snapshot the counter, run a steady-state
 //!   window, and assert it did not move.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -152,18 +153,201 @@ pub fn put(buf: Vec<f32>) {
     }
 }
 
-/// Number of buffers currently pooled across all shelves (diagnostic).
+/// Number of buffers currently pooled across all shelves, scalar and
+/// aligned (diagnostic).
 pub fn pooled_buffers() -> usize {
-    POOL.shelves
+    let scalar: usize = POOL
+        .shelves
         .iter()
         .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()).len())
-        .sum()
+        .sum();
+    let aligned: usize = ALIGNED_POOL
+        .shelves
+        .iter()
+        .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()).len())
+        .sum();
+    scalar + aligned
 }
 
-/// Drop every pooled buffer (test isolation helper).
+/// Drop every pooled buffer, scalar and aligned (test isolation helper).
 pub fn clear() {
     for shelf in &POOL.shelves {
         shelf.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+    for shelf in &ALIGNED_POOL.shelves {
+        shelf.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+/// Floats per alignment lane: 16 f32 = 64 bytes = one cache line / one
+/// AVX-512 vector / two AVX2 vectors.
+const LANE_FLOATS: usize = 16;
+
+/// One 64-byte-aligned lane of 16 f32s. `repr(C)` pins the array as the
+/// sole, offset-0 field so a `Vec<Lane>` is a contiguous, initialized
+/// run of `len * 16` f32s starting on a cache-line boundary.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct Lane([f32; LANE_FLOATS]);
+
+const ZERO_LANE: Lane = Lane([0.0; LANE_FLOATS]);
+
+/// A pool-managed `f32` buffer whose storage is 64-byte aligned, for
+/// SIMD kernels whose vector loads must never split a cache line
+/// (DESIGN.md §15). Dereferences to `[f32]` like the plain pooled
+/// `Vec<f32>` buffers.
+///
+/// Why a dedicated type: over-aligning a `Vec<f32>` directly is
+/// impossible without raw allocator calls (the deallocation `Layout`
+/// must match), so alignment rides on the element type instead — the
+/// buffer is a `Vec` of 64-byte [`Lane`]s viewed as floats, and the
+/// `Vec` keeps normal ownership/drop semantics. Length is tracked in
+/// floats and may leave the tail of the last lane unused.
+pub struct AlignedBuf {
+    lanes: Vec<Lane>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// An empty buffer with no storage. Allocation-free; grow with
+    /// [`AlignedBuf::resize`].
+    pub const fn new() -> Self {
+        AlignedBuf {
+            lanes: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Length in floats.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero floats.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity in floats (whole lanes).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.lanes.capacity() * LANE_FLOATS
+    }
+
+    /// Resize to `len` floats. Newly exposed *lanes* are zeroed; floats
+    /// uncovered within an already-live lane keep their previous
+    /// (unspecified) contents — same contract as [`take_scratch`].
+    pub fn resize(&mut self, len: usize) {
+        self.lanes.resize(len.div_ceil(LANE_FLOATS), ZERO_LANE);
+        self.len = len;
+    }
+
+    /// View the buffer as a float slice.
+    #[inline]
+    #[allow(unsafe_code)]
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: `Lane` is `repr(C, align(64))` over `[f32; 16]`, so
+        // `lanes` is a contiguous run of `lanes.len() * 16` initialized
+        // f32s, and `self.len <= lanes.len() * 16` by construction
+        // (`resize` is the only length mutator).
+        unsafe { std::slice::from_raw_parts(self.lanes.as_ptr().cast::<f32>(), self.len) }
+    }
+
+    /// View the buffer as a mutable float slice.
+    #[inline]
+    #[allow(unsafe_code)]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as in `as_slice`; `&mut self` gives exclusive access.
+        unsafe { std::slice::from_raw_parts_mut(self.lanes.as_mut_ptr().cast::<f32>(), self.len) }
+    }
+}
+
+impl Default for AlignedBuf {
+    fn default() -> Self {
+        AlignedBuf::new()
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+static ALIGNED_POOL: AlignedPool = AlignedPool::new();
+
+struct AlignedPool {
+    shelves: [Mutex<Vec<AlignedBuf>>; SHELVES],
+}
+
+impl AlignedPool {
+    const fn new() -> Self {
+        AlignedPool {
+            shelves: [const { Mutex::new(Vec::new()) }; SHELVES],
+        }
+    }
+}
+
+/// Take a 64-byte-aligned buffer of exactly `len` floats with
+/// *unspecified* contents, from the aligned shelf pool. Same
+/// size-class, retention, and observability rules as [`take_scratch`];
+/// return with [`put_aligned`].
+pub fn take_aligned(len: usize) -> AlignedBuf {
+    if len == 0 {
+        return AlignedBuf {
+            lanes: Vec::new(),
+            len: 0,
+        };
+    }
+    let lanes = len.div_ceil(LANE_FLOATS);
+    let shelf = shelf_for_request(lanes);
+    let popped = {
+        let mut guard = ALIGNED_POOL.shelves[shelf]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        guard.pop()
+    };
+    match popped {
+        Some(mut buf) => {
+            adarnet_obs::counter!("tensor_pool_hits_total").inc();
+            debug_assert!(buf.lanes.capacity() >= lanes);
+            buf.resize(len);
+            buf
+        }
+        None => {
+            note_data_alloc();
+            adarnet_obs::counter!("tensor_pool_misses_total").inc();
+            let mut fresh = Vec::with_capacity(lanes.next_power_of_two());
+            fresh.resize(lanes, ZERO_LANE);
+            AlignedBuf { lanes: fresh, len }
+        }
+    }
+}
+
+/// Return an aligned buffer to the pool for reuse. Zero-capacity
+/// buffers and overflow beyond the shelf cap are dropped.
+pub fn put_aligned(buf: AlignedBuf) {
+    let cap = buf.lanes.capacity();
+    if cap == 0 {
+        return;
+    }
+    let shelf = shelf_of_capacity(cap);
+    let mut guard = ALIGNED_POOL.shelves[shelf]
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if guard.len() < MAX_PER_SHELF {
+        guard.push(buf);
     }
 }
 
@@ -236,6 +420,67 @@ mod tests {
     #[test]
     fn zero_len_request_is_free() {
         let buf = take_scratch(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), 0, "zero-len take must not allocate");
+    }
+
+    #[test]
+    fn aligned_take_is_64_byte_aligned() {
+        let _g = serial();
+        clear();
+        // Fresh allocation (miss) and pooled reuse (hit) must both land
+        // on a cache-line boundary, at every size class the kernels use.
+        for len in [1usize, 16, 37, 256, 4096, 9 * 256] {
+            let buf = take_aligned(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(
+                buf.as_slice().as_ptr() as usize % 64,
+                0,
+                "fresh aligned buffer (len {len}) off alignment"
+            );
+            put_aligned(buf);
+            let again = take_aligned(len);
+            assert_eq!(
+                again.as_slice().as_ptr() as usize % 64,
+                0,
+                "reused aligned buffer (len {len}) off alignment"
+            );
+            put_aligned(again);
+        }
+        clear();
+    }
+
+    #[test]
+    fn aligned_roundtrip_reuses_capacity() {
+        let _g = serial();
+        clear();
+        let buf = take_aligned(1000);
+        let cap = buf.capacity();
+        assert!(cap >= 1000);
+        put_aligned(buf);
+        // 900 and 1000 floats round to the same lane shelf.
+        let again = take_aligned(900);
+        assert_eq!(again.len(), 900);
+        assert_eq!(again.capacity(), cap, "must reuse the pooled buffer");
+        put_aligned(again);
+        clear();
+    }
+
+    #[test]
+    fn aligned_resize_tracks_len_and_zeroes_new_lanes() {
+        let _g = serial();
+        let mut buf = take_aligned(16);
+        buf.as_mut_slice().fill(7.0);
+        buf.resize(48);
+        assert_eq!(buf.len(), 48);
+        assert!(buf[..16].iter().all(|&v| v == 7.0));
+        assert!(buf[16..].iter().all(|&v| v == 0.0), "new lanes must zero");
+        put_aligned(buf);
+    }
+
+    #[test]
+    fn aligned_zero_len_request_is_free() {
+        let buf = take_aligned(0);
         assert!(buf.is_empty());
         assert_eq!(buf.capacity(), 0, "zero-len take must not allocate");
     }
