@@ -8,6 +8,12 @@
 //! and takes the *minimum* per arm — the standard estimator for the
 //! true cost floor under noise.
 //!
+//! The instrumented arm runs each rep as a *traced request*: a minted
+//! trace is started in the arena, scoped to the thread (so every stage
+//! `span!` attaches a span record), then finished and offered to the
+//! tail sampler — the full per-request tracing cost, not just the
+//! histogram path, must fit the budget.
+//!
 //! Usage:
 //!
 //! ```text
@@ -37,15 +43,31 @@ fn field(h: usize, w: usize, phase: f32) -> Tensor<f32> {
     )
 }
 
-/// Seconds for one `infer_batch` call over `fields`.
-fn time_once(engine: &InferenceEngine, fields: &[Tensor<f32>]) -> f64 {
+/// Mean seconds per `infer_batch` call over `fields`, averaged across
+/// `inner` back-to-back calls (averaging inside the sample shrinks
+/// scheduler/cache noise before the min-across-reps estimator sees
+/// it). When `traced`, every call runs as a full traced request: arena
+/// start, thread scope (so stage spans attach), finish, tail-sampler
+/// offer — all inside the timed region.
+fn time_once(engine: &InferenceEngine, fields: &[Tensor<f32>], inner: usize, traced: bool) -> f64 {
     let start = Instant::now();
-    let out = engine.infer_batch(black_box(fields)).expect("inference");
-    let secs = start.elapsed().as_secs_f64();
-    for p in out {
-        p.recycle();
+    for _ in 0..inner {
+        let req = Instant::now();
+        let ctx = traced
+            .then(adarnet_obs::TraceCtx::mint)
+            .filter(|&ctx| adarnet_obs::trace::arena().start(ctx));
+        let out = {
+            let _scope = ctx.map(adarnet_obs::trace::scope);
+            engine.infer_batch(black_box(fields)).expect("inference")
+        };
+        if let Some(ctx) = ctx {
+            adarnet_obs::trace::finish(ctx, req.elapsed().as_nanos() as u64, false);
+        }
+        for p in out {
+            p.recycle();
+        }
     }
-    secs
+    start.elapsed().as_secs_f64() / inner as f64
 }
 
 fn main() {
@@ -57,10 +79,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3.0);
 
-    let (h, w, batch, reps) = if smoke {
-        (16, 32, 2, 3)
+    let (h, w, batch, reps, inner) = if smoke {
+        (16, 32, 2, 5, 3)
     } else {
-        (16, 64, 4, 7)
+        (16, 64, 4, 7, 3)
     };
     let model = AdarNet::new(AdarNetConfig {
         ph: 8,
@@ -79,17 +101,29 @@ fn main() {
     // Warm both arms once: pooled buffers, histogram interning, and the
     // decoder's activation caches all settle before anything is timed.
     adarnet_obs::set_enabled(true);
-    time_once(&engine, &fields);
+    time_once(&engine, &fields, 1, true);
     adarnet_obs::set_enabled(false);
-    time_once(&engine, &fields);
+    time_once(&engine, &fields, 1, false);
 
     let mut best_on = f64::INFINITY;
     let mut best_off = f64::INFINITY;
     for rep in 0..reps {
-        adarnet_obs::set_enabled(true);
-        let on = time_once(&engine, &fields);
-        adarnet_obs::set_enabled(false);
-        let off = time_once(&engine, &fields);
+        // Alternate which arm goes first: any per-rep warm-up penalty
+        // (scheduler migration, cache state left by the previous rep)
+        // would otherwise land on one arm systematically.
+        let (on, off) = if rep % 2 == 0 {
+            adarnet_obs::set_enabled(true);
+            let on = time_once(&engine, &fields, inner, true);
+            adarnet_obs::set_enabled(false);
+            let off = time_once(&engine, &fields, inner, false);
+            (on, off)
+        } else {
+            adarnet_obs::set_enabled(false);
+            let off = time_once(&engine, &fields, inner, false);
+            adarnet_obs::set_enabled(true);
+            let on = time_once(&engine, &fields, inner, true);
+            (on, off)
+        };
         best_on = best_on.min(on);
         best_off = best_off.min(off);
         eprintln!("  rep {rep}: on {on:.4}s, off {off:.4}s");

@@ -27,13 +27,20 @@
 //! * [`rules::RULE_UNSAFE_CODE`] applies to every crate: the workspace
 //!   denies `unsafe_code`, and the files that opt out of that deny (the
 //!   AVX2 micro-kernels, the aligned workspace buffer) must justify
-//!   every `unsafe` site with a waiver in `check/allow.toml`.
+//!   every `unsafe` site with a waiver in `check/allow.toml`;
+//! * [`rules::RULE_SPAN_REGISTRY`] applies to every crate, in two
+//!   parts: per file, every observable-name literal (`span!` sites,
+//!   `trace::arena().begin/record` names, `RejectReason` wire tags)
+//!   must be registered in `adarnet_obs::names`; across the tree, each
+//!   `span!` site name must be unique — a deliberate second site
+//!   feeding the same histogram carries a waiver arguing the stages are
+//!   genuinely the same.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::allow::{parse_allowlist, screen, Waiver};
-use crate::rules::{lint_source, Finding, RuleSet};
+use crate::rules::{lint_source, span_macro_sites, Finding, RuleSet, RULE_SPAN_REGISTRY};
 
 /// Crates whose float→int casts index grids and tensors.
 const LOSSY_CAST_CRATES: &[&str] = &["nn", "tensor", "cfd"];
@@ -108,6 +115,7 @@ pub fn run_lint(root: &Path) -> Result<LintReport, LintError> {
 
     let mut findings = Vec::new();
     let mut files_scanned = 0usize;
+    let mut macro_sites: Vec<SpanMacroSite> = Vec::new();
     for (dir, crate_name) in lint_targets(root)? {
         let rules = rule_set_for(&crate_name);
         let mut files = Vec::new();
@@ -116,9 +124,24 @@ pub fn run_lint(root: &Path) -> Result<LintReport, LintError> {
             let src = fs::read_to_string(&file).map_err(|e| LintError::Io(file.clone(), e))?;
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
             findings.extend(lint_source(&rel, &src, rules_for_file(rules, &rel)));
+            for (line, name) in span_macro_sites(&src) {
+                let line_text = src
+                    .lines()
+                    .nth(line.saturating_sub(1))
+                    .map(str::trim)
+                    .unwrap_or_default()
+                    .to_string();
+                macro_sites.push(SpanMacroSite {
+                    path: rel.clone(),
+                    line,
+                    name,
+                    line_text,
+                });
+            }
             files_scanned += 1;
         }
     }
+    findings.extend(duplicate_span_sites(&mut macro_sites));
     findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
 
     let screened = screen(findings, &waivers);
@@ -175,7 +198,48 @@ fn rule_set_for(crate_name: &str) -> RuleSet {
         unchecked_arith: false,
         relaxed_ordering: crate_name != RELAXED_ORDERING_EXEMPT_CRATE,
         unsafe_code: true,
+        span_registry: true,
     }
+}
+
+/// One non-test `span!` site, accumulated across the walk for the
+/// cross-file uniqueness pass.
+struct SpanMacroSite {
+    path: PathBuf,
+    line: usize,
+    name: String,
+    line_text: String,
+}
+
+/// Flag every `span!` site whose name already appeared at an earlier
+/// `(path, line)` — each span name is one histogram, so a second site
+/// must argue (via waiver) that it times the same logical stage.
+fn duplicate_span_sites(sites: &mut [SpanMacroSite]) -> Vec<Finding> {
+    sites.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    let mut first: std::collections::HashMap<&str, (&Path, usize)> =
+        std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for site in sites.iter() {
+        match first.get(site.name.as_str()) {
+            Some((fp, fl)) => out.push(Finding {
+                rule: RULE_SPAN_REGISTRY,
+                path: site.path.clone(),
+                line: site.line,
+                message: format!(
+                    "duplicate span! site for \"{}\" (first at {}:{fl}) — \
+                     span names are one histogram each; waive only if the \
+                     stages are genuinely the same",
+                    site.name,
+                    fp.display()
+                ),
+                line_text: site.line_text.clone(),
+            }),
+            None => {
+                first.insert(&site.name, (&site.path, site.line));
+            }
+        }
+    }
+    out
 }
 
 /// Specialize a crate's rule set for one file: the no-alloc and
@@ -295,6 +359,33 @@ mod tests {
         assert!(rule_set_for("nn").unsafe_code);
         assert!(rule_set_for("tensor").unsafe_code);
         assert!(rule_set_for("obs").unsafe_code);
+        // span-registry applies everywhere: any crate can record a span
+        // or map a reject tag, and every name must be registered.
+        assert!(rule_set_for("obs").span_registry);
+        assert!(rule_set_for("serve").span_registry);
+        assert!(rule_set_for("cfd").span_registry);
+    }
+
+    #[test]
+    fn duplicate_span_sites_flags_later_sites_only() {
+        let mk = |path: &str, line: usize, name: &str| SpanMacroSite {
+            path: PathBuf::from(path),
+            line,
+            name: name.into(),
+            line_text: format!("span!(\"{name}\")"),
+        };
+        let mut sites = vec![
+            mk("crates/b/src/x.rs", 10, "stage_decoder"),
+            mk("crates/a/src/y.rs", 5, "stage_decoder"),
+            mk("crates/a/src/y.rs", 9, "serve_infer"),
+        ];
+        let dups = duplicate_span_sites(&mut sites);
+        // After (path, line) ordering, a/y.rs:5 is the canonical site;
+        // b/x.rs:10 is the duplicate; serve_infer is unique.
+        assert_eq!(dups.len(), 1);
+        assert_eq!(dups[0].path, PathBuf::from("crates/b/src/x.rs"));
+        assert_eq!(dups[0].line, 10);
+        assert!(dups[0].message.contains("crates/a/src/y.rs:5"));
     }
 
     #[test]

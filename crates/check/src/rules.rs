@@ -46,6 +46,14 @@
 //!   `#![allow(unsafe_code)]` (the SIMD micro-kernels, the aligned
 //!   workspace buffer) must pair each site with a waiver arguing its
 //!   safety contract — the opt-out attribute alone is not enough.
+//! * [`span-registry`](RULE_SPAN_REGISTRY) — every observable name
+//!   literal (`span!("...")` sites, `trace::arena().begin/record`
+//!   names, `RejectReason::X => "tag"` wire tags) must appear in the
+//!   central registry `adarnet_obs::names`; a typo'd or unregistered
+//!   name silently orphans its dashboard graph. The driver additionally
+//!   requires `span!` site names to be unique across the tree — a
+//!   second site feeding the same histogram must be waived with an
+//!   argument for why the stages are genuinely the same.
 //!
 //! The rules are token-level heuristics, deliberately conservative in
 //! what they flag; anything intentionally kept is waived — with a
@@ -73,6 +81,8 @@ pub const RULE_UNCHECKED_ARITH: &str = "unchecked-arith";
 pub const RULE_RELAXED_ORDERING: &str = "relaxed-ordering";
 /// Rule id for the justified-unsafe rule.
 pub const RULE_UNSAFE_CODE: &str = "unsafe-code";
+/// Rule id for the registered-and-unique observable-names rule.
+pub const RULE_SPAN_REGISTRY: &str = "span-registry";
 
 /// One lint finding.
 #[derive(Debug, Clone)]
@@ -110,6 +120,9 @@ pub struct RuleSet {
     /// Apply [`RULE_UNSAFE_CODE`] (every crate; the workspace denies
     /// `unsafe_code`, so each opted-out site needs a waiver).
     pub unsafe_code: bool,
+    /// Apply [`RULE_SPAN_REGISTRY`] (every crate: observable-name
+    /// literals must be registered in `adarnet_obs::names`).
+    pub span_registry: bool,
 }
 
 /// Lint one file's source, returning all findings.
@@ -158,6 +171,9 @@ pub fn lint_source(path: &std::path::Path, src: &str, rules: RuleSet) -> Vec<Fin
     }
     if rules.unsafe_code {
         scan_unsafe_code(&toks, &mask, &mut push);
+    }
+    if rules.span_registry {
+        scan_span_registry(&toks, &mask, &lines, &mut push);
     }
     out
 }
@@ -522,6 +538,198 @@ fn scan_relaxed_ordering(
     }
 }
 
+/// Which syntactic shape produced a [`SpanNameSite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSiteKind {
+    /// `span!("name", ...)` — a static span site (one histogram each).
+    Macro,
+    /// `trace::arena().begin(ctx, "name")` / `.record(ctx, "name", ...)`
+    /// — a direct trace-span record sharing a `span!` site's name.
+    ArenaCall,
+    /// `RejectReason::Variant => "tag"` — a reject-reason wire tag.
+    RejectTag,
+}
+
+/// One observable-name literal found in non-test source.
+#[derive(Debug, Clone)]
+pub struct SpanNameSite {
+    /// 1-based line of the name literal.
+    pub line: usize,
+    /// The name string itself.
+    pub name: String,
+    /// Which shape matched.
+    pub kind: SpanSiteKind,
+}
+
+/// Content of the `n`-th (0-based) double-quoted string on `line`.
+///
+/// The lexer drops string contents, so the registry scan recovers the
+/// name from the raw source line: the `n`-th `Str` token on a line
+/// corresponds to the `n`-th quoted literal in its text. Escapes are
+/// unwrapped naively — observable names are plain `[a-z_]` idents, so
+/// anything exotic simply fails to match the registry and gets flagged.
+fn nth_quoted(line: &str, n: usize) -> Option<String> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut found = 0usize;
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '"' {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut s = String::new();
+        while j < chars.len() && chars[j] != '"' {
+            if chars[j] == '\\' {
+                j += 1;
+                if let Some(&c) = chars.get(j) {
+                    s.push(c);
+                }
+            } else {
+                s.push(chars[j]);
+            }
+            j += 1;
+        }
+        if found == n {
+            return Some(s);
+        }
+        found += 1;
+        i = j + 1;
+    }
+    None
+}
+
+/// Extract every observable-name literal site from non-test tokens.
+///
+/// Three shapes are recognized (see [`SpanSiteKind`]); a call whose
+/// name argument is not a string literal (e.g. the `span!` macro's own
+/// expansion passing `self.site.name`) is deliberately skipped — only
+/// literal names can be registry-checked lexically.
+pub fn span_name_sites(toks: &[Tok], mask: &[bool], lines: &[&str]) -> Vec<SpanNameSite> {
+    let extract = |si: usize| -> Option<(usize, String)> {
+        let line = toks[si].line;
+        let ord = toks[..si]
+            .iter()
+            .filter(|t| t.kind == TokKind::Str && t.line == line)
+            .count();
+        Some((line, nth_quoted(lines.get(line.checked_sub(1)?)?, ord)?))
+    };
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `span!("name", ...)`
+        if t.text == "span"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            if let Some((line, name)) = extract(i + 3) {
+                out.push(SpanNameSite {
+                    line,
+                    name,
+                    kind: SpanSiteKind::Macro,
+                });
+            }
+            continue;
+        }
+        // `arena().begin(ctx, "name")` / `arena().record(ctx, "name", ..)`
+        // — the first string literal among the call's direct arguments is
+        // the span name.
+        if t.text == "arena"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(")"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(i + 4)
+                .is_some_and(|t| t.is_ident("begin") || t.is_ident("record"))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct("("))
+        {
+            let mut depth = 1usize;
+            let mut j = i + 6;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("(") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") {
+                    depth -= 1;
+                } else if depth == 1 && toks[j].kind == TokKind::Str {
+                    if let Some((line, name)) = extract(j) {
+                        out.push(SpanNameSite {
+                            line,
+                            name,
+                            kind: SpanSiteKind::ArenaCall,
+                        });
+                    }
+                    break;
+                }
+                j += 1;
+            }
+            continue;
+        }
+        // `RejectReason::Variant => "tag"`
+        if t.text == "RejectReason"
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("=>"))
+            && toks.get(i + 4).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            if let Some((line, name)) = extract(i + 4) {
+                out.push(SpanNameSite {
+                    line,
+                    name,
+                    kind: SpanSiteKind::RejectTag,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Extract non-test `span!` macro sites from raw source: `(line, name)`
+/// pairs. Used by the lint driver's cross-file uniqueness pass.
+pub fn span_macro_sites(src: &str) -> Vec<(usize, String)> {
+    let toks = tokenize(src);
+    let mask = test_region_mask(&toks);
+    let lines: Vec<&str> = src.lines().collect();
+    span_name_sites(&toks, &mask, &lines)
+        .into_iter()
+        .filter(|s| s.kind == SpanSiteKind::Macro)
+        .map(|s| (s.line, s.name))
+        .collect()
+}
+
+fn scan_span_registry(
+    toks: &[Tok],
+    mask: &[bool],
+    lines: &[&str],
+    push: &mut impl FnMut(&'static str, usize, String),
+) {
+    for site in span_name_sites(toks, mask, lines) {
+        let (registered, table) = match site.kind {
+            SpanSiteKind::Macro | SpanSiteKind::ArenaCall => (
+                adarnet_obs::names::is_registered_span(&site.name),
+                "SPAN_SITES",
+            ),
+            SpanSiteKind::RejectTag => (
+                adarnet_obs::names::is_registered_reject(&site.name),
+                "REJECT_REASONS",
+            ),
+        };
+        if !registered {
+            push(
+                RULE_SPAN_REGISTRY,
+                site.line,
+                format!(
+                    "\"{}\" is not registered in obs::names::{table} \
+                     (register the name there or fix the typo)",
+                    site.name
+                ),
+            );
+        }
+    }
+}
+
 fn scan_unsafe_code(
     toks: &[Tok],
     mask: &[bool],
@@ -689,6 +897,7 @@ mod tests {
         unchecked_arith: true,
         relaxed_ordering: true,
         unsafe_code: true,
+        span_registry: true,
     };
 
     fn findings(src: &str) -> Vec<Finding> {
@@ -937,6 +1146,66 @@ mod tests {
                    fn f() { let s = \"unsafe\"; } // unsafe\n\
                    #[cfg(test)]\nmod tests { fn t() { unsafe { x() } } }";
         assert!(!rules_of(src).contains(&RULE_UNSAFE_CODE));
+    }
+
+    #[test]
+    fn unregistered_span_macro_name_flagged() {
+        let src = "fn f() { let _a = span!(\"bogus_span\"); \
+                   let _b = adarnet_obs::span!(\"stage_decoder\", bin = b); }";
+        let got: Vec<_> = findings(src)
+            .into_iter()
+            .filter(|f| f.rule == RULE_SPAN_REGISTRY)
+            .collect();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("bogus_span"));
+        assert!(got[0].message.contains("SPAN_SITES"));
+    }
+
+    #[test]
+    fn arena_call_names_are_registry_checked() {
+        let src = "fn f() { trace::arena().record(ctx, \"bogus\", ns, \"bin\", 0); \
+                   trace::arena().begin(ctx, \"engine_infer\"); }";
+        let got: Vec<_> = findings(src)
+            .into_iter()
+            .filter(|f| f.rule == RULE_SPAN_REGISTRY)
+            .collect();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("bogus"));
+    }
+
+    #[test]
+    fn reject_tags_are_registry_checked() {
+        let src = "fn f(r: RejectReason) -> &'static str { match r { \
+                   RejectReason::QueueFull => \"queue_full\", \
+                   RejectReason::RateLimited => \"rate_limited\" } }";
+        let got: Vec<_> = findings(src)
+            .into_iter()
+            .filter(|f| f.rule == RULE_SPAN_REGISTRY)
+            .collect();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("rate_limited"));
+        assert!(got[0].message.contains("REJECT_REASONS"));
+    }
+
+    #[test]
+    fn non_literal_names_and_test_regions_skipped() {
+        // The span! expansion records via a field, not a literal — no
+        // name to check lexically; test regions never fire the rule.
+        let src = "fn f() { trace::arena().record(ctx, self.site.name, ns, f, v); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { let _s = span!(\"totally_bogus\"); } }";
+        assert!(!rules_of(src).contains(&RULE_SPAN_REGISTRY));
+    }
+
+    #[test]
+    fn span_macro_sites_extracts_names_outside_tests() {
+        let src = "fn f() { let _a = span!(\"stage_scorer\"); }\n\
+                   fn g() { let _b = obs::span!(\"stage_ranker\", bin = 1u64); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { let _c = span!(\"obs_test_span\"); } }";
+        let sites = span_macro_sites(src);
+        assert_eq!(
+            sites,
+            vec![(1, "stage_scorer".into()), (2, "stage_ranker".into())]
+        );
     }
 
     #[test]

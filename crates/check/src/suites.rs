@@ -34,7 +34,15 @@
 //!   `reserve()`/`commit()` ring matches its order-independent fixed
 //!   point (per slot, the highest-seq committed event) under every
 //!   interleaving of reserves and laggard commits, and never loses a
-//!   committed event from the most recent `capacity` sequence numbers.
+//!   committed event from the most recent `capacity` sequence numbers;
+//! * **trace** — the trace arena's start/begin/commit/finish lifecycle
+//!   matches the flat `TraceModel` restatement (admission iff below
+//!   capacity with a fresh id, dense span ids, budget drops, laggard
+//!   commits after finish never landing in a successor trace, finished
+//!   trees containing only committed spans), and the tail sampler's
+//!   retained set sits at the `SamplerModel` fixed point (slowest-N
+//!   per window with earliest-wins ties, newest-wins error ring) after
+//!   every offer.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,11 +57,13 @@ use adarnet_serve::{
 };
 use adarnet_tensor::{Shape, Tensor};
 
+use adarnet_obs::trace::{PendingSpan, TailSampler, TraceArena, TraceCtx};
 use adarnet_obs::{EventKind, FlightRecorder};
 
 use crate::dpor::Footprint;
 use crate::oracle::{
-    LruModel, ModelPush, PriorityQueueModel, QueueModel, QuotaModel, RecorderModel, RegistryModel,
+    LruModel, ModelPush, ModelSpan, PriorityQueueModel, QueueModel, QuotaModel, RecorderModel,
+    RegistryModel, SamplerModel, TraceModel,
 };
 use crate::sched::{Explorer, Mode, Scenario, SuiteStats};
 
@@ -1504,6 +1514,361 @@ pub fn recorder_suite(budget: Budget, ex: &mut Explorer) {
     ex.random(&churn, trials, 0x0B5);
 }
 
+// ---------------------------------------------------------------------
+// Trace arena + tail sampler suite
+// ---------------------------------------------------------------------
+
+/// One scripted trace operation. Trace identity is per *owner thread*
+/// and incarnation (`trace_id_for`), so cross-thread ops — a worker
+/// recording spans into a requester's trace, a laggard committing
+/// after the requester finished — are expressible by naming the owner.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceOp {
+    /// `start()` the acting thread's own trace (current incarnation).
+    Start,
+    /// `begin(owner's trace, name)`; the pending span is held by the
+    /// *acting* thread (the laggard shape).
+    Begin(usize),
+    /// `commit(acting thread's k-th pending span)`.
+    Commit(usize),
+    /// `record(owner's trace, name, dur)` — begin + commit in one call.
+    Record(usize),
+    /// `finish(own trace, e2e, error)` and offer it to the sampler;
+    /// the thread's next `Start` uses a fresh trace id.
+    Finish(bool),
+}
+
+/// Threads of trace ops over one shared [`TraceArena`] + [`TailSampler`].
+pub struct TraceScenario {
+    /// Arena trace-slot capacity under test.
+    pub capacity: usize,
+    /// Per-trace span budget under test.
+    pub spans_per_trace: usize,
+    /// Tail sampler `(slow_cap, error_cap, window)`.
+    pub sampler: (usize, usize, u64),
+    /// Per-thread op scripts.
+    pub scripts: Vec<Vec<TraceOp>>,
+}
+
+/// Real arena + sampler and their shadow models for one interleaving.
+pub struct TraceState {
+    real: TraceArena,
+    sampler: TailSampler,
+    model: TraceModel,
+    smodel: SamplerModel,
+    /// Current incarnation per owner thread (bumped at `Finish`).
+    incarnation: Vec<u64>,
+    /// Pending spans held by each acting thread:
+    /// `(real pending, trace_id, model idx, span_id)`.
+    pendings: Vec<Vec<(PendingSpan, u64, usize, u64)>>,
+}
+
+/// Deterministic nonzero trace id for thread `t`'s `k`-th trace. All
+/// ids are odd, so with an even slot count every trace probes from the
+/// same home slot — maximal probe collision.
+fn trace_id_for(thread: usize, incarnation: u64) -> u64 {
+    1 + 2 * (thread as u64 + 16 * incarnation)
+}
+
+/// Deterministic e2e latency for thread `t`'s `k`-th trace: a small
+/// set of repeating values, so sampler tie-breaks and displacements
+/// both occur under exploration.
+fn trace_e2e_for(thread: usize, incarnation: u64) -> u64 {
+    ((thread as u64 * 7 + incarnation * 3) % 5 + 1) * 10
+}
+
+impl TraceScenario {
+    fn owner_ctx(&self, state: &TraceState, owner: usize) -> TraceCtx {
+        TraceCtx {
+            trace_id: trace_id_for(owner, state.incarnation[owner]),
+            span_id: 0,
+        }
+    }
+}
+
+impl Scenario for TraceScenario {
+    type State = TraceState;
+
+    fn name(&self) -> &'static str {
+        "obs::trace"
+    }
+
+    fn thread_ops(&self) -> Vec<usize> {
+        self.scripts.iter().map(Vec::len).collect()
+    }
+
+    fn init(&self) -> TraceState {
+        // The arena's admission gate reads the global obs enable flag;
+        // the suite asserts the enabled contract.
+        adarnet_obs::set_enabled(true);
+        let (slow, err, window) = self.sampler;
+        TraceState {
+            real: TraceArena::with_capacity(self.capacity, self.spans_per_trace),
+            sampler: TailSampler::new(slow, err, window),
+            model: TraceModel::new(self.capacity, self.spans_per_trace),
+            smodel: SamplerModel::new(slow, err, window),
+            incarnation: vec![0; self.scripts.len()],
+            pendings: vec![Vec::new(); self.scripts.len()],
+        }
+    }
+
+    fn step(&self, state: &mut TraceState, thread: usize, op: usize) -> Result<(), String> {
+        let Some(op) = self.scripts.get(thread).and_then(|s| s.get(op)).copied() else {
+            return Err(format!("no op {op} for thread {thread} (bad script)"));
+        };
+        match op {
+            TraceOp::Start => {
+                let ctx = self.owner_ctx(state, thread);
+                let real = state.real.start(ctx);
+                let model = state.model.start(ctx.trace_id);
+                if real != model {
+                    return Err(format!(
+                        "start({:#x}): real {real} but spec says {model}",
+                        ctx.trace_id
+                    ));
+                }
+            }
+            TraceOp::Begin(owner) => {
+                let ctx = self.owner_ctx(state, owner);
+                let real = state.real.begin(ctx, "mc_begin");
+                let model = state.model.begin(ctx.trace_id, 0, "mc_begin");
+                match (real, model) {
+                    (Some(p), Some((span_id, idx))) => {
+                        if p.span_id != span_id {
+                            return Err(format!(
+                                "begin on {:#x}: real span id {} but spec says {span_id}",
+                                ctx.trace_id, p.span_id
+                            ));
+                        }
+                        state.pendings[thread].push((p, ctx.trace_id, idx, span_id));
+                    }
+                    (None, None) => {}
+                    (real, model) => {
+                        return Err(format!(
+                            "begin on {:#x}: real {} but spec says {}",
+                            ctx.trace_id,
+                            real.is_some(),
+                            model.is_some()
+                        ));
+                    }
+                }
+            }
+            TraceOp::Commit(k) => {
+                let Some(&(p, trace_id, idx, span_id)) = state.pendings[thread].get(k) else {
+                    // The matching Begin hit a budget/not-in-flight
+                    // branch in this interleaving; nothing to commit.
+                    return Ok(());
+                };
+                let dur = 100 + k as u64;
+                let real = state.real.commit(p, dur, "k", k as u64);
+                let model = state
+                    .model
+                    .commit(trace_id, idx, span_id, dur, "k", k as u64);
+                if real != model {
+                    return Err(format!(
+                        "commit span {span_id} of {trace_id:#x}: real {real} but spec says {model}"
+                    ));
+                }
+            }
+            TraceOp::Record(owner) => {
+                let ctx = self.owner_ctx(state, owner);
+                let dur = 7 * (owner as u64 + 1);
+                let real = state
+                    .real
+                    .record(ctx, "mc_record", dur, "owner", owner as u64);
+                let model =
+                    state
+                        .model
+                        .record(ctx.trace_id, 0, "mc_record", dur, "owner", owner as u64);
+                if real != model {
+                    return Err(format!(
+                        "record on {:#x}: real {real:?} but spec says {model:?}",
+                        ctx.trace_id
+                    ));
+                }
+            }
+            TraceOp::Finish(error) => {
+                let ctx = self.owner_ctx(state, thread);
+                let e2e = trace_e2e_for(thread, state.incarnation[thread]);
+                let real = state.real.finish(ctx, e2e, error);
+                let model = state.model.finish(ctx.trace_id);
+                match (real, model) {
+                    (Some(fin), Some((spans, dropped))) => {
+                        let got: Vec<ModelSpan> = fin
+                            .spans
+                            .iter()
+                            .map(|s| ModelSpan {
+                                span_id: s.span_id,
+                                parent: s.parent,
+                                name: s.name,
+                                dur_ns: s.dur_ns,
+                                field: s.field,
+                                value: s.value,
+                            })
+                            .collect();
+                        if got != spans {
+                            return Err(format!(
+                                "finish {:#x}: spans {got:?} but spec says {spans:?} \
+                                 (torn or lost span)",
+                                ctx.trace_id
+                            ));
+                        }
+                        if fin.dropped_spans != dropped {
+                            return Err(format!(
+                                "finish {:#x}: dropped {} but spec says {dropped}",
+                                ctx.trace_id, fin.dropped_spans
+                            ));
+                        }
+                        state.sampler.offer(fin);
+                        state.smodel.offer(e2e, error);
+                        let got: Vec<u64> = state
+                            .sampler
+                            .snapshot()
+                            .iter()
+                            .map(|r| r.offer_seq)
+                            .collect();
+                        let want = state.smodel.expected();
+                        if got != want {
+                            return Err(format!("sampler snapshot {got:?} but spec says {want:?}"));
+                        }
+                    }
+                    (None, None) => {}
+                    (real, model) => {
+                        return Err(format!(
+                            "finish {:#x}: real {} but spec says {}",
+                            ctx.trace_id,
+                            real.is_some(),
+                            model.is_some()
+                        ));
+                    }
+                }
+                state.incarnation[thread] += 1;
+            }
+        }
+        // Slot bookkeeping must agree after every step — a leaked slot
+        // here is a slow arena-exhaustion leak in production.
+        if state.real.in_flight() != state.model.in_flight() {
+            return Err(format!(
+                "in_flight {} after {op:?} but spec says {}",
+                state.real.in_flight(),
+                state.model.in_flight()
+            ));
+        }
+        Ok(())
+    }
+
+    fn finish(&self, state: &mut TraceState) -> Result<(), String> {
+        // Drain: every still-live trace must finish exactly once, with
+        // real and spec agreeing on liveness; afterwards the arena must
+        // be empty and the sampler must sit at the model's fixed point.
+        for thread in 0..self.scripts.len() {
+            for inc in 0..=state.incarnation[thread] {
+                let id = trace_id_for(thread, inc);
+                let ctx = TraceCtx {
+                    trace_id: id,
+                    span_id: 0,
+                };
+                let real = state.real.finish(ctx, 1, false);
+                let model = state.model.finish(id);
+                if real.is_some() != model.is_some() {
+                    return Err(format!(
+                        "drain finish {id:#x}: real {} but spec says {}",
+                        real.is_some(),
+                        model.is_some()
+                    ));
+                }
+            }
+        }
+        if state.real.in_flight() != 0 {
+            return Err(format!(
+                "{} trace slot(s) leaked after drain",
+                state.real.in_flight()
+            ));
+        }
+        if state.sampler.offers() != state.smodel.offers() {
+            return Err(format!(
+                "sampler offers {} but spec says {}",
+                state.sampler.offers(),
+                state.smodel.offers()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Run the trace arena + tail sampler suite at the given budget.
+///
+/// Like the recorder suite, every op hits the one shared arena (and
+/// the per-step checks read all of it), so the default fully-dependent
+/// footprint is honest and DPOR degenerates to DFS here.
+pub fn trace_suite(budget: Budget, ex: &mut Explorer) {
+    use TraceOp::*;
+
+    // Three requests over a 2-slot arena with colliding home slots:
+    // admission races, span-budget drops (thread 2 begins three spans
+    // against a budget of 2), and an errored finish all interleave
+    // (90090 interleavings for (4,4,5) exhaustively).
+    let contention = TraceScenario {
+        capacity: 2,
+        spans_per_trace: 2,
+        sampler: (2, 2, 4),
+        scripts: vec![
+            vec![Start, Begin(0), Commit(0), Finish(false)],
+            vec![Start, Record(1), Record(1), Finish(true)],
+            vec![Start, Record(2), Record(2), Record(2), Finish(false)],
+        ],
+    };
+    // The laggard shape on a 1-slot arena: thread 1 begins a span on
+    // thread 0's trace; depending on the schedule, thread 0 finishes
+    // first and thread 1's own trace re-claims the slot — the laggard
+    // commit must never land in the successor trace.
+    let laggard = TraceScenario {
+        capacity: 1,
+        spans_per_trace: 2,
+        sampler: (1, 1, 2),
+        scripts: vec![
+            vec![Start, Finish(false)],
+            vec![Begin(0), Start, Commit(0), Finish(true)],
+        ],
+    };
+    match budget {
+        Budget::Full => {
+            ex.exhaustive(&contention);
+            ex.exhaustive(&laggard);
+        }
+        Budget::Small => {
+            ex.random(&contention, 150, 47);
+            ex.exhaustive(&laggard);
+        }
+    }
+
+    // Incarnation churn, randomly scheduled: three threads each running
+    // two traced requests back-to-back, recording into each other's
+    // traces, with enough finishes to roll the sampler window.
+    let churn = TraceScenario {
+        capacity: 2,
+        spans_per_trace: 2,
+        sampler: (2, 2, 4),
+        scripts: (0..3)
+            .map(|t| {
+                vec![
+                    Start,
+                    Record(t),
+                    Finish(t == 1),
+                    Start,
+                    Record((t + 1) % 3),
+                    Finish(t == 2),
+                ]
+            })
+            .collect(),
+    };
+    let trials = match budget {
+        Budget::Full => 4000,
+        Budget::Small => 250,
+    };
+    ex.random(&churn, trials, 0x17ACE);
+}
+
 /// Run every suite under `mode`, returning `(suite name, stats)` per
 /// suite.
 pub fn run_all(budget: Budget, mode: Mode) -> Vec<(&'static str, SuiteStats)> {
@@ -1535,6 +1900,7 @@ pub fn run_all(budget: Budget, mode: Mode) -> Vec<(&'static str, SuiteStats)> {
         run("cache", budget, mode, cache_suite),
         run("registry", budget, mode, registry_suite),
         run("recorder", budget, recorder_mode, recorder_suite),
+        run("trace", budget, recorder_mode, trace_suite),
     ]
 }
 
@@ -1780,6 +2146,48 @@ mod tests {
         assert!(
             !r.violations.is_empty(),
             "seeded undersized ring must be caught"
+        );
+    }
+
+    #[test]
+    fn oracle_catches_a_seeded_trace_arena_size_bug() {
+        // A real arena one slot smaller than the spec believes must
+        // diverge on some start's admission decision.
+        struct Buggy(TraceScenario);
+        impl Scenario for Buggy {
+            type State = TraceState;
+            fn name(&self) -> &'static str {
+                "buggy-trace"
+            }
+            fn thread_ops(&self) -> Vec<usize> {
+                self.0.thread_ops()
+            }
+            fn init(&self) -> TraceState {
+                let mut s = self.0.init();
+                s.real = TraceArena::with_capacity(1, self.0.spans_per_trace);
+                s
+            }
+            fn step(&self, s: &mut TraceState, t: usize, o: usize) -> Result<(), String> {
+                self.0.step(s, t, o)
+            }
+            fn finish(&self, s: &mut TraceState) -> Result<(), String> {
+                self.0.finish(s)
+            }
+        }
+        use TraceOp::*;
+        let buggy = Buggy(TraceScenario {
+            capacity: 2,
+            spans_per_trace: 2,
+            sampler: (2, 2, 4),
+            scripts: vec![
+                vec![Start, Record(0), Finish(false)],
+                vec![Start, Record(1), Finish(false)],
+            ],
+        });
+        let r = explore_exhaustive(&buggy);
+        assert!(
+            !r.violations.is_empty(),
+            "seeded undersized arena must be caught"
         );
     }
 

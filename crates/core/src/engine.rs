@@ -159,6 +159,31 @@ impl InferenceEngine {
         Ok(pred?)
     }
 
+    /// [`InferenceEngine::infer`] under a request trace: the whole
+    /// forward pass runs inside an `engine_infer` span with `ctx`
+    /// scoped to this thread, so every stage `span!` site it crosses
+    /// (`stage_scorer`, `stage_ranker`, per-bin `stage_decoder`)
+    /// attaches to the trace as well as to its histogram. The caller
+    /// still owns the trace's lifecycle (arena start / finish).
+    pub fn infer_traced(
+        &self,
+        ctx: adarnet_obs::TraceCtx,
+        lr_field: &Tensor<f32>,
+    ) -> Result<Prediction, EngineError> {
+        let pending = adarnet_obs::trace::arena().begin(ctx, "engine_infer");
+        let scoped = match &pending {
+            Some(p) => ctx.child(p.span_id),
+            None => ctx,
+        };
+        let _scope = adarnet_obs::trace::scope(scoped);
+        let started = std::time::Instant::now();
+        let result = self.infer(lr_field);
+        if let Some(p) = pending {
+            adarnet_obs::trace::arena().commit(p, started.elapsed().as_nanos() as u64, "", 0);
+        }
+        result
+    }
+
     /// Infer a batch of raw LR fields of identical extent: every
     /// `(sample, bin)` pair decodes as an independent parallel work
     /// item over the shared frozen decoder
@@ -220,6 +245,33 @@ mod tests {
         assert_eq!(via_engine.binning.bin_of_patch, direct.binning.bin_of_patch);
         for (a, b) in via_engine.patches.iter().zip(&direct.patches) {
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn infer_traced_attaches_stage_spans() {
+        let engine = tiny_engine(13);
+        let ctx = adarnet_obs::TraceCtx::mint();
+        assert!(adarnet_obs::trace::arena().start(ctx));
+        let pred = engine.infer_traced(ctx, &sample(16, 32, 0.2)).unwrap();
+        pred.recycle();
+        let t = adarnet_obs::trace::arena()
+            .finish(ctx, 1_000, false)
+            .expect("trace was in flight");
+        assert!(t.is_complete(), "no spans dropped for one inference");
+        let root = t
+            .spans
+            .iter()
+            .find(|s| s.name == "engine_infer")
+            .expect("engine_infer root span");
+        assert_eq!(root.parent, 0);
+        for stage in ["stage_scorer", "stage_ranker", "stage_decoder"] {
+            let s = t
+                .spans
+                .iter()
+                .find(|s| s.name == stage)
+                .unwrap_or_else(|| panic!("{stage} span missing"));
+            assert_eq!(s.parent, root.span_id, "{stage} parents under the root");
         }
     }
 

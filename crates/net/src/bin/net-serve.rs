@@ -15,10 +15,20 @@
 //!   weighted-deficit scheduler and (b) a FIFO-only configuration,
 //!   reporting per-lane p50/p95/p99 and merging a `tcp_lanes` object
 //!   into `BENCH_serve.json` (path from `ADARNET_SERVE_OUT`).
+//! * `net-serve admin-smoke` — start the stack plus the admin
+//!   listener, push traffic, then verify `/metrics` round-trips
+//!   through the exposition parser and `/traces` holds at least one
+//!   complete span tree (the CI admin stage).
+//! * `net-serve trace-dump [ADMIN_ADDR]` — with an address, fetch
+//!   `/traces` from a running admin endpoint and render the retained
+//!   span trees; without one, run a small in-process load and render
+//!   its traces.
 //!
 //! Environment knobs: `ADARNET_SERVE_SCALE` (`quick` | `full`),
 //! `ADARNET_NET_REQUESTS` (requests per interactive connection),
-//! `ADARNET_SERVE_OUT` (bench JSON path, default `BENCH_serve.json`).
+//! `ADARNET_SERVE_OUT` (bench JSON path, default `BENCH_serve.json`),
+//! `ADARNET_ADMIN_ADDR` (admin listener for `serve`, default
+//! `127.0.0.1:7879`).
 
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -27,7 +37,10 @@ use std::time::Duration;
 use adarnet_core::checkpoint;
 use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNet, AdarNetConfig};
-use adarnet_net::{run_tcp_closed_loop, ClientSpec, NetClient, NetServer, TcpLoadReport};
+use adarnet_net::{
+    run_tcp_closed_loop, AdminClient, AdminServer, ClientSpec, NetClient, NetServer, TcpLoadReport,
+    ADMIN_OK,
+};
 use adarnet_serve::{field_pool, ModelRegistry, Priority, QuotaConfig, ServeConfig, Server};
 use serde::{Serialize, Value};
 
@@ -177,10 +190,223 @@ fn smoke() {
 
 fn serve_forever(addr: &str) {
     let (net, _serve) = start_stack(ServeConfig::default(), 8, addr);
-    println!("serving on {} (ctrl-c to stop)", net.local_addr());
+    let admin_addr =
+        std::env::var("ADARNET_ADMIN_ADDR").unwrap_or_else(|_| "127.0.0.1:7879".into());
+    let admin = AdminServer::start(&admin_addr).unwrap();
+    println!(
+        "serving on {} (admin on {}; ctrl-c to stop)",
+        net.local_addr(),
+        admin.local_addr()
+    );
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }
+}
+
+/// CI admin stage: traffic through the data plane, then scrape the
+/// admin plane and hold it to its contracts — `/metrics` must
+/// round-trip through the exposition parser, `/traces` must hold at
+/// least one complete span tree whose spans include the pipeline
+/// stages, `/health` must answer.
+fn admin_smoke() {
+    let (net, serve) = start_stack(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        8,
+        "127.0.0.1:0",
+    );
+    let admin = AdminServer::start("127.0.0.1:0").unwrap();
+    println!(
+        "admin-smoke: data on {}, admin on {}",
+        net.local_addr(),
+        admin.local_addr()
+    );
+
+    let specs = mixed_specs(1, env_usize("ADARNET_NET_REQUESTS", 4));
+    let report = run_tcp_closed_loop(net.local_addr(), &specs);
+    print_report("admin-smoke load", &report);
+    assert_ne!(
+        report.slowest_trace, "0",
+        "every loadgen request is traced, so a slowest trace exists"
+    );
+
+    let mut client = AdminClient::connect(admin.local_addr()).unwrap();
+
+    let (st, health) = client.get("/health").unwrap();
+    assert_eq!(st, ADMIN_OK, "/health: {health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    let (st, text) = client.get("/metrics").unwrap();
+    assert_eq!(st, ADMIN_OK);
+    let snap = adarnet_obs::text::parse(&text).expect("/metrics parses back");
+    let e2e = snap
+        .histogram("serve_e2e_ns")
+        .expect("serve_e2e_ns histogram present");
+    assert!(e2e.count > 0, "e2e histogram saw the load");
+    assert!(
+        e2e.exemplar.is_some(),
+        "traced load leaves a max-latency exemplar"
+    );
+
+    let (st, traces) = client.get("/traces").unwrap();
+    assert_eq!(st, ADMIN_OK);
+    assert!(
+        traces.contains("\"complete\":true"),
+        "at least one complete span tree: {traces}"
+    );
+    for name in ["serve_queue_wait", "serve_infer", "stage_decoder"] {
+        assert!(
+            traces.contains(name),
+            "span `{name}` missing from /traces: {traces}"
+        );
+    }
+    // The report's slowest trace is retained by the tail sampler.
+    assert!(
+        traces.contains(&report.slowest_trace),
+        "slowest trace {} not retained",
+        report.slowest_trace
+    );
+    // Per-trace coherence: no span may claim more time than its
+    // request's own e2e (guards against charging pre-arrival batcher
+    // idle to the first trace after a quiet period).
+    for r in adarnet_obs::trace::sampler().snapshot() {
+        for s in &r.trace.spans {
+            assert!(
+                s.dur_ns <= r.trace.e2e_ns,
+                "span {} ({} ns) exceeds trace {:016x} e2e ({} ns)",
+                s.name,
+                s.dur_ns,
+                r.trace.trace_id,
+                r.trace.e2e_ns
+            );
+        }
+    }
+
+    admin.shutdown();
+    net.shutdown();
+    drop(serve);
+    println!("admin smoke OK");
+}
+
+/// Print retained span trees: from a running admin endpoint when an
+/// address is given, else from a fresh in-process run.
+fn trace_dump(addr: Option<String>) {
+    if let Some(addr) = addr {
+        let addr: std::net::SocketAddr = addr.parse().expect("ADMIN_ADDR parses");
+        let mut client = AdminClient::connect(addr).unwrap();
+        let (st, traces) = client.get("/traces").unwrap();
+        assert_eq!(st, ADMIN_OK, "{traces}");
+        match render_traces_doc(&traces) {
+            Ok(rendered) => print!("{rendered}"),
+            Err(e) => {
+                eprintln!("trace-dump: /traces payload did not parse ({e}); raw document follows");
+                println!("{traces}");
+            }
+        }
+        return;
+    }
+    let (net, serve) = start_stack(ServeConfig::default(), 8, "127.0.0.1:0");
+    let specs = mixed_specs(1, env_usize("ADARNET_NET_REQUESTS", 2));
+    let _ = run_tcp_closed_loop(net.local_addr(), &specs);
+    net.shutdown();
+    drop(serve);
+    let retained = adarnet_obs::trace::sampler().snapshot();
+    println!(
+        "{} retained traces ({} offered)",
+        retained.len(),
+        adarnet_obs::trace::sampler().offers()
+    );
+    for r in &retained {
+        print!("{}", r.trace.render_tree());
+    }
+}
+
+/// Render the `/traces` JSON document as the same indented span trees
+/// the in-process path prints, so the walkthrough reads identically
+/// whether the traces came from this process or a remote admin port.
+fn render_traces_doc(text: &str) -> Result<String, String> {
+    fn get<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{name}`"))
+    }
+    fn int(fields: &[(String, Value)], name: &str) -> Result<i128, String> {
+        match get(fields, name)? {
+            Value::Int(n) => Ok(*n),
+            v => Err(format!("field `{name}` is {}, expected integer", v.kind())),
+        }
+    }
+    fn walk(
+        spans: &[&[(String, Value)]],
+        parent: i128,
+        depth: usize,
+        out: &mut String,
+    ) -> Result<(), String> {
+        for s in spans {
+            if int(s, "parent")? != parent {
+                continue;
+            }
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str(&format!(
+                "{} {:.3}ms (+{:.3}ms)",
+                get(s, "name")?.as_str().unwrap_or("?"),
+                int(s, "dur_ns")? as f64 / 1e6,
+                int(s, "start_rel_ns")? as f64 / 1e6
+            ));
+            let field = get(s, "field")?.as_str().unwrap_or("");
+            if !field.is_empty() {
+                out.push_str(&format!(" {field}={}", int(s, "value")?));
+            }
+            out.push('\n');
+            if depth < spans.len() {
+                walk(spans, int(s, "span_id")?, depth + 1, out)?;
+            }
+        }
+        Ok(())
+    }
+    let doc = serde_json::parse_value(text).map_err(|e| e.to_string())?;
+    let top = doc.as_object().ok_or("top level is not an object")?;
+    let mut out = format!(
+        "{} retained traces ({} offered)\n",
+        int(top, "retained")?,
+        int(top, "offers")?
+    );
+    for entry in get(top, "traces")?
+        .as_array()
+        .ok_or("`traces` is not an array")?
+    {
+        let entry = entry.as_object().ok_or("trace entry is not an object")?;
+        let t = get(entry, "trace")?
+            .as_object()
+            .ok_or("`trace` is not an object")?;
+        out.push_str(&format!(
+            "trace {}: e2e {:.3}ms{}{}\n",
+            get(t, "trace_id")?.as_str().unwrap_or("?"),
+            int(t, "e2e_ns")? as f64 / 1e6,
+            if matches!(get(t, "error")?, Value::Bool(true)) {
+                " ERROR"
+            } else {
+                ""
+            },
+            if matches!(get(t, "complete")?, Value::Bool(true)) {
+                ""
+            } else {
+                " (incomplete)"
+            },
+        ));
+        let spans = get(t, "spans")?
+            .as_array()
+            .ok_or("`spans` is not an array")?
+            .iter()
+            .map(|s| s.as_object().ok_or("span is not an object"))
+            .collect::<Result<Vec<_>, &str>>()?;
+        walk(&spans, 0, 0, &mut out)?;
+    }
+    Ok(out)
 }
 
 #[derive(Serialize)]
@@ -325,8 +551,12 @@ fn main() {
             serve_forever(&addr);
         }
         "bench" => bench(),
+        "admin-smoke" => admin_smoke(),
+        "trace-dump" => trace_dump(std::env::args().nth(2)),
         other => {
-            eprintln!("unknown subcommand '{other}' (expected smoke | serve | bench)");
+            eprintln!(
+                "unknown subcommand '{other}' (expected smoke | serve | bench | admin-smoke | trace-dump)"
+            );
             std::process::exit(2);
         }
     }

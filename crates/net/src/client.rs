@@ -74,7 +74,10 @@ impl NetClient {
         })
     }
 
-    /// Send one field for inference and block for the answer.
+    /// Send one field for inference and block for the answer. Mints a
+    /// fresh trace id so the request is traceable end to end; use
+    /// [`NetClient::request`] to pick the id (or send 0 and let the
+    /// server mint).
     pub fn infer(
         &mut self,
         field: Tensor<f32>,
@@ -89,6 +92,7 @@ impl NetClient {
             tenant,
             priority,
             deadline_ms,
+            trace_id: adarnet_obs::TraceCtx::mint().trace_id,
             field,
         })
     }

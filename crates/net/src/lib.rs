@@ -22,14 +22,19 @@
 //! * **client** ([`client`]): a blocking request/response client;
 //! * **load generation** ([`loadgen`]): a closed-loop TCP driver with
 //!   per-lane latency percentiles (the `net-serve` bin's bench mode
-//!   writes them into `BENCH_serve.json`).
+//!   writes them into `BENCH_serve.json`);
+//! * **admin endpoint** ([`admin`]): a second, read-only listener
+//!   serving `/metrics` (exposition text), `/traces` (tail-sampled
+//!   span trees as JSON), and `/health` over the same framing.
 
+pub mod admin;
 pub mod client;
 pub mod frame;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
 
+pub use admin::{AdminClient, AdminServer, ADMIN_NOT_FOUND, ADMIN_OK};
 pub use client::NetClient;
 pub use frame::{crc32, read_frame, write_frame, FrameError, MAX_FRAME};
 pub use loadgen::{run_tcp_closed_loop, ClientSpec, LaneReport, TcpLoadReport};

@@ -12,7 +12,7 @@
 use std::net::SocketAddr;
 use std::time::Instant;
 
-use adarnet_serve::{Priority, NUM_LANES};
+use adarnet_serve::{Priority, RejectBreakdown, RejectReason, NUM_LANES};
 use adarnet_tensor::Tensor;
 use serde::Serialize;
 
@@ -49,6 +49,8 @@ pub struct LaneReport {
     pub degraded: u64,
     /// Protocol-error responses.
     pub errors: u64,
+    /// Per-reason breakdown of the degraded responses on this lane.
+    pub rejects: RejectBreakdown,
     /// Client-observed latency percentiles, milliseconds.
     pub p50_ms: f64,
     /// See `p50_ms`.
@@ -66,6 +68,9 @@ pub struct TcpLoadReport {
     pub elapsed_s: f64,
     /// Aggregate throughput, requests per second.
     pub throughput_rps: f64,
+    /// Trace id (hex) of the slowest request any client observed, for
+    /// lookup under `/traces` on the admin endpoint (`"0"` if none).
+    pub slowest_trace: String,
     /// Per-lane breakdown (lanes with zero requests are omitted).
     pub lanes: Vec<LaneReport>,
 }
@@ -85,6 +90,17 @@ struct LaneAccum {
     full: u64,
     degraded: u64,
     errors: u64,
+    rejects: RejectBreakdown,
+}
+
+/// One request's client-side record.
+#[derive(Clone, Copy)]
+struct Sample {
+    lane: usize,
+    ns: u64,
+    status: Status,
+    reject: Option<RejectReason>,
+    trace_id: u64,
 }
 
 /// Run every spec's connections concurrently against `addr`, blocking
@@ -92,8 +108,7 @@ struct LaneAccum {
 /// (connect refused), which is what a load-test harness wants.
 pub fn run_tcp_closed_loop(addr: SocketAddr, specs: &[ClientSpec]) -> TcpLoadReport {
     let started = Instant::now();
-    // (lane, latency_ns, status) per request, gathered per thread.
-    let mut per_thread: Vec<Vec<(usize, u64, Status)>> = Vec::new();
+    let mut per_thread: Vec<Vec<Sample>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for spec in specs {
@@ -114,11 +129,13 @@ pub fn run_tcp_closed_loop(addr: SocketAddr, specs: &[ClientSpec]) -> TcpLoadRep
                         let field = spec.fields[(conn + r) % spec.fields.len()].clone();
                         let sent = Instant::now();
                         match client.infer(field, spec.priority, spec.tenant, spec.deadline_ms) {
-                            Ok(resp) => samples.push((
-                                spec.priority.index(),
-                                sent.elapsed().as_nanos() as u64,
-                                resp.status,
-                            )),
+                            Ok(resp) => samples.push(Sample {
+                                lane: spec.priority.index(),
+                                ns: sent.elapsed().as_nanos() as u64,
+                                status: resp.status,
+                                reject: resp.reject,
+                                trace_id: resp.trace_id,
+                            }),
                             Err(_) => {
                                 adarnet_obs::counter!("net_loadgen_request_errors_total").inc();
                                 return samples;
@@ -143,18 +160,31 @@ pub fn run_tcp_closed_loop(addr: SocketAddr, specs: &[ClientSpec]) -> TcpLoadRep
             full: 0,
             degraded: 0,
             errors: 0,
+            rejects: RejectBreakdown::default(),
         })
         .collect();
     let mut total = 0usize;
+    let mut slowest: Option<(u64, u64)> = None; // (latency_ns, trace_id)
     for samples in &per_thread {
-        for &(lane, ns, status) in samples {
+        for &s in samples {
             total += 1;
-            let a = &mut accums[lane];
-            a.latencies_ns.push(ns);
-            match status {
+            let a = &mut accums[s.lane];
+            a.latencies_ns.push(s.ns);
+            match s.status {
                 Status::Full => a.full += 1,
                 Status::Degraded => a.degraded += 1,
                 Status::Error => a.errors += 1,
+            }
+            match s.reject {
+                Some(RejectReason::QueueFull) => a.rejects.queue_full += 1,
+                Some(RejectReason::QuotaExceeded) => a.rejects.quota_exceeded += 1,
+                Some(RejectReason::DeadlineExceeded) => a.rejects.deadline_exceeded += 1,
+                Some(RejectReason::Shutdown) => a.rejects.shutdown += 1,
+                Some(RejectReason::InferenceError) => a.rejects.inference_error += 1,
+                None => {}
+            }
+            if s.trace_id != 0 && slowest.is_none_or(|(ns, _)| s.ns > ns) {
+                slowest = Some((s.ns, s.trace_id));
             }
         }
     }
@@ -171,6 +201,7 @@ pub fn run_tcp_closed_loop(addr: SocketAddr, specs: &[ClientSpec]) -> TcpLoadRep
                 full: a.full,
                 degraded: a.degraded,
                 errors: a.errors,
+                rejects: a.rejects,
                 p50_ms: percentile_ms(&a.latencies_ns, 50.0),
                 p95_ms: percentile_ms(&a.latencies_ns, 95.0),
                 p99_ms: percentile_ms(&a.latencies_ns, 99.0),
@@ -182,6 +213,7 @@ pub fn run_tcp_closed_loop(addr: SocketAddr, specs: &[ClientSpec]) -> TcpLoadRep
     TcpLoadReport {
         elapsed_s: elapsed.as_secs_f64(),
         throughput_rps: total as f64 / elapsed.as_secs_f64().max(1e-9),
+        slowest_trace: slowest.map_or_else(|| String::from("0"), |(_, t)| format!("{t:016x}")),
         lanes,
     }
 }

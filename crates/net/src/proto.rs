@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! [u8;4]  magic  "ADRN"
-//! u8      protocol version (1)
+//! u8      protocol version (2; version-1 bodies still decode)
 //! u8      body kind        (1 = request, 2 = response)
 //! u16 LE  reserved         (0)
 //! u64 LE  request id       (echoed verbatim in the response)
@@ -18,6 +18,8 @@
 //! u8      priority class   (0 interactive, 1 standard, 2 bulk)
 //! [u8;3]  reserved
 //! u32 LE  deadline budget, ms  (0 = no deadline)
+//! u64 LE  trace id         (version >= 2 only; 0 = none — the server
+//!                           mints one so the request is traceable)
 //! u16 LE  c, h, w          (field extents; c·h·w f32 values follow)
 //! u16 LE  reserved
 //! f32 LE × c·h·w           (row-major (C, H, W) field data)
@@ -36,6 +38,8 @@
 //! u8      reserved
 //! u64 LE  model generation (0 for degraded/error responses)
 //! u64 LE  server-side latency, ns
+//! u64 LE  trace id         (version >= 2 only; the id the request was
+//!                           traced under — client-sent or server-minted)
 //! u16 LE  npy, npx         (patch grid; zero for error responses)
 //! u8  × npy·npx            (per-patch refinement bin)
 //! f32 LE × npy·npx         (per-patch scorer output)
@@ -50,8 +54,10 @@ use adarnet_tensor::{Shape, Tensor};
 
 /// Protocol magic, first bytes of every body.
 pub const MAGIC: [u8; 4] = *b"ADRN";
-/// Current protocol version.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Current protocol version (adds the trace-id field).
+pub const PROTOCOL_VERSION: u8 = 2;
+/// Oldest version the decoder still accepts (pre-trace-id bodies).
+pub const PROTOCOL_VERSION_MIN: u8 = 1;
 /// Body kind: request.
 pub const KIND_REQUEST: u8 = 1;
 /// Body kind: response.
@@ -130,6 +136,9 @@ pub struct Request {
     pub priority: Priority,
     /// Latency budget in milliseconds from server receipt; 0 = none.
     pub deadline_ms: u32,
+    /// Client-chosen trace id; 0 = untraced (the server mints one so
+    /// every request lands in the tail sampler regardless).
+    pub trace_id: u64,
     /// The raw `(C, H, W)` LR field.
     pub field: Tensor<f32>,
 }
@@ -152,6 +161,9 @@ pub struct Response {
     pub generation: u64,
     /// Server-side latency, nanoseconds.
     pub latency_ns: u64,
+    /// Trace id the request was served under (0 only for version-1
+    /// clients' error paths that never reached admission).
+    pub trace_id: u64,
     /// Patch grid extents (0 × 0 for error responses).
     pub npy: u16,
     /// See `npy`.
@@ -267,13 +279,13 @@ fn put_header(out: &mut Vec<u8>, kind: u8, request_id: u64) {
     out.extend_from_slice(&request_id.to_le_bytes());
 }
 
-fn read_header(c: &mut Cursor<'_>, expected_kind: u8) -> Result<u64, DecodeError> {
+fn read_header(c: &mut Cursor<'_>, expected_kind: u8) -> Result<(u8, u64), DecodeError> {
     let magic = c.take(4)?;
     if magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
     let version = c.u8()?;
-    if version != PROTOCOL_VERSION {
+    if !(PROTOCOL_VERSION_MIN..=PROTOCOL_VERSION).contains(&version) {
         return Err(DecodeError::BadVersion(version));
     }
     let kind = c.u8()?;
@@ -281,19 +293,20 @@ fn read_header(c: &mut Cursor<'_>, expected_kind: u8) -> Result<u64, DecodeError
         return Err(DecodeError::BadKind(kind));
     }
     let _reserved = c.u16()?;
-    c.u64()
+    Ok((version, c.u64()?))
 }
 
 /// Encode a request into a frame body.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let (ch, h, w) = field_dims(&req.field);
     let data = req.field.as_slice();
-    let mut out = Vec::with_capacity(16 + 24 + data.len() * 4);
+    let mut out = Vec::with_capacity(16 + 32 + data.len() * 4);
     put_header(&mut out, KIND_REQUEST, req.request_id);
     out.extend_from_slice(&req.tenant.to_le_bytes());
     out.push(req.priority.index() as u8);
     out.extend_from_slice(&[0u8; 3]);
     out.extend_from_slice(&req.deadline_ms.to_le_bytes());
+    out.extend_from_slice(&req.trace_id.to_le_bytes());
     out.extend_from_slice(&(ch as u16).to_le_bytes());
     out.extend_from_slice(&(h as u16).to_le_bytes());
     out.extend_from_slice(&(w as u16).to_le_bytes());
@@ -307,12 +320,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 /// Decode a request body.
 pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
     let mut c = Cursor::new(body);
-    let request_id = read_header(&mut c, KIND_REQUEST)?;
+    let (version, request_id) = read_header(&mut c, KIND_REQUEST)?;
     let tenant = c.u64()?;
     let pr = c.u8()?;
     let priority = Priority::from_index(pr as usize).ok_or(DecodeError::BadPriority(pr))?;
     let _reserved = c.take(3)?;
     let deadline_ms = c.u32()?;
+    let trace_id = if version >= 2 { c.u64()? } else { 0 };
     let ch = c.u16()? as usize;
     let h = c.u16()? as usize;
     let w = c.u16()? as usize;
@@ -331,6 +345,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
         tenant,
         priority,
         deadline_ms,
+        trace_id,
         field: Tensor::from_vec(Shape::d3(ch, h, w), data),
     })
 }
@@ -338,9 +353,9 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
 /// Encode a response into a frame body.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let cells = resp.bins.len().min(resp.scores.len());
-    // 16B header + 24B fixed fields + 5B per cell (u8 bin + f32 score);
+    // 16B header + 32B fixed fields + 5B per cell (u8 bin + f32 score);
     // saturating because this is only a capacity hint.
-    let mut out = Vec::with_capacity(40usize.saturating_add(cells.saturating_mul(5)));
+    let mut out = Vec::with_capacity(48usize.saturating_add(cells.saturating_mul(5)));
     put_header(&mut out, KIND_RESPONSE, resp.request_id);
     out.push(resp.status.to_u8());
     out.push(if resp.reject_code != 0 {
@@ -352,6 +367,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     out.push(0);
     out.extend_from_slice(&resp.generation.to_le_bytes());
     out.extend_from_slice(&resp.latency_ns.to_le_bytes());
+    out.extend_from_slice(&resp.trace_id.to_le_bytes());
     out.extend_from_slice(&resp.npy.to_le_bytes());
     out.extend_from_slice(&resp.npx.to_le_bytes());
     out.extend_from_slice(&resp.bins);
@@ -364,7 +380,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 /// Decode a response body.
 pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
     let mut c = Cursor::new(body);
-    let request_id = read_header(&mut c, KIND_RESPONSE)?;
+    let (version, request_id) = read_header(&mut c, KIND_RESPONSE)?;
     let st = c.u8()?;
     let status = Status::from_u8(st).ok_or(DecodeError::BadStatus(st))?;
     let reject_code = c.u8()?;
@@ -374,6 +390,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
     let _reserved = c.u8()?;
     let generation = c.u64()?;
     let latency_ns = c.u64()?;
+    let trace_id = if version >= 2 { c.u64()? } else { 0 };
     let npy = c.u16()?;
     let npx = c.u16()?;
     let cells = (npy as usize)
@@ -390,6 +407,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
         priority,
         generation,
         latency_ns,
+        trace_id,
         npy,
         npx,
         bins,
@@ -418,6 +436,7 @@ mod tests {
             tenant: 42,
             priority: Priority::Interactive,
             deadline_ms: 250,
+            trace_id: 0x0123_4567_89AB_CDEF,
             field: Tensor::from_vec(
                 Shape::d3(2, 3, 4),
                 (0..24).map(|i| i as f32 * 0.5 - 3.0).collect(),
@@ -434,6 +453,7 @@ mod tests {
         assert_eq!(back.tenant, req.tenant);
         assert_eq!(back.priority, req.priority);
         assert_eq!(back.deadline_ms, req.deadline_ms);
+        assert_eq!(back.trace_id, req.trace_id);
         assert_eq!(back.field.shape(), req.field.shape());
         assert_eq!(back.field.as_slice(), req.field.as_slice());
     }
@@ -448,6 +468,7 @@ mod tests {
             priority: Priority::Bulk,
             generation: 3,
             latency_ns: 1_234_567,
+            trace_id: 0xFEED_F00D,
             npy: 2,
             npx: 3,
             bins: vec![0, 1, 2, 3, 0, 1],
@@ -461,6 +482,7 @@ mod tests {
         assert_eq!(back.priority, Priority::Bulk);
         assert_eq!(back.generation, 3);
         assert_eq!(back.latency_ns, 1_234_567);
+        assert_eq!(back.trace_id, 0xFEED_F00D);
         assert_eq!((back.npy, back.npx), (2, 3));
         assert_eq!(back.bins, resp.bins);
         assert_eq!(back.scores, resp.scores);
@@ -501,13 +523,60 @@ mod tests {
         assert_eq!(decode_request(&padded).unwrap_err(), DecodeError::Truncated);
     }
 
+    /// Re-encode a version-2 body as its version-1 layout: flip the
+    /// version byte and splice out the 8-byte trace-id field at
+    /// `trace_at`. This is byte-for-byte what a v1 peer sends.
+    fn downgrade(body: &[u8], trace_at: usize) -> Vec<u8> {
+        let mut v1 = body.to_vec();
+        v1[4] = 1;
+        v1.drain(trace_at..trace_at + 8);
+        v1
+    }
+
+    #[test]
+    fn version1_request_still_decodes() {
+        let req = sample_request();
+        let v1 = downgrade(&encode_request(&req), 16 + 8 + 1 + 3 + 4);
+        let back = decode_request(&v1).expect("v1 request must decode");
+        assert_eq!(back.request_id, req.request_id);
+        assert_eq!(back.tenant, req.tenant);
+        assert_eq!(back.priority, req.priority);
+        assert_eq!(back.deadline_ms, req.deadline_ms);
+        assert_eq!(back.trace_id, 0, "v1 has no trace id; decodes as none");
+        assert_eq!(back.field.as_slice(), req.field.as_slice());
+    }
+
+    #[test]
+    fn version1_response_still_decodes() {
+        let resp = Response {
+            request_id: 9,
+            status: Status::Full,
+            reject: None,
+            reject_code: 0,
+            priority: Priority::Standard,
+            generation: 5,
+            latency_ns: 42,
+            trace_id: 0xAB,
+            npy: 1,
+            npx: 2,
+            bins: vec![1, 0],
+            scores: vec![0.5, -0.5],
+        };
+        let v1 = downgrade(&encode_response(&resp), 16 + 4 + 8 + 8);
+        let back = decode_response(&v1).expect("v1 response must decode");
+        assert_eq!(back.request_id, 9);
+        assert_eq!(back.latency_ns, 42);
+        assert_eq!(back.trace_id, 0);
+        assert_eq!(back.bins, resp.bins);
+    }
+
     #[test]
     fn zero_dims_rejected() {
         let req = sample_request();
         let mut body = encode_request(&req);
         // c extent lives right after the 16B header + 8B tenant + 1B
-        // priority + 3B reserved + 4B deadline.
-        let dims_at = 16 + 8 + 1 + 3 + 4;
+        // priority + 3B reserved + 4B deadline + 8B trace id.
+        let dims_at = 16 + 8 + 1 + 3 + 4 + 8;
         body[dims_at] = 0;
         body[dims_at + 1] = 0;
         assert_eq!(decode_request(&body).unwrap_err(), DecodeError::ZeroDim);

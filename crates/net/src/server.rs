@@ -12,6 +12,11 @@
 //! * **decode errors** (bad version, zero dims, truncated body) answer
 //!   with a `status = error` / `bad_request` response and keep the
 //!   connection — the framing layer proved the bytes arrived intact;
+//! * **out-of-contract fields** (wrong channel count, extents the
+//!   patch grid cannot tile) get the same typed `bad_request` and are
+//!   never submitted — the serve stack asserts its geometry, so a
+//!   hostile shape reaching a worker would panic it and wedge the
+//!   data plane;
 //! * **valid requests** run the full admission state machine via
 //!   [`adarnet_serve::Server::submit_with`]: deadline check, tenant
 //!   token bucket, lane push — and the response carries the typed
@@ -29,12 +34,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use adarnet_obs::TraceCtx;
 use adarnet_serve::{ServeResponse, Server, SubmitOptions};
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::proto::{
-    decode_request, encode_response, DecodeError, Response, Status, REJECT_BAD_REQUEST,
-};
+use crate::proto::{decode_request, encode_response, Response, Status, REJECT_BAD_REQUEST};
 
 /// How often an idle connection handler wakes to check the shutdown
 /// flag.
@@ -192,23 +196,36 @@ fn connection_loop(stream: TcpStream, shared: Arc<NetShared>) {
         adarnet_obs::counter!("net_frames_rx_total").inc();
         let started = Instant::now();
         let response = match decode_request(&body) {
+            // Decoded but outside the model's input contract (wrong
+            // channel count, or extents the patch grid cannot tile):
+            // typed bad-request, never submitted — the serve stack
+            // asserts its geometry and must not see hostile shapes.
+            Ok(req) if !shared.serve.field_matches_model(&req.field) => {
+                adarnet_obs::counter!("net_bad_requests_total").inc();
+                bad_request_response(req.request_id)
+            }
             Ok(req) => {
                 let deadline = if req.deadline_ms == 0 {
                     None
                 } else {
                     Some(started + Duration::from_millis(u64::from(req.deadline_ms)))
                 };
+                // Client-sent trace id, or a locally minted one for v1
+                // (and trace-less v2) peers — every request is
+                // traceable either way.
+                let ctx = TraceCtx::from_wire(req.trace_id).unwrap_or_else(TraceCtx::mint);
                 let opts = SubmitOptions {
                     priority: req.priority,
                     tenant: req.tenant,
                     deadline,
+                    trace: Some(ctx),
                 };
                 let served = shared.serve.submit_wait_with(req.field, opts);
                 response_from_serve(req.request_id, &served)
             }
-            Err(e) => {
+            Err(_) => {
                 adarnet_obs::counter!("net_bad_requests_total").inc();
-                bad_request_response(request_id_hint(&body), e)
+                bad_request_response(request_id_hint(&body))
             }
         };
         adarnet_obs::histogram!("net_request_ns").record(started.elapsed().as_nanos() as u64);
@@ -230,7 +247,7 @@ fn request_id_hint(body: &[u8]) -> u64 {
     }
 }
 
-fn bad_request_response(request_id: u64, _err: DecodeError) -> Response {
+fn bad_request_response(request_id: u64) -> Response {
     Response {
         request_id,
         status: Status::Error,
@@ -239,6 +256,7 @@ fn bad_request_response(request_id: u64, _err: DecodeError) -> Response {
         priority: adarnet_serve::Priority::Standard,
         generation: 0,
         latency_ns: 0,
+        trace_id: 0,
         npy: 0,
         npx: 0,
         bins: Vec::new(),
@@ -269,6 +287,7 @@ fn response_from_serve(request_id: u64, served: &ServeResponse) -> Response {
         priority: served.priority,
         generation: served.generation,
         latency_ns: served.latency.as_nanos() as u64,
+        trace_id: served.trace_id,
         npy: npy as u16,
         npx: npx as u16,
         bins,

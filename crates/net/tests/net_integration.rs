@@ -11,6 +11,7 @@ use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNet, AdarNetConfig};
 use adarnet_net::{NetClient, NetServer, Status, REJECT_BAD_REQUEST};
 use adarnet_serve::{field_pool, ModelRegistry, Priority, RejectReason, ServeConfig, Server};
+use adarnet_tensor::{Shape, Tensor};
 
 const PATCH: usize = 8;
 
@@ -92,6 +93,38 @@ fn malformed_body_gets_typed_error_and_connection_survives() {
     assert_eq!(resp.status, Status::Full, "connection survived bad request");
 
     finish(net, serve);
+}
+
+#[test]
+fn out_of_contract_field_is_rejected_without_killing_workers() {
+    // A field that decodes fine but violates the model's input contract
+    // (wrong channel count, or extents the patch grid cannot tile) must
+    // be answered as a typed bad-request at the net boundary — the
+    // serve stack asserts its geometry, so letting such a field through
+    // would panic a worker and wedge the data plane.
+    let (net, serve) = start_stack(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = NetClient::connect(net.local_addr()).unwrap();
+
+    let wrong_channels = Tensor::from_vec(Shape::d3(1, 16, 32), vec![0.0; 16 * 32]);
+    let untileable = Tensor::from_vec(Shape::d3(4, 12, 32), vec![0.0; 4 * 12 * 32]);
+    for (label, field) in [("channels", wrong_channels), ("tiling", untileable)] {
+        let resp = client.infer(field, Priority::Standard, 1, 0).unwrap();
+        assert_eq!(resp.status, Status::Error, "{label}: typed error");
+        assert_eq!(resp.reject_code, REJECT_BAD_REQUEST, "{label}");
+        assert_eq!((resp.npy, resp.npx), (0, 0), "{label}: no decision grid");
+    }
+
+    // The single worker never saw the bad fields: the same connection
+    // still gets full inference afterwards.
+    let field = field_pool(1, 16, 32, 5).remove(0);
+    let resp = client.infer(field, Priority::Standard, 1, 0).unwrap();
+    assert_eq!(resp.status, Status::Full, "worker survived");
+
+    let stats = finish(net, serve);
+    assert_eq!(stats.completed, 1, "only the in-contract request ran");
 }
 
 #[test]

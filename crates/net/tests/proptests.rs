@@ -48,6 +48,7 @@ proptest! {
         tenant in 0u64..1_000_000,
         pr in 0usize..3,
         deadline_ms in 0u32..600_000,
+        trace_id in 0u64..u64::MAX,
         c in 1usize..=3,
         h in 1usize..=7,
         w in 1usize..=7,
@@ -59,6 +60,7 @@ proptest! {
             tenant,
             priority: Priority::from_index(pr).unwrap(),
             deadline_ms,
+            trace_id,
             field: Tensor::from_vec(Shape::d3(c, h, w), raw[..n].to_vec()),
         };
         let back = decode_request(&encode_request(&req)).unwrap();
@@ -66,8 +68,19 @@ proptest! {
         prop_assert_eq!(back.tenant, req.tenant);
         prop_assert_eq!(back.priority, req.priority);
         prop_assert_eq!(back.deadline_ms, req.deadline_ms);
+        prop_assert_eq!(back.trace_id, req.trace_id);
         prop_assert_eq!(back.field.shape(), req.field.shape());
         prop_assert_eq!(back.field.as_slice(), req.field.as_slice());
+
+        // The same request re-laid-out as a version-1 body (no
+        // trace-id field) still decodes, with the id defaulting to 0.
+        let mut v1 = encode_request(&req);
+        v1[4] = 1;
+        v1.drain(32..40); // 16B header + 8B tenant + 4B pri/pad + 4B deadline
+        let old = decode_request(&v1).unwrap();
+        prop_assert_eq!(old.trace_id, 0);
+        prop_assert_eq!(old.request_id, req.request_id);
+        prop_assert_eq!(old.field.as_slice(), req.field.as_slice());
     }
 
     /// encode → decode is the identity on every well-formed response.
@@ -79,6 +92,7 @@ proptest! {
         pr in 0usize..3,
         generation in 0u64..1_000,
         latency_ns in 0u64..u64::MAX,
+        trace_id in 0u64..u64::MAX,
         npy in 1u16..=5,
         npx in 1u16..=5,
         raw_bins in prop::collection::vec(0u8..=3, 25),
@@ -93,6 +107,7 @@ proptest! {
             priority: Priority::from_index(pr).unwrap(),
             generation,
             latency_ns,
+            trace_id,
             npy,
             npx,
             bins: raw_bins[..cells].to_vec(),
@@ -105,6 +120,7 @@ proptest! {
         prop_assert_eq!(back.priority, resp.priority);
         prop_assert_eq!(back.generation, resp.generation);
         prop_assert_eq!(back.latency_ns, resp.latency_ns);
+        prop_assert_eq!(back.trace_id, resp.trace_id);
         prop_assert_eq!((back.npy, back.npx), (resp.npy, resp.npx));
         prop_assert_eq!(back.bins, resp.bins);
         prop_assert_eq!(back.scores, resp.scores);

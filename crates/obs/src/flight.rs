@@ -1,6 +1,6 @@
 //! Bounded ring-buffer flight recorder: the last ~1k interesting events
 //! (span completions, shed decisions, hot swaps, marks) kept in fixed
-//! storage, dumped to stderr + `obs-dump.json` when something goes
+//! storage, dumped to stderr + `target/obs-dump.json` when something goes
 //! wrong (panic, load-shed, hot-swap).
 //!
 //! Recording is a two-phase `reserve()` / `commit()` protocol:
@@ -203,11 +203,13 @@ pub fn mark(name: &'static str, field: &'static str, value: u64) {
 /// Seconds-since-recorder-epoch of the last dump, for rate limiting.
 static LAST_DUMP_S: AtomicU64 = AtomicU64::new(u64::MAX);
 
-/// Where dumps land: `$ADARNET_OBS_DUMP`, default `obs-dump.json`.
+/// Where dumps land: `$ADARNET_OBS_DUMP`, default
+/// `target/obs-dump.json` — under the build directory so a dump fired
+/// from a checkout never dirties the work tree.
 pub fn dump_path() -> PathBuf {
     std::env::var_os("ADARNET_OBS_DUMP")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("obs-dump.json"))
+        .unwrap_or_else(|| PathBuf::from("target/obs-dump.json"))
 }
 
 /// Dump the global ring + metrics snapshot to stderr (one summary
@@ -232,6 +234,9 @@ pub fn dump(reason: &str, force: bool) -> Option<PathBuf> {
     }
     let json = recorder().dump_json(reason);
     let path = dump_path();
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(dir);
+    }
     let _ = std::fs::write(&path, &json);
     let mut err = std::io::stderr().lock();
     let _ = writeln!(

@@ -13,8 +13,13 @@
 //!    RAII guards that time a scope into the `{name}_ns` histogram.
 //! 3. **Flight recorder** ([`flight`]) — a bounded newest-wins ring of
 //!    recent events (span completions, marks, sheds, hot-swaps),
-//!    dumped to stderr + `obs-dump.json` on panic (via the hook
+//!    dumped to stderr + `target/obs-dump.json` on panic (via the hook
 //!    installed by [`init`]), load-shed, and hot-swap.
+//! 4. **Tracing** ([`trace`]) — per-request span trees: a [`TraceCtx`]
+//!    carried by value through the request path, a bounded arena of
+//!    in-flight traces, and a tail sampler retaining the slowest and
+//!    errored traces per window. A `span!` site entered under
+//!    [`trace::scope`] attaches its record to the active trace.
 //!
 //! The whole layer sits behind one global switch ([`set_enabled`]):
 //! disabled, every record path is a single relaxed load and an early
@@ -26,14 +31,17 @@
 
 pub mod flight;
 pub mod metrics;
+pub mod names;
 pub mod span;
 pub mod text;
+pub mod trace;
 
 pub use flight::{dump, dump_path, mark, recorder, Event, EventKind, FlightRecorder};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot,
 };
 pub use span::{SpanGuard, SpanSite};
+pub use trace::{FinishedTrace, SpanRec, TailSampler, TraceArena, TraceCtx};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
@@ -55,7 +63,7 @@ pub fn set_enabled(on: bool) {
 
 /// Install the obs panic hook (idempotent): on panic, the flight
 /// recorder and a metrics snapshot are force-dumped to stderr +
-/// `obs-dump.json` *before* the previous hook (normally the default
+/// `target/obs-dump.json` *before* the previous hook (normally the default
 /// backtrace printer) runs. Call once at process start; servers call
 /// it from `Server::start`.
 pub fn init() {

@@ -193,6 +193,15 @@ pub struct Histogram {
     buckets: Box<[AtomicU64]>,
     sums: [Padded; STRIPES],
     max: AtomicU64,
+    /// Exemplar seqlock: even = stable, odd = a writer owns the pair
+    /// below. Writers claim with one CAS (losers skip — an exemplar is
+    /// advisory), readers retry on a torn read.
+    ex_seq: AtomicU64,
+    /// Value of the exemplar sample (the max-latency traced sample
+    /// since the last [`Histogram::reset_exemplar`]).
+    ex_value: AtomicU64,
+    /// Trace id of that sample, linking `/metrics` to `/traces`.
+    ex_trace: AtomicU64,
 }
 
 impl Histogram {
@@ -202,6 +211,9 @@ impl Histogram {
             buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             sums: Default::default(),
             max: AtomicU64::new(0),
+            ex_seq: AtomicU64::new(0),
+            ex_value: AtomicU64::new(0),
+            ex_trace: AtomicU64::new(0),
         }
     }
 
@@ -220,6 +232,67 @@ impl Histogram {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Release);
         self.sums[stripe()].0.fetch_add(v, Ordering::Release);
         self.max.fetch_max(v, Ordering::AcqRel);
+    }
+
+    /// Record one sample carrying its request's trace id (0 =
+    /// untraced, identical to [`Histogram::record`]). When the sample
+    /// is the slowest this exemplar window, the `(value, trace_id)`
+    /// exemplar pair is updated — one relaxed load on the not-slowest
+    /// path, a short seqlock write when a new max lands.
+    #[inline]
+    pub fn record_traced(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id == 0 || !crate::enabled() || v <= self.ex_value.load(Ordering::Relaxed) {
+            return;
+        }
+        let seq = self.ex_seq.load(Ordering::Relaxed);
+        if !seq.is_multiple_of(2)
+            || self
+                .ex_seq
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            return; // another writer is installing its (larger or racing) sample
+        }
+        if v > self.ex_value.load(Ordering::Relaxed) {
+            self.ex_value.store(v, Ordering::Relaxed);
+            self.ex_trace.store(trace_id, Ordering::Relaxed);
+        }
+        self.ex_seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// The `(value, trace_id)` exemplar pair, if a traced sample has
+    /// landed since the last reset. `None` is also returned on a
+    /// persistently torn read (a writer mid-install).
+    pub fn exemplar(&self) -> Option<(u64, u64)> {
+        for _ in 0..64 {
+            let s1 = self.ex_seq.load(Ordering::Acquire);
+            if !s1.is_multiple_of(2) {
+                continue;
+            }
+            let v = self.ex_value.load(Ordering::Relaxed);
+            let t = self.ex_trace.load(Ordering::Relaxed);
+            if self.ex_seq.load(Ordering::Acquire) == s1 {
+                return (t != 0).then_some((v, t));
+            }
+        }
+        None
+    }
+
+    /// Open a new exemplar window: the next traced sample becomes the
+    /// exemplar regardless of past maxima.
+    pub fn reset_exemplar(&self) {
+        let seq = self.ex_seq.load(Ordering::Relaxed);
+        if seq.is_multiple_of(2)
+            && self
+                .ex_seq
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.ex_value.store(0, Ordering::Relaxed);
+            self.ex_trace.store(0, Ordering::Relaxed);
+            self.ex_seq.store(seq + 2, Ordering::Release);
+        }
     }
 
     /// Samples recorded so far.
@@ -246,6 +319,7 @@ impl Histogram {
             sum: self.sums.iter().map(|s| s.0.load(Ordering::Relaxed)).sum(),
             max: self.max.load(Ordering::Relaxed),
             buckets,
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -264,6 +338,9 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Non-empty buckets, ascending by index.
     pub buckets: Vec<(usize, u64)>,
+    /// `(value, trace_id)` of the max-latency traced sample this
+    /// exemplar window (see [`Histogram::record_traced`]).
+    pub exemplar: Option<(u64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -275,6 +352,7 @@ impl HistogramSnapshot {
             sum: 0,
             max: 0,
             buckets: Vec::new(),
+            exemplar: None,
         }
     }
 
@@ -344,6 +422,13 @@ impl HistogramSnapshot {
             sum: self.sum.saturating_sub(earlier.sum),
             max,
             buckets,
+            // The cumulative exemplar belongs to this window only if
+            // the max moved during it (same reasoning as `max` above).
+            exemplar: if self.max != earlier.max {
+                self.exemplar
+            } else {
+                None
+            },
         }
     }
 }
@@ -412,8 +497,12 @@ impl Snapshot {
             if k > 0 {
                 out.push(',');
             }
+            let exemplar = match h.exemplar {
+                Some((v, t)) => format!(",\"exemplar_value\":{v},\"exemplar_trace\":\"{t:016x}\""),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}{}}}",
                 crate::text::sanitize(&h.name),
                 h.count,
                 h.sum,
@@ -421,6 +510,7 @@ impl Snapshot {
                 json_f64(h.percentile(50.0)),
                 json_f64(h.percentile(95.0)),
                 json_f64(h.percentile(99.0)),
+                exemplar,
             ));
         }
         out.push_str("}}");
@@ -656,6 +746,47 @@ mod tests {
         let empty = after.since(&after);
         assert_eq!(empty.count, 0);
         assert_eq!(empty.max, 0);
+    }
+
+    #[test]
+    fn exemplar_tracks_slowest_traced_sample() {
+        let _g = crate::testutil::shared();
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("ex_ns");
+        h.record_traced(100, 0xAAAA);
+        h.record_traced(50, 0xBBBB); // not slower: exemplar unchanged
+        h.record(500); // untraced: exemplar unchanged
+        assert_eq!(h.exemplar(), Some((100, 0xAAAA)));
+        h.record_traced(700, 0xCCCC);
+        assert_eq!(h.exemplar(), Some((700, 0xCCCC)));
+        assert_eq!(h.snapshot().exemplar, Some((700, 0xCCCC)));
+        h.reset_exemplar();
+        assert_eq!(h.exemplar(), None, "reset opens a fresh window");
+        h.record_traced(1, 0xDDDD);
+        assert_eq!(h.exemplar(), Some((1, 0xDDDD)));
+    }
+
+    #[test]
+    fn exemplar_concurrent_writers_keep_the_max() {
+        let _g = crate::testutil::shared();
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("ex_race_ns");
+        std::thread::scope(|s| {
+            for t in 1..=4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        h.record_traced(t * 2_000 + i, t);
+                    }
+                });
+            }
+        });
+        // A racing loser may skip an update, but the pair can never be
+        // torn and never exceeds the true max.
+        let (v, t) = h.exemplar().expect("exemplar recorded");
+        assert!(v <= 4 * 2_000 + 1_999);
+        assert!((1..=4).contains(&t));
+        assert_eq!(v / 2_000, t, "value always pairs with its writer's id");
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! The registry of observable names: every `span!` site name and every
+//! reject-reason tag in the workspace, in one place.
+//!
+//! Dashboards, the admin endpoint's `/traces` consumers, and the
+//! loadgen reject-breakdown all key on these strings. Scattering them
+//! as ad-hoc literals is how a renamed stage silently orphans a graph,
+//! so `crates/check`'s `span-registry` lint cross-references the source
+//! tree against these tables: a `span!("name")` or
+//! `RejectReason::X => "tag"` that is not listed here fails lint, and
+//! so does a duplicate entry in the tables themselves (enforced by the
+//! tests below).
+
+/// Every `span!` site name (and direct trace-record name) in the
+/// workspace, sorted. A span name is also the prefix of its duration
+/// histogram (`{name}_ns`), so renames are operationally visible —
+/// register them here deliberately.
+pub const SPAN_SITES: &[&str] = &[
+    "engine_infer",
+    "prepack_ns",
+    "serve_batch_assembly",
+    "serve_infer",
+    "serve_queue_wait",
+    "stage_decoder",
+    "stage_ranker",
+    "stage_scorer",
+    "stage_solver",
+];
+
+/// Every `RejectReason` wire tag, sorted. These appear in degraded
+/// responses, per-reason reject counters, and the loadgen breakdown.
+pub const REJECT_REASONS: &[&str] = &[
+    "deadline_exceeded",
+    "inference_error",
+    "queue_full",
+    "quota_exceeded",
+    "shutdown",
+];
+
+/// True if `name` is a registered span site.
+pub fn is_registered_span(name: &str) -> bool {
+    SPAN_SITES.binary_search(&name).is_ok()
+}
+
+/// True if `tag` is a registered reject reason.
+pub fn is_registered_reject(tag: &str) -> bool {
+    REJECT_REASONS.binary_search(&tag).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sorted_unique(table: &[&str], what: &str) {
+        for w in table.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "{what} must be sorted and unique: `{}` then `{}`",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn tables_are_sorted_and_unique() {
+        assert_sorted_unique(SPAN_SITES, "SPAN_SITES");
+        assert_sorted_unique(REJECT_REASONS, "REJECT_REASONS");
+    }
+
+    #[test]
+    fn lookups_use_the_sort_order() {
+        assert!(is_registered_span("stage_decoder"));
+        assert!(!is_registered_span("stage_decoderx"));
+        assert!(is_registered_reject("queue_full"));
+        assert!(!is_registered_reject("rate_limited"));
+    }
+}

@@ -83,6 +83,12 @@ impl Drop for SpanGuard {
         let ns = start.elapsed().as_nanos() as u64;
         self.site.histogram().record(ns);
         flight::recorder().record(EventKind::Span, self.site.name, self.field, self.value, ns);
+        // Attach to the active trace, if one is scoped to this thread
+        // — for untraced work this is the single `None` branch the
+        // overhead budget allows.
+        if let Some(ctx) = crate::trace::active() {
+            crate::trace::arena().record(ctx, self.site.name, ns, self.field, self.value);
+        }
     }
 }
 

@@ -4,9 +4,14 @@
 //!
 //! The format is the classic text exposition: `# TYPE` comments, one
 //! sample per line, histograms as cumulative `_bucket{le="..."}` series
-//! plus `_sum` / `_count`. One nonstandard extension: a `_max` line per
-//! histogram, because the recorded max is exact while bucket bounds are
-//! quantized.
+//! plus `_sum` / `_count`. Two nonstandard extensions: a `_max` line
+//! per histogram, because the recorded max is exact while bucket
+//! bounds are quantized, and an `_exemplar_value` / `_exemplar_trace`
+//! pair when the histogram carries a trace exemplar (the trace id of
+//! the slowest traced sample — the jump from "p99 regressed" to one
+//! concrete trace in `/traces`). The exemplar trace id is rendered as
+//! a 16-hex-digit string — the same spelling `/traces` and the
+//! loadgen's `slowest_trace` use — while every other value is decimal.
 
 use crate::metrics::{bucket_bounds, bucket_index, HistogramSnapshot, Snapshot, NUM_BUCKETS};
 
@@ -53,6 +58,13 @@ pub fn render(snap: &Snapshot) -> String {
         out.push_str(&format!("{name}_sum {}\n", h.sum));
         out.push_str(&format!("{name}_count {}\n", h.count));
         out.push_str(&format!("{name}_max {}\n", h.max));
+        if let Some((v, trace)) = h.exemplar {
+            out.push_str(&format!("{name}_exemplar_value {v}\n"));
+            // The trace id renders as the same 16-hex-digit string the
+            // `/traces` endpoint and the loadgen reports use, so one id
+            // greps across all three surfaces.
+            out.push_str(&format!("{name}_exemplar_trace {trace:016x}\n"));
+        }
     }
     out
 }
@@ -76,7 +88,15 @@ pub fn parse(text: &str) -> Result<Snapshot, String> {
             .find(|(n, _)| {
                 name == n
                     || (name.starts_with(n.as_str())
-                        && matches!(&name[n.len()..], "_bucket" | "_sum" | "_count" | "_max"))
+                        && matches!(
+                            &name[n.len()..],
+                            "_bucket"
+                                | "_sum"
+                                | "_count"
+                                | "_max"
+                                | "_exemplar_value"
+                                | "_exemplar_trace"
+                        ))
             })
             .map(|(n, k)| (n.clone(), k.clone()))
     };
@@ -120,13 +140,26 @@ pub fn parse(text: &str) -> Result<Snapshot, String> {
                 snap.gauges.push((base, v));
             }
             "histogram" => {
-                let v: u64 = val.parse().map_err(|e| format!("line {}: {e}", ln + 1))?;
+                let suffix = &key[base.len()..];
+                let v: u64 = if suffix == "_exemplar_trace" {
+                    u64::from_str_radix(val, 16).map_err(|e| format!("line {}: {e}", ln + 1))?
+                } else {
+                    val.parse().map_err(|e| format!("line {}: {e}", ln + 1))?
+                };
                 let i = hist_mut(&mut snap, &base);
                 let h = &mut snap.histograms[i];
-                match &key[base.len()..] {
+                match suffix {
                     "_sum" => h.sum = v,
                     "_count" => h.count = v,
                     "_max" => h.max = v,
+                    "_exemplar_value" => {
+                        let t = h.exemplar.map_or(0, |(_, t)| t);
+                        h.exemplar = Some((v, t));
+                    }
+                    "_exemplar_trace" => {
+                        let ev = h.exemplar.map_or(0, |(ev, _)| ev);
+                        h.exemplar = Some((ev, v));
+                    }
                     suffix if suffix.starts_with("_bucket{le=\"") => {
                         let le = suffix
                             .trim_start_matches("_bucket{le=\"")
@@ -192,6 +225,25 @@ mod tests {
         let text = render(&snap);
         let back = parse(&text).expect("parse rendered text");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn round_trip_carries_exemplars() {
+        let _g = crate::testutil::shared();
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("traced_ns");
+        h.record_traced(1_000, 0xdead);
+        h.record_traced(9_000, 0xbeef);
+        let snap = reg.snapshot();
+        let text = render(&snap);
+        assert!(text.contains("traced_ns_exemplar_value 9000"));
+        assert!(text.contains("traced_ns_exemplar_trace 000000000000beef"));
+        let back = parse(&text).expect("parse");
+        assert_eq!(back, snap);
+        assert_eq!(
+            back.histogram("traced_ns").unwrap().exemplar,
+            Some((9_000, 0xbeef))
+        );
     }
 
     #[test]

@@ -14,11 +14,14 @@
 //! answers instead of queueing, mirroring how an AMR code under memory
 //! pressure falls back to the unrefined mesh.
 
+use std::time::Instant;
+
 use adarnet_amr::PatchLayout;
 use adarnet_core::engine::{EngineError, InferenceEngine};
 use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNetConfig, ForwardPlan, Prediction};
 use adarnet_core::ranker::Binning;
+use adarnet_obs::trace::TraceCtx;
 use adarnet_tensor::{Shape, Tensor};
 
 use crate::cache::{PatchCache, PatchKey};
@@ -29,10 +32,16 @@ use crate::cache::{PatchCache, PatchKey};
 /// model can never serve a hit for the new one. The whole pass is
 /// `&engine` — the frozen weight plane is shared, so any number of
 /// workers run this concurrently against one engine.
+///
+/// `traces` runs parallel to `fields` (`&[]` = nothing traced): a
+/// bin's shared decoder forward is recorded as a `stage_decoder` span
+/// under every traced request contributing patches to that bin — the
+/// per-bin decode attribution the admin endpoint's span trees show.
 pub fn infer_cached(
     engine: &InferenceEngine,
     generation: u64,
     fields: &[Tensor<f32>],
+    traces: &[Option<TraceCtx>],
     cache: &PatchCache,
 ) -> Result<Vec<Prediction>, EngineError> {
     if fields.is_empty() {
@@ -77,11 +86,31 @@ pub fn infer_cached(
         for dec_in in inputs {
             dec_in.recycle();
         }
+        let decode_start = Instant::now();
         let out = {
             let _span = adarnet_obs::span!("stage_decoder", bin = bin);
             frozen.decoder().forward(&batch)
         };
         batch.recycle();
+        // Attribute the shared decode to each traced request whose
+        // patches rode this bin's decoder batch.
+        let decode_ns = decode_start.elapsed().as_nanos() as u64;
+        let mut seen = usize::MAX;
+        for &(si, _, _) in &owners {
+            if si == seen {
+                continue;
+            }
+            seen = si;
+            if let Some(ctx) = traces.get(si).copied().flatten() {
+                adarnet_obs::trace::arena().record(
+                    ctx,
+                    "stage_decoder",
+                    decode_ns,
+                    "bin",
+                    bin as u64,
+                );
+            }
+        }
         for (k, (si, pi, key)) in owners.into_iter().enumerate() {
             let image = out.pooled_image(k);
             // The cache owns an independent copy; the pooled image
@@ -182,10 +211,10 @@ mod tests {
         let fields = vec![sample(16, 32, 0.0), sample(16, 32, 1.1)];
         let cache = PatchCache::new(512);
         let disabled = PatchCache::new(0);
-        let warm = infer_cached(&engine, 1, &fields, &cache).unwrap();
+        let warm = infer_cached(&engine, 1, &fields, &[], &cache).unwrap();
         // Second pass: now everything hits the cache.
-        let hot = infer_cached(&engine, 1, &fields, &cache).unwrap();
-        let cold = infer_cached(&engine, 1, &fields, &disabled).unwrap();
+        let hot = infer_cached(&engine, 1, &fields, &[], &cache).unwrap();
+        let cold = infer_cached(&engine, 1, &fields, &[], &disabled).unwrap();
         assert!(cache.hits() > 0, "second pass must hit");
         for (a, b) in warm.iter().zip(&hot) {
             assert_eq!(a.binning.bin_of_patch, b.binning.bin_of_patch);
@@ -205,9 +234,9 @@ mod tests {
         let engine = tiny_engine(4);
         let fields = vec![sample(16, 16, 0.5)];
         let cache = PatchCache::new(512);
-        infer_cached(&engine, 1, &fields, &cache).unwrap();
+        infer_cached(&engine, 1, &fields, &[], &cache).unwrap();
         let hits_before = cache.hits();
-        infer_cached(&engine, 2, &fields, &cache).unwrap();
+        infer_cached(&engine, 2, &fields, &[], &cache).unwrap();
         assert_eq!(cache.hits(), hits_before, "new generation must not hit");
     }
 

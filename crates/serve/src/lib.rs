@@ -46,7 +46,10 @@ pub use batch::{degraded_prediction, infer_cached};
 pub use cache::{PatchCache, PatchKey};
 pub use config::ServeConfig;
 pub use lanes::{select_lane_spec, LaneQueue, Priority, NUM_LANES};
-pub use loadgen::{field_pool, run_closed_loop, LatencyWindow, LoadReport, Observation};
+pub use loadgen::{
+    field_pool, run_closed_loop, slowest_trace_hex, LatencyWindow, LoadReport, Observation,
+    RejectBreakdown,
+};
 pub use queue::{BoundedQueue, PushOutcome};
 pub use quota::{QuotaConfig, QuotaTable, TokenBucket};
 pub use registry::{ActiveModel, ModelRegistry, RegistryError};

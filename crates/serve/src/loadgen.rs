@@ -77,11 +77,17 @@ pub struct Observation {
     pub latency: Duration,
     /// What kind of response came back.
     pub kind: ResponseKind,
+    /// Trace id the request ran under (0 when untraced).
+    pub trace_id: u64,
 }
 
 /// Drive `clients` closed-loop threads, each issuing
-/// `requests_per_client` requests round-robin over `fields`. Returns
-/// every observation plus the wall-clock span of the whole run.
+/// `requests_per_client` requests round-robin over `fields`. Every
+/// request is traced (a fresh [`TraceCtx`] per submission), so the
+/// report can name the slowest request's trace. Returns every
+/// observation plus the wall-clock span of the whole run.
+///
+/// [`TraceCtx`]: adarnet_obs::TraceCtx
 pub fn run_closed_loop(
     server: &Server,
     fields: &[Tensor<f32>],
@@ -100,11 +106,16 @@ pub fn run_closed_loop(
                     let mut observations = Vec::with_capacity(requests_per_client);
                     for _ in 0..requests_per_client {
                         let idx = next.fetch_add(1, Ordering::Relaxed) as usize % fields.len();
+                        let opts = crate::server::SubmitOptions {
+                            trace: Some(adarnet_obs::TraceCtx::mint()),
+                            ..crate::server::SubmitOptions::default()
+                        };
                         let t0 = Instant::now();
-                        let response = server.submit_wait(fields[idx].clone());
+                        let response = server.submit_wait_with(fields[idx].clone(), opts);
                         observations.push(Observation {
                             latency: t0.elapsed(),
                             kind: response.kind,
+                            trace_id: response.trace_id,
                         });
                     }
                     observations
@@ -125,6 +136,65 @@ fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
     }
     let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted[idx.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Per-reason counts of the degraded responses a run's clients saw,
+/// keyed by the typed [`RejectReason`]. Explicit fields (not a map) so
+/// the `BENCH_serve.json` schema is stable and diffable.
+///
+/// [`RejectReason`]: crate::server::RejectReason
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RejectBreakdown {
+    /// Shed at admission: the lane queue was full.
+    pub queue_full: u64,
+    /// Shed at admission: the tenant's token bucket was empty.
+    pub quota_exceeded: u64,
+    /// Browned out: the deadline had already passed (at admission or
+    /// in the queue).
+    pub deadline_exceeded: u64,
+    /// Answered degraded because the server was shutting down.
+    pub shutdown: u64,
+    /// Degraded by an inference failure.
+    pub inference_error: u64,
+}
+
+impl RejectBreakdown {
+    /// Tally the typed reject reasons across a run's observations.
+    pub fn from_observations(observations: &[Observation]) -> RejectBreakdown {
+        use crate::server::RejectReason;
+        let mut b = RejectBreakdown::default();
+        for o in observations {
+            match o.kind.reject_reason() {
+                Some(RejectReason::QueueFull) => b.queue_full += 1,
+                Some(RejectReason::QuotaExceeded) => b.quota_exceeded += 1,
+                Some(RejectReason::DeadlineExceeded) => b.deadline_exceeded += 1,
+                Some(RejectReason::Shutdown) => b.shutdown += 1,
+                Some(RejectReason::InferenceError) => b.inference_error += 1,
+                None => {}
+            }
+        }
+        b
+    }
+
+    /// Sum over all reasons.
+    pub fn total(&self) -> u64 {
+        self.queue_full
+            + self.quota_exceeded
+            + self.deadline_exceeded
+            + self.shutdown
+            + self.inference_error
+    }
+}
+
+/// The trace id of the slowest client-observed request, as the
+/// zero-padded hex string `/traces` uses (`"0"` when nothing was
+/// traced).
+pub fn slowest_trace_hex(observations: &[Observation]) -> String {
+    observations
+        .iter()
+        .filter(|o| o.trace_id != 0)
+        .max_by_key(|o| o.latency)
+        .map_or_else(|| String::from("0"), |o| format!("{:016x}", o.trace_id))
 }
 
 /// Aggregated report for one load-generator run (serialized into
@@ -157,6 +227,11 @@ pub struct LoadReport {
     pub shed_inference_error: u64,
     /// Degraded responses observed by the clients of *this* run.
     pub degraded_seen: u64,
+    /// Per-reason breakdown of those degraded responses.
+    pub rejects: RejectBreakdown,
+    /// Trace id (hex) of the slowest request this run's clients saw —
+    /// look it up under `/traces` on the admin endpoint.
+    pub slowest_trace: String,
 }
 
 impl LoadReport {
@@ -212,6 +287,8 @@ impl LoadReport {
             shed_queue_full: stats.shed_queue_full,
             shed_inference_error: stats.shed_inference_error,
             degraded_seen: observations.iter().filter(|o| o.kind.is_degraded()).count() as u64,
+            rejects: RejectBreakdown::from_observations(observations),
+            slowest_trace: slowest_trace_hex(observations),
         }
     }
 }

@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNetConfig, Prediction};
+use adarnet_obs::trace::{self, TraceCtx};
 use adarnet_tensor::Tensor;
 
 use crate::batch::{degraded_prediction, infer_cached};
@@ -133,6 +134,10 @@ pub struct SubmitOptions {
     /// Absolute deadline; past it, the request is answered with the
     /// degraded brownout instead of being inferred.
     pub deadline: Option<Instant>,
+    /// Trace context for per-request attribution (DESIGN.md §16).
+    /// `None` = untraced: the request pays one branch per span site
+    /// and nothing else.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Default for SubmitOptions {
@@ -141,6 +146,7 @@ impl Default for SubmitOptions {
             priority: Priority::Standard,
             tenant: 0,
             deadline: None,
+            trace: None,
         }
     }
 }
@@ -158,6 +164,10 @@ pub struct ServeResponse {
     pub generation: u64,
     /// Lane the request was admitted to.
     pub priority: Priority,
+    /// Trace id the request carried (0 = untraced). The span tree, if
+    /// the tail sampler retained it, is served on the admin endpoint's
+    /// `/traces` under this id.
+    pub trace_id: u64,
 }
 
 struct Job {
@@ -166,6 +176,7 @@ struct Job {
     deadline: Option<Instant>,
     tenant: u64,
     priority: Priority,
+    trace: Option<TraceCtx>,
     reply: Sender<ServeResponse>,
 }
 
@@ -323,8 +334,14 @@ impl Shared {
             latency: job.submitted.elapsed(),
             generation: 0,
             priority: job.priority,
+            trace_id: job.trace.map_or(0, |t| t.trace_id),
         };
         record_e2e(&response);
+        // A rejected trace is always interesting: finish it errored so
+        // the tail sampler retains it unconditionally.
+        if let Some(ctx) = job.trace {
+            trace::finish(ctx, response.latency.as_nanos() as u64, true);
+        }
         let _ = job.reply.send(response);
     }
 }
@@ -391,12 +408,17 @@ impl Server {
         } else {
             opts.priority
         };
+        // Claim an arena slot before admission so rejected traces are
+        // captured too. A saturated arena downgrades the request to
+        // untraced rather than failing it.
+        let traced = opts.trace.filter(|&ctx| trace::arena().start(ctx));
         let job = Job {
             field,
             submitted,
             deadline: opts.deadline,
             tenant: opts.tenant,
             priority,
+            trace: traced,
             reply,
         };
 
@@ -457,8 +479,12 @@ impl Server {
                     latency: submitted.elapsed(),
                     generation: 0,
                     priority: opts.priority,
+                    trace_id: opts.trace.map_or(0, |t| t.trace_id),
                 };
                 record_e2e(&response);
+                if let Some(ctx) = opts.trace {
+                    trace::finish(ctx, response.latency.as_nanos() as u64, true);
+                }
                 response
             }
         }
@@ -474,6 +500,23 @@ impl Server {
     /// Decoded-patch cache (for hit/miss reporting).
     pub fn cache(&self) -> &PatchCache {
         &self.shared.cache
+    }
+
+    /// Whether `field` matches the active model's input contract: a
+    /// rank-3 `(C, H, W)` tensor with the configured channel count and
+    /// extents the patch grid tiles. Callers handing the server
+    /// externally-sourced fields (the wire front end) must check this
+    /// before submitting — a mismatched field cannot even be answered
+    /// degraded, because the bin-0 fallback extracts patches at the
+    /// model's own geometry.
+    pub fn field_matches_model(&self, field: &Tensor<f32>) -> bool {
+        let (_, cfg) = self.shared.shed_params();
+        field.shape().rank() == 3
+            && field.dim(0) == cfg.in_channels
+            && field.dim(1) > 0
+            && field.dim(2) > 0
+            && field.dim(1).is_multiple_of(cfg.ph)
+            && field.dim(2).is_multiple_of(cfg.pw)
     }
 
     /// Requests currently queued across all lanes.
@@ -512,14 +555,21 @@ fn model_cfg(ckpt: &adarnet_core::checkpoint::ModelCheckpoint) -> AdarNetConfig 
 /// Record a response's end-to-end latency (submission → reply) into
 /// the aggregate `serve_e2e_ns` histogram every reply path shares, plus
 /// the per-lane histogram (macro names must be literals, hence the
-/// match).
+/// match). Traced responses also update the histogram's exemplar: the
+/// trace id of the max-latency sample this window, linking `/metrics`
+/// to `/traces`.
 fn record_e2e(response: &ServeResponse) {
     let ns = response.latency.as_nanos() as u64;
-    adarnet_obs::histogram!("serve_e2e_ns").record(ns);
+    let trace_id = response.trace_id;
+    adarnet_obs::histogram!("serve_e2e_ns").record_traced(ns, trace_id);
     match response.priority {
-        Priority::Interactive => adarnet_obs::histogram!("serve_e2e_interactive_ns").record(ns),
-        Priority::Standard => adarnet_obs::histogram!("serve_e2e_standard_ns").record(ns),
-        Priority::Bulk => adarnet_obs::histogram!("serve_e2e_bulk_ns").record(ns),
+        Priority::Interactive => {
+            adarnet_obs::histogram!("serve_e2e_interactive_ns").record_traced(ns, trace_id)
+        }
+        Priority::Standard => {
+            adarnet_obs::histogram!("serve_e2e_standard_ns").record_traced(ns, trace_id)
+        }
+        Priority::Bulk => adarnet_obs::histogram!("serve_e2e_bulk_ns").record_traced(ns, trace_id),
     }
 }
 
@@ -545,6 +595,7 @@ fn worker_loop(
         // deficit scheduler picked. The span includes idle waiting by
         // design: under light load it reads as the arrival gap, under
         // heavy load it collapses toward zero.
+        let assembly_start = Instant::now();
         let (lane, batch) = {
             let _span = adarnet_obs::span!("serve_batch_assembly");
             match shared
@@ -555,9 +606,35 @@ fn worker_loop(
                 None => return, // shutdown and drained
             }
         };
+        let assembly_ns = assembly_start.elapsed().as_nanos() as u64;
         let now = Instant::now();
         for job in &batch {
-            record_queue_wait(lane, now.duration_since(job.submitted).as_nanos() as u64);
+            let wait_ns = now.duration_since(job.submitted).as_nanos() as u64;
+            record_queue_wait(lane, wait_ns);
+            // Per-request attribution: the wait this job actually saw
+            // and the assembly window that picked it up (shared by the
+            // whole batch, recorded under each participating trace).
+            if let Some(ctx) = job.trace {
+                trace::arena().record(
+                    ctx,
+                    "serve_queue_wait",
+                    wait_ns,
+                    "lane",
+                    lane.index() as u64,
+                );
+                // Capped at the job's own wait: the histogram keeps
+                // the full window (idle-gap semantics), but a trace
+                // must not be charged for idle time before its request
+                // existed — uncapped, a first-after-idle trace shows an
+                // assembly span longer than its entire e2e.
+                trace::arena().record(
+                    ctx,
+                    "serve_batch_assembly",
+                    assembly_ns.min(wait_ns),
+                    "batch",
+                    batch.len() as u64,
+                );
+            }
         }
 
         // Deadline sweep: anything that expired while queued gets the
@@ -609,10 +686,33 @@ fn worker_loop(
         adarnet_obs::counter!("serve_batches_total").inc();
         adarnet_obs::counter!("serve_batched_requests_total").add(batch.len() as u64);
 
+        // Two-phase infer spans: allocate the span id up front so the
+        // per-bin decode spans inside `infer_cached` can parent under
+        // it, commit the duration once the batch returns.
+        let infer_start = Instant::now();
+        let pending_infer: Vec<Option<trace::PendingSpan>> = batch
+            .iter()
+            .map(|j| {
+                j.trace
+                    .and_then(|ctx| trace::arena().begin(ctx, "serve_infer"))
+            })
+            .collect();
+        let traces: Vec<Option<TraceCtx>> = batch
+            .iter()
+            .zip(&pending_infer)
+            .map(|(j, p)| match (j.trace, p) {
+                (Some(ctx), Some(p)) => Some(ctx.child(p.span_id)),
+                (ctx, _) => ctx,
+            })
+            .collect();
         let inferred = {
             let _span = adarnet_obs::span!("serve_infer", batch = batch.len());
-            infer_cached(&engine, generation, &fields, &shared.cache)
+            infer_cached(&engine, generation, &fields, &traces, &shared.cache)
         };
+        let infer_ns = infer_start.elapsed().as_nanos() as u64;
+        for p in pending_infer.into_iter().flatten() {
+            trace::arena().commit(p, infer_ns, "batch", fields.len() as u64);
+        }
         match inferred {
             Ok(predictions) => {
                 shared
@@ -629,8 +729,12 @@ fn worker_loop(
                         latency: job.submitted.elapsed(),
                         generation,
                         priority: job.priority,
+                        trace_id: job.trace.map_or(0, |t| t.trace_id),
                     };
                     record_e2e(&response);
+                    if let Some(ctx) = job.trace {
+                        trace::finish(ctx, response.latency.as_nanos() as u64, false);
+                    }
                     let _ = job.reply.send(response);
                 }
             }

@@ -311,6 +311,7 @@ fn expired_deadline_gets_typed_brownout_response() {
             priority: Priority::Interactive,
             tenant: 3,
             deadline: Some(Instant::now() - Duration::from_millis(1)),
+            trace: None,
         },
     );
     assert_eq!(r.kind, ResponseKind::BrownoutDeadline);
@@ -324,6 +325,7 @@ fn expired_deadline_gets_typed_brownout_response() {
             priority: Priority::Interactive,
             tenant: 3,
             deadline: Some(Instant::now() + Duration::from_secs(60)),
+            trace: None,
         },
     );
     assert_eq!(r.kind, ResponseKind::Full);

@@ -55,6 +55,18 @@ else
   ADARNET_NET_REQUESTS=1 cargo run --release -q -p adarnet-net --bin net-serve -- smoke
 fi
 
+echo "==> admin endpoint smoke (/metrics, /traces, /health over TCP)"
+if [ "${SKIP_SLOW:-0}" != "1" ]; then
+  # Drives mixed load with the admin listener up, then asserts the
+  # introspection endpoint answers /health, serves /metrics text that
+  # round-trips the exposition parser (with a max-latency exemplar),
+  # and retains the loadgen's slowest trace as a complete span tree
+  # in /traces.
+  cargo run --release -q -p adarnet-net --bin net-serve -- admin-smoke
+else
+  ADARNET_NET_REQUESTS=1 cargo run --release -q -p adarnet-net --bin net-serve -- admin-smoke
+fi
+
 echo "==> obs overhead gate"
 if [ "${SKIP_SLOW:-0}" != "1" ]; then
   # Fails if instrumented infer_batch runs >3% slower than with the
