@@ -1,0 +1,170 @@
+//! Accuracy-budget gate for reduced-precision engines.
+//!
+//! A bf16 weight plane buys a ~4x resident-byte cut by rounding every
+//! GEMM panel weight to 8 mantissa bits; whether serving may route to
+//! it is an *empirical* question answered here: run the candidate and a
+//! full-precision reference engine over the same fields and pin the
+//! drift under an explicit [`AccuracyBudget`].
+//!
+//! Two properties are measured, matching how a wrong answer would hurt:
+//!
+//! * **Refinement-decision agreement** — the scorer feeds the discrete
+//!   ranker, so quantization noise could flip a patch into a different
+//!   bin and change the predicted mesh itself. The budget can require
+//!   bit-identical decisions (serving does).
+//! * **Per-bin decoder error** — max and mean absolute deviation of the
+//!   decoded patches, grouped by bin, since high bins both matter most
+//!   (they drive the refined mesh) and accumulate the most GEMM terms.
+//!
+//! The gate returns typed violations rather than asserting, so the same
+//! check runs in tests (`tests/precision_accuracy.rs`) and in tooling.
+
+use adarnet_tensor::Tensor;
+
+use crate::engine::{EngineError, InferenceEngine};
+
+/// Maximum tolerated drift of a candidate engine vs the reference.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyBudget {
+    /// Largest allowed per-element absolute deviation in any decoded
+    /// patch of any bin.
+    pub max_abs: f32,
+    /// Largest allowed mean absolute deviation within a single bin.
+    pub mean_abs: f32,
+    /// Require every patch to land in the same bin as the reference
+    /// (identical refinement decisions).
+    pub identical_decisions: bool,
+}
+
+impl AccuracyBudget {
+    /// The serving gate for bf16 vs f32. The decoder output feeds
+    /// physical flow fields normalized to O(1); bf16 weights carry
+    /// 2^-8 relative error per term, and the deepest decoder layer sums
+    /// 64*9 = 576 of them — empirically the drift stays well under 1e-2
+    /// max / 2e-3 mean on trained and untrained weights alike, so these
+    /// bounds have a comfortable margin without admitting a broken
+    /// kernel (a sign flip or a dropped lane overshoots them by orders
+    /// of magnitude).
+    pub fn serving_bf16() -> AccuracyBudget {
+        AccuracyBudget {
+            max_abs: 5e-2,
+            mean_abs: 1e-2,
+            identical_decisions: true,
+        }
+    }
+}
+
+/// Decoder drift of one bin, accumulated over every compared patch.
+#[derive(Debug, Clone, Copy)]
+pub struct BinError {
+    /// Bin index (0 = coarsest).
+    pub bin: u8,
+    /// Patches compared in this bin.
+    pub patches: usize,
+    /// Largest per-element absolute deviation.
+    pub max_abs: f32,
+    /// Mean absolute deviation over all elements.
+    pub mean_abs: f32,
+}
+
+/// Result of comparing a candidate engine against a reference over a
+/// field set. Produced by [`compare_engines`].
+#[derive(Debug, Clone)]
+pub struct AccuracyReport {
+    /// Per-bin decoder error, for every bin that decoded at least one
+    /// patch (in both engines, in agreement).
+    pub per_bin: Vec<BinError>,
+    /// Patches the two engines binned differently. Patches in
+    /// disagreement are counted here and excluded from `per_bin` (their
+    /// outputs have different resolutions).
+    pub decision_mismatches: usize,
+    /// Total patches compared.
+    pub patches: usize,
+}
+
+impl AccuracyReport {
+    /// Check this report against a budget; returns one human-readable
+    /// violation per broken bound (empty = the gate passes).
+    pub fn violations(&self, budget: &AccuracyBudget) -> Vec<String> {
+        let mut out = Vec::new();
+        if budget.identical_decisions && self.decision_mismatches > 0 {
+            out.push(format!(
+                "{} of {} patches changed refinement bin",
+                self.decision_mismatches, self.patches
+            ));
+        }
+        for b in &self.per_bin {
+            if b.max_abs > budget.max_abs {
+                out.push(format!(
+                    "bin {}: max abs error {:.3e} exceeds budget {:.3e}",
+                    b.bin, b.max_abs, budget.max_abs
+                ));
+            }
+            if b.mean_abs > budget.mean_abs {
+                out.push(format!(
+                    "bin {}: mean abs error {:.3e} exceeds budget {:.3e}",
+                    b.bin, b.mean_abs, budget.mean_abs
+                ));
+            }
+        }
+        out
+    }
+
+    /// True when the report satisfies the budget.
+    pub fn passes(&self, budget: &AccuracyBudget) -> bool {
+        self.violations(budget).is_empty()
+    }
+}
+
+/// Run `reference` and `candidate` over `fields` and measure the
+/// candidate's decoder drift and refinement-decision agreement. Both
+/// engines must share a patch layout (same config); fields are raw
+/// (physical units), normalized by each engine as in serving.
+pub fn compare_engines(
+    reference: &InferenceEngine,
+    candidate: &InferenceEngine,
+    fields: &[Tensor<f32>],
+) -> Result<AccuracyReport, EngineError> {
+    let bins = reference.config().bins as usize;
+    let mut patches = 0usize;
+    let mut mismatches = 0usize;
+    let mut max_abs = vec![0f32; bins];
+    let mut sum_abs = vec![0f64; bins];
+    let mut elems = vec![0u64; bins];
+    let mut counted = vec![0usize; bins];
+    for field in fields {
+        let pref = reference.infer(field)?;
+        let pcand = candidate.infer(field)?;
+        for (idx, (a, c)) in pref.patches.iter().zip(&pcand.patches).enumerate() {
+            patches += 1;
+            let bin = pref.binning.bin_of_patch[idx] as usize;
+            if pcand.binning.bin_of_patch[idx] as usize != bin {
+                mismatches += 1;
+                continue;
+            }
+            counted[bin] += 1;
+            for (x, y) in a.as_slice().iter().zip(c.as_slice()) {
+                let d = (x - y).abs();
+                max_abs[bin] = max_abs[bin].max(d);
+                sum_abs[bin] += d as f64;
+            }
+            elems[bin] += a.len() as u64;
+        }
+        pref.recycle();
+        pcand.recycle();
+    }
+    let per_bin = (0..bins)
+        .filter(|&b| counted[b] > 0)
+        .map(|b| BinError {
+            bin: b as u8,
+            patches: counted[b],
+            max_abs: max_abs[b],
+            mean_abs: (sum_abs[b] / elems[b] as f64) as f32,
+        })
+        .collect();
+    Ok(AccuracyReport {
+        per_bin,
+        decision_mismatches: mismatches,
+        patches,
+    })
+}

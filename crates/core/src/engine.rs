@@ -74,12 +74,35 @@ impl InferenceEngine {
     /// plane is live on the `engine_backend_simd` gauge (1 = the
     /// AVX2+FMA micro-kernels run, 0 = scalar reference plane).
     pub fn new(model: AdarNet, norm: NormStats) -> InferenceEngine {
+        Self::new_with(model, norm, adarnet_nn::Precision::active())
+    }
+
+    /// [`InferenceEngine::new`] at an explicit weight-plane
+    /// [`adarnet_nn::Precision`] (the default entry point resolves the
+    /// `ADARNET_PRECISION` environment knob via
+    /// [`adarnet_nn::Precision::active`]). Besides `engine_weight_bytes`
+    /// (actual stored bytes: bf16 planes report ~4x fewer), the
+    /// `engine_precision` gauge publishes the plane's precision index
+    /// (0 = f32, 1 = bf16) and a per-precision
+    /// `engine_weight_bytes_<precision>` gauge keeps both planes'
+    /// footprints visible when a registry holds one engine of each.
+    pub fn new_with(
+        model: AdarNet,
+        norm: NormStats,
+        precision: adarnet_nn::Precision,
+    ) -> InferenceEngine {
         let ckpt = checkpoint::snapshot(&model, &norm);
         let frozen = {
             let _span = adarnet_obs::span!("prepack_ns");
-            model.freeze()
+            model.freeze_with(precision)
         };
         adarnet_obs::gauge!("engine_weight_bytes").set(frozen.weight_bytes() as f64);
+        adarnet_obs::gauge!("engine_precision").set(precision.index() as f64);
+        match precision {
+            adarnet_nn::Precision::F32 => adarnet_obs::gauge!("engine_weight_bytes_f32"),
+            adarnet_nn::Precision::Bf16 => adarnet_obs::gauge!("engine_weight_bytes_bf16"),
+        }
+        .set(frozen.weight_bytes() as f64);
         adarnet_obs::gauge!("engine_backend_simd").set(if frozen.device().is_simd_active() {
             1.0
         } else {
@@ -93,10 +116,23 @@ impl InferenceEngine {
         }
     }
 
-    /// Restore an engine from a checkpoint.
+    /// Restore an engine from a checkpoint at the process-default
+    /// precision ([`adarnet_nn::Precision::active`]).
     pub fn from_checkpoint(ckpt: &ModelCheckpoint) -> Result<InferenceEngine, EngineError> {
+        Self::from_checkpoint_with(ckpt, adarnet_nn::Precision::active())
+    }
+
+    /// Restore an engine from a checkpoint at an explicit weight-plane
+    /// precision. Checkpoints are always full-precision f32 — the
+    /// narrowing happens at freeze time, so one checkpoint can hydrate
+    /// an f32 and a bf16 engine side by side (the serving registry
+    /// does exactly that for per-request precision routing).
+    pub fn from_checkpoint_with(
+        ckpt: &ModelCheckpoint,
+        precision: adarnet_nn::Precision,
+    ) -> Result<InferenceEngine, EngineError> {
         let (model, norm) = checkpoint::restore(ckpt).map_err(EngineError::Checkpoint)?;
-        Ok(InferenceEngine::new(model, norm))
+        Ok(InferenceEngine::new_with(model, norm, precision))
     }
 
     /// The weight snapshot this engine was built from.
@@ -111,7 +147,7 @@ impl InferenceEngine {
     /// the error arm is unreachable in practice — but callers propagate
     /// it rather than panicking a worker thread.
     pub fn replicate(&self) -> Result<InferenceEngine, EngineError> {
-        InferenceEngine::from_checkpoint(&self.ckpt)
+        InferenceEngine::from_checkpoint_with(&self.ckpt, self.precision())
     }
 
     /// Static model configuration.
@@ -139,6 +175,11 @@ impl InferenceEngine {
     /// The compute backend the frozen plane is pinned to.
     pub fn device(&self) -> adarnet_nn::Device {
         self.frozen.device()
+    }
+
+    /// The weight-plane precision the frozen plane was built at.
+    pub fn precision(&self) -> adarnet_nn::Precision {
+        self.frozen.precision()
     }
 
     /// Canonical name of the active backend (`cpu_scalar` /

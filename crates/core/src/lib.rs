@@ -18,6 +18,7 @@
 //! [`surfnet`] provides the uniform-SR baseline and [`memory`] the
 //! activation-memory model used for the paper's Figure 1 and Table 2.
 
+pub mod accuracy;
 pub mod checkpoint;
 pub mod decoder;
 pub mod engine;
@@ -35,6 +36,7 @@ pub mod surfnet;
 pub mod sync;
 pub mod trainer;
 
+pub use accuracy::{compare_engines, AccuracyBudget, AccuracyReport, BinError};
 pub use checkpoint::{load_file, save_file, ModelCheckpoint};
 pub use decoder::{Decoder, FrozenDecoder};
 pub use engine::{EngineError, InferenceEngine};

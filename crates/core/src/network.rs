@@ -164,12 +164,25 @@ impl AdarNet {
     /// inference entry point becomes `&self`. Predictions are
     /// bitwise-identical to [`AdarNet::try_predict`].
     pub fn freeze(&self) -> FrozenAdarNet {
+        self.freeze_with(adarnet_nn::Precision::F32)
+    }
+
+    /// Freeze at a chosen weight-plane [`adarnet_nn::Precision`]. At
+    /// [`adarnet_nn::Precision::F32`] this is exactly
+    /// [`AdarNet::freeze`] — bitwise contract intact. At
+    /// [`adarnet_nn::Precision::Bf16`] every scorer and decoder
+    /// conv/deconv stores only bf16 GEMM panels (activations and
+    /// accumulation stay f32), cutting resident weight bytes ~4x; the
+    /// accuracy budget against the f32 plane is pinned by
+    /// `tests/precision_accuracy.rs`.
+    pub fn freeze_with(&self, precision: adarnet_nn::Precision) -> FrozenAdarNet {
         FrozenAdarNet {
             cfg: self.cfg,
-            scorer: self.scorer.freeze(),
+            scorer: self.scorer.freeze_as(precision),
             ranker: self.ranker,
-            decoder: self.decoder.freeze(),
+            decoder: self.decoder.freeze_as(precision),
             device: self.device,
+            precision,
         }
     }
 
@@ -411,6 +424,7 @@ pub struct FrozenAdarNet {
     ranker: Ranker,
     decoder: FrozenDecoder,
     device: Device,
+    precision: adarnet_nn::Precision,
 }
 
 /// Output of one `(sample, bin)` decode work item: `(patch_idx, patch)`
@@ -436,8 +450,15 @@ impl FrozenAdarNet {
         self.device
     }
 
-    /// Resident frozen-weight bytes (scorer + decoder, packed panels
-    /// included). The serving gauge `engine_weight_bytes` reports this.
+    /// The weight-plane precision this frozen plane was built at
+    /// ([`AdarNet::freeze_with`]).
+    pub fn precision(&self) -> adarnet_nn::Precision {
+        self.precision
+    }
+
+    /// Resident frozen-weight bytes at the plane's *stored* precision
+    /// (scorer + decoder; bf16 planes count 2-byte panels). The serving
+    /// gauge `engine_weight_bytes` reports this.
     pub fn weight_bytes(&self) -> usize {
         self.scorer.weight_bytes() + self.decoder.weight_bytes()
     }

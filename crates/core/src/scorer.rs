@@ -189,14 +189,22 @@ impl Scorer {
     /// [`Scorer::forward_infer`]: conv weights pre-packed for the
     /// blocked GEMM, no backprop caches, `&self` end to end.
     pub fn freeze(&self) -> FrozenScorer {
+        self.freeze_as(adarnet_nn::Precision::F32)
+    }
+
+    /// Freeze at a chosen weight-plane precision: the four convs narrow
+    /// their GEMM panels (see [`adarnet_nn::Layer::freeze_as`]); the
+    /// weightless pool/softmax/activation layers are unaffected. At
+    /// [`adarnet_nn::Precision::F32`] this is exactly [`Scorer::freeze`].
+    pub fn freeze_as(&self, precision: adarnet_nn::Precision) -> FrozenScorer {
         FrozenScorer {
-            conv1: self.conv1.freeze(),
+            conv1: self.conv1.freeze_as(precision),
             act1: self.act1.freeze(),
-            conv2: self.conv2.freeze(),
+            conv2: self.conv2.freeze_as(precision),
             act2: self.act2.freeze(),
-            conv3: self.conv3.freeze(),
+            conv3: self.conv3.freeze_as(precision),
             act3: self.act3.freeze(),
-            conv4: self.conv4.freeze(),
+            conv4: self.conv4.freeze_as(precision),
             pool: match &self.pool {
                 ScorerPool::Max(l) => l.freeze(),
                 ScorerPool::Avg(l) => l.freeze(),

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! [u8;4]  magic  "ADRN"
-//! u8      protocol version (2; version-1 bodies still decode)
+//! u8      protocol version (3; version-1/2 bodies still decode)
 //! u8      body kind        (1 = request, 2 = response)
 //! u16 LE  reserved         (0)
 //! u64 LE  request id       (echoed verbatim in the response)
@@ -16,7 +16,11 @@
 //! ```text
 //! u64 LE  tenant id
 //! u8      priority class   (0 interactive, 1 standard, 2 bulk)
-//! [u8;3]  reserved
+//! u8      precision        (version >= 3 only; 0 = server default,
+//!                           1 = f32, 2 = bf16 — the weight plane this
+//!                           request asks to ride; older versions carry
+//!                           0 here, which decodes as "default")
+//! [u8;2]  reserved
 //! u32 LE  deadline budget, ms  (0 = no deadline)
 //! u64 LE  trace id         (version >= 2 only; 0 = none — the server
 //!                           mints one so the request is traceable)
@@ -35,7 +39,9 @@
 //!                           3 deadline_exceeded, 4 shutdown,
 //!                           5 inference_error, 6 bad_request)
 //! u8      priority class the request was served on
-//! u8      reserved
+//! u8      precision        (version >= 3 only; 0 = unknown/error,
+//!                           1 = f32, 2 = bf16 — the weight plane the
+//!                           request was actually routed to)
 //! u64 LE  model generation (0 for degraded/error responses)
 //! u64 LE  server-side latency, ns
 //! u64 LE  trace id         (version >= 2 only; the id the request was
@@ -49,13 +55,15 @@
 //! [`DecodeError`], which the server answers with a `status = error`
 //! response (the connection survives — the frame itself was intact).
 
-use adarnet_serve::{Priority, RejectReason};
+use adarnet_serve::{Precision, Priority, RejectReason};
 use adarnet_tensor::{Shape, Tensor};
 
 /// Protocol magic, first bytes of every body.
 pub const MAGIC: [u8; 4] = *b"ADRN";
-/// Current protocol version (adds the trace-id field).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Current protocol version (v2 added the trace-id field; v3 gives
+/// meaning to a previously-reserved byte as the weight-plane precision
+/// — offsets are unchanged, so v2 bodies decode as "default plane").
+pub const PROTOCOL_VERSION: u8 = 3;
 /// Oldest version the decoder still accepts (pre-trace-id bodies).
 pub const PROTOCOL_VERSION_MIN: u8 = 1;
 /// Body kind: request.
@@ -113,6 +121,25 @@ fn reject_to_u8(reason: Option<RejectReason>) -> u8 {
 /// counterpart — the request never reached admission).
 pub const REJECT_BAD_REQUEST: u8 = 6;
 
+/// Wire encoding of the precision request/report: 0 = default (request)
+/// or unknown (response), then [`Precision::index`] + 1.
+fn precision_to_u8(p: Option<Precision>) -> u8 {
+    match p {
+        None => 0,
+        Some(p) => p.index() as u8 + 1,
+    }
+}
+
+fn precision_from_u8(v: u8) -> Result<Option<Precision>, DecodeError> {
+    match v {
+        0 => Ok(None),
+        _ => match Precision::from_index(v as usize - 1) {
+            Some(p) => Ok(Some(p)),
+            None => Err(DecodeError::BadPrecision(v)),
+        },
+    }
+}
+
 fn reject_from_u8(v: u8) -> Result<Option<RejectReason>, DecodeError> {
     match v {
         0 | REJECT_BAD_REQUEST => Ok(None),
@@ -139,6 +166,10 @@ pub struct Request {
     /// Client-chosen trace id; 0 = untraced (the server mints one so
     /// every request lands in the tail sampler regardless).
     pub trace_id: u64,
+    /// Requested weight plane; `None` defers to the server's routing
+    /// (tenant override, else server default). v1/v2 peers always
+    /// decode as `None`.
+    pub precision: Option<Precision>,
     /// The raw `(C, H, W)` LR field.
     pub field: Tensor<f32>,
 }
@@ -164,6 +195,9 @@ pub struct Response {
     /// Trace id the request was served under (0 only for version-1
     /// clients' error paths that never reached admission).
     pub trace_id: u64,
+    /// Weight plane the request was routed to (`None` for error
+    /// responses that never reached admission, and for v1/v2 bodies).
+    pub precision: Option<Precision>,
     /// Patch grid extents (0 × 0 for error responses).
     pub npy: u16,
     /// See `npy`.
@@ -194,6 +228,8 @@ pub enum DecodeError {
     BadStatus(u8),
     /// Reject-reason byte out of range.
     BadReject(u8),
+    /// Precision byte out of range.
+    BadPrecision(u8),
     /// A field extent is zero.
     ZeroDim,
 }
@@ -208,6 +244,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadPriority(p) => write!(f, "priority byte {p} out of range"),
             DecodeError::BadStatus(s) => write!(f, "status byte {s} out of range"),
             DecodeError::BadReject(r) => write!(f, "reject byte {r} out of range"),
+            DecodeError::BadPrecision(p) => write!(f, "precision byte {p} out of range"),
             DecodeError::ZeroDim => write!(f, "field extents must be positive"),
         }
     }
@@ -304,7 +341,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     put_header(&mut out, KIND_REQUEST, req.request_id);
     out.extend_from_slice(&req.tenant.to_le_bytes());
     out.push(req.priority.index() as u8);
-    out.extend_from_slice(&[0u8; 3]);
+    out.push(precision_to_u8(req.precision));
+    out.extend_from_slice(&[0u8; 2]);
     out.extend_from_slice(&req.deadline_ms.to_le_bytes());
     out.extend_from_slice(&req.trace_id.to_le_bytes());
     out.extend_from_slice(&(ch as u16).to_le_bytes());
@@ -324,7 +362,17 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
     let tenant = c.u64()?;
     let pr = c.u8()?;
     let priority = Priority::from_index(pr as usize).ok_or(DecodeError::BadPriority(pr))?;
-    let _reserved = c.take(3)?;
+    // v3 repurposed the first reserved byte as the precision request;
+    // older peers wrote 0 there, which maps to "server default" anyway,
+    // but only v3 bodies get it *validated* (a v2 peer's junk byte must
+    // not fail an otherwise-valid request).
+    let precision = if version >= 3 {
+        precision_from_u8(c.u8()?)?
+    } else {
+        let _ = c.u8()?;
+        None
+    };
+    let _reserved = c.take(2)?;
     let deadline_ms = c.u32()?;
     let trace_id = if version >= 2 { c.u64()? } else { 0 };
     let ch = c.u16()? as usize;
@@ -346,6 +394,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
         priority,
         deadline_ms,
         trace_id,
+        precision,
         field: Tensor::from_vec(Shape::d3(ch, h, w), data),
     })
 }
@@ -364,7 +413,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         reject_to_u8(resp.reject)
     });
     out.push(resp.priority.index() as u8);
-    out.push(0);
+    out.push(precision_to_u8(resp.precision));
     out.extend_from_slice(&resp.generation.to_le_bytes());
     out.extend_from_slice(&resp.latency_ns.to_le_bytes());
     out.extend_from_slice(&resp.trace_id.to_le_bytes());
@@ -387,7 +436,12 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
     let reject = reject_from_u8(reject_code)?;
     let pr = c.u8()?;
     let priority = Priority::from_index(pr as usize).ok_or(DecodeError::BadPriority(pr))?;
-    let _reserved = c.u8()?;
+    let precision = if version >= 3 {
+        precision_from_u8(c.u8()?)?
+    } else {
+        let _ = c.u8()?;
+        None
+    };
     let generation = c.u64()?;
     let latency_ns = c.u64()?;
     let trace_id = if version >= 2 { c.u64()? } else { 0 };
@@ -408,6 +462,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
         generation,
         latency_ns,
         trace_id,
+        precision,
         npy,
         npx,
         bins,
@@ -437,6 +492,7 @@ mod tests {
             priority: Priority::Interactive,
             deadline_ms: 250,
             trace_id: 0x0123_4567_89AB_CDEF,
+            precision: Some(Precision::Bf16),
             field: Tensor::from_vec(
                 Shape::d3(2, 3, 4),
                 (0..24).map(|i| i as f32 * 0.5 - 3.0).collect(),
@@ -454,6 +510,7 @@ mod tests {
         assert_eq!(back.priority, req.priority);
         assert_eq!(back.deadline_ms, req.deadline_ms);
         assert_eq!(back.trace_id, req.trace_id);
+        assert_eq!(back.precision, Some(Precision::Bf16));
         assert_eq!(back.field.shape(), req.field.shape());
         assert_eq!(back.field.as_slice(), req.field.as_slice());
     }
@@ -469,6 +526,7 @@ mod tests {
             generation: 3,
             latency_ns: 1_234_567,
             trace_id: 0xFEED_F00D,
+            precision: Some(Precision::F32),
             npy: 2,
             npx: 3,
             bins: vec![0, 1, 2, 3, 0, 1],
@@ -483,6 +541,7 @@ mod tests {
         assert_eq!(back.generation, 3);
         assert_eq!(back.latency_ns, 1_234_567);
         assert_eq!(back.trace_id, 0xFEED_F00D);
+        assert_eq!(back.precision, Some(Precision::F32));
         assert_eq!((back.npy, back.npx), (2, 3));
         assert_eq!(back.bins, resp.bins);
         assert_eq!(back.scores, resp.scores);
@@ -523,12 +582,21 @@ mod tests {
         assert_eq!(decode_request(&padded).unwrap_err(), DecodeError::Truncated);
     }
 
-    /// Re-encode a version-2 body as its version-1 layout: flip the
-    /// version byte and splice out the 8-byte trace-id field at
-    /// `trace_at`. This is byte-for-byte what a v1 peer sends.
-    fn downgrade(body: &[u8], trace_at: usize) -> Vec<u8> {
+    /// Byte offset of the request's precision byte (first
+    /// formerly-reserved byte after the priority class).
+    const REQ_PRECISION_AT: usize = 16 + 8 + 1;
+    /// Byte offset of the response's precision byte (formerly-reserved
+    /// byte after the priority class).
+    const RESP_PRECISION_AT: usize = 16 + 3;
+
+    /// Re-encode a version-3 body as its version-1 layout: flip the
+    /// version byte, zero the precision byte (reserved pre-v3), and
+    /// splice out the 8-byte trace-id field at `trace_at`. This is
+    /// byte-for-byte what a v1 peer sends.
+    fn downgrade(body: &[u8], precision_at: usize, trace_at: usize) -> Vec<u8> {
         let mut v1 = body.to_vec();
         v1[4] = 1;
+        v1[precision_at] = 0;
         v1.drain(trace_at..trace_at + 8);
         v1
     }
@@ -536,13 +604,14 @@ mod tests {
     #[test]
     fn version1_request_still_decodes() {
         let req = sample_request();
-        let v1 = downgrade(&encode_request(&req), 16 + 8 + 1 + 3 + 4);
+        let v1 = downgrade(&encode_request(&req), REQ_PRECISION_AT, 16 + 8 + 1 + 3 + 4);
         let back = decode_request(&v1).expect("v1 request must decode");
         assert_eq!(back.request_id, req.request_id);
         assert_eq!(back.tenant, req.tenant);
         assert_eq!(back.priority, req.priority);
         assert_eq!(back.deadline_ms, req.deadline_ms);
         assert_eq!(back.trace_id, 0, "v1 has no trace id; decodes as none");
+        assert_eq!(back.precision, None, "v1 has no precision request");
         assert_eq!(back.field.as_slice(), req.field.as_slice());
     }
 
@@ -557,17 +626,50 @@ mod tests {
             generation: 5,
             latency_ns: 42,
             trace_id: 0xAB,
+            precision: Some(Precision::Bf16),
             npy: 1,
             npx: 2,
             bins: vec![1, 0],
             scores: vec![0.5, -0.5],
         };
-        let v1 = downgrade(&encode_response(&resp), 16 + 4 + 8 + 8);
+        let v1 = downgrade(&encode_response(&resp), RESP_PRECISION_AT, 16 + 4 + 8 + 8);
         let back = decode_response(&v1).expect("v1 response must decode");
         assert_eq!(back.request_id, 9);
         assert_eq!(back.latency_ns, 42);
         assert_eq!(back.trace_id, 0);
+        assert_eq!(back.precision, None);
         assert_eq!(back.bins, resp.bins);
+    }
+
+    /// A version-2 body is byte-for-byte a version-3 body with the
+    /// version flipped — the precision byte was reserved then. It must
+    /// decode as "default plane", and whatever junk a v2 peer left
+    /// there must be ignored, never validated.
+    #[test]
+    fn version2_request_decodes_precision_as_default() {
+        let req = sample_request();
+        let mut v2 = encode_request(&req);
+        v2[4] = 2;
+        // sample_request encodes precision = bf16 = 2 at this offset; a
+        // v2 decode must not interpret it. Also try a byte no v3 peer
+        // could send, proving the field is skipped, not validated.
+        for junk in [v2[REQ_PRECISION_AT], 0, 0xFF] {
+            v2[REQ_PRECISION_AT] = junk;
+            let back = decode_request(&v2).expect("v2 request must decode");
+            assert_eq!(back.precision, None);
+            assert_eq!(back.trace_id, req.trace_id, "v2 keeps the trace id");
+        }
+    }
+
+    #[test]
+    fn bad_precision_byte_is_typed() {
+        let req = sample_request();
+        let mut body = encode_request(&req);
+        body[REQ_PRECISION_AT] = 0xFF;
+        assert_eq!(
+            decode_request(&body).unwrap_err(),
+            DecodeError::BadPrecision(0xFF)
+        );
     }
 
     #[test]

@@ -219,6 +219,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<NetShared>) {
                     tenant: req.tenant,
                     deadline,
                     trace: Some(ctx),
+                    precision: req.precision,
                 };
                 let served = shared.serve.submit_wait_with(req.field, opts);
                 response_from_serve(req.request_id, &served)
@@ -257,6 +258,7 @@ fn bad_request_response(request_id: u64) -> Response {
         generation: 0,
         latency_ns: 0,
         trace_id: 0,
+        precision: None,
         npy: 0,
         npx: 0,
         bins: Vec::new(),
@@ -288,6 +290,7 @@ fn response_from_serve(request_id: u64, served: &ServeResponse) -> Response {
         generation: served.generation,
         latency_ns: served.latency.as_nanos() as u64,
         trace_id: served.trace_id,
+        precision: Some(served.precision),
         npy: npy as u16,
         npx: npx as u16,
         bins,

@@ -204,3 +204,43 @@ fn wire_deadline_brownout_is_typed() {
     let stats = finish(net, serve);
     assert_eq!(stats.brownout_deadline, brownouts as u64);
 }
+
+#[test]
+fn wire_precision_request_routes_and_echoes() {
+    use adarnet_serve::Precision;
+    let (net, serve) = start_stack(ServeConfig {
+        workers: 1,
+        default_precision: Precision::F32,
+        ..ServeConfig::default()
+    });
+    let addr = net.local_addr();
+    let field = field_pool(1, 16, 32, 5).pop().unwrap();
+    let mut client = NetClient::connect(addr).unwrap();
+
+    // Default routing: the server's f32 plane, echoed on the wire.
+    let r = client
+        .infer(field.clone(), Priority::Standard, 1, 0)
+        .unwrap();
+    assert_eq!(r.status, Status::Full);
+    assert_eq!(r.precision, Some(Precision::F32));
+
+    // A v3 peer pinning bf16 rides the reduced plane; the refinement
+    // decisions must match the f32 plane (the accuracy gate's
+    // end-to-end contract, observed through TCP).
+    let q = client
+        .infer_at(
+            field.clone(),
+            Priority::Standard,
+            1,
+            0,
+            Some(Precision::Bf16),
+        )
+        .unwrap();
+    assert_eq!(q.status, Status::Full);
+    assert_eq!(q.precision, Some(Precision::Bf16));
+    assert_eq!(q.bins, r.bins, "bf16 plane changed wire-visible bins");
+
+    let stats = finish(net, serve);
+    assert_eq!(stats.completed_per_precision[Precision::F32.index()], 1);
+    assert_eq!(stats.completed_per_precision[Precision::Bf16.index()], 1);
+}

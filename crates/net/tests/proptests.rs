@@ -12,7 +12,7 @@ use adarnet_net::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     FrameError, Request, Response, Status,
 };
-use adarnet_serve::{Priority, RejectReason};
+use adarnet_serve::{Precision, Priority, RejectReason};
 use adarnet_tensor::{Shape, Tensor};
 use proptest::prelude::*;
 
@@ -24,6 +24,14 @@ fn status_from(idx: usize) -> Status {
         0 => Status::Full,
         1 => Status::Degraded,
         _ => Status::Error,
+    }
+}
+
+fn precision_from(idx: usize) -> Option<Precision> {
+    match idx % 3 {
+        0 => None,
+        1 => Some(Precision::F32),
+        _ => Some(Precision::Bf16),
     }
 }
 
@@ -49,6 +57,7 @@ proptest! {
         pr in 0usize..3,
         deadline_ms in 0u32..600_000,
         trace_id in 0u64..u64::MAX,
+        precision_idx in 0usize..3,
         c in 1usize..=3,
         h in 1usize..=7,
         w in 1usize..=7,
@@ -61,6 +70,7 @@ proptest! {
             priority: Priority::from_index(pr).unwrap(),
             deadline_ms,
             trace_id,
+            precision: precision_from(precision_idx),
             field: Tensor::from_vec(Shape::d3(c, h, w), raw[..n].to_vec()),
         };
         let back = decode_request(&encode_request(&req)).unwrap();
@@ -69,16 +79,20 @@ proptest! {
         prop_assert_eq!(back.priority, req.priority);
         prop_assert_eq!(back.deadline_ms, req.deadline_ms);
         prop_assert_eq!(back.trace_id, req.trace_id);
+        prop_assert_eq!(back.precision, req.precision);
         prop_assert_eq!(back.field.shape(), req.field.shape());
         prop_assert_eq!(back.field.as_slice(), req.field.as_slice());
 
         // The same request re-laid-out as a version-1 body (no
-        // trace-id field) still decodes, with the id defaulting to 0.
+        // trace-id field, precision byte reserved-zero) still decodes,
+        // with the trace id defaulting to 0 and no precision request.
         let mut v1 = encode_request(&req);
         v1[4] = 1;
+        v1[25] = 0; // 16B header + 8B tenant + 1B priority
         v1.drain(32..40); // 16B header + 8B tenant + 4B pri/pad + 4B deadline
         let old = decode_request(&v1).unwrap();
         prop_assert_eq!(old.trace_id, 0);
+        prop_assert_eq!(old.precision, None);
         prop_assert_eq!(old.request_id, req.request_id);
         prop_assert_eq!(old.field.as_slice(), req.field.as_slice());
     }
@@ -93,6 +107,7 @@ proptest! {
         generation in 0u64..1_000,
         latency_ns in 0u64..u64::MAX,
         trace_id in 0u64..u64::MAX,
+        precision_idx in 0usize..3,
         npy in 1u16..=5,
         npx in 1u16..=5,
         raw_bins in prop::collection::vec(0u8..=3, 25),
@@ -108,6 +123,7 @@ proptest! {
             generation,
             latency_ns,
             trace_id,
+            precision: precision_from(precision_idx),
             npy,
             npx,
             bins: raw_bins[..cells].to_vec(),
@@ -121,6 +137,7 @@ proptest! {
         prop_assert_eq!(back.generation, resp.generation);
         prop_assert_eq!(back.latency_ns, resp.latency_ns);
         prop_assert_eq!(back.trace_id, resp.trace_id);
+        prop_assert_eq!(back.precision, resp.precision);
         prop_assert_eq!((back.npy, back.npx), (resp.npy, resp.npx));
         prop_assert_eq!(back.bins, resp.bins);
         prop_assert_eq!(back.scores, resp.scores);

@@ -235,6 +235,19 @@ impl Layer for Conv2d {
         ))
     }
 
+    fn freeze_as(&self, precision: crate::quantize::Precision) -> Box<dyn InferLayer> {
+        Box::new(FrozenConv2d::new(
+            "Conv2d",
+            PackedConvWeights::from_conv_weight_as(
+                self.device,
+                precision,
+                &self.weight,
+                &self.bias,
+                self.pad,
+            ),
+        ))
+    }
+
     fn set_device(&mut self, device: Device) {
         if device != self.device {
             self.device = device;

@@ -245,6 +245,19 @@ impl Layer for ConvTranspose2d {
         ))
     }
 
+    fn freeze_as(&self, precision: crate::quantize::Precision) -> Box<dyn InferLayer> {
+        Box::new(FrozenConv2d::new(
+            "ConvTranspose2d",
+            PackedConvWeights::from_deconv_weight_as(
+                self.device,
+                precision,
+                &self.weight,
+                &self.bias,
+                self.pad,
+            ),
+        ))
+    }
+
     fn set_device(&mut self, device: Device) {
         if device != self.device {
             self.device = device;

@@ -22,6 +22,7 @@ use rayon::prelude::*;
 
 use crate::kernels::{conv_out_extent, im2col_row_segment, packed_panels_len, PackedPanels};
 use crate::kernels::{MR, NC, NR};
+use crate::quantize::{bf16_to_f32, PackedPanelsBf16};
 use crate::F;
 
 /// The innermost register tile of the blocked GEMM, the only code that
@@ -128,8 +129,52 @@ fn micro_kernel<M: MicroGemm>(
     }
 }
 
+/// Element type of a packed A-panel: f32 panels run the historical
+/// kernels unchanged; bf16 panels are widened **once per forward
+/// call** — an exact 16-bit shift per weight, `1/o_len` of the GEMM
+/// flops — into a pooled f32 stage shared read-only by every column
+/// panel, after which both precisions execute the *identical* f32 FMA
+/// tile. That keeps the widening entirely out of the FMA-bound inner
+/// loop (an earlier per-tile inline-widening micro-kernel cost the
+/// vector plane 15–25%) and makes the quantized-twin contract hold by
+/// construction: the bf16 path *is* the f32 path run on RNE-quantized
+/// weights.
+pub trait PanelElem: Copy + Send + Sync {
+    /// Whether panels of this element type need the widening stage
+    /// (bf16) or can be borrowed by the tiles directly (f32).
+    const WIDENS: bool;
+
+    /// Resolve a packed panel slice to f32 for the register tiles:
+    /// f32 borrows `block` and never touches `stage`; bf16 widens into
+    /// `stage` (sized by the caller to at least `block.len()`).
+    fn widened<'a>(block: &'a [Self], stage: &'a mut [f32]) -> &'a [f32];
+}
+
+impl PanelElem for f32 {
+    const WIDENS: bool = false;
+
+    #[inline(always)]
+    fn widened<'a>(block: &'a [f32], _stage: &'a mut [f32]) -> &'a [f32] {
+        block
+    }
+}
+
+impl PanelElem for u16 {
+    const WIDENS: bool = true;
+
+    #[inline]
+    fn widened<'a>(block: &'a [u16], stage: &'a mut [f32]) -> &'a [f32] {
+        let stage = &mut stage[..block.len()];
+        for (d, &s) in stage.iter_mut().zip(block) {
+            *d = bf16_to_f32(s);
+        }
+        stage
+    }
+}
+
 /// The packed-weights twin of [`micro_kernel`]: same loop structure and
-/// edge handling, weight reads from the pre-packed `k_len × MR` block.
+/// edge handling, weight reads from the pre-packed (and, for bf16,
+/// pre-widened) `k_len × MR` f32 block.
 #[allow(clippy::too_many_arguments)]
 fn micro_kernel_packed<M: MicroGemm>(
     micro: M,
@@ -259,12 +304,41 @@ pub fn conv2d_forward_packed<M: MicroGemm>(
     bias: &Tensor<F>,
     pad: usize,
 ) -> Tensor<F> {
+    conv2d_forward_packed_any(micro, x, w.data, w.oc, w.ic, w.kh, w.kw, bias, pad)
+}
+
+/// [`conv2d_forward_packed`] over **bf16** panels: same driver body via
+/// [`PanelElem`] — identical panel decomposition, im2col fills, and
+/// write-back; the panels widen once per forward call into a pooled
+/// stage ([`PanelElem::widened`]) and then run the same f32 tiles.
+pub fn conv2d_forward_packed_bf16<M: MicroGemm>(
+    micro: M,
+    x: &Tensor<F>,
+    w: PackedPanelsBf16<'_>,
+    bias: &Tensor<F>,
+    pad: usize,
+) -> Tensor<F> {
+    conv2d_forward_packed_any(micro, x, w.data, w.oc, w.ic, w.kh, w.kw, bias, pad)
+}
+
+/// Shared packed-driver body, generic over micro-kernel and panel
+/// element type.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_forward_packed_any<M: MicroGemm, E: PanelElem>(
+    micro: M,
+    x: &Tensor<F>,
+    wp: &[E],
+    oc: usize,
+    wic: usize,
+    kh: usize,
+    kw: usize,
+    bias: &Tensor<F>,
+    pad: usize,
+) -> Tensor<F> {
     let (n, ic, h, wd) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    let (oc, kh, kw) = (w.oc, w.kh, w.kw);
     assert_eq!(
-        ic, w.ic,
-        "conv2d: input channels {ic} != weight channels {}",
-        w.ic
+        ic, wic,
+        "conv2d: input channels {ic} != weight channels {wic}"
     );
     assert!(
         bias.is_empty() || bias.len() == oc,
@@ -277,15 +351,26 @@ pub fn conv2d_forward_packed<M: MicroGemm>(
 
     let k_len = ic * kh * kw;
     assert_eq!(
-        w.data.len(),
+        wp.len(),
         packed_panels_len(oc, k_len),
         "conv2d: packed panel size mismatch"
     );
     let o_len = oh * ow;
-    let wp = w.data;
     let bs = bias.as_slice();
     let xs = x.as_slice();
     let mut y = Tensor::<F>::pooled_scratch(Shape::d4(n, oc, oh, ow));
+
+    // bf16 panels widen once per forward call into a pooled f32 stage
+    // shared read-only by every batch item and column panel; resident
+    // weight bytes stay bf16, only this transient scratch is f32. The
+    // f32 instantiation takes no stage and the tiles borrow the packed
+    // panels directly.
+    let mut stage = if E::WIDENS {
+        Some(workspace::take_aligned(wp.len()))
+    } else {
+        None
+    };
+    let wide_all: &[f32] = E::widened(wp, stage.as_deref_mut().unwrap_or(&mut []));
 
     y.as_mut_slice()
         .par_chunks_mut(oc * o_len)
@@ -310,12 +395,12 @@ pub fn conv2d_forward_packed<M: MicroGemm>(
                     let mut oc0 = 0;
                     while oc0 < oc {
                         let rows = (oc - oc0).min(MR);
-                        let wp_block = &wp[(oc0 / MR) * k_len * MR..(oc0 / MR + 1) * k_len * MR];
+                        let wide = &wide_all[(oc0 / MR) * k_len * MR..(oc0 / MR + 1) * k_len * MR];
                         let mut j0 = 0;
                         while j0 < cn {
                             let jn = (cn - j0).min(NR);
                             micro_kernel_packed(
-                                micro, &mut out, wp_block, bs, &colp, oc0, rows, k_len, cn, j0, jn,
+                                micro, &mut out, wide, bs, &colp, oc0, rows, k_len, cn, j0, jn,
                             );
                             j0 += NR;
                         }
@@ -334,6 +419,9 @@ pub fn conv2d_forward_packed<M: MicroGemm>(
                 workspace::put_aligned(out);
             }
         });
+    if let Some(stage) = stage {
+        workspace::put_aligned(stage);
+    }
     y
 }
 

@@ -70,6 +70,12 @@ pub fn weight_packs() -> u64 {
     WEIGHT_PACKS.load(Ordering::Relaxed)
 }
 
+/// Count one weight-panel pack. Shared with the bf16 packer in
+/// [`crate::quantize`], so [`weight_packs`] covers every precision.
+pub(crate) fn note_weight_pack() {
+    WEIGHT_PACKS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Output spatial extent for stride-1 convolution.
 #[inline]
 pub fn conv_out_extent(in_extent: usize, k: usize, pad: usize) -> usize {
@@ -263,7 +269,7 @@ pub fn packed_panels_len(oc: usize, k_len: usize) -> usize {
 /// allocation-free. The layout is backend-independent: both the scalar
 /// and the SIMD micro-kernels consume the same panels.
 pub fn pack_weight_panels(ws: &[F], oc: usize, k_len: usize, dst: &mut [F]) {
-    WEIGHT_PACKS.fetch_add(1, Ordering::Relaxed);
+    note_weight_pack();
     assert_eq!(ws.len(), oc * k_len, "pack: weight matrix size mismatch");
     assert_eq!(
         dst.len(),

@@ -134,6 +134,16 @@ impl Sequential {
         }
     }
 
+    /// Freeze every layer at a chosen weight-plane
+    /// [`crate::Precision`]: [`crate::Precision::F32`] is exactly
+    /// [`Sequential::freeze`]; [`crate::Precision::Bf16`] narrows each
+    /// conv/deconv layer's GEMM panels (see [`Layer::freeze_as`]).
+    pub fn freeze_as(&self, precision: crate::Precision) -> FrozenSequential {
+        FrozenSequential {
+            layers: self.layers.iter().map(|l| l.freeze_as(precision)).collect(),
+        }
+    }
+
     /// Restore weights from a checkpoint (shapes must match exactly).
     pub fn restore(&mut self, ckpt: &Checkpoint) {
         let mut params = self.params_mut();

@@ -1,16 +1,29 @@
 //! Pre-packed, frozen convolution weights for `&self` inference.
 //!
-//! [`PackedConvWeights`] owns one conv-layout weight tensor plus its
-//! GEMM A-panels packed once (see [`crate::kernels::pack_weight_panels`])
-//! into the k-major, `MR`-blocked layout the blocked micro-kernel
-//! consumes. Freezing a [`crate::Conv2d`] packs its weight directly;
-//! freezing a [`crate::ConvTranspose2d`] applies
-//! [`flip_transpose_weights`] **once** here instead of on every forward
-//! call — the deconv layers are where per-call weight preparation hurt
-//! most. [`FrozenConv2d`] wraps the packed weights as an
-//! [`InferLayer`] with the exact dispatch of the mutable layers, so the
-//! frozen path is bitwise-identical to the training-side
-//! `forward_infer`.
+//! [`PackedConvWeights`] owns a frozen conv weight plane at one of two
+//! precisions ([`Precision`]):
+//!
+//! * **f32** — the conv-layout tensor (kept for the small- and
+//!   mid-shape paths) plus its GEMM A-panels packed once (see
+//!   [`crate::kernels::pack_weight_panels`]) into the k-major,
+//!   `MR`-blocked layout the blocked micro-kernel consumes. This is the
+//!   historical plane: bitwise-identical to the training-side
+//!   `forward_infer`.
+//! * **bf16** — *only* the A-panels, narrowed to bf16
+//!   ([`crate::quantize::pack_weight_panels_bf16`]) plus the f32 bias.
+//!   The unpacked weight copy is dropped entirely — every forward runs
+//!   the packed bf16 GEMM driver regardless of output size (the
+//!   dispatch thresholds are a perf heuristic, not a correctness
+//!   boundary, and keeping an f32 fallback copy would forfeit the
+//!   resident-byte cut that is this plane's whole point). Resident
+//!   bytes land near 0.25× the f32 plane's (2-byte panels, no 4-byte
+//!   unpacked copy).
+//!
+//! Freezing a [`crate::Conv2d`] packs its weight directly; freezing a
+//! [`crate::ConvTranspose2d`] applies [`flip_transpose_weights`]
+//! **once** here instead of on every forward call — the deconv layers
+//! are where per-call weight preparation hurt most. [`FrozenConv2d`]
+//! wraps the packed weights as an [`InferLayer`].
 
 use adarnet_tensor::{AlignedBuf, Tensor};
 
@@ -19,17 +32,36 @@ use crate::kernels::{
     conv_out_extent, flip_transpose_weights, pack_weight_panels, packed_panels_len, PackedPanels,
     GEMM_THRESHOLD, PACKED_MIN_OLEN,
 };
+use crate::quantize::{pack_weight_panels_bf16, PackedPanelsBf16, Precision};
 use crate::{InferLayer, F};
 
-/// A conv weight frozen for inference: the conv-layout tensor (kept for
-/// the small- and mid-shape paths) plus its pre-packed GEMM A-panels.
+/// The precision-variant weight storage behind [`PackedConvWeights`].
+enum WeightPlane {
+    /// Full-precision plane: unpacked conv-layout weight (for the
+    /// direct and mid-band blocked paths) plus 64-byte-aligned f32
+    /// A-panels.
+    F32 {
+        /// Conv layout `(OC, IC, KH, KW)`.
+        weight: Tensor<F>,
+        /// Pre-packed A-panels, `packed_panels_len(oc, ic*kh*kw)`
+        /// floats, aligned for the SIMD micro-kernel's panel reads.
+        packed: AlignedBuf,
+    },
+    /// Reduced-precision plane: bf16 A-panels only; the shape metadata
+    /// the f32 plane reads off its weight tensor is carried explicitly.
+    Bf16 {
+        panels: Vec<u16>,
+        oc: usize,
+        ic: usize,
+        kh: usize,
+        kw: usize,
+    },
+}
+
+/// A conv weight frozen for inference at a chosen [`Precision`].
 pub struct PackedConvWeights {
-    /// Conv layout `(OC, IC, KH, KW)`.
-    weight: Tensor<F>,
+    plane: WeightPlane,
     bias: Tensor<F>,
-    /// Pre-packed A-panels, `packed_panels_len(oc, ic*kh*kw)` floats,
-    /// 64-byte aligned for the SIMD micro-kernel's panel reads.
-    packed: AlignedBuf,
     pad: usize,
     /// Compute backend the frozen forward runs on, captured at freeze
     /// time from the source layer.
@@ -38,42 +70,73 @@ pub struct PackedConvWeights {
 
 impl PackedConvWeights {
     /// Pack a conv-layout weight `(OC, IC, KH, KW)` for the process-wide
-    /// [`Device::active`] backend. The one-time pack cost is timed under
-    /// the caller's `prepack_ns` span.
+    /// [`Device::active`] backend at f32. The one-time pack cost is
+    /// timed under the caller's `prepack_ns` span.
     pub fn from_conv_weight(weight: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Self {
         Self::from_conv_weight_on(Device::active(), weight, bias, pad)
     }
 
-    /// Pack a conv-layout weight for a specific backend (the freeze path:
-    /// the frozen layer inherits the source layer's device).
+    /// Pack a conv-layout weight for a specific backend at f32 (the
+    /// historical freeze path: the frozen layer inherits the source
+    /// layer's device).
     pub fn from_conv_weight_on(
         device: Device,
         weight: &Tensor<F>,
         bias: &Tensor<F>,
         pad: usize,
     ) -> Self {
+        Self::from_conv_weight_as(device, Precision::F32, weight, bias, pad)
+    }
+
+    /// Pack a conv-layout weight for a specific backend and
+    /// [`Precision`] — the precision-aware freeze entry point.
+    pub fn from_conv_weight_as(
+        device: Device,
+        precision: Precision,
+        weight: &Tensor<F>,
+        bias: &Tensor<F>,
+        pad: usize,
+    ) -> Self {
         let (oc, ic, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
         let k_len = ic * kh * kw;
-        let mut packed = AlignedBuf::new();
-        packed.resize(packed_panels_len(oc, k_len));
-        pack_weight_panels(weight.as_slice(), oc, k_len, packed.as_mut_slice());
+        let plane = match precision {
+            Precision::F32 => {
+                let mut packed = AlignedBuf::new();
+                packed.resize(packed_panels_len(oc, k_len));
+                pack_weight_panels(weight.as_slice(), oc, k_len, packed.as_mut_slice());
+                WeightPlane::F32 {
+                    weight: weight.clone(),
+                    packed,
+                }
+            }
+            Precision::Bf16 => {
+                let mut panels = vec![0u16; packed_panels_len(oc, k_len)];
+                pack_weight_panels_bf16(weight.as_slice(), oc, k_len, &mut panels);
+                WeightPlane::Bf16 {
+                    panels,
+                    oc,
+                    ic,
+                    kh,
+                    kw,
+                }
+            }
+        };
         PackedConvWeights {
-            weight: weight.clone(),
+            plane,
             bias: bias.clone(),
-            packed,
             pad,
             device,
         }
     }
 
     /// Pack a deconv-layout weight `(IC, OC, KH, KW)`: flip-transpose to
-    /// the equivalent conv kernel once, then pack. Every subsequent
-    /// forward skips both the flip and the pack.
+    /// the equivalent conv kernel once, then pack at f32. Every
+    /// subsequent forward skips both the flip and the pack.
     pub fn from_deconv_weight(weight: &Tensor<F>, bias: &Tensor<F>, pad: usize) -> Self {
         Self::from_deconv_weight_on(Device::active(), weight, bias, pad)
     }
 
-    /// Deconv-layout pack for a specific backend; see
+    /// Deconv-layout f32 pack for a specific backend; see
     /// [`PackedConvWeights::from_conv_weight_on`].
     pub fn from_deconv_weight_on(
         device: Device,
@@ -81,8 +144,19 @@ impl PackedConvWeights {
         bias: &Tensor<F>,
         pad: usize,
     ) -> Self {
+        Self::from_deconv_weight_as(device, Precision::F32, weight, bias, pad)
+    }
+
+    /// Deconv-layout pack for a specific backend and [`Precision`].
+    pub fn from_deconv_weight_as(
+        device: Device,
+        precision: Precision,
+        weight: &Tensor<F>,
+        bias: &Tensor<F>,
+        pad: usize,
+    ) -> Self {
         let w_conv = flip_transpose_weights(weight);
-        let out = Self::from_conv_weight_on(device, &w_conv, bias, pad);
+        let out = Self::from_conv_weight_as(device, precision, &w_conv, bias, pad);
         w_conv.recycle();
         out
     }
@@ -92,48 +166,97 @@ impl PackedConvWeights {
         self.device
     }
 
+    /// The weight-plane storage precision chosen at freeze time.
+    pub fn precision(&self) -> Precision {
+        match self.plane {
+            WeightPlane::F32 { .. } => Precision::F32,
+            WeightPlane::Bf16 { .. } => Precision::Bf16,
+        }
+    }
+
     /// Input channel count (conv-layout axis 1).
     pub fn in_channels(&self) -> usize {
-        self.weight.dim(1)
+        match &self.plane {
+            WeightPlane::F32 { weight, .. } => weight.dim(1),
+            WeightPlane::Bf16 { ic, .. } => *ic,
+        }
     }
 
     /// Output channel count (conv-layout axis 0).
     pub fn out_channels(&self) -> usize {
-        self.weight.dim(0)
+        match &self.plane {
+            WeightPlane::F32 { weight, .. } => weight.dim(0),
+            WeightPlane::Bf16 { oc, .. } => *oc,
+        }
     }
 
-    /// Resident bytes: unpacked weight + bias + packed panels.
+    /// Actual resident bytes of this plane's weight storage — *stored*
+    /// element sizes, not an assumed 4 bytes/element: the f32 plane
+    /// counts the unpacked copy plus 4-byte panels, the bf16 plane only
+    /// its 2-byte panels. The f32 bias is counted for both.
     pub fn weight_bytes(&self) -> usize {
-        (self.weight.len() + self.bias.len() + self.packed.len()) * std::mem::size_of::<F>()
+        let bias_bytes = self.bias.len() * std::mem::size_of::<F>();
+        match &self.plane {
+            WeightPlane::F32 { weight, packed } => {
+                (weight.len() + packed.len()) * std::mem::size_of::<F>() + bias_bytes
+            }
+            WeightPlane::Bf16 { panels, .. } => {
+                panels.len() * std::mem::size_of::<u16>() + bias_bytes
+            }
+        }
     }
 
-    /// Forward pass with the exact dispatch of [`crate::Conv2d`]'s
-    /// inference path: blocked GEMM over the pre-packed panels at or
-    /// above [`PACKED_MIN_OLEN`] output pixels, blocked GEMM on the
-    /// unpacked weight in the mid-band down to [`GEMM_THRESHOLD`], the
-    /// direct loop nest below it. Bitwise-identical to the mutable
-    /// layer's `forward_infer` on the same backend.
+    /// Forward pass. The f32 plane keeps the exact dispatch of
+    /// [`crate::Conv2d`]'s inference path: blocked GEMM over the
+    /// pre-packed panels at or above [`PACKED_MIN_OLEN`] output pixels,
+    /// blocked GEMM on the unpacked weight in the mid-band down to
+    /// [`GEMM_THRESHOLD`], the direct loop nest below it —
+    /// bitwise-identical to the mutable layer's `forward_infer` on the
+    /// same backend. The bf16 plane has only packed panels, so every
+    /// output size runs the packed bf16 driver (its ragged-edge paths
+    /// cover the small shapes the thresholds existed to route around).
     pub fn forward(&self, x: &Tensor<F>) -> Tensor<F> {
-        let (kh, kw) = (self.weight.dim(2), self.weight.dim(3));
-        let oh = conv_out_extent(x.dim(2), kh, self.pad);
-        let ow = conv_out_extent(x.dim(3), kw, self.pad);
-        let o_len = oh * ow;
-        if o_len >= PACKED_MIN_OLEN {
-            let view = PackedPanels {
-                data: &self.packed,
-                oc: self.weight.dim(0),
-                ic: self.weight.dim(1),
+        match &self.plane {
+            WeightPlane::F32 { weight, packed } => {
+                let (kh, kw) = (weight.dim(2), weight.dim(3));
+                let oh = conv_out_extent(x.dim(2), kh, self.pad);
+                let ow = conv_out_extent(x.dim(3), kw, self.pad);
+                let o_len = oh * ow;
+                if o_len >= PACKED_MIN_OLEN {
+                    let view = PackedPanels {
+                        data: packed,
+                        oc: weight.dim(0),
+                        ic: weight.dim(1),
+                        kh,
+                        kw,
+                    };
+                    self.device
+                        .conv2d_forward_packed(x, view, &self.bias, self.pad)
+                } else if o_len >= GEMM_THRESHOLD {
+                    self.device
+                        .conv2d_forward_blocked(x, weight, &self.bias, self.pad)
+                } else {
+                    self.device
+                        .conv2d_forward(x, weight, &self.bias, self.pad)
+                }
+            }
+            WeightPlane::Bf16 {
+                panels,
+                oc,
+                ic,
                 kh,
                 kw,
-            };
-            self.device
-                .conv2d_forward_packed(x, view, &self.bias, self.pad)
-        } else if o_len >= GEMM_THRESHOLD {
-            self.device
-                .conv2d_forward_blocked(x, &self.weight, &self.bias, self.pad)
-        } else {
-            self.device
-                .conv2d_forward(x, &self.weight, &self.bias, self.pad)
+            } => {
+                let view = PackedPanelsBf16 {
+                    data: panels,
+                    oc: *oc,
+                    ic: *ic,
+                    kh: *kh,
+                    kw: *kw,
+                };
+                self.device
+                    .conv2d_forward_packed_bf16(x, view, &self.bias, self.pad)
+            }
         }
     }
 }
@@ -156,6 +279,11 @@ impl FrozenConv2d {
     /// Resident bytes of the frozen weights.
     pub fn weight_bytes(&self) -> usize {
         self.packed.weight_bytes()
+    }
+
+    /// The weight-plane precision chosen at freeze time.
+    pub fn precision(&self) -> Precision {
+        self.packed.precision()
     }
 }
 
@@ -204,6 +332,32 @@ mod tests {
         let p = PackedConvWeights::from_conv_weight(&w, &b, 1);
         let expect = (8 * 4 * 9 + 8 + packed_panels_len(8, 36)) * 4;
         assert_eq!(p.weight_bytes(), expect);
+        assert_eq!(p.precision(), Precision::F32);
+    }
+
+    #[test]
+    fn bf16_weight_bytes_drop_the_unpacked_copy() {
+        let w = seq_tensor(Shape::d4(8, 4, 3, 3));
+        let b = seq_tensor(Shape::d1(8));
+        let q = PackedConvWeights::from_conv_weight_as(
+            Device::active(),
+            Precision::Bf16,
+            &w,
+            &b,
+            1,
+        );
+        // 2-byte panels plus the f32 bias, no unpacked weight copy.
+        assert_eq!(q.weight_bytes(), packed_panels_len(8, 36) * 2 + 8 * 4);
+        assert_eq!(q.precision(), Precision::Bf16);
+        let f = PackedConvWeights::from_conv_weight(&w, &b, 1);
+        assert!(
+            (q.weight_bytes() as f64) < 0.3 * f.weight_bytes() as f64,
+            "bf16 plane {} B vs f32 plane {} B",
+            q.weight_bytes(),
+            f.weight_bytes()
+        );
+        assert_eq!(q.in_channels(), f.in_channels());
+        assert_eq!(q.out_channels(), f.out_channels());
     }
 
     #[test]
@@ -236,5 +390,34 @@ mod tests {
             dev.conv2d_forward_blocked(&big, &w, &b, 1),
             "blocked dispatch"
         );
+    }
+
+    #[test]
+    fn bf16_forward_tracks_f32_within_quantization_error() {
+        // All three output-size bands run the one packed bf16 path and
+        // must stay within the weight-quantization error envelope of
+        // the f32 plane: ~2^-8 relative per weight, k_len = 18 terms.
+        let w = seq_tensor(Shape::d4(3, 2, 3, 3));
+        let b = seq_tensor(Shape::d1(3));
+        let p = PackedConvWeights::from_conv_weight(&w, &b, 1);
+        let q = PackedConvWeights::from_conv_weight_as(
+            Device::active(),
+            Precision::Bf16,
+            &w,
+            &b,
+            1,
+        );
+        for hw in [3usize, 6, 16] {
+            let x = seq_tensor(Shape::d4(1, 2, hw, hw));
+            let yf = p.forward(&x);
+            let yq = q.forward(&x);
+            assert_eq!(yf.shape(), yq.shape());
+            for (a, c) in yf.as_slice().iter().zip(yq.as_slice()) {
+                assert!(
+                    (a - c).abs() <= 2e-2 * (1.0 + a.abs()),
+                    "bf16 drift at {hw}x{hw}: {a} vs {c}"
+                );
+            }
+        }
     }
 }

@@ -24,6 +24,8 @@ use std::sync::{Arc, RwLock};
 use adarnet_core::checkpoint::{self, ModelCheckpoint};
 use adarnet_core::engine::{EngineError, InferenceEngine};
 use adarnet_core::sync;
+use adarnet_nn::quantize::PRECISION_COUNT;
+use adarnet_nn::Precision;
 
 /// Registry errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,9 +63,12 @@ pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<ModelCheckpoint>>>,
     active: RwLock<Option<ActiveModel>>,
     generation: AtomicU64,
-    /// Lazily built shared engine for the active model, keyed by the
-    /// generation it was built from. One engine serves every worker.
-    engine: RwLock<Option<(u64, Arc<InferenceEngine>)>>,
+    /// Lazily built shared engines for the active model, one slot per
+    /// weight-plane [`Precision`] (indexed by [`Precision::index`]),
+    /// each keyed by the generation it was built from. One engine per
+    /// requested precision serves every worker; precisions nobody
+    /// routes to are never built.
+    engines: [RwLock<Option<(u64, Arc<InferenceEngine>)>>; PRECISION_COUNT],
 }
 
 impl Default for ModelRegistry {
@@ -79,7 +84,7 @@ impl ModelRegistry {
             models: RwLock::new(HashMap::new()),
             active: RwLock::new(None),
             generation: AtomicU64::new(0),
-            engine: RwLock::new(None),
+            engines: std::array::from_fn(|_| RwLock::new(None)),
         }
     }
 
@@ -147,7 +152,7 @@ impl ModelRegistry {
         let active = self
             .active()
             .ok_or_else(|| RegistryError::UnknownModel("<no active model>".into()))?;
-        let engine = build_engine(&active.checkpoint)?;
+        let engine = build_engine(&active.checkpoint, Precision::active())?;
         Ok((active.generation, engine))
     }
 
@@ -163,16 +168,31 @@ impl ModelRegistry {
     /// it alive until they drop it; the old weights free once the last
     /// such caller finishes.
     pub fn shared(&self) -> Result<(u64, Arc<InferenceEngine>), RegistryError> {
+        self.shared_with(Precision::active())
+    }
+
+    /// [`ModelRegistry::shared`] at an explicit weight-plane
+    /// [`Precision`]: each precision has its own cache slot, so a
+    /// registry can hold an f32 and a bf16 engine of the same
+    /// generation side by side (one frozen weight copy per precision)
+    /// and admission routes each request to the plane its tenant asked
+    /// for. Both slots hydrate lazily from the same checkpoint —
+    /// narrowing happens at freeze.
+    pub fn shared_with(
+        &self,
+        precision: Precision,
+    ) -> Result<(u64, Arc<InferenceEngine>), RegistryError> {
         let active = self
             .active()
             .ok_or_else(|| RegistryError::UnknownModel("<no active model>".into()))?;
-        if let Some((generation, engine)) = sync::read(&self.engine).as_ref() {
+        let slot = &self.engines[precision.index()];
+        if let Some((generation, engine)) = sync::read(slot).as_ref() {
             if *generation >= active.generation {
                 return Ok((*generation, engine.clone()));
             }
         }
-        let fresh = Arc::new(build_engine(&active.checkpoint)?);
-        let mut cache = sync::write(&self.engine);
+        let fresh = Arc::new(build_engine(&active.checkpoint, precision)?);
+        let mut cache = sync::write(slot);
         if let Some((generation, engine)) = cache.as_ref() {
             if *generation >= active.generation {
                 // Lost the race to a same-or-newer build; serve that one.
@@ -184,8 +204,11 @@ impl ModelRegistry {
     }
 }
 
-fn build_engine(ckpt: &ModelCheckpoint) -> Result<InferenceEngine, RegistryError> {
-    InferenceEngine::from_checkpoint(ckpt).map_err(|e| match e {
+fn build_engine(
+    ckpt: &ModelCheckpoint,
+    precision: Precision,
+) -> Result<InferenceEngine, RegistryError> {
+    InferenceEngine::from_checkpoint_with(ckpt, precision).map_err(|e| match e {
         EngineError::Checkpoint(msg) => RegistryError::Restore(msg),
         other => RegistryError::Restore(other.to_string()),
     })
@@ -254,6 +277,30 @@ mod tests {
             Arc::ptr_eq(&e1, &e2),
             "same generation must share one engine"
         );
+    }
+
+    #[test]
+    fn shared_with_caches_one_engine_per_precision() {
+        let reg = ModelRegistry::new();
+        reg.register("a", ckpt(3));
+        reg.activate("a").unwrap();
+        let (gf, ef) = reg.shared_with(Precision::F32).unwrap();
+        let (gq, eq) = reg.shared_with(Precision::Bf16).unwrap();
+        assert_eq!((gf, gq), (1, 1), "same generation, two planes");
+        assert!(!Arc::ptr_eq(&ef, &eq), "precisions are distinct engines");
+        assert_eq!(ef.precision(), Precision::F32);
+        assert_eq!(eq.precision(), Precision::Bf16);
+        assert!(
+            eq.weight_bytes() * 100 <= ef.weight_bytes() * 55,
+            "bf16 plane must cut resident bytes to <= 0.55x: {} vs {}",
+            eq.weight_bytes(),
+            ef.weight_bytes()
+        );
+        // Re-fetching each precision hits its cache slot.
+        let (_, ef2) = reg.shared_with(Precision::F32).unwrap();
+        let (_, eq2) = reg.shared_with(Precision::Bf16).unwrap();
+        assert!(Arc::ptr_eq(&ef, &ef2));
+        assert!(Arc::ptr_eq(&eq, &eq2));
     }
 
     #[test]

@@ -20,9 +20,10 @@
 //!    reject path is *typed* and increments its own obs counter — no
 //!    reason is ever lumped with another.
 //!
-//! Every worker thread shares **one** frozen engine
-//! (`Arc<InferenceEngine>` from [`ModelRegistry::shared`]) — one
-//! resident weight copy regardless of worker count; a worker pops one
+//! Every worker thread shares **one** frozen engine per routed
+//! precision (`Arc<InferenceEngine>` from [`ModelRegistry::shared_with`])
+//! — one resident weight copy per weight plane regardless of worker
+//! count, and planes nobody routes to are never built; a worker pops one
 //! lane-pure batch, lingers up to `max_linger` for more arrivals from
 //! the same lane, drops any request whose deadline expired while
 //! queued (answered with the brownout, not silently shed), and runs the
@@ -45,6 +46,8 @@ use std::time::{Duration, Instant};
 
 use adarnet_core::loss::NormStats;
 use adarnet_core::network::{AdarNetConfig, Prediction};
+use adarnet_nn::quantize::PRECISION_COUNT;
+use adarnet_nn::Precision;
 use adarnet_obs::trace::{self, TraceCtx};
 use adarnet_tensor::Tensor;
 
@@ -138,6 +141,11 @@ pub struct SubmitOptions {
     /// `None` = untraced: the request pays one branch per span site
     /// and nothing else.
     pub trace: Option<TraceCtx>,
+    /// Weight-plane precision for this request. `None` resolves at
+    /// admission: the tenant's configured plane
+    /// ([`ServeConfig::precision_for_tenant`]), else the server
+    /// default.
+    pub precision: Option<Precision>,
 }
 
 impl Default for SubmitOptions {
@@ -147,6 +155,7 @@ impl Default for SubmitOptions {
             tenant: 0,
             deadline: None,
             trace: None,
+            precision: None,
         }
     }
 }
@@ -168,6 +177,10 @@ pub struct ServeResponse {
     /// the tail sampler retained it, is served on the admin endpoint's
     /// `/traces` under this id.
     pub trace_id: u64,
+    /// Weight-plane precision the request was routed to at admission
+    /// (degraded responses report the plane the request *would* have
+    /// ridden).
+    pub precision: Precision,
 }
 
 struct Job {
@@ -176,6 +189,7 @@ struct Job {
     deadline: Option<Instant>,
     tenant: u64,
     priority: Priority,
+    precision: Precision,
     trace: Option<TraceCtx>,
     reply: Sender<ServeResponse>,
 }
@@ -209,6 +223,9 @@ pub struct ServeStats {
     pub engine_swaps: u64,
     /// Fully served requests per lane (interactive/standard/bulk).
     pub completed_per_lane: [u64; 3],
+    /// Fully served requests per weight-plane precision, indexed by
+    /// [`Precision::index`] (f32, bf16).
+    pub completed_per_precision: [u64; PRECISION_COUNT],
 }
 
 impl ServeStats {
@@ -240,6 +257,7 @@ struct StatsCells {
     batched_requests: AtomicU64,
     engine_swaps: AtomicU64,
     completed_per_lane: [AtomicU64; 3],
+    completed_per_precision: [AtomicU64; PRECISION_COUNT],
 }
 
 impl StatsCells {
@@ -260,6 +278,9 @@ impl StatsCells {
                 self.completed_per_lane[1].load(Ordering::Relaxed),
                 self.completed_per_lane[2].load(Ordering::Relaxed),
             ],
+            completed_per_precision: std::array::from_fn(|i| {
+                self.completed_per_precision[i].load(Ordering::Relaxed)
+            }),
         }
     }
 }
@@ -335,6 +356,7 @@ impl Shared {
             generation: 0,
             priority: job.priority,
             trace_id: job.trace.map_or(0, |t| t.trace_id),
+            precision: job.precision,
         };
         record_e2e(&response);
         // A rejected trace is always interesting: finish it errored so
@@ -368,8 +390,9 @@ impl Server {
         adarnet_obs::init();
         // Build the shared engine up front: a missing or corrupt active
         // model fails start() instead of panicking workers. Every worker
-        // clones this one Arc — one resident weight copy.
-        let (generation, engine) = registry.shared()?;
+        // clones this one Arc — one resident weight copy per precision
+        // actually routed to (other planes hydrate lazily on first use).
+        let (generation, engine) = registry.shared_with(cfg.default_precision)?;
         let (startup_norm, startup_cfg) = (*engine.norm(), engine.config());
         let shared = Arc::new(Shared {
             cache: PatchCache::new(cfg.cache_capacity),
@@ -384,8 +407,13 @@ impl Server {
         let workers = (0..shared.cfg.workers.max(1))
             .map(|_| {
                 let shared = shared.clone();
-                let engine = engine.clone();
-                std::thread::spawn(move || worker_loop(shared, generation, engine))
+                // Seed the worker's per-precision engine cache with the
+                // default plane; other planes hydrate from the registry
+                // on the first batch that routes to them.
+                let mut engines: [Option<Arc<adarnet_core::engine::InferenceEngine>>;
+                    PRECISION_COUNT] = std::array::from_fn(|_| None);
+                engines[shared.cfg.default_precision.index()] = Some(engine.clone());
+                std::thread::spawn(move || worker_loop(shared, generation, engines))
             })
             .collect();
         Ok(Server { shared, workers })
@@ -408,6 +436,11 @@ impl Server {
         } else {
             opts.priority
         };
+        // Precision routing happens at admission: per-request override,
+        // else the tenant's configured plane, else the server default.
+        let precision = opts
+            .precision
+            .unwrap_or_else(|| self.shared.cfg.precision_for_tenant(opts.tenant));
         // Claim an arena slot before admission so rejected traces are
         // captured too. A saturated arena downgrades the request to
         // untraced rather than failing it.
@@ -418,6 +451,7 @@ impl Server {
             deadline: opts.deadline,
             tenant: opts.tenant,
             priority,
+            precision,
             trace: traced,
             reply,
         };
@@ -480,6 +514,9 @@ impl Server {
                     generation: 0,
                     priority: opts.priority,
                     trace_id: opts.trace.map_or(0, |t| t.trace_id),
+                    precision: opts
+                        .precision
+                        .unwrap_or_else(|| self.shared.cfg.precision_for_tenant(opts.tenant)),
                 };
                 record_e2e(&response);
                 if let Some(ctx) = opts.trace {
@@ -588,7 +625,7 @@ fn record_queue_wait(priority: Priority, ns: u64) {
 fn worker_loop(
     shared: Arc<Shared>,
     mut generation: u64,
-    mut engine: Arc<adarnet_core::engine::InferenceEngine>,
+    mut engines: [Option<Arc<adarnet_core::engine::InferenceEngine>>; PRECISION_COUNT],
 ) {
     loop {
         // Batch assembly = blocking pop + linger window on the lane the
@@ -655,11 +692,13 @@ fn worker_loop(
         let batch = live;
 
         // Hot swap: re-fetch the shared engine when the registry moved
-        // on. The old Arc drops here (or when the last in-flight batch
-        // on it finishes elsewhere); no weights are copied per worker.
+        // on. The old Arcs drop here (or when the last in-flight batch
+        // on them finishes elsewhere); no weights are copied per worker.
+        // Every cached precision plane is invalidated together — a new
+        // generation must never mix planes from different checkpoints.
         let current = shared.registry.generation();
         if current != generation {
-            if let Ok((gen, fresh)) = shared.registry.shared() {
+            if let Ok((gen, fresh)) = shared.registry.shared_with(shared.cfg.default_precision) {
                 if gen != generation {
                     adarnet_obs::recorder().record(
                         adarnet_obs::EventKind::HotSwap,
@@ -670,80 +709,125 @@ fn worker_loop(
                     );
                     let _ = adarnet_obs::dump("hot_swap", false);
                     generation = gen;
-                    engine = fresh;
+                    engines = std::array::from_fn(|_| None);
+                    engines[shared.cfg.default_precision.index()] = Some(fresh);
                     shared.stats.engine_swaps.fetch_add(1, Ordering::Release);
                     adarnet_obs::counter!("serve_engine_swaps_total").inc();
                 }
             }
         }
 
-        let fields: Vec<Tensor<f32>> = batch.iter().map(|j| j.field.clone()).collect();
-        shared.stats.batches.fetch_add(1, Ordering::Release);
-        shared
-            .stats
-            .batched_requests
-            .fetch_add(batch.len() as u64, Ordering::Release);
-        adarnet_obs::counter!("serve_batches_total").inc();
-        adarnet_obs::counter!("serve_batched_requests_total").add(batch.len() as u64);
-
-        // Two-phase infer spans: allocate the span id up front so the
-        // per-bin decode spans inside `infer_cached` can parent under
-        // it, commit the duration once the batch returns.
-        let infer_start = Instant::now();
-        let pending_infer: Vec<Option<trace::PendingSpan>> = batch
-            .iter()
-            .map(|j| {
-                j.trace
-                    .and_then(|ctx| trace::arena().begin(ctx, "serve_infer"))
-            })
-            .collect();
-        let traces: Vec<Option<TraceCtx>> = batch
-            .iter()
-            .zip(&pending_infer)
-            .map(|(j, p)| match (j.trace, p) {
-                (Some(ctx), Some(p)) => Some(ctx.child(p.span_id)),
-                (ctx, _) => ctx,
-            })
-            .collect();
-        let inferred = {
-            let _span = adarnet_obs::span!("serve_infer", batch = batch.len());
-            infer_cached(&engine, generation, &fields, &traces, &shared.cache)
-        };
-        let infer_ns = infer_start.elapsed().as_nanos() as u64;
-        for p in pending_infer.into_iter().flatten() {
-            trace::arena().commit(p, infer_ns, "batch", fields.len() as u64);
+        // Partition the live batch by routed precision: each plane runs
+        // as its own decoder micro-batch on its own engine. Same-plane
+        // patches still fuse; cross-plane fusion would mix weight
+        // planes inside one GEMM pass.
+        let mut groups: [Vec<Job>; PRECISION_COUNT] = std::array::from_fn(|_| Vec::new());
+        for job in batch {
+            groups[job.precision.index()].push(job);
         }
-        match inferred {
-            Ok(predictions) => {
-                shared
-                    .stats
-                    .completed
-                    .fetch_add(batch.len() as u64, Ordering::Release);
-                shared.stats.completed_per_lane[lane.index()]
-                    .fetch_add(batch.len() as u64, Ordering::Release);
-                adarnet_obs::counter!("serve_completed_total").add(batch.len() as u64);
-                for (job, prediction) in batch.into_iter().zip(predictions) {
-                    let response = ServeResponse {
-                        prediction,
-                        kind: ResponseKind::Full,
-                        latency: job.submitted.elapsed(),
-                        generation,
-                        priority: job.priority,
-                        trace_id: job.trace.map_or(0, |t| t.trace_id),
-                    };
-                    record_e2e(&response);
-                    if let Some(ctx) = job.trace {
-                        trace::finish(ctx, response.latency.as_nanos() as u64, false);
-                    }
-                    let _ = job.reply.send(response);
-                }
+        for (pidx, batch) in groups.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
             }
-            Err(_) => {
-                // Degrade the whole batch rather than killing the worker.
-                let norm = *engine.norm();
-                let cfg = engine.config();
-                for job in batch {
-                    shared.reject(job, ResponseKind::ShedInferenceError, &norm, cfg);
+            let Some(precision) = Precision::from_index(pidx) else {
+                // Unreachable: groups has exactly PRECISION_COUNT slots.
+                continue;
+            };
+            // Resolve this plane's engine: the worker-cached Arc, else
+            // hydrate (and cache) from the registry. A registry failure
+            // degrades just this group — the other plane still serves.
+            let engine = match &engines[pidx] {
+                Some(e) => e.clone(),
+                None => match shared.registry.shared_with(precision) {
+                    Ok((_, fresh)) => {
+                        engines[pidx] = Some(fresh.clone());
+                        fresh
+                    }
+                    Err(_) => {
+                        let (norm, cfg) = shared.shed_params();
+                        for job in batch {
+                            shared.reject(job, ResponseKind::ShedInferenceError, &norm, cfg);
+                        }
+                        continue;
+                    }
+                },
+            };
+
+            let fields: Vec<Tensor<f32>> = batch.iter().map(|j| j.field.clone()).collect();
+            shared.stats.batches.fetch_add(1, Ordering::Release);
+            shared
+                .stats
+                .batched_requests
+                .fetch_add(batch.len() as u64, Ordering::Release);
+            adarnet_obs::counter!("serve_batches_total").inc();
+            adarnet_obs::counter!("serve_batched_requests_total").add(batch.len() as u64);
+
+            // Two-phase infer spans: allocate the span id up front so the
+            // per-bin decode spans inside `infer_cached` can parent under
+            // it, commit the duration once the batch returns.
+            let infer_start = Instant::now();
+            let pending_infer: Vec<Option<trace::PendingSpan>> = batch
+                .iter()
+                .map(|j| {
+                    j.trace
+                        .and_then(|ctx| trace::arena().begin(ctx, "serve_infer"))
+                })
+                .collect();
+            let traces: Vec<Option<TraceCtx>> = batch
+                .iter()
+                .zip(&pending_infer)
+                .map(|(j, p)| match (j.trace, p) {
+                    (Some(ctx), Some(p)) => Some(ctx.child(p.span_id)),
+                    (ctx, _) => ctx,
+                })
+                .collect();
+            // Salt the cache generation with the precision index: an
+            // f32 and a bf16 engine of the same model generation decode
+            // different bytes, so their patch entries must never alias.
+            let cache_generation = generation * PRECISION_COUNT as u64 + pidx as u64;
+            let inferred = {
+                let _span = adarnet_obs::span!("serve_infer", batch = batch.len());
+                infer_cached(&engine, cache_generation, &fields, &traces, &shared.cache)
+            };
+            let infer_ns = infer_start.elapsed().as_nanos() as u64;
+            for p in pending_infer.into_iter().flatten() {
+                trace::arena().commit(p, infer_ns, "batch", fields.len() as u64);
+            }
+            match inferred {
+                Ok(predictions) => {
+                    shared
+                        .stats
+                        .completed
+                        .fetch_add(batch.len() as u64, Ordering::Release);
+                    shared.stats.completed_per_lane[lane.index()]
+                        .fetch_add(batch.len() as u64, Ordering::Release);
+                    shared.stats.completed_per_precision[pidx]
+                        .fetch_add(batch.len() as u64, Ordering::Release);
+                    adarnet_obs::counter!("serve_completed_total").add(batch.len() as u64);
+                    for (job, prediction) in batch.into_iter().zip(predictions) {
+                        let response = ServeResponse {
+                            prediction,
+                            kind: ResponseKind::Full,
+                            latency: job.submitted.elapsed(),
+                            generation,
+                            priority: job.priority,
+                            trace_id: job.trace.map_or(0, |t| t.trace_id),
+                            precision: job.precision,
+                        };
+                        record_e2e(&response);
+                        if let Some(ctx) = job.trace {
+                            trace::finish(ctx, response.latency.as_nanos() as u64, false);
+                        }
+                        let _ = job.reply.send(response);
+                    }
+                }
+                Err(_) => {
+                    // Degrade the whole group rather than killing the worker.
+                    let norm = *engine.norm();
+                    let cfg = engine.config();
+                    for job in batch {
+                        shared.reject(job, ResponseKind::ShedInferenceError, &norm, cfg);
+                    }
                 }
             }
         }

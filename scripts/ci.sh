@@ -37,10 +37,12 @@ if [ "${SKIP_SLOW:-0}" != "1" ]; then
   # Tiny measurement budget, both backends; fails if any (shape,
   # backend) row's blocked path runs >1.5x slower than the committed
   # BENCH_kernels.json baseline, if the dispatched packed path drops
-  # below the smoke floor of blocked throughput, or (--gate-simd, on
+  # below the smoke floor of blocked throughput, if the bf16 packed
+  # plane falls below the smoke floor of the dispatched f32 path on
+  # any packed-eligible row (--gate-bf16), or (--gate-simd, on
   # AVX2/FMA hosts) if the SIMD plane's bin-3 blocked GEMM fails to
   # reach 1.5x scalar in the same run.
-  cargo run --release -q -p adarnet-bench --bin kernels -- --smoke --gate-simd --check-against BENCH_kernels.json
+  cargo run --release -q -p adarnet-bench --bin kernels -- --smoke --gate-simd --gate-bf16 --check-against BENCH_kernels.json
 else
   echo "    skipped (SKIP_SLOW=1): timing gate is meaningless on a loaded machine"
 fi
